@@ -1,0 +1,50 @@
+//! Criterion bench: ablation of the adaptive controller's step policy
+//! (DESIGN.md experiment E9) — wall cost of each policy at the same
+//! target rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slacksim::scheme::{AdaptiveConfig, Scheme, StepPolicy};
+use slacksim::{Benchmark, EngineKind, Simulation};
+
+fn run(step: StepPolicy) {
+    let cfg = AdaptiveConfig {
+        target_rate: 1e-3,
+        band: 0.05,
+        step,
+        ..AdaptiveConfig::default()
+    };
+    let report = Simulation::new(Benchmark::Barnes)
+        .cores(8)
+        .commit_target(40_000)
+        .seed(1)
+        .scheme(Scheme::Adaptive(cfg))
+        .engine(EngineKind::Sequential)
+        .run()
+        .expect("bench run");
+    assert!(report.committed >= 40_000);
+}
+
+fn adaptive_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive_step_policy");
+    group.sample_size(10);
+    for (name, step) in [
+        ("additive", StepPolicy::Additive { up: 1.0, down: 1.0 }),
+        ("aimd", StepPolicy::Aimd { up: 1.0 }),
+        ("multiplicative", StepPolicy::Multiplicative),
+        (
+            "proportional",
+            StepPolicy::Proportional {
+                step: 0.5,
+                max_throttle: 256.0,
+            },
+        ),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &step, |b, step| {
+            b.iter(|| run(*step))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adaptive_ablation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench: checkpointing overhead vs interval length (the
+//! mechanism behind Table 2's 5K-100K columns).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slacksim::scheme::Scheme;
+use slacksim::{Benchmark, EngineKind, Simulation, SpeculationConfig};
+
+fn run(interval: Option<u64>) {
+    let mut sim = Simulation::new(Benchmark::Lu);
+    sim.cores(8)
+        .commit_target(40_000)
+        .seed(1)
+        .scheme(Scheme::BoundedSlack { bound: 16 })
+        .engine(EngineKind::Sequential);
+    if let Some(i) = interval {
+        sim.speculation(SpeculationConfig::checkpoint_only(i));
+    }
+    let report = sim.run().expect("bench run");
+    assert!(report.committed >= 40_000);
+}
+
+fn checkpoint_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("checkpoint_interval");
+    group.sample_size(10);
+    group.bench_function("none", |b| b.iter(|| run(None)));
+    for interval in [1_000u64, 5_000, 20_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(interval),
+            &interval,
+            |b, &i| b.iter(|| run(Some(i))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, checkpoint_cost);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench: simulated-cycles-per-second of the engines under the
+//! main slack schemes (the raw speed behind Figure 4's Y axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slacksim::scheme::Scheme;
+use slacksim::{Benchmark, EngineKind, Simulation};
+
+fn run(engine: EngineKind, scheme: Scheme) {
+    let report = Simulation::new(Benchmark::Fft)
+        .cores(8)
+        .commit_target(40_000)
+        .seed(1)
+        .scheme(scheme)
+        .engine(engine)
+        .run()
+        .expect("bench run");
+    assert!(report.committed >= 40_000);
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    for (name, scheme) in [
+        ("cycle-by-cycle", Scheme::CycleByCycle),
+        ("bounded-8", Scheme::BoundedSlack { bound: 8 }),
+        ("unbounded", Scheme::UnboundedSlack),
+        ("quantum-50", Scheme::Quantum { quantum: 50 }),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("sequential", name),
+            &scheme,
+            |b, scheme| b.iter(|| run(EngineKind::Sequential, scheme.clone())),
+        );
+    }
+    // The threaded engine is dominated by synchronisation on small hosts;
+    // bench only the scheme extremes.
+    for (name, scheme) in [
+        ("cycle-by-cycle", Scheme::CycleByCycle),
+        ("unbounded", Scheme::UnboundedSlack),
+    ] {
+        group.bench_with_input(BenchmarkId::new("threaded", name), &scheme, |b, scheme| {
+            b.iter(|| run(EngineKind::Threaded, scheme.clone()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Extension E11: Graphite-style Lax-P2P synchronisation (paper §6)
+//! compared against bounded and unbounded slack.
+
+use slacksim_bench::experiments::ext;
+use slacksim_bench::scale::Scale;
+use slacksim_workloads::Benchmark;
+
+fn main() {
+    let scale = Scale::from_env(200_000);
+    for benchmark in [Benchmark::Fft, Benchmark::Barnes] {
+        let rows = ext::measure_p2p(&scale, benchmark);
+        println!("{}", ext::render_p2p(benchmark, &rows));
+    }
+}

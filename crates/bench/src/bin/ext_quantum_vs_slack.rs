@@ -1,0 +1,14 @@
+//! Extension E10: quantum simulation vs bounded slack at equal window
+//! sizes — complementary error modes.
+
+use slacksim_bench::experiments::ext;
+use slacksim_bench::scale::Scale;
+use slacksim_workloads::Benchmark;
+
+fn main() {
+    let scale = Scale::from_env(200_000);
+    for benchmark in Benchmark::ALL {
+        let rows = ext::measure_quantum(&scale, benchmark);
+        println!("{}", ext::render_quantum(benchmark, &rows));
+    }
+}

@@ -1,0 +1,12 @@
+//! Extension E8: fully deployed speculative slack simulation, measured
+//! (the paper only modelled it and listed deployment as future work).
+
+use slacksim_bench::experiments::ext;
+use slacksim_bench::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_env(200_000);
+    let interval = 5_000;
+    let rows = ext::measure_speculative(&scale, interval);
+    println!("{}", ext::render_speculative(interval, &rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates Figure 3: bus and cache-map violation rates vs slack bound.
+
+use slacksim_bench::experiments::fig3;
+use slacksim_bench::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_env(200_000);
+    let points = fig3::measure(&scale);
+    let (bus, map) = fig3::render(&points);
+    println!("{bus}");
+    println!("{map}");
+}

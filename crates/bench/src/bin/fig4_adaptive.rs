@@ -1,0 +1,29 @@
+//! Regenerates Figure 4: simulation time vs violation rate for bounded
+//! slack (CC + S1-S9) and adaptive slack (bands 0% and 5%, 12 targets).
+//!
+//! Pass `--benchmark <name>` to select the workload (default: every
+//! benchmark in turn with `--all`, FFT otherwise).
+
+use slacksim_bench::experiments::fig4;
+use slacksim_bench::scale::Scale;
+use slacksim_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = Scale::parse(args.iter().cloned(), 200_000);
+    let benchmarks: Vec<Benchmark> = if args.iter().any(|a| a == "--all") {
+        Benchmark::ALL.to_vec()
+    } else {
+        let picked = args
+            .iter()
+            .position(|a| a == "--benchmark")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|n| Benchmark::parse(n))
+            .unwrap_or(Benchmark::Fft);
+        vec![picked]
+    };
+    for benchmark in benchmarks {
+        let points = fig4::measure(&scale, benchmark);
+        println!("{}", fig4::render(benchmark, &points));
+    }
+}

@@ -1,0 +1,50 @@
+//! Runs the complete reproduction: every table and figure of the paper
+//! plus the extension experiments, at the configured scale.
+
+use slacksim_bench::experiments::{ext, fig3, fig4, table1, table2, table34, table5};
+use slacksim_bench::scale::Scale;
+use slacksim_workloads::Benchmark;
+
+fn main() {
+    let scale = Scale::from_env(200_000);
+    eprintln!("repro_all at scale: {scale:?}");
+
+    println!("{}", table1());
+
+    let points = fig3::measure(&scale);
+    let (bus, map) = fig3::render(&points);
+    println!("{bus}");
+    println!("{map}");
+
+    let fig4_points = fig4::measure(&scale, Benchmark::Fft);
+    println!("{}", fig4::render(Benchmark::Fft, &fig4_points));
+
+    let t2 = table2::measure(&scale);
+    println!("{}", table2::render(&t2));
+
+    // Interval statistics need runs long enough to observe many 100k-cycle
+    // intervals: scale the commit target up for Tables 3/4.
+    let interval_scale = Scale {
+        commit: scale.commit * 40,
+        ..scale
+    };
+    let stats = table34::measure(&interval_scale);
+    println!("{}", table34::render_table3(&stats));
+    println!("{}", table34::render_table4(&stats));
+
+    let t5 = table5::measure(&scale);
+    println!("{}", table5::render(&t5));
+
+    let spec = ext::measure_speculative(&scale, 5_000);
+    println!("{}", ext::render_speculative(5_000, &spec));
+
+    for benchmark in Benchmark::ALL {
+        let rows = ext::measure_quantum(&scale, benchmark);
+        println!("{}", ext::render_quantum(benchmark, &rows));
+    }
+
+    for benchmark in [Benchmark::Fft, Benchmark::Barnes] {
+        let rows = ext::measure_p2p(&scale, benchmark);
+        println!("{}", ext::render_p2p(benchmark, &rows));
+    }
+}

@@ -1,0 +1,5 @@
+//! Prints Table 1: the benchmark input sets.
+
+fn main() {
+    println!("{}", slacksim_bench::experiments::table1());
+}

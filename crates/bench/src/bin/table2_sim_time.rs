@@ -1,0 +1,11 @@
+//! Regenerates Table 2: wall-clock simulation time of CC, unbounded
+//! slack, adaptive slack, and adaptive slack with periodic checkpoints.
+
+use slacksim_bench::experiments::table2;
+use slacksim_bench::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_env(200_000);
+    let rows = table2::measure(&scale);
+    println!("{}", table2::render(&rows));
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 3: fraction of checkpoint intervals with at least
+//! one violation.
+
+use slacksim_bench::experiments::table34;
+use slacksim_bench::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_env(2_000_000);
+    let stats = table34::measure(&scale);
+    println!("{}", table34::render_table3(&stats));
+}

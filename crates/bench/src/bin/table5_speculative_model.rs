@@ -1,0 +1,11 @@
+//! Regenerates Table 5: the analytical model's estimate of fully deployed
+//! speculative-slack simulation time.
+
+use slacksim_bench::experiments::table5;
+use slacksim_bench::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_env(200_000);
+    let rows = table5::measure(&scale);
+    println!("{}", table5::render(&rows));
+}

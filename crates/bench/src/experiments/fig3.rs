@@ -1,0 +1,125 @@
+//! Figure 3: bus and cache-map violation rates as the slack bound grows.
+//!
+//! Paper shape: bus violations are at least an order of magnitude more
+//! frequent than map violations; bus rates grow with the bound and
+//! plateau; map rates are negligible at small bounds and grow later.
+//! Measured on the deterministic engine (reproducible 8-context host
+//! model).
+
+use slacksim::scheme::Scheme;
+use slacksim::{Benchmark, ViolationKind};
+
+use crate::runner::run_sequential;
+use crate::scale::Scale;
+use crate::table::Table;
+
+/// The slack bounds swept on the X axis.
+pub const BOUNDS: [u64; 12] = [1, 2, 4, 6, 8, 10, 20, 40, 60, 80, 100, 200];
+
+/// One measured point of the figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Point {
+    /// The benchmark measured.
+    pub benchmark: Benchmark,
+    /// Slack bound in cycles.
+    pub bound: u64,
+    /// Bus violations per simulated cycle.
+    pub bus_rate: f64,
+    /// Map violations per simulated cycle.
+    pub map_rate: f64,
+}
+
+/// Runs the full sweep.
+pub fn measure(scale: &Scale) -> Vec<Fig3Point> {
+    let mut points = Vec::new();
+    for benchmark in Benchmark::ALL {
+        for bound in BOUNDS {
+            let r = run_sequential(scale, benchmark, Scheme::BoundedSlack { bound });
+            points.push(Fig3Point {
+                benchmark,
+                bound,
+                bus_rate: r.violations.rate(ViolationKind::Bus, r.global_cycles),
+                map_rate: r.violations.rate(ViolationKind::Map, r.global_cycles),
+            });
+            eprintln!(
+                "fig3: {benchmark} S{bound}: bus={:.4}% map={:.5}%",
+                100.0 * points.last().unwrap().bus_rate,
+                100.0 * points.last().unwrap().map_rate,
+            );
+        }
+    }
+    points
+}
+
+/// Renders the two panels of the figure as tables.
+pub fn render(points: &[Fig3Point]) -> (Table, Table) {
+    let mut bus = Table::new("Figure 3(a). Bus violation rate vs slack bound (% per cycle).");
+    let mut map = Table::new("Figure 3(b). Cache-map violation rate vs slack bound (% per cycle).");
+    let mut headers = vec!["slack bound".to_string()];
+    headers.extend(Benchmark::ALL.iter().map(|b| b.name().to_string()));
+    bus.headers(headers.clone());
+    map.headers(headers);
+    for bound in BOUNDS {
+        let mut bus_row = vec![format!("S{bound}")];
+        let mut map_row = vec![format!("S{bound}")];
+        for benchmark in Benchmark::ALL {
+            let p = points
+                .iter()
+                .find(|p| p.benchmark == benchmark && p.bound == bound)
+                .expect("full sweep");
+            bus_row.push(format!("{:.4}", p.bus_rate * 100.0));
+            map_row.push(format!("{:.5}", p.map_rate * 100.0));
+        }
+        bus.row(bus_row);
+        map.row(map_row);
+    }
+    bus.note("deterministic engine; rates = violations / simulated cycles");
+    map.note("map violations are per-line reorderings of the global cache status map");
+    (bus, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_holds_at_small_scale() {
+        let scale = Scale {
+            commit: 60_000,
+            seed: 1,
+            cores: 8,
+        };
+        let mut points = Vec::new();
+        for bound in [1u64, 8, 100] {
+            let r = run_sequential(&scale, Benchmark::Fft, Scheme::BoundedSlack { bound });
+            points.push((
+                bound,
+                r.violations.rate(ViolationKind::Bus, r.global_cycles),
+                r.violations.rate(ViolationKind::Map, r.global_cycles),
+            ));
+        }
+        // S1 is violation-free; rates grow with the bound; bus >> map.
+        assert_eq!(points[0].1, 0.0);
+        assert!(points[1].1 > 0.0);
+        assert!(points[2].1 >= points[1].1);
+        assert!(points[2].1 > 5.0 * points[2].2, "bus must dominate map");
+    }
+
+    #[test]
+    fn render_produces_full_grid() {
+        let points: Vec<Fig3Point> = Benchmark::ALL
+            .iter()
+            .flat_map(|&benchmark| {
+                BOUNDS.iter().map(move |&bound| Fig3Point {
+                    benchmark,
+                    bound,
+                    bus_rate: 0.01,
+                    map_rate: 0.001,
+                })
+            })
+            .collect();
+        let (bus, map) = render(&points);
+        assert_eq!(bus.len(), BOUNDS.len());
+        assert_eq!(map.len(), BOUNDS.len());
+    }
+}

@@ -1,0 +1,161 @@
+//! Tables 3 and 4: checkpoint-interval violation statistics under the
+//! base adaptive scheme (0.01% target, 5% band).
+//!
+//! * Table 3 — fraction `F` of checkpoint intervals containing at least
+//!   one violation (grows with the interval; paper: Barnes highest, LU
+//!   lowest).
+//! * Table 4 — mean distance `Dr` from the start of a violating interval
+//!   to its first violation (grows sublinearly with the interval).
+//!
+//! Measured on the deterministic engine with checkpoint-only speculation
+//! (checkpoints taken, never rolled back), exactly the paper's
+//! instrumentation.
+
+use slacksim::scheme::Scheme;
+use slacksim::{Benchmark, EngineKind, SpeculationConfig};
+
+use crate::runner::{adaptive, sim};
+use crate::scale::Scale;
+use crate::table::Table;
+
+/// Checkpoint intervals, in simulated cycles (paper values).
+pub const INTERVALS: [u64; 3] = [10_000, 50_000, 100_000];
+
+/// Interval statistics for one benchmark at one interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntervalStats {
+    /// The benchmark measured.
+    pub benchmark: Benchmark,
+    /// The checkpoint interval in cycles.
+    pub interval: u64,
+    /// Fraction of intervals with at least one violation.
+    pub fraction_violating: f64,
+    /// Mean distance to the first violation in violating intervals
+    /// (simulated cycles).
+    pub first_distance: f64,
+    /// Intervals observed.
+    pub intervals_total: u64,
+}
+
+/// Measures one benchmark at one interval.
+pub fn interval_stats(scale: &Scale, benchmark: Benchmark, interval: u64) -> IntervalStats {
+    let mut s = sim(scale, benchmark);
+    s.scheme(Scheme::Adaptive(adaptive(0.01, 5.0)))
+        .engine(EngineKind::Sequential)
+        .speculation(SpeculationConfig::checkpoint_only(interval));
+    let r = s.run().expect("interval run");
+    let total = r.kernel.get("intervals_total");
+    let violating = r.kernel.get("intervals_violating");
+    IntervalStats {
+        benchmark,
+        interval,
+        fraction_violating: if total == 0 {
+            0.0
+        } else {
+            violating as f64 / total as f64
+        },
+        first_distance: r.kernel.get("mean_first_violation_distance_x1000") as f64 / 1000.0,
+        intervals_total: total,
+    }
+}
+
+/// Measures the full grid.
+pub fn measure(scale: &Scale) -> Vec<IntervalStats> {
+    let mut out = Vec::new();
+    for benchmark in Benchmark::ALL {
+        for interval in INTERVALS {
+            let s = interval_stats(scale, benchmark, interval);
+            eprintln!(
+                "table3/4: {benchmark} I={interval}: F={:.0}% Dr={:.1}k over {} intervals",
+                s.fraction_violating * 100.0,
+                s.first_distance / 1000.0,
+                s.intervals_total
+            );
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Renders Table 3 (fraction of violating intervals).
+pub fn render_table3(stats: &[IntervalStats]) -> Table {
+    let mut t = Table::new(
+        "Table 3. Fraction of checkpoint intervals that have at least one violation.",
+    );
+    t.headers(["", "10K", "50K", "100K"]);
+    for benchmark in Benchmark::ALL {
+        let mut row = vec![benchmark.name().to_string()];
+        for interval in INTERVALS {
+            let s = find(stats, benchmark, interval);
+            row.push(format!("{:.0}%", s.fraction_violating * 100.0));
+        }
+        t.row(row);
+    }
+    t.note("base scheme: adaptive slack, 0.01% target, 5% band (deterministic engine)");
+    t
+}
+
+/// Renders Table 4 (mean distance to the first violation).
+pub fn render_table4(stats: &[IntervalStats]) -> Table {
+    let mut t = Table::new("Table 4. Average distance of first violation within one interval.");
+    t.headers(["", "10K", "50K", "100K"]);
+    for benchmark in Benchmark::ALL {
+        let mut row = vec![benchmark.name().to_string()];
+        for interval in INTERVALS {
+            let s = find(stats, benchmark, interval);
+            row.push(format!("{:.1}k", s.first_distance / 1000.0));
+        }
+        t.row(row);
+    }
+    t.note("distance in simulated cycles from interval start to its first violation");
+    t
+}
+
+fn find(stats: &[IntervalStats], benchmark: Benchmark, interval: u64) -> &IntervalStats {
+    stats
+        .iter()
+        .find(|s| s.benchmark == benchmark && s.interval == interval)
+        .expect("full grid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_match_paper() {
+        assert_eq!(INTERVALS, [10_000, 50_000, 100_000]);
+    }
+
+    #[test]
+    fn stats_are_measurable_at_small_scale() {
+        let scale = Scale {
+            commit: 120_000,
+            seed: 1,
+            cores: 8,
+        };
+        let s = interval_stats(&scale, Benchmark::Fft, 2_000);
+        assert!(s.intervals_total > 3, "intervals: {}", s.intervals_total);
+        assert!((0.0..=1.0).contains(&s.fraction_violating));
+        assert!(s.first_distance >= 0.0);
+        assert!(s.first_distance < 2_000.0, "Dr bounded by the interval");
+    }
+
+    #[test]
+    fn render_produces_four_rows() {
+        let stats: Vec<IntervalStats> = Benchmark::ALL
+            .iter()
+            .flat_map(|&benchmark| {
+                INTERVALS.iter().map(move |&interval| IntervalStats {
+                    benchmark,
+                    interval,
+                    fraction_violating: 0.5,
+                    first_distance: 4_000.0,
+                    intervals_total: 10,
+                })
+            })
+            .collect();
+        assert_eq!(render_table3(&stats).len(), 4);
+        assert_eq!(render_table4(&stats).len(), 4);
+    }
+}

@@ -1,0 +1,29 @@
+//! # slacksim-bench — experiment harness
+//!
+//! Regenerates every figure and table of the paper's evaluation (plus the
+//! extension experiments listed in `DESIGN.md` §6). Each binary prints a
+//! plain-text table shaped like the paper's:
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `fig3_violations` | Figure 3(a)/(b): violation rates vs slack bound |
+//! | `fig4_adaptive` | Figure 4: sim time vs violation rate |
+//! | `table1_benchmarks` | Table 1: benchmark input sets |
+//! | `table2_sim_time` | Table 2: CC / SU / adaptive / checkpointing times |
+//! | `table3_interval_fraction` | Table 3: fraction of violating intervals |
+//! | `table4_first_violation` | Table 4: mean distance to first violation |
+//! | `table5_speculative_model` | Table 5: analytical speculative estimate |
+//! | `ext_speculative_measured` | E8: fully deployed rollback, measured |
+//! | `ext_quantum_vs_slack` | E10: quantum vs slack error modes |
+//! | `repro_all` | everything above, in order |
+//!
+//! All binaries accept `--commit N`, `--seed N`, `--cores N`, `--quick`
+//! and `--full` (see [`scale::Scale`]).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod runner;
+pub mod scale;
+pub mod table;

@@ -1,0 +1,208 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A titled, column-aligned text table with optional footnotes.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_bench::table::Table;
+///
+/// let mut t = Table::new("Table 1. Benchmarks.");
+/// t.headers(["Benchmark", "Input Set"]);
+/// t.row(["FFT", "64K points"]);
+/// let text = t.to_string();
+/// assert!(text.contains("FFT"));
+/// assert!(text.contains("64K points"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Table {
+            title: title.into(),
+            ..Table::default()
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn headers<I, S>(&mut self, headers: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one row.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends a footnote printed under the table.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as CSV (headers + rows; title and notes become
+    /// `#`-prefixed comment lines), for plotting outside the harness.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use slacksim_bench::table::Table;
+    ///
+    /// let mut t = Table::new("demo");
+    /// t.headers(["a", "b"]).row(["1", "x,y"]);
+    /// let csv = t.to_csv();
+    /// assert!(csv.contains("a,b"));
+    /// assert!(csv.contains("\"x,y\""));
+    /// ```
+    pub fn to_csv(&self) -> String {
+        fn field(cell: &str) -> String {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        }
+        let mut out = format!("# {}\n", self.title);
+        if !self.headers.is_empty() {
+            let cells: Vec<String> = self.headers.iter().map(|h| field(h)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|c| field(c)).collect();
+            out.push_str(&cells.join(","));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("# {note}\n"));
+        }
+        out
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut w = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let line_len = w.iter().sum::<usize>() + 3 * w.len().saturating_sub(1);
+        writeln!(f, "{}", self.title)?;
+        writeln!(f, "{}", "=".repeat(self.title.chars().count().max(line_len)))?;
+        if !self.headers.is_empty() {
+            let cells: Vec<String> = self
+                .headers
+                .iter()
+                .enumerate()
+                .map(|(i, h)| format!("{:>width$}", h, width = w[i]))
+                .collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+            writeln!(f, "{}", "-".repeat(line_len))?;
+        }
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  * {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T");
+        t.headers(["a", "longheader"]);
+        t.row(["1", "2"]);
+        t.row(["333333", "4"]);
+        let out = t.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        // Header and both rows share the same separator positions.
+        let sep_positions: Vec<usize> = lines
+            .iter()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.find('|').unwrap())
+            .collect();
+        assert_eq!(sep_positions.len(), 3);
+        assert!(sep_positions.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn notes_are_rendered() {
+        let mut t = Table::new("T");
+        t.headers(["x"]).row(["1"]).note("hello note");
+        assert!(t.to_string().contains("* hello note"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_and_structures() {
+        let mut t = Table::new("T");
+        t.headers(["col a", "col,b"]).row(["1", "va\"l"]).note("n");
+        let csv = t.to_csv();
+        assert!(csv.starts_with("# T\n"));
+        assert!(csv.contains("col a,\"col,b\""));
+        assert!(csv.contains("\"va\"\"l\""));
+        assert!(csv.ends_with("# n\n"));
+    }
+
+    #[test]
+    fn empty_table_renders_title_only() {
+        let t = Table::new("Just a title");
+        assert!(t.to_string().contains("Just a title"));
+        assert!(t.is_empty());
+    }
+}

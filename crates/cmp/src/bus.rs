@@ -1,0 +1,296 @@
+//! The split request/response snooping bus.
+//!
+//! Requests are granted in the order the manager services them; the bus is
+//! the single most contended simulation resource and carries a single
+//! monitoring variable — the source of *bus violations* (simulation state
+//! violations, paper §3). Because a transaction occupies the request bus
+//! for one cycle, conflicts can arise within one cycle of latency, which
+//! is what forces the critical latency of an accurate quantum simulation
+//! down to a single clock (paper §1).
+//!
+//! Both buses are modelled as slot-reservation resources: a transaction
+//! occupies the first free slot at or after its request time. A single
+//! "free-from" pointer would impose head-of-line blocking (a 100-cycle
+//! memory reply would delay an unrelated earlier-ready transfer), which
+//! the target's split-transaction bus does not have.
+
+use std::collections::BTreeSet;
+
+use slacksim_core::time::Cycle;
+use slacksim_core::violation::TimestampMonitor;
+
+/// Reserved-slot calendar for one bus, with each reservation occupying
+/// `occupancy` consecutive cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SlotCalendar {
+    occupancy: u64,
+    reserved: BTreeSet<u64>,
+    horizon: u64,
+}
+
+/// Reservations further than this many cycles in the past of the newest
+/// reservation are pruned; any request that old would be a (already
+/// counted) violating straggler and may treat those slots as free.
+const PRUNE_WINDOW: u64 = 1 << 14;
+
+impl SlotCalendar {
+    fn new(occupancy: u64) -> Self {
+        assert!(occupancy >= 1, "bus occupancy must be at least 1");
+        SlotCalendar {
+            occupancy,
+            reserved: BTreeSet::new(),
+            horizon: 0,
+        }
+    }
+
+    /// Reserves and returns the first slot start `>= from` whose
+    /// `occupancy` cycles are all free.
+    fn reserve(&mut self, from: u64) -> u64 {
+        let c = self.occupancy;
+        let mut slot = from;
+        loop {
+            // Any reservation r with r + c > slot and r < slot + c overlaps.
+            let conflict = self
+                .reserved
+                .range(slot.saturating_sub(c - 1)..slot + c)
+                .next_back()
+                .copied();
+            match conflict {
+                Some(r) => slot = r + c,
+                None => break,
+            }
+        }
+        self.reserved.insert(slot);
+        self.horizon = self.horizon.max(slot);
+        if self.reserved.len() > 4096 {
+            let cutoff = self.horizon.saturating_sub(PRUNE_WINDOW);
+            self.reserved = self.reserved.split_off(&cutoff);
+        }
+        slot
+    }
+}
+
+/// Result of arbitrating one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusGrant {
+    /// Cycle at which the request owns the request bus.
+    pub grant: Cycle,
+    /// Whether the request arrived out of timestamp order (bus violation).
+    pub violation: bool,
+    /// Whether the request had to wait for another transaction
+    /// (bus conflict).
+    pub conflict: bool,
+}
+
+/// Split-transaction bus timing state.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_cmp::bus::Bus;
+/// use slacksim_core::time::Cycle;
+///
+/// let mut bus = Bus::new(1, 1);
+/// let a = bus.arbitrate(Cycle::new(10));
+/// let b = bus.arbitrate(Cycle::new(10)); // same-cycle conflict
+/// assert_eq!(a.grant, Cycle::new(10));
+/// assert_eq!(b.grant, Cycle::new(11));
+/// assert!(b.conflict && !b.violation);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus {
+    request: SlotCalendar,
+    response: SlotCalendar,
+    monitor: TimestampMonitor,
+    transactions: u64,
+    conflicts: u64,
+    violations: u64,
+    busy_cycles: u64,
+}
+
+impl Bus {
+    /// Creates a bus with the given per-transaction occupancies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either occupancy is 0.
+    pub fn new(req_bus_cycles: u64, resp_bus_cycles: u64) -> Self {
+        Bus {
+            request: SlotCalendar::new(req_bus_cycles),
+            response: SlotCalendar::new(resp_bus_cycles),
+            monitor: TimestampMonitor::new(),
+            transactions: 0,
+            conflicts: 0,
+            violations: 0,
+            busy_cycles: 0,
+        }
+    }
+
+    /// Arbitrates the request bus for a transaction stamped `ts`,
+    /// returning the grant time and the violation/conflict verdicts.
+    pub fn arbitrate(&mut self, ts: Cycle) -> BusGrant {
+        self.transactions += 1;
+        let violation = self.monitor.observe(ts);
+        if violation {
+            self.violations += 1;
+        }
+        let slot = self.request.reserve(ts.as_u64());
+        let conflict = slot != ts.as_u64();
+        if conflict {
+            self.conflicts += 1;
+        }
+        self.busy_cycles += self.request.occupancy;
+        BusGrant {
+            grant: Cycle::new(slot),
+            violation,
+            conflict,
+        }
+    }
+
+    /// Schedules a data transfer on the response bus once the data is
+    /// ready; returns the cycle the transfer completes at the requester.
+    pub fn respond(&mut self, data_ready: Cycle) -> Cycle {
+        let slot = self.response.reserve(data_ready.as_u64());
+        Cycle::new(slot + self.response.occupancy)
+    }
+
+    /// Transactions arbitrated so far.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+
+    /// Requests that found their slot taken.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Out-of-order grants detected.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Total request-bus busy cycles (utilisation numerator).
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(t: u64) -> Cycle {
+        Cycle::new(t)
+    }
+
+    #[test]
+    fn in_order_requests_never_violate() {
+        let mut bus = Bus::new(1, 1);
+        for t in [1u64, 2, 5, 5, 9] {
+            assert!(!bus.arbitrate(ts(t)).violation);
+        }
+        assert_eq!(bus.violations(), 0);
+        assert_eq!(bus.transactions(), 5);
+    }
+
+    #[test]
+    fn straggler_is_a_violation_but_can_fill_old_slots() {
+        let mut bus = Bus::new(1, 1);
+        bus.arbitrate(ts(10));
+        let g = bus.arbitrate(ts(4));
+        assert!(g.violation);
+        assert_eq!(bus.violations(), 1);
+        // The straggler takes the free slot at its own timestamp — no
+        // head-of-line blocking behind the later grant.
+        assert_eq!(g.grant, ts(4));
+        assert!(!g.conflict);
+    }
+
+    #[test]
+    fn back_to_back_conflicts_serialise() {
+        let mut bus = Bus::new(1, 1);
+        let a = bus.arbitrate(ts(7));
+        let b = bus.arbitrate(ts(7));
+        let c = bus.arbitrate(ts(7));
+        assert_eq!(a.grant, ts(7));
+        assert_eq!(b.grant, ts(8));
+        assert_eq!(c.grant, ts(9));
+        assert_eq!(bus.conflicts(), 2);
+    }
+
+    #[test]
+    fn idle_gap_clears_conflicts() {
+        let mut bus = Bus::new(1, 1);
+        bus.arbitrate(ts(1));
+        let g = bus.arbitrate(ts(100));
+        assert!(!g.conflict);
+        assert_eq!(g.grant, ts(100));
+    }
+
+    #[test]
+    fn wider_occupancy_extends_conflicts() {
+        let mut bus = Bus::new(4, 1);
+        bus.arbitrate(ts(0));
+        let g = bus.arbitrate(ts(2));
+        assert!(g.conflict);
+        assert_eq!(g.grant, ts(4));
+    }
+
+    #[test]
+    fn gap_between_reservations_is_usable() {
+        let mut bus = Bus::new(1, 1);
+        bus.arbitrate(ts(5));
+        bus.arbitrate(ts(10));
+        // The hole at 6..10 serves a request stamped 7.
+        let g = bus.arbitrate(ts(7));
+        assert_eq!(g.grant, ts(7));
+        assert!(!g.conflict);
+    }
+
+    #[test]
+    fn response_bus_has_no_head_of_line_blocking() {
+        let mut bus = Bus::new(1, 1);
+        // A slow memory reply reserves cycle 110.
+        let slow = bus.respond(ts(110));
+        assert_eq!(slow, ts(111));
+        // A fast cache-to-cache reply ready at 30 is not stuck behind it.
+        let fast = bus.respond(ts(30));
+        assert_eq!(fast, ts(31));
+        // But a same-cycle transfer does conflict.
+        let third = bus.respond(ts(30));
+        assert_eq!(third, ts(32));
+    }
+
+    #[test]
+    fn response_occupancy_respected() {
+        let mut bus = Bus::new(1, 4);
+        assert_eq!(bus.respond(ts(0)), ts(4));
+        assert_eq!(bus.respond(ts(1)), ts(8));
+        assert_eq!(bus.respond(ts(100)), ts(104));
+    }
+
+    #[test]
+    fn busy_cycles_accumulate() {
+        let mut bus = Bus::new(1, 1);
+        bus.arbitrate(ts(0));
+        bus.arbitrate(ts(1));
+        assert_eq!(bus.busy_cycles(), 2);
+    }
+
+    #[test]
+    fn calendar_prunes_but_stays_correct_near_horizon() {
+        let mut bus = Bus::new(1, 1);
+        for t in 0..5000u64 {
+            bus.arbitrate(ts(t * 2));
+        }
+        // Recent slots remain reserved after pruning.
+        let g = bus.arbitrate(ts(9998));
+        assert_eq!(g.grant, ts(9999));
+    }
+
+    #[test]
+    #[should_panic(expected = "bus occupancy must be at least 1")]
+    fn zero_occupancy_rejected() {
+        let _ = Bus::new(0, 1);
+    }
+}

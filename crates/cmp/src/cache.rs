@@ -1,0 +1,417 @@
+//! Set-associative cache tag arrays with LRU replacement and per-line
+//! MESI state.
+//!
+//! The simulation is timing-only: caches track tags and coherence state,
+//! never data values (the synthetic workloads carry no architectural
+//! values, and slack-simulation accuracy is about *timing* of shared
+//! accesses — see `DESIGN.md` §4).
+
+use crate::mesi::MesiState;
+
+/// A cache-line address: the byte address shifted right by the line-size
+/// log2. All coherence structures (L1s, L2, bus, cache status map) operate
+/// on line addresses.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_cmp::cache::LineAddr;
+///
+/// let l = LineAddr::from_byte_addr(0x1234, 32);
+/// assert_eq!(l.raw(), 0x1234 / 32);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    pub const fn new(raw: u64) -> Self {
+        LineAddr(raw)
+    }
+
+    /// Maps a byte address onto its line, given the line size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two.
+    pub fn from_byte_addr(addr: u64, line_bytes: u64) -> Self {
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        LineAddr(addr >> line_bytes.trailing_zeros())
+    }
+
+    /// The raw line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line:0x{:x}", self.0)
+    }
+}
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1 configuration: 16 KB, 4-way, 32 B lines.
+    pub const fn l1() -> Self {
+        CacheConfig {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_bytes: 32,
+        }
+    }
+
+    /// The paper's shared L2 configuration: 256 KB, 8-way, 32 B lines.
+    pub const fn l2() -> Self {
+        CacheConfig {
+            size_bytes: 256 * 1024,
+            ways: 8,
+            line_bytes: 32,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero ways, non-power-of-two
+    /// line size, or capacity not divisible into sets).
+    pub fn sets(&self) -> usize {
+        assert!(self.ways >= 1, "cache must have at least one way");
+        assert!(
+            self.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let sets = self.size_bytes / (self.ways as u64 * self.line_bytes);
+        assert!(
+            sets >= 1 && sets.is_power_of_two(),
+            "set count must be a power of two, got {sets}"
+        );
+        sets as usize
+    }
+}
+
+/// One resident line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    tag: u64,
+    state: MesiState,
+    /// Smaller = more recently used.
+    lru: u32,
+}
+
+/// A set-associative, LRU, timing-only cache.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_cmp::cache::{Cache, CacheConfig, LineAddr};
+/// use slacksim_cmp::mesi::MesiState;
+///
+/// let mut c = Cache::new(CacheConfig::l1());
+/// let line = LineAddr::new(0x40);
+/// assert_eq!(c.probe(line), None); // miss
+/// c.fill(line, MesiState::Exclusive);
+/// assert_eq!(c.probe(line), Some(MesiState::Exclusive));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    set_mask: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.ways); sets],
+            set_mask: sets as u64 - 1,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.raw() & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag(&self, line: LineAddr) -> u64 {
+        line.raw() >> self.set_mask.count_ones()
+    }
+
+    /// Looks the line up, updating LRU and hit/miss statistics. Returns
+    /// the line's state if resident.
+    pub fn probe(&mut self, line: LineAddr) -> Option<MesiState> {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|w| w.tag == tag) {
+            let touched = ways[pos].lru;
+            for w in ways.iter_mut() {
+                if w.lru < touched {
+                    w.lru += 1;
+                }
+            }
+            ways[pos].lru = 0;
+            self.hits += 1;
+            Some(ways[pos].state)
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Looks the line up without touching LRU or statistics (snoops).
+    pub fn peek(&self, line: LineAddr) -> Option<MesiState> {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        self.sets[set].iter().find(|w| w.tag == tag).map(|w| w.state)
+    }
+
+    /// Changes the state of a resident line; no-op when absent. Returns
+    /// whether the line was resident.
+    pub fn set_state(&mut self, line: LineAddr, state: MesiState) -> bool {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == tag) {
+            w.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts a line in the given state, evicting the LRU way if the set
+    /// is full. Returns the evicted line and its state, if any.
+    ///
+    /// Filling a line that is already resident just updates its state.
+    pub fn fill(&mut self, line: LineAddr, state: MesiState) -> Option<(LineAddr, MesiState)> {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        let set_bits = self.set_mask.count_ones();
+        let ways_cap = self.cfg.ways;
+        let ways = &mut self.sets[set];
+
+        if let Some(pos) = ways.iter().position(|w| w.tag == tag) {
+            ways[pos].state = state;
+            let touched = ways[pos].lru;
+            for w in ways.iter_mut() {
+                if w.lru < touched {
+                    w.lru += 1;
+                }
+            }
+            ways[pos].lru = 0;
+            return None;
+        }
+
+        let victim = if ways.len() == ways_cap {
+            let pos = ways
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .expect("full set has ways");
+            let v = ways.swap_remove(pos);
+            let victim_line = LineAddr::new((v.tag << set_bits) | set as u64);
+            Some((victim_line, v.state))
+        } else {
+            None
+        };
+
+        for w in ways.iter_mut() {
+            w.lru += 1;
+        }
+        ways.push(Way { tag, state, lru: 0 });
+        victim
+    }
+
+    /// Removes a line, returning its state if it was resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<MesiState> {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|w| w.tag == tag) {
+            Some(ways.swap_remove(pos).state)
+        } else {
+            None
+        }
+    }
+
+    /// Number of resident lines.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Probe hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Probe misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 2 sets × 2 ways × 32 B lines = 128 B.
+        Cache::new(CacheConfig {
+            size_bytes: 128,
+            ways: 2,
+            line_bytes: 32,
+        })
+    }
+
+    /// A line that maps to set `set` with a distinct tag.
+    fn line(set: u64, tag: u64) -> LineAddr {
+        LineAddr::new((tag << 1) | set)
+    }
+
+    #[test]
+    fn byte_addr_mapping() {
+        assert_eq!(LineAddr::from_byte_addr(0, 32), LineAddr::new(0));
+        assert_eq!(LineAddr::from_byte_addr(31, 32), LineAddr::new(0));
+        assert_eq!(LineAddr::from_byte_addr(32, 32), LineAddr::new(1));
+        assert_eq!(LineAddr::from_byte_addr(0x1000, 64), LineAddr::new(0x40));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_line_size_rejected() {
+        let _ = LineAddr::from_byte_addr(0, 48);
+    }
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::l1().sets(), 128);
+        assert_eq!(CacheConfig::l2().sets(), 1024);
+    }
+
+    #[test]
+    fn probe_miss_then_fill_then_hit() {
+        let mut c = small();
+        let l = line(0, 1);
+        assert_eq!(c.probe(l), None);
+        assert!(c.fill(l, MesiState::Shared).is_none());
+        assert_eq!(c.probe(l), Some(MesiState::Shared));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        let a = line(0, 1);
+        let b = line(0, 2);
+        let d = line(0, 3);
+        c.fill(a, MesiState::Exclusive);
+        c.fill(b, MesiState::Exclusive);
+        // Touch `a` so `b` becomes LRU.
+        assert!(c.probe(a).is_some());
+        let evicted = c.fill(d, MesiState::Exclusive);
+        assert_eq!(evicted, Some((b, MesiState::Exclusive)));
+        assert!(c.peek(a).is_some());
+        assert!(c.peek(d).is_some());
+        assert!(c.peek(b).is_none());
+    }
+
+    #[test]
+    fn fill_existing_updates_state_without_eviction() {
+        let mut c = small();
+        let l = line(1, 7);
+        c.fill(l, MesiState::Shared);
+        assert!(c.fill(l, MesiState::Modified).is_none());
+        assert_eq!(c.peek(l), Some(MesiState::Modified));
+        assert_eq!(c.resident(), 1);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = small();
+        c.fill(line(0, 1), MesiState::Exclusive);
+        c.fill(line(0, 2), MesiState::Exclusive);
+        // Filling set 1 must not evict from set 0.
+        assert!(c.fill(line(1, 1), MesiState::Exclusive).is_none());
+        assert_eq!(c.resident(), 3);
+    }
+
+    #[test]
+    fn set_state_and_invalidate() {
+        let mut c = small();
+        let l = line(0, 4);
+        assert!(!c.set_state(l, MesiState::Modified));
+        c.fill(l, MesiState::Exclusive);
+        assert!(c.set_state(l, MesiState::Modified));
+        assert_eq!(c.invalidate(l), Some(MesiState::Modified));
+        assert_eq!(c.invalidate(l), None);
+        assert_eq!(c.resident(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_count_stats() {
+        let mut c = small();
+        let l = line(0, 1);
+        c.fill(l, MesiState::Shared);
+        let (h, m) = (c.hits(), c.misses());
+        let _ = c.peek(l);
+        let _ = c.peek(line(0, 9));
+        assert_eq!((c.hits(), c.misses()), (h, m));
+    }
+
+    #[test]
+    fn victim_line_reconstruction_roundtrip() {
+        // The evicted LineAddr must map back to the same set/tag.
+        let mut c = small();
+        let a = line(1, 5);
+        let b = line(1, 6);
+        let d = line(1, 7);
+        c.fill(a, MesiState::Modified);
+        c.fill(b, MesiState::Shared);
+        c.probe(b);
+        let (victim, st) = c.fill(d, MesiState::Exclusive).expect("eviction");
+        assert_eq!(victim, a);
+        assert_eq!(st, MesiState::Modified);
+    }
+
+    #[test]
+    fn paper_l1_capacity() {
+        let mut c = Cache::new(CacheConfig::l1());
+        // 16 KB / 32 B = 512 lines fit without eviction when addresses are
+        // spread across all sets and ways.
+        for i in 0..512u64 {
+            assert!(c.fill(LineAddr::new(i), MesiState::Exclusive).is_none());
+        }
+        assert_eq!(c.resident(), 512);
+        assert!(c.fill(LineAddr::new(512), MesiState::Exclusive).is_some());
+    }
+}

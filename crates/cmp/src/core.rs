@@ -1,0 +1,980 @@
+//! The target core timing model: a 4-wide out-of-order core with a
+//! 64-entry instruction window, lock-up-free L1 I/D caches with MSHRs, and
+//! simulator-executed synchronisation — SlackSim's NetBurst-flavoured
+//! modification of SimpleScalar (paper §2).
+//!
+//! Each call to [`CmpCore::tick`] simulates exactly one target cycle:
+//!
+//! 1. apply due incoming events (replies, snoops, sync releases);
+//! 2. retire up to `issue_width` completed instructions in order;
+//! 3. issue up to `issue_width` new instructions: ALU ops complete after
+//!    their latency, loads/stores access the L1 and allocate MSHRs on
+//!    misses, branches may stall the front end, and barrier/lock ops drain
+//!    the window, notify the manager, and spin.
+
+use slacksim_core::engine::{CoreModel, TickCtx};
+use slacksim_core::stats::Counters;
+use slacksim_core::time::Cycle;
+
+use crate::cache::{Cache, LineAddr};
+use crate::config::{CmpConfig, CoreConfig};
+use crate::event::{MemEvent, ReqId};
+use crate::isa::{Instr, InstrStream, Op};
+use crate::mesi::{BusOp, MesiState};
+
+/// What the core is spinning on, if anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Wait {
+    Barrier(u32),
+    Lock(u32),
+    Ifetch(ReqId),
+}
+
+/// One in-flight instruction window entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct WinEntry {
+    id: u64,
+    /// Completion time; `None` while waiting on a memory reply.
+    done_at: Option<Cycle>,
+}
+
+/// One outstanding L1 miss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Mshr {
+    req: ReqId,
+    line: LineAddr,
+    op: BusOp,
+    ifetch: bool,
+    waiters: Vec<u64>,
+}
+
+/// The simulated target core (pipeline + L1 caches + workload stream).
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_cmp::config::CmpConfig;
+/// use slacksim_cmp::core::CmpCore;
+/// use slacksim_cmp::isa::{LoopStream, Op};
+///
+/// let cfg = CmpConfig::paper();
+/// let stream = Box::new(LoopStream::new(vec![Op::IntAlu, Op::Load { addr: 0x100 }]));
+/// let core = CmpCore::new(&cfg.core, stream);
+/// assert_eq!(slacksim_core::engine::CoreModel::committed(&core), 0);
+/// ```
+#[derive(Clone)]
+pub struct CmpCore {
+    cfg: CoreConfig,
+    stream: Box<dyn InstrStream>,
+    pending: Option<Instr>,
+    window: std::collections::VecDeque<WinEntry>,
+    mshrs: Vec<Mshr>,
+    l1i: Cache,
+    l1d: Cache,
+    next_entry_id: u64,
+    next_req: ReqId,
+    wait: Option<Wait>,
+    fetch_stall_until: Cycle,
+
+    // Statistics.
+    cycles: u64,
+    committed: u64,
+    loads: u64,
+    stores: u64,
+    branches: u64,
+    mispredicts: u64,
+    barriers: u64,
+    lock_acquires: u64,
+    lock_releases: u64,
+    l1d_hits: u64,
+    l1d_misses: u64,
+    l1d_miss_coalesced: u64,
+    l1i_hits: u64,
+    l1i_misses: u64,
+    writebacks: u64,
+    invalidations_received: u64,
+    downgrades_received: u64,
+    stall_window: u64,
+    stall_mshr: u64,
+    stall_sync: u64,
+    stall_fetch: u64,
+}
+
+impl std::fmt::Debug for CmpCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CmpCore")
+            .field("cycles", &self.cycles)
+            .field("committed", &self.committed)
+            .field("window", &self.window.len())
+            .field("mshrs", &self.mshrs.len())
+            .field("wait", &self.wait)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CmpCore {
+    /// Creates a core with empty caches positioned at the start of
+    /// `stream`.
+    pub fn new(cfg: &CoreConfig, stream: Box<dyn InstrStream>) -> Self {
+        CmpCore {
+            cfg: *cfg,
+            stream,
+            pending: None,
+            window: std::collections::VecDeque::with_capacity(cfg.window),
+            mshrs: Vec::with_capacity(cfg.mshrs),
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            next_entry_id: 0,
+            next_req: 0,
+            wait: None,
+            fetch_stall_until: Cycle::ZERO,
+            cycles: 0,
+            committed: 0,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            mispredicts: 0,
+            barriers: 0,
+            lock_acquires: 0,
+            lock_releases: 0,
+            l1d_hits: 0,
+            l1d_misses: 0,
+            l1d_miss_coalesced: 0,
+            l1i_hits: 0,
+            l1i_misses: 0,
+            writebacks: 0,
+            invalidations_received: 0,
+            downgrades_received: 0,
+            stall_window: 0,
+            stall_mshr: 0,
+            stall_sync: 0,
+            stall_fetch: 0,
+        }
+    }
+
+    /// Builds one core per target core of `cfg`, using `make_stream` to
+    /// produce each core's instruction stream.
+    pub fn build_cmp(
+        cfg: &CmpConfig,
+        mut make_stream: impl FnMut(usize) -> Box<dyn InstrStream>,
+    ) -> Vec<CmpCore> {
+        (0..cfg.cores)
+            .map(|i| CmpCore::new(&cfg.core, make_stream(i)))
+            .collect()
+    }
+
+    fn peek(&mut self) -> Instr {
+        if self.pending.is_none() {
+            self.pending = Some(self.stream.next_instr());
+        }
+        self.pending.expect("just filled")
+    }
+
+    fn consume(&mut self) {
+        self.pending = None;
+    }
+
+    fn alloc_req(&mut self) -> ReqId {
+        let r = self.next_req;
+        self.next_req = self.next_req.wrapping_add(1);
+        r
+    }
+
+    fn push_entry(&mut self, done_at: Option<Cycle>) -> u64 {
+        let id = self.next_entry_id;
+        self.next_entry_id += 1;
+        self.window.push_back(WinEntry { id, done_at });
+        id
+    }
+
+    fn mark_done(&mut self, entry_id: u64, at: Cycle) {
+        if let Some(e) = self.window.iter_mut().find(|e| e.id == entry_id) {
+            e.done_at = Some(at);
+        }
+    }
+
+    fn handle_event(&mut self, ev: MemEvent, now: Cycle, outbox: &mut Vec<MemEvent>) {
+        match ev {
+            MemEvent::Reply { req, line, grant } => {
+                let Some(pos) = self.mshrs.iter().position(|m| m.req == req) else {
+                    debug_assert!(false, "reply for unknown request {req}");
+                    return;
+                };
+                let mshr = self.mshrs.swap_remove(pos);
+                debug_assert_eq!(mshr.line, line, "reply line mismatch");
+                if mshr.ifetch {
+                    // I-lines are read-shared; victims are never dirty.
+                    self.l1i.fill(line, grant);
+                    if self.wait == Some(Wait::Ifetch(req)) {
+                        self.wait = None;
+                    }
+                } else {
+                    if let Some((victim, state)) = self.l1d.fill(line, grant) {
+                        if state.dirty() {
+                            self.writebacks += 1;
+                            outbox.push(MemEvent::Writeback { line: victim });
+                        }
+                    }
+                    for waiter in mshr.waiters {
+                        self.mark_done(waiter, now);
+                    }
+                }
+            }
+            MemEvent::Invalidate { line } => {
+                self.invalidations_received += 1;
+                self.l1d.invalidate(line);
+            }
+            MemEvent::Downgrade { line } => {
+                self.downgrades_received += 1;
+                self.l1d.set_state(line, MesiState::Shared);
+            }
+            MemEvent::BarrierRelease { id } => {
+                if self.wait == Some(Wait::Barrier(id)) {
+                    self.wait = None;
+                }
+            }
+            MemEvent::LockGranted { id } => {
+                if self.wait == Some(Wait::Lock(id)) {
+                    self.wait = None;
+                }
+            }
+            req @ (MemEvent::Request { .. }
+            | MemEvent::Writeback { .. }
+            | MemEvent::BarrierArrive { .. }
+            | MemEvent::LockAcquire { .. }
+            | MemEvent::LockRelease { .. }) => {
+                debug_assert!(false, "manager delivered a core-direction event: {req:?}");
+            }
+        }
+    }
+
+    /// Classifies whether a pending data MSHR for `line` can absorb a new
+    /// access that does (`need_ownership`) or does not need an M grant.
+    fn coalescable_mshr(&self, line: LineAddr, need_ownership: bool) -> CoalesceResult {
+        match self.mshrs.iter().find(|m| m.line == line && !m.ifetch) {
+            Some(m) if !need_ownership || matches!(m.op, BusOp::RdX | BusOp::Upgr) => {
+                CoalesceResult::Join
+            }
+            Some(_) => CoalesceResult::Conflict,
+            None => CoalesceResult::Absent,
+        }
+    }
+
+    fn issue(&mut self, now: Cycle, outbox: &mut Vec<MemEvent>) -> u32 {
+        let mut issued = 0u32;
+        let mut committed_now = 0u32;
+        let width = self.cfg.issue_width;
+        let line_bytes = self.cfg.l1d.line_bytes;
+        let iline_bytes = self.cfg.l1i.line_bytes;
+
+        while issued < width {
+            if self.window.len() >= self.cfg.window {
+                self.stall_window += 1;
+                break;
+            }
+            let instr = self.peek();
+
+            // Instruction fetch.
+            let iline = LineAddr::from_byte_addr(instr.pc, iline_bytes);
+            if self.l1i.peek(iline).is_none() {
+                self.l1i_misses += 1;
+                if self.mshrs.len() < self.cfg.mshrs {
+                    let req = self.alloc_req();
+                    self.mshrs.push(Mshr {
+                        req,
+                        line: iline,
+                        op: BusOp::Rd,
+                        ifetch: true,
+                        waiters: Vec::new(),
+                    });
+                    outbox.push(MemEvent::Request {
+                        op: BusOp::Rd,
+                        line: iline,
+                        req,
+                        ifetch: true,
+                    });
+                    self.wait = Some(Wait::Ifetch(req));
+                } else {
+                    self.stall_mshr += 1;
+                }
+                self.stall_fetch += 1;
+                break;
+            }
+            self.l1i_hits += 1;
+            self.l1i.probe(iline); // LRU touch
+
+            match instr.op {
+                Op::IntAlu => {
+                    let lat = self.cfg.int_latency;
+                    self.push_entry(Some(now + lat));
+                    self.consume();
+                    issued += 1;
+                }
+                Op::IntMul => {
+                    let lat = self.cfg.mul_latency;
+                    self.push_entry(Some(now + lat));
+                    self.consume();
+                    issued += 1;
+                }
+                Op::IntDiv => {
+                    let lat = self.cfg.div_latency;
+                    self.push_entry(Some(now + lat));
+                    self.consume();
+                    issued += 1;
+                }
+                Op::FpAlu => {
+                    let lat = self.cfg.fp_latency;
+                    self.push_entry(Some(now + lat));
+                    self.consume();
+                    issued += 1;
+                }
+                Op::FpMul => {
+                    let lat = self.cfg.fp_mul_latency;
+                    self.push_entry(Some(now + lat));
+                    self.consume();
+                    issued += 1;
+                }
+                Op::Branch { mispredict } => {
+                    self.branches += 1;
+                    let lat = self.cfg.int_latency;
+                    self.push_entry(Some(now + lat));
+                    self.consume();
+                    issued += 1;
+                    if mispredict {
+                        self.mispredicts += 1;
+                        self.fetch_stall_until = now + self.cfg.mispredict_penalty;
+                        break;
+                    }
+                }
+                Op::Load { addr } => {
+                    let line = LineAddr::from_byte_addr(addr, line_bytes);
+                    if self.l1d.peek(line).is_some() {
+                        self.l1d_hits += 1;
+                        self.l1d.probe(line);
+                        let lat = self.cfg.l1_hit_latency;
+                        self.push_entry(Some(now + lat));
+                        self.loads += 1;
+                        self.consume();
+                        issued += 1;
+                    } else {
+                        match self.coalescable_mshr(line, false) {
+                            CoalesceResult::Join => {
+                                self.l1d_miss_coalesced += 1;
+                                self.loads += 1;
+                                let id = self.push_entry(None);
+                                self.mshrs
+                                    .iter_mut()
+                                    .find(|m| m.line == line && !m.ifetch)
+                                    .expect("mshr just found")
+                                    .waiters
+                                    .push(id);
+                                self.consume();
+                                issued += 1;
+                            }
+                            CoalesceResult::Conflict => unreachable!("loads join any data MSHR"),
+                            CoalesceResult::Absent => {
+                                if self.mshrs.len() < self.cfg.mshrs {
+                                    self.l1d_misses += 1;
+                                    self.loads += 1;
+                                    let req = self.alloc_req();
+                                    let id = self.push_entry(None);
+                                    self.mshrs.push(Mshr {
+                                        req,
+                                        line,
+                                        op: BusOp::Rd,
+                                        ifetch: false,
+                                        waiters: vec![id],
+                                    });
+                                    outbox.push(MemEvent::Request {
+                                        op: BusOp::Rd,
+                                        line,
+                                        req,
+                                        ifetch: false,
+                                    });
+                                    self.consume();
+                                    issued += 1;
+                                } else {
+                                    self.stall_mshr += 1;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::Store { addr } => {
+                    let line = LineAddr::from_byte_addr(addr, line_bytes);
+                    match self.l1d.peek(line) {
+                        Some(st) if st.writable() => {
+                            self.l1d_hits += 1;
+                            self.l1d.probe(line);
+                            self.l1d.set_state(line, MesiState::Modified);
+                            let lat = self.cfg.l1_hit_latency;
+                            self.push_entry(Some(now + lat));
+                            self.stores += 1;
+                            self.consume();
+                            issued += 1;
+                        }
+                        resident => {
+                            // Shared (upgrade) or absent (read-for-ownership).
+                            let op = if resident.is_some() {
+                                BusOp::Upgr
+                            } else {
+                                BusOp::RdX
+                            };
+                            match self.coalescable_mshr(line, true) {
+                                CoalesceResult::Join => {
+                                    self.l1d_miss_coalesced += 1;
+                                    self.stores += 1;
+                                    let id = self.push_entry(None);
+                                    self.mshrs
+                                        .iter_mut()
+                                        .find(|m| m.line == line && !m.ifetch)
+                                        .expect("mshr just found")
+                                        .waiters
+                                        .push(id);
+                                    self.consume();
+                                    issued += 1;
+                                }
+                                CoalesceResult::Conflict => {
+                                    // A read miss is in flight; the store must
+                                    // wait for it to resolve before upgrading.
+                                    self.stall_mshr += 1;
+                                    break;
+                                }
+                                CoalesceResult::Absent => {
+                                    if self.mshrs.len() < self.cfg.mshrs {
+                                        self.l1d_misses += 1;
+                                        self.stores += 1;
+                                        let req = self.alloc_req();
+                                        let id = self.push_entry(None);
+                                        self.mshrs.push(Mshr {
+                                            req,
+                                            line,
+                                            op,
+                                            ifetch: false,
+                                            waiters: vec![id],
+                                        });
+                                        outbox.push(MemEvent::Request {
+                                            op,
+                                            line,
+                                            req,
+                                            ifetch: false,
+                                        });
+                                        self.consume();
+                                        issued += 1;
+                                    } else {
+                                        self.stall_mshr += 1;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                Op::Barrier { id } => {
+                    if !self.window.is_empty() {
+                        break; // drain before synchronising
+                    }
+                    self.barriers += 1;
+                    self.committed += 1;
+                    committed_now += 1;
+                    outbox.push(MemEvent::BarrierArrive { id });
+                    self.wait = Some(Wait::Barrier(id));
+                    self.consume();
+                    break;
+                }
+                Op::LockAcquire { id } => {
+                    if !self.window.is_empty() {
+                        break;
+                    }
+                    self.lock_acquires += 1;
+                    self.committed += 1;
+                    committed_now += 1;
+                    outbox.push(MemEvent::LockAcquire { id });
+                    self.wait = Some(Wait::Lock(id));
+                    self.consume();
+                    break;
+                }
+                Op::LockRelease { id } => {
+                    self.lock_releases += 1;
+                    self.committed += 1;
+                    committed_now += 1;
+                    outbox.push(MemEvent::LockRelease { id });
+                    self.consume();
+                    issued += 1;
+                }
+            }
+        }
+        committed_now
+    }
+}
+
+/// Outcome of looking for an MSHR to coalesce into.
+enum CoalesceResult {
+    /// A compatible MSHR exists; callers re-find and join it.
+    Join,
+    /// An MSHR for the line exists but its grant is too weak.
+    Conflict,
+    /// No MSHR covers the line.
+    Absent,
+}
+
+impl CoreModel for CmpCore {
+    type Event = MemEvent;
+
+    fn tick(&mut self, ctx: &mut TickCtx<'_, MemEvent>) -> u32 {
+        let now = ctx.now();
+        self.cycles += 1;
+        let mut outbox: Vec<MemEvent> = Vec::new();
+
+        // 1. Apply due events.
+        while let Some(ev) = ctx.pop_event() {
+            self.handle_event(ev.payload, now, &mut outbox);
+        }
+
+        // 2. Retire in order.
+        let mut committed_now = 0u32;
+        while committed_now < self.cfg.issue_width {
+            match self.window.front() {
+                Some(e) if e.done_at.is_some_and(|d| d <= now) => {
+                    self.window.pop_front();
+                    self.committed += 1;
+                    committed_now += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // 3. Issue.
+        if self.wait.is_some() {
+            self.stall_sync += 1;
+        } else if self.fetch_stall_until > now {
+            self.stall_fetch += 1;
+        } else {
+            committed_now += self.issue(now, &mut outbox);
+        }
+
+        for ev in outbox {
+            ctx.emit(ev);
+        }
+        committed_now
+    }
+
+    fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set("cycles", self.cycles);
+        c.set("committed", self.committed);
+        c.set("loads", self.loads);
+        c.set("stores", self.stores);
+        c.set("branches", self.branches);
+        c.set("mispredicts", self.mispredicts);
+        c.set("barriers", self.barriers);
+        c.set("lock_acquires", self.lock_acquires);
+        c.set("lock_releases", self.lock_releases);
+        c.set("l1d_hits", self.l1d_hits);
+        c.set("l1d_misses", self.l1d_misses);
+        c.set("l1d_miss_coalesced", self.l1d_miss_coalesced);
+        c.set("l1i_hits", self.l1i_hits);
+        c.set("l1i_misses", self.l1i_misses);
+        c.set("writebacks", self.writebacks);
+        c.set("invalidations_received", self.invalidations_received);
+        c.set("downgrades_received", self.downgrades_received);
+        c.set("stall_window", self.stall_window);
+        c.set("stall_mshr", self.stall_mshr);
+        c.set("stall_sync", self.stall_sync);
+        c.set("stall_fetch", self.stall_fetch);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::LoopStream;
+    use slacksim_core::event::{Inbox, Timestamped};
+
+    fn core_with(ops: Vec<Op>) -> CmpCore {
+        CmpCore::new(&CoreConfig::default(), Box::new(LoopStream::new(ops)))
+    }
+
+    /// Drives one tick, returning (committed, emitted events).
+    fn tick_at(core: &mut CmpCore, inbox: &mut Inbox<MemEvent>, t: u64) -> (u32, Vec<MemEvent>) {
+        let mut out = Vec::new();
+        let mut ctx = TickCtx::new(Cycle::new(t), inbox, &mut out);
+        let c = core.tick(&mut ctx);
+        (c, out.into_iter().map(|e| e.payload).collect())
+    }
+
+    /// Runs `n` ticks with no incoming events.
+    fn run_ticks(core: &mut CmpCore, n: u64) -> Vec<MemEvent> {
+        let mut inbox = Inbox::new();
+        let mut all = Vec::new();
+        for t in 0..n {
+            let (_, evs) = tick_at(core, &mut inbox, t);
+            all.extend(evs);
+        }
+        all
+    }
+
+    #[test]
+    fn first_tick_misses_the_icache() {
+        let mut core = core_with(vec![Op::IntAlu]);
+        let evs = run_ticks(&mut core, 1);
+        assert_eq!(evs.len(), 1);
+        assert!(matches!(
+            evs[0],
+            MemEvent::Request {
+                op: BusOp::Rd,
+                ifetch: true,
+                ..
+            }
+        ));
+        assert_eq!(core.committed, 0);
+    }
+
+    /// Satisfies the initial I-fetch miss so issue can begin.
+    fn prime_icache(core: &mut CmpCore, inbox: &mut Inbox<MemEvent>) {
+        let (_, evs) = tick_at(core, inbox, 0);
+        let MemEvent::Request { req, line, .. } = evs[0] else {
+            panic!("expected ifetch request");
+        };
+        inbox.deliver(Timestamped::new(
+            Cycle::new(1),
+            MemEvent::Reply {
+                req,
+                line,
+                grant: MesiState::Shared,
+            },
+        ));
+    }
+
+    #[test]
+    fn alu_stream_reaches_ipc_limit() {
+        let mut core = core_with(vec![Op::IntAlu]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        for t in 1..200 {
+            tick_at(&mut core, &mut inbox, t);
+        }
+        // 4-wide issue of 1-cycle ops: IPC must approach 4.
+        let ipc = core.committed as f64 / 200.0;
+        assert!(ipc > 3.0, "IPC {ipc} too low for an ALU-only stream");
+    }
+
+    #[test]
+    fn load_miss_allocates_mshr_and_requests_rd() {
+        let mut core = core_with(vec![Op::Load { addr: 0x8000 }, Op::IntAlu]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        let (_, evs) = tick_at(&mut core, &mut inbox, 1);
+        let rd: Vec<_> = evs
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    MemEvent::Request {
+                        op: BusOp::Rd,
+                        ifetch: false,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(rd.len(), 1, "one Rd for the load miss, got {evs:?}");
+        assert_eq!(core.l1d_misses, 1);
+    }
+
+    #[test]
+    fn load_reply_completes_and_line_hits_afterwards() {
+        let mut core = core_with(vec![Op::Load { addr: 0x8000 }]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        let (_, evs) = tick_at(&mut core, &mut inbox, 1);
+        let (req, line) = evs
+            .iter()
+            .find_map(|e| match e {
+                MemEvent::Request {
+                    req,
+                    line,
+                    ifetch: false,
+                    ..
+                } => Some((*req, *line)),
+                _ => None,
+            })
+            .expect("load request");
+        inbox.deliver(Timestamped::new(
+            Cycle::new(10),
+            MemEvent::Reply {
+                req,
+                line,
+                grant: MesiState::Exclusive,
+            },
+        ));
+        let before = core.committed;
+        for t in 2..40 {
+            tick_at(&mut core, &mut inbox, t);
+        }
+        assert!(core.committed > before);
+        // Subsequent loads to the same line hit.
+        assert!(core.l1d_hits > 0);
+    }
+
+    #[test]
+    fn store_to_shared_line_upgrades() {
+        let mut core = core_with(vec![Op::Store { addr: 0x8000 }]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        // Pre-install the line in S.
+        core.l1d
+            .fill(LineAddr::from_byte_addr(0x8000, 32), MesiState::Shared);
+        let (_, evs) = tick_at(&mut core, &mut inbox, 1);
+        assert!(
+            evs.iter().any(|e| matches!(
+                e,
+                MemEvent::Request {
+                    op: BusOp::Upgr,
+                    ..
+                }
+            )),
+            "store to S must issue BusUpgr, got {evs:?}"
+        );
+    }
+
+    #[test]
+    fn store_to_exclusive_line_hits_silently() {
+        let mut core = core_with(vec![Op::Store { addr: 0x8000 }, Op::IntAlu]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        let line = LineAddr::from_byte_addr(0x8000, 32);
+        core.l1d.fill(line, MesiState::Exclusive);
+        let (_, evs) = tick_at(&mut core, &mut inbox, 1);
+        assert!(
+            !evs.iter().any(|e| e.uses_bus()),
+            "store to E needs no bus transaction"
+        );
+        assert_eq!(core.l1d.peek(line), Some(MesiState::Modified));
+    }
+
+    #[test]
+    fn invalidate_drops_the_line() {
+        let mut core = core_with(vec![Op::IntAlu]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        let line = LineAddr::new(0x999);
+        core.l1d.fill(line, MesiState::Modified);
+        inbox.deliver(Timestamped::new(
+            Cycle::new(1),
+            MemEvent::Invalidate { line },
+        ));
+        tick_at(&mut core, &mut inbox, 1);
+        assert_eq!(core.l1d.peek(line), None);
+        assert_eq!(core.invalidations_received, 1);
+    }
+
+    #[test]
+    fn downgrade_demotes_to_shared() {
+        let mut core = core_with(vec![Op::IntAlu]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        let line = LineAddr::new(0x999);
+        core.l1d.fill(line, MesiState::Modified);
+        inbox.deliver(Timestamped::new(
+            Cycle::new(1),
+            MemEvent::Downgrade { line },
+        ));
+        tick_at(&mut core, &mut inbox, 1);
+        assert_eq!(core.l1d.peek(line), Some(MesiState::Shared));
+    }
+
+    #[test]
+    fn barrier_drains_window_then_spins() {
+        let mut core = core_with(vec![Op::IntAlu, Op::Barrier { id: 0 }, Op::IntAlu]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        let mut arrive = None;
+        for t in 1..20 {
+            let (_, evs) = tick_at(&mut core, &mut inbox, t);
+            if let Some(MemEvent::BarrierArrive { id }) =
+                evs.iter().find(|e| matches!(e, MemEvent::BarrierArrive { .. }))
+            {
+                arrive = Some((*id, t));
+                break;
+            }
+        }
+        let (id, t_arrive) = arrive.expect("barrier must be announced");
+        // Spinning: no further commits.
+        let before = core.committed;
+        for t in t_arrive + 1..t_arrive + 10 {
+            tick_at(&mut core, &mut inbox, t);
+        }
+        assert_eq!(core.committed, before);
+        assert!(core.stall_sync > 0);
+        // Release resumes issue.
+        inbox.deliver(Timestamped::new(
+            Cycle::new(t_arrive + 10),
+            MemEvent::BarrierRelease { id },
+        ));
+        for t in t_arrive + 10..t_arrive + 30 {
+            tick_at(&mut core, &mut inbox, t);
+        }
+        assert!(core.committed > before);
+    }
+
+    #[test]
+    fn lock_spins_until_granted() {
+        let mut core = core_with(vec![
+            Op::LockAcquire { id: 5 },
+            Op::IntAlu,
+            Op::LockRelease { id: 5 },
+        ]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        let (_, evs) = tick_at(&mut core, &mut inbox, 1);
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, MemEvent::LockAcquire { id: 5 })));
+        let before = core.committed;
+        for t in 2..10 {
+            tick_at(&mut core, &mut inbox, t);
+        }
+        assert_eq!(core.committed, before, "spinning while lock is pending");
+        inbox.deliver(Timestamped::new(
+            Cycle::new(10),
+            MemEvent::LockGranted { id: 5 },
+        ));
+        let mut released = false;
+        for t in 10..40 {
+            let (_, evs) = tick_at(&mut core, &mut inbox, t);
+            released |= evs
+                .iter()
+                .any(|e| matches!(e, MemEvent::LockRelease { id: 5 }));
+        }
+        assert!(released, "release must follow the grant");
+    }
+
+    #[test]
+    fn mispredict_stalls_the_front_end() {
+        let mut core = core_with(vec![Op::Branch { mispredict: true }, Op::IntAlu]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        for t in 1..100 {
+            tick_at(&mut core, &mut inbox, t);
+        }
+        assert!(core.mispredicts > 0);
+        assert!(core.stall_fetch > 0);
+        // Every other instruction mispredicts: IPC far below width.
+        assert!((core.committed as f64) < 100.0);
+    }
+
+    #[test]
+    fn window_bounds_inflight_instructions() {
+        // Loads to distinct lines that never get replies fill the MSHRs
+        // and then stall; the window never exceeds its capacity.
+        let ops: Vec<Op> = (0..128)
+            .map(|i| Op::Load {
+                addr: 0x10_000 + i * 4096,
+            })
+            .collect();
+        let mut core = core_with(ops);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        for t in 1..200 {
+            tick_at(&mut core, &mut inbox, t);
+            assert!(core.window.len() <= core.cfg.window);
+            assert!(core.mshrs.len() <= core.cfg.mshrs);
+        }
+        assert!(core.stall_mshr > 0);
+    }
+
+    #[test]
+    fn load_coalesces_into_pending_miss() {
+        // Body sized to the 4-wide issue so exactly one loop iteration
+        // issues in the first cycle.
+        let mut core = core_with(vec![
+            Op::Load { addr: 0x8000 },
+            Op::Load { addr: 0x8004 }, // same 32 B line
+            Op::IntAlu,
+            Op::IntAlu,
+        ]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        let (_, evs) = tick_at(&mut core, &mut inbox, 1);
+        let data_reqs = evs
+            .iter()
+            .filter(|e| matches!(e, MemEvent::Request { ifetch: false, .. }))
+            .count();
+        assert_eq!(data_reqs, 1, "both loads share one MSHR: {evs:?}");
+        assert_eq!(core.mshrs.len(), 1);
+        assert_eq!(core.mshrs[0].waiters.len(), 2);
+    }
+
+    #[test]
+    fn dirty_eviction_emits_writeback() {
+        let mut core = core_with(vec![Op::IntAlu]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        // Fill one L1 set (4 ways, 128 sets): same set = line % 128.
+        for k in 0..4u64 {
+            core.l1d.fill(LineAddr::new(k * 128), MesiState::Modified);
+        }
+        // A reply that fills the same set evicts a dirty victim.
+        core.mshrs.push(Mshr {
+            req: 77,
+            line: LineAddr::new(4 * 128),
+            op: BusOp::Rd,
+            ifetch: false,
+            waiters: Vec::new(),
+        });
+        inbox.deliver(Timestamped::new(
+            Cycle::new(1),
+            MemEvent::Reply {
+                req: 77,
+                line: LineAddr::new(4 * 128),
+                grant: MesiState::Exclusive,
+            },
+        ));
+        let (_, evs) = tick_at(&mut core, &mut inbox, 1);
+        assert!(
+            evs.iter().any(|e| matches!(e, MemEvent::Writeback { .. })),
+            "dirty victim must be written back: {evs:?}"
+        );
+        assert_eq!(core.writebacks, 1);
+    }
+
+    #[test]
+    fn counters_expose_all_statistics() {
+        let mut core = core_with(vec![Op::IntAlu]);
+        run_ticks(&mut core, 5);
+        let c = CoreModel::counters(&core);
+        assert_eq!(c.get("cycles"), 5);
+        assert!(c.get("l1i_misses") > 0);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut core = core_with(vec![Op::IntAlu]);
+        let mut snap = core.clone();
+        // Drive both copies through identical event sequences.
+        let mut inbox_a = Inbox::new();
+        prime_icache(&mut core, &mut inbox_a);
+        for t in 1..50 {
+            tick_at(&mut core, &mut inbox_a, t);
+        }
+        assert_eq!(snap.committed, 0, "the clone did not advance");
+        let mut inbox_b = Inbox::new();
+        prime_icache(&mut snap, &mut inbox_b);
+        for t in 1..50 {
+            tick_at(&mut snap, &mut inbox_b, t);
+        }
+        assert_eq!(snap.committed, core.committed);
+        assert_eq!(
+            CoreModel::counters(&snap),
+            CoreModel::counters(&core),
+            "identical histories must give identical statistics"
+        );
+    }
+}

@@ -1,0 +1,325 @@
+//! The global cache-status map maintained by the simulation manager.
+//!
+//! The manager tracks, per line, which cores hold copies and which (if
+//! any) owns the line in M/E — a duplicate-tag view of all L1s that the
+//! snooping protocol consults to source data and direct invalidations.
+//! Every transition carries the requesting event's timestamp through a
+//! per-entry monitoring variable: a transition stamped earlier than one
+//! already applied to the same entry is a **map violation** (a simulated
+//! system state violation, paper §3).
+//!
+//! Because E lines may silently become M inside an L1, the map treats the
+//! M/E owner conservatively as a potential data supplier.
+
+use std::collections::HashMap;
+
+use slacksim_core::event::CoreId;
+use slacksim_core::time::Cycle;
+use slacksim_core::violation::KeyedMonitor;
+
+use crate::cache::LineAddr;
+use crate::mesi::{BusOp, MesiState};
+
+/// Global residence state of one line.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct MapEntry {
+    /// Bitmask of cores holding the line (any state).
+    sharers: u16,
+    /// Core holding the line in M or E, if any.
+    owner: Option<CoreId>,
+}
+
+impl MapEntry {
+    fn has(&self, core: CoreId) -> bool {
+        self.sharers & (1 << core.index()) != 0
+    }
+
+    fn add(&mut self, core: CoreId) {
+        self.sharers |= 1 << core.index();
+    }
+
+    fn remove(&mut self, core: CoreId) {
+        self.sharers &= !(1 << core.index());
+        if self.owner == Some(core) {
+            self.owner = None;
+        }
+    }
+
+    fn others(&self, core: CoreId) -> u16 {
+        self.sharers & !(1 << core.index())
+    }
+}
+
+/// Outcome of one map transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapOutcome {
+    /// The transition arrived out of timestamp order for this entry.
+    pub violation: bool,
+    /// Remote core that supplies the data from its M/E copy, if any.
+    pub data_from_owner: Option<CoreId>,
+    /// State granted to the requester's L1.
+    pub grant: MesiState,
+    /// Remote copies to invalidate.
+    pub invalidate: Vec<CoreId>,
+    /// Remote copies to downgrade to S.
+    pub downgrade: Vec<CoreId>,
+}
+
+/// The manager's cache status map with per-entry violation monitors.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_cmp::cache::LineAddr;
+/// use slacksim_cmp::map::CacheMap;
+/// use slacksim_cmp::mesi::{BusOp, MesiState};
+/// use slacksim_core::event::CoreId;
+/// use slacksim_core::time::Cycle;
+///
+/// let mut map = CacheMap::new(8);
+/// let line = LineAddr::new(0x40);
+/// let first = map.transition(BusOp::Rd, line, CoreId::new(0), Cycle::new(10));
+/// assert_eq!(first.grant, MesiState::Exclusive); // sole copy
+/// let second = map.transition(BusOp::Rd, line, CoreId::new(1), Cycle::new(20));
+/// assert_eq!(second.grant, MesiState::Shared);
+/// assert_eq!(second.downgrade, vec![CoreId::new(0)]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CacheMap {
+    entries: HashMap<LineAddr, MapEntry>,
+    monitor: KeyedMonitor<LineAddr>,
+    n_cores: usize,
+    transitions: u64,
+    violations: u64,
+}
+
+impl CacheMap {
+    /// Creates a map for `n_cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_cores` is 0 or exceeds 16.
+    pub fn new(n_cores: usize) -> Self {
+        assert!(
+            (1..=16).contains(&n_cores),
+            "core count must be between 1 and 16"
+        );
+        CacheMap {
+            entries: HashMap::new(),
+            monitor: KeyedMonitor::new(),
+            n_cores,
+            transitions: 0,
+            violations: 0,
+        }
+    }
+
+    /// Applies one bus transaction to the map and returns the protocol
+    /// outcome (grant state, snoop targets, data source) along with the
+    /// violation verdict of this entry's monitoring variable.
+    pub fn transition(
+        &mut self,
+        op: BusOp,
+        line: LineAddr,
+        from: CoreId,
+        ts: Cycle,
+    ) -> MapOutcome {
+        debug_assert!(from.index() < self.n_cores, "unknown core {from}");
+        self.transitions += 1;
+        let violation = self.monitor.observe(line, ts);
+        if violation {
+            self.violations += 1;
+        }
+
+        let entry = self.entries.entry(line).or_default();
+        let mut invalidate = Vec::new();
+        let mut downgrade = Vec::new();
+        let mut data_from_owner = None;
+
+        let grant = match op {
+            BusOp::Rd => {
+                if let Some(owner) = entry.owner {
+                    if owner != from {
+                        // Possible dirty remote copy: owner supplies and
+                        // downgrades (E owners downgrade silently; the
+                        // conservative flush costs nothing extra in a
+                        // timing-only model).
+                        data_from_owner = Some(owner);
+                        downgrade.push(owner);
+                        entry.owner = None;
+                    }
+                }
+                let other = entry.others(from) != 0;
+                entry.add(from);
+                if other {
+                    MesiState::Shared
+                } else {
+                    entry.owner = Some(from);
+                    MesiState::Exclusive
+                }
+            }
+            BusOp::RdX | BusOp::Upgr => {
+                if let Some(owner) = entry.owner {
+                    if owner != from {
+                        data_from_owner = Some(owner);
+                    }
+                }
+                for c in CoreId::all(self.n_cores) {
+                    if c != from && entry.has(c) {
+                        invalidate.push(c);
+                    }
+                }
+                entry.sharers = 1 << from.index();
+                entry.owner = Some(from);
+                MesiState::Modified
+            }
+            BusOp::Wb => {
+                entry.remove(from);
+                MesiState::Invalid
+            }
+        };
+
+        if entry.sharers == 0 {
+            self.entries.remove(&line);
+        }
+
+        MapOutcome {
+            violation,
+            data_from_owner,
+            grant,
+            invalidate,
+            downgrade,
+        }
+    }
+
+    /// Number of lines currently tracked.
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total transitions applied.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Total map violations detected.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Returns the set of cores currently holding `line` (testing aid).
+    pub fn sharers(&self, line: LineAddr) -> Vec<CoreId> {
+        match self.entries.get(&line) {
+            Some(e) => CoreId::all(self.n_cores).filter(|&c| e.has(c)).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u16) -> CoreId {
+        CoreId::new(i)
+    }
+
+    fn ts(t: u64) -> Cycle {
+        Cycle::new(t)
+    }
+
+    const LINE: LineAddr = LineAddr::new(0x99);
+
+    #[test]
+    fn first_read_grants_exclusive() {
+        let mut m = CacheMap::new(4);
+        let out = m.transition(BusOp::Rd, LINE, c(0), ts(1));
+        assert_eq!(out.grant, MesiState::Exclusive);
+        assert!(out.invalidate.is_empty() && out.downgrade.is_empty());
+        assert_eq!(out.data_from_owner, None);
+        assert_eq!(m.sharers(LINE), vec![c(0)]);
+    }
+
+    #[test]
+    fn second_read_downgrades_owner_and_shares() {
+        let mut m = CacheMap::new(4);
+        m.transition(BusOp::Rd, LINE, c(0), ts(1));
+        let out = m.transition(BusOp::Rd, LINE, c(1), ts(2));
+        assert_eq!(out.grant, MesiState::Shared);
+        assert_eq!(out.downgrade, vec![c(0)]);
+        assert_eq!(out.data_from_owner, Some(c(0)));
+        assert_eq!(m.sharers(LINE), vec![c(0), c(1)]);
+    }
+
+    #[test]
+    fn rdx_invalidates_all_others() {
+        let mut m = CacheMap::new(4);
+        m.transition(BusOp::Rd, LINE, c(0), ts(1));
+        m.transition(BusOp::Rd, LINE, c(1), ts(2));
+        m.transition(BusOp::Rd, LINE, c(2), ts(3));
+        let out = m.transition(BusOp::RdX, LINE, c(3), ts(4));
+        assert_eq!(out.grant, MesiState::Modified);
+        assert_eq!(out.invalidate, vec![c(0), c(1), c(2)]);
+        assert_eq!(m.sharers(LINE), vec![c(3)]);
+    }
+
+    #[test]
+    fn upgr_from_sharer_invalidates_peers_without_data() {
+        let mut m = CacheMap::new(4);
+        m.transition(BusOp::Rd, LINE, c(0), ts(1));
+        m.transition(BusOp::Rd, LINE, c(1), ts(2));
+        let out = m.transition(BusOp::Upgr, LINE, c(0), ts(3));
+        assert_eq!(out.grant, MesiState::Modified);
+        assert_eq!(out.invalidate, vec![c(1)]);
+        assert_eq!(out.data_from_owner, None, "upgrade moves no data");
+        assert_eq!(m.sharers(LINE), vec![c(0)]);
+    }
+
+    #[test]
+    fn rdx_from_modified_owner_sources_data_from_owner() {
+        let mut m = CacheMap::new(4);
+        m.transition(BusOp::RdX, LINE, c(2), ts(1));
+        let out = m.transition(BusOp::RdX, LINE, c(0), ts(2));
+        assert_eq!(out.data_from_owner, Some(c(2)));
+        assert_eq!(out.invalidate, vec![c(2)]);
+    }
+
+    #[test]
+    fn writeback_removes_the_owner() {
+        let mut m = CacheMap::new(4);
+        m.transition(BusOp::RdX, LINE, c(1), ts(1));
+        let out = m.transition(BusOp::Wb, LINE, c(1), ts(5));
+        assert_eq!(out.grant, MesiState::Invalid);
+        assert!(m.sharers(LINE).is_empty());
+        assert_eq!(m.tracked_lines(), 0, "empty entries are reclaimed");
+    }
+
+    #[test]
+    fn per_line_monitors_flag_out_of_order_transitions() {
+        let mut m = CacheMap::new(4);
+        assert!(!m.transition(BusOp::Rd, LINE, c(0), ts(10)).violation);
+        // Different line, earlier timestamp: fine.
+        assert!(
+            !m.transition(BusOp::Rd, LineAddr::new(0x500), c(1), ts(5))
+                .violation
+        );
+        // Same line, earlier timestamp: map violation.
+        assert!(m.transition(BusOp::Rd, LINE, c(1), ts(7)).violation);
+        assert_eq!(m.violations(), 1);
+        assert_eq!(m.transitions(), 3);
+    }
+
+    #[test]
+    fn repeat_read_by_owner_keeps_exclusivity() {
+        let mut m = CacheMap::new(4);
+        m.transition(BusOp::Rd, LINE, c(0), ts(1));
+        let out = m.transition(BusOp::Rd, LINE, c(0), ts(2));
+        assert_eq!(out.grant, MesiState::Exclusive);
+        assert!(out.downgrade.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 16")]
+    fn too_many_cores_rejected() {
+        let _ = CacheMap::new(32);
+    }
+}

@@ -1,0 +1,378 @@
+//! The manager-side target model: snooping bus + shared L2 + cache status
+//! map + synchronisation device, wired together as one
+//! [`UncoreModel`].
+//!
+//! This is the simulation-manager role of SlackSim's architecture
+//! (paper Figure 1): it consumes core requests from the global queue in
+//! arrival order, arbitrates the bus, consults the cache map, sources data
+//! (remote owner, L2, or memory), and delivers completion and snoop events
+//! back into core InQs — detecting bus and map violations along the way.
+
+use slacksim_core::engine::{ServiceSink, UncoreModel};
+use slacksim_core::event::{CoreId, Timestamped};
+use slacksim_core::stats::Counters;
+use slacksim_core::violation::{ViolationEvent, ViolationKind};
+
+use crate::bus::Bus;
+use crate::config::CmpConfig;
+use crate::event::MemEvent;
+use crate::l2::L2;
+use crate::map::CacheMap;
+use crate::mesi::BusOp;
+use crate::sync::SyncDevice;
+
+/// The shared portion of the target CMP.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_cmp::config::CmpConfig;
+/// use slacksim_cmp::uncore::CmpUncore;
+///
+/// let uncore = CmpUncore::new(&CmpConfig::paper());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CmpUncore {
+    n_cores: usize,
+    upgrade_latency: u64,
+    cache_to_cache_latency: u64,
+    snoop_latency: u64,
+    bus: Bus,
+    l2: L2,
+    map: CacheMap,
+    sync: SyncDevice,
+    c2c_transfers: u64,
+    requests: u64,
+    writebacks: u64,
+}
+
+impl CmpUncore {
+    /// Builds the uncore for the given target configuration.
+    pub fn new(cfg: &CmpConfig) -> Self {
+        let u = &cfg.uncore;
+        CmpUncore {
+            n_cores: cfg.cores,
+            upgrade_latency: u.upgrade_latency,
+            cache_to_cache_latency: u.cache_to_cache_latency,
+            snoop_latency: u.snoop_latency,
+            bus: Bus::new(u.req_bus_cycles, u.resp_bus_cycles),
+            l2: L2::new(u.l2, u.l2_hit_latency, u.l2_miss_latency),
+            map: CacheMap::new(cfg.cores),
+            sync: SyncDevice::new(cfg.cores, u.barrier_latency, u.lock_latency),
+            c2c_transfers: 0,
+            requests: 0,
+            writebacks: 0,
+        }
+    }
+
+    /// The bus model (read access for assertions and reports).
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// The cache status map (read access for assertions and reports).
+    pub fn map(&self) -> &CacheMap {
+        &self.map
+    }
+}
+
+impl UncoreModel<MemEvent> for CmpUncore {
+    fn service(
+        &mut self,
+        from: CoreId,
+        ev: Timestamped<MemEvent>,
+        sink: &mut ServiceSink<MemEvent>,
+    ) {
+        let ts = ev.ts;
+        match ev.payload {
+            MemEvent::Request {
+                op,
+                line,
+                req,
+                ifetch: _,
+            } => {
+                self.requests += 1;
+                let grant = self.bus.arbitrate(ts);
+                if grant.violation {
+                    sink.report_violation(ViolationEvent {
+                        kind: ViolationKind::Bus,
+                        ts,
+                    });
+                }
+                let outcome = self.map.transition(op, line, from, ts);
+                if outcome.violation {
+                    sink.report_violation(ViolationEvent {
+                        kind: ViolationKind::Map,
+                        ts,
+                    });
+                }
+                // Snoop deliveries ride right behind the request broadcast.
+                let snoop_ts = grant.grant + self.snoop_latency;
+                for c in outcome.invalidate {
+                    sink.deliver(c, Timestamped::new(snoop_ts, MemEvent::Invalidate { line }));
+                }
+                for c in outcome.downgrade {
+                    sink.deliver(c, Timestamped::new(snoop_ts, MemEvent::Downgrade { line }));
+                }
+                // Source the data.
+                let data_ready = if let Some(_owner) = outcome.data_from_owner {
+                    self.c2c_transfers += 1;
+                    grant.grant + self.cache_to_cache_latency
+                } else if op == BusOp::Upgr {
+                    grant.grant + self.upgrade_latency
+                } else {
+                    self.l2.access(line, grant.grant).data_ready
+                };
+                let done = self.bus.respond(data_ready);
+                sink.deliver(
+                    from,
+                    Timestamped::new(
+                        done,
+                        MemEvent::Reply {
+                            req,
+                            line,
+                            grant: outcome.grant,
+                        },
+                    ),
+                );
+            }
+            MemEvent::Writeback { line } => {
+                self.writebacks += 1;
+                let grant = self.bus.arbitrate(ts);
+                if grant.violation {
+                    sink.report_violation(ViolationEvent {
+                        kind: ViolationKind::Bus,
+                        ts,
+                    });
+                }
+                let outcome = self.map.transition(BusOp::Wb, line, from, ts);
+                if outcome.violation {
+                    sink.report_violation(ViolationEvent {
+                        kind: ViolationKind::Map,
+                        ts,
+                    });
+                }
+                self.l2.write_back(line);
+            }
+            MemEvent::BarrierArrive { id } => {
+                if let Some((release, cores)) = self.sync.barrier_arrive(from, id, ts) {
+                    for c in cores {
+                        sink.deliver(
+                            c,
+                            Timestamped::new(release, MemEvent::BarrierRelease { id }),
+                        );
+                    }
+                }
+            }
+            MemEvent::LockAcquire { id } => {
+                if let Some(grant) = self.sync.lock_acquire(from, id, ts) {
+                    sink.deliver(from, Timestamped::new(grant, MemEvent::LockGranted { id }));
+                }
+            }
+            MemEvent::LockRelease { id } => {
+                if let Some((next, grant)) = self.sync.lock_release(from, id, ts) {
+                    sink.deliver(next, Timestamped::new(grant, MemEvent::LockGranted { id }));
+                }
+            }
+            reply @ (MemEvent::Reply { .. }
+            | MemEvent::Invalidate { .. }
+            | MemEvent::Downgrade { .. }
+            | MemEvent::BarrierRelease { .. }
+            | MemEvent::LockGranted { .. }) => {
+                debug_assert!(false, "core sent a manager-direction event: {reply:?}");
+            }
+        }
+    }
+
+    fn counters(&self) -> Counters {
+        let mut c = Counters::new();
+        c.set("bus_transactions", self.bus.transactions());
+        c.set("bus_conflicts", self.bus.conflicts());
+        c.set("bus_busy_cycles", self.bus.busy_cycles());
+        c.set("bus_violations", self.bus.violations());
+        c.set("map_transitions", self.map.transitions());
+        c.set("map_violations", self.map.violations());
+        c.set("map_tracked_lines", self.map.tracked_lines() as u64);
+        c.set("l2_hits", self.l2.hits());
+        c.set("l2_misses", self.l2.misses());
+        c.set("l2_writebacks_in", self.l2.writebacks_in());
+        c.set("l2_memory_writes", self.l2.memory_writes());
+        c.set("coherence_requests", self.requests);
+        c.set("writebacks", self.writebacks);
+        c.set("cache_to_cache_transfers", self.c2c_transfers);
+        c.set("barriers_completed", self.sync.barriers_completed());
+        c.set("lock_grants", self.sync.lock_grants());
+        c.set("lock_contended", self.sync.lock_contended());
+        c.set("cores", self.n_cores as u64);
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::LineAddr;
+    use slacksim_core::time::Cycle;
+
+    fn uncore() -> CmpUncore {
+        CmpUncore::new(&CmpConfig::paper())
+    }
+
+    fn request(op: BusOp, line: u64, req: u32) -> MemEvent {
+        MemEvent::Request {
+            op,
+            line: LineAddr::new(line),
+            req,
+            ifetch: false,
+        }
+    }
+
+    fn service(
+        u: &mut CmpUncore,
+        from: u16,
+        ts: u64,
+        ev: MemEvent,
+    ) -> (Vec<(CoreId, Timestamped<MemEvent>)>, Vec<ViolationEvent>) {
+        let mut sink = ServiceSink::new();
+        u.service(CoreId::new(from), Timestamped::new(Cycle::new(ts), ev), &mut sink);
+        (
+            sink.take_deliveries().collect(),
+            sink.take_violations().collect(),
+        )
+    }
+
+    #[test]
+    fn cold_read_misses_to_memory() {
+        let mut u = uncore();
+        let (deliveries, violations) = service(&mut u, 0, 10, request(BusOp::Rd, 7, 1));
+        assert!(violations.is_empty());
+        assert_eq!(deliveries.len(), 1);
+        let (to, ev) = &deliveries[0];
+        assert_eq!(*to, CoreId::new(0));
+        // grant(10) + miss(100) + response bus(1).
+        assert_eq!(ev.ts, Cycle::new(111));
+        match &ev.payload {
+            MemEvent::Reply { grant, .. } => {
+                assert_eq!(*grant, crate::mesi::MesiState::Exclusive)
+            }
+            other => panic!("unexpected delivery {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_reader_gets_shared_and_owner_downgrade() {
+        let mut u = uncore();
+        service(&mut u, 0, 10, request(BusOp::Rd, 7, 1));
+        let (deliveries, _) = service(&mut u, 1, 20, request(BusOp::Rd, 7, 2));
+        // Downgrade to core 0 plus reply to core 1.
+        assert_eq!(deliveries.len(), 2);
+        assert!(matches!(
+            deliveries[0].1.payload,
+            MemEvent::Downgrade { .. }
+        ));
+        assert_eq!(deliveries[0].0, CoreId::new(0));
+        match &deliveries[1].1.payload {
+            MemEvent::Reply { grant, .. } => {
+                assert_eq!(*grant, crate::mesi::MesiState::Shared)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Cache-to-cache is faster than memory.
+        assert!(deliveries[1].1.ts < Cycle::new(20 + 100));
+    }
+
+    #[test]
+    fn rdx_invalidates_sharers() {
+        let mut u = uncore();
+        service(&mut u, 0, 10, request(BusOp::Rd, 7, 1));
+        service(&mut u, 1, 20, request(BusOp::Rd, 7, 2));
+        let (deliveries, _) = service(&mut u, 2, 30, request(BusOp::RdX, 7, 3));
+        let invals: Vec<CoreId> = deliveries
+            .iter()
+            .filter(|(_, e)| matches!(e.payload, MemEvent::Invalidate { .. }))
+            .map(|(c, _)| *c)
+            .collect();
+        assert_eq!(invals, vec![CoreId::new(0), CoreId::new(1)]);
+    }
+
+    #[test]
+    fn upgrade_is_fast_and_dataless() {
+        let mut u = uncore();
+        service(&mut u, 0, 10, request(BusOp::Rd, 7, 1));
+        service(&mut u, 1, 20, request(BusOp::Rd, 7, 2));
+        let (deliveries, _) = service(&mut u, 0, 30, request(BusOp::Upgr, 7, 3));
+        let reply = deliveries
+            .iter()
+            .find(|(_, e)| matches!(e.payload, MemEvent::Reply { .. }))
+            .expect("reply");
+        // grant(30) + upgrade(3) + resp bus(1).
+        assert_eq!(reply.1.ts, Cycle::new(34));
+    }
+
+    #[test]
+    fn out_of_order_requests_yield_bus_and_map_violations() {
+        let mut u = uncore();
+        service(&mut u, 0, 100, request(BusOp::Rd, 7, 1));
+        let (_, violations) = service(&mut u, 1, 50, request(BusOp::Rd, 7, 2));
+        let kinds: Vec<ViolationKind> = violations.iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&ViolationKind::Bus));
+        assert!(kinds.contains(&ViolationKind::Map));
+    }
+
+    #[test]
+    fn different_lines_only_violate_the_bus() {
+        let mut u = uncore();
+        service(&mut u, 0, 100, request(BusOp::Rd, 7, 1));
+        let (_, violations) = service(&mut u, 1, 50, request(BusOp::Rd, 999, 2));
+        let kinds: Vec<ViolationKind> = violations.iter().map(|v| v.kind).collect();
+        assert_eq!(kinds, vec![ViolationKind::Bus]);
+    }
+
+    #[test]
+    fn writeback_has_no_reply() {
+        let mut u = uncore();
+        service(&mut u, 0, 10, request(BusOp::RdX, 7, 1));
+        let (deliveries, _) =
+            service(&mut u, 0, 50, MemEvent::Writeback { line: LineAddr::new(7) });
+        assert!(deliveries.is_empty());
+        assert_eq!(u.counters().get("l2_writebacks_in"), 1);
+    }
+
+    #[test]
+    fn sync_traffic_bypasses_the_bus() {
+        let mut u = uncore();
+        let before = u.bus().transactions();
+        service(&mut u, 0, 10, MemEvent::LockAcquire { id: 1 });
+        service(&mut u, 0, 20, MemEvent::LockRelease { id: 1 });
+        for i in 0..8u16 {
+            service(&mut u, i, 30, MemEvent::BarrierArrive { id: 0 });
+        }
+        assert_eq!(u.bus().transactions(), before);
+        assert_eq!(u.counters().get("barriers_completed"), 1);
+    }
+
+    #[test]
+    fn barrier_release_reaches_all_cores() {
+        let mut u = uncore();
+        let mut released = Vec::new();
+        for i in 0..8u16 {
+            let (d, _) = service(&mut u, i, 10 + i as u64, MemEvent::BarrierArrive { id: 3 });
+            released = d;
+        }
+        assert_eq!(released.len(), 8);
+        assert!(released
+            .iter()
+            .all(|(_, e)| matches!(e.payload, MemEvent::BarrierRelease { id: 3 })));
+    }
+
+    #[test]
+    fn counters_are_populated() {
+        let mut u = uncore();
+        service(&mut u, 0, 10, request(BusOp::Rd, 7, 1));
+        let c = u.counters();
+        assert_eq!(c.get("bus_transactions"), 1);
+        assert_eq!(c.get("coherence_requests"), 1);
+        assert_eq!(c.get("l2_misses"), 1);
+        assert_eq!(c.get("cores"), 8);
+    }
+}

@@ -1,0 +1,282 @@
+//! Property-based tests for the target-CMP substrate: the cache against a
+//! reference model, bus slot-calendar exclusivity, cache-map protocol
+//! invariants and synchronisation-device laws.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use slacksim_cmp::bus::Bus;
+use slacksim_cmp::cache::{Cache, CacheConfig, LineAddr};
+use slacksim_cmp::map::CacheMap;
+use slacksim_cmp::mesi::{BusOp, MesiState};
+use slacksim_cmp::sync::SyncDevice;
+use slacksim_core::event::CoreId;
+use slacksim_core::time::Cycle;
+
+/// An independent, naive set-associative LRU model: per set, a vector of
+/// (tag, state) ordered most-recently-used first.
+#[derive(Debug, Default)]
+struct RefCache {
+    sets: HashMap<u64, Vec<(u64, MesiState)>>,
+    ways: usize,
+    set_mask: u64,
+    set_bits: u32,
+}
+
+impl RefCache {
+    fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets() as u64;
+        RefCache {
+            sets: HashMap::new(),
+            ways: cfg.ways,
+            set_mask: sets - 1,
+            set_bits: sets.trailing_zeros(),
+        }
+    }
+
+    fn split(&self, line: LineAddr) -> (u64, u64) {
+        (line.raw() & self.set_mask, line.raw() >> self.set_bits)
+    }
+
+    fn probe(&mut self, line: LineAddr) -> Option<MesiState> {
+        let (set, tag) = self.split(line);
+        let ways = self.sets.entry(set).or_default();
+        if let Some(pos) = ways.iter().position(|&(t, _)| t == tag) {
+            let entry = ways.remove(pos);
+            ways.insert(0, entry);
+            Some(entry.1)
+        } else {
+            None
+        }
+    }
+
+    fn fill(&mut self, line: LineAddr, state: MesiState) -> Option<(LineAddr, MesiState)> {
+        let (set, tag) = self.split(line);
+        let ways_cap = self.ways;
+        let set_bits = self.set_bits;
+        let ways = self.sets.entry(set).or_default();
+        if let Some(pos) = ways.iter().position(|&(t, _)| t == tag) {
+            ways.remove(pos);
+            ways.insert(0, (tag, state));
+            return None;
+        }
+        let victim = if ways.len() == ways_cap {
+            let (vt, vs) = ways.pop().expect("full set");
+            Some((LineAddr::new((vt << set_bits) | set), vs))
+        } else {
+            None
+        };
+        ways.insert(0, (tag, state));
+        victim
+    }
+
+    fn invalidate(&mut self, line: LineAddr) -> Option<MesiState> {
+        let (set, tag) = self.split(line);
+        let ways = self.sets.entry(set).or_default();
+        ways.iter()
+            .position(|&(t, _)| t == tag)
+            .map(|pos| ways.remove(pos).1)
+    }
+}
+
+/// Operations driven against both cache models.
+#[derive(Debug, Clone, Copy)]
+enum CacheOp {
+    Probe(u64),
+    Fill(u64, MesiState),
+    Invalidate(u64),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    let states = prop_oneof![
+        Just(MesiState::Modified),
+        Just(MesiState::Exclusive),
+        Just(MesiState::Shared),
+    ];
+    prop_oneof![
+        (0u64..64).prop_map(CacheOp::Probe),
+        ((0u64..64), states).prop_map(|(l, s)| CacheOp::Fill(l, s)),
+        (0u64..64).prop_map(CacheOp::Invalidate),
+    ]
+}
+
+proptest! {
+    /// The production cache agrees with the naive reference model on
+    /// every probe/fill/invalidate outcome, including victim choice.
+    #[test]
+    fn cache_matches_reference_model(ops in prop::collection::vec(cache_op(), 1..300)) {
+        // Small geometry maximises eviction traffic: 4 sets × 2 ways.
+        let cfg = CacheConfig { size_bytes: 256, ways: 2, line_bytes: 32 };
+        let mut real = Cache::new(cfg);
+        let mut reference = RefCache::new(cfg);
+        for &op in &ops {
+            match op {
+                CacheOp::Probe(l) => {
+                    prop_assert_eq!(real.probe(LineAddr::new(l)), reference.probe(LineAddr::new(l)));
+                }
+                CacheOp::Fill(l, s) => {
+                    prop_assert_eq!(real.fill(LineAddr::new(l), s), reference.fill(LineAddr::new(l), s));
+                }
+                CacheOp::Invalidate(l) => {
+                    prop_assert_eq!(real.invalidate(LineAddr::new(l)), reference.invalidate(LineAddr::new(l)));
+                }
+            }
+        }
+    }
+
+    /// Bus grants never overlap: any two grants are at least the bus
+    /// occupancy apart, and each grant is at or after its request.
+    #[test]
+    fn bus_grants_are_exclusive(
+        requests in prop::collection::vec(0u64..2_000, 1..200),
+        occupancy in 1u64..4
+    ) {
+        let mut bus = Bus::new(occupancy, 1);
+        let mut grants = Vec::new();
+        for &ts in &requests {
+            let g = bus.arbitrate(Cycle::new(ts));
+            prop_assert!(g.grant.as_u64() >= ts, "grant before request");
+            grants.push(g.grant.as_u64());
+        }
+        grants.sort_unstable();
+        for w in grants.windows(2) {
+            prop_assert!(w[1] - w[0] >= occupancy, "overlapping grants {w:?}");
+        }
+    }
+
+    /// Response-bus slots are also exclusive.
+    #[test]
+    fn response_slots_are_exclusive(
+        ready in prop::collection::vec(0u64..2_000, 1..200),
+        occupancy in 1u64..4
+    ) {
+        let mut bus = Bus::new(1, occupancy);
+        let mut ends = Vec::new();
+        for &ts in &ready {
+            let done = bus.respond(Cycle::new(ts));
+            prop_assert!(done.as_u64() >= ts + occupancy);
+            ends.push(done.as_u64());
+        }
+        ends.sort_unstable();
+        for w in ends.windows(2) {
+            prop_assert!(w[1] - w[0] >= occupancy, "overlapping transfers {w:?}");
+        }
+    }
+
+    /// Cache-map protocol invariants under arbitrary transition streams:
+    /// Rd grants E only when alone, S otherwise; RdX/Upgr grant M and
+    /// invalidate every other sharer; writebacks clear the writer.
+    #[test]
+    fn cache_map_protocol_invariants(
+        ops in prop::collection::vec(
+            ((0u8..3), (0u64..8), (0u16..4), (0u64..10_000)),
+            1..300
+        )
+    ) {
+        let mut map = CacheMap::new(4);
+        // Shadow state: per line, the set of holders.
+        let mut shadow: HashMap<u64, std::collections::BTreeSet<u16>> = HashMap::new();
+        for &(op_idx, line, core, ts) in &ops {
+            let op = [BusOp::Rd, BusOp::RdX, BusOp::Wb][op_idx as usize];
+            let out = map.transition(op, LineAddr::new(line), CoreId::new(core), Cycle::new(ts));
+            let holders = shadow.entry(line).or_default();
+            match op {
+                BusOp::Rd => {
+                    let others_before = holders.iter().any(|&c| c != core);
+                    if others_before {
+                        prop_assert_eq!(out.grant, MesiState::Shared);
+                    } else {
+                        prop_assert_eq!(out.grant, MesiState::Exclusive);
+                    }
+                    prop_assert!(out.invalidate.is_empty(), "Rd never invalidates");
+                    holders.insert(core);
+                }
+                BusOp::RdX => {
+                    prop_assert_eq!(out.grant, MesiState::Modified);
+                    let expected: Vec<u16> =
+                        holders.iter().copied().filter(|&c| c != core).collect();
+                    let got: Vec<u16> =
+                        out.invalidate.iter().map(|c| c.index() as u16).collect();
+                    prop_assert_eq!(got, expected, "RdX must invalidate all others");
+                    holders.clear();
+                    holders.insert(core);
+                }
+                BusOp::Wb => {
+                    holders.remove(&core);
+                }
+                BusOp::Upgr => unreachable!(),
+            }
+            // The map's sharer view must match the shadow.
+            let map_sharers: Vec<u16> = map
+                .sharers(LineAddr::new(line))
+                .iter()
+                .map(|c| c.index() as u16)
+                .collect();
+            let shadow_sharers: Vec<u16> = holders.iter().copied().collect();
+            prop_assert_eq!(map_sharers, shadow_sharers);
+        }
+    }
+
+    /// Barriers release exactly when the last participant arrives, at the
+    /// maximum arrival time plus the device latency, whatever the order.
+    #[test]
+    fn barrier_release_law(
+        arrival_ts in prop::collection::vec(0u64..10_000, 4),
+        order in Just([0u16, 1, 2, 3]).prop_shuffle(),
+        latency in 0u64..16
+    ) {
+        let mut dev = SyncDevice::new(4, latency, 1);
+        let mut released = None;
+        for (i, &core) in order.iter().enumerate() {
+            let ts = arrival_ts[core as usize];
+            let out = dev.barrier_arrive(CoreId::new(core), 0, Cycle::new(ts));
+            if i < 3 {
+                prop_assert!(out.is_none(), "released early");
+            } else {
+                released = out;
+            }
+        }
+        let (release, cores) = released.expect("all arrived");
+        let max_ts = *arrival_ts.iter().max().expect("nonempty");
+        prop_assert_eq!(release.as_u64(), max_ts + latency);
+        prop_assert_eq!(cores.len(), 4);
+    }
+
+    /// Locks provide mutual exclusion with FIFO handover: grants never
+    /// overlap and follow request order among waiters.
+    #[test]
+    fn lock_fifo_mutual_exclusion(
+        requests in prop::collection::vec((0u16..4, 0u64..1_000), 2..20)
+    ) {
+        let mut dev = SyncDevice::new(4, 1, 2);
+        let mut hold_order: Vec<u16> = Vec::new();
+        let mut queue: Vec<u16> = Vec::new();
+        let mut holder: Option<u16> = None;
+        // All on one lock id; each core acquires then releases immediately
+        // at a later timestamp.
+        let mut t = 0u64;
+        for &(core, gap) in &requests {
+            t += gap;
+            match dev.lock_acquire(CoreId::new(core), 9, Cycle::new(t)) {
+                Some(_) => {
+                    prop_assert!(holder.is_none(), "grant while held");
+                    holder = Some(core);
+                    hold_order.push(core);
+                }
+                None => queue.push(core),
+            }
+            // Holder releases immediately.
+            if let Some(h) = holder.take() {
+                t += 1;
+                if let Some((next, _)) = dev.lock_release(CoreId::new(h), 9, Cycle::new(t)) {
+                    let expected = queue.remove(0);
+                    prop_assert_eq!(next.index() as u16, expected, "FIFO handover");
+                    holder = Some(next.index() as u16);
+                    hold_order.push(expected);
+                }
+            }
+        }
+        prop_assert!(!hold_order.is_empty());
+    }
+}

@@ -1,0 +1,383 @@
+//! Execution engines: the machinery that drives target models under a
+//! slack scheme.
+//!
+//! The kernel is generic over the simulated hardware through two traits:
+//!
+//! * [`CoreModel`] — one instance per target core, advanced cycle by cycle
+//!   by its (logical or physical) core thread;
+//! * [`UncoreModel`] — the shared portion of the target (lower cache
+//!   levels, interconnect, synchronisation device), advanced by the
+//!   simulation manager as events arrive.
+//!
+//! Two engines execute the same semantics:
+//!
+//! * [`SequentialEngine`] runs everything
+//!   on the calling thread, emulating host-scheduling nondeterminism with a
+//!   seeded burst scheduler — fully reproducible, used for the accuracy
+//!   experiments (Figures 3) and for deterministic tests;
+//! * [`ThreadedEngine`] spawns one host
+//!   thread per target core plus the manager logic, exactly as SlackSim
+//!   maps simulations onto a host CMP — used for the wall-clock experiments
+//!   (Figure 4, Tables 2–5).
+
+mod sequential;
+mod threaded;
+
+pub use sequential::SequentialEngine;
+pub use threaded::ThreadedEngine;
+
+use std::fmt;
+
+use crate::event::{CoreId, Inbox, Timestamped};
+use crate::scheme::Scheme;
+use crate::speculative::SpeculationConfig;
+use crate::stats::Counters;
+use crate::time::Cycle;
+use crate::violation::ViolationEvent;
+
+/// Per-cycle execution context handed to [`CoreModel::tick`].
+///
+/// Provides the core's local time, access to due incoming events, and the
+/// outgoing event buffer (the core's *OutQ*).
+#[derive(Debug)]
+pub struct TickCtx<'a, E> {
+    now: Cycle,
+    inbox: &'a mut Inbox<E>,
+    outbox: &'a mut Vec<Timestamped<E>>,
+}
+
+impl<'a, E> TickCtx<'a, E> {
+    /// Creates a context for simulating the cycle at `now`.
+    pub fn new(now: Cycle, inbox: &'a mut Inbox<E>, outbox: &'a mut Vec<Timestamped<E>>) -> Self {
+        TickCtx { now, inbox, outbox }
+    }
+
+    /// The core's local time: the cycle being simulated.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Pops the next incoming event due at or before the current cycle.
+    ///
+    /// An event whose timestamp has already passed (the core ran ahead of
+    /// the manager under slack) is returned immediately; the model applies
+    /// it at the current local time — the paper's simulated-time
+    /// distortion.
+    #[inline]
+    pub fn pop_event(&mut self) -> Option<Timestamped<E>> {
+        self.inbox.pop_due(self.now)
+    }
+
+    /// Emits an event stamped with the current local time.
+    #[inline]
+    pub fn emit(&mut self, payload: E) {
+        self.outbox.push(Timestamped::new(self.now, payload));
+    }
+
+    /// Number of pending (not yet due) incoming events.
+    pub fn pending_events(&self) -> usize {
+        self.inbox.len()
+    }
+}
+
+/// A simulated target core: owns all core-private state (pipeline, L1
+/// caches, workload position) and advances one cycle per [`tick`] call.
+///
+/// Models must be [`Clone`] so the engines can take checkpoint snapshots,
+/// and [`Send`] so the threaded engine can move them onto core threads.
+///
+/// [`tick`]: CoreModel::tick
+pub trait CoreModel: Clone + Send + 'static {
+    /// The event payload exchanged with the uncore via OutQ/InQ.
+    type Event: Send + Clone + fmt::Debug + 'static;
+
+    /// Simulates exactly one target-clock cycle at `ctx.now()` and returns
+    /// the number of instructions committed during that cycle.
+    ///
+    /// The model must consume every due incoming event (via
+    /// [`TickCtx::pop_event`]) before or while simulating the cycle.
+    fn tick(&mut self, ctx: &mut TickCtx<'_, Self::Event>) -> u32;
+
+    /// Total instructions committed by this core so far.
+    fn committed(&self) -> u64;
+
+    /// Model statistics for the final report.
+    fn counters(&self) -> Counters;
+}
+
+/// Responses produced while servicing one event: deliveries back to cores
+/// plus any violations the model's monitors detected.
+#[derive(Debug)]
+pub struct ServiceSink<E> {
+    deliveries: Vec<(CoreId, Timestamped<E>)>,
+    violations: Vec<ViolationEvent>,
+}
+
+impl<E> ServiceSink<E> {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        ServiceSink {
+            deliveries: Vec::new(),
+            violations: Vec::new(),
+        }
+    }
+
+    /// Queues an event for delivery to `to`'s InQ.
+    #[inline]
+    pub fn deliver(&mut self, to: CoreId, ev: Timestamped<E>) {
+        self.deliveries.push((to, ev));
+    }
+
+    /// Reports a detected simulation violation.
+    #[inline]
+    pub fn report_violation(&mut self, violation: ViolationEvent) {
+        self.violations.push(violation);
+    }
+
+    /// Drains the queued deliveries.
+    pub fn take_deliveries(&mut self) -> std::vec::Drain<'_, (CoreId, Timestamped<E>)> {
+        self.deliveries.drain(..)
+    }
+
+    /// Drains the reported violations.
+    pub fn take_violations(&mut self) -> std::vec::Drain<'_, ViolationEvent> {
+        self.violations.drain(..)
+    }
+}
+
+impl<E> Default for ServiceSink<E> {
+    fn default() -> Self {
+        ServiceSink::new()
+    }
+}
+
+/// The shared (uncore) portion of the target: lower-level caches, the
+/// interconnect and the synchronisation device, simulated by the manager.
+pub trait UncoreModel<E>: Clone + Send + 'static {
+    /// Services one event, in the manager's arrival order. Completion
+    /// events and violations go into `sink`.
+    fn service(&mut self, from: CoreId, ev: Timestamped<E>, sink: &mut ServiceSink<E>);
+
+    /// Model statistics for the final report.
+    fn counters(&self) -> Counters;
+}
+
+/// How the deterministic engine perturbs core scheduling to emulate the
+/// host's thread-scheduling nondeterminism.
+///
+/// Each time a core is selected it advances a *burst* of up to `max_burst`
+/// cycles (uniformly drawn, capped by the pacer's window). Larger bursts
+/// model coarser host preemption and produce more event reordering at equal
+/// slack bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstPolicy {
+    /// Maximum burst length in cycles (≥ 1).
+    pub max_burst: u64,
+    /// Percentage of scheduling decisions that pick the most-lagging
+    /// runnable core instead of a uniformly random one (0–100). Models
+    /// the host scheduler's long-run fairness: drift between threads
+    /// stays bounded even under unbounded slack, as it does on a real
+    /// multicore host where every simulation thread owns a hardware
+    /// context.
+    pub lag_bias_percent: u8,
+}
+
+impl BurstPolicy {
+    /// Creates a policy with the given maximum burst length and the
+    /// default fairness bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_burst` is 0.
+    pub fn new(max_burst: u64) -> Self {
+        assert!(max_burst >= 1, "max burst must be at least 1");
+        BurstPolicy {
+            max_burst,
+            lag_bias_percent: 50,
+        }
+    }
+
+    /// Sets the fairness bias (clamped to 100).
+    #[must_use]
+    pub fn with_lag_bias(mut self, percent: u8) -> Self {
+        self.lag_bias_percent = percent.min(100);
+        self
+    }
+}
+
+impl Default for BurstPolicy {
+    fn default() -> Self {
+        BurstPolicy {
+            max_burst: 16,
+            lag_bias_percent: 50,
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// The aggregate committed-instruction target was reached.
+    CommitTarget,
+    /// The safety cycle cap was hit first.
+    CycleCap,
+}
+
+/// Engine configuration shared by both engines.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// The slack scheme pacing the run.
+    pub scheme: Scheme,
+    /// Stop once this many instructions have been committed across all
+    /// cores (the paper simulates 100 M committed instructions).
+    pub commit_target: u64,
+    /// Hard safety cap on global time; the run reports
+    /// [`FinishReason::CycleCap`] if reached first.
+    pub max_cycles: u64,
+    /// Optional checkpointing / speculation.
+    pub speculation: Option<SpeculationConfig>,
+    /// Violation sampling period in global cycles for schemes without
+    /// their own (adaptive schemes use their configured period).
+    pub sample_period: u64,
+    /// Implementation cap on how far any core may lead global time under
+    /// *greedy* (non-barrier) schemes, in cycles. On the paper's host a
+    /// core thread cannot outrun the manager by more than scheduling
+    /// noise ("thousands of cycles" under unbounded slack, §1); our ticks
+    /// are orders of magnitude cheaper than SimpleScalar's, so without a
+    /// cap a spinning core would race millions of cycles ahead of the
+    /// manager and distort simulated time. Barrier schemes are unaffected.
+    pub max_lead: u64,
+    /// Seed for the deterministic engine's burst scheduler.
+    pub seed: u64,
+    /// Burst policy for the deterministic engine (ignored by the threaded
+    /// engine, which inherits real host scheduling).
+    pub burst: BurstPolicy,
+}
+
+impl EngineConfig {
+    /// Creates a configuration with the given scheme and commit target and
+    /// sensible defaults for everything else.
+    pub fn new(scheme: Scheme, commit_target: u64) -> Self {
+        EngineConfig {
+            scheme,
+            commit_target,
+            max_cycles: 1 << 40,
+            speculation: None,
+            sample_period: 1024,
+            seed: 1,
+            burst: BurstPolicy::default(),
+            max_lead: 256,
+        }
+    }
+
+    /// The greedy-scheme window cap: `global + max_lead` (never below 1).
+    pub fn lead_cap(&self, global: Cycle) -> Cycle {
+        global.saturating_add(self.max_lead.max(1))
+    }
+
+    /// The effective sampling period: an adaptive scheme's own period, or
+    /// the engine-level default otherwise.
+    pub fn effective_sample_period(&self) -> u64 {
+        match &self.scheme {
+            Scheme::Adaptive(cfg) => cfg.sample_period.max(1),
+            _ => self.sample_period.max(1),
+        }
+    }
+}
+
+/// Errors produced by an engine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// No core was simulated (empty core vector).
+    NoCores,
+    /// The engine detected that no core could make progress.
+    Stalled {
+        /// Global time at which progress stopped.
+        at: Cycle,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::NoCores => write!(f, "simulation has no cores"),
+            EngineError::Stalled { at } => {
+                write!(f, "simulation stalled at global cycle {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::AdaptiveConfig;
+
+    #[test]
+    fn tick_ctx_event_flow() {
+        let mut inbox: Inbox<u32> = Inbox::new();
+        inbox.deliver(Timestamped::new(Cycle::new(5), 7));
+        inbox.deliver(Timestamped::new(Cycle::new(9), 8));
+        let mut outbox = Vec::new();
+        let mut ctx = TickCtx::new(Cycle::new(5), &mut inbox, &mut outbox);
+        assert_eq!(ctx.now(), Cycle::new(5));
+        assert_eq!(ctx.pop_event().unwrap().payload, 7);
+        assert!(ctx.pop_event().is_none());
+        assert_eq!(ctx.pending_events(), 1);
+        ctx.emit(99);
+        assert_eq!(outbox.len(), 1);
+        assert_eq!(outbox[0].ts, Cycle::new(5));
+    }
+
+    #[test]
+    fn sink_roundtrip() {
+        use crate::violation::{ViolationEvent, ViolationKind};
+        let mut sink: ServiceSink<u32> = ServiceSink::new();
+        sink.deliver(CoreId::new(2), Timestamped::new(Cycle::new(3), 1));
+        sink.report_violation(ViolationEvent {
+            kind: ViolationKind::Bus,
+            ts: Cycle::new(3),
+        });
+        assert_eq!(sink.take_deliveries().count(), 1);
+        assert_eq!(sink.take_violations().count(), 1);
+        // Drained.
+        assert_eq!(sink.take_deliveries().count(), 0);
+    }
+
+    #[test]
+    fn config_defaults() {
+        let cfg = EngineConfig::new(Scheme::CycleByCycle, 1000);
+        assert_eq!(cfg.commit_target, 1000);
+        assert!(cfg.speculation.is_none());
+        assert_eq!(cfg.effective_sample_period(), 1024);
+    }
+
+    #[test]
+    fn adaptive_overrides_sample_period() {
+        let cfg = EngineConfig::new(
+            Scheme::Adaptive(AdaptiveConfig {
+                sample_period: 555,
+                ..AdaptiveConfig::default()
+            }),
+            1000,
+        );
+        assert_eq!(cfg.effective_sample_period(), 555);
+    }
+
+    #[test]
+    #[should_panic(expected = "max burst must be at least 1")]
+    fn burst_policy_rejects_zero() {
+        let _ = BurstPolicy::new(0);
+    }
+
+    #[test]
+    fn engine_error_display() {
+        assert_eq!(EngineError::NoCores.to_string(), "simulation has no cores");
+        assert!(EngineError::Stalled { at: Cycle::new(9) }
+            .to_string()
+            .contains("9"));
+    }
+}

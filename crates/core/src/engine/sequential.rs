@@ -1,0 +1,778 @@
+//! The deterministic sequential engine.
+//!
+//! Runs the entire simulation on the calling thread while *emulating* the
+//! parallel execution of SlackSim: each target core has a local time capped
+//! by the pacer's window, and a seeded burst scheduler decides which core
+//! advances next and for how many cycles — a reproducible stand-in for the
+//! host OS scheduler's nondeterminism. The manager role (global queue
+//! servicing, violation accounting, adaptive sampling, checkpointing and
+//! rollback) is interleaved exactly as the threaded engine performs it.
+//!
+//! Because every run with the same configuration and seed is bit-identical,
+//! this engine is the vehicle for the accuracy experiments (Figure 3) and
+//! for the fully-deployed speculative rollback extension.
+
+use std::time::Instant;
+
+use crate::engine::{
+    CoreModel, EngineConfig, EngineError, FinishReason, ServiceSink, TickCtx, UncoreModel,
+};
+use crate::event::{CoreId, GlobalQueue, Inbox, Timestamped};
+use crate::rng::Xoshiro256;
+use crate::scheme::{PaceSample, Pacer};
+use crate::speculative::{IntervalTracker, SpeculationStats};
+use crate::stats::{Counters, SimReport};
+use crate::time::Cycle;
+use crate::violation::ViolationTally;
+
+/// Execution mode of the speculation state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Running under the configured base scheme.
+    Base,
+    /// Replaying in cycle-by-cycle mode after a rollback, until the next
+    /// checkpoint boundary (guarantees forward progress, paper §5.1).
+    Replay,
+}
+
+/// Everything restored on rollback.
+struct Snapshot<C: CoreModel, U> {
+    cores: Vec<C>,
+    uncore: U,
+    locals: Vec<Cycle>,
+    inboxes: Vec<Inbox<C::Event>>,
+    tally: ViolationTally,
+    committed: u64,
+    global: Cycle,
+    pacer: Box<dyn Pacer>,
+    next_sample: u64,
+    last_sample_tally: ViolationTally,
+}
+
+/// Deterministic single-threaded slack-simulation engine.
+///
+/// # Examples
+///
+/// See the crate-level documentation and the integration tests; the engine
+/// is generic and needs a concrete [`CoreModel`]/[`UncoreModel`] pair such
+/// as the ones in `slacksim-cmp`.
+pub struct SequentialEngine<C: CoreModel, U: UncoreModel<C::Event>> {
+    cores: Vec<C>,
+    uncore: U,
+    cfg: EngineConfig,
+}
+
+impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
+    /// Creates an engine over the given target cores and uncore.
+    pub fn new(cores: Vec<C>, uncore: U, cfg: EngineConfig) -> Self {
+        SequentialEngine { cores, uncore, cfg }
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoCores`] for an empty core set and
+    /// [`EngineError::Stalled`] if (defensively) no core can advance.
+    pub fn run(self) -> Result<SimReport, EngineError> {
+        let SequentialEngine {
+            mut cores,
+            mut uncore,
+            cfg,
+        } = self;
+        let n = cores.len();
+        if n == 0 {
+            return Err(EngineError::NoCores);
+        }
+        let started = Instant::now();
+
+        let mut pacer = cfg.scheme.clone().into_pacer();
+        let sample_period = cfg.effective_sample_period();
+        let mut locals = vec![Cycle::ZERO; n];
+        let mut inboxes: Vec<Inbox<C::Event>> = (0..n).map(|_| Inbox::new()).collect();
+        let mut gq: GlobalQueue<C::Event> = GlobalQueue::new();
+        let mut sink: ServiceSink<C::Event> = ServiceSink::new();
+        let mut outbox: Vec<Timestamped<C::Event>> = Vec::new();
+        let mut rng = Xoshiro256::new(cfg.seed);
+
+        // Violation accounting: `tally` is part of the restorable state,
+        // `detected` is monotone (counts violations even if later rolled
+        // back).
+        let mut tally = ViolationTally::new();
+        let mut detected = ViolationTally::new();
+        let mut committed: u64 = 0;
+        let mut next_sample = sample_period;
+        let mut last_sample_tally = tally;
+        let mut bound_trace: Vec<(Cycle, u64)> = Vec::new();
+
+        // Speculation state.
+        let spec = cfg.speculation;
+        let mut tracker = spec.map(|s| IntervalTracker::new(s.interval));
+        let mut spec_stats = SpeculationStats::default();
+        let mut mode = Mode::Base;
+        let mut stop_at: Option<Cycle> = None;
+        let mut next_cp_trigger: u64 = spec.map_or(u64::MAX, |s| s.interval);
+        let mut replay_start = Cycle::ZERO;
+        let mut pending_rollback = false;
+
+        let mut snapshot: Option<Snapshot<C, U>> = if spec.is_some() {
+            // The initial state is trivially a (free) checkpoint.
+            Some(Snapshot {
+                cores: cores.clone(),
+                uncore: uncore.clone(),
+                locals: locals.clone(),
+                inboxes: inboxes.clone(),
+                tally,
+                committed,
+                global: Cycle::ZERO,
+                pacer: pacer.clone_box(),
+                next_sample,
+                last_sample_tally,
+            })
+        } else {
+            None
+        };
+
+        let mut runnable: Vec<usize> = Vec::with_capacity(n);
+        // Barrier schemes hold the window fixed until every core reaches it
+        // and the batch is serviced; greedy schemes slide it with global
+        // time every iteration.
+        let mut window_end = pacer.window_end(Cycle::ZERO);
+        // Largest observed clock spread (max local − min local): the
+        // empirical slack, reported so tests can assert the bound.
+        let mut max_spread: u64 = 0;
+        let finish_reason;
+
+        loop {
+            let global = locals.iter().copied().min().expect("n >= 1");
+            let furthest_now = locals.iter().copied().max().expect("n >= 1");
+            max_spread = max_spread.max(furthest_now.saturating_sub(global));
+            let barrier = mode == Mode::Replay || pacer.barrier_service();
+
+            // Finish checks. Barrier schemes only stop at window boundaries
+            // (all locals equal) so that the stopping point is deterministic
+            // and identical to the threaded engine's.
+            // (barrier runs finish only once the boundary batch has been
+            // serviced, so both engines stop in identical states).
+            let at_boundary = locals.iter().all(|&l| l == global);
+            if committed >= cfg.commit_target && (!barrier || (at_boundary && gq.is_empty())) {
+                finish_reason = FinishReason::CommitTarget;
+                break;
+            }
+            if global.as_u64() >= cfg.max_cycles {
+                finish_reason = FinishReason::CycleCap;
+                break;
+            }
+            if committed >= cfg.commit_target && barrier && !at_boundary {
+                // Graceful finish for barrier schemes: converge the window
+                // on the furthest core so the final batch can be serviced
+                // without simulating to a distant quantum boundary.
+                window_end = window_end.min(furthest_now.max(global + 1));
+            }
+
+            // Interval accounting for Tables 3/4 follows the fixed grid.
+            if let Some(tr) = &mut tracker {
+                tr.close_intervals_up_to(global);
+            }
+
+            // Violation-rate sampling and adaptive feedback.
+            while global.as_u64() >= next_sample {
+                let delta = tally.since(&last_sample_tally);
+                pacer.on_sample(&PaceSample {
+                    global: Cycle::new(next_sample),
+                    window_cycles: sample_period,
+                    window_violations: delta.total(),
+                });
+                last_sample_tally = tally;
+                if let Some(b) = pacer.current_bound() {
+                    bound_trace.push((Cycle::new(next_sample), b));
+                }
+                next_sample += sample_period;
+            }
+
+            // Checkpoint scheduling: once global time crosses the trigger,
+            // stop-sync every core at one common local time.
+            if spec.is_some() && stop_at.is_none() && global.as_u64() >= next_cp_trigger {
+                let furthest = locals.iter().copied().max().expect("n >= 1");
+                stop_at = Some(furthest.max(Cycle::new(next_cp_trigger)));
+            }
+
+            // Effective window for this iteration. Greedy schemes slide
+            // continuously (uniformly, or per core for peer-to-peer
+            // pacers); barrier schemes keep `window_end` until the batch
+            // at the boundary has been serviced.
+            let mut per_core: Option<Vec<Cycle>> = None;
+            if !barrier {
+                window_end = pacer.window_end(global).min(cfg.lead_cap(global));
+                per_core = pacer.window_ends(&locals);
+            }
+            let cap = cfg.lead_cap(global);
+            let win_for = |i: usize| -> Cycle {
+                let base = per_core
+                    .as_ref()
+                    .map_or(window_end, |v| v[i].min(cap));
+                match stop_at {
+                    Some(s) => base.min(s),
+                    None => base,
+                }
+            };
+            let win = match stop_at {
+                Some(s) => window_end.min(s),
+                None => window_end,
+            };
+
+            runnable.clear();
+            runnable.extend((0..n).filter(|&i| locals[i] < win_for(i)));
+
+            if runnable.is_empty() {
+                // Every core reached the window end (or the stop point).
+                if let Some(s) = stop_at {
+                    if locals.iter().all(|&l| l == s) {
+                        // Drain all outstanding events before snapshotting so
+                        // queues are empty in the checkpoint.
+                        Self::service_all(
+                            &mut gq,
+                            &mut uncore,
+                            &mut sink,
+                            &mut inboxes,
+                            &mut tally,
+                            &mut detected,
+                            &mut tracker,
+                            &mut pending_rollback,
+                            &spec,
+                            mode,
+                        );
+                        if pending_rollback {
+                            Self::rollback(
+                                snapshot.as_ref().expect("rollback requires a snapshot"),
+                                &mut cores,
+                                &mut uncore,
+                                &mut locals,
+                                &mut inboxes,
+                                &mut tally,
+                                &mut committed,
+                                &mut pacer,
+                                &mut next_sample,
+                                &mut last_sample_tally,
+                                &mut gq,
+                                &mut spec_stats,
+                                global,
+                            );
+                            mode = Mode::Replay;
+                            replay_start = locals[0];
+                            next_cp_trigger =
+                                locals[0].as_u64() + spec.expect("spec enabled").interval;
+                            stop_at = None;
+                            pending_rollback = false;
+                            window_end = locals[0] + 1;
+                            continue;
+                        }
+                        if mode == Mode::Replay {
+                            spec_stats.replay_cycles += s.saturating_sub(replay_start);
+                            mode = Mode::Base;
+                        }
+                        spec_stats.checkpoints += 1;
+                        snapshot = Some(Snapshot {
+                            cores: cores.clone(),
+                            uncore: uncore.clone(),
+                            locals: locals.clone(),
+                            inboxes: inboxes.clone(),
+                            tally,
+                            committed,
+                            global: s,
+                            pacer: pacer.clone_box(),
+                            next_sample,
+                            last_sample_tally,
+                        });
+                        next_cp_trigger = s.as_u64() + spec.expect("spec enabled").interval;
+                        stop_at = None;
+                        window_end = pacer.window_end(s);
+                        continue;
+                    }
+                }
+                if barrier {
+                    // Batch-service the window's events in timestamp order,
+                    // then open the next window.
+                    Self::service_all(
+                        &mut gq,
+                        &mut uncore,
+                        &mut sink,
+                        &mut inboxes,
+                        &mut tally,
+                        &mut detected,
+                        &mut tracker,
+                        &mut pending_rollback,
+                        &spec,
+                        mode,
+                    );
+                    debug_assert!(!pending_rollback, "CC/quantum servicing cannot violate");
+                    window_end = if mode == Mode::Replay {
+                        win + 1
+                    } else {
+                        pacer.window_end(win)
+                    };
+                    continue;
+                }
+                // Greedy mode: the slowest core always has headroom
+                // (window_end > global), so this is unreachable unless a
+                // pacer breaks its contract.
+                return Err(EngineError::Stalled { at: global });
+            }
+
+            // Burst-schedule one core: mostly the laggard (host-scheduler
+            // fairness), sometimes a random core (reordering noise).
+            let pick = if cfg.burst.lag_bias_percent > 0
+                && rng.chance(u64::from(cfg.burst.lag_bias_percent), 100)
+            {
+                runnable
+                    .iter()
+                    .copied()
+                    .min_by_key(|&i| locals[i])
+                    .expect("runnable not empty")
+            } else {
+                runnable[rng.next_below(runnable.len() as u64) as usize]
+            };
+            let burst = rng.next_range(1, cfg.burst.max_burst);
+            let pick_win = win_for(pick);
+            let head = pick_win.saturating_sub(locals[pick]).min(burst);
+            for _ in 0..head {
+                let mut ctx = TickCtx::new(locals[pick], &mut inboxes[pick], &mut outbox);
+                let c = cores[pick].tick(&mut ctx);
+                committed += u64::from(c);
+                locals[pick] += 1;
+                for ev in outbox.drain(..) {
+                    gq.push(CoreId::new(pick as u16), ev);
+                }
+                if !barrier && committed >= cfg.commit_target {
+                    break;
+                }
+            }
+
+            if !barrier {
+                Self::service_all(
+                    &mut gq,
+                    &mut uncore,
+                    &mut sink,
+                    &mut inboxes,
+                    &mut tally,
+                    &mut detected,
+                    &mut tracker,
+                    &mut pending_rollback,
+                    &spec,
+                    mode,
+                );
+                if pending_rollback {
+                    let cur_global = locals.iter().copied().min().expect("n >= 1");
+                    Self::rollback(
+                        snapshot.as_ref().expect("rollback requires a snapshot"),
+                        &mut cores,
+                        &mut uncore,
+                        &mut locals,
+                        &mut inboxes,
+                        &mut tally,
+                        &mut committed,
+                        &mut pacer,
+                        &mut next_sample,
+                        &mut last_sample_tally,
+                        &mut gq,
+                        &mut spec_stats,
+                        cur_global,
+                    );
+                    mode = Mode::Replay;
+                    replay_start = locals[0];
+                    next_cp_trigger = locals[0].as_u64() + spec.expect("spec enabled").interval;
+                    stop_at = None;
+                    pending_rollback = false;
+                    window_end = locals[0] + 1;
+                }
+            }
+        }
+
+        let global = locals.iter().copied().min().expect("n >= 1");
+        if let Some(tr) = &mut tracker {
+            tr.close_intervals_up_to(global);
+        }
+
+        let mut kernel = Counters::new();
+        kernel.set("checkpoints", spec_stats.checkpoints);
+        kernel.set("rollbacks", spec_stats.rollbacks);
+        kernel.set("wasted_cycles", spec_stats.wasted_cycles);
+        kernel.set("replay_cycles", spec_stats.replay_cycles);
+        kernel.set("violations_detected_total", detected.total());
+        kernel.set(
+            "violations_detected_bus",
+            detected.count(crate::violation::ViolationKind::Bus),
+        );
+        kernel.set(
+            "violations_detected_map",
+            detected.count(crate::violation::ViolationKind::Map),
+        );
+        kernel.set(
+            "finish_commit_target",
+            u64::from(finish_reason == FinishReason::CommitTarget),
+        );
+        kernel.set("max_clock_spread", max_spread);
+        if let Some(tr) = &tracker {
+            kernel.set("intervals_total", tr.intervals_total());
+            kernel.set("intervals_violating", tr.intervals_violating());
+            // Fixed-point (x1000) so the f64 statistics survive the counter
+            // interface; the bench harness divides back.
+            kernel.set(
+                "mean_first_violation_distance_x1000",
+                (tr.mean_first_distance() * 1000.0).round() as u64,
+            );
+        }
+
+        Ok(SimReport {
+            global_cycles: global.as_u64(),
+            committed,
+            violations: tally,
+            wall: started.elapsed(),
+            per_core: cores.iter().map(CoreModel::counters).collect(),
+            uncore: uncore.counters(),
+            kernel,
+            bound_trace,
+        })
+    }
+
+    /// Services every event currently in the global queue, in timestamp
+    /// order among those queued, applying deliveries and recording
+    /// violations.
+    #[allow(clippy::too_many_arguments)]
+    fn service_all(
+        gq: &mut GlobalQueue<C::Event>,
+        uncore: &mut U,
+        sink: &mut ServiceSink<C::Event>,
+        inboxes: &mut [Inbox<C::Event>],
+        tally: &mut ViolationTally,
+        detected: &mut ViolationTally,
+        tracker: &mut Option<IntervalTracker>,
+        pending_rollback: &mut bool,
+        spec: &Option<crate::speculative::SpeculationConfig>,
+        mode: Mode,
+    ) {
+        while let Some((from, ev)) = gq.pop() {
+            uncore.service(from, ev, sink);
+            for (to, out) in sink.take_deliveries() {
+                inboxes[to.index()].deliver(out);
+            }
+            for v in sink.take_violations() {
+                tally.record(v.kind);
+                detected.record(v.kind);
+                if let Some(tr) = tracker.as_mut() {
+                    tr.observe_violation(v.ts);
+                }
+                if mode == Mode::Base {
+                    if let Some(sc) = spec {
+                        if sc.rollback_on.selects(v.kind) {
+                            *pending_rollback = true;
+                        }
+                    }
+                }
+            }
+            if *pending_rollback {
+                // State will be restored wholesale; no point servicing the
+                // remaining (doomed) events.
+                gq.clear();
+                break;
+            }
+        }
+    }
+
+    /// Restores the last checkpoint.
+    #[allow(clippy::too_many_arguments)]
+    fn rollback(
+        snap: &Snapshot<C, U>,
+        cores: &mut Vec<C>,
+        uncore: &mut U,
+        locals: &mut Vec<Cycle>,
+        inboxes: &mut Vec<Inbox<C::Event>>,
+        tally: &mut ViolationTally,
+        committed: &mut u64,
+        pacer: &mut Box<dyn Pacer>,
+        next_sample: &mut u64,
+        last_sample_tally: &mut ViolationTally,
+        gq: &mut GlobalQueue<C::Event>,
+        spec_stats: &mut SpeculationStats,
+        global_at_rollback: Cycle,
+    ) {
+        spec_stats.rollbacks += 1;
+        spec_stats.wasted_cycles += global_at_rollback.saturating_sub(snap.global);
+        *cores = snap.cores.clone();
+        *uncore = snap.uncore.clone();
+        *locals = snap.locals.clone();
+        *inboxes = snap.inboxes.clone();
+        *tally = snap.tally;
+        *committed = snap.committed;
+        *pacer = snap.pacer.clone_box();
+        *next_sample = snap.next_sample;
+        *last_sample_tally = snap.last_sample_tally;
+        gq.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use crate::speculative::{SpeculationConfig, ViolationSelect};
+    use crate::violation::{TimestampMonitor, ViolationEvent, ViolationKind};
+
+    /// Toy event: cores ping the uncore, the uncore pongs back.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Toy {
+        Ping,
+        Pong,
+    }
+
+    /// Toy core: commits one instruction per cycle and pings the uncore
+    /// every `period` cycles.
+    #[derive(Debug, Clone)]
+    struct ToyCore {
+        period: u64,
+        committed: u64,
+        pongs: u64,
+    }
+
+    impl ToyCore {
+        fn new(period: u64) -> Self {
+            ToyCore {
+                period,
+                committed: 0,
+                pongs: 0,
+            }
+        }
+    }
+
+    impl CoreModel for ToyCore {
+        type Event = Toy;
+
+        fn tick(&mut self, ctx: &mut TickCtx<'_, Toy>) -> u32 {
+            while let Some(ev) = ctx.pop_event() {
+                assert_eq!(ev.payload, Toy::Pong);
+                self.pongs += 1;
+            }
+            if ctx.now().as_u64() % self.period == 0 {
+                ctx.emit(Toy::Ping);
+            }
+            self.committed += 1;
+            1
+        }
+
+        fn committed(&self) -> u64 {
+            self.committed
+        }
+
+        fn counters(&self) -> Counters {
+            let mut c = Counters::new();
+            c.set("committed", self.committed);
+            c.set("pongs", self.pongs);
+            c
+        }
+    }
+
+    /// Toy uncore: a single monitored resource with a 5-cycle response
+    /// latency — a minimal bus.
+    #[derive(Debug, Clone, Default)]
+    struct ToyUncore {
+        monitor: TimestampMonitor,
+        serviced: u64,
+    }
+
+    impl UncoreModel<Toy> for ToyUncore {
+        fn service(&mut self, from: CoreId, ev: Timestamped<Toy>, sink: &mut ServiceSink<Toy>) {
+            self.serviced += 1;
+            if self.monitor.observe(ev.ts) {
+                sink.report_violation(ViolationEvent {
+                    kind: ViolationKind::Bus,
+                    ts: ev.ts,
+                });
+            }
+            sink.deliver(from, Timestamped::new(ev.ts + 5, Toy::Pong));
+        }
+
+        fn counters(&self) -> Counters {
+            let mut c = Counters::new();
+            c.set("serviced", self.serviced);
+            c
+        }
+    }
+
+    fn toy_cores(n: usize) -> Vec<ToyCore> {
+        (0..n).map(|i| ToyCore::new(3 + (i as u64 % 4))).collect()
+    }
+
+    fn run(scheme: Scheme, seed: u64, target: u64) -> SimReport {
+        let mut cfg = EngineConfig::new(scheme, target);
+        cfg.seed = seed;
+        SequentialEngine::new(toy_cores(4), ToyUncore::default(), cfg)
+            .run()
+            .expect("run succeeds")
+    }
+
+    #[test]
+    fn empty_core_set_is_an_error() {
+        let cfg = EngineConfig::new(Scheme::CycleByCycle, 10);
+        let eng: SequentialEngine<ToyCore, ToyUncore> =
+            SequentialEngine::new(Vec::new(), ToyUncore::default(), cfg);
+        assert_eq!(eng.run().unwrap_err(), EngineError::NoCores);
+    }
+
+    #[test]
+    fn cycle_by_cycle_has_zero_violations() {
+        let r = run(Scheme::CycleByCycle, 7, 4000);
+        assert_eq!(r.violations.total(), 0, "CC is the gold standard");
+        assert!(r.committed >= 4000);
+        assert!(r.global_cycles > 0);
+        // Barrier servicing must actually run: requests are serviced and
+        // replies delivered back to the cores.
+        assert!(r.uncore.get("serviced") > 0, "manager serviced no events");
+        assert!(r.core_total("pongs") > 0, "cores received no replies");
+    }
+
+    #[test]
+    fn bounded_one_has_zero_violations() {
+        // Slack bound 1 cannot reorder events across cycles.
+        let r = run(Scheme::BoundedSlack { bound: 1 }, 7, 4000);
+        assert_eq!(r.violations.total(), 0);
+    }
+
+    #[test]
+    fn unbounded_slack_produces_violations() {
+        let r = run(Scheme::UnboundedSlack, 7, 8000);
+        assert!(
+            r.violations.total() > 0,
+            "4 drifting cores must reorder on a single monitored bus"
+        );
+    }
+
+    #[test]
+    fn violations_grow_with_slack_bound() {
+        let v8 = run(Scheme::BoundedSlack { bound: 8 }, 7, 8000)
+            .violations
+            .total();
+        let v256 = run(Scheme::BoundedSlack { bound: 256 }, 7, 8000)
+            .violations
+            .total();
+        assert!(
+            v256 >= v8,
+            "larger slack must not reduce violations ({v8} -> {v256})"
+        );
+        assert!(v256 > 0);
+    }
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        let a = run(Scheme::BoundedSlack { bound: 16 }, 42, 6000);
+        let b = run(Scheme::BoundedSlack { bound: 16 }, 42, 6000);
+        assert_eq!(a.global_cycles, b.global_cycles);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.per_core, b.per_core);
+        assert_eq!(a.uncore, b.uncore);
+    }
+
+    #[test]
+    fn cc_is_seed_independent() {
+        // Under cycle-by-cycle pacing, scheduling order within a cycle must
+        // not affect any statistic.
+        let a = run(Scheme::CycleByCycle, 1, 4000);
+        let b = run(Scheme::CycleByCycle, 999, 4000);
+        assert_eq!(a.global_cycles, b.global_cycles);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.per_core, b.per_core);
+        assert_eq!(a.uncore, b.uncore);
+    }
+
+    #[test]
+    fn quantum_has_zero_monitor_violations() {
+        // Batch servicing at boundaries keeps timestamp order intact.
+        let r = run(Scheme::Quantum { quantum: 50 }, 7, 6000);
+        assert_eq!(r.violations.total(), 0);
+        assert!(r.uncore.get("serviced") > 0);
+        assert!(r.core_total("pongs") > 0);
+    }
+
+    #[test]
+    fn cycle_cap_stops_the_run() {
+        let mut cfg = EngineConfig::new(Scheme::CycleByCycle, u64::MAX);
+        cfg.max_cycles = 500;
+        let r = SequentialEngine::new(toy_cores(2), ToyUncore::default(), cfg)
+            .run()
+            .unwrap();
+        assert_eq!(r.global_cycles, 500);
+        assert_eq!(r.kernel.get("finish_commit_target"), 0);
+    }
+
+    #[test]
+    fn checkpoint_only_counts_checkpoints() {
+        let mut cfg = EngineConfig::new(Scheme::BoundedSlack { bound: 32 }, 40_000);
+        cfg.speculation = Some(SpeculationConfig::checkpoint_only(1000));
+        let r = SequentialEngine::new(toy_cores(4), ToyUncore::default(), cfg)
+            .run()
+            .unwrap();
+        let cps = r.kernel.get("checkpoints");
+        let expected = r.global_cycles / 1000;
+        assert!(
+            cps >= expected.saturating_sub(2) && cps <= expected + 2,
+            "expected about {expected} checkpoints, took {cps}"
+        );
+        assert_eq!(r.kernel.get("rollbacks"), 0);
+    }
+
+    #[test]
+    fn speculative_rollback_eliminates_selected_violations() {
+        let mut cfg = EngineConfig::new(Scheme::UnboundedSlack, 20_000);
+        cfg.speculation = Some(SpeculationConfig::speculative(500, ViolationSelect::all()));
+        cfg.seed = 3;
+        let r = SequentialEngine::new(toy_cores(4), ToyUncore::default(), cfg)
+            .run()
+            .unwrap();
+        assert!(
+            r.kernel.get("rollbacks") > 0,
+            "unbounded slack on a shared bus must trigger rollbacks"
+        );
+        // Every surviving interval was either clean or replayed in CC mode,
+        // so the end-of-run tally contains no *selected* violations beyond
+        // those detected in the final (unfinished) interval.
+        assert!(r.kernel.get("violations_detected_total") >= r.violations.total());
+        assert!(r.kernel.get("replay_cycles") > 0);
+        assert!(r.committed >= 20_000);
+    }
+
+    #[test]
+    fn interval_tracker_statistics_are_reported() {
+        let mut cfg = EngineConfig::new(Scheme::UnboundedSlack, 30_000);
+        cfg.speculation = Some(SpeculationConfig::checkpoint_only(1000));
+        cfg.seed = 5;
+        let r = SequentialEngine::new(toy_cores(4), ToyUncore::default(), cfg)
+            .run()
+            .unwrap();
+        assert!(r.kernel.get("intervals_total") > 0);
+        assert!(r.kernel.get("intervals_violating") <= r.kernel.get("intervals_total"));
+    }
+
+    #[test]
+    fn bound_trace_records_adaptive_bounds() {
+        use crate::scheme::AdaptiveConfig;
+        let mut cfg = EngineConfig::new(
+            Scheme::Adaptive(AdaptiveConfig {
+                sample_period: 256,
+                ..AdaptiveConfig::default()
+            }),
+            20_000,
+        );
+        cfg.seed = 9;
+        let r = SequentialEngine::new(toy_cores(4), ToyUncore::default(), cfg)
+            .run()
+            .unwrap();
+        assert!(!r.bound_trace.is_empty());
+        assert!(r.bound_trace.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn per_core_counters_sum_to_committed() {
+        let r = run(Scheme::BoundedSlack { bound: 4 }, 11, 5000);
+        assert_eq!(r.core_total("committed"), r.committed);
+    }
+}

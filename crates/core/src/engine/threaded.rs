@@ -1,0 +1,822 @@
+//! The threaded engine: one host thread per target core plus the
+//! simulation-manager logic, exactly as SlackSim maps a CMP simulation
+//! onto a host CMP (paper §2).
+//!
+//! Each core thread owns its [`CoreModel`] and advances it while its local
+//! time is below the max local time published by the manager. Events flow
+//! through lock-free queues (OutQ/InQ); the manager consolidates OutQ
+//! entries into the global queue and services them — greedily under slack
+//! schemes, in sorted batches at window boundaries under barrier schemes
+//! (cycle-by-cycle, quantum, and post-rollback replay).
+//!
+//! Checkpoints and rollbacks use a stop-sync protocol over per-core command
+//! channels: *stop → run-to common local time → drain → snapshot/restore →
+//! resume*, the in-memory equivalent of the paper's `fork()`-based global
+//! checkpoints.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use crossbeam::queue::SegQueue;
+
+use crate::engine::{
+    CoreModel, EngineConfig, EngineError, FinishReason, ServiceSink, TickCtx, UncoreModel,
+};
+use crate::event::{CoreId, GlobalQueue, Inbox, Timestamped};
+use crate::scheme::{PaceSample, Pacer};
+use crate::speculative::{IntervalTracker, SpeculationStats};
+use crate::stats::{Counters, SimReport};
+use crate::time::Cycle;
+use crate::violation::ViolationTally;
+
+/// Commands the manager sends to a core thread.
+enum Command<C: CoreModel> {
+    /// Pause at the current local time and acknowledge it.
+    Stop,
+    /// Run (ignoring the published max local time) until the local clock
+    /// reaches the given cycle, then acknowledge.
+    RunTo(u64),
+    /// Clone the core model and pending inbox into the snapshot slot.
+    Snapshot,
+    /// Replace the core model and inbox with the given restored state.
+    Restore(Box<(C, Inbox<<C as CoreModel>::Event>)>),
+    /// Leave the control sub-loop and return to normal execution.
+    Resume,
+}
+
+/// A core thread's snapshot: the model plus its undelivered inbox events.
+type CoreSnapshot<C> = (C, Inbox<<C as CoreModel>::Event>);
+
+/// State shared between the manager and one core thread.
+struct CoreShared<C: CoreModel> {
+    local: AtomicU64,
+    max_local: AtomicU64,
+    outq: SegQueue<Timestamped<C::Event>>,
+    inq: SegQueue<Timestamped<C::Event>>,
+    snapshot: parking_lot::Mutex<Option<CoreSnapshot<C>>>,
+}
+
+/// Execution mode of the speculation state machine (mirrors the
+/// sequential engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Base,
+    Replay,
+}
+
+/// Manager-side copy of a global checkpoint.
+struct ManagerSnapshot<C: CoreModel, U> {
+    cores: Vec<CoreSnapshot<C>>,
+    uncore: U,
+    global: Cycle,
+    tally: ViolationTally,
+    committed: u64,
+    pacer: Box<dyn Pacer>,
+    next_sample: u64,
+    last_sample_tally: ViolationTally,
+}
+
+/// Parallel slack-simulation engine: `n` core threads plus the manager.
+///
+/// Semantics are identical to
+/// [`SequentialEngine`](crate::engine::SequentialEngine); under
+/// cycle-by-cycle pacing the two produce bit-identical statistics. Under
+/// slack pacing the threaded engine inherits the host scheduler's real
+/// nondeterminism — which is the paper's point.
+pub struct ThreadedEngine<C: CoreModel, U: UncoreModel<C::Event>> {
+    cores: Vec<C>,
+    uncore: U,
+    cfg: EngineConfig,
+}
+
+impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
+    /// Creates an engine over the given target cores and uncore.
+    pub fn new(cores: Vec<C>, uncore: U, cfg: EngineConfig) -> Self {
+        ThreadedEngine { cores, uncore, cfg }
+    }
+
+    /// Runs the simulation to completion, spawning one host thread per
+    /// target core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::NoCores`] for an empty core set.
+    pub fn run(self) -> Result<SimReport, EngineError> {
+        let ThreadedEngine { cores, uncore, cfg } = self;
+        let n = cores.len();
+        if n == 0 {
+            return Err(EngineError::NoCores);
+        }
+        let started = Instant::now();
+
+        if cfg.commit_target == 0 {
+            // Trivial run: nothing to simulate.
+            return Ok(SimReport {
+                per_core: cores.iter().map(CoreModel::counters).collect(),
+                uncore: uncore.counters(),
+                ..SimReport::default()
+            });
+        }
+
+        let shared: Vec<Arc<CoreShared<C>>> = (0..n)
+            .map(|_| {
+                Arc::new(CoreShared {
+                    local: AtomicU64::new(0),
+                    max_local: AtomicU64::new(0),
+                    outq: SegQueue::new(),
+                    inq: SegQueue::new(),
+                    snapshot: parking_lot::Mutex::new(None),
+                })
+            })
+            .collect();
+        let done = Arc::new(AtomicBool::new(false));
+        let committed = Arc::new(AtomicU64::new(0));
+
+        let mut cmd_txs: Vec<Sender<Command<C>>> = Vec::with_capacity(n);
+        let mut cmd_rxs: Vec<Receiver<Command<C>>> = Vec::with_capacity(n);
+        let mut ack_txs: Vec<Sender<u64>> = Vec::with_capacity(n);
+        let mut ack_rxs: Vec<Receiver<u64>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (ct, cr) = unbounded();
+            let (at, ar) = unbounded();
+            cmd_txs.push(ct);
+            cmd_rxs.push(cr);
+            ack_txs.push(at);
+            ack_rxs.push(ar);
+        }
+
+        // Cores start frozen (max local time 0); the manager publishes the
+        // first window after taking the free initial checkpoint.
+        let mut pacer = cfg.scheme.clone().into_pacer();
+        let mut uncore = uncore;
+
+        let report = std::thread::scope(|scope| {
+            // --- Core threads ------------------------------------------------
+            let mut handles = Vec::with_capacity(n);
+            for (i, model) in cores.into_iter().enumerate() {
+                let shared = Arc::clone(&shared[i]);
+                let done = Arc::clone(&done);
+                let committed = Arc::clone(&committed);
+                let cmd_rx = cmd_rxs[i].clone();
+                let ack_tx = ack_txs[i].clone();
+                handles.push(scope.spawn(move || {
+                    core_thread(model, &shared, &done, &committed, &cmd_rx, &ack_tx)
+                }));
+            }
+
+            // --- Manager (this thread) ---------------------------------------
+            let outcome = manager_loop(
+                &cfg,
+                &mut pacer,
+                &mut uncore,
+                &shared,
+                &committed,
+                &cmd_txs,
+                &ack_rxs,
+            );
+
+            done.store(true, Ordering::Release);
+            let mut finished_cores = Vec::with_capacity(n);
+            for h in handles {
+                finished_cores.push(h.join().expect("core thread panicked"));
+            }
+            outcome.map(|m| m.into_report(finished_cores, started.elapsed()))
+        })?;
+        Ok(report)
+    }
+}
+
+/// Core-thread main loop: tick while below the max local time, obey
+/// manager commands, exit when the done flag rises.
+fn core_thread<C: CoreModel>(
+    mut model: C,
+    shared: &CoreShared<C>,
+    done: &AtomicBool,
+    committed: &AtomicU64,
+    cmd_rx: &Receiver<Command<C>>,
+    ack_tx: &Sender<u64>,
+) -> C {
+    let mut inbox: Inbox<C::Event> = Inbox::new();
+    let mut outbox: Vec<Timestamped<C::Event>> = Vec::new();
+    let mut idle_spins = 0u32;
+
+    'main: loop {
+        // Control channel has priority over everything.
+        match cmd_rx.try_recv() {
+            Ok(mut cmd) => loop {
+                match cmd {
+                    Command::Stop => {
+                        ack_tx
+                            .send(shared.local.load(Ordering::Relaxed))
+                            .expect("manager alive");
+                    }
+                    Command::RunTo(target) => {
+                        let mut l = shared.local.load(Ordering::Relaxed);
+                        while l < target {
+                            while let Some(ev) = shared.inq.pop() {
+                                inbox.deliver(ev);
+                            }
+                            let c = {
+                                let mut ctx =
+                                    TickCtx::new(Cycle::new(l), &mut inbox, &mut outbox);
+                                model.tick(&mut ctx)
+                            };
+                            committed.fetch_add(u64::from(c), Ordering::Relaxed);
+                            for ev in outbox.drain(..) {
+                                shared.outq.push(ev);
+                            }
+                            l += 1;
+                            shared.local.store(l, Ordering::Release);
+                        }
+                        ack_tx.send(l).expect("manager alive");
+                    }
+                    Command::Snapshot => {
+                        while let Some(ev) = shared.inq.pop() {
+                            inbox.deliver(ev);
+                        }
+                        *shared.snapshot.lock() = Some((model.clone(), inbox.clone()));
+                        ack_tx
+                            .send(shared.local.load(Ordering::Relaxed))
+                            .expect("manager alive");
+                    }
+                    Command::Restore(state) => {
+                        let (m, ib) = *state;
+                        model = m;
+                        inbox = ib;
+                        ack_tx
+                            .send(shared.local.load(Ordering::Relaxed))
+                            .expect("manager alive");
+                    }
+                    Command::Resume => continue 'main,
+                }
+                cmd = cmd_rx.recv().expect("manager alive");
+            },
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => break 'main,
+        }
+
+        if done.load(Ordering::Acquire) {
+            break 'main;
+        }
+
+        while let Some(ev) = shared.inq.pop() {
+            inbox.deliver(ev);
+        }
+        let l = shared.local.load(Ordering::Relaxed);
+        let m = shared.max_local.load(Ordering::Acquire);
+        if l < m {
+            idle_spins = 0;
+            let c = {
+                let mut ctx = TickCtx::new(Cycle::new(l), &mut inbox, &mut outbox);
+                model.tick(&mut ctx)
+            };
+            committed.fetch_add(u64::from(c), Ordering::Relaxed);
+            for ev in outbox.drain(..) {
+                shared.outq.push(ev);
+            }
+            shared.local.store(l + 1, Ordering::Release);
+        } else {
+            // Capped: wait for the manager to widen the window.
+            idle_spins += 1;
+            if idle_spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+    model
+}
+
+/// Manager-side run state that eventually becomes the report.
+struct ManagerOutcome<U> {
+    uncore: U,
+    global: Cycle,
+    committed: u64,
+    tally: ViolationTally,
+    kernel: Counters,
+    bound_trace: Vec<(Cycle, u64)>,
+}
+
+impl<U> ManagerOutcome<U> {
+    fn into_report<C: CoreModel>(self, cores: Vec<C>, wall: std::time::Duration) -> SimReport
+    where
+        U: UncoreModel<C::Event>,
+    {
+        SimReport {
+            global_cycles: self.global.as_u64(),
+            committed: self.committed,
+            violations: self.tally,
+            wall,
+            per_core: cores.iter().map(CoreModel::counters).collect(),
+            uncore: self.uncore.counters(),
+            kernel: self.kernel,
+            bound_trace: self.bound_trace,
+        }
+    }
+}
+
+/// The simulation-manager loop (runs on the caller's thread inside the
+/// scope).
+#[allow(clippy::too_many_arguments)]
+fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
+    cfg: &EngineConfig,
+    pacer: &mut Box<dyn Pacer>,
+    uncore: &mut U,
+    shared: &[Arc<CoreShared<C>>],
+    committed: &AtomicU64,
+    cmd_txs: &[Sender<Command<C>>],
+    ack_rxs: &[Receiver<u64>],
+) -> Result<ManagerOutcome<U>, EngineError> {
+    let n = shared.len();
+    let sample_period = cfg.effective_sample_period();
+    let mut gq: GlobalQueue<C::Event> = GlobalQueue::new();
+    let mut sink: ServiceSink<C::Event> = ServiceSink::new();
+
+    let mut tally = ViolationTally::new();
+    let mut detected = ViolationTally::new();
+    let mut next_sample = sample_period;
+    let mut last_sample_tally = tally;
+    let mut bound_trace: Vec<(Cycle, u64)> = Vec::new();
+
+    let spec = cfg.speculation;
+    let mut tracker = spec.map(|s| IntervalTracker::new(s.interval));
+    let mut spec_stats = SpeculationStats::default();
+    let mut mode = Mode::Base;
+    let mut next_cp_trigger: u64 = spec.map_or(u64::MAX, |s| s.interval);
+    let mut replay_start = Cycle::ZERO;
+    let mut pending_rollback = false;
+
+    // The initial state is a free checkpoint taken before the cores move.
+    let mut snapshot: Option<ManagerSnapshot<C, U>> = if spec.is_some() {
+        let cores = snapshot_all(shared, cmd_txs, ack_rxs, &mut gq, uncore, &mut sink);
+        // Discard side effects of the (empty) drain above.
+        Some(ManagerSnapshot {
+            cores,
+            uncore: uncore.clone(),
+            global: Cycle::ZERO,
+            tally,
+            committed: 0,
+            pacer: pacer.clone_box(),
+            next_sample,
+            last_sample_tally,
+        })
+    } else {
+        None
+    };
+
+    let mut window_end = if pacer.barrier_service() {
+        pacer.window_end(Cycle::ZERO)
+    } else {
+        pacer.window_end(Cycle::ZERO).min(cfg.lead_cap(Cycle::ZERO))
+    };
+    publish_window(shared, window_end);
+
+    let finish_reason;
+    let final_global;
+    // Largest clock spread observed at manager sampling points (the
+    // empirical slack; a lower bound on the true maximum since the manager
+    // samples asynchronously).
+    let mut max_spread: u64 = 0;
+
+    loop {
+        drain_outqs(shared, &mut gq);
+        let locals: Vec<u64> = shared
+            .iter()
+            .map(|s| s.local.load(Ordering::Acquire))
+            .collect();
+        let global = Cycle::new(locals.iter().copied().min().expect("n >= 1"));
+        max_spread = max_spread
+            .max(locals.iter().copied().max().expect("n >= 1") - global.as_u64());
+        let barrier = mode == Mode::Replay || pacer.barrier_service();
+
+        if let Some(tr) = &mut tracker {
+            tr.close_intervals_up_to(global);
+        }
+        while global.as_u64() >= next_sample {
+            let delta = tally.since(&last_sample_tally);
+            pacer.on_sample(&PaceSample {
+                global: Cycle::new(next_sample),
+                window_cycles: sample_period,
+                window_violations: delta.total(),
+            });
+            last_sample_tally = tally;
+            if let Some(b) = pacer.current_bound() {
+                bound_trace.push((Cycle::new(next_sample), b));
+            }
+            next_sample += sample_period;
+        }
+
+        if barrier {
+            if locals.iter().all(|&l| l == window_end.as_u64()) {
+                drain_outqs(shared, &mut gq);
+                service_all(
+                    &mut gq,
+                    uncore,
+                    &mut sink,
+                    shared,
+                    &mut tally,
+                    &mut detected,
+                    &mut tracker,
+                    &mut pending_rollback,
+                    &spec,
+                    mode == Mode::Base,
+                );
+                debug_assert!(!pending_rollback, "barrier servicing cannot violate");
+                let g = window_end;
+                if committed.load(Ordering::Acquire) >= cfg.commit_target {
+                    finish_reason = FinishReason::CommitTarget;
+                    final_global = g;
+                    break;
+                }
+                if g.as_u64() >= cfg.max_cycles {
+                    finish_reason = FinishReason::CycleCap;
+                    final_global = g;
+                    break;
+                }
+                if spec.is_some() && g.as_u64() >= next_cp_trigger {
+                    // Cores are already aligned at the boundary: snapshot
+                    // directly.
+                    if mode == Mode::Replay {
+                        spec_stats.replay_cycles += g.saturating_sub(replay_start);
+                        mode = Mode::Base;
+                    }
+                    let cores = snapshot_all(shared, cmd_txs, ack_rxs, &mut gq, uncore, &mut sink);
+                    spec_stats.checkpoints += 1;
+                    snapshot = Some(ManagerSnapshot {
+                        cores,
+                        uncore: uncore.clone(),
+                        global: g,
+                        tally,
+                        committed: committed.load(Ordering::Acquire),
+                        pacer: pacer.clone_box(),
+                        next_sample,
+                        last_sample_tally,
+                    });
+                    next_cp_trigger = g.as_u64() + spec.expect("spec enabled").interval;
+                }
+                window_end = if mode == Mode::Replay {
+                    g + 1
+                } else {
+                    pacer.window_end(g)
+                };
+                publish_window(shared, window_end);
+            } else {
+                if committed.load(Ordering::Acquire) >= cfg.commit_target {
+                    // Graceful finish for barrier schemes: converge the
+                    // window on the furthest core instead of waiting for a
+                    // distant quantum boundary.
+                    let furthest = locals.iter().copied().max().expect("n >= 1");
+                    let clamp = Cycle::new(furthest.max(global.as_u64() + 1));
+                    if clamp < window_end {
+                        window_end = clamp;
+                        publish_window(shared, window_end);
+                    }
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+            continue;
+        }
+
+        // --- Greedy servicing -------------------------------------------
+        service_all(
+            &mut gq,
+            uncore,
+            &mut sink,
+            shared,
+            &mut tally,
+            &mut detected,
+            &mut tracker,
+            &mut pending_rollback,
+            &spec,
+            mode == Mode::Base,
+        );
+
+        if pending_rollback {
+            let snap = snapshot.as_ref().expect("rollback requires a snapshot");
+            stop_all(cmd_txs, ack_rxs);
+            drain_outqs(shared, &mut gq);
+            gq.clear();
+            for s in shared {
+                while s.inq.pop().is_some() {}
+                while s.outq.pop().is_some() {}
+            }
+            let cur_global = Cycle::new(
+                shared
+                    .iter()
+                    .map(|s| s.local.load(Ordering::Acquire))
+                    .min()
+                    .expect("n >= 1"),
+            );
+            spec_stats.rollbacks += 1;
+            spec_stats.wasted_cycles += cur_global.saturating_sub(snap.global);
+            for (i, tx) in cmd_txs.iter().enumerate() {
+                let (m, ib) = &snap.cores[i];
+                shared[i].local.store(snap.global.as_u64(), Ordering::Release);
+                tx.send(Command::Restore(Box::new((m.clone(), ib.clone()))))
+                    .expect("core alive");
+            }
+            await_acks(ack_rxs);
+            *uncore = snap.uncore.clone();
+            tally = snap.tally;
+            committed.store(snap.committed, Ordering::Release);
+            *pacer = snap.pacer.clone_box();
+            next_sample = snap.next_sample;
+            last_sample_tally = snap.last_sample_tally;
+            mode = Mode::Replay;
+            replay_start = snap.global;
+            next_cp_trigger = snap.global.as_u64() + spec.expect("spec enabled").interval;
+            pending_rollback = false;
+            window_end = snap.global + 1;
+            publish_window(shared, window_end);
+            resume_all(cmd_txs);
+            continue;
+        }
+
+        let committed_now = committed.load(Ordering::Acquire);
+        if committed_now >= cfg.commit_target {
+            finish_reason = FinishReason::CommitTarget;
+            final_global = global;
+            break;
+        }
+        if global.as_u64() >= cfg.max_cycles {
+            finish_reason = FinishReason::CycleCap;
+            final_global = global;
+            break;
+        }
+
+        if spec.is_some() && global.as_u64() >= next_cp_trigger {
+            // Stop-sync all cores at a common local time ≥ the trigger.
+            stop_all(cmd_txs, ack_rxs);
+            let stop_at = shared
+                .iter()
+                .map(|s| s.local.load(Ordering::Acquire))
+                .max()
+                .expect("n >= 1")
+                .max(next_cp_trigger);
+            publish_window(shared, Cycle::new(stop_at));
+            for tx in cmd_txs {
+                tx.send(Command::RunTo(stop_at)).expect("core alive");
+            }
+            // Keep servicing while cores run up to the stop point.
+            let mut acked = 0usize;
+            let mut ack_iters = ack_rxs.iter().cycle();
+            while acked < n {
+                drain_outqs(shared, &mut gq);
+                service_all(
+                    &mut gq,
+                    uncore,
+                    &mut sink,
+                    shared,
+                    &mut tally,
+                    &mut detected,
+                    &mut tracker,
+                    &mut pending_rollback,
+                    &spec,
+                    mode == Mode::Base,
+                );
+                let rx = ack_iters.next().expect("cycle never ends");
+                if rx.try_recv().is_ok() {
+                    acked += 1;
+                }
+            }
+            drain_outqs(shared, &mut gq);
+            service_all(
+                &mut gq,
+                uncore,
+                &mut sink,
+                shared,
+                &mut tally,
+                &mut detected,
+                &mut tracker,
+                &mut pending_rollback,
+                &spec,
+                mode == Mode::Base,
+            );
+            if pending_rollback {
+                // A violation surfaced during stop-sync: resume and let the
+                // rollback branch at the top of the loop handle it.
+                resume_all(cmd_txs);
+                continue;
+            }
+            // Cores are paused right after their RunTo ack: snapshot them.
+            for tx in cmd_txs {
+                tx.send(Command::Snapshot).expect("core alive");
+            }
+            await_acks(ack_rxs);
+            let cores: Vec<CoreSnapshot<C>> = shared
+                .iter()
+                .map(|s| s.snapshot.lock().take().expect("snapshot filled"))
+                .collect();
+            if mode == Mode::Replay {
+                spec_stats.replay_cycles += Cycle::new(stop_at).saturating_sub(replay_start);
+                mode = Mode::Base;
+            }
+            spec_stats.checkpoints += 1;
+            snapshot = Some(ManagerSnapshot {
+                cores,
+                uncore: uncore.clone(),
+                global: Cycle::new(stop_at),
+                tally,
+                committed: committed.load(Ordering::Acquire),
+                pacer: pacer.clone_box(),
+                next_sample,
+                last_sample_tally,
+            });
+            next_cp_trigger = stop_at + spec.expect("spec enabled").interval;
+            let stop_locals = vec![stop_at; n];
+            window_end = publish_greedy_windows(pacer, shared, &stop_locals, cfg);
+            resume_all(cmd_txs);
+            continue;
+        }
+
+        window_end = publish_greedy_windows(pacer, shared, &locals, cfg);
+        std::thread::yield_now();
+    }
+
+    let mut kernel = Counters::new();
+    kernel.set("checkpoints", spec_stats.checkpoints);
+    kernel.set("rollbacks", spec_stats.rollbacks);
+    kernel.set("wasted_cycles", spec_stats.wasted_cycles);
+    kernel.set("replay_cycles", spec_stats.replay_cycles);
+    kernel.set("violations_detected_total", detected.total());
+    kernel.set(
+        "violations_detected_bus",
+        detected.count(crate::violation::ViolationKind::Bus),
+    );
+    kernel.set(
+        "violations_detected_map",
+        detected.count(crate::violation::ViolationKind::Map),
+    );
+    kernel.set(
+        "finish_commit_target",
+        u64::from(finish_reason == FinishReason::CommitTarget),
+    );
+    kernel.set("max_clock_spread", max_spread);
+    if let Some(tr) = &tracker {
+        kernel.set("intervals_total", tr.intervals_total());
+        kernel.set("intervals_violating", tr.intervals_violating());
+        kernel.set(
+            "mean_first_violation_distance_x1000",
+            (tr.mean_first_distance() * 1000.0).round() as u64,
+        );
+    }
+
+    Ok(ManagerOutcome {
+        uncore: uncore.clone(),
+        global: final_global,
+        committed: committed.load(Ordering::Acquire),
+        tally,
+        kernel,
+        bound_trace,
+    })
+}
+
+/// Sets every core's max local time.
+fn publish_window<C: CoreModel>(shared: &[Arc<CoreShared<C>>], window_end: Cycle) {
+    for s in shared {
+        s.max_local.store(window_end.as_u64(), Ordering::Release);
+    }
+}
+
+/// Publishes windows for a greedy scheme: per-core when the pacer paces
+/// against peers (Lax-P2P), uniform otherwise; both clamped by the
+/// implementation lead cap. Returns the largest published window for the
+/// manager's bookkeeping.
+fn publish_greedy_windows<C: CoreModel>(
+    pacer: &mut Box<dyn Pacer>,
+    shared: &[Arc<CoreShared<C>>],
+    locals: &[u64],
+    cfg: &EngineConfig,
+) -> Cycle {
+    let global = Cycle::new(locals.iter().copied().min().expect("n >= 1"));
+    let cap = cfg.lead_cap(global);
+    let cycles: Vec<Cycle> = locals.iter().map(|&l| Cycle::new(l)).collect();
+    if let Some(wins) = pacer.window_ends(&cycles) {
+        let mut max_win = Cycle::ZERO;
+        for (i, s) in shared.iter().enumerate() {
+            let w = wins[i].min(cap);
+            s.max_local.store(w.as_u64(), Ordering::Release);
+            max_win = max_win.max(w);
+        }
+        max_win
+    } else {
+        let w = pacer.window_end(global).min(cap);
+        publish_window(shared, w);
+        w
+    }
+}
+
+/// Moves every queued OutQ entry into the global queue.
+fn drain_outqs<C: CoreModel>(shared: &[Arc<CoreShared<C>>], gq: &mut GlobalQueue<C::Event>) {
+    for (i, s) in shared.iter().enumerate() {
+        while let Some(ev) = s.outq.pop() {
+            gq.push(CoreId::new(i as u16), ev);
+        }
+    }
+}
+
+/// Services everything currently in the global queue.
+#[allow(clippy::too_many_arguments)]
+fn service_all<C: CoreModel, U: UncoreModel<C::Event>>(
+    gq: &mut GlobalQueue<C::Event>,
+    uncore: &mut U,
+    sink: &mut ServiceSink<C::Event>,
+    shared: &[Arc<CoreShared<C>>],
+    tally: &mut ViolationTally,
+    detected: &mut ViolationTally,
+    tracker: &mut Option<IntervalTracker>,
+    pending_rollback: &mut bool,
+    spec: &Option<crate::speculative::SpeculationConfig>,
+    base_mode: bool,
+) {
+    while let Some((from, ev)) = gq.pop() {
+        uncore.service(from, ev, sink);
+        for (to, out) in sink.take_deliveries() {
+            shared[to.index()].inq.push(out);
+        }
+        for v in sink.take_violations() {
+            tally.record(v.kind);
+            detected.record(v.kind);
+            if let Some(tr) = tracker.as_mut() {
+                tr.observe_violation(v.ts);
+            }
+            if base_mode {
+                if let Some(sc) = spec {
+                    if sc.rollback_on.selects(v.kind) {
+                        *pending_rollback = true;
+                    }
+                }
+            }
+        }
+        if *pending_rollback {
+            gq.clear();
+            break;
+        }
+    }
+}
+
+/// Sends `Stop` to every core and waits for all acknowledgements.
+fn stop_all<C: CoreModel>(cmd_txs: &[Sender<Command<C>>], ack_rxs: &[Receiver<u64>]) {
+    for tx in cmd_txs {
+        tx.send(Command::Stop).expect("core alive");
+    }
+    await_acks(ack_rxs);
+}
+
+/// Sends `Resume` to every (paused) core.
+fn resume_all<C: CoreModel>(cmd_txs: &[Sender<Command<C>>]) {
+    for tx in cmd_txs {
+        tx.send(Command::Resume).expect("core alive");
+    }
+}
+
+/// Blocks until every core has acknowledged the last command.
+fn await_acks(ack_rxs: &[Receiver<u64>]) {
+    for rx in ack_rxs {
+        rx.recv().expect("core alive");
+    }
+}
+
+/// Stop-syncs all cores at a common local time and collects their
+/// snapshots (used for the free initial checkpoint).
+fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
+    shared: &[Arc<CoreShared<C>>],
+    cmd_txs: &[Sender<Command<C>>],
+    ack_rxs: &[Receiver<u64>],
+    gq: &mut GlobalQueue<C::Event>,
+    uncore: &mut U,
+    sink: &mut ServiceSink<C::Event>,
+) -> Vec<CoreSnapshot<C>> {
+    stop_all(cmd_txs, ack_rxs);
+    drain_outqs(shared, gq);
+    // Service without violation bookkeeping: only used at cycle 0 where the
+    // queues are empty anyway; drain defensively.
+    while let Some((from, ev)) = gq.pop() {
+        uncore.service(from, ev, sink);
+        for (to, out) in sink.take_deliveries() {
+            shared[to.index()].inq.push(out);
+        }
+        let _ = sink.take_violations();
+    }
+    for tx in cmd_txs {
+        tx.send(Command::Snapshot).expect("core alive");
+    }
+    await_acks(ack_rxs);
+    let snaps = shared
+        .iter()
+        .map(|s| s.snapshot.lock().take().expect("snapshot filled"))
+        .collect();
+    resume_all(cmd_txs);
+    snaps
+}
+
+#[cfg(test)]
+mod tests {
+    // The threaded engine is exercised end-to-end in the workspace
+    // integration tests (tests/engines_agree.rs and friends), where it is
+    // compared against the sequential engine on real CMP models.
+}

@@ -1,0 +1,376 @@
+//! Event plumbing between core threads and the simulation manager.
+//!
+//! SlackSim's communication structure (paper §2) uses, per core thread, an
+//! outgoing event queue (*OutQ*) and an incoming event queue (*InQ*), plus a
+//! single global queue (*GQ*) in the manager that consolidates all OutQ
+//! entries. Every entry carries a timestamp: the local time at which the
+//! event should take effect.
+//!
+//! This module provides the generic, payload-agnostic versions of those
+//! structures: [`Timestamped`], the manager-side [`GlobalQueue`] and the
+//! core-side [`Inbox`].
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::Cycle;
+
+/// Identifier of a simulated target core (0-based, dense).
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_core::event::CoreId;
+///
+/// let c = CoreId::new(3);
+/// assert_eq!(c.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core id from a dense index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        CoreId(index)
+    }
+
+    /// Returns the dense index of this core.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over the first `n` core ids.
+    pub fn all(n: usize) -> impl Iterator<Item = CoreId> {
+        (0..n as u16).map(CoreId)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+/// An event payload tagged with the simulated time at which it takes effect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timestamped<E> {
+    /// Simulated time at which the event takes effect (the sender's local
+    /// time when it was produced, or the manager-computed completion time).
+    pub ts: Cycle,
+    /// The model-specific payload.
+    pub payload: E,
+}
+
+impl<E> Timestamped<E> {
+    /// Tags `payload` with timestamp `ts`.
+    pub const fn new(ts: Cycle, payload: E) -> Self {
+        Timestamped { ts, payload }
+    }
+}
+
+/// An entry in the manager's global queue: an event plus its originating
+/// core and a monotonically increasing arrival sequence number used for
+/// deterministic tie-breaking.
+#[derive(Debug, Clone)]
+struct GlobalEntry<E> {
+    ts: Cycle,
+    from: CoreId,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for GlobalEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ts == other.ts && self.from == other.from && self.seq == other.seq
+    }
+}
+impl<E> Eq for GlobalEntry<E> {}
+
+impl<E> Ord for GlobalEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for min-ordering.
+        // Order: earliest timestamp first; ties by core id (fixed bus
+        // arbitration priority), then by arrival sequence.
+        other
+            .ts
+            .cmp(&self.ts)
+            .then_with(|| other.from.cmp(&self.from))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for GlobalEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The manager's global event queue (*GQ*).
+///
+/// Events are pushed in *arrival order* (whenever the manager fetches them
+/// from a core's OutQ) and popped in timestamp order **among those currently
+/// queued**. This is the crucial slack-simulation property: a straggling
+/// event with a small timestamp that arrives *after* a larger-timestamped
+/// event has already been serviced is exactly what the violation monitors
+/// detect.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_core::event::{CoreId, GlobalQueue, Timestamped};
+/// use slacksim_core::time::Cycle;
+///
+/// let mut gq: GlobalQueue<&str> = GlobalQueue::new();
+/// gq.push(CoreId::new(1), Timestamped::new(Cycle::new(5), "b"));
+/// gq.push(CoreId::new(0), Timestamped::new(Cycle::new(5), "a"));
+/// // Equal timestamps: lower core id wins (fixed arbitration priority).
+/// let (from, ev) = gq.pop().unwrap();
+/// assert_eq!(from, CoreId::new(0));
+/// assert_eq!(ev.payload, "a");
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalQueue<E> {
+    heap: BinaryHeap<GlobalEntry<E>>,
+    next_seq: u64,
+}
+
+impl<E> GlobalQueue<E> {
+    /// Creates an empty global queue.
+    pub fn new() -> Self {
+        GlobalQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Inserts an event that just arrived from `from`'s OutQ.
+    pub fn push(&mut self, from: CoreId, ev: Timestamped<E>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(GlobalEntry {
+            ts: ev.ts,
+            from,
+            seq,
+            payload: ev.payload,
+        });
+    }
+
+    /// Removes and returns the earliest queued event, if any.
+    pub fn pop(&mut self) -> Option<(CoreId, Timestamped<E>)> {
+        self.heap
+            .pop()
+            .map(|e| (e.from, Timestamped::new(e.ts, e.payload)))
+    }
+
+    /// Returns the timestamp of the earliest queued event without removing
+    /// it.
+    pub fn peek_ts(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.ts)
+    }
+
+    /// Returns the number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all queued events (used on rollback).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for GlobalQueue<E> {
+    fn default() -> Self {
+        GlobalQueue::new()
+    }
+}
+
+/// A core thread's incoming event queue (*InQ*).
+///
+/// The manager delivers completion events here; the core consumes, at each
+/// tick, every event whose timestamp is less than or equal to its local
+/// time. An event whose timestamp has already passed (because the core ran
+/// ahead under slack) is delivered immediately at the current local time —
+/// this is the *simulated time distortion* the paper discusses.
+#[derive(Debug, Clone)]
+pub struct Inbox<E> {
+    heap: BinaryHeap<InboxEntry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct InboxEntry<E> {
+    ts: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for InboxEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ts == other.ts && self.seq == other.seq
+    }
+}
+impl<E> Eq for InboxEntry<E> {}
+impl<E> Ord for InboxEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .ts
+            .cmp(&self.ts)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for InboxEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Inbox<E> {
+    /// Creates an empty inbox.
+    pub fn new() -> Self {
+        Inbox {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Delivers an event from the manager.
+    pub fn deliver(&mut self, ev: Timestamped<E>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(InboxEntry {
+            ts: ev.ts,
+            seq,
+            payload: ev.payload,
+        });
+    }
+
+    /// Removes and returns the next event due at or before `now`, in
+    /// timestamp order (ties in delivery order).
+    pub fn pop_due(&mut self, now: Cycle) -> Option<Timestamped<E>> {
+        match self.heap.peek() {
+            Some(e) if e.ts <= now => {
+                let e = self.heap.pop().expect("peeked entry exists");
+                Some(Timestamped::new(e.ts, e.payload))
+            }
+            _ => None,
+        }
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Discards all pending events (used on rollback).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for Inbox<E> {
+    fn default() -> Self {
+        Inbox::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(t: u64) -> Cycle {
+        Cycle::new(t)
+    }
+
+    #[test]
+    fn core_id_roundtrip() {
+        let ids: Vec<_> = CoreId::all(3).collect();
+        assert_eq!(ids, vec![CoreId::new(0), CoreId::new(1), CoreId::new(2)]);
+        assert_eq!(format!("{}", CoreId::new(5)), "core5");
+    }
+
+    #[test]
+    fn global_queue_orders_by_timestamp() {
+        let mut gq = GlobalQueue::new();
+        gq.push(CoreId::new(0), Timestamped::new(ts(9), 'c'));
+        gq.push(CoreId::new(1), Timestamped::new(ts(3), 'a'));
+        gq.push(CoreId::new(2), Timestamped::new(ts(7), 'b'));
+        let order: Vec<char> = std::iter::from_fn(|| gq.pop().map(|(_, e)| e.payload)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn global_queue_ties_break_by_core_then_arrival() {
+        let mut gq = GlobalQueue::new();
+        gq.push(CoreId::new(3), Timestamped::new(ts(5), 'x'));
+        gq.push(CoreId::new(1), Timestamped::new(ts(5), 'y'));
+        gq.push(CoreId::new(1), Timestamped::new(ts(5), 'z'));
+        let order: Vec<(CoreId, char)> =
+            std::iter::from_fn(|| gq.pop().map(|(c, e)| (c, e.payload))).collect();
+        assert_eq!(
+            order,
+            vec![
+                (CoreId::new(1), 'y'),
+                (CoreId::new(1), 'z'),
+                (CoreId::new(3), 'x')
+            ]
+        );
+    }
+
+    #[test]
+    fn global_queue_peek_len_clear() {
+        let mut gq = GlobalQueue::new();
+        assert!(gq.is_empty());
+        assert_eq!(gq.peek_ts(), None);
+        gq.push(CoreId::new(0), Timestamped::new(ts(4), ()));
+        gq.push(CoreId::new(0), Timestamped::new(ts(2), ()));
+        assert_eq!(gq.peek_ts(), Some(ts(2)));
+        assert_eq!(gq.len(), 2);
+        gq.clear();
+        assert!(gq.is_empty());
+    }
+
+    #[test]
+    fn inbox_releases_only_due_events() {
+        let mut inbox = Inbox::new();
+        inbox.deliver(Timestamped::new(ts(10), 'a'));
+        inbox.deliver(Timestamped::new(ts(5), 'b'));
+        assert!(inbox.pop_due(ts(4)).is_none());
+        assert_eq!(inbox.pop_due(ts(5)).unwrap().payload, 'b');
+        assert!(inbox.pop_due(ts(9)).is_none());
+        assert_eq!(inbox.pop_due(ts(20)).unwrap().payload, 'a');
+        assert!(inbox.is_empty());
+    }
+
+    #[test]
+    fn inbox_preserves_delivery_order_on_ties() {
+        let mut inbox = Inbox::new();
+        inbox.deliver(Timestamped::new(ts(5), 1));
+        inbox.deliver(Timestamped::new(ts(5), 2));
+        inbox.deliver(Timestamped::new(ts(5), 3));
+        let order: Vec<i32> =
+            std::iter::from_fn(|| inbox.pop_due(ts(5)).map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn inbox_past_due_events_still_pop() {
+        // A response whose timestamp has already passed (core ran ahead)
+        // must still be deliverable.
+        let mut inbox = Inbox::new();
+        inbox.deliver(Timestamped::new(ts(3), 'x'));
+        assert_eq!(inbox.pop_due(ts(100)).unwrap().ts, ts(3));
+    }
+}

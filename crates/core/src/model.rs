@@ -1,0 +1,171 @@
+//! The paper's analytical model for speculative-slack simulation time
+//! (§5.2), used to produce Table 5 from the measurements of Tables 2–4.
+//!
+//! ```text
+//! Ts = (1 − F) · Tcpt  +  F · Dr · Tcpt / I  +  F · Tcc
+//! ```
+//!
+//! * `Ts`   — estimated wall-clock time of a fully functional speculative
+//!   slack simulation;
+//! * `Tcc`  — measured wall-clock time of cycle-by-cycle simulation;
+//! * `Tcpt` — measured wall-clock time of the (adaptive) slack simulation
+//!   *with checkpointing enabled*;
+//! * `F`    — fraction of checkpoint intervals containing ≥ 1 violation;
+//! * `Dr`   — mean rollback distance in simulated cycles (distance from the
+//!   start of a violating interval to its first violation);
+//! * `I`    — checkpoint interval in simulated cycles.
+//!
+//! The first term is normal (violation-free) simulation, the second the
+//! simulation work wasted by rollbacks, the third the cycle-by-cycle replay
+//! needed for forward progress. The model deliberately omits the cost of the
+//! rollback operation itself, so it slightly underestimates `Ts` (paper
+//! §5.2).
+
+/// Inputs to the speculative-time model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeculativeModelInputs {
+    /// Measured cycle-by-cycle simulation time (seconds).
+    pub t_cc: f64,
+    /// Measured slack-with-checkpointing simulation time (seconds).
+    pub t_cpt: f64,
+    /// Fraction of checkpoint intervals with at least one violation
+    /// (`0.0 ..= 1.0`).
+    pub fraction_violating: f64,
+    /// Mean rollback distance in simulated cycles.
+    pub rollback_distance: f64,
+    /// Checkpoint interval in simulated cycles.
+    pub interval: f64,
+}
+
+/// Estimated wall-clock time of a fully deployed speculative slack
+/// simulation.
+///
+/// # Panics
+///
+/// Panics if `interval` is not strictly positive or if
+/// `fraction_violating` lies outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_core::model::{speculative_time, SpeculativeModelInputs};
+///
+/// // With no violations at all, speculation costs exactly the
+/// // checkpointing run.
+/// let quiet = SpeculativeModelInputs {
+///     t_cc: 500.0,
+///     t_cpt: 300.0,
+///     fraction_violating: 0.0,
+///     rollback_distance: 0.0,
+///     interval: 50_000.0,
+/// };
+/// assert_eq!(speculative_time(&quiet), 300.0);
+/// ```
+pub fn speculative_time(inputs: &SpeculativeModelInputs) -> f64 {
+    assert!(inputs.interval > 0.0, "interval must be positive");
+    assert!(
+        (0.0..=1.0).contains(&inputs.fraction_violating),
+        "fraction_violating must be in [0, 1]"
+    );
+    let f = inputs.fraction_violating;
+    (1.0 - f) * inputs.t_cpt + f * inputs.rollback_distance * inputs.t_cpt / inputs.interval
+        + f * inputs.t_cc
+}
+
+/// Convenience: `true` when the model predicts speculation beats
+/// cycle-by-cycle simulation (the paper's acceptability criterion).
+pub fn speculation_profitable(inputs: &SpeculativeModelInputs) -> bool {
+    speculative_time(inputs) < inputs.t_cc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_barnes_50k() {
+        // Paper Table 2/3/4 for Barnes @ 50K: Tcc=517, Tcpt=537, F=0.93,
+        // Dr=6.0k, I=50k → Table 5 reports 578 s.
+        let inputs = SpeculativeModelInputs {
+            t_cc: 517.0,
+            t_cpt: 537.0,
+            fraction_violating: 0.93,
+            rollback_distance: 6000.0,
+            interval: 50_000.0,
+        };
+        let ts = speculative_time(&inputs);
+        assert!(
+            (ts - 578.0).abs() < 2.0,
+            "expected ≈578 s as in Table 5, got {ts:.1}"
+        );
+        assert!(!speculation_profitable(&inputs));
+    }
+
+    #[test]
+    fn reproduces_paper_lu_100k() {
+        // LU @ 100K: Tcc=343, Tcpt=320, F=0.31, Dr=25k, I=100k → Table 5: 352.
+        let inputs = SpeculativeModelInputs {
+            t_cc: 343.0,
+            t_cpt: 320.0,
+            fraction_violating: 0.31,
+            rollback_distance: 25_000.0,
+            interval: 100_000.0,
+        };
+        let ts = speculative_time(&inputs);
+        assert!(
+            (ts - 352.0).abs() < 2.0,
+            "expected ≈352 s as in Table 5, got {ts:.1}"
+        );
+    }
+
+    #[test]
+    fn all_intervals_violating_degenerates_to_replay_plus_waste() {
+        let inputs = SpeculativeModelInputs {
+            t_cc: 100.0,
+            t_cpt: 60.0,
+            fraction_violating: 1.0,
+            rollback_distance: 5_000.0,
+            interval: 10_000.0,
+        };
+        // (1-1)*60 + 1*0.5*60 + 1*100 = 130.
+        assert!((speculative_time(&inputs) - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profitability_flips_with_low_violation_fraction() {
+        let mut inputs = SpeculativeModelInputs {
+            t_cc: 100.0,
+            t_cpt: 50.0,
+            fraction_violating: 0.0,
+            rollback_distance: 1_000.0,
+            interval: 100_000.0,
+        };
+        assert!(speculation_profitable(&inputs));
+        inputs.fraction_violating = 1.0;
+        assert!(!speculation_profitable(&inputs));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = speculative_time(&SpeculativeModelInputs {
+            t_cc: 1.0,
+            t_cpt: 1.0,
+            fraction_violating: 0.5,
+            rollback_distance: 1.0,
+            interval: 0.0,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction_violating must be in [0, 1]")]
+    fn bad_fraction_rejected() {
+        let _ = speculative_time(&SpeculativeModelInputs {
+            t_cc: 1.0,
+            t_cpt: 1.0,
+            fraction_violating: 1.5,
+            rollback_distance: 1.0,
+            interval: 10.0,
+        });
+    }
+}

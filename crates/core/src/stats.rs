@@ -1,0 +1,317 @@
+//! Simulation statistics and accuracy metrics.
+//!
+//! Accuracy in slack simulation is defined (paper §1) as the difference in a
+//! metric of interest — e.g. execution time or CPI — between cycle-by-cycle
+//! simulation (the gold standard) and a slack simulation of the same target.
+//! This module provides the generic counter containers the engines fill in
+//! and the error helpers the experiments use.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use crate::time::Cycle;
+use crate::violation::ViolationTally;
+
+/// A named bag of monotonically increasing `u64` counters.
+///
+/// Target models report their statistics through `Counters` so the kernel
+/// can aggregate and print them without knowing the model's vocabulary.
+/// Keys are static strings by convention (`"l1d_miss"`, `"bus_txn"`, ...).
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_core::stats::Counters;
+///
+/// let mut c = Counters::new();
+/// c.add("committed", 100);
+/// c.add("committed", 20);
+/// assert_eq!(c.get("committed"), 120);
+/// assert_eq!(c.get("absent"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter bag.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero first).
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.values.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets counter `name` to an absolute value.
+    pub fn set(&mut self, name: &'static str, value: u64) {
+        self.values.insert(name, value);
+    }
+
+    /// Returns the value of `name`, or 0 if never touched.
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges another bag into this one (component-wise addition).
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.values {
+            *self.values.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.values.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Returns the number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no counter was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Ratio of two counters, or 0 when the denominator is 0.
+    pub fn ratio(&self, num: &str, den: &str) -> f64 {
+        let d = self.get(den);
+        if d == 0 {
+            0.0
+        } else {
+            self.get(num) as f64 / d as f64
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (k, v)) in self.values.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{k:>24}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(&'static str, u64)> for Counters {
+    fn from_iter<I: IntoIterator<Item = (&'static str, u64)>>(iter: I) -> Self {
+        let mut c = Counters::new();
+        for (k, v) in iter {
+            c.add(k, v);
+        }
+        c
+    }
+}
+
+impl Extend<(&'static str, u64)> for Counters {
+    fn extend<I: IntoIterator<Item = (&'static str, u64)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}
+
+/// Everything a finished simulation run reports.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Final global time: the target's execution time in cycles (the
+    /// paper's primary accuracy metric).
+    pub global_cycles: u64,
+    /// Total committed target instructions across all cores.
+    pub committed: u64,
+    /// Violations detected, per kind.
+    pub violations: ViolationTally,
+    /// Host wall-clock duration of the run (the paper's "simulation time").
+    pub wall: Duration,
+    /// Per-core model counters (indexed by core id).
+    pub per_core: Vec<Counters>,
+    /// Uncore / manager model counters.
+    pub uncore: Counters,
+    /// Kernel-level counters (checkpoints taken, rollbacks, replay cycles,
+    /// adaptive adjustments, ...).
+    pub kernel: Counters,
+    /// Trace of (global cycle, slack bound) pairs recorded at each adaptive
+    /// adjustment decision; empty for non-adaptive schemes.
+    pub bound_trace: Vec<(Cycle, u64)>,
+}
+
+impl SimReport {
+    /// Aggregate cycles-per-instruction over the whole run.
+    pub fn cpi(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.global_cycles as f64 / self.committed as f64
+        }
+    }
+
+    /// Total violation rate: violations per simulated (global) cycle.
+    pub fn violation_rate(&self) -> f64 {
+        self.violations.total_rate(self.global_cycles)
+    }
+
+    /// Sum of one per-core counter across all cores.
+    pub fn core_total(&self, name: &str) -> u64 {
+        self.per_core.iter().map(|c| c.get(name)).sum()
+    }
+
+    /// Host-side simulation speed in simulated cycles per wall-clock second.
+    pub fn cycles_per_second(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.global_cycles as f64 / secs
+        }
+    }
+}
+
+impl fmt::Display for SimReport {
+    /// Human-readable run summary (headline metrics; use the counter bags
+    /// for the full detail).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "execution time : {} cycles", self.global_cycles)?;
+        writeln!(f, "committed      : {} instructions", self.committed)?;
+        writeln!(f, "CPI            : {:.3}", self.cpi())?;
+        writeln!(
+            f,
+            "violations     : {} total ({:.4}% of cycles)",
+            self.violations.total(),
+            self.violation_rate() * 100.0
+        )?;
+        writeln!(f, "wall clock     : {:?}", self.wall)?;
+        write!(
+            f,
+            "speed          : {:.0} kcycles/s",
+            self.cycles_per_second() / 1e3
+        )
+    }
+}
+
+/// Signed relative error of `measured` against `reference`, in percent.
+///
+/// Returns 0 when the reference is 0.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_core::stats::percent_error;
+///
+/// assert_eq!(percent_error(110.0, 100.0), 10.0);
+/// assert_eq!(percent_error(95.0, 100.0), -5.0);
+/// ```
+pub fn percent_error(measured: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        0.0
+    } else {
+        (measured - reference) / reference * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::violation::ViolationKind;
+
+    #[test]
+    fn counters_add_set_get() {
+        let mut c = Counters::new();
+        assert!(c.is_empty());
+        c.add("x", 3);
+        c.add("x", 4);
+        c.set("y", 9);
+        assert_eq!(c.get("x"), 7);
+        assert_eq!(c.get("y"), 9);
+        assert_eq!(c.get("z"), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn counters_merge_and_iter_order() {
+        let mut a: Counters = [("b", 1u64), ("a", 2)].into_iter().collect();
+        let b: Counters = [("b", 10u64), ("c", 5)].into_iter().collect();
+        a.merge(&b);
+        let got: Vec<_> = a.iter().collect();
+        assert_eq!(got, vec![("a", 2), ("b", 11), ("c", 5)]);
+    }
+
+    #[test]
+    fn counters_ratio() {
+        let c: Counters = [("hit", 90u64), ("access", 100)].into_iter().collect();
+        assert!((c.ratio("hit", "access") - 0.9).abs() < 1e-12);
+        assert_eq!(c.ratio("hit", "nothing"), 0.0);
+    }
+
+    #[test]
+    fn counters_display_nonempty() {
+        let c: Counters = [("k", 1u64)].into_iter().collect();
+        assert!(format!("{c}").contains("k"));
+    }
+
+    #[test]
+    fn counters_extend() {
+        let mut c = Counters::new();
+        c.extend([("a", 1u64), ("a", 2)]);
+        assert_eq!(c.get("a"), 3);
+    }
+
+    #[test]
+    fn report_derived_metrics() {
+        let mut r = SimReport {
+            global_cycles: 1000,
+            committed: 500,
+            wall: Duration::from_millis(250),
+            ..SimReport::default()
+        };
+        r.violations.record(ViolationKind::Bus);
+        assert!((r.cpi() - 2.0).abs() < 1e-12);
+        assert!((r.violation_rate() - 0.001).abs() < 1e-12);
+        assert!((r.cycles_per_second() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_core_total() {
+        let mut r = SimReport::default();
+        for v in [1u64, 2, 3] {
+            let mut c = Counters::new();
+            c.add("committed", v);
+            r.per_core.push(c);
+        }
+        assert_eq!(r.core_total("committed"), 6);
+    }
+
+    #[test]
+    fn percent_error_edges() {
+        assert_eq!(percent_error(1.0, 0.0), 0.0);
+        assert!((percent_error(50.0, 100.0) + 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_display_has_headline_metrics() {
+        let r = SimReport {
+            global_cycles: 10,
+            committed: 20,
+            ..SimReport::default()
+        };
+        let text = r.to_string();
+        assert!(text.contains("10 cycles"));
+        assert!(text.contains("20 instructions"));
+        assert!(text.contains("CPI"));
+    }
+
+    #[test]
+    fn empty_report_metrics_are_zero() {
+        let r = SimReport::default();
+        assert_eq!(r.cpi(), 0.0);
+        assert_eq!(r.violation_rate(), 0.0);
+        assert_eq!(r.cycles_per_second(), 0.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Simulated-time primitives.
+//!
+//! Slack simulation distinguishes *simulated time* (target clock cycles,
+//! represented by [`Cycle`]) from *simulation time* (host wall-clock time).
+//! Every clock in the kernel — a core thread's local time, its max local
+//! time, and the global time — is a [`Cycle`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// A point in simulated time, measured in target clock cycles since the
+/// beginning of the simulation.
+///
+/// `Cycle` is a transparent newtype over `u64`. It supports the arithmetic
+/// a simulator needs (`+ u64`, `- u64`, differences between two `Cycle`s)
+/// while statically preventing accidental mixing with other integer
+/// quantities such as instruction counts.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_core::time::Cycle;
+///
+/// let start = Cycle::ZERO;
+/// let later = start + 8;
+/// assert_eq!(later.as_u64(), 8);
+/// assert_eq!(later - start, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The first cycle of a simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// The largest representable cycle, used as the "no bound" cap by the
+    /// unbounded-slack pacer.
+    pub const MAX: Cycle = Cycle(u64::MAX);
+
+    /// Creates a cycle from a raw count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// Returns the raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a delta in cycles.
+    #[inline]
+    #[must_use]
+    pub const fn saturating_add(self, delta: u64) -> Self {
+        Cycle(self.0.saturating_add(delta))
+    }
+
+    /// Saturating difference between two points in time (0 if `other` is
+    /// later than `self`).
+    #[inline]
+    #[must_use]
+    pub const fn saturating_sub(self, other: Cycle) -> u64 {
+        self.0.saturating_sub(other.0)
+    }
+
+    /// Rounds this cycle *up* to the next strictly greater multiple of
+    /// `quantum`. Used by the quantum pacer and checkpoint scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `quantum` is zero.
+    #[must_use]
+    pub fn next_multiple_of(self, quantum: u64) -> Cycle {
+        assert!(quantum > 0, "quantum must be non-zero");
+        Cycle((self.0 / quantum + 1).saturating_mul(quantum))
+    }
+
+    /// Returns the larger of two cycles.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two cycles.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Cycle) -> Cycle {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(raw: u64) -> Self {
+        Cycle(raw)
+    }
+}
+
+impl From<Cycle> for u64 {
+    fn from(c: Cycle) -> Self {
+        c.0
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, delta: u64) -> Cycle {
+        Cycle(self.0 + delta)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, delta: u64) {
+        self.0 += delta;
+    }
+}
+
+impl Sub<u64> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn sub(self, delta: u64) -> Cycle {
+        Cycle(self.0 - delta)
+    }
+}
+
+impl SubAssign<u64> for Cycle {
+    #[inline]
+    fn sub_assign(&mut self, delta: u64) {
+        self.0 -= delta;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// Difference in cycles between two points in time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `other` is later than `self`.
+    #[inline]
+    fn sub(self, other: Cycle) -> u64 {
+        self.0 - other.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_default() {
+        assert_eq!(Cycle::default(), Cycle::ZERO);
+        assert_eq!(Cycle::ZERO.as_u64(), 0);
+    }
+
+    #[test]
+    fn add_and_sub_deltas() {
+        let c = Cycle::new(10);
+        assert_eq!((c + 5).as_u64(), 15);
+        assert_eq!((c - 5).as_u64(), 5);
+        let mut m = c;
+        m += 1;
+        m -= 2;
+        assert_eq!(m.as_u64(), 9);
+    }
+
+    #[test]
+    fn difference_between_cycles() {
+        assert_eq!(Cycle::new(100) - Cycle::new(40), 60);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(Cycle::MAX.saturating_add(1), Cycle::MAX);
+        assert_eq!(Cycle::new(3).saturating_sub(Cycle::new(10)), 0);
+        assert_eq!(Cycle::new(10).saturating_sub(Cycle::new(3)), 7);
+    }
+
+    #[test]
+    fn next_multiple_rounds_strictly_up() {
+        assert_eq!(Cycle::new(0).next_multiple_of(10), Cycle::new(10));
+        assert_eq!(Cycle::new(9).next_multiple_of(10), Cycle::new(10));
+        assert_eq!(Cycle::new(10).next_multiple_of(10), Cycle::new(20));
+        assert_eq!(Cycle::new(11).next_multiple_of(10), Cycle::new(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must be non-zero")]
+    fn next_multiple_rejects_zero() {
+        let _ = Cycle::new(1).next_multiple_of(0);
+    }
+
+    #[test]
+    fn ordering_and_min_max() {
+        let a = Cycle::new(3);
+        let b = Cycle::new(7);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn conversions() {
+        let c: Cycle = 42u64.into();
+        let raw: u64 = c.into();
+        assert_eq!(raw, 42);
+        assert_eq!(format!("{c}"), "42");
+    }
+}

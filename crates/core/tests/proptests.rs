@@ -1,0 +1,289 @@
+//! Property-based tests for the kernel's data structures and invariants.
+
+use proptest::prelude::*;
+
+use slacksim_core::event::{CoreId, GlobalQueue, Inbox, Timestamped};
+use slacksim_core::model::{speculative_time, SpeculativeModelInputs};
+use slacksim_core::rng::Xoshiro256;
+use slacksim_core::scheme::{AdaptiveConfig, AdaptiveController, PaceSample, Pacer, Scheme};
+use slacksim_core::speculative::IntervalTracker;
+use slacksim_core::time::Cycle;
+use slacksim_core::violation::{KeyedMonitor, TimestampMonitor, ViolationTally, ViolationKind};
+
+proptest! {
+    /// The monitor must flag exactly the operations that are strictly
+    /// smaller than the running maximum of everything seen before.
+    #[test]
+    fn monitor_matches_brute_force_oracle(ts in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut monitor = TimestampMonitor::new();
+        let mut max_seen = 0u64;
+        for &t in &ts {
+            let expected = t < max_seen;
+            let got = monitor.observe(Cycle::new(t));
+            prop_assert_eq!(got, expected, "at ts {}", t);
+            max_seen = max_seen.max(t);
+        }
+    }
+
+    /// Keyed monitors are independent per key.
+    #[test]
+    fn keyed_monitor_isolates_keys(
+        ops in prop::collection::vec((0u8..4, 0u64..1000), 1..200)
+    ) {
+        let mut km: KeyedMonitor<u8> = KeyedMonitor::new();
+        let mut maxes = [0u64; 4];
+        for &(key, t) in &ops {
+            let expected = t < maxes[key as usize];
+            prop_assert_eq!(km.observe(key, Cycle::new(t)), expected);
+            maxes[key as usize] = maxes[key as usize].max(t);
+        }
+    }
+
+    /// Draining the global queue after pushing yields events sorted by
+    /// (timestamp, core, arrival order).
+    #[test]
+    fn global_queue_pops_in_canonical_order(
+        events in prop::collection::vec((0u64..100, 0u16..8), 1..100)
+    ) {
+        let mut gq: GlobalQueue<usize> = GlobalQueue::new();
+        for (i, &(ts, core)) in events.iter().enumerate() {
+            gq.push(CoreId::new(core), Timestamped::new(Cycle::new(ts), i));
+        }
+        let mut expected: Vec<(u64, u16, usize)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &(ts, core))| (ts, core, i))
+            .collect();
+        expected.sort();
+        let mut got = Vec::new();
+        while let Some((core, ev)) = gq.pop() {
+            got.push((ev.ts.as_u64(), core.index() as u16, ev.payload));
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The inbox never releases an event before its timestamp, and
+    /// releases everything by the time `now` passes the maximum.
+    #[test]
+    fn inbox_due_semantics(
+        events in prop::collection::vec(0u64..100, 1..60),
+        probe in prop::collection::vec(0u64..120, 1..40)
+    ) {
+        let mut inbox: Inbox<u64> = Inbox::new();
+        for &ts in &events {
+            inbox.deliver(Timestamped::new(Cycle::new(ts), ts));
+        }
+        let mut probes = probe;
+        probes.sort_unstable();
+        let mut released = 0usize;
+        for &now in &probes {
+            while let Some(ev) = inbox.pop_due(Cycle::new(now)) {
+                prop_assert!(ev.ts.as_u64() <= now);
+                released += 1;
+            }
+        }
+        while let Some(_ev) = inbox.pop_due(Cycle::new(1000)) {
+            released += 1;
+        }
+        prop_assert_eq!(released, events.len());
+    }
+
+    /// The interval tracker agrees with a brute-force recomputation.
+    #[test]
+    fn interval_tracker_matches_oracle(
+        violations in prop::collection::vec(0u64..5_000, 0..100),
+        interval in 10u64..500,
+        end in 5_000u64..6_000
+    ) {
+        let mut sorted = violations.clone();
+        sorted.sort_unstable();
+        let mut tracker = IntervalTracker::new(interval);
+        // Feed violations in time order, closing intervals as we pass them
+        // (as the engine does).
+        for &v in &sorted {
+            tracker.close_intervals_up_to(Cycle::new(v));
+            tracker.observe_violation(Cycle::new(v));
+        }
+        tracker.close_intervals_up_to(Cycle::new(end));
+
+        // Oracle: bucket violations by interval index.
+        let total = end / interval;
+        let mut first: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        for &v in &sorted {
+            let idx = v / interval;
+            if idx < total {
+                first.entry(idx).or_insert(v - idx * interval);
+            }
+        }
+        prop_assert_eq!(tracker.intervals_total(), total);
+        prop_assert_eq!(tracker.intervals_violating(), first.len() as u64);
+        if !first.is_empty() {
+            let mean = first.values().sum::<u64>() as f64 / first.len() as f64;
+            prop_assert!((tracker.mean_first_distance() - mean).abs() < 1e-9);
+        }
+    }
+
+    /// Tally `since` and `merge` are inverse-ish: a.merge(b.since(a)) == b
+    /// when b dominates a.
+    #[test]
+    fn tally_merge_since_roundtrip(counts in prop::collection::vec((0u64..50, 0u64..50), 4)) {
+        let mut a = ViolationTally::new();
+        let mut b = ViolationTally::new();
+        for (i, &(x, extra)) in counts.iter().enumerate() {
+            let kind = ViolationKind::ALL[i];
+            for _ in 0..x { a.record(kind); b.record(kind); }
+            for _ in 0..extra { b.record(kind); }
+        }
+        let delta = b.since(&a);
+        let mut a2 = a;
+        a2.merge(&delta);
+        prop_assert_eq!(a2, b);
+    }
+
+    /// Every pacer keeps its window strictly ahead of global time
+    /// (liveness) and monotone in global time.
+    #[test]
+    fn pacer_windows_are_live_and_monotone(
+        bound in 1u64..500,
+        quantum in 1u64..500,
+        globals in prop::collection::vec(0u64..100_000, 2..50)
+    ) {
+        let mut sorted = globals.clone();
+        sorted.sort_unstable();
+        let pacers: Vec<Box<dyn Pacer>> = vec![
+            Scheme::CycleByCycle.into_pacer(),
+            Scheme::BoundedSlack { bound }.into_pacer(),
+            Scheme::UnboundedSlack.into_pacer(),
+            Scheme::Quantum { quantum }.into_pacer(),
+            Scheme::Adaptive(AdaptiveConfig::default()).into_pacer(),
+        ];
+        for p in &pacers {
+            let mut last = Cycle::ZERO;
+            for &g in &sorted {
+                let w = p.window_end(Cycle::new(g));
+                prop_assert!(w > Cycle::new(g), "{} stalls", p.scheme_name());
+                prop_assert!(w >= last, "{} regressed", p.scheme_name());
+                last = w;
+            }
+        }
+    }
+
+    /// The adaptive controller's published bound always stays within the
+    /// configured limits, whatever the violation history.
+    #[test]
+    fn adaptive_bound_stays_in_limits(
+        samples in prop::collection::vec((1u64..5_000, 0u64..500), 1..100),
+        min_bound in 1u64..8,
+        extra in 0u64..120
+    ) {
+        let max_bound = min_bound + extra;
+        let mut ctl = AdaptiveController::new(AdaptiveConfig {
+            min_bound,
+            max_bound,
+            initial_bound: min_bound,
+            ..AdaptiveConfig::default()
+        });
+        let mut global = 0u64;
+        for &(cycles, violations) in &samples {
+            global += cycles;
+            ctl.on_sample(&PaceSample {
+                global: Cycle::new(global),
+                window_cycles: cycles,
+                window_violations: violations,
+            });
+            let b = ctl.current_bound().expect("adaptive bound");
+            prop_assert!(b >= min_bound && b <= max_bound, "bound {} outside [{}, {}]", b, min_bound, max_bound);
+        }
+        prop_assert_eq!(ctl.samples(), samples.len() as u64);
+    }
+
+    /// A uniformly noisier history never ends with a larger bound than a
+    /// quieter one (monotone response of the default policy).
+    #[test]
+    fn adaptive_response_is_monotone_in_noise(
+        base in prop::collection::vec(0u64..4, 10..60),
+        boost in 1u64..10
+    ) {
+        let mk = || AdaptiveController::new(AdaptiveConfig::default());
+        let mut quiet = mk();
+        let mut noisy = mk();
+        let mut global = 0u64;
+        for &v in &base {
+            global += 1024;
+            let s = |violations| PaceSample {
+                global: Cycle::new(global),
+                window_cycles: 1024,
+                window_violations: violations,
+            };
+            quiet.on_sample(&s(v));
+            noisy.on_sample(&s(v + boost));
+        }
+        prop_assert!(noisy.fractional_bound() <= quiet.fractional_bound());
+    }
+
+    /// The analytical model is monotone in F and Dr, and equals Tcpt when
+    /// no interval violates.
+    #[test]
+    fn speculative_model_monotonicity(
+        t_cc in 1.0f64..1000.0,
+        t_cpt in 1.0f64..1000.0,
+        f in 0.0f64..1.0,
+        dr in 0.0f64..10_000.0,
+        interval in 10_000.0f64..100_000.0
+    ) {
+        let base = SpeculativeModelInputs {
+            t_cc, t_cpt, fraction_violating: f, rollback_distance: dr, interval,
+        };
+        let ts = speculative_time(&base);
+        prop_assert!(ts >= 0.0);
+        // No violations: exactly the checkpointing run.
+        let clean = SpeculativeModelInputs { fraction_violating: 0.0, ..base };
+        prop_assert!((speculative_time(&clean) - t_cpt).abs() < 1e-9);
+        // The F-derivative of the model is Tcc − Tcpt·(1 − Dr/I): more
+        // violating intervals cost more exactly when the CC replay is
+        // slower than the normal-simulation time they displace.
+        let df = t_cc - t_cpt * (1.0 - dr / interval);
+        let worse = SpeculativeModelInputs {
+            fraction_violating: (f + 0.1).min(1.0), ..base
+        };
+        let delta = speculative_time(&worse) - ts;
+        if worse.fraction_violating > f {
+            prop_assert!(
+                (delta - df * (worse.fraction_violating - f)).abs() < 1e-6,
+                "model must be affine in F"
+            );
+        }
+        // Longer rollback distance can only cost more.
+        let farther = SpeculativeModelInputs { rollback_distance: dr + 100.0, ..base };
+        prop_assert!(speculative_time(&farther) >= ts - 1e-9);
+    }
+
+    /// Bounded RNG draws stay in range for arbitrary bounds and seeds.
+    #[test]
+    fn rng_bounded_draws(seed in any::<u64>(), bound in 1u64..u64::MAX, n in 1usize..100) {
+        let mut rng = Xoshiro256::new(seed);
+        for _ in 0..n {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Cycle arithmetic: saturating ops never panic and ordering holds.
+    #[test]
+    fn cycle_arithmetic(a in any::<u64>(), b in any::<u64>()) {
+        let ca = Cycle::new(a);
+        let cb = Cycle::new(b);
+        prop_assert_eq!(ca.max(cb).as_u64(), a.max(b));
+        prop_assert_eq!(ca.min(cb).as_u64(), a.min(b));
+        prop_assert_eq!(ca.saturating_sub(cb), a.saturating_sub(b));
+        prop_assert!(ca.saturating_add(b).as_u64() >= a || a.checked_add(b).is_none());
+    }
+
+    /// `next_multiple_of` lands strictly above on an exact multiple.
+    #[test]
+    fn cycle_next_multiple(raw in 0u64..1_000_000, q in 1u64..10_000) {
+        let n = Cycle::new(raw).next_multiple_of(q);
+        prop_assert!(n.as_u64() > raw);
+        prop_assert_eq!(n.as_u64() % q, 0);
+        prop_assert!(n.as_u64() - raw <= q);
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared test helpers for stream generators (compiled into unit tests
+//! and usable by downstream integration tests).
+
+use slacksim_cmp::isa::{InstrStream, Op};
+
+/// Operation counts observed over a stream prefix.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCensus {
+    /// Load instructions.
+    pub loads: u64,
+    /// Store instructions.
+    pub stores: u64,
+    /// FP operations (add + mul classes).
+    pub fp: u64,
+    /// Branch instructions.
+    pub branches: u64,
+    /// Barrier arrivals.
+    pub barriers: u64,
+    /// Lock acquires.
+    pub locks: u64,
+    /// Lock releases.
+    pub unlocks: u64,
+}
+
+/// Tallies the first `n` operations of a stream.
+pub fn op_census(stream: &mut dyn InstrStream, n: u64) -> OpCensus {
+    let mut c = OpCensus::default();
+    for _ in 0..n {
+        match stream.next_instr().op {
+            Op::Load { .. } => c.loads += 1,
+            Op::Store { .. } => c.stores += 1,
+            Op::FpAlu | Op::FpMul => c.fp += 1,
+            Op::Branch { .. } => c.branches += 1,
+            Op::Barrier { .. } => c.barriers += 1,
+            Op::LockAcquire { .. } => c.locks += 1,
+            Op::LockRelease { .. } => c.unlocks += 1,
+            _ => {}
+        }
+    }
+    c
+}
+
+/// Collects the barrier ids in the first `n` operations.
+pub fn barrier_ids(stream: &mut dyn InstrStream, n: u64) -> Vec<u32> {
+    let mut ids = Vec::new();
+    for _ in 0..n {
+        if let Op::Barrier { id } = stream.next_instr().op {
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+/// Asserts that two streams built by the same constructor produce
+/// identical prefixes, and that `clone_box` preserves position.
+///
+/// # Panics
+///
+/// Panics when determinism or clone fidelity is violated.
+pub fn determinism_check(make: impl Fn() -> Box<dyn InstrStream>) {
+    let mut a = make();
+    let mut b = make();
+    for i in 0..5_000 {
+        assert_eq!(a.next_instr(), b.next_instr(), "diverged at {i}");
+    }
+    // Clone mid-stream and compare continuations.
+    let mut c = a.clone_box();
+    for i in 0..5_000 {
+        assert_eq!(a.next_instr(), c.next_instr(), "clone diverged at {i}");
+    }
+}

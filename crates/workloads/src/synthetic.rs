@@ -1,0 +1,201 @@
+//! Simple synthetic streams for tests, calibration and ablations: not
+//! benchmark substitutes, but controlled traffic generators whose single
+//! knob isolates one behaviour (miss rate, sharing degree, sync rate).
+
+use slacksim_cmp::isa::{Instr, InstrStream, Op};
+use slacksim_core::rng::Xoshiro256;
+
+use crate::mix::{CodeWalker, FillerMix, Regions};
+use crate::params::WorkloadParams;
+
+/// A stream of uniform random loads over a shared region, interleaved
+/// with ALU filler — the maximal-contention stressor.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_workloads::synthetic::SharedHammer;
+/// use slacksim_workloads::WorkloadParams;
+/// use slacksim_cmp::isa::InstrStream;
+///
+/// let mut s = SharedHammer::new(&WorkloadParams::new(0, 4, 1), 64 * 1024, 4);
+/// let _ = s.next_instr();
+/// ```
+#[derive(Debug, Clone)]
+pub struct SharedHammer {
+    rng: Xoshiro256,
+    code: CodeWalker,
+    region_bytes: u64,
+    mem_period: u64,
+    counter: u64,
+    store_share: u64,
+}
+
+impl SharedHammer {
+    /// Creates a hammer over `region_bytes` of shared memory issuing one
+    /// memory access every `mem_period` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_bytes < 64` or `mem_period == 0`.
+    pub fn new(params: &WorkloadParams, region_bytes: u64, mem_period: u64) -> Self {
+        assert!(region_bytes >= 64, "region too small");
+        assert!(mem_period >= 1, "memory period must be at least 1");
+        SharedHammer {
+            rng: Xoshiro256::new(params.thread_seed(0x5A4)),
+            code: CodeWalker::new(Regions::code(8), 512),
+            region_bytes,
+            mem_period,
+            counter: 0,
+            store_share: 4, // 1 store per 4 memory ops
+        }
+    }
+
+    /// Sets the store share: one store per `n` memory accesses (`0`
+    /// disables stores).
+    #[must_use]
+    pub fn with_store_share(mut self, n: u64) -> Self {
+        self.store_share = n;
+        self
+    }
+}
+
+impl InstrStream for SharedHammer {
+    fn next_instr(&mut self) -> Instr {
+        let pc = self.code.pc();
+        self.code.advance();
+        self.counter += 1;
+        let op = if self.counter % self.mem_period == 0 {
+            let addr = Regions::SHARED + self.rng.next_below(self.region_bytes / 8) * 8;
+            if self.store_share > 0 && self.rng.chance(1, self.store_share) {
+                Op::Store { addr }
+            } else {
+                Op::Load { addr }
+            }
+        } else {
+            FillerMix::INT.draw(&mut self.rng)
+        };
+        Instr::new(op, pc)
+    }
+
+    fn clone_box(&self) -> Box<dyn InstrStream> {
+        Box::new(self.clone())
+    }
+}
+
+/// A fully private streaming workload: no shared traffic at all. Useful
+/// as the zero-contention baseline (violations can still occur on the
+/// bus through L2 traffic, but never through data sharing).
+#[derive(Debug, Clone)]
+pub struct PrivateStream {
+    rng: Xoshiro256,
+    code: CodeWalker,
+    base: u64,
+    cursor: u64,
+    region_bytes: u64,
+    mem_period: u64,
+    counter: u64,
+}
+
+impl PrivateStream {
+    /// Creates a streaming walker over `region_bytes` of this thread's
+    /// private region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region_bytes < 64` or `mem_period == 0`.
+    pub fn new(params: &WorkloadParams, region_bytes: u64, mem_period: u64) -> Self {
+        assert!(region_bytes >= 64, "region too small");
+        assert!(mem_period >= 1, "memory period must be at least 1");
+        PrivateStream {
+            rng: Xoshiro256::new(params.thread_seed(0x5A5)),
+            code: CodeWalker::new(Regions::code(9), 512),
+            base: Regions::new(params.thread_id).private(),
+            cursor: 0,
+            region_bytes,
+            mem_period,
+            counter: 0,
+        }
+    }
+}
+
+impl InstrStream for PrivateStream {
+    fn next_instr(&mut self) -> Instr {
+        let pc = self.code.pc();
+        self.code.advance();
+        self.counter += 1;
+        let op = if self.counter % self.mem_period == 0 {
+            let addr = self.base + self.cursor;
+            self.cursor = (self.cursor + 8) % self.region_bytes;
+            if self.counter % (self.mem_period * 3) == 0 {
+                Op::Store { addr }
+            } else {
+                Op::Load { addr }
+            }
+        } else {
+            FillerMix::INT.draw(&mut self.rng)
+        };
+        Instr::new(op, pc)
+    }
+
+    fn clone_box(&self) -> Box<dyn InstrStream> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream_testkit::{determinism_check, op_census};
+
+    #[test]
+    fn hammer_hits_shared_region_at_configured_rate() {
+        let mut s = SharedHammer::new(&WorkloadParams::new(0, 4, 9), 4096, 4);
+        let census = op_census(&mut s, 40_000);
+        let mem = census.loads + census.stores;
+        let frac = mem as f64 / 40_000.0;
+        assert!((0.2..0.3).contains(&frac), "memory fraction {frac}");
+        assert_eq!(census.barriers, 0);
+        assert_eq!(census.locks, 0);
+    }
+
+    #[test]
+    fn hammer_without_stores() {
+        let mut s =
+            SharedHammer::new(&WorkloadParams::new(0, 4, 9), 4096, 2).with_store_share(0);
+        let census = op_census(&mut s, 10_000);
+        assert_eq!(census.stores, 0);
+        assert!(census.loads > 4_000);
+    }
+
+    #[test]
+    fn private_stream_stays_private() {
+        let params = WorkloadParams::new(2, 4, 9);
+        let base = Regions::new(2).private();
+        let mut s = PrivateStream::new(&params, 8192, 3);
+        for _ in 0..20_000 {
+            match s.next_instr().op {
+                Op::Load { addr } | Op::Store { addr } => {
+                    assert!((base..base + 0x0100_0000).contains(&addr));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_streams_are_deterministic() {
+        determinism_check(|| {
+            Box::new(SharedHammer::new(&WorkloadParams::new(1, 4, 5), 4096, 3))
+        });
+        determinism_check(|| {
+            Box::new(PrivateStream::new(&WorkloadParams::new(1, 4, 5), 4096, 3))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "region too small")]
+    fn tiny_region_rejected() {
+        let _ = SharedHammer::new(&WorkloadParams::new(0, 1, 1), 32, 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the workload generators: determinism, barrier
+//! alignment, lock well-formedness and address-region discipline for
+//! arbitrary seeds and thread counts.
+
+use proptest::prelude::*;
+
+use slacksim_cmp::isa::Op;
+use slacksim_workloads::mix::Regions;
+use slacksim_workloads::{Benchmark, WorkloadParams};
+
+fn any_benchmark() -> impl Strategy<Value = Benchmark> {
+    prop_oneof![
+        Just(Benchmark::Barnes),
+        Just(Benchmark::Fft),
+        Just(Benchmark::Lu),
+        Just(Benchmark::WaterNsquared),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two streams with identical parameters are identical; a clone taken
+    /// mid-stream continues identically.
+    #[test]
+    fn streams_are_deterministic(
+        benchmark in any_benchmark(),
+        seed in any::<u64>(),
+        tid in 0usize..8
+    ) {
+        let params = WorkloadParams::new(tid, 8, seed);
+        let mut a = benchmark.stream(&params);
+        let mut b = benchmark.stream(&params);
+        for _ in 0..2_000 {
+            prop_assert_eq!(a.next_instr(), b.next_instr());
+        }
+        let mut c = a.clone_box();
+        for _ in 0..2_000 {
+            prop_assert_eq!(a.next_instr(), c.next_instr());
+        }
+    }
+
+    /// Every thread of a run emits the same consecutive barrier-id
+    /// sequence (the property that keeps the simulated barrier device
+    /// deadlock-free).
+    #[test]
+    fn barrier_ids_align_across_threads(
+        benchmark in any_benchmark(),
+        seed in any::<u64>(),
+        n_threads in 2usize..8
+    ) {
+        let collect = |tid: usize| -> Vec<u32> {
+            let mut s = benchmark.stream(&WorkloadParams::new(tid, n_threads, seed));
+            let mut ids = Vec::new();
+            for _ in 0..120_000 {
+                if let Op::Barrier { id } = s.next_instr().op {
+                    ids.push(id);
+                    if ids.len() >= 4 {
+                        break;
+                    }
+                }
+            }
+            ids
+        };
+        let first = collect(0);
+        prop_assert!(!first.is_empty(), "{benchmark} must emit barriers");
+        // Ids are consecutive from 0.
+        for (i, &id) in first.iter().enumerate() {
+            prop_assert_eq!(id as usize, i);
+        }
+        let last = collect(n_threads - 1);
+        let shared = first.len().min(last.len());
+        prop_assert_eq!(&first[..shared], &last[..shared]);
+    }
+
+    /// Lock acquire/release pairs are well formed: no nesting, releases
+    /// match the held lock, and no barrier fires while a lock is held.
+    #[test]
+    fn lock_sequences_are_well_formed(
+        benchmark in any_benchmark(),
+        seed in any::<u64>(),
+        tid in 0usize..8
+    ) {
+        let mut s = benchmark.stream(&WorkloadParams::new(tid, 8, seed));
+        let mut held: Option<u32> = None;
+        for _ in 0..50_000 {
+            match s.next_instr().op {
+                Op::LockAcquire { id } => {
+                    prop_assert!(held.is_none(), "nested acquire");
+                    held = Some(id);
+                }
+                Op::LockRelease { id } => {
+                    prop_assert_eq!(held, Some(id), "mismatched release");
+                    held = None;
+                }
+                Op::Barrier { .. } => prop_assert!(held.is_none(), "barrier while locked"),
+                _ => {}
+            }
+        }
+    }
+
+    /// Stores respect ownership discipline: a thread writes only its own
+    /// private region, its own exported region, or (under a lock) the
+    /// shared region.
+    #[test]
+    fn stores_respect_region_ownership(
+        benchmark in any_benchmark(),
+        seed in any::<u64>(),
+        tid in 0usize..8
+    ) {
+        let mut s = benchmark.stream(&WorkloadParams::new(tid, 8, seed));
+        let private = Regions::new(tid).private();
+        let own_export = Regions::thread_shared(tid);
+        let mut locked = false;
+        for _ in 0..50_000 {
+            match s.next_instr().op {
+                Op::LockAcquire { .. } => locked = true,
+                Op::LockRelease { .. } => locked = false,
+                Op::Store { addr } => {
+                    let in_private = (private..private + 0x0100_0000).contains(&addr);
+                    let in_own_export = (own_export..own_export + 0x0100_0000).contains(&addr);
+                    let in_shared = (Regions::SHARED..Regions::thread_shared(0)).contains(&addr);
+                    prop_assert!(
+                        in_private || in_own_export || (in_shared && locked),
+                        "{benchmark} thread {tid}: unsanctioned store to 0x{addr:x} (locked={locked})"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Program counters stay inside the code region (never collide with
+    /// data), and instruction streams never stall (always produce ops).
+    #[test]
+    fn pcs_stay_in_code_region(
+        benchmark in any_benchmark(),
+        seed in any::<u64>()
+    ) {
+        let mut s = benchmark.stream(&WorkloadParams::new(0, 8, seed));
+        for _ in 0..20_000 {
+            let instr = s.next_instr();
+            prop_assert!(instr.pc >= Regions::CODE);
+            prop_assert!(instr.pc < 0x1000_0000, "pc 0x{:x} collides with data", instr.pc);
+        }
+    }
+
+    /// Different seeds produce different instruction streams (the
+    /// generators actually use their seed).
+    #[test]
+    fn seeds_matter(benchmark in any_benchmark(), seed in 0u64..1_000_000) {
+        let mut a = benchmark.stream(&WorkloadParams::new(0, 8, seed));
+        let mut b = benchmark.stream(&WorkloadParams::new(0, 8, seed + 1));
+        let mut same = 0u32;
+        for _ in 0..2_000 {
+            if a.next_instr() == b.next_instr() {
+                same += 1;
+            }
+        }
+        prop_assert!(same < 2_000, "seed change had no effect on {benchmark}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Adaptive slack in action: watch the feedback loop throttle and widen
+//! the slack bound to hold a target violation rate (paper §4).
+//!
+//! ```sh
+//! cargo run --release --example adaptive_tuning
+//! ```
+
+use slacksim::scheme::{AdaptiveConfig, Scheme};
+use slacksim::{Benchmark, EngineKind, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("adaptive slack on Barnes: target rate sweep\n");
+    println!(
+        "{:>10} | {:>12} | {:>10} | {:>12} | {:>12}",
+        "target", "measured", "mean bound", "exec cycles", "adjustments"
+    );
+
+    for target_percent in [0.05, 0.1, 0.2, 0.5, 1.0] {
+        let cfg = AdaptiveConfig::percent(target_percent, 5.0);
+        let report = Simulation::new(Benchmark::Barnes)
+            .commit_target(400_000)
+            .scheme(Scheme::Adaptive(cfg))
+            .engine(EngineKind::Sequential)
+            .run()?;
+        let mean_bound = if report.bound_trace.is_empty() {
+            0.0
+        } else {
+            report.bound_trace.iter().map(|&(_, b)| b as f64).sum::<f64>()
+                / report.bound_trace.len() as f64
+        };
+        println!(
+            "{:>9.2}% | {:>11.4}% | {:>10.2} | {:>12} | {:>12}",
+            target_percent,
+            100.0 * report.violation_rate(),
+            mean_bound,
+            report.global_cycles,
+            report.bound_trace.len(),
+        );
+    }
+
+    // Show one bound trajectory in detail.
+    let report = Simulation::new(Benchmark::Barnes)
+        .commit_target(200_000)
+        .scheme(Scheme::Adaptive(AdaptiveConfig::percent(0.2, 5.0)))
+        .engine(EngineKind::Sequential)
+        .run()?;
+    println!("\nbound trajectory (target 0.20%, 5% band):");
+    for chunk in report.bound_trace.chunks(8).take(8) {
+        let cells: Vec<String> = chunk
+            .iter()
+            .map(|(cycle, bound)| format!("{}:{}", cycle, bound))
+            .collect();
+        println!("  {}", cells.join("  "));
+    }
+    println!("  (cycle:bound pairs, one per sampling window)");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Quickstart: simulate the paper's 8-core CMP running the synthetic FFT
+//! workload under three slack schemes and compare accuracy and speed.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use slacksim::scheme::Scheme;
+use slacksim::{percent_error, Benchmark, EngineKind, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let commit = 300_000;
+
+    // The gold standard: cycle-by-cycle simulation.
+    let cc = Simulation::new(Benchmark::Fft)
+        .commit_target(commit)
+        .engine(EngineKind::Sequential)
+        .run()?;
+    println!("cycle-by-cycle (gold standard)");
+    println!("  execution time : {} cycles", cc.global_cycles);
+    println!("  CPI            : {:.3}", cc.cpi());
+    println!("  violations     : {} (always 0 by construction)", cc.violations.total());
+    println!(
+        "  L2 miss ratio  : {:.1}%",
+        100.0 * cc.uncore.get("l2_misses") as f64
+            / (cc.uncore.get("l2_hits") + cc.uncore.get("l2_misses")).max(1) as f64
+    );
+
+    // Slack simulation: faster, slightly inaccurate.
+    for (name, scheme) in [
+        ("bounded slack (8 cycles)", Scheme::BoundedSlack { bound: 8 }),
+        ("unbounded slack", Scheme::UnboundedSlack),
+    ] {
+        let r = Simulation::new(Benchmark::Fft)
+            .commit_target(commit)
+            .scheme(scheme)
+            .engine(EngineKind::Sequential)
+            .run()?;
+        println!("\n{name}");
+        println!("  execution time : {} cycles", r.global_cycles);
+        println!(
+            "  error vs CC    : {:+.2}%",
+            percent_error(r.global_cycles as f64, cc.global_cycles as f64)
+        );
+        println!(
+            "  violations     : {} bus, {} map ({:.4}% of cycles)",
+            r.violations.count(slacksim::ViolationKind::Bus),
+            r.violations.count(slacksim::ViolationKind::Map),
+            100.0 * r.violation_rate()
+        );
+    }
+
+    // The same run on the threaded engine: one host thread per target
+    // core, as SlackSim maps simulations onto a host CMP.
+    let threaded = Simulation::new(Benchmark::Fft)
+        .commit_target(commit)
+        .scheme(Scheme::UnboundedSlack)
+        .engine(EngineKind::Threaded)
+        .run()?;
+    println!("\nthreaded unbounded slack (1 host thread per target core)");
+    println!("  wall clock     : {:?}", threaded.wall);
+    println!(
+        "  simulation rate: {:.0} kcycles/s",
+        threaded.cycles_per_second() / 1e3
+    );
+    Ok(())
+}

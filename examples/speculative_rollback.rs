@@ -1,0 +1,74 @@
+//! Speculative slack simulation (paper §5), fully deployed: periodic
+//! in-memory checkpoints, rollback on detected violations, and
+//! cycle-by-cycle replay for forward progress.
+//!
+//! ```sh
+//! cargo run --release --example speculative_rollback
+//! ```
+
+use slacksim::model::{speculative_time, SpeculativeModelInputs};
+use slacksim::scheme::Scheme;
+use slacksim::{Benchmark, EngineKind, Simulation, SpeculationConfig, ViolationSelect};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let commit = 250_000;
+    let interval = 5_000;
+
+    let cc = Simulation::new(Benchmark::WaterNsquared)
+        .commit_target(commit)
+        .engine(EngineKind::Sequential)
+        .run()?;
+
+    // Checkpoint-only: measure the snapshot overhead (Table 2's columns).
+    let mut sim = Simulation::new(Benchmark::WaterNsquared);
+    sim.commit_target(commit)
+        .scheme(Scheme::BoundedSlack { bound: 16 })
+        .engine(EngineKind::Sequential)
+        .speculation(SpeculationConfig::checkpoint_only(interval));
+    let cpt = sim.run()?;
+    println!("checkpoint-only run ({interval}-cycle intervals)");
+    println!("  checkpoints taken : {}", cpt.kernel.get("checkpoints"));
+    println!("  violations seen   : {}", cpt.violations.total());
+    println!(
+        "  intervals violating: {}/{}",
+        cpt.kernel.get("intervals_violating"),
+        cpt.kernel.get("intervals_total")
+    );
+
+    // Full speculation: roll back whenever any violation is detected.
+    let mut sim = Simulation::new(Benchmark::WaterNsquared);
+    sim.commit_target(commit)
+        .scheme(Scheme::BoundedSlack { bound: 16 })
+        .engine(EngineKind::Sequential)
+        .speculation(SpeculationConfig::speculative(interval, ViolationSelect::all()));
+    let spec = sim.run()?;
+    println!("\nspeculative run (rollback on any violation)");
+    println!("  rollbacks          : {}", spec.kernel.get("rollbacks"));
+    println!("  wasted cycles      : {}", spec.kernel.get("wasted_cycles"));
+    println!("  CC replay cycles   : {}", spec.kernel.get("replay_cycles"));
+    println!(
+        "  violations detected: {} (surviving in final state: {})",
+        spec.kernel.get("violations_detected_total"),
+        spec.violations.total()
+    );
+    println!(
+        "  exec-time error vs CC: {:+.2}%",
+        slacksim::percent_error(spec.global_cycles as f64, cc.global_cycles as f64)
+    );
+
+    // Compare against the paper's analytical model.
+    let f = cpt.kernel.get("intervals_violating") as f64
+        / cpt.kernel.get("intervals_total").max(1) as f64;
+    let inputs = SpeculativeModelInputs {
+        t_cc: cc.wall.as_secs_f64(),
+        t_cpt: cpt.wall.as_secs_f64(),
+        fraction_violating: f,
+        rollback_distance: cpt.kernel.get("mean_first_violation_distance_x1000") as f64 / 1000.0,
+        interval: interval as f64,
+    };
+    println!("\nanalytical model (paper §5.2)");
+    println!("  predicted speculative time: {:.3}s", speculative_time(&inputs));
+    println!("  measured speculative time : {:.3}s", spec.wall.as_secs_f64());
+    println!("  cycle-by-cycle time       : {:.3}s", cc.wall.as_secs_f64());
+    Ok(())
+}

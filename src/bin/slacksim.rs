@@ -1,0 +1,119 @@
+//! `slacksim` — command-line front end: run one configured slack
+//! simulation and print the report.
+//!
+//! ```text
+//! slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
+//!          [--bound N] [--quantum N] [--target PCT] [--band PCT]
+//!          [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
+//!          [--checkpoint N] [--rollback all|map] [--verbose]
+//! ```
+
+use slacksim::scheme::{AdaptiveConfig, Scheme};
+use slacksim::{
+    Benchmark, EngineKind, Simulation, SpeculationConfig, ViolationKind, ViolationSelect,
+};
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
+        self.value(flag)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.0.iter().any(|a| a == flag)
+    }
+}
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    if args.has("--help") || args.has("-h") {
+        println!("{}", HELP);
+        return;
+    }
+
+    let benchmark = args
+        .value("--benchmark")
+        .and_then(Benchmark::parse)
+        .unwrap_or(Benchmark::Fft);
+    let scheme = match args.value("--scheme").unwrap_or("cc") {
+        "bounded" => Scheme::BoundedSlack {
+            bound: args.parsed("--bound", 8),
+        },
+        "unbounded" | "su" => Scheme::UnboundedSlack,
+        "quantum" => Scheme::Quantum {
+            quantum: args.parsed("--quantum", 50),
+        },
+        "adaptive" => Scheme::Adaptive(AdaptiveConfig::percent(
+            args.parsed("--target", 0.2),
+            args.parsed("--band", 5.0),
+        )),
+        "p2p" => Scheme::LaxP2p {
+            lead: args.parsed("--bound", 8),
+            period: args.parsed("--period", 500),
+            seed: args.parsed("--seed", 1),
+        },
+        _ => Scheme::CycleByCycle,
+    };
+    let engine = match args.value("--engine").unwrap_or("seq") {
+        "threaded" | "thr" => EngineKind::Threaded,
+        _ => EngineKind::Sequential,
+    };
+
+    let mut sim = Simulation::new(benchmark);
+    sim.scheme(scheme.clone())
+        .engine(engine)
+        .cores(args.parsed("--cores", 8))
+        .commit_target(args.parsed("--commit", 500_000))
+        .seed(args.parsed("--seed", 1));
+    if let Some(interval) = args.value("--checkpoint").and_then(|v| v.parse().ok()) {
+        let select = match args.value("--rollback") {
+            Some("all") => ViolationSelect::all(),
+            Some("map") => ViolationSelect::only(&[ViolationKind::Map]),
+            _ => ViolationSelect::none(),
+        };
+        sim.speculation(SpeculationConfig::speculative(interval, select));
+    }
+
+    eprintln!("running {benchmark} under {} ...", scheme.name());
+    match sim.run() {
+        Ok(report) => {
+            println!("{report}");
+            if args.has("--verbose") {
+                println!("\nuncore counters:\n{}", report.uncore);
+                println!("\nkernel counters:\n{}", report.kernel);
+                for (i, core) in report.per_core.iter().enumerate() {
+                    println!("\ncore {i}:\n{core}");
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+const HELP: &str = "\
+slacksim — run one slack simulation of the paper's 8-core CMP
+
+USAGE:
+  slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
+           [--bound N] [--quantum N] [--target PCT] [--band PCT] [--period N]
+           [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
+           [--checkpoint INTERVAL] [--rollback all|map] [--verbose]
+
+EXAMPLES:
+  slacksim --benchmark barnes --scheme unbounded --engine threaded
+  slacksim --scheme adaptive --target 0.2 --band 5
+  slacksim --scheme bounded --bound 16 --checkpoint 5000 --rollback all --verbose";

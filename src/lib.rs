@@ -1,0 +1,240 @@
+//! # SlackSim-RS
+//!
+//! A production-quality Rust reproduction of *"Adaptive and Speculative
+//! Slack Simulations of CMPs on CMPs"* (Jianwei Chen, Lakshmi Kumar
+//! Dabbiru, Murali Annavaram, Michel Dubois — MoBS 2010): a parallel
+//! simulator of chip multiprocessors that runs on chip multiprocessors,
+//! with bounded/unbounded/adaptive *slack* between the simulated cores'
+//! clocks, timestamp-monitor violation detection, and checkpoint/rollback
+//! speculation.
+//!
+//! This facade crate wires the three layers together:
+//!
+//! * [`slacksim_core`] — the slack-simulation kernel (schemes, violation
+//!   detection, adaptive control, speculation, engines);
+//! * [`slacksim_cmp`] — the paper's 8-core snooping-bus target CMP;
+//! * [`slacksim_workloads`] — synthetic SPLASH-2-like workloads.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use slacksim::{Benchmark, EngineKind, Simulation};
+//! use slacksim::scheme::Scheme;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report = Simulation::new(Benchmark::Fft)
+//!     .cores(4)
+//!     .scheme(Scheme::BoundedSlack { bound: 8 })
+//!     .engine(EngineKind::Sequential)
+//!     .commit_target(50_000)
+//!     .seed(1)
+//!     .run()?;
+//! println!(
+//!     "{} cycles, CPI {:.2}, {} violations",
+//!     report.global_cycles,
+//!     report.cpi(),
+//!     report.violations.total()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use slacksim_cmp::config::{CmpConfig, CoreConfig, UncoreConfig};
+pub use slacksim_core::engine::{BurstPolicy, EngineConfig, EngineError};
+pub use slacksim_core::model;
+pub use slacksim_core::scheme;
+pub use slacksim_core::speculative::{SpeculationConfig, ViolationSelect};
+pub use slacksim_core::stats::{percent_error, SimReport};
+pub use slacksim_core::violation::ViolationKind;
+pub use slacksim_core::Cycle;
+pub use slacksim_workloads::{Benchmark, WorkloadParams};
+
+/// Re-export of the kernel crate.
+pub use slacksim_core;
+/// Re-export of the target-CMP crate.
+pub use slacksim_cmp;
+/// Re-export of the workloads crate.
+pub use slacksim_workloads;
+
+use slacksim_cmp::core::CmpCore;
+use slacksim_cmp::isa::InstrStream;
+use slacksim_cmp::uncore::CmpUncore;
+use slacksim_core::engine::{SequentialEngine, ThreadedEngine};
+use slacksim_core::scheme::Scheme;
+
+/// Which execution engine drives the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// Deterministic single-threaded engine (reproducible accuracy
+    /// experiments; host-scheduling nondeterminism is emulated by a
+    /// seeded burst scheduler).
+    #[default]
+    Sequential,
+    /// One host thread per target core plus the manager — the paper's
+    /// actual CMP-on-CMP execution (wall-clock experiments).
+    Threaded,
+}
+
+/// Builder for a complete slack-simulation run: target CMP + workload +
+/// scheme + engine.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    benchmark: Benchmark,
+    cmp: CmpConfig,
+    scheme: Scheme,
+    engine: EngineKind,
+    commit_target: u64,
+    max_cycles: u64,
+    seed: u64,
+    max_burst: u64,
+    max_lead: u64,
+    speculation: Option<SpeculationConfig>,
+}
+
+impl Simulation {
+    /// Starts a builder for the given benchmark with the paper's default
+    /// target (8 cores) and scheme (cycle-by-cycle).
+    pub fn new(benchmark: Benchmark) -> Self {
+        Simulation {
+            benchmark,
+            cmp: CmpConfig::paper(),
+            scheme: Scheme::CycleByCycle,
+            engine: EngineKind::Sequential,
+            commit_target: 2_000_000,
+            max_cycles: 1 << 40,
+            seed: 1,
+            max_burst: 16,
+            max_lead: 256,
+            speculation: None,
+        }
+    }
+
+    /// Sets the number of target cores (1–16; the paper uses 8).
+    pub fn cores(&mut self, cores: usize) -> &mut Self {
+        self.cmp = CmpConfig::with_cores(cores);
+        self
+    }
+
+    /// Replaces the whole target-CMP configuration.
+    pub fn cmp_config(&mut self, cmp: CmpConfig) -> &mut Self {
+        self.cmp = cmp;
+        self
+    }
+
+    /// Sets the slack scheme.
+    pub fn scheme(&mut self, scheme: Scheme) -> &mut Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Selects the execution engine.
+    pub fn engine(&mut self, engine: EngineKind) -> &mut Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the aggregate committed-instruction target (the paper runs
+    /// 100 M; defaults to 2 M for laptop-scale runs).
+    pub fn commit_target(&mut self, instructions: u64) -> &mut Self {
+        self.commit_target = instructions;
+        self
+    }
+
+    /// Sets the safety cap on simulated cycles.
+    pub fn max_cycles(&mut self, cycles: u64) -> &mut Self {
+        self.max_cycles = cycles;
+        self
+    }
+
+    /// Sets the run seed (workload streams and the deterministic
+    /// engine's scheduler).
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the deterministic engine's maximum scheduling burst.
+    pub fn max_burst(&mut self, cycles: u64) -> &mut Self {
+        self.max_burst = cycles;
+        self
+    }
+
+    /// Sets the implementation cap on core lead over global time under
+    /// greedy schemes (see `EngineConfig::max_lead`).
+    pub fn max_lead(&mut self, cycles: u64) -> &mut Self {
+        self.max_lead = cycles;
+        self
+    }
+
+    /// Enables checkpointing / speculation.
+    pub fn speculation(&mut self, spec: SpeculationConfig) -> &mut Self {
+        self.speculation = Some(spec);
+        self
+    }
+
+    /// Builds the engine configuration this run will use.
+    fn engine_config(&self) -> EngineConfig {
+        let mut cfg = EngineConfig::new(self.scheme.clone(), self.commit_target);
+        cfg.max_cycles = self.max_cycles;
+        cfg.seed = self.seed;
+        cfg.burst = BurstPolicy::new(self.max_burst);
+        cfg.max_lead = self.max_lead;
+        cfg.speculation = self.speculation;
+        cfg
+    }
+
+    /// Builds the target cores with their workload streams attached.
+    fn build_cores(&self) -> Vec<CmpCore> {
+        let n = self.cmp.cores;
+        let seed = self.seed;
+        let benchmark = self.benchmark;
+        CmpCore::build_cmp(&self.cmp, |i| -> Box<dyn InstrStream> {
+            benchmark.stream(&WorkloadParams::new(i, n, seed))
+        })
+    }
+
+    /// Runs the simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EngineError`] from the engine (no cores, stall).
+    pub fn run(&self) -> Result<SimReport, EngineError> {
+        let cores = self.build_cores();
+        let uncore = CmpUncore::new(&self.cmp);
+        let cfg = self.engine_config();
+        match self.engine {
+            EngineKind::Sequential => SequentialEngine::new(cores, uncore, cfg).run(),
+            EngineKind::Threaded => ThreadedEngine::new(cores, uncore, cfg).run(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_paper() {
+        let sim = Simulation::new(Benchmark::Lu);
+        assert_eq!(sim.cmp.cores, 8);
+        assert_eq!(sim.scheme, Scheme::CycleByCycle);
+        assert_eq!(sim.engine, EngineKind::Sequential);
+    }
+
+    #[test]
+    fn small_run_completes() {
+        let report = Simulation::new(Benchmark::Fft)
+            .cores(2)
+            .commit_target(20_000)
+            .run()
+            .expect("run succeeds");
+        assert!(report.committed >= 20_000);
+        assert_eq!(report.violations.total(), 0, "CC run");
+        assert!(report.uncore.get("bus_transactions") > 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Reproducibility guarantees of the deterministic engine: bit-identical
+//! reports per (config, seed) across the whole stack.
+
+use slacksim::scheme::{AdaptiveConfig, Scheme};
+use slacksim::{Benchmark, EngineKind, Simulation, SpeculationConfig, ViolationSelect};
+
+fn run(benchmark: Benchmark, scheme: Scheme, seed: u64) -> slacksim::SimReport {
+    Simulation::new(benchmark)
+        .commit_target(50_000)
+        .seed(seed)
+        .scheme(scheme)
+        .engine(EngineKind::Sequential)
+        .run()
+        .expect("run succeeds")
+}
+
+fn assert_identical(a: &slacksim::SimReport, b: &slacksim::SimReport, what: &str) {
+    assert_eq!(a.global_cycles, b.global_cycles, "{what}: cycles");
+    assert_eq!(a.committed, b.committed, "{what}: committed");
+    assert_eq!(a.violations, b.violations, "{what}: violations");
+    assert_eq!(a.per_core, b.per_core, "{what}: per-core");
+    assert_eq!(a.uncore, b.uncore, "{what}: uncore");
+    assert_eq!(a.bound_trace, b.bound_trace, "{what}: bound trace");
+}
+
+#[test]
+fn same_seed_same_report_for_every_scheme() {
+    let schemes = [
+        Scheme::CycleByCycle,
+        Scheme::BoundedSlack { bound: 16 },
+        Scheme::UnboundedSlack,
+        Scheme::Quantum { quantum: 50 },
+        Scheme::Adaptive(AdaptiveConfig::default()),
+    ];
+    for scheme in schemes {
+        let a = run(Benchmark::Barnes, scheme.clone(), 42);
+        let b = run(Benchmark::Barnes, scheme.clone(), 42);
+        assert_identical(&a, &b, scheme.name());
+    }
+}
+
+#[test]
+fn different_seeds_differ_under_slack() {
+    let a = run(Benchmark::Barnes, Scheme::BoundedSlack { bound: 16 }, 1);
+    let b = run(Benchmark::Barnes, Scheme::BoundedSlack { bound: 16 }, 2);
+    // Different workload streams and scheduling: some statistic must move.
+    assert!(
+        a.global_cycles != b.global_cycles || a.violations != b.violations,
+        "seeds 1 and 2 produced identical runs"
+    );
+}
+
+#[test]
+fn speculative_runs_are_deterministic_too() {
+    let make = || {
+        let mut sim = Simulation::new(Benchmark::Fft);
+        sim.commit_target(50_000)
+            .seed(7)
+            .scheme(Scheme::BoundedSlack { bound: 16 })
+            .engine(EngineKind::Sequential)
+            .speculation(SpeculationConfig::speculative(2_000, ViolationSelect::all()));
+        sim.run().expect("run succeeds")
+    };
+    let a = make();
+    let b = make();
+    assert_identical(&a, &b, "speculative");
+    assert_eq!(
+        a.kernel.get("rollbacks"),
+        b.kernel.get("rollbacks"),
+        "rollback schedule must replay identically"
+    );
+}
+
+#[test]
+fn cc_statistics_are_schedule_independent() {
+    // Under cycle-by-cycle pacing, the burst scheduler's seed must not
+    // matter at all (only the workload seed does) — so fix the workload
+    // by comparing the same full seed against itself through different
+    // burst settings.
+    let mut a = Simulation::new(Benchmark::Lu);
+    a.commit_target(40_000).seed(5).max_burst(1);
+    let mut b = Simulation::new(Benchmark::Lu);
+    b.commit_target(40_000).seed(5).max_burst(64);
+    let ra = a.run().expect("a");
+    let rb = b.run().expect("b");
+    assert_identical(&ra, &rb, "CC vs burst settings");
+}

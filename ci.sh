@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: build, test, lint, format. No network access required.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo build --release"
+cargo build --workspace --release --offline
+
+echo "==> cargo test -q"
+cargo test --workspace -q --offline
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "ci: all green"

@@ -1,10 +1,16 @@
-//! Criterion bench: ablation of the adaptive controller's step policy
-//! (DESIGN.md experiment E9) — wall cost of each policy at the same
-//! target rate.
+//! Bench: ablation of the adaptive controller's step policy (DESIGN.md
+//! experiment E9) — wall cost of each policy at the same target rate.
+//!
+//! A plain `main()` timing harness over `std::time::Instant` — no external
+//! bench framework, so it runs in fully offline builds. Invoke with
+//! `cargo bench --bench adaptive_ablation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use slacksim::scheme::{AdaptiveConfig, Scheme, StepPolicy};
 use slacksim::{Benchmark, EngineKind, Simulation};
+
+const ITERS: u32 = 5;
 
 fn run(step: StepPolicy) {
     let cfg = AdaptiveConfig {
@@ -24,9 +30,25 @@ fn run(step: StepPolicy) {
     assert!(report.committed >= 40_000);
 }
 
-fn adaptive_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("adaptive_step_policy");
-    group.sample_size(10);
+fn bench(label: &str, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut times = Vec::with_capacity(ITERS as usize);
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let total: std::time::Duration = times.iter().sum();
+    println!(
+        "{label:<40} median {median:>12?}  mean {:>12?}  ({ITERS} iters)",
+        total / ITERS
+    );
+}
+
+fn main() {
+    println!("adaptive_step_policy (Barnes, 8 cores, 40k commits)");
     for (name, step) in [
         ("additive", StepPolicy::Additive { up: 1.0, down: 1.0 }),
         ("aimd", StepPolicy::Aimd { up: 1.0 }),
@@ -39,12 +61,6 @@ fn adaptive_ablation(c: &mut Criterion) {
             },
         ),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &step, |b, step| {
-            b.iter(|| run(*step))
-        });
+        bench(name, move || run(step));
     }
-    group.finish();
 }
-
-criterion_group!(benches, adaptive_ablation);
-criterion_main!(benches);

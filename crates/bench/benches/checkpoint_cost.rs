@@ -1,9 +1,16 @@
-//! Criterion bench: checkpointing overhead vs interval length (the
-//! mechanism behind Table 2's 5K-100K columns).
+//! Bench: checkpointing overhead vs interval length (the mechanism behind
+//! Table 2's 5K-100K columns).
+//!
+//! A plain `main()` timing harness over `std::time::Instant` — no external
+//! bench framework, so it runs in fully offline builds. Invoke with
+//! `cargo bench --bench checkpoint_cost`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use slacksim::scheme::Scheme;
 use slacksim::{Benchmark, EngineKind, Simulation, SpeculationConfig};
+
+const ITERS: u32 = 5;
 
 fn run(interval: Option<u64>) {
     let mut sim = Simulation::new(Benchmark::Lu);
@@ -19,19 +26,27 @@ fn run(interval: Option<u64>) {
     assert!(report.committed >= 40_000);
 }
 
-fn checkpoint_cost(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checkpoint_interval");
-    group.sample_size(10);
-    group.bench_function("none", |b| b.iter(|| run(None)));
-    for interval in [1_000u64, 5_000, 20_000] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(interval),
-            &interval,
-            |b, &i| b.iter(|| run(Some(i))),
-        );
+fn bench(label: &str, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut times = Vec::with_capacity(ITERS as usize);
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed());
     }
-    group.finish();
+    times.sort();
+    let median = times[times.len() / 2];
+    let total: std::time::Duration = times.iter().sum();
+    println!(
+        "{label:<40} median {median:>12?}  mean {:>12?}  ({ITERS} iters)",
+        total / ITERS
+    );
 }
 
-criterion_group!(benches, checkpoint_cost);
-criterion_main!(benches);
+fn main() {
+    println!("checkpoint_interval (LU, 8 cores, 40k commits)");
+    bench("none", || run(None));
+    for interval in [1_000u64, 5_000, 20_000] {
+        bench(&interval.to_string(), move || run(Some(interval)));
+    }
+}

@@ -1,9 +1,16 @@
-//! Criterion bench: simulated-cycles-per-second of the engines under the
-//! main slack schemes (the raw speed behind Figure 4's Y axis).
+//! Bench: simulated-cycles-per-second of the engines under the main slack
+//! schemes (the raw speed behind Figure 4's Y axis).
+//!
+//! A plain `main()` timing harness over `std::time::Instant` — no external
+//! bench framework, so it runs in fully offline builds. Invoke with
+//! `cargo bench --bench engine_throughput`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
 use slacksim::scheme::Scheme;
 use slacksim::{Benchmark, EngineKind, Simulation};
+
+const ITERS: u32 = 5;
 
 fn run(engine: EngineKind, scheme: Scheme) {
     let report = Simulation::new(Benchmark::Fft)
@@ -17,20 +24,35 @@ fn run(engine: EngineKind, scheme: Scheme) {
     assert!(report.committed >= 40_000);
 }
 
-fn engine_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine_throughput");
-    group.sample_size(10);
+fn bench(label: &str, mut f: impl FnMut()) {
+    f(); // warm-up
+    let mut times = Vec::with_capacity(ITERS as usize);
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        f();
+        times.push(t.elapsed());
+    }
+    times.sort();
+    let median = times[times.len() / 2];
+    let total: std::time::Duration = times.iter().sum();
+    println!(
+        "{label:<40} median {median:>12?}  mean {:>12?}  ({ITERS} iters)",
+        total / ITERS
+    );
+}
+
+fn main() {
+    println!("engine_throughput (FFT, 8 cores, 40k commits)");
     for (name, scheme) in [
         ("cycle-by-cycle", Scheme::CycleByCycle),
         ("bounded-8", Scheme::BoundedSlack { bound: 8 }),
         ("unbounded", Scheme::UnboundedSlack),
         ("quantum-50", Scheme::Quantum { quantum: 50 }),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("sequential", name),
-            &scheme,
-            |b, scheme| b.iter(|| run(EngineKind::Sequential, scheme.clone())),
-        );
+        let s = scheme.clone();
+        bench(&format!("sequential/{name}"), move || {
+            run(EngineKind::Sequential, s.clone())
+        });
     }
     // The threaded engine is dominated by synchronisation on small hosts;
     // bench only the scheme extremes.
@@ -38,12 +60,9 @@ fn engine_throughput(c: &mut Criterion) {
         ("cycle-by-cycle", Scheme::CycleByCycle),
         ("unbounded", Scheme::UnboundedSlack),
     ] {
-        group.bench_with_input(BenchmarkId::new("threaded", name), &scheme, |b, scheme| {
-            b.iter(|| run(EngineKind::Threaded, scheme.clone()))
+        let s = scheme.clone();
+        bench(&format!("threaded/{name}"), move || {
+            run(EngineKind::Threaded, s.clone())
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, engine_throughput);
-criterion_main!(benches);

@@ -238,7 +238,13 @@ pub fn render_p2p(benchmark: Benchmark, rows: &[P2pRow]) -> Table {
     let mut t = Table::new(format!(
         "Extension E11. Lax-P2P vs bounded/unbounded slack ({benchmark})."
     ));
-    t.headers(["scheme", "exec err", "violation rate", "max spread", "time (s)"]);
+    t.headers([
+        "scheme",
+        "exec err",
+        "violation rate",
+        "max spread",
+        "time (s)",
+    ]);
     for r in rows {
         t.row([
             r.scheme.clone(),

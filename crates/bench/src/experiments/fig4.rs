@@ -56,12 +56,15 @@ pub fn measure(scale: &Scale, benchmark: Benchmark) -> Vec<Fig4Point> {
         mean_bound: 0.0,
     });
     for bound in 1..=9u64 {
-        let rate = run_sequential(scale, benchmark, Scheme::BoundedSlack { bound })
-            .violation_rate();
+        let rate =
+            run_sequential(scale, benchmark, Scheme::BoundedSlack { bound }).violation_rate();
         let wall = run_threaded(scale, benchmark, Scheme::BoundedSlack { bound })
             .wall
             .as_secs_f64();
-        eprintln!("fig4: {benchmark} S{bound}: rate={:.4}% wall={wall:.3}s", rate * 100.0);
+        eprintln!(
+            "fig4: {benchmark} S{bound}: rate={:.4}% wall={wall:.3}s",
+            rate * 100.0
+        );
         points.push(Fig4Point {
             series: "bounded".into(),
             label: format!("S{bound}"),
@@ -107,7 +110,13 @@ pub fn render(benchmark: Benchmark, points: &[Fig4Point]) -> Table {
     let mut t = Table::new(format!(
         "Figure 4. Simulation time vs violation rate ({benchmark})."
     ));
-    t.headers(["series", "config", "violation rate", "sim time (s)", "mean bound"]);
+    t.headers([
+        "series",
+        "config",
+        "violation rate",
+        "sim time (s)",
+        "mean bound",
+    ]);
     for p in points {
         t.row([
             p.series.clone(),

@@ -79,9 +79,8 @@ pub fn measure(scale: &Scale) -> Vec<IntervalStats> {
 
 /// Renders Table 3 (fraction of violating intervals).
 pub fn render_table3(stats: &[IntervalStats]) -> Table {
-    let mut t = Table::new(
-        "Table 3. Fraction of checkpoint intervals that have at least one violation.",
-    );
+    let mut t =
+        Table::new("Table 3. Fraction of checkpoint intervals that have at least one violation.");
     t.headers(["", "10K", "50K", "100K"]);
     for benchmark in Benchmark::ALL {
         let mut row = vec![benchmark.name().to_string()];

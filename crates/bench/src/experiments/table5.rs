@@ -91,8 +91,16 @@ pub fn render(rows: &[Table5Row]) -> Table {
         t.row([
             r.benchmark.name().to_string(),
             format!("{:.3}", r.t_cc),
-            format!("{:.3}{}", r.t_spec[0], if r.profitable[0] { " *" } else { "" }),
-            format!("{:.3}{}", r.t_spec[1], if r.profitable[1] { " *" } else { "" }),
+            format!(
+                "{:.3}{}",
+                r.t_spec[0],
+                if r.profitable[0] { " *" } else { "" }
+            ),
+            format!(
+                "{:.3}{}",
+                r.t_spec[1],
+                if r.profitable[1] { " *" } else { "" }
+            ),
         ]);
     }
     t.note("Ts = (1-F)·Tcpt + F·Dr·Tcpt/I + F·Tcc  (paper §5.2)");

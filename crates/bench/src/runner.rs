@@ -48,7 +48,11 @@ pub fn mean_bound(report: &SimReport) -> f64 {
     if report.bound_trace.is_empty() {
         0.0
     } else {
-        report.bound_trace.iter().map(|&(_, b)| b as f64).sum::<f64>()
+        report
+            .bound_trace
+            .iter()
+            .map(|&(_, b)| b as f64)
+            .sum::<f64>()
             / report.bound_trace.len() as f64
     }
 }

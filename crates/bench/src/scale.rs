@@ -93,7 +93,14 @@ mod tests {
     #[test]
     fn defaults() {
         let s = parse(&[], 1000);
-        assert_eq!(s, Scale { commit: 1000, seed: 1, cores: 8 });
+        assert_eq!(
+            s,
+            Scale {
+                commit: 1000,
+                seed: 1,
+                cores: 8
+            }
+        );
     }
 
     #[test]

@@ -131,7 +131,11 @@ impl fmt::Display for Table {
         let w = self.widths();
         let line_len = w.iter().sum::<usize>() + 3 * w.len().saturating_sub(1);
         writeln!(f, "{}", self.title)?;
-        writeln!(f, "{}", "=".repeat(self.title.chars().count().max(line_len)))?;
+        writeln!(
+            f,
+            "{}",
+            "=".repeat(self.title.chars().count().max(line_len))
+        )?;
         if !self.headers.is_empty() {
             let cells: Vec<String> = self
                 .headers

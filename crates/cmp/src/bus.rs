@@ -77,6 +77,9 @@ pub struct BusGrant {
     pub grant: Cycle,
     /// Whether the request arrived out of timestamp order (bus violation).
     pub violation: bool,
+    /// The bus monitor's largest observed timestamp at arbitration time
+    /// (feeds violation-distance observability).
+    pub high_water: Cycle,
     /// Whether the request had to wait for another transaction
     /// (bus conflict).
     pub conflict: bool,
@@ -143,8 +146,14 @@ impl Bus {
         BusGrant {
             grant: Cycle::new(slot),
             violation,
+            high_water: self.monitor.high_water(),
             conflict,
         }
+    }
+
+    /// The bus monitor's largest observed request timestamp so far.
+    pub fn high_water(&self) -> Cycle {
+        self.monitor.high_water()
     }
 
     /// Schedules a data transfer on the response bus once the data is

@@ -191,7 +191,10 @@ impl Cache {
     pub fn peek(&self, line: LineAddr) -> Option<MesiState> {
         let set = self.set_index(line);
         let tag = self.tag(line);
-        self.sets[set].iter().find(|w| w.tag == tag).map(|w| w.state)
+        self.sets[set]
+            .iter()
+            .find(|w| w.tag == tag)
+            .map(|w| w.state)
     }
 
     /// Changes the state of a resident line; no-op when absent. Returns
@@ -256,11 +259,9 @@ impl Cache {
         let set = self.set_index(line);
         let tag = self.tag(line);
         let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|w| w.tag == tag) {
-            Some(ways.swap_remove(pos).state)
-        } else {
-            None
-        }
+        ways.iter()
+            .position(|w| w.tag == tag)
+            .map(|pos| ways.swap_remove(pos).state)
     }
 
     /// Number of resident lines.

@@ -798,8 +798,9 @@ mod tests {
         let mut arrive = None;
         for t in 1..20 {
             let (_, evs) = tick_at(&mut core, &mut inbox, t);
-            if let Some(MemEvent::BarrierArrive { id }) =
-                evs.iter().find(|e| matches!(e, MemEvent::BarrierArrive { .. }))
+            if let Some(MemEvent::BarrierArrive { id }) = evs
+                .iter()
+                .find(|e| matches!(e, MemEvent::BarrierArrive { .. }))
             {
                 arrive = Some((*id, t));
                 break;

@@ -113,7 +113,10 @@ mod tests {
 
     #[test]
     fn direction_classification() {
-        assert!(MemEvent::Writeback { line: LineAddr::new(1) }.is_request());
+        assert!(MemEvent::Writeback {
+            line: LineAddr::new(1)
+        }
+        .is_request());
         assert!(MemEvent::BarrierArrive { id: 0 }.is_request());
         assert!(!MemEvent::Reply {
             req: 0,
@@ -133,7 +136,10 @@ mod tests {
             ifetch: false
         }
         .uses_bus());
-        assert!(MemEvent::Writeback { line: LineAddr::new(3) }.uses_bus());
+        assert!(MemEvent::Writeback {
+            line: LineAddr::new(3)
+        }
+        .uses_bus());
         assert!(!MemEvent::LockAcquire { id: 1 }.uses_bus());
         assert!(!MemEvent::BarrierArrive { id: 1 }.uses_bus());
     }

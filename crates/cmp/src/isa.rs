@@ -223,8 +223,7 @@ mod tests {
 
     #[test]
     fn boxed_stream_clone_preserves_position() {
-        let mut s: Box<dyn InstrStream> =
-            Box::new(LoopStream::new(vec![Op::IntAlu, Op::FpAlu]));
+        let mut s: Box<dyn InstrStream> = Box::new(LoopStream::new(vec![Op::IntAlu, Op::FpAlu]));
         let _ = s.next_instr();
         let mut t = s.clone();
         assert_eq!(s.next_instr(), t.next_instr());

@@ -55,6 +55,9 @@ impl MapEntry {
 pub struct MapOutcome {
     /// The transition arrived out of timestamp order for this entry.
     pub violation: bool,
+    /// The entry monitor's largest previously observed timestamp at the
+    /// time of this transition (feeds violation-distance observability).
+    pub high_water: Cycle,
     /// Remote core that supplies the data from its M/E copy, if any.
     pub data_from_owner: Option<CoreId>,
     /// State granted to the requester's L1.
@@ -116,16 +119,11 @@ impl CacheMap {
     /// Applies one bus transaction to the map and returns the protocol
     /// outcome (grant state, snoop targets, data source) along with the
     /// violation verdict of this entry's monitoring variable.
-    pub fn transition(
-        &mut self,
-        op: BusOp,
-        line: LineAddr,
-        from: CoreId,
-        ts: Cycle,
-    ) -> MapOutcome {
+    pub fn transition(&mut self, op: BusOp, line: LineAddr, from: CoreId, ts: Cycle) -> MapOutcome {
         debug_assert!(from.index() < self.n_cores, "unknown core {from}");
         self.transitions += 1;
         let violation = self.monitor.observe(line, ts);
+        let high_water = self.monitor.high_water(&line);
         if violation {
             self.violations += 1;
         }
@@ -184,6 +182,7 @@ impl CacheMap {
 
         MapOutcome {
             violation,
+            high_water,
             data_from_owner,
             grant,
             invalidate,

@@ -97,6 +97,7 @@ impl UncoreModel<MemEvent> for CmpUncore {
                     sink.report_violation(ViolationEvent {
                         kind: ViolationKind::Bus,
                         ts,
+                        high_water: grant.high_water,
                     });
                 }
                 let outcome = self.map.transition(op, line, from, ts);
@@ -104,6 +105,7 @@ impl UncoreModel<MemEvent> for CmpUncore {
                     sink.report_violation(ViolationEvent {
                         kind: ViolationKind::Map,
                         ts,
+                        high_water: outcome.high_water,
                     });
                 }
                 // Snoop deliveries ride right behind the request broadcast.
@@ -143,6 +145,7 @@ impl UncoreModel<MemEvent> for CmpUncore {
                     sink.report_violation(ViolationEvent {
                         kind: ViolationKind::Bus,
                         ts,
+                        high_water: grant.high_water,
                     });
                 }
                 let outcome = self.map.transition(BusOp::Wb, line, from, ts);
@@ -150,6 +153,7 @@ impl UncoreModel<MemEvent> for CmpUncore {
                     sink.report_violation(ViolationEvent {
                         kind: ViolationKind::Map,
                         ts,
+                        high_water: outcome.high_water,
                     });
                 }
                 self.l2.write_back(line);
@@ -234,7 +238,11 @@ mod tests {
         ev: MemEvent,
     ) -> (Vec<(CoreId, Timestamped<MemEvent>)>, Vec<ViolationEvent>) {
         let mut sink = ServiceSink::new();
-        u.service(CoreId::new(from), Timestamped::new(Cycle::new(ts), ev), &mut sink);
+        u.service(
+            CoreId::new(from),
+            Timestamped::new(Cycle::new(ts), ev),
+            &mut sink,
+        );
         (
             sink.take_deliveries().collect(),
             sink.take_violations().collect(),
@@ -332,8 +340,14 @@ mod tests {
     fn writeback_has_no_reply() {
         let mut u = uncore();
         service(&mut u, 0, 10, request(BusOp::RdX, 7, 1));
-        let (deliveries, _) =
-            service(&mut u, 0, 50, MemEvent::Writeback { line: LineAddr::new(7) });
+        let (deliveries, _) = service(
+            &mut u,
+            0,
+            50,
+            MemEvent::Writeback {
+                line: LineAddr::new(7),
+            },
+        );
         assert!(deliveries.is_empty());
         assert_eq!(u.counters().get("l2_writebacks_in"), 1);
     }

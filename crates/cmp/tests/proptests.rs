@@ -1,10 +1,10 @@
-//! Property-based tests for the target-CMP substrate: the cache against a
-//! reference model, bus slot-calendar exclusivity, cache-map protocol
-//! invariants and synchronisation-device laws.
+//! Randomised property tests for the target-CMP substrate: the cache
+//! against a reference model, bus slot-calendar exclusivity, cache-map
+//! protocol invariants and synchronisation-device laws. Inputs come from
+//! the in-tree deterministic [`Xoshiro256`] RNG, so every run reproduces
+//! bit-identically without external crates.
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use slacksim_cmp::bus::Bus;
 use slacksim_cmp::cache::{Cache, CacheConfig, LineAddr};
@@ -12,7 +12,10 @@ use slacksim_cmp::map::CacheMap;
 use slacksim_cmp::mesi::{BusOp, MesiState};
 use slacksim_cmp::sync::SyncDevice;
 use slacksim_core::event::CoreId;
+use slacksim_core::rng::Xoshiro256;
 use slacksim_core::time::Cycle;
+
+const CASES: u64 = 64;
 
 /// An independent, naive set-associative LRU model: per set, a vector of
 /// (tag, state) ordered most-recently-used first.
@@ -88,117 +91,154 @@ enum CacheOp {
     Invalidate(u64),
 }
 
-fn cache_op() -> impl Strategy<Value = CacheOp> {
-    let states = prop_oneof![
-        Just(MesiState::Modified),
-        Just(MesiState::Exclusive),
-        Just(MesiState::Shared),
-    ];
-    prop_oneof![
-        (0u64..64).prop_map(CacheOp::Probe),
-        ((0u64..64), states).prop_map(|(l, s)| CacheOp::Fill(l, s)),
-        (0u64..64).prop_map(CacheOp::Invalidate),
-    ]
+fn random_cache_op(rng: &mut Xoshiro256) -> CacheOp {
+    let line = rng.next_below(64);
+    match rng.next_below(3) {
+        0 => CacheOp::Probe(line),
+        1 => {
+            let state = match rng.next_below(3) {
+                0 => MesiState::Modified,
+                1 => MesiState::Exclusive,
+                _ => MesiState::Shared,
+            };
+            CacheOp::Fill(line, state)
+        }
+        _ => CacheOp::Invalidate(line),
+    }
 }
 
-proptest! {
-    /// The production cache agrees with the naive reference model on
-    /// every probe/fill/invalidate outcome, including victim choice.
-    #[test]
-    fn cache_matches_reference_model(ops in prop::collection::vec(cache_op(), 1..300)) {
+/// The production cache agrees with the naive reference model on every
+/// probe/fill/invalidate outcome, including victim choice.
+#[test]
+fn cache_matches_reference_model() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xCAC4E + case);
+        let len = 1 + rng.next_below(300) as usize;
         // Small geometry maximises eviction traffic: 4 sets × 2 ways.
-        let cfg = CacheConfig { size_bytes: 256, ways: 2, line_bytes: 32 };
+        let cfg = CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 32,
+        };
         let mut real = Cache::new(cfg);
         let mut reference = RefCache::new(cfg);
-        for &op in &ops {
-            match op {
+        for _ in 0..len {
+            match random_cache_op(&mut rng) {
                 CacheOp::Probe(l) => {
-                    prop_assert_eq!(real.probe(LineAddr::new(l)), reference.probe(LineAddr::new(l)));
+                    assert_eq!(
+                        real.probe(LineAddr::new(l)),
+                        reference.probe(LineAddr::new(l)),
+                        "case {case}"
+                    );
                 }
                 CacheOp::Fill(l, s) => {
-                    prop_assert_eq!(real.fill(LineAddr::new(l), s), reference.fill(LineAddr::new(l), s));
+                    assert_eq!(
+                        real.fill(LineAddr::new(l), s),
+                        reference.fill(LineAddr::new(l), s),
+                        "case {case}"
+                    );
                 }
                 CacheOp::Invalidate(l) => {
-                    prop_assert_eq!(real.invalidate(LineAddr::new(l)), reference.invalidate(LineAddr::new(l)));
+                    assert_eq!(
+                        real.invalidate(LineAddr::new(l)),
+                        reference.invalidate(LineAddr::new(l)),
+                        "case {case}"
+                    );
                 }
             }
         }
     }
+}
 
-    /// Bus grants never overlap: any two grants are at least the bus
-    /// occupancy apart, and each grant is at or after its request.
-    #[test]
-    fn bus_grants_are_exclusive(
-        requests in prop::collection::vec(0u64..2_000, 1..200),
-        occupancy in 1u64..4
-    ) {
+/// Bus grants never overlap: any two grants are at least the bus occupancy
+/// apart, and each grant is at or after its request.
+#[test]
+fn bus_grants_are_exclusive() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xB5 + case);
+        let len = 1 + rng.next_below(200) as usize;
+        let occupancy = rng.next_range(1, 3);
         let mut bus = Bus::new(occupancy, 1);
         let mut grants = Vec::new();
-        for &ts in &requests {
+        for _ in 0..len {
+            let ts = rng.next_below(2_000);
             let g = bus.arbitrate(Cycle::new(ts));
-            prop_assert!(g.grant.as_u64() >= ts, "grant before request");
+            assert!(g.grant.as_u64() >= ts, "case {case}: grant before request");
             grants.push(g.grant.as_u64());
         }
         grants.sort_unstable();
         for w in grants.windows(2) {
-            prop_assert!(w[1] - w[0] >= occupancy, "overlapping grants {w:?}");
+            assert!(
+                w[1] - w[0] >= occupancy,
+                "case {case}: overlapping grants {w:?}"
+            );
         }
     }
+}
 
-    /// Response-bus slots are also exclusive.
-    #[test]
-    fn response_slots_are_exclusive(
-        ready in prop::collection::vec(0u64..2_000, 1..200),
-        occupancy in 1u64..4
-    ) {
+/// Response-bus slots are also exclusive.
+#[test]
+fn response_slots_are_exclusive() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x4E59 + case);
+        let len = 1 + rng.next_below(200) as usize;
+        let occupancy = rng.next_range(1, 3);
         let mut bus = Bus::new(1, occupancy);
         let mut ends = Vec::new();
-        for &ts in &ready {
+        for _ in 0..len {
+            let ts = rng.next_below(2_000);
             let done = bus.respond(Cycle::new(ts));
-            prop_assert!(done.as_u64() >= ts + occupancy);
+            assert!(done.as_u64() >= ts + occupancy, "case {case}");
             ends.push(done.as_u64());
         }
         ends.sort_unstable();
         for w in ends.windows(2) {
-            prop_assert!(w[1] - w[0] >= occupancy, "overlapping transfers {w:?}");
+            assert!(
+                w[1] - w[0] >= occupancy,
+                "case {case}: overlapping transfers {w:?}"
+            );
         }
     }
+}
 
-    /// Cache-map protocol invariants under arbitrary transition streams:
-    /// Rd grants E only when alone, S otherwise; RdX/Upgr grant M and
-    /// invalidate every other sharer; writebacks clear the writer.
-    #[test]
-    fn cache_map_protocol_invariants(
-        ops in prop::collection::vec(
-            ((0u8..3), (0u64..8), (0u16..4), (0u64..10_000)),
-            1..300
-        )
-    ) {
+/// Cache-map protocol invariants under arbitrary transition streams: Rd
+/// grants E only when alone, S otherwise; RdX grants M and invalidates
+/// every other sharer; writebacks clear the writer.
+#[test]
+fn cache_map_protocol_invariants() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x3A9 + case);
+        let len = 1 + rng.next_below(300) as usize;
         let mut map = CacheMap::new(4);
         // Shadow state: per line, the set of holders.
         let mut shadow: HashMap<u64, std::collections::BTreeSet<u16>> = HashMap::new();
-        for &(op_idx, line, core, ts) in &ops {
-            let op = [BusOp::Rd, BusOp::RdX, BusOp::Wb][op_idx as usize];
+        for _ in 0..len {
+            let op = [BusOp::Rd, BusOp::RdX, BusOp::Wb][rng.next_below(3) as usize];
+            let line = rng.next_below(8);
+            let core = rng.next_below(4) as u16;
+            let ts = rng.next_below(10_000);
             let out = map.transition(op, LineAddr::new(line), CoreId::new(core), Cycle::new(ts));
             let holders = shadow.entry(line).or_default();
             match op {
                 BusOp::Rd => {
                     let others_before = holders.iter().any(|&c| c != core);
                     if others_before {
-                        prop_assert_eq!(out.grant, MesiState::Shared);
+                        assert_eq!(out.grant, MesiState::Shared, "case {case}");
                     } else {
-                        prop_assert_eq!(out.grant, MesiState::Exclusive);
+                        assert_eq!(out.grant, MesiState::Exclusive, "case {case}");
                     }
-                    prop_assert!(out.invalidate.is_empty(), "Rd never invalidates");
+                    assert!(
+                        out.invalidate.is_empty(),
+                        "case {case}: Rd never invalidates"
+                    );
                     holders.insert(core);
                 }
                 BusOp::RdX => {
-                    prop_assert_eq!(out.grant, MesiState::Modified);
+                    assert_eq!(out.grant, MesiState::Modified, "case {case}");
                     let expected: Vec<u16> =
                         holders.iter().copied().filter(|&c| c != core).collect();
-                    let got: Vec<u16> =
-                        out.invalidate.iter().map(|c| c.index() as u16).collect();
-                    prop_assert_eq!(got, expected, "RdX must invalidate all others");
+                    let got: Vec<u16> = out.invalidate.iter().map(|c| c.index() as u16).collect();
+                    assert_eq!(got, expected, "case {case}: RdX must invalidate all others");
                     holders.clear();
                     holders.insert(core);
                 }
@@ -214,41 +254,49 @@ proptest! {
                 .map(|c| c.index() as u16)
                 .collect();
             let shadow_sharers: Vec<u16> = holders.iter().copied().collect();
-            prop_assert_eq!(map_sharers, shadow_sharers);
+            assert_eq!(map_sharers, shadow_sharers, "case {case}");
         }
     }
+}
 
-    /// Barriers release exactly when the last participant arrives, at the
-    /// maximum arrival time plus the device latency, whatever the order.
-    #[test]
-    fn barrier_release_law(
-        arrival_ts in prop::collection::vec(0u64..10_000, 4),
-        order in Just([0u16, 1, 2, 3]).prop_shuffle(),
-        latency in 0u64..16
-    ) {
+/// Barriers release exactly when the last participant arrives, at the
+/// maximum arrival time plus the device latency, whatever the order.
+#[test]
+fn barrier_release_law() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xBA44 + case);
+        let arrival_ts: Vec<u64> = (0..4).map(|_| rng.next_below(10_000)).collect();
+        let latency = rng.next_below(16);
+        // Fisher-Yates shuffle of the arrival order.
+        let mut order = [0u16, 1, 2, 3];
+        for i in (1..4).rev() {
+            order.swap(i, rng.next_below(i as u64 + 1) as usize);
+        }
         let mut dev = SyncDevice::new(4, latency, 1);
         let mut released = None;
         for (i, &core) in order.iter().enumerate() {
             let ts = arrival_ts[core as usize];
             let out = dev.barrier_arrive(CoreId::new(core), 0, Cycle::new(ts));
             if i < 3 {
-                prop_assert!(out.is_none(), "released early");
+                assert!(out.is_none(), "case {case}: released early");
             } else {
                 released = out;
             }
         }
         let (release, cores) = released.expect("all arrived");
         let max_ts = *arrival_ts.iter().max().expect("nonempty");
-        prop_assert_eq!(release.as_u64(), max_ts + latency);
-        prop_assert_eq!(cores.len(), 4);
+        assert_eq!(release.as_u64(), max_ts + latency, "case {case}");
+        assert_eq!(cores.len(), 4, "case {case}");
     }
+}
 
-    /// Locks provide mutual exclusion with FIFO handover: grants never
-    /// overlap and follow request order among waiters.
-    #[test]
-    fn lock_fifo_mutual_exclusion(
-        requests in prop::collection::vec((0u16..4, 0u64..1_000), 2..20)
-    ) {
+/// Locks provide mutual exclusion with FIFO handover: grants never
+/// overlap and follow request order among waiters.
+#[test]
+fn lock_fifo_mutual_exclusion() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x10CC + case);
+        let len = 2 + rng.next_below(18) as usize;
         let mut dev = SyncDevice::new(4, 1, 2);
         let mut hold_order: Vec<u16> = Vec::new();
         let mut queue: Vec<u16> = Vec::new();
@@ -256,11 +304,12 @@ proptest! {
         // All on one lock id; each core acquires then releases immediately
         // at a later timestamp.
         let mut t = 0u64;
-        for &(core, gap) in &requests {
-            t += gap;
+        for _ in 0..len {
+            let core = rng.next_below(4) as u16;
+            t += rng.next_below(1_000);
             match dev.lock_acquire(CoreId::new(core), 9, Cycle::new(t)) {
                 Some(_) => {
-                    prop_assert!(holder.is_none(), "grant while held");
+                    assert!(holder.is_none(), "case {case}: grant while held");
                     holder = Some(core);
                     hold_order.push(core);
                 }
@@ -271,12 +320,12 @@ proptest! {
                 t += 1;
                 if let Some((next, _)) = dev.lock_release(CoreId::new(h), 9, Cycle::new(t)) {
                     let expected = queue.remove(0);
-                    prop_assert_eq!(next.index() as u16, expected, "FIFO handover");
+                    assert_eq!(next.index() as u16, expected, "case {case}: FIFO handover");
                     holder = Some(next.index() as u16);
                     hold_order.push(expected);
                 }
             }
         }
-        prop_assert!(!hold_order.is_empty());
+        assert!(!hold_order.is_empty(), "case {case}");
     }
 }

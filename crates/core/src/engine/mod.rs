@@ -253,6 +253,11 @@ pub struct EngineConfig {
     /// Burst policy for the deterministic engine (ignored by the threaded
     /// engine, which inherits real host scheduling).
     pub burst: BurstPolicy,
+    /// Optional observability instrumentation: when set, the engine records
+    /// a trace and samples metrics, attaching the result to
+    /// `SimReport::obs`. When `None`, instrumentation sites cost one
+    /// relaxed atomic load each.
+    pub obs: Option<crate::obs::ObsConfig>,
 }
 
 impl EngineConfig {
@@ -268,6 +273,7 @@ impl EngineConfig {
             seed: 1,
             burst: BurstPolicy::default(),
             max_lead: 256,
+            obs: None,
         }
     }
 
@@ -340,6 +346,7 @@ mod tests {
         sink.report_violation(ViolationEvent {
             kind: ViolationKind::Bus,
             ts: Cycle::new(3),
+            high_water: Cycle::new(5),
         });
         assert_eq!(sink.take_deliveries().count(), 1);
         assert_eq!(sink.take_violations().count(), 1);

@@ -18,6 +18,7 @@ use crate::engine::{
     CoreModel, EngineConfig, EngineError, FinishReason, ServiceSink, TickCtx, UncoreModel,
 };
 use crate::event::{CoreId, GlobalQueue, Inbox, Timestamped};
+use crate::obs::{MetricsRegistry, ObsData, Phase, QueueKind, TraceEvent, TraceHandle, Tracer};
 use crate::rng::Xoshiro256;
 use crate::scheme::{PaceSample, Pacer};
 use crate::speculative::{IntervalTracker, SpeculationStats};
@@ -105,6 +106,16 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
         let mut last_sample_tally = tally;
         let mut bound_trace: Vec<(Cycle, u64)> = Vec::new();
 
+        // Observability: a disabled tracer keeps every record call at one
+        // relaxed atomic load when no ObsConfig was given.
+        let tracer = match cfg.obs {
+            Some(o) => Tracer::new(o.trace_capacity),
+            None => Tracer::disabled(),
+        };
+        let mut th = tracer.handle();
+        let mut metrics = MetricsRegistry::new(cfg.obs.map_or(1024, |o| o.sample_every));
+        let mut last_metrics_detected = 0u64;
+
         // Speculation state.
         let spec = cfg.speculation;
         let mut tracker = spec.map(|s| IntervalTracker::new(s.interval));
@@ -178,16 +189,62 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
             // Violation-rate sampling and adaptive feedback.
             while global.as_u64() >= next_sample {
                 let delta = tally.since(&last_sample_tally);
-                pacer.on_sample(&PaceSample {
+                let sample = PaceSample {
                     global: Cycle::new(next_sample),
                     window_cycles: sample_period,
                     window_violations: delta.total(),
-                });
+                };
+                let bound_before = pacer.current_bound();
+                pacer.on_sample(&sample);
                 last_sample_tally = tally;
                 if let Some(b) = pacer.current_bound() {
                     bound_trace.push((Cycle::new(next_sample), b));
+                    if let Some(old) = bound_before {
+                        if old != b {
+                            th.record(
+                                Cycle::new(next_sample),
+                                TraceEvent::BoundChange {
+                                    old,
+                                    new: b,
+                                    rate: sample.rate(),
+                                },
+                            );
+                        }
+                    }
                 }
                 next_sample += sample_period;
+            }
+
+            // Metrics sampling (observability cadence, independent of the
+            // pacer's feedback period).
+            if cfg.obs.is_some() && metrics.sample_ready(global) {
+                for (i, &l) in locals.iter().enumerate() {
+                    let drift = l.saturating_sub(global);
+                    metrics.gauge(&format!("drift.core{i}"), global, drift as f64);
+                    th.record(
+                        global,
+                        TraceEvent::LocalTimeSample {
+                            core: CoreId::new(i as u16),
+                            cycle: l,
+                        },
+                    );
+                }
+                if let Some(b) = pacer.current_bound() {
+                    metrics.gauge("slack_bound", global, b as f64);
+                }
+                let window = metrics.sample_every() as f64;
+                let live_rate = (detected.total() - last_metrics_detected) as f64 / window;
+                last_metrics_detected = detected.total();
+                metrics.gauge("violation_rate", global, live_rate);
+                metrics.gauge("globalq_depth", global, gq.len() as f64);
+                metrics.histogram("globalq_depth").record(gq.len() as u64);
+                th.record(
+                    global,
+                    TraceEvent::QueueDepth {
+                        q: QueueKind::Global,
+                        len: gq.len() as u64,
+                    },
+                );
             }
 
             // Checkpoint scheduling: once global time crosses the trigger,
@@ -208,9 +265,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
             }
             let cap = cfg.lead_cap(global);
             let win_for = |i: usize| -> Cycle {
-                let base = per_core
-                    .as_ref()
-                    .map_or(window_end, |v| v[i].min(cap));
+                let base = per_core.as_ref().map_or(window_end, |v| v[i].min(cap));
                 match stop_at {
                     Some(s) => base.min(s),
                     None => base,
@@ -241,6 +296,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                             &mut pending_rollback,
                             &spec,
                             mode,
+                            &mut th,
                         );
                         if pending_rollback {
                             Self::rollback(
@@ -257,9 +313,19 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                                 &mut gq,
                                 &mut spec_stats,
                                 global,
+                                &mut th,
                             );
                             mode = Mode::Replay;
                             replay_start = locals[0];
+                            for i in 0..n {
+                                th.record(
+                                    replay_start,
+                                    TraceEvent::PhaseBegin {
+                                        core: CoreId::new(i as u16),
+                                        phase: Phase::Replay,
+                                    },
+                                );
+                            }
                             next_cp_trigger =
                                 locals[0].as_u64() + spec.expect("spec enabled").interval;
                             stop_at = None;
@@ -270,8 +336,24 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                         if mode == Mode::Replay {
                             spec_stats.replay_cycles += s.saturating_sub(replay_start);
                             mode = Mode::Base;
+                            for i in 0..n {
+                                th.record(
+                                    s,
+                                    TraceEvent::PhaseEnd {
+                                        core: CoreId::new(i as u16),
+                                        phase: Phase::Replay,
+                                    },
+                                );
+                            }
                         }
                         spec_stats.checkpoints += 1;
+                        th.record(
+                            Cycle::new(next_cp_trigger.min(s.as_u64())),
+                            TraceEvent::Checkpoint {
+                                interval: spec_stats.checkpoints,
+                                cycles: s.as_u64().saturating_sub(next_cp_trigger),
+                            },
+                        );
                         snapshot = Some(Snapshot {
                             cores: cores.clone(),
                             uncore: uncore.clone(),
@@ -304,6 +386,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                         &mut pending_rollback,
                         &spec,
                         mode,
+                        &mut th,
                     );
                     debug_assert!(!pending_rollback, "CC/quantum servicing cannot violate");
                     window_end = if mode == Mode::Replay {
@@ -335,6 +418,15 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
             let burst = rng.next_range(1, cfg.burst.max_burst);
             let pick_win = win_for(pick);
             let head = pick_win.saturating_sub(locals[pick]).min(burst);
+            if head > 0 && mode == Mode::Base {
+                th.record(
+                    locals[pick],
+                    TraceEvent::PhaseBegin {
+                        core: CoreId::new(pick as u16),
+                        phase: Phase::Run,
+                    },
+                );
+            }
             for _ in 0..head {
                 let mut ctx = TickCtx::new(locals[pick], &mut inboxes[pick], &mut outbox);
                 let c = cores[pick].tick(&mut ctx);
@@ -346,6 +438,15 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                 if !barrier && committed >= cfg.commit_target {
                     break;
                 }
+            }
+            if head > 0 && mode == Mode::Base {
+                th.record(
+                    locals[pick],
+                    TraceEvent::PhaseEnd {
+                        core: CoreId::new(pick as u16),
+                        phase: Phase::Run,
+                    },
+                );
             }
 
             if !barrier {
@@ -360,6 +461,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                     &mut pending_rollback,
                     &spec,
                     mode,
+                    &mut th,
                 );
                 if pending_rollback {
                     let cur_global = locals.iter().copied().min().expect("n >= 1");
@@ -377,9 +479,19 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                         &mut gq,
                         &mut spec_stats,
                         cur_global,
+                        &mut th,
                     );
                     mode = Mode::Replay;
                     replay_start = locals[0];
+                    for i in 0..n {
+                        th.record(
+                            replay_start,
+                            TraceEvent::PhaseBegin {
+                                core: CoreId::new(i as u16),
+                                phase: Phase::Replay,
+                            },
+                        );
+                    }
                     next_cp_trigger = locals[0].as_u64() + spec.expect("spec enabled").interval;
                     stop_at = None;
                     pending_rollback = false;
@@ -423,6 +535,17 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
             );
         }
 
+        let obs = cfg.obs.map(|_| {
+            th.flush();
+            let (records, dropped) = tracer.drain();
+            ObsData {
+                cores: n,
+                records,
+                dropped,
+                metrics,
+            }
+        });
+
         Ok(SimReport {
             global_cycles: global.as_u64(),
             committed,
@@ -432,6 +555,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
             uncore: uncore.counters(),
             kernel,
             bound_trace,
+            obs,
         })
     }
 
@@ -450,6 +574,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
         pending_rollback: &mut bool,
         spec: &Option<crate::speculative::SpeculationConfig>,
         mode: Mode,
+        th: &mut TraceHandle,
     ) {
         while let Some((from, ev)) = gq.pop() {
             uncore.service(from, ev, sink);
@@ -459,6 +584,15 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
             for v in sink.take_violations() {
                 tally.record(v.kind);
                 detected.record(v.kind);
+                th.record(
+                    v.ts,
+                    TraceEvent::Violation {
+                        kind: v.kind,
+                        core: from,
+                        ts: v.ts,
+                        high_water: v.high_water,
+                    },
+                );
                 if let Some(tr) = tracker.as_mut() {
                     tr.observe_violation(v.ts);
                 }
@@ -495,9 +629,18 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
         gq: &mut GlobalQueue<C::Event>,
         spec_stats: &mut SpeculationStats,
         global_at_rollback: Cycle,
+        th: &mut TraceHandle,
     ) {
         spec_stats.rollbacks += 1;
-        spec_stats.wasted_cycles += global_at_rollback.saturating_sub(snap.global);
+        let wasted = global_at_rollback.saturating_sub(snap.global);
+        spec_stats.wasted_cycles += wasted;
+        th.record(
+            snap.global,
+            TraceEvent::Rollback {
+                interval: spec_stats.rollbacks,
+                replay_cycles: wasted,
+            },
+        );
         *cores = snap.cores.clone();
         *uncore = snap.uncore.clone();
         *locals = snap.locals.clone();
@@ -552,7 +695,7 @@ mod tests {
                 assert_eq!(ev.payload, Toy::Pong);
                 self.pongs += 1;
             }
-            if ctx.now().as_u64() % self.period == 0 {
+            if ctx.now().as_u64().is_multiple_of(self.period) {
                 ctx.emit(Toy::Ping);
             }
             self.committed += 1;
@@ -586,6 +729,7 @@ mod tests {
                 sink.report_violation(ViolationEvent {
                     kind: ViolationKind::Bus,
                     ts: ev.ts,
+                    high_water: self.monitor.high_water(),
                 });
             }
             sink.deliver(from, Timestamped::new(ev.ts + 5, Toy::Pong));

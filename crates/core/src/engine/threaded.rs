@@ -4,7 +4,7 @@
 //!
 //! Each core thread owns its [`CoreModel`] and advances it while its local
 //! time is below the max local time published by the manager. Events flow
-//! through lock-free queues (OutQ/InQ); the manager consolidates OutQ
+//! through shared queues (OutQ/InQ); the manager consolidates OutQ
 //! entries into the global queue and services them — greedily under slack
 //! schemes, in sorted batches at window boundaries under barrier schemes
 //! (cycle-by-cycle, quantum, and post-rollback replay).
@@ -13,21 +13,26 @@
 //! channels: *stop → run-to common local time → drain → snapshot/restore →
 //! resume*, the in-memory equivalent of the paper's `fork()`-based global
 //! checkpoints.
+//!
+//! Everything here is built on `std` alone: `std::sync::mpsc` channels for
+//! commands/acks (each core's receiver is moved into its thread) and the
+//! mutex-backed [`SharedQueue`]/[`SnapshotSlot`] primitives for event
+//! queues and checkpoint hand-off.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::Instant;
-
-use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use crossbeam::queue::SegQueue;
 
 use crate::engine::{
     CoreModel, EngineConfig, EngineError, FinishReason, ServiceSink, TickCtx, UncoreModel,
 };
 use crate::event::{CoreId, GlobalQueue, Inbox, Timestamped};
+use crate::obs::{MetricsRegistry, ObsData, Phase, QueueKind, TraceEvent, TraceHandle, Tracer};
 use crate::scheme::{PaceSample, Pacer};
 use crate::speculative::{IntervalTracker, SpeculationStats};
 use crate::stats::{Counters, SimReport};
+use crate::sync::{SharedQueue, SnapshotSlot};
 use crate::time::Cycle;
 use crate::violation::ViolationTally;
 
@@ -53,9 +58,9 @@ type CoreSnapshot<C> = (C, Inbox<<C as CoreModel>::Event>);
 struct CoreShared<C: CoreModel> {
     local: AtomicU64,
     max_local: AtomicU64,
-    outq: SegQueue<Timestamped<C::Event>>,
-    inq: SegQueue<Timestamped<C::Event>>,
-    snapshot: parking_lot::Mutex<Option<CoreSnapshot<C>>>,
+    outq: SharedQueue<Timestamped<C::Event>>,
+    inq: SharedQueue<Timestamped<C::Event>>,
+    snapshot: SnapshotSlot<CoreSnapshot<C>>,
 }
 
 /// Execution mode of the speculation state machine (mirrors the
@@ -116,6 +121,12 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
             return Ok(SimReport {
                 per_core: cores.iter().map(CoreModel::counters).collect(),
                 uncore: uncore.counters(),
+                obs: cfg.obs.map(|o| ObsData {
+                    cores: n,
+                    records: Vec::new(),
+                    dropped: 0,
+                    metrics: MetricsRegistry::new(o.sample_every),
+                }),
                 ..SimReport::default()
             });
         }
@@ -125,22 +136,29 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
                 Arc::new(CoreShared {
                     local: AtomicU64::new(0),
                     max_local: AtomicU64::new(0),
-                    outq: SegQueue::new(),
-                    inq: SegQueue::new(),
-                    snapshot: parking_lot::Mutex::new(None),
+                    outq: SharedQueue::new(),
+                    inq: SharedQueue::new(),
+                    snapshot: SnapshotSlot::new(),
                 })
             })
             .collect();
         let done = Arc::new(AtomicBool::new(false));
         let committed = Arc::new(AtomicU64::new(0));
 
+        // A disabled tracer keeps every instrumentation site at one relaxed
+        // atomic load when no ObsConfig was given.
+        let tracer = match cfg.obs {
+            Some(o) => Tracer::new(o.trace_capacity),
+            None => Tracer::disabled(),
+        };
+
         let mut cmd_txs: Vec<Sender<Command<C>>> = Vec::with_capacity(n);
         let mut cmd_rxs: Vec<Receiver<Command<C>>> = Vec::with_capacity(n);
         let mut ack_txs: Vec<Sender<u64>> = Vec::with_capacity(n);
         let mut ack_rxs: Vec<Receiver<u64>> = Vec::with_capacity(n);
         for _ in 0..n {
-            let (ct, cr) = unbounded();
-            let (at, ar) = unbounded();
+            let (ct, cr) = channel();
+            let (at, ar) = channel();
             cmd_txs.push(ct);
             cmd_rxs.push(cr);
             ack_txs.push(at);
@@ -154,15 +172,27 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
 
         let report = std::thread::scope(|scope| {
             // --- Core threads ------------------------------------------------
+            // std mpsc receivers are single-consumer: each core's command
+            // receiver and ack sender are moved into its thread.
             let mut handles = Vec::with_capacity(n);
-            for (i, model) in cores.into_iter().enumerate() {
+            for (i, ((model, cmd_rx), ack_tx)) in
+                cores.into_iter().zip(cmd_rxs).zip(ack_txs).enumerate()
+            {
                 let shared = Arc::clone(&shared[i]);
                 let done = Arc::clone(&done);
                 let committed = Arc::clone(&committed);
-                let cmd_rx = cmd_rxs[i].clone();
-                let ack_tx = ack_txs[i].clone();
+                let th = tracer.handle();
                 handles.push(scope.spawn(move || {
-                    core_thread(model, &shared, &done, &committed, &cmd_rx, &ack_tx)
+                    core_thread(
+                        CoreId::new(i as u16),
+                        model,
+                        &shared,
+                        &done,
+                        &committed,
+                        &cmd_rx,
+                        &ack_tx,
+                        th,
+                    )
                 }));
             }
 
@@ -175,6 +205,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
                 &committed,
                 &cmd_txs,
                 &ack_rxs,
+                &tracer,
             );
 
             done.store(true, Ordering::Release);
@@ -182,7 +213,20 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
             for h in handles {
                 finished_cores.push(h.join().expect("core thread panicked"));
             }
-            outcome.map(|m| m.into_report(finished_cores, started.elapsed()))
+            outcome.map(|mut m| {
+                let obs = cfg.obs.map(|_| {
+                    let (records, dropped) = tracer.drain();
+                    ObsData {
+                        cores: n,
+                        records,
+                        dropped,
+                        metrics: std::mem::take(&mut m.metrics),
+                    }
+                });
+                let mut report = m.into_report(finished_cores, started.elapsed());
+                report.obs = obs;
+                report
+            })
         })?;
         Ok(report)
     }
@@ -190,17 +234,32 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
 
 /// Core-thread main loop: tick while below the max local time, obey
 /// manager commands, exit when the done flag rises.
+///
+/// Records Run/Wait phase spans on its own trace handle at every
+/// transition between ticking and being capped by the window.
+#[allow(clippy::too_many_arguments)]
 fn core_thread<C: CoreModel>(
+    core: CoreId,
     mut model: C,
     shared: &CoreShared<C>,
     done: &AtomicBool,
     committed: &AtomicU64,
     cmd_rx: &Receiver<Command<C>>,
     ack_tx: &Sender<u64>,
+    mut th: TraceHandle,
 ) -> C {
     let mut inbox: Inbox<C::Event> = Inbox::new();
     let mut outbox: Vec<Timestamped<C::Event>> = Vec::new();
     let mut idle_spins = 0u32;
+    // Cores start frozen at max local time 0: open a Wait span immediately.
+    let mut running = false;
+    th.record(
+        Cycle::ZERO,
+        TraceEvent::PhaseBegin {
+            core,
+            phase: Phase::Wait,
+        },
+    );
 
     'main: loop {
         // Control channel has priority over everything.
@@ -219,8 +278,7 @@ fn core_thread<C: CoreModel>(
                                 inbox.deliver(ev);
                             }
                             let c = {
-                                let mut ctx =
-                                    TickCtx::new(Cycle::new(l), &mut inbox, &mut outbox);
+                                let mut ctx = TickCtx::new(Cycle::new(l), &mut inbox, &mut outbox);
                                 model.tick(&mut ctx)
                             };
                             committed.fetch_add(u64::from(c), Ordering::Relaxed);
@@ -236,7 +294,7 @@ fn core_thread<C: CoreModel>(
                         while let Some(ev) = shared.inq.pop() {
                             inbox.deliver(ev);
                         }
-                        *shared.snapshot.lock() = Some((model.clone(), inbox.clone()));
+                        shared.snapshot.put((model.clone(), inbox.clone()));
                         ack_tx
                             .send(shared.local.load(Ordering::Relaxed))
                             .expect("manager alive");
@@ -267,6 +325,23 @@ fn core_thread<C: CoreModel>(
         let l = shared.local.load(Ordering::Relaxed);
         let m = shared.max_local.load(Ordering::Acquire);
         if l < m {
+            if !running {
+                th.record(
+                    Cycle::new(l),
+                    TraceEvent::PhaseEnd {
+                        core,
+                        phase: Phase::Wait,
+                    },
+                );
+                th.record(
+                    Cycle::new(l),
+                    TraceEvent::PhaseBegin {
+                        core,
+                        phase: Phase::Run,
+                    },
+                );
+                running = true;
+            }
             idle_spins = 0;
             let c = {
                 let mut ctx = TickCtx::new(Cycle::new(l), &mut inbox, &mut outbox);
@@ -279,6 +354,23 @@ fn core_thread<C: CoreModel>(
             shared.local.store(l + 1, Ordering::Release);
         } else {
             // Capped: wait for the manager to widen the window.
+            if running {
+                th.record(
+                    Cycle::new(l),
+                    TraceEvent::PhaseEnd {
+                        core,
+                        phase: Phase::Run,
+                    },
+                );
+                th.record(
+                    Cycle::new(l),
+                    TraceEvent::PhaseBegin {
+                        core,
+                        phase: Phase::Wait,
+                    },
+                );
+                running = false;
+            }
             idle_spins += 1;
             if idle_spins < 64 {
                 std::hint::spin_loop();
@@ -287,6 +379,14 @@ fn core_thread<C: CoreModel>(
             }
         }
     }
+    let l = shared.local.load(Ordering::Relaxed);
+    th.record(
+        Cycle::new(l),
+        TraceEvent::PhaseEnd {
+            core,
+            phase: if running { Phase::Run } else { Phase::Wait },
+        },
+    );
     model
 }
 
@@ -298,6 +398,7 @@ struct ManagerOutcome<U> {
     tally: ViolationTally,
     kernel: Counters,
     bound_trace: Vec<(Cycle, u64)>,
+    metrics: MetricsRegistry,
 }
 
 impl<U> ManagerOutcome<U> {
@@ -314,6 +415,7 @@ impl<U> ManagerOutcome<U> {
             uncore: self.uncore.counters(),
             kernel: self.kernel,
             bound_trace: self.bound_trace,
+            obs: None,
         }
     }
 }
@@ -329,6 +431,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
     committed: &AtomicU64,
     cmd_txs: &[Sender<Command<C>>],
     ack_rxs: &[Receiver<u64>],
+    tracer: &Tracer,
 ) -> Result<ManagerOutcome<U>, EngineError> {
     let n = shared.len();
     let sample_period = cfg.effective_sample_period();
@@ -341,11 +444,25 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
     let mut last_sample_tally = tally;
     let mut bound_trace: Vec<(Cycle, u64)> = Vec::new();
 
+    // Observability: the manager's own trace handle plus the metrics
+    // registry sampled on the obs cadence. Host-side manager wait time is
+    // accumulated around the yield points and emitted once per sample.
+    let obs_on = cfg.obs.is_some();
+    let mut th = tracer.handle();
+    let mut metrics = MetricsRegistry::new(cfg.obs.map_or(1024, |o| o.sample_every));
+    let mut last_metrics_detected = 0u64;
+    let mut mgr_wait_ns: u64 = 0;
+    let mut last_wait_ns: u64 = 0;
+
     let spec = cfg.speculation;
     let mut tracker = spec.map(|s| IntervalTracker::new(s.interval));
     let mut spec_stats = SpeculationStats::default();
     let mut mode = Mode::Base;
-    let mut next_cp_trigger: u64 = spec.map_or(u64::MAX, |s| s.interval);
+    // `u64::MAX` keeps every checkpoint site unreachable when speculation
+    // is off; `cp_interval` is only ever added under a `spec.is_some()`
+    // guard.
+    let cp_interval: u64 = spec.map_or(u64::MAX, |s| s.interval);
+    let mut next_cp_trigger: u64 = cp_interval;
     let mut replay_start = Cycle::ZERO;
     let mut pending_rollback = false;
 
@@ -388,8 +505,8 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             .map(|s| s.local.load(Ordering::Acquire))
             .collect();
         let global = Cycle::new(locals.iter().copied().min().expect("n >= 1"));
-        max_spread = max_spread
-            .max(locals.iter().copied().max().expect("n >= 1") - global.as_u64());
+        max_spread =
+            max_spread.max(locals.iter().copied().max().expect("n >= 1") - global.as_u64());
         let barrier = mode == Mode::Replay || pacer.barrier_service();
 
         if let Some(tr) = &mut tracker {
@@ -397,16 +514,87 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
         }
         while global.as_u64() >= next_sample {
             let delta = tally.since(&last_sample_tally);
-            pacer.on_sample(&PaceSample {
+            let sample = PaceSample {
                 global: Cycle::new(next_sample),
                 window_cycles: sample_period,
                 window_violations: delta.total(),
-            });
+            };
+            let bound_before = pacer.current_bound();
+            pacer.on_sample(&sample);
             last_sample_tally = tally;
             if let Some(b) = pacer.current_bound() {
                 bound_trace.push((Cycle::new(next_sample), b));
+                if let Some(old) = bound_before {
+                    if old != b {
+                        th.record(
+                            Cycle::new(next_sample),
+                            TraceEvent::BoundChange {
+                                old,
+                                new: b,
+                                rate: sample.rate(),
+                            },
+                        );
+                    }
+                }
             }
             next_sample += sample_period;
+        }
+
+        // Metrics sampling (observability cadence, independent of the
+        // pacer's feedback period).
+        if obs_on && metrics.sample_ready(global) {
+            for (i, &l) in locals.iter().enumerate() {
+                let core = CoreId::new(i as u16);
+                let drift = l.saturating_sub(global.as_u64());
+                metrics.gauge(&format!("drift.core{i}"), global, drift as f64);
+                metrics.histogram("core_drift").record(drift);
+                th.record(
+                    global,
+                    TraceEvent::LocalTimeSample {
+                        core,
+                        cycle: Cycle::new(l),
+                    },
+                );
+                let outq = shared[i].outq.len() as u64;
+                let inq = shared[i].inq.len() as u64;
+                metrics.histogram("outq_depth").record(outq);
+                metrics.histogram("inq_depth").record(inq);
+                th.record(
+                    global,
+                    TraceEvent::QueueDepth {
+                        q: QueueKind::OutQ(core),
+                        len: outq,
+                    },
+                );
+                th.record(
+                    global,
+                    TraceEvent::QueueDepth {
+                        q: QueueKind::InQ(core),
+                        len: inq,
+                    },
+                );
+            }
+            if let Some(b) = pacer.current_bound() {
+                metrics.gauge("slack_bound", global, b as f64);
+            }
+            let window = metrics.sample_every() as f64;
+            let live_rate = (detected.total() - last_metrics_detected) as f64 / window;
+            last_metrics_detected = detected.total();
+            metrics.gauge("violation_rate", global, live_rate);
+            metrics.gauge("globalq_depth", global, gq.len() as f64);
+            metrics.histogram("globalq_depth").record(gq.len() as u64);
+            th.record(
+                global,
+                TraceEvent::QueueDepth {
+                    q: QueueKind::Global,
+                    len: gq.len() as u64,
+                },
+            );
+            let wait_delta = mgr_wait_ns - last_wait_ns;
+            last_wait_ns = mgr_wait_ns;
+            metrics.gauge("manager_wait_ns", global, wait_delta as f64);
+            metrics.histogram("manager_wait_ns").record(wait_delta);
+            th.record(global, TraceEvent::ManagerWait { ns: wait_delta });
         }
 
         if barrier {
@@ -423,6 +611,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                     &mut pending_rollback,
                     &spec,
                     mode == Mode::Base,
+                    &mut th,
                 );
                 debug_assert!(!pending_rollback, "barrier servicing cannot violate");
                 let g = window_end;
@@ -442,9 +631,25 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                     if mode == Mode::Replay {
                         spec_stats.replay_cycles += g.saturating_sub(replay_start);
                         mode = Mode::Base;
+                        for c in CoreId::all(n) {
+                            th.record(
+                                g,
+                                TraceEvent::PhaseEnd {
+                                    core: c,
+                                    phase: Phase::Replay,
+                                },
+                            );
+                        }
                     }
                     let cores = snapshot_all(shared, cmd_txs, ack_rxs, &mut gq, uncore, &mut sink);
                     spec_stats.checkpoints += 1;
+                    th.record(
+                        Cycle::new(next_cp_trigger.min(g.as_u64())),
+                        TraceEvent::Checkpoint {
+                            interval: spec_stats.checkpoints,
+                            cycles: g.as_u64().saturating_sub(next_cp_trigger),
+                        },
+                    );
                     snapshot = Some(ManagerSnapshot {
                         cores,
                         uncore: uncore.clone(),
@@ -455,7 +660,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                         next_sample,
                         last_sample_tally,
                     });
-                    next_cp_trigger = g.as_u64() + spec.expect("spec enabled").interval;
+                    next_cp_trigger = g.as_u64() + cp_interval;
                 }
                 window_end = if mode == Mode::Replay {
                     g + 1
@@ -475,8 +680,15 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                         publish_window(shared, window_end);
                     }
                 }
-                std::hint::spin_loop();
-                std::thread::yield_now();
+                if obs_on {
+                    let wait_started = Instant::now();
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                    mgr_wait_ns += wait_started.elapsed().as_nanos() as u64;
+                } else {
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
             }
             continue;
         }
@@ -493,6 +705,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             &mut pending_rollback,
             &spec,
             mode == Mode::Base,
+            &mut th,
         );
 
         if pending_rollback {
@@ -501,8 +714,8 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             drain_outqs(shared, &mut gq);
             gq.clear();
             for s in shared {
-                while s.inq.pop().is_some() {}
-                while s.outq.pop().is_some() {}
+                s.inq.clear();
+                s.outq.clear();
             }
             let cur_global = Cycle::new(
                 shared
@@ -512,10 +725,20 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                     .expect("n >= 1"),
             );
             spec_stats.rollbacks += 1;
-            spec_stats.wasted_cycles += cur_global.saturating_sub(snap.global);
+            let wasted = cur_global.saturating_sub(snap.global);
+            spec_stats.wasted_cycles += wasted;
+            th.record(
+                snap.global,
+                TraceEvent::Rollback {
+                    interval: spec_stats.rollbacks,
+                    replay_cycles: wasted,
+                },
+            );
             for (i, tx) in cmd_txs.iter().enumerate() {
                 let (m, ib) = &snap.cores[i];
-                shared[i].local.store(snap.global.as_u64(), Ordering::Release);
+                shared[i]
+                    .local
+                    .store(snap.global.as_u64(), Ordering::Release);
                 tx.send(Command::Restore(Box::new((m.clone(), ib.clone()))))
                     .expect("core alive");
             }
@@ -528,7 +751,16 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             last_sample_tally = snap.last_sample_tally;
             mode = Mode::Replay;
             replay_start = snap.global;
-            next_cp_trigger = snap.global.as_u64() + spec.expect("spec enabled").interval;
+            for c in CoreId::all(n) {
+                th.record(
+                    snap.global,
+                    TraceEvent::PhaseBegin {
+                        core: c,
+                        phase: Phase::Replay,
+                    },
+                );
+            }
+            next_cp_trigger = snap.global.as_u64() + cp_interval;
             pending_rollback = false;
             window_end = snap.global + 1;
             publish_window(shared, window_end);
@@ -577,6 +809,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                     &mut pending_rollback,
                     &spec,
                     mode == Mode::Base,
+                    &mut th,
                 );
                 let rx = ack_iters.next().expect("cycle never ends");
                 if rx.try_recv().is_ok() {
@@ -595,6 +828,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                 &mut pending_rollback,
                 &spec,
                 mode == Mode::Base,
+                &mut th,
             );
             if pending_rollback {
                 // A violation surfaced during stop-sync: resume and let the
@@ -609,13 +843,29 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             await_acks(ack_rxs);
             let cores: Vec<CoreSnapshot<C>> = shared
                 .iter()
-                .map(|s| s.snapshot.lock().take().expect("snapshot filled"))
+                .map(|s| s.snapshot.take().expect("snapshot filled"))
                 .collect();
             if mode == Mode::Replay {
                 spec_stats.replay_cycles += Cycle::new(stop_at).saturating_sub(replay_start);
                 mode = Mode::Base;
+                for c in CoreId::all(n) {
+                    th.record(
+                        Cycle::new(stop_at),
+                        TraceEvent::PhaseEnd {
+                            core: c,
+                            phase: Phase::Replay,
+                        },
+                    );
+                }
             }
             spec_stats.checkpoints += 1;
+            th.record(
+                Cycle::new(next_cp_trigger.min(stop_at)),
+                TraceEvent::Checkpoint {
+                    interval: spec_stats.checkpoints,
+                    cycles: stop_at.saturating_sub(next_cp_trigger),
+                },
+            );
             snapshot = Some(ManagerSnapshot {
                 cores,
                 uncore: uncore.clone(),
@@ -626,7 +876,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                 next_sample,
                 last_sample_tally,
             });
-            next_cp_trigger = stop_at + spec.expect("spec enabled").interval;
+            next_cp_trigger = stop_at + cp_interval;
             let stop_locals = vec![stop_at; n];
             window_end = publish_greedy_windows(pacer, shared, &stop_locals, cfg);
             resume_all(cmd_txs);
@@ -634,7 +884,13 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
         }
 
         window_end = publish_greedy_windows(pacer, shared, &locals, cfg);
-        std::thread::yield_now();
+        if obs_on {
+            let wait_started = Instant::now();
+            std::thread::yield_now();
+            mgr_wait_ns += wait_started.elapsed().as_nanos() as u64;
+        } else {
+            std::thread::yield_now();
+        }
     }
 
     let mut kernel = Counters::new();
@@ -672,6 +928,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
         tally,
         kernel,
         bound_trace,
+        metrics,
     })
 }
 
@@ -719,7 +976,9 @@ fn drain_outqs<C: CoreModel>(shared: &[Arc<CoreShared<C>>], gq: &mut GlobalQueue
     }
 }
 
-/// Services everything currently in the global queue.
+/// Services everything currently in the global queue, recording a
+/// violation trace instant (attributed to the originating core) for every
+/// violation the uncore reports.
 #[allow(clippy::too_many_arguments)]
 fn service_all<C: CoreModel, U: UncoreModel<C::Event>>(
     gq: &mut GlobalQueue<C::Event>,
@@ -732,6 +991,7 @@ fn service_all<C: CoreModel, U: UncoreModel<C::Event>>(
     pending_rollback: &mut bool,
     spec: &Option<crate::speculative::SpeculationConfig>,
     base_mode: bool,
+    th: &mut TraceHandle,
 ) {
     while let Some((from, ev)) = gq.pop() {
         uncore.service(from, ev, sink);
@@ -741,6 +1001,15 @@ fn service_all<C: CoreModel, U: UncoreModel<C::Event>>(
         for v in sink.take_violations() {
             tally.record(v.kind);
             detected.record(v.kind);
+            th.record(
+                v.ts,
+                TraceEvent::Violation {
+                    kind: v.kind,
+                    core: from,
+                    ts: v.ts,
+                    high_water: v.high_water,
+                },
+            );
             if let Some(tr) = tracker.as_mut() {
                 tr.observe_violation(v.ts);
             }
@@ -808,7 +1077,7 @@ fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
     await_acks(ack_rxs);
     let snaps = shared
         .iter()
-        .map(|s| s.snapshot.lock().take().expect("snapshot filled"))
+        .map(|s| s.snapshot.take().expect("snapshot filled"))
         .collect();
     resume_all(cmd_txs);
     snaps

@@ -65,7 +65,11 @@
 //! impl UncoreModel<()> for Bus {
 //!     fn service(&mut self, from: CoreId, ev: Timestamped<()>, sink: &mut ServiceSink<()>) {
 //!         if self.0.observe(ev.ts) {
-//!             sink.report_violation(ViolationEvent { kind: ViolationKind::Bus, ts: ev.ts });
+//!             sink.report_violation(ViolationEvent {
+//!                 kind: ViolationKind::Bus,
+//!                 ts: ev.ts,
+//!                 high_water: self.0.high_water(),
+//!             });
 //!         }
 //!         sink.deliver(from, Timestamped::new(ev.ts + 3, ()));
 //!     }
@@ -89,10 +93,12 @@
 pub mod engine;
 pub mod event;
 pub mod model;
+pub mod obs;
 pub mod rng;
 pub mod scheme;
 pub mod speculative;
 pub mod stats;
+pub mod sync;
 pub mod time;
 pub mod violation;
 

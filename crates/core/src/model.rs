@@ -68,7 +68,8 @@ pub fn speculative_time(inputs: &SpeculativeModelInputs) -> f64 {
         "fraction_violating must be in [0, 1]"
     );
     let f = inputs.fraction_violating;
-    (1.0 - f) * inputs.t_cpt + f * inputs.rollback_distance * inputs.t_cpt / inputs.interval
+    (1.0 - f) * inputs.t_cpt
+        + f * inputs.rollback_distance * inputs.t_cpt / inputs.interval
         + f * inputs.t_cc
 }
 

@@ -1,0 +1,394 @@
+//! Exporters: Chrome Trace Event Format JSON (loadable in `chrome://tracing`
+//! and [Perfetto](https://ui.perfetto.dev)) and a long-format CSV dump of
+//! the metrics registry.
+//!
+//! Everything is hand-rolled over `std::fmt::Write` — the kernel carries no
+//! serialisation dependency. The trace maps one simulated cycle to one
+//! microsecond of trace time, so a 2-million-cycle run renders as a 2-second
+//! timeline.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use super::trace::{Phase, TraceEvent, TraceRecord};
+use super::ObsData;
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a finite JSON number (non-finite values become 0).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+struct EventWriter {
+    events: Vec<String>,
+}
+
+impl EventWriter {
+    fn new() -> Self {
+        EventWriter { events: Vec::new() }
+    }
+
+    fn metadata(&mut self, name: &str, pid: u64, tid: u64, arg_name: &str) {
+        self.events.push(format!(
+            r#"{{"name":"{}","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+            escape_json(name),
+            escape_json(arg_name)
+        ));
+    }
+
+    fn span(&mut self, name: &str, cat: &str, tid: u64, ts: u64, dur: u64, args: &str) {
+        self.events.push(format!(
+            r#"{{"name":"{}","cat":"{}","ph":"X","pid":1,"tid":{tid},"ts":{ts},"dur":{dur},"args":{{{args}}}}}"#,
+            escape_json(name),
+            escape_json(cat)
+        ));
+    }
+
+    fn instant(&mut self, name: &str, cat: &str, tid: u64, ts: u64, args: &str) {
+        self.events.push(format!(
+            r#"{{"name":"{}","cat":"{}","ph":"i","s":"t","pid":1,"tid":{tid},"ts":{ts},"args":{{{args}}}}}"#,
+            escape_json(name),
+            escape_json(cat)
+        ));
+    }
+
+    fn counter(&mut self, name: &str, ts: u64, arg_name: &str, value: &str) {
+        self.events.push(format!(
+            r#"{{"name":"{}","ph":"C","pid":1,"ts":{ts},"args":{{"{}":{value}}}}}"#,
+            escape_json(name),
+            escape_json(arg_name)
+        ));
+    }
+
+    fn finish(self) -> String {
+        let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str(&self.events.join(",\n"));
+        out.push_str("\n]}\n");
+        out
+    }
+}
+
+/// Renders the observability data as a Chrome Trace Event Format document.
+///
+/// Track layout:
+///
+/// * one thread track per target core (`tid` = core index) carrying
+///   `run`/`wait`/`replay` spans and violation instants;
+/// * a `manager` track (`tid` = core count) carrying checkpoint and
+///   rollback spans;
+/// * counter tracks for the slack bound, the sampled violation rate, local
+///   clock drift, queue depths, and manager wait time.
+///
+/// Timestamps are simulated cycles interpreted as microseconds.
+pub fn chrome_trace_json(obs: &ObsData) -> String {
+    let manager_tid = obs.cores as u64;
+    let mut w = EventWriter::new();
+    w.events.push(
+        r#"{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"slacksim"}}"#
+            .to_string(),
+    );
+    for c in 0..obs.cores {
+        w.metadata("thread_name", 1, c as u64, &format!("core {c}"));
+    }
+    w.metadata("thread_name", 1, manager_tid, "manager");
+
+    let mut records: Vec<&TraceRecord> = obs.records.iter().collect();
+    records.sort_by_key(|r| r.cycle);
+
+    // Open phase begins, keyed by (core, phase), holding the begin cycle.
+    // Begins and ends always nest per (core, phase) pair, so a stack copes
+    // with ring-buffer truncation: an orphaned end (its begin was dropped)
+    // is skipped rather than mis-paired.
+    let mut open: HashMap<(u16, Phase), Vec<u64>> = HashMap::new();
+
+    for rec in records {
+        let ts = rec.cycle.as_u64();
+        match rec.event {
+            TraceEvent::PhaseBegin { core, phase } => {
+                open.entry((core.index() as u16, phase))
+                    .or_default()
+                    .push(ts);
+            }
+            TraceEvent::PhaseEnd { core, phase } => {
+                if let Some(begin) = open
+                    .get_mut(&(core.index() as u16, phase))
+                    .and_then(|stack| stack.pop())
+                {
+                    w.span(
+                        phase.name(),
+                        "phase",
+                        core.index() as u64,
+                        begin,
+                        ts.saturating_sub(begin),
+                        "",
+                    );
+                }
+            }
+            TraceEvent::Violation {
+                kind,
+                core,
+                ts: vts,
+                high_water,
+            } => {
+                let args = format!(
+                    r#""ts":{},"high_water":{},"distance":{}"#,
+                    vts.as_u64(),
+                    high_water.as_u64(),
+                    high_water.as_u64().saturating_sub(vts.as_u64())
+                );
+                w.instant(
+                    &format!("violation:{kind:?}"),
+                    "violation",
+                    core.index() as u64,
+                    ts,
+                    &args,
+                );
+            }
+            TraceEvent::BoundChange { old, new, rate } => {
+                w.counter("slack_bound", ts, "bound", &format!("{new}"));
+                w.counter("violation_rate", ts, "rate", &json_num(rate));
+                let args = format!(r#""old":{old},"new":{new},"rate":{}"#, json_num(rate));
+                w.instant("bound_change", "adaptive", manager_tid, ts, &args);
+            }
+            TraceEvent::Checkpoint { interval, cycles } => {
+                let args = format!(r#""interval":{interval}"#);
+                w.span("checkpoint", "speculation", manager_tid, ts, cycles, &args);
+            }
+            TraceEvent::Rollback {
+                interval,
+                replay_cycles,
+            } => {
+                let args = format!(r#""interval":{interval},"replay_cycles":{replay_cycles}"#);
+                w.span(
+                    "rollback",
+                    "speculation",
+                    manager_tid,
+                    ts,
+                    replay_cycles,
+                    &args,
+                );
+            }
+            TraceEvent::ManagerWait { ns } => {
+                w.counter("manager_wait_ns", ts, "ns", &format!("{ns}"));
+            }
+            TraceEvent::QueueDepth { q, len } => {
+                w.counter(&q.label(), ts, "len", &format!("{len}"));
+            }
+            TraceEvent::LocalTimeSample { core, cycle } => {
+                let drift = cycle.as_u64().saturating_sub(ts);
+                w.counter(
+                    &format!("drift.core{}", core.index()),
+                    ts,
+                    "cycles",
+                    &format!("{drift}"),
+                );
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Renders the metrics registry as long-format CSV: one `metric,cycle,value`
+/// row per gauge point, followed by histogram summary rows
+/// (`hist.<name>.<stat>`) and non-empty bucket rows (`hist.<name>.le`,
+/// where the `cycle` column holds the bucket's inclusive upper bound).
+pub fn metrics_csv(obs: &ObsData) -> String {
+    let mut out = String::from("metric,cycle,value\n");
+    for (name, points) in obs.metrics.gauges() {
+        for p in points {
+            let _ = writeln!(out, "{name},{},{}", p.cycle, json_num(p.value));
+        }
+    }
+    for (name, h) in obs.metrics.histograms() {
+        let _ = writeln!(out, "hist.{name}.count,0,{}", h.count());
+        let _ = writeln!(out, "hist.{name}.sum,0,{}", h.sum());
+        let _ = writeln!(out, "hist.{name}.mean,0,{}", json_num(h.mean()));
+        let _ = writeln!(out, "hist.{name}.min,0,{}", h.min());
+        let _ = writeln!(out, "hist.{name}.max,0,{}", h.max());
+        let _ = writeln!(out, "hist.{name}.p50,0,{}", h.percentile(0.50));
+        let _ = writeln!(out, "hist.{name}.p99,0,{}", h.percentile(0.99));
+        for (upper, count) in h.nonzero_buckets() {
+            let _ = writeln!(out, "hist.{name}.le,{upper},{count}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::json::Json;
+    use super::super::{MetricsRegistry, ObsData};
+    use super::*;
+    use crate::event::CoreId;
+    use crate::time::Cycle;
+    use crate::violation::ViolationKind;
+
+    fn rec(cycle: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            cycle: Cycle::new(cycle),
+            event,
+        }
+    }
+
+    fn demo_obs() -> ObsData {
+        let mut metrics = MetricsRegistry::new(100);
+        metrics.gauge("slack_bound", Cycle::new(100), 8.0);
+        metrics.gauge("slack_bound", Cycle::new(200), 4.0);
+        metrics.histogram("manager_wait_ns").record(1500);
+        ObsData {
+            cores: 2,
+            records: vec![
+                rec(
+                    0,
+                    TraceEvent::PhaseBegin {
+                        core: CoreId::new(0),
+                        phase: Phase::Run,
+                    },
+                ),
+                rec(
+                    50,
+                    TraceEvent::PhaseEnd {
+                        core: CoreId::new(0),
+                        phase: Phase::Run,
+                    },
+                ),
+                rec(
+                    60,
+                    TraceEvent::Violation {
+                        kind: ViolationKind::Bus,
+                        core: CoreId::new(1),
+                        ts: Cycle::new(55),
+                        high_water: Cycle::new(60),
+                    },
+                ),
+                rec(
+                    100,
+                    TraceEvent::BoundChange {
+                        old: 8,
+                        new: 4,
+                        rate: 0.02,
+                    },
+                ),
+                rec(
+                    120,
+                    TraceEvent::Checkpoint {
+                        interval: 1,
+                        cycles: 30,
+                    },
+                ),
+                rec(
+                    150,
+                    TraceEvent::Rollback {
+                        interval: 1,
+                        replay_cycles: 80,
+                    },
+                ),
+            ],
+            dropped: 0,
+            metrics,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_has_tracks() {
+        let doc = chrome_trace_json(&demo_obs());
+        let v = Json::parse(&doc).expect("valid JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        // 1 process + 3 thread names, 1 run span, 1 violation instant,
+        // 2 counters + 1 instant for the bound change, 2 speculation spans.
+        assert!(events.len() >= 10, "only {} events", events.len());
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(names.contains(&"run"));
+        assert!(names.contains(&"violation:Bus"));
+        assert!(names.contains(&"slack_bound"));
+        assert!(names.contains(&"checkpoint"));
+        assert!(names.contains(&"rollback"));
+    }
+
+    #[test]
+    fn span_durations_are_correct() {
+        let doc = chrome_trace_json(&demo_obs());
+        let v = Json::parse(&doc).unwrap();
+        let events = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        let run = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("run"))
+            .unwrap();
+        assert_eq!(run.get("ts").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(run.get("dur").and_then(Json::as_f64), Some(50.0));
+        assert_eq!(run.get("tid").and_then(Json::as_f64), Some(0.0));
+    }
+
+    #[test]
+    fn orphaned_phase_end_is_skipped() {
+        let obs = ObsData {
+            cores: 1,
+            records: vec![rec(
+                10,
+                TraceEvent::PhaseEnd {
+                    core: CoreId::new(0),
+                    phase: Phase::Wait,
+                },
+            )],
+            dropped: 5,
+            metrics: MetricsRegistry::default(),
+        };
+        let doc = chrome_trace_json(&obs);
+        let v = Json::parse(&doc).unwrap();
+        let events = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        assert!(events
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) != Some("X")));
+    }
+
+    #[test]
+    fn csv_has_gauge_series_and_histogram_summary() {
+        let csv = metrics_csv(&demo_obs());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "metric,cycle,value");
+        assert!(lines.contains(&"slack_bound,100,8"));
+        assert!(lines.contains(&"slack_bound,200,4"));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("hist.manager_wait_ns.count,")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("hist.manager_wait_ns.le,")));
+    }
+
+    #[test]
+    fn escaping_is_safe() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(json_num(f64::NAN), "0");
+        assert_eq!(json_num(1.5), "1.5");
+    }
+}

@@ -1,0 +1,352 @@
+//! The metrics registry: named time-series gauges and log2-bucketed
+//! histograms.
+//!
+//! Gauges are sampled on the manager's cadence — every `sample_every` global
+//! cycles — and keep their full history as `(cycle, value)` points so the
+//! CSV exporter can dump real time series. Histograms aggregate
+//! distributions (manager wait, violation distance, queue depth) into 65
+//! power-of-two buckets with O(1) recording and constant memory.
+
+use std::collections::BTreeMap;
+
+use crate::time::Cycle;
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds values in `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_core::obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in [0, 1, 3, 100, 100_000] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 100_000);
+/// assert!(h.percentile(0.5) <= 128); // p50 bucket upper bound
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` (`0`, then `2^i − 1`).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile (`0 ≤ p ≤ 1`);
+    /// 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return Self::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Iterates `(bucket_upper_bound, count)` over non-empty buckets.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_upper_bound(i), c))
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for i in 0..BUCKETS {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// One gauge sample: the value of a named series at a simulated cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeriesPoint {
+    /// Global simulated time of the sample.
+    pub cycle: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// Named gauges (full time series) and histograms, sampled on a fixed
+/// global-cycle cadence.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_core::obs::MetricsRegistry;
+/// use slacksim_core::time::Cycle;
+///
+/// let mut m = MetricsRegistry::new(100);
+/// assert!(m.sample_ready(Cycle::new(100)));
+/// assert!(!m.sample_ready(Cycle::new(150)));
+/// m.gauge("slack_bound", Cycle::new(100), 8.0);
+/// m.histogram("manager_wait_ns").record(1500);
+/// assert_eq!(m.gauges().count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    sample_every: u64,
+    next_sample: u64,
+    gauges: BTreeMap<String, Vec<SeriesPoint>>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new(1024)
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates a registry sampling every `sample_every` global cycles
+    /// (values of 0 are clamped to 1).
+    pub fn new(sample_every: u64) -> Self {
+        let step = sample_every.max(1);
+        MetricsRegistry {
+            sample_every: step,
+            next_sample: step,
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// The sampling cadence in global cycles.
+    pub fn sample_every(&self) -> u64 {
+        self.sample_every
+    }
+
+    /// Returns `true` when global time has crossed the next sampling point,
+    /// and advances the cadence past `global`. At most one `true` per
+    /// crossing, no matter how far time jumped.
+    pub fn sample_ready(&mut self, global: Cycle) -> bool {
+        if global.as_u64() < self.next_sample {
+            return false;
+        }
+        while self.next_sample <= global.as_u64() {
+            self.next_sample = self.next_sample.saturating_add(self.sample_every);
+        }
+        true
+    }
+
+    /// Appends one point to the named gauge series.
+    pub fn gauge(&mut self, name: &str, cycle: Cycle, value: f64) {
+        self.gauges
+            .entry(name.to_string())
+            .or_default()
+            .push(SeriesPoint {
+                cycle: cycle.as_u64(),
+                value,
+            });
+    }
+
+    /// The named histogram, created empty on first touch.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms.entry(name.to_string()).or_default()
+    }
+
+    /// Iterates gauge series in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &[SeriesPoint])> {
+        self.gauges
+            .iter()
+            .map(|(n, pts)| (n.as_str(), pts.as_slice()))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+    }
+
+    /// Returns `true` when no gauge point or histogram sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(3), 7);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0);
+        for v in [1u64, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 10);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_percentile_is_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= h.max());
+        // p50 of 0..1000 lives in the [512, 1023] bucket or below.
+        assert!(p50 >= 255, "p50 {p50} implausibly low");
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 500);
+    }
+
+    #[test]
+    fn sample_cadence_fires_once_per_crossing() {
+        let mut m = MetricsRegistry::new(100);
+        assert!(!m.sample_ready(Cycle::new(99)));
+        assert!(m.sample_ready(Cycle::new(100)));
+        assert!(!m.sample_ready(Cycle::new(100)));
+        assert!(!m.sample_ready(Cycle::new(199)));
+        // A jump over several sampling points yields a single trigger.
+        assert!(m.sample_ready(Cycle::new(1000)));
+        assert!(!m.sample_ready(Cycle::new(1000)));
+        assert!(m.sample_ready(Cycle::new(1100)));
+    }
+
+    #[test]
+    fn gauges_keep_history_in_order() {
+        let mut m = MetricsRegistry::new(10);
+        m.gauge("drift.core0", Cycle::new(10), 1.0);
+        m.gauge("drift.core0", Cycle::new(20), 4.0);
+        m.gauge("bound", Cycle::new(10), 8.0);
+        let series: Vec<(&str, usize)> = m.gauges().map(|(n, p)| (n, p.len())).collect();
+        assert_eq!(series, vec![("bound", 1), ("drift.core0", 2)]);
+    }
+
+    #[test]
+    fn zero_cadence_is_clamped() {
+        let mut m = MetricsRegistry::new(0);
+        assert_eq!(m.sample_every(), 1);
+        assert!(m.sample_ready(Cycle::new(1)));
+    }
+}

@@ -221,10 +221,9 @@ impl AdaptiveController {
     /// debt cap itself).
     fn floor(&self) -> f64 {
         match self.cfg.step {
-            StepPolicy::Proportional {
-                step,
-                max_throttle,
-            } => self.cfg.min_bound as f64 - step * max_throttle,
+            StepPolicy::Proportional { step, max_throttle } => {
+                self.cfg.min_bound as f64 - step * max_throttle
+            }
             _ => self.cfg.min_bound as f64,
         }
     }
@@ -263,10 +262,9 @@ impl Pacer for AdaptiveController {
             let delta = match self.cfg.step {
                 StepPolicy::Additive { down, .. } => -down,
                 StepPolicy::Aimd { .. } | StepPolicy::Multiplicative => -self.bound / 2.0,
-                StepPolicy::Proportional {
-                    step,
-                    max_throttle,
-                } => step * ((target - rate) / target).max(-max_throttle),
+                StepPolicy::Proportional { step, max_throttle } => {
+                    step * ((target - rate) / target).max(-max_throttle)
+                }
             };
             self.apply(delta);
         } else if rate < lo {
@@ -395,7 +393,14 @@ mod tests {
 
     #[test]
     fn proportional_widening_is_capped_at_one_step() {
-        let mut c = controller(1e-3, 0.0, StepPolicy::Proportional { step: 0.5, max_throttle: 64.0 });
+        let mut c = controller(
+            1e-3,
+            0.0,
+            StepPolicy::Proportional {
+                step: 0.5,
+                max_throttle: 64.0,
+            },
+        );
         let before = c.fractional_bound();
         c.on_sample(&sample(1_000_000, 0)); // infinitely quiet
         assert!((c.fractional_bound() - before - 0.5).abs() < 1e-9);

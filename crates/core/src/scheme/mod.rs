@@ -159,9 +159,7 @@ impl Scheme {
             Scheme::UnboundedSlack => Box::new(UnboundedSlack),
             Scheme::Quantum { quantum } => Box::new(Quantum::new(quantum)),
             Scheme::Adaptive(cfg) => Box::new(AdaptiveController::new(cfg)),
-            Scheme::LaxP2p { lead, period, seed } => {
-                Box::new(LaxP2p::new(lead, period, seed))
-            }
+            Scheme::LaxP2p { lead, period, seed } => Box::new(LaxP2p::new(lead, period, seed)),
         }
     }
 
@@ -465,7 +463,10 @@ mod tests {
         assert_eq!(Scheme::BoundedSlack { bound: 2 }.name(), "bounded-slack");
         assert_eq!(Scheme::UnboundedSlack.name(), "unbounded-slack");
         assert_eq!(Scheme::Quantum { quantum: 4 }.name(), "quantum");
-        assert_eq!(Scheme::Adaptive(AdaptiveConfig::default()).name(), "adaptive-slack");
+        assert_eq!(
+            Scheme::Adaptive(AdaptiveConfig::default()).name(),
+            "adaptive-slack"
+        );
     }
 
     #[test]
@@ -502,7 +503,12 @@ mod tests {
     #[test]
     fn scheme_p2p_name() {
         assert_eq!(
-            Scheme::LaxP2p { lead: 8, period: 100, seed: 1 }.name(),
+            Scheme::LaxP2p {
+                lead: 8,
+                period: 100,
+                seed: 1
+            }
+            .name(),
             "lax-p2p"
         );
     }

@@ -141,6 +141,9 @@ pub struct SimReport {
     /// Trace of (global cycle, slack bound) pairs recorded at each adaptive
     /// adjustment decision; empty for non-adaptive schemes.
     pub bound_trace: Vec<(Cycle, u64)>,
+    /// Observability data (trace records + metrics), present when the run
+    /// was configured with [`crate::obs::ObsConfig`].
+    pub obs: Option<crate::obs::ObsData>,
 }
 
 impl SimReport {

@@ -1,0 +1,150 @@
+//! Minimal std-only concurrency primitives for the threaded engine.
+//!
+//! The kernel must build in fully offline environments, so it depends on
+//! nothing outside `std`. The threaded engine needs exactly two shared
+//! structures: an unbounded MPSC event queue (the paper's OutQ/InQ) and a
+//! single-slot snapshot mailbox. Both are provided here over
+//! [`std::sync::Mutex`]; the queues are uncontended in the common case
+//! (one producer, one consumer, short critical sections), so a mutex-backed
+//! `VecDeque` performs within noise of a lock-free queue at this event rate
+//! while staying trivially correct.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// An unbounded multi-producer multi-consumer FIFO queue.
+///
+/// Used for the per-core OutQ (core thread pushes, manager pops) and InQ
+/// (manager pushes, core thread pops). All operations take `&self` so the
+/// queue can be shared through an `Arc` without further wrapping.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_core::sync::SharedQueue;
+///
+/// let q: SharedQueue<u32> = SharedQueue::new();
+/// q.push(1);
+/// q.push(2);
+/// assert_eq!(q.len(), 2);
+/// assert_eq!(q.pop(), Some(1));
+/// assert_eq!(q.pop(), Some(2));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct SharedQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> SharedQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        SharedQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Appends an element at the tail.
+    pub fn push(&self, value: T) {
+        self.inner.lock().expect("queue poisoned").push_back(value);
+    }
+
+    /// Removes and returns the head element, if any.
+    pub fn pop(&self) -> Option<T> {
+        self.inner.lock().expect("queue poisoned").pop_front()
+    }
+
+    /// Number of queued elements at the instant of the call.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").len()
+    }
+
+    /// Returns `true` when no element is queued at the instant of the call.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards every queued element.
+    pub fn clear(&self) {
+        self.inner.lock().expect("queue poisoned").clear();
+    }
+}
+
+/// A single-slot mailbox used for checkpoint snapshots: the core thread
+/// deposits its state, the manager takes it.
+#[derive(Debug, Default)]
+pub struct SnapshotSlot<T> {
+    slot: Mutex<Option<T>>,
+}
+
+impl<T> SnapshotSlot<T> {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        SnapshotSlot {
+            slot: Mutex::new(None),
+        }
+    }
+
+    /// Stores `value`, replacing any previous occupant.
+    pub fn put(&self, value: T) {
+        *self.slot.lock().expect("slot poisoned") = Some(value);
+    }
+
+    /// Removes and returns the occupant, if any.
+    pub fn take(&self) -> Option<T> {
+        self.slot.lock().expect("slot poisoned").take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn queue_fifo_order() {
+        let q = SharedQueue::new();
+        assert!(q.is_empty());
+        for i in 0..10 {
+            q.push(i);
+        }
+        let drained: Vec<i32> = std::iter::from_fn(|| q.pop()).collect();
+        assert_eq!(drained, (0..10).collect::<Vec<_>>());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_clear() {
+        let q = SharedQueue::new();
+        q.push('a');
+        q.clear();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn queue_cross_thread() {
+        let q: Arc<SharedQueue<u64>> = Arc::new(SharedQueue::new());
+        let producer = Arc::clone(&q);
+        let handle = std::thread::spawn(move || {
+            for i in 0..1000u64 {
+                producer.push(i);
+            }
+        });
+        handle.join().expect("producer finishes");
+        let mut got = Vec::new();
+        while let Some(v) = q.pop() {
+            got.push(v);
+        }
+        assert_eq!(got, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn snapshot_slot_roundtrip() {
+        let s = SnapshotSlot::new();
+        assert!(s.take().is_none());
+        s.put(7);
+        s.put(9); // replaces
+        assert_eq!(s.take(), Some(9));
+        assert!(s.take().is_none());
+    }
+}

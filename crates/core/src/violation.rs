@@ -60,14 +60,30 @@ impl ViolationKind {
     }
 }
 
-/// A single detected violation: what kind, and at which simulated time the
-/// out-of-order operation was stamped.
+/// A single detected violation: what kind, at which simulated time the
+/// out-of-order operation was stamped, and how far ahead the resource's
+/// monitoring variable already was.
+///
+/// `high_water - ts` is the *violation distance* — how many cycles too late
+/// the straggler arrived. Observability consumers (the trace recorder, the
+/// metrics registry) use it to characterise how badly ordering was broken,
+/// not just how often.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ViolationEvent {
     /// Resource class on which the reordering was detected.
     pub kind: ViolationKind,
     /// Timestamp of the late (out-of-order) operation.
     pub ts: Cycle,
+    /// The monitoring variable's largest previously observed timestamp at
+    /// detection time (always `> ts` for a real violation).
+    pub high_water: Cycle,
+}
+
+impl ViolationEvent {
+    /// How many cycles too late the out-of-order operation arrived.
+    pub fn distance(&self) -> u64 {
+        self.high_water.as_u64().saturating_sub(self.ts.as_u64())
+    }
 }
 
 /// Monitoring variable for a single shared resource.
@@ -91,7 +107,9 @@ pub struct TimestampMonitor {
 impl TimestampMonitor {
     /// Creates a monitor that has seen no operations yet.
     pub const fn new() -> Self {
-        TimestampMonitor { max_ts: Cycle::ZERO }
+        TimestampMonitor {
+            max_ts: Cycle::ZERO,
+        }
     }
 
     /// Records an operation with timestamp `ts`; returns `true` iff the
@@ -157,6 +175,16 @@ impl<K: Eq + Hash> KeyedMonitor<K> {
     #[inline]
     pub fn observe(&mut self, key: K, ts: Cycle) -> bool {
         self.monitors.entry(key).or_default().observe(ts)
+    }
+
+    /// The largest timestamp observed so far on entry `key`
+    /// ([`Cycle::ZERO`] for a never-touched entry).
+    #[inline]
+    pub fn high_water(&self, key: &K) -> Cycle {
+        self.monitors
+            .get(key)
+            .map(TimestampMonitor::high_water)
+            .unwrap_or(Cycle::ZERO)
     }
 
     /// Number of entries touched at least once.

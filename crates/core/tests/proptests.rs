@@ -1,6 +1,7 @@
-//! Property-based tests for the kernel's data structures and invariants.
-
-use proptest::prelude::*;
+//! Randomised property tests for the kernel's data structures and
+//! invariants, driven by the in-tree deterministic [`Xoshiro256`] RNG so
+//! they need no external crates and reproduce bit-identically on every
+//! run.
 
 use slacksim_core::event::{CoreId, GlobalQueue, Inbox, Timestamped};
 use slacksim_core::model::{speculative_time, SpeculativeModelInputs};
@@ -8,43 +9,57 @@ use slacksim_core::rng::Xoshiro256;
 use slacksim_core::scheme::{AdaptiveConfig, AdaptiveController, PaceSample, Pacer, Scheme};
 use slacksim_core::speculative::IntervalTracker;
 use slacksim_core::time::Cycle;
-use slacksim_core::violation::{KeyedMonitor, TimestampMonitor, ViolationTally, ViolationKind};
+use slacksim_core::violation::{KeyedMonitor, TimestampMonitor, ViolationKind, ViolationTally};
 
-proptest! {
-    /// The monitor must flag exactly the operations that are strictly
-    /// smaller than the running maximum of everything seen before.
-    #[test]
-    fn monitor_matches_brute_force_oracle(ts in prop::collection::vec(0u64..1000, 1..200)) {
+const CASES: u64 = 64;
+
+/// The monitor must flag exactly the operations that are strictly smaller
+/// than the running maximum of everything seen before.
+#[test]
+fn monitor_matches_brute_force_oracle() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xA11C + case);
+        let len = 1 + rng.next_below(200) as usize;
         let mut monitor = TimestampMonitor::new();
         let mut max_seen = 0u64;
-        for &t in &ts {
+        for _ in 0..len {
+            let t = rng.next_below(1000);
             let expected = t < max_seen;
             let got = monitor.observe(Cycle::new(t));
-            prop_assert_eq!(got, expected, "at ts {}", t);
+            assert_eq!(got, expected, "case {case}, ts {t}");
             max_seen = max_seen.max(t);
         }
     }
+}
 
-    /// Keyed monitors are independent per key.
-    #[test]
-    fn keyed_monitor_isolates_keys(
-        ops in prop::collection::vec((0u8..4, 0u64..1000), 1..200)
-    ) {
+/// Keyed monitors are independent per key.
+#[test]
+fn keyed_monitor_isolates_keys() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xB22D + case);
+        let len = 1 + rng.next_below(200) as usize;
         let mut km: KeyedMonitor<u8> = KeyedMonitor::new();
         let mut maxes = [0u64; 4];
-        for &(key, t) in &ops {
+        for _ in 0..len {
+            let key = rng.next_below(4) as u8;
+            let t = rng.next_below(1000);
             let expected = t < maxes[key as usize];
-            prop_assert_eq!(km.observe(key, Cycle::new(t)), expected);
+            assert_eq!(km.observe(key, Cycle::new(t)), expected, "case {case}");
             maxes[key as usize] = maxes[key as usize].max(t);
         }
     }
+}
 
-    /// Draining the global queue after pushing yields events sorted by
-    /// (timestamp, core, arrival order).
-    #[test]
-    fn global_queue_pops_in_canonical_order(
-        events in prop::collection::vec((0u64..100, 0u16..8), 1..100)
-    ) {
+/// Draining the global queue after pushing yields events sorted by
+/// (timestamp, core, arrival order).
+#[test]
+fn global_queue_pops_in_canonical_order() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xC33E + case);
+        let len = 1 + rng.next_below(100) as usize;
+        let events: Vec<(u64, u16)> = (0..len)
+            .map(|_| (rng.next_below(100), rng.next_below(8) as u16))
+            .collect();
         let mut gq: GlobalQueue<usize> = GlobalQueue::new();
         for (i, &(ts, core)) in events.iter().enumerate() {
             gq.push(CoreId::new(core), Timestamped::new(Cycle::new(ts), i));
@@ -59,44 +74,50 @@ proptest! {
         while let Some((core, ev)) = gq.pop() {
             got.push((ev.ts.as_u64(), core.index() as u16, ev.payload));
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case {case}");
     }
+}
 
-    /// The inbox never releases an event before its timestamp, and
-    /// releases everything by the time `now` passes the maximum.
-    #[test]
-    fn inbox_due_semantics(
-        events in prop::collection::vec(0u64..100, 1..60),
-        probe in prop::collection::vec(0u64..120, 1..40)
-    ) {
+/// The inbox never releases an event before its timestamp, and releases
+/// everything by the time `now` passes the maximum.
+#[test]
+fn inbox_due_semantics() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xD44F + case);
+        let n_events = 1 + rng.next_below(60) as usize;
+        let events: Vec<u64> = (0..n_events).map(|_| rng.next_below(100)).collect();
+        let n_probes = 1 + rng.next_below(40) as usize;
+        let mut probes: Vec<u64> = (0..n_probes).map(|_| rng.next_below(120)).collect();
         let mut inbox: Inbox<u64> = Inbox::new();
         for &ts in &events {
             inbox.deliver(Timestamped::new(Cycle::new(ts), ts));
         }
-        let mut probes = probe;
         probes.sort_unstable();
         let mut released = 0usize;
         for &now in &probes {
             while let Some(ev) = inbox.pop_due(Cycle::new(now)) {
-                prop_assert!(ev.ts.as_u64() <= now);
+                assert!(ev.ts.as_u64() <= now, "case {case}: early release");
                 released += 1;
             }
         }
-        while let Some(_ev) = inbox.pop_due(Cycle::new(1000)) {
+        while inbox.pop_due(Cycle::new(1000)).is_some() {
             released += 1;
         }
-        prop_assert_eq!(released, events.len());
+        assert_eq!(released, events.len(), "case {case}");
     }
+}
 
-    /// The interval tracker agrees with a brute-force recomputation.
-    #[test]
-    fn interval_tracker_matches_oracle(
-        violations in prop::collection::vec(0u64..5_000, 0..100),
-        interval in 10u64..500,
-        end in 5_000u64..6_000
-    ) {
-        let mut sorted = violations.clone();
+/// The interval tracker agrees with a brute-force recomputation.
+#[test]
+fn interval_tracker_matches_oracle() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xE550 + case);
+        let n_viol = rng.next_below(100) as usize;
+        let mut sorted: Vec<u64> = (0..n_viol).map(|_| rng.next_below(5_000)).collect();
         sorted.sort_unstable();
+        let interval = rng.next_range(10, 500);
+        let end = rng.next_range(5_000, 6_000);
+
         let mut tracker = IntervalTracker::new(interval);
         // Feed violations in time order, closing intervals as we pass them
         // (as the engine does).
@@ -115,40 +136,58 @@ proptest! {
                 first.entry(idx).or_insert(v - idx * interval);
             }
         }
-        prop_assert_eq!(tracker.intervals_total(), total);
-        prop_assert_eq!(tracker.intervals_violating(), first.len() as u64);
+        assert_eq!(tracker.intervals_total(), total, "case {case}");
+        assert_eq!(
+            tracker.intervals_violating(),
+            first.len() as u64,
+            "case {case}"
+        );
         if !first.is_empty() {
             let mean = first.values().sum::<u64>() as f64 / first.len() as f64;
-            prop_assert!((tracker.mean_first_distance() - mean).abs() < 1e-9);
+            assert!(
+                (tracker.mean_first_distance() - mean).abs() < 1e-9,
+                "case {case}"
+            );
         }
     }
+}
 
-    /// Tally `since` and `merge` are inverse-ish: a.merge(b.since(a)) == b
-    /// when b dominates a.
-    #[test]
-    fn tally_merge_since_roundtrip(counts in prop::collection::vec((0u64..50, 0u64..50), 4)) {
+/// Tally `since` and `merge` are inverse-ish: a.merge(b.since(a)) == b
+/// when b dominates a.
+#[test]
+fn tally_merge_since_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xF661 + case);
         let mut a = ViolationTally::new();
         let mut b = ViolationTally::new();
-        for (i, &(x, extra)) in counts.iter().enumerate() {
-            let kind = ViolationKind::ALL[i];
-            for _ in 0..x { a.record(kind); b.record(kind); }
-            for _ in 0..extra { b.record(kind); }
+        for kind in ViolationKind::ALL {
+            let x = rng.next_below(50);
+            let extra = rng.next_below(50);
+            for _ in 0..x {
+                a.record(kind);
+                b.record(kind);
+            }
+            for _ in 0..extra {
+                b.record(kind);
+            }
         }
         let delta = b.since(&a);
         let mut a2 = a;
         a2.merge(&delta);
-        prop_assert_eq!(a2, b);
+        assert_eq!(a2, b, "case {case}");
     }
+}
 
-    /// Every pacer keeps its window strictly ahead of global time
-    /// (liveness) and monotone in global time.
-    #[test]
-    fn pacer_windows_are_live_and_monotone(
-        bound in 1u64..500,
-        quantum in 1u64..500,
-        globals in prop::collection::vec(0u64..100_000, 2..50)
-    ) {
-        let mut sorted = globals.clone();
+/// Every pacer keeps its window strictly ahead of global time (liveness)
+/// and monotone in global time.
+#[test]
+fn pacer_windows_are_live_and_monotone() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x1772 + case);
+        let bound = rng.next_range(1, 500);
+        let quantum = rng.next_range(1, 500);
+        let len = 2 + rng.next_below(48) as usize;
+        let mut sorted: Vec<u64> = (0..len).map(|_| rng.next_below(100_000)).collect();
         sorted.sort_unstable();
         let pacers: Vec<Box<dyn Pacer>> = vec![
             Scheme::CycleByCycle.into_pacer(),
@@ -161,22 +200,23 @@ proptest! {
             let mut last = Cycle::ZERO;
             for &g in &sorted {
                 let w = p.window_end(Cycle::new(g));
-                prop_assert!(w > Cycle::new(g), "{} stalls", p.scheme_name());
-                prop_assert!(w >= last, "{} regressed", p.scheme_name());
+                assert!(w > Cycle::new(g), "case {case}: {} stalls", p.scheme_name());
+                assert!(w >= last, "case {case}: {} regressed", p.scheme_name());
                 last = w;
             }
         }
     }
+}
 
-    /// The adaptive controller's published bound always stays within the
-    /// configured limits, whatever the violation history.
-    #[test]
-    fn adaptive_bound_stays_in_limits(
-        samples in prop::collection::vec((1u64..5_000, 0u64..500), 1..100),
-        min_bound in 1u64..8,
-        extra in 0u64..120
-    ) {
-        let max_bound = min_bound + extra;
+/// The adaptive controller's published bound always stays within the
+/// configured limits, whatever the violation history.
+#[test]
+fn adaptive_bound_stays_in_limits() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x2883 + case);
+        let min_bound = rng.next_range(1, 8);
+        let max_bound = min_bound + rng.next_below(120);
+        let n_samples = 1 + rng.next_below(100) as usize;
         let mut ctl = AdaptiveController::new(AdaptiveConfig {
             min_bound,
             max_bound,
@@ -184,7 +224,9 @@ proptest! {
             ..AdaptiveConfig::default()
         });
         let mut global = 0u64;
-        for &(cycles, violations) in &samples {
+        for _ in 0..n_samples {
+            let cycles = rng.next_range(1, 5_000);
+            let violations = rng.next_below(500);
             global += cycles;
             ctl.on_sample(&PaceSample {
                 global: Cycle::new(global),
@@ -192,23 +234,28 @@ proptest! {
                 window_violations: violations,
             });
             let b = ctl.current_bound().expect("adaptive bound");
-            prop_assert!(b >= min_bound && b <= max_bound, "bound {} outside [{}, {}]", b, min_bound, max_bound);
+            assert!(
+                b >= min_bound && b <= max_bound,
+                "case {case}: bound {b} outside [{min_bound}, {max_bound}]"
+            );
         }
-        prop_assert_eq!(ctl.samples(), samples.len() as u64);
+        assert_eq!(ctl.samples(), n_samples as u64, "case {case}");
     }
+}
 
-    /// A uniformly noisier history never ends with a larger bound than a
-    /// quieter one (monotone response of the default policy).
-    #[test]
-    fn adaptive_response_is_monotone_in_noise(
-        base in prop::collection::vec(0u64..4, 10..60),
-        boost in 1u64..10
-    ) {
-        let mk = || AdaptiveController::new(AdaptiveConfig::default());
-        let mut quiet = mk();
-        let mut noisy = mk();
+/// A uniformly noisier history never ends with a larger bound than a
+/// quieter one (monotone response of the default policy).
+#[test]
+fn adaptive_response_is_monotone_in_noise() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x3994 + case);
+        let len = 10 + rng.next_below(50) as usize;
+        let boost = rng.next_range(1, 10);
+        let mut quiet = AdaptiveController::new(AdaptiveConfig::default());
+        let mut noisy = AdaptiveController::new(AdaptiveConfig::default());
         let mut global = 0u64;
-        for &v in &base {
+        for _ in 0..len {
+            let v = rng.next_below(4);
             global += 1024;
             let s = |violations| PaceSample {
                 global: Cycle::new(global),
@@ -218,72 +265,110 @@ proptest! {
             quiet.on_sample(&s(v));
             noisy.on_sample(&s(v + boost));
         }
-        prop_assert!(noisy.fractional_bound() <= quiet.fractional_bound());
+        assert!(
+            noisy.fractional_bound() <= quiet.fractional_bound(),
+            "case {case}"
+        );
     }
+}
 
-    /// The analytical model is monotone in F and Dr, and equals Tcpt when
-    /// no interval violates.
-    #[test]
-    fn speculative_model_monotonicity(
-        t_cc in 1.0f64..1000.0,
-        t_cpt in 1.0f64..1000.0,
-        f in 0.0f64..1.0,
-        dr in 0.0f64..10_000.0,
-        interval in 10_000.0f64..100_000.0
-    ) {
+/// The analytical model is monotone in F and Dr, and equals Tcpt when no
+/// interval violates.
+#[test]
+fn speculative_model_monotonicity() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x4AA5 + case);
+        let t_cc = 1.0 + rng.next_f64() * 999.0;
+        let t_cpt = 1.0 + rng.next_f64() * 999.0;
+        let f = rng.next_f64();
+        let dr = rng.next_f64() * 10_000.0;
+        let interval = 10_000.0 + rng.next_f64() * 90_000.0;
         let base = SpeculativeModelInputs {
-            t_cc, t_cpt, fraction_violating: f, rollback_distance: dr, interval,
+            t_cc,
+            t_cpt,
+            fraction_violating: f,
+            rollback_distance: dr,
+            interval,
         };
         let ts = speculative_time(&base);
-        prop_assert!(ts >= 0.0);
+        assert!(ts >= 0.0, "case {case}");
         // No violations: exactly the checkpointing run.
-        let clean = SpeculativeModelInputs { fraction_violating: 0.0, ..base };
-        prop_assert!((speculative_time(&clean) - t_cpt).abs() < 1e-9);
+        let clean = SpeculativeModelInputs {
+            fraction_violating: 0.0,
+            ..base
+        };
+        assert!(
+            (speculative_time(&clean) - t_cpt).abs() < 1e-9,
+            "case {case}"
+        );
         // The F-derivative of the model is Tcc − Tcpt·(1 − Dr/I): more
         // violating intervals cost more exactly when the CC replay is
         // slower than the normal-simulation time they displace.
         let df = t_cc - t_cpt * (1.0 - dr / interval);
         let worse = SpeculativeModelInputs {
-            fraction_violating: (f + 0.1).min(1.0), ..base
+            fraction_violating: (f + 0.1).min(1.0),
+            ..base
         };
         let delta = speculative_time(&worse) - ts;
         if worse.fraction_violating > f {
-            prop_assert!(
+            assert!(
                 (delta - df * (worse.fraction_violating - f)).abs() < 1e-6,
-                "model must be affine in F"
+                "case {case}: model must be affine in F"
             );
         }
         // Longer rollback distance can only cost more.
-        let farther = SpeculativeModelInputs { rollback_distance: dr + 100.0, ..base };
-        prop_assert!(speculative_time(&farther) >= ts - 1e-9);
+        let farther = SpeculativeModelInputs {
+            rollback_distance: dr + 100.0,
+            ..base
+        };
+        assert!(speculative_time(&farther) >= ts - 1e-9, "case {case}");
     }
+}
 
-    /// Bounded RNG draws stay in range for arbitrary bounds and seeds.
-    #[test]
-    fn rng_bounded_draws(seed in any::<u64>(), bound in 1u64..u64::MAX, n in 1usize..100) {
+/// Bounded RNG draws stay in range for arbitrary bounds and seeds.
+#[test]
+fn rng_bounded_draws() {
+    for case in 0..CASES {
+        let mut meta = Xoshiro256::new(0x5BB6 + case);
+        let seed = meta.next_u64();
+        let bound = 1 + meta.next_below(u64::MAX - 1);
+        let n = 1 + meta.next_below(100);
         let mut rng = Xoshiro256::new(seed);
         for _ in 0..n {
-            prop_assert!(rng.next_below(bound) < bound);
+            assert!(rng.next_below(bound) < bound, "case {case}");
         }
     }
+}
 
-    /// Cycle arithmetic: saturating ops never panic and ordering holds.
-    #[test]
-    fn cycle_arithmetic(a in any::<u64>(), b in any::<u64>()) {
+/// Cycle arithmetic: saturating ops never panic and ordering holds.
+#[test]
+fn cycle_arithmetic() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x6CC7 + case);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
         let ca = Cycle::new(a);
         let cb = Cycle::new(b);
-        prop_assert_eq!(ca.max(cb).as_u64(), a.max(b));
-        prop_assert_eq!(ca.min(cb).as_u64(), a.min(b));
-        prop_assert_eq!(ca.saturating_sub(cb), a.saturating_sub(b));
-        prop_assert!(ca.saturating_add(b).as_u64() >= a || a.checked_add(b).is_none());
+        assert_eq!(ca.max(cb).as_u64(), a.max(b), "case {case}");
+        assert_eq!(ca.min(cb).as_u64(), a.min(b), "case {case}");
+        assert_eq!(ca.saturating_sub(cb), a.saturating_sub(b), "case {case}");
+        assert!(
+            ca.saturating_add(b).as_u64() >= a || a.checked_add(b).is_none(),
+            "case {case}"
+        );
     }
+}
 
-    /// `next_multiple_of` lands strictly above on an exact multiple.
-    #[test]
-    fn cycle_next_multiple(raw in 0u64..1_000_000, q in 1u64..10_000) {
+/// `next_multiple_of` lands strictly above on an exact multiple.
+#[test]
+fn cycle_next_multiple() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x7DD8 + case);
+        let raw = rng.next_below(1_000_000);
+        let q = rng.next_range(1, 10_000);
         let n = Cycle::new(raw).next_multiple_of(q);
-        prop_assert!(n.as_u64() > raw);
-        prop_assert_eq!(n.as_u64() % q, 0);
-        prop_assert!(n.as_u64() - raw <= q);
+        assert!(n.as_u64() > raw, "case {case}");
+        assert_eq!(n.as_u64() % q, 0, "case {case}");
+        assert!(n.as_u64() - raw <= q, "case {case}");
     }
 }

@@ -81,7 +81,10 @@ impl BarnesStream {
         } else {
             self.walk_line = self.rng.next_below(SUBTREE_LINES);
         }
-        Regions::SHARED + TREE_OFFSET + self.subtree * 4096 + self.walk_line * 32
+        Regions::SHARED
+            + TREE_OFFSET
+            + self.subtree * 4096
+            + self.walk_line * 32
             + self.rng.next_below(4) * 8
     }
 

@@ -65,7 +65,7 @@ impl InstrStream for SharedHammer {
         let pc = self.code.pc();
         self.code.advance();
         self.counter += 1;
-        let op = if self.counter % self.mem_period == 0 {
+        let op = if self.counter.is_multiple_of(self.mem_period) {
             let addr = Regions::SHARED + self.rng.next_below(self.region_bytes / 8) * 8;
             if self.store_share > 0 && self.rng.chance(1, self.store_share) {
                 Op::Store { addr }
@@ -124,10 +124,10 @@ impl InstrStream for PrivateStream {
         let pc = self.code.pc();
         self.code.advance();
         self.counter += 1;
-        let op = if self.counter % self.mem_period == 0 {
+        let op = if self.counter.is_multiple_of(self.mem_period) {
             let addr = self.base + self.cursor;
             self.cursor = (self.cursor + 8) % self.region_bytes;
-            if self.counter % (self.mem_period * 3) == 0 {
+            if self.counter.is_multiple_of(self.mem_period * 3) {
                 Op::Store { addr }
             } else {
                 Op::Load { addr }
@@ -161,8 +161,7 @@ mod tests {
 
     #[test]
     fn hammer_without_stores() {
-        let mut s =
-            SharedHammer::new(&WorkloadParams::new(0, 4, 9), 4096, 2).with_store_share(0);
+        let mut s = SharedHammer::new(&WorkloadParams::new(0, 4, 9), 4096, 2).with_store_share(0);
         let census = op_census(&mut s, 10_000);
         assert_eq!(census.stores, 0);
         assert!(census.loads > 4_000);
@@ -185,12 +184,8 @@ mod tests {
 
     #[test]
     fn synthetic_streams_are_deterministic() {
-        determinism_check(|| {
-            Box::new(SharedHammer::new(&WorkloadParams::new(1, 4, 5), 4096, 3))
-        });
-        determinism_check(|| {
-            Box::new(PrivateStream::new(&WorkloadParams::new(1, 4, 5), 4096, 3))
-        });
+        determinism_check(|| Box::new(SharedHammer::new(&WorkloadParams::new(1, 4, 5), 4096, 3)));
+        determinism_check(|| Box::new(PrivateStream::new(&WorkloadParams::new(1, 4, 5), 4096, 3)));
     }
 
     #[test]

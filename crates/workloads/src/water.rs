@@ -116,7 +116,7 @@ impl WaterStream {
             count += 1;
         }
         self.pair_counter += 1;
-        if self.pair_counter % PAIRS_PER_LOCK == 0 {
+        if self.pair_counter.is_multiple_of(PAIRS_PER_LOCK) {
             // Accumulate force into the partner's record under its lock.
             let id = (partner % MOLECULES) as u32;
             let addr = self.molecule_addr(partner, 8);

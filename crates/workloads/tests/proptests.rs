@@ -1,54 +1,58 @@
-//! Property-based tests for the workload generators: determinism, barrier
-//! alignment, lock well-formedness and address-region discipline for
-//! arbitrary seeds and thread counts.
-
-use proptest::prelude::*;
+//! Randomised property tests for the workload generators: determinism,
+//! barrier alignment, lock well-formedness and address-region discipline
+//! for arbitrary seeds and thread counts. Inputs come from the in-tree
+//! deterministic [`Xoshiro256`] RNG so runs reproduce bit-identically
+//! without external crates.
 
 use slacksim_cmp::isa::Op;
+use slacksim_core::rng::Xoshiro256;
 use slacksim_workloads::mix::Regions;
 use slacksim_workloads::{Benchmark, WorkloadParams};
 
-fn any_benchmark() -> impl Strategy<Value = Benchmark> {
-    prop_oneof![
-        Just(Benchmark::Barnes),
-        Just(Benchmark::Fft),
-        Just(Benchmark::Lu),
-        Just(Benchmark::WaterNsquared),
-    ]
+const CASES: u64 = 24;
+
+const ALL_BENCHMARKS: [Benchmark; 4] = [
+    Benchmark::Barnes,
+    Benchmark::Fft,
+    Benchmark::Lu,
+    Benchmark::WaterNsquared,
+];
+
+fn pick_benchmark(rng: &mut Xoshiro256) -> Benchmark {
+    ALL_BENCHMARKS[rng.next_below(ALL_BENCHMARKS.len() as u64) as usize]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Two streams with identical parameters are identical; a clone taken
-    /// mid-stream continues identically.
-    #[test]
-    fn streams_are_deterministic(
-        benchmark in any_benchmark(),
-        seed in any::<u64>(),
-        tid in 0usize..8
-    ) {
+/// Two streams with identical parameters are identical; a clone taken
+/// mid-stream continues identically.
+#[test]
+fn streams_are_deterministic() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xDE7 + case);
+        let benchmark = pick_benchmark(&mut rng);
+        let seed = rng.next_u64();
+        let tid = rng.next_below(8) as usize;
         let params = WorkloadParams::new(tid, 8, seed);
         let mut a = benchmark.stream(&params);
         let mut b = benchmark.stream(&params);
         for _ in 0..2_000 {
-            prop_assert_eq!(a.next_instr(), b.next_instr());
+            assert_eq!(a.next_instr(), b.next_instr(), "case {case}");
         }
         let mut c = a.clone_box();
         for _ in 0..2_000 {
-            prop_assert_eq!(a.next_instr(), c.next_instr());
+            assert_eq!(a.next_instr(), c.next_instr(), "case {case}");
         }
     }
+}
 
-    /// Every thread of a run emits the same consecutive barrier-id
-    /// sequence (the property that keeps the simulated barrier device
-    /// deadlock-free).
-    #[test]
-    fn barrier_ids_align_across_threads(
-        benchmark in any_benchmark(),
-        seed in any::<u64>(),
-        n_threads in 2usize..8
-    ) {
+/// Every thread of a run emits the same consecutive barrier-id sequence
+/// (the property that keeps the simulated barrier device deadlock-free).
+#[test]
+fn barrier_ids_align_across_threads() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xBA1 + case);
+        let benchmark = pick_benchmark(&mut rng);
+        let seed = rng.next_u64();
+        let n_threads = rng.next_range(2, 7) as usize;
         let collect = |tid: usize| -> Vec<u32> {
             let mut s = benchmark.stream(&WorkloadParams::new(tid, n_threads, seed));
             let mut ids = Vec::new();
@@ -63,51 +67,60 @@ proptest! {
             ids
         };
         let first = collect(0);
-        prop_assert!(!first.is_empty(), "{benchmark} must emit barriers");
+        assert!(
+            !first.is_empty(),
+            "case {case}: {benchmark} must emit barriers"
+        );
         // Ids are consecutive from 0.
         for (i, &id) in first.iter().enumerate() {
-            prop_assert_eq!(id as usize, i);
+            assert_eq!(id as usize, i, "case {case}");
         }
         let last = collect(n_threads - 1);
         let shared = first.len().min(last.len());
-        prop_assert_eq!(&first[..shared], &last[..shared]);
+        assert_eq!(&first[..shared], &last[..shared], "case {case}");
     }
+}
 
-    /// Lock acquire/release pairs are well formed: no nesting, releases
-    /// match the held lock, and no barrier fires while a lock is held.
-    #[test]
-    fn lock_sequences_are_well_formed(
-        benchmark in any_benchmark(),
-        seed in any::<u64>(),
-        tid in 0usize..8
-    ) {
+/// Lock acquire/release pairs are well formed: no nesting, releases match
+/// the held lock, and no barrier fires while a lock is held.
+#[test]
+fn lock_sequences_are_well_formed() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x10C + case);
+        let benchmark = pick_benchmark(&mut rng);
+        let seed = rng.next_u64();
+        let tid = rng.next_below(8) as usize;
         let mut s = benchmark.stream(&WorkloadParams::new(tid, 8, seed));
         let mut held: Option<u32> = None;
         for _ in 0..50_000 {
             match s.next_instr().op {
                 Op::LockAcquire { id } => {
-                    prop_assert!(held.is_none(), "nested acquire");
+                    assert!(held.is_none(), "case {case}: nested acquire");
                     held = Some(id);
                 }
                 Op::LockRelease { id } => {
-                    prop_assert_eq!(held, Some(id), "mismatched release");
+                    assert_eq!(held, Some(id), "case {case}: mismatched release");
                     held = None;
                 }
-                Op::Barrier { .. } => prop_assert!(held.is_none(), "barrier while locked"),
+                Op::Barrier { .. } => {
+                    assert!(held.is_none(), "case {case}: barrier while locked");
+                }
                 _ => {}
             }
         }
     }
+}
 
-    /// Stores respect ownership discipline: a thread writes only its own
-    /// private region, its own exported region, or (under a lock) the
-    /// shared region.
-    #[test]
-    fn stores_respect_region_ownership(
-        benchmark in any_benchmark(),
-        seed in any::<u64>(),
-        tid in 0usize..8
-    ) {
+/// Stores respect ownership discipline: a thread writes only its own
+/// private region, its own exported region, or (under a lock) the shared
+/// region.
+#[test]
+fn stores_respect_region_ownership() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x5708 + case);
+        let benchmark = pick_benchmark(&mut rng);
+        let seed = rng.next_u64();
+        let tid = rng.next_below(8) as usize;
         let mut s = benchmark.stream(&WorkloadParams::new(tid, 8, seed));
         let private = Regions::new(tid).private();
         let own_export = Regions::thread_shared(tid);
@@ -120,35 +133,47 @@ proptest! {
                     let in_private = (private..private + 0x0100_0000).contains(&addr);
                     let in_own_export = (own_export..own_export + 0x0100_0000).contains(&addr);
                     let in_shared = (Regions::SHARED..Regions::thread_shared(0)).contains(&addr);
-                    prop_assert!(
+                    assert!(
                         in_private || in_own_export || (in_shared && locked),
-                        "{benchmark} thread {tid}: unsanctioned store to 0x{addr:x} (locked={locked})"
+                        "case {case}: {benchmark} thread {tid}: unsanctioned store to \
+                         0x{addr:x} (locked={locked})"
                     );
                 }
                 _ => {}
             }
         }
     }
+}
 
-    /// Program counters stay inside the code region (never collide with
-    /// data), and instruction streams never stall (always produce ops).
-    #[test]
-    fn pcs_stay_in_code_region(
-        benchmark in any_benchmark(),
-        seed in any::<u64>()
-    ) {
+/// Program counters stay inside the code region (never collide with
+/// data), and instruction streams never stall (always produce ops).
+#[test]
+fn pcs_stay_in_code_region() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x9C5 + case);
+        let benchmark = pick_benchmark(&mut rng);
+        let seed = rng.next_u64();
         let mut s = benchmark.stream(&WorkloadParams::new(0, 8, seed));
         for _ in 0..20_000 {
             let instr = s.next_instr();
-            prop_assert!(instr.pc >= Regions::CODE);
-            prop_assert!(instr.pc < 0x1000_0000, "pc 0x{:x} collides with data", instr.pc);
+            assert!(instr.pc >= Regions::CODE, "case {case}");
+            assert!(
+                instr.pc < 0x1000_0000,
+                "case {case}: pc 0x{:x} collides with data",
+                instr.pc
+            );
         }
     }
+}
 
-    /// Different seeds produce different instruction streams (the
-    /// generators actually use their seed).
-    #[test]
-    fn seeds_matter(benchmark in any_benchmark(), seed in 0u64..1_000_000) {
+/// Different seeds produce different instruction streams (the generators
+/// actually use their seed).
+#[test]
+fn seeds_matter() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x5EED + case);
+        let benchmark = pick_benchmark(&mut rng);
+        let seed = rng.next_below(1_000_000);
         let mut a = benchmark.stream(&WorkloadParams::new(0, 8, seed));
         let mut b = benchmark.stream(&WorkloadParams::new(0, 8, seed + 1));
         let mut same = 0u32;
@@ -157,6 +182,9 @@ proptest! {
                 same += 1;
             }
         }
-        prop_assert!(same < 2_000, "seed change had no effect on {benchmark}");
+        assert!(
+            same < 2_000,
+            "case {case}: seed change had no effect on {benchmark}"
+        );
     }
 }

@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mean_bound = if report.bound_trace.is_empty() {
             0.0
         } else {
-            report.bound_trace.iter().map(|&(_, b)| b as f64).sum::<f64>()
+            report
+                .bound_trace
+                .iter()
+                .map(|&(_, b)| b as f64)
+                .sum::<f64>()
                 / report.bound_trace.len() as f64
         };
         println!(

@@ -11,7 +11,15 @@ use slacksim::{Benchmark, EngineKind, Simulation};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{:>10} | {:>7} | {:>9} | {:>9} | {:>8} | {:>8} | {:>8} | {:>8} | {:>8}",
-        "benchmark", "CPI", "bus txn/k", "conflicts", "L1D miss", "L2 miss", "c2c xfer", "invals", "barriers"
+        "benchmark",
+        "CPI",
+        "bus txn/k",
+        "conflicts",
+        "L1D miss",
+        "L2 miss",
+        "c2c xfer",
+        "invals",
+        "barriers"
     );
 
     for benchmark in Benchmark::ALL {

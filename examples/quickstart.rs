@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cycle-by-cycle (gold standard)");
     println!("  execution time : {} cycles", cc.global_cycles);
     println!("  CPI            : {:.3}", cc.cpi());
-    println!("  violations     : {} (always 0 by construction)", cc.violations.total());
+    println!(
+        "  violations     : {} (always 0 by construction)",
+        cc.violations.total()
+    );
     println!(
         "  L2 miss ratio  : {:.1}%",
         100.0 * cc.uncore.get("l2_misses") as f64
@@ -28,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Slack simulation: faster, slightly inaccurate.
     for (name, scheme) in [
-        ("bounded slack (8 cycles)", Scheme::BoundedSlack { bound: 8 }),
+        (
+            "bounded slack (8 cycles)",
+            Scheme::BoundedSlack { bound: 8 },
+        ),
         ("unbounded slack", Scheme::UnboundedSlack),
     ] {
         let r = Simulation::new(Benchmark::Fft)

@@ -40,12 +40,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.commit_target(commit)
         .scheme(Scheme::BoundedSlack { bound: 16 })
         .engine(EngineKind::Sequential)
-        .speculation(SpeculationConfig::speculative(interval, ViolationSelect::all()));
+        .speculation(SpeculationConfig::speculative(
+            interval,
+            ViolationSelect::all(),
+        ));
     let spec = sim.run()?;
     println!("\nspeculative run (rollback on any violation)");
     println!("  rollbacks          : {}", spec.kernel.get("rollbacks"));
-    println!("  wasted cycles      : {}", spec.kernel.get("wasted_cycles"));
-    println!("  CC replay cycles   : {}", spec.kernel.get("replay_cycles"));
+    println!(
+        "  wasted cycles      : {}",
+        spec.kernel.get("wasted_cycles")
+    );
+    println!(
+        "  CC replay cycles   : {}",
+        spec.kernel.get("replay_cycles")
+    );
     println!(
         "  violations detected: {} (surviving in final state: {})",
         spec.kernel.get("violations_detected_total"),
@@ -67,8 +76,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         interval: interval as f64,
     };
     println!("\nanalytical model (paper §5.2)");
-    println!("  predicted speculative time: {:.3}s", speculative_time(&inputs));
-    println!("  measured speculative time : {:.3}s", spec.wall.as_secs_f64());
-    println!("  cycle-by-cycle time       : {:.3}s", cc.wall.as_secs_f64());
+    println!(
+        "  predicted speculative time: {:.3}s",
+        speculative_time(&inputs)
+    );
+    println!(
+        "  measured speculative time : {:.3}s",
+        spec.wall.as_secs_f64()
+    );
+    println!(
+        "  cycle-by-cycle time       : {:.3}s",
+        cc.wall.as_secs_f64()
+    );
     Ok(())
 }

@@ -6,11 +6,12 @@
 //!          [--bound N] [--quantum N] [--target PCT] [--band PCT]
 //!          [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
 //!          [--checkpoint N] [--rollback all|map] [--verbose]
+//!          [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
 //! ```
 
 use slacksim::scheme::{AdaptiveConfig, Scheme};
 use slacksim::{
-    Benchmark, EngineKind, Simulation, SpeculationConfig, ViolationKind, ViolationSelect,
+    Benchmark, EngineKind, ObsConfig, Simulation, SpeculationConfig, ViolationKind, ViolationSelect,
 };
 
 struct Args(Vec<String>);
@@ -35,6 +36,13 @@ impl Args {
     }
 }
 
+/// Prints a usage error and exits non-zero.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("run `slacksim --help` for usage");
+    std::process::exit(2);
+}
+
 fn main() {
     let args = Args(std::env::args().skip(1).collect());
     if args.has("--help") || args.has("-h") {
@@ -42,11 +50,16 @@ fn main() {
         return;
     }
 
-    let benchmark = args
-        .value("--benchmark")
-        .and_then(Benchmark::parse)
-        .unwrap_or(Benchmark::Fft);
+    let benchmark = match args.value("--benchmark") {
+        None => Benchmark::Fft,
+        Some(name) => Benchmark::parse(name).unwrap_or_else(|| {
+            usage_error(&format!(
+                "unknown benchmark '{name}' (expected barnes|fft|lu|water)"
+            ))
+        }),
+    };
     let scheme = match args.value("--scheme").unwrap_or("cc") {
+        "cc" | "cycle" => Scheme::CycleByCycle,
         "bounded" => Scheme::BoundedSlack {
             bound: args.parsed("--bound", 8),
         },
@@ -63,12 +76,18 @@ fn main() {
             period: args.parsed("--period", 500),
             seed: args.parsed("--seed", 1),
         },
-        _ => Scheme::CycleByCycle,
+        other => usage_error(&format!(
+            "unknown scheme '{other}' (expected cc|bounded|unbounded|quantum|adaptive|p2p)"
+        )),
     };
     let engine = match args.value("--engine").unwrap_or("seq") {
+        "seq" | "sequential" => EngineKind::Sequential,
         "threaded" | "thr" => EngineKind::Threaded,
-        _ => EngineKind::Sequential,
+        other => usage_error(&format!("unknown engine '{other}' (expected seq|threaded)")),
     };
+
+    let trace_path = args.value("--trace").map(str::to_string);
+    let metrics_path = args.value("--metrics").map(str::to_string);
 
     let mut sim = Simulation::new(benchmark);
     sim.scheme(scheme.clone())
@@ -84,12 +103,36 @@ fn main() {
         };
         sim.speculation(SpeculationConfig::speculative(interval, select));
     }
+    if trace_path.is_some() || metrics_path.is_some() || args.has("--sample-every") {
+        sim.observability(
+            ObsConfig::default().with_sample_every(args.parsed("--sample-every", 1024)),
+        );
+    }
 
     eprintln!("running {benchmark} under {} ...", scheme.name());
     match sim.run() {
         Ok(report) => {
             println!("{report}");
+            if let Some(obs) = &report.obs {
+                if let Some(path) = &trace_path {
+                    if let Err(e) = std::fs::write(path, obs.chrome_trace_json()) {
+                        eprintln!("failed to write trace {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("trace written to {path} (open in https://ui.perfetto.dev)");
+                }
+                if let Some(path) = &metrics_path {
+                    if let Err(e) = std::fs::write(path, obs.metrics_csv()) {
+                        eprintln!("failed to write metrics {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("metrics written to {path}");
+                }
+            }
             if args.has("--verbose") {
+                if let Some(obs) = &report.obs {
+                    println!("\n{}", obs.summary().trim_end());
+                }
                 println!("\nuncore counters:\n{}", report.uncore);
                 println!("\nkernel counters:\n{}", report.kernel);
                 for (i, core) in report.per_core.iter().enumerate() {
@@ -112,8 +155,24 @@ USAGE:
            [--bound N] [--quantum N] [--target PCT] [--band PCT] [--period N]
            [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
            [--checkpoint INTERVAL] [--rollback all|map] [--verbose]
+           [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
+
+OBSERVABILITY:
+  --trace OUT.json      record a per-core timeline and write it as Chrome
+                        Trace Event Format JSON (open in chrome://tracing or
+                        https://ui.perfetto.dev): run/wait/replay spans per
+                        core, violation instants, slack-bound and queue-depth
+                        counter tracks
+  --metrics OUT.csv     dump sampled gauge time series and histogram
+                        summaries as long-format CSV (metric,cycle,value)
+  --sample-every N      metrics sampling cadence in global cycles
+                        (default 1024); also enables observability on its own
+  --verbose             additionally prints the observability summary when
+                        tracing/metrics are enabled
 
 EXAMPLES:
   slacksim --benchmark barnes --scheme unbounded --engine threaded
   slacksim --scheme adaptive --target 0.2 --band 5
-  slacksim --scheme bounded --bound 16 --checkpoint 5000 --rollback all --verbose";
+  slacksim --scheme bounded --bound 16 --checkpoint 5000 --rollback all --verbose
+  slacksim --benchmark fft --scheme adaptive --engine threaded --checkpoint 2000 \\
+           --trace /tmp/t.json --metrics /tmp/m.csv";

@@ -45,6 +45,7 @@
 pub use slacksim_cmp::config::{CmpConfig, CoreConfig, UncoreConfig};
 pub use slacksim_core::engine::{BurstPolicy, EngineConfig, EngineError};
 pub use slacksim_core::model;
+pub use slacksim_core::obs::{ObsConfig, ObsData};
 pub use slacksim_core::scheme;
 pub use slacksim_core::speculative::{SpeculationConfig, ViolationSelect};
 pub use slacksim_core::stats::{percent_error, SimReport};
@@ -52,10 +53,10 @@ pub use slacksim_core::violation::ViolationKind;
 pub use slacksim_core::Cycle;
 pub use slacksim_workloads::{Benchmark, WorkloadParams};
 
-/// Re-export of the kernel crate.
-pub use slacksim_core;
 /// Re-export of the target-CMP crate.
 pub use slacksim_cmp;
+/// Re-export of the kernel crate.
+pub use slacksim_core;
 /// Re-export of the workloads crate.
 pub use slacksim_workloads;
 
@@ -94,6 +95,7 @@ pub struct Simulation {
     max_burst: u64,
     max_lead: u64,
     speculation: Option<SpeculationConfig>,
+    obs: Option<ObsConfig>,
 }
 
 impl Simulation {
@@ -111,6 +113,7 @@ impl Simulation {
             max_burst: 16,
             max_lead: 256,
             speculation: None,
+            obs: None,
         }
     }
 
@@ -177,6 +180,14 @@ impl Simulation {
         self
     }
 
+    /// Enables observability: trace recording and metrics sampling. The
+    /// finished report then carries [`ObsData`] (Chrome-trace / CSV
+    /// exportable) in [`SimReport::obs`].
+    pub fn observability(&mut self, obs: ObsConfig) -> &mut Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Builds the engine configuration this run will use.
     fn engine_config(&self) -> EngineConfig {
         let mut cfg = EngineConfig::new(self.scheme.clone(), self.commit_target);
@@ -185,6 +196,7 @@ impl Simulation {
         cfg.burst = BurstPolicy::new(self.max_burst);
         cfg.max_lead = self.max_lead;
         cfg.speculation = self.speculation;
+        cfg.obs = self.obs;
         cfg
     }
 

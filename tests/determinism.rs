@@ -58,7 +58,10 @@ fn speculative_runs_are_deterministic_too() {
             .seed(7)
             .scheme(Scheme::BoundedSlack { bound: 16 })
             .engine(EngineKind::Sequential)
-            .speculation(SpeculationConfig::speculative(2_000, ViolationSelect::all()));
+            .speculation(SpeculationConfig::speculative(
+                2_000,
+                ViolationSelect::all(),
+            ));
         sim.run().expect("run succeeds")
     };
     let a = make();

@@ -2,7 +2,7 @@
 //! core counts, extreme bounds and intervals, and tiny commit targets.
 
 use slacksim::scheme::{AdaptiveConfig, Scheme};
-use slacksim::{Benchmark, EngineKind, Simulation, SpeculationConfig, ViolationSelect};
+use slacksim::{Benchmark, Simulation, SpeculationConfig, ViolationSelect};
 
 #[test]
 fn single_core_runs_under_every_scheme() {
@@ -75,7 +75,9 @@ fn huge_bound_equals_unbounded_behaviour() {
     // slack; both must complete with similar statistics for one seed.
     let huge = Simulation::new(Benchmark::Lu)
         .commit_target(40_000)
-        .scheme(Scheme::BoundedSlack { bound: u64::MAX / 2 })
+        .scheme(Scheme::BoundedSlack {
+            bound: u64::MAX / 2,
+        })
         .run()
         .expect("huge bound");
     let unbounded = Simulation::new(Benchmark::Lu)

@@ -81,8 +81,7 @@ fn locks_serialise_under_cc() {
 fn cpi_is_in_a_sane_range() {
     for benchmark in Benchmark::ALL {
         let r = run(benchmark, Scheme::CycleByCycle);
-        let per_core_ipc =
-            r.committed as f64 / (r.global_cycles as f64 * r.per_core.len() as f64);
+        let per_core_ipc = r.committed as f64 / (r.global_cycles as f64 * r.per_core.len() as f64);
         assert!(
             (0.05..=4.0).contains(&per_core_ipc),
             "{benchmark}: per-core IPC {per_core_ipc} out of range"

@@ -1,0 +1,207 @@
+//! Integration tests of the observability subsystem end to end: a real
+//! simulation run must produce a parseable Chrome trace with per-core
+//! tracks, a consistent metrics CSV, and consistent report counters —
+//! while runs without an [`ObsConfig`] must stay untraced.
+
+use slacksim::scheme::{AdaptiveConfig, Scheme};
+use slacksim::slacksim_core::obs::json::Json;
+use slacksim::slacksim_core::stats::Counters;
+use slacksim::{
+    Benchmark, EngineKind, ObsConfig, SimReport, Simulation, SpeculationConfig, ViolationKind,
+    ViolationSelect,
+};
+
+fn traced_run(engine: EngineKind, scheme: Scheme, speculate: bool) -> SimReport {
+    let mut sim = Simulation::new(Benchmark::Fft);
+    sim.cores(4)
+        .commit_target(40_000)
+        .seed(7)
+        .scheme(scheme)
+        .engine(engine)
+        .observability(ObsConfig::default().with_sample_every(256));
+    if speculate {
+        sim.speculation(SpeculationConfig::speculative(
+            2_000,
+            ViolationSelect::all(),
+        ));
+    }
+    sim.run().expect("traced run completes")
+}
+
+#[test]
+fn obs_is_absent_without_config() {
+    let report = Simulation::new(Benchmark::Fft)
+        .cores(2)
+        .commit_target(20_000)
+        .scheme(Scheme::UnboundedSlack)
+        .run()
+        .expect("run completes");
+    assert!(report.obs.is_none(), "no ObsConfig => no ObsData");
+}
+
+#[test]
+fn adaptive_bound_trace_is_monotone_in_cycles() {
+    let report = traced_run(
+        EngineKind::Sequential,
+        Scheme::Adaptive(AdaptiveConfig::percent(0.2, 5.0)),
+        false,
+    );
+    let trace = &report.bound_trace;
+    assert!(!trace.is_empty(), "adaptive run records bound adjustments");
+    for pair in trace.windows(2) {
+        assert!(
+            pair[0].0 <= pair[1].0,
+            "bound_trace cycles must be non-decreasing: {:?} then {:?}",
+            pair[0],
+            pair[1]
+        );
+    }
+    // Every recorded bound change must also appear in the trace records.
+    let obs = report.obs.as_ref().expect("obs attached");
+    let changes = obs
+        .records
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.event,
+                slacksim::slacksim_core::obs::TraceEvent::BoundChange { .. }
+            )
+        })
+        .count();
+    assert!(changes > 0, "adaptive run emits BoundChange trace events");
+}
+
+#[test]
+fn counters_merge_and_tally_since_roundtrip_under_threaded_engine() {
+    let report = traced_run(EngineKind::Threaded, Scheme::UnboundedSlack, false);
+
+    // Counters::merge over the per-core counters must agree with the
+    // report's own per-counter summation.
+    let mut merged = Counters::new();
+    for core in &report.per_core {
+        merged.merge(core);
+    }
+    for (name, total) in merged.iter() {
+        assert_eq!(
+            total,
+            report.core_total(name),
+            "merged counter {name} disagrees with core_total"
+        );
+    }
+
+    // ViolationTally::since(empty) is the identity; x.since(x) is zero.
+    let tally = &report.violations;
+    let empty = slacksim::slacksim_core::violation::ViolationTally::default();
+    let since_empty = tally.since(&empty);
+    let since_self = tally.since(tally);
+    for kind in ViolationKind::ALL {
+        assert_eq!(since_empty.count(kind), tally.count(kind));
+        assert_eq!(since_self.count(kind), 0);
+    }
+
+    // Merging the delta back onto a copy of the baseline round-trips.
+    let mut rebuilt = empty;
+    rebuilt.merge(&since_empty);
+    assert_eq!(rebuilt.total(), tally.total());
+}
+
+#[test]
+fn chrome_trace_parses_with_one_track_per_core() {
+    let report = traced_run(
+        EngineKind::Threaded,
+        Scheme::BoundedSlack { bound: 16 },
+        true,
+    );
+    let obs = report.obs.as_ref().expect("obs attached");
+    let doc = obs.chrome_trace_json();
+    let v = Json::parse(&doc).expect("emitted trace is valid JSON");
+    let events = v
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    // Each core track is named and carries at least one non-metadata event.
+    let track_names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+        .filter_map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+        })
+        .collect();
+    for c in 0..4 {
+        let label = format!("core {c}");
+        assert!(track_names.iter().any(|n| *n == label), "missing {label}");
+        let on_track = events.iter().any(|e| {
+            e.get("tid").and_then(Json::as_f64) == Some(c as f64)
+                && e.get("ph").and_then(Json::as_str) != Some("M")
+        });
+        assert!(on_track, "core {c} track has no events");
+    }
+    assert!(track_names.contains(&"manager"));
+
+    // Span events within each track must be ordered by begin timestamp
+    // (the exporter sorts records before pairing phase begins/ends).
+    let mut last_ts: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+    for e in events {
+        if e.get("ph").and_then(Json::as_str) != Some("X") {
+            continue;
+        }
+        let tid = e.get("tid").and_then(Json::as_f64).unwrap() as u64;
+        let ts = e.get("ts").and_then(Json::as_f64).unwrap();
+        let dur = e.get("dur").and_then(Json::as_f64).unwrap();
+        assert!(dur >= 0.0);
+        let prev = last_ts.entry(tid).or_insert(f64::MIN);
+        assert!(
+            ts + dur >= *prev,
+            "track {tid}: span ending at {} precedes earlier span end {}",
+            ts + dur,
+            prev
+        );
+        *prev = (ts + dur).max(*prev);
+    }
+
+    // The speculative run must surface checkpoint activity.
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(
+        names.contains(&"checkpoint"),
+        "no checkpoint spans in trace"
+    );
+}
+
+#[test]
+fn metrics_csv_has_sampled_time_series() {
+    let report = traced_run(EngineKind::Threaded, Scheme::UnboundedSlack, false);
+    let obs = report.obs.as_ref().expect("obs attached");
+    let csv = obs.metrics_csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some("metric,cycle,value"));
+    let rows: Vec<Vec<&str>> = lines.map(|l| l.split(',').collect()).collect();
+    assert!(!rows.is_empty(), "metrics CSV has data rows");
+    for row in &rows {
+        assert_eq!(row.len(), 3, "malformed CSV row {row:?}");
+        assert!(row[1].parse::<u64>().is_ok(), "bad cycle in {row:?}");
+        assert!(row[2].parse::<f64>().is_ok(), "bad value in {row:?}");
+    }
+    // Unbounded slack has no bound gauge, but the violation-rate and
+    // queue-depth series are always sampled.
+    for series in ["violation_rate", "globalq_depth", "drift.core0"] {
+        assert!(
+            rows.iter().any(|r| r[0] == series),
+            "{series} gauge series missing"
+        );
+    }
+    // Gauge cycles within one series are strictly increasing.
+    let cycles: Vec<u64> = rows
+        .iter()
+        .filter(|r| r[0] == "violation_rate")
+        .map(|r| r[1].parse().unwrap())
+        .collect();
+    assert!(cycles.len() > 1, "expected multiple samples");
+    assert!(cycles.windows(2).all(|w| w[0] < w[1]));
+}

@@ -156,7 +156,10 @@ fn workload_signatures_differ() {
         .map(|(_, r)| r.uncore.get("bus_transactions") as f64 / r.global_cycles as f64)
         .collect();
     density.sort_by(|a, b| a.total_cmp(b));
-    assert!(density[3] / density[0].max(1e-9) > 1.25, "density spread: {density:?}");
+    assert!(
+        density[3] / density[0].max(1e-9) > 1.25,
+        "density spread: {density:?}"
+    );
 }
 
 #[test]

@@ -25,12 +25,12 @@ fn checkpoint_only_runs_barely_perturb_results() {
         .engine(EngineKind::Sequential)
         .speculation(SpeculationConfig::checkpoint_only(2_000));
     let checked = sim.run().expect("checkpointed");
-    let err = slacksim::percent_error(
-        checked.global_cycles as f64,
-        plain.global_cycles as f64,
-    )
-    .abs();
-    assert!(err < 1.0, "checkpointing perturbed execution time by {err:.3}%");
+    let err =
+        slacksim::percent_error(checked.global_cycles as f64, plain.global_cycles as f64).abs();
+    assert!(
+        err < 1.0,
+        "checkpointing perturbed execution time by {err:.3}%"
+    );
     assert!(checked.committed >= COMMIT);
     assert!(checked.kernel.get("checkpoints") > 0);
     assert_eq!(checked.kernel.get("rollbacks"), 0);
@@ -61,10 +61,16 @@ fn rollback_on_all_violations_leaves_a_clean_timeline() {
     sim.commit_target(COMMIT)
         .scheme(Scheme::BoundedSlack { bound: 16 })
         .engine(EngineKind::Sequential)
-        .speculation(SpeculationConfig::speculative(2_000, ViolationSelect::all()));
+        .speculation(SpeculationConfig::speculative(
+            2_000,
+            ViolationSelect::all(),
+        ));
     let r = sim.run().expect("speculative run");
     assert!(r.committed >= COMMIT, "forward progress guaranteed");
-    assert!(r.kernel.get("rollbacks") > 0, "FFT at bound 16 must violate");
+    assert!(
+        r.kernel.get("rollbacks") > 0,
+        "FFT at bound 16 must violate"
+    );
     assert!(r.kernel.get("replay_cycles") > 0);
     // Violations that triggered rollbacks were erased by restoring the
     // checkpoint; only the final (unfinished) interval may retain any.
@@ -107,10 +113,12 @@ fn speculative_execution_time_tracks_cc() {
     sim.commit_target(COMMIT)
         .scheme(Scheme::BoundedSlack { bound: 16 })
         .engine(EngineKind::Sequential)
-        .speculation(SpeculationConfig::speculative(2_000, ViolationSelect::all()));
+        .speculation(SpeculationConfig::speculative(
+            2_000,
+            ViolationSelect::all(),
+        ));
     let spec = sim.run().expect("spec");
-    let err =
-        slacksim::percent_error(spec.global_cycles as f64, cc.global_cycles as f64).abs();
+    let err = slacksim::percent_error(spec.global_cycles as f64, cc.global_cycles as f64).abs();
     assert!(err < 3.0, "speculative timeline error {err:.2}% vs CC");
 }
 
@@ -133,7 +141,10 @@ fn threaded_rollback_completes() {
     sim.commit_target(50_000)
         .scheme(Scheme::BoundedSlack { bound: 16 })
         .engine(EngineKind::Threaded)
-        .speculation(SpeculationConfig::speculative(2_000, ViolationSelect::all()));
+        .speculation(SpeculationConfig::speculative(
+            2_000,
+            ViolationSelect::all(),
+        ));
     let r = sim.run().expect("threaded speculative run");
     assert!(r.committed >= 50_000, "forward progress under rollback");
 }

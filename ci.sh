@@ -11,6 +11,17 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q"
 cargo test --workspace -q --offline
 
+echo "==> bench smoke (engine_throughput, short run)"
+# Short run into a scratch path (the committed BENCH_threaded.json holds
+# full-run numbers). The bench validates its own emission with the
+# in-tree obs::json parser before writing; here we assert the artifact
+# landed and is non-empty.
+smoke_out="$(mktemp /tmp/BENCH_threaded_smoke.XXXXXX.json)"
+SLACKSIM_BENCH_SMOKE=1 SLACKSIM_BENCH_OUT="$smoke_out" \
+    cargo bench -p slacksim-bench --bench engine_throughput --offline
+test -s "$smoke_out" || { echo "ci: bench smoke produced no output" >&2; exit 1; }
+rm -f "$smoke_out"
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -4,65 +4,273 @@
 //! A plain `main()` timing harness over `std::time::Instant` — no external
 //! bench framework, so it runs in fully offline builds. Invoke with
 //! `cargo bench --bench engine_throughput`.
+//!
+//! Besides the human-readable table on stdout, the harness writes
+//! machine-readable results to `BENCH_threaded.json` at the workspace root
+//! (override with `SLACKSIM_BENCH_OUT`) so the repo's perf trajectory can
+//! be tracked across PRs. Each result row records the engine, scheme,
+//! core count, slack bound, wall time and events/sec. The file is
+//! re-parsed with the in-tree `obs::json` parser before the process exits,
+//! so a malformed emitter fails the bench rather than poisoning the
+//! trajectory.
+//!
+//! Environment knobs:
+//!
+//! * `SLACKSIM_BENCH_SMOKE=1` — tiny commit target and 2 iterations, for
+//!   CI smoke runs;
+//! * `SLACKSIM_BENCH_BASELINE=path` — embed a previous `BENCH_threaded.json`
+//!   under a `"baseline"` key and report per-row speedups against it.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use slacksim::scheme::Scheme;
 use slacksim::{Benchmark, EngineKind, Simulation};
+use slacksim_core::obs::json::Json;
 
-const ITERS: u32 = 5;
+const CORES: usize = 8;
 
-fn run(engine: EngineKind, scheme: Scheme) {
+struct RunStats {
+    wall_ms_median: f64,
+    wall_ms_mean: f64,
+    committed: u64,
+    global_cycles: u64,
+    events: u64,
+}
+
+struct ResultRow {
+    engine: &'static str,
+    scheme_name: &'static str,
+    slack_bound: Option<u64>,
+    stats: RunStats,
+}
+
+impl ResultRow {
+    /// Uncore events serviced per second of host wall time (median run).
+    fn events_per_sec(&self) -> f64 {
+        self.stats.events as f64 / (self.stats.wall_ms_median / 1e3)
+    }
+
+    /// Committed target instructions per second of host wall time.
+    fn commits_per_sec(&self) -> f64 {
+        self.stats.committed as f64 / (self.stats.wall_ms_median / 1e3)
+    }
+
+    fn key(&self) -> String {
+        format!("{}/{}", self.engine, self.scheme_name)
+    }
+}
+
+fn run_once(
+    engine: EngineKind,
+    scheme: Scheme,
+    commit_target: u64,
+) -> (std::time::Duration, u64, u64, u64) {
+    let t = Instant::now();
     let report = Simulation::new(Benchmark::Fft)
-        .cores(8)
-        .commit_target(40_000)
+        .cores(CORES)
+        .commit_target(commit_target)
         .seed(1)
         .scheme(scheme)
         .engine(engine)
         .run()
         .expect("bench run");
-    assert!(report.committed >= 40_000);
+    let wall = t.elapsed();
+    assert!(report.committed >= commit_target);
+    (
+        wall,
+        report.committed,
+        report.global_cycles,
+        report.uncore.get("bus_transactions"),
+    )
 }
 
-fn bench(label: &str, mut f: impl FnMut()) {
-    f(); // warm-up
-    let mut times = Vec::with_capacity(ITERS as usize);
-    for _ in 0..ITERS {
-        let t = Instant::now();
-        f();
-        times.push(t.elapsed());
+fn bench(
+    engine: EngineKind,
+    engine_name: &'static str,
+    scheme: Scheme,
+    scheme_name: &'static str,
+    slack_bound: Option<u64>,
+    commit_target: u64,
+    iters: u32,
+) -> ResultRow {
+    let _ = run_once(engine, scheme.clone(), commit_target); // warm-up
+    let mut times = Vec::with_capacity(iters as usize);
+    let mut committed = 0;
+    let mut global_cycles = 0;
+    let mut events = 0;
+    for _ in 0..iters {
+        let (wall, c, g, e) = run_once(engine, scheme.clone(), commit_target);
+        times.push(wall);
+        committed = c;
+        global_cycles = g;
+        events = e;
     }
     times.sort();
     let median = times[times.len() / 2];
     let total: std::time::Duration = times.iter().sum();
+    let row = ResultRow {
+        engine: engine_name,
+        scheme_name,
+        slack_bound,
+        stats: RunStats {
+            wall_ms_median: median.as_secs_f64() * 1e3,
+            wall_ms_mean: (total / iters).as_secs_f64() * 1e3,
+            committed,
+            global_cycles,
+            events,
+        },
+    };
     println!(
-        "{label:<40} median {median:>12?}  mean {:>12?}  ({ITERS} iters)",
-        total / ITERS
+        "{:<28} median {:>9.2} ms  mean {:>9.2} ms  {:>10.0} events/s  ({iters} iters)",
+        row.key(),
+        row.stats.wall_ms_median,
+        row.stats.wall_ms_mean,
+        row.events_per_sec(),
     );
+    row
+}
+
+/// Formats an `f64` for JSON: finite, plain decimal notation.
+fn jnum(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    format!("{v:.3}")
+}
+
+fn emit_json(
+    rows: &[ResultRow],
+    commit_target: u64,
+    iters: u32,
+    baseline_raw: Option<&str>,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"bench\": \"engine_throughput\",");
+    let _ = writeln!(out, "  \"workload\": \"FFT\",");
+    let _ = writeln!(out, "  \"cores\": {CORES},");
+    let _ = writeln!(out, "  \"commit_target\": {commit_target},");
+    let _ = writeln!(out, "  \"iters\": {iters},");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let bound = match r.slack_bound {
+            Some(b) => b.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "    {{\"engine\": \"{}\", \"scheme\": \"{}\", \"cores\": {CORES}, \
+             \"slack_bound\": {bound}, \"wall_ms_median\": {}, \"wall_ms_mean\": {}, \
+             \"events\": {}, \"events_per_sec\": {}, \"commits_per_sec\": {}, \
+             \"committed\": {}, \"global_cycles\": {}}}",
+            r.engine,
+            r.scheme_name,
+            jnum(r.stats.wall_ms_median),
+            jnum(r.stats.wall_ms_mean),
+            r.stats.events,
+            jnum(r.events_per_sec()),
+            jnum(r.commits_per_sec()),
+            r.stats.committed,
+            r.stats.global_cycles,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]");
+    if let Some(raw) = baseline_raw {
+        // Embed the previous run verbatim (it was validated when written)
+        // and report speedups keyed by engine/scheme.
+        out.push_str(",\n  \"baseline\": ");
+        out.push_str(raw.trim_end());
+        if let Ok(doc) = Json::parse(raw) {
+            if let Some(base_rows) = doc.get("results").and_then(Json::as_array) {
+                let mut speedups = Vec::new();
+                for r in rows {
+                    let base = base_rows.iter().find(|b| {
+                        b.get("engine").and_then(Json::as_str) == Some(r.engine)
+                            && b.get("scheme").and_then(Json::as_str) == Some(r.scheme_name)
+                    });
+                    if let Some(eps) = base
+                        .and_then(|b| b.get("events_per_sec"))
+                        .and_then(Json::as_f64)
+                    {
+                        if eps > 0.0 {
+                            speedups.push((r.key(), r.events_per_sec() / eps));
+                        }
+                    }
+                }
+                out.push_str(",\n  \"speedup_vs_baseline\": {\n");
+                for (i, (k, s)) in speedups.iter().enumerate() {
+                    let _ = write!(out, "    \"{k}\": {}", jnum(*s));
+                    out.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+                }
+                out.push_str("  }");
+            }
+        }
+    }
+    out.push_str("\n}\n");
+    out
 }
 
 fn main() {
-    println!("engine_throughput (FFT, 8 cores, 40k commits)");
-    for (name, scheme) in [
-        ("cycle-by-cycle", Scheme::CycleByCycle),
-        ("bounded-8", Scheme::BoundedSlack { bound: 8 }),
-        ("unbounded", Scheme::UnboundedSlack),
-        ("quantum-50", Scheme::Quantum { quantum: 50 }),
+    let smoke = std::env::var("SLACKSIM_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let (commit_target, iters) = if smoke { (6_000, 2) } else { (40_000, 5) };
+    println!(
+        "engine_throughput (FFT, {CORES} cores, {commit_target} commits, {iters} iters{})",
+        if smoke { ", smoke" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    for (name, bound, scheme) in [
+        ("cycle-by-cycle", Some(0), Scheme::CycleByCycle),
+        ("bounded-16", Some(16), Scheme::BoundedSlack { bound: 16 }),
+        ("unbounded", None, Scheme::UnboundedSlack),
+        ("quantum-50", Some(50), Scheme::Quantum { quantum: 50 }),
     ] {
-        let s = scheme.clone();
-        bench(&format!("sequential/{name}"), move || {
-            run(EngineKind::Sequential, s.clone())
-        });
+        rows.push(bench(
+            EngineKind::Sequential,
+            "sequential",
+            scheme,
+            name,
+            bound,
+            commit_target,
+            iters,
+        ));
     }
-    // The threaded engine is dominated by synchronisation on small hosts;
-    // bench only the scheme extremes.
-    for (name, scheme) in [
-        ("cycle-by-cycle", Scheme::CycleByCycle),
-        ("unbounded", Scheme::UnboundedSlack),
+    for (name, bound, scheme) in [
+        ("cycle-by-cycle", Some(0), Scheme::CycleByCycle),
+        ("bounded-16", Some(16), Scheme::BoundedSlack { bound: 16 }),
+        ("bounded-64", Some(64), Scheme::BoundedSlack { bound: 64 }),
+        ("unbounded", None, Scheme::UnboundedSlack),
     ] {
-        let s = scheme.clone();
-        bench(&format!("threaded/{name}"), move || {
-            run(EngineKind::Threaded, s.clone())
-        });
+        rows.push(bench(
+            EngineKind::Threaded,
+            "threaded",
+            scheme,
+            name,
+            bound,
+            commit_target,
+            iters,
+        ));
     }
+
+    let baseline_raw = std::env::var("SLACKSIM_BENCH_BASELINE")
+        .ok()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        // Validate before embedding: a malformed baseline would otherwise
+        // surface as a confusing failure of the emitter's own self-check.
+        .filter(|raw| match Json::parse(raw) {
+            Ok(_) => true,
+            Err(e) => {
+                eprintln!("warning: ignoring malformed SLACKSIM_BENCH_BASELINE: {e}");
+                false
+            }
+        });
+    let json = emit_json(&rows, commit_target, iters, baseline_raw.as_deref());
+    // Fail loudly if the hand-rolled emitter ever produces malformed JSON.
+    Json::parse(&json).expect("emitted BENCH_threaded.json must be well-formed");
+
+    let out_path = std::env::var("SLACKSIM_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_threaded.json").to_string()
+    });
+    std::fs::write(&out_path, &json).expect("write BENCH_threaded.json");
+    println!("wrote {out_path}");
 }

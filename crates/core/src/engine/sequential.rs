@@ -114,6 +114,15 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
         };
         let mut th = tracer.handle();
         let mut metrics = MetricsRegistry::new(cfg.obs.map_or(1024, |o| o.sample_every));
+        // Intern the per-core and scalar gauge keys once so the sampling
+        // hot path below never formats or allocates key strings.
+        let drift_ids: Vec<_> = (0..n)
+            .map(|i| metrics.intern_gauge(&format!("drift.core{i}")))
+            .collect();
+        let slack_bound_id = metrics.intern_gauge("slack_bound");
+        let violation_rate_id = metrics.intern_gauge("violation_rate");
+        let globalq_depth_id = metrics.intern_gauge("globalq_depth");
+        let globalq_depth_hist = metrics.intern_histogram("globalq_depth");
         let mut last_metrics_detected = 0u64;
 
         // Speculation state.
@@ -220,7 +229,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
             if cfg.obs.is_some() && metrics.sample_ready(global) {
                 for (i, &l) in locals.iter().enumerate() {
                     let drift = l.saturating_sub(global);
-                    metrics.gauge(&format!("drift.core{i}"), global, drift as f64);
+                    metrics.gauge_by(drift_ids[i], global, drift as f64);
                     th.record(
                         global,
                         TraceEvent::LocalTimeSample {
@@ -230,14 +239,16 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                     );
                 }
                 if let Some(b) = pacer.current_bound() {
-                    metrics.gauge("slack_bound", global, b as f64);
+                    metrics.gauge_by(slack_bound_id, global, b as f64);
                 }
                 let window = metrics.sample_every() as f64;
                 let live_rate = (detected.total() - last_metrics_detected) as f64 / window;
                 last_metrics_detected = detected.total();
-                metrics.gauge("violation_rate", global, live_rate);
-                metrics.gauge("globalq_depth", global, gq.len() as f64);
-                metrics.histogram("globalq_depth").record(gq.len() as u64);
+                metrics.gauge_by(violation_rate_id, global, live_rate);
+                metrics.gauge_by(globalq_depth_id, global, gq.len() as f64);
+                metrics
+                    .histogram_by(globalq_depth_hist)
+                    .record(gq.len() as u64);
                 th.record(
                     global,
                     TraceEvent::QueueDepth {

@@ -15,26 +15,75 @@
 //! checkpoints.
 //!
 //! Everything here is built on `std` alone: `std::sync::mpsc` channels for
-//! commands/acks (each core's receiver is moved into its thread) and the
-//! mutex-backed [`SharedQueue`]/[`SnapshotSlot`] primitives for event
-//! queues and checkpoint hand-off.
+//! commands/acks (each core's receiver is moved into its thread), the
+//! lock-free [`SpscRing`] for the OutQ/InQ event paths, and the
+//! mutex-backed [`SnapshotSlot`] for checkpoint hand-off.
+//!
+//! ## Host-synchronization design (see DESIGN.md "Engine concurrency")
+//!
+//! * OutQ/InQ are bounded lock-free SPSC rings with an overflow spill;
+//!   each direction has exactly one producer and one consumer, and the
+//!   stop-sync protocol's channel acks order every role handoff (e.g. the
+//!   manager clearing a core's InQ during rollback while the core is
+//!   parked in its command loop).
+//! * The manager drains each OutQ in one batch per visit and batch-inserts
+//!   into the global queue; its loop reuses persistent scratch buffers and
+//!   interned metric keys, so the steady state performs no heap
+//!   allocation.
+//! * Waiting is an adaptive ladder — spin, then `yield_now`, then
+//!   park/unpark with a timeout backstop — for both core threads capped by
+//!   the window and the manager when no core made progress.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use crate::engine::{
     CoreModel, EngineConfig, EngineError, FinishReason, ServiceSink, TickCtx, UncoreModel,
 };
 use crate::event::{CoreId, GlobalQueue, Inbox, Timestamped};
-use crate::obs::{MetricsRegistry, ObsData, Phase, QueueKind, TraceEvent, TraceHandle, Tracer};
+use crate::obs::{
+    GaugeId, HistId, MetricsRegistry, ObsData, Phase, QueueKind, TraceEvent, TraceHandle, Tracer,
+};
 use crate::scheme::{PaceSample, Pacer};
 use crate::speculative::{IntervalTracker, SpeculationStats};
 use crate::stats::{Counters, SimReport};
-use crate::sync::{SharedQueue, SnapshotSlot};
+use crate::sync::{SnapshotSlot, SpscRing};
 use crate::time::Cycle;
 use crate::violation::ViolationTally;
+
+/// Spin iterations before a capped core starts yielding (plenty-of-CPUs
+/// hosts only; oversubscribed hosts skip the spin tier).
+const CORE_SPIN_ITERS: u32 = 64;
+/// Yield iterations before a capped core parks.
+const CORE_YIELD_ITERS: u32 = 64;
+/// Park-timeout backstop for core threads: the manager unparks them on
+/// every window publish, the timeout only covers lost-wakeup races.
+const CORE_PARK_TIMEOUT: Duration = Duration::from_micros(100);
+
+/// Spin iterations before an idle manager starts yielding.
+const MGR_SPIN_ITERS: u32 = 32;
+/// Yield iterations before an idle manager parks.
+const MGR_YIELD_ITERS: u32 = 32;
+/// Yield iterations before an idle manager parks on an oversubscribed
+/// host (the spin tier is skipped there: spinning steals the quanta the
+/// core threads need, while yielding hands the CPU over within a few
+/// scheduler decisions).
+const MGR_YIELD_ITERS_OVERSUB: u32 = 128;
+/// Yield iterations before a capped core parks on an oversubscribed host.
+const CORE_YIELD_ITERS_OVERSUB: u32 = 256;
+/// Manager park timeout: nobody unparks the manager, so this is the
+/// polling cadence once the ladder bottoms out.
+const MGR_PARK_TIMEOUT: Duration = Duration::from_micros(20);
+
+/// True when the host cannot run all `n` core threads plus the manager
+/// concurrently. Spinning in that regime only burns the quanta the
+/// productive threads need, so both wait ladders skip their spin tier and
+/// lead with `yield_now`.
+fn host_oversubscribed(n: usize) -> bool {
+    std::thread::available_parallelism().map_or(true, |p| p.get() < n + 1)
+}
 
 /// Commands the manager sends to a core thread.
 enum Command<C: CoreModel> {
@@ -58,9 +107,77 @@ type CoreSnapshot<C> = (C, Inbox<<C as CoreModel>::Event>);
 struct CoreShared<C: CoreModel> {
     local: AtomicU64,
     max_local: AtomicU64,
-    outq: SharedQueue<Timestamped<C::Event>>,
-    inq: SharedQueue<Timestamped<C::Event>>,
+    /// Core produces, manager consumes.
+    outq: SpscRing<Timestamped<C::Event>>,
+    /// Manager produces, core consumes.
+    inq: SpscRing<Timestamped<C::Event>>,
     snapshot: SnapshotSlot<CoreSnapshot<C>>,
+    /// True while the core thread is (about to be) parked on the window.
+    parked: AtomicBool,
+    /// The core thread's handle, registered once at thread startup so the
+    /// manager can unpark it.
+    thread: OnceLock<std::thread::Thread>,
+    /// Number of times the core thread reached the park tier.
+    parks: AtomicU64,
+}
+
+/// Unparks the core thread behind `s` if it is parked (or about to park).
+///
+/// The SeqCst fence pairs with the core's store-fence-recheck sequence
+/// before it parks: the caller's preceding state change (window store,
+/// done flag, command send) and the core's parked flag cannot both be
+/// missed, so a wake-up is never lost.
+fn wake_core<C: CoreModel>(s: &CoreShared<C>) {
+    fence(Ordering::SeqCst);
+    if s.parked.load(Ordering::Relaxed) && s.parked.swap(false, Ordering::SeqCst) {
+        if let Some(t) = s.thread.get() {
+            t.unpark();
+        }
+    }
+}
+
+/// The manager's adaptive wait ladder: spin, then yield, then park with a
+/// timeout. Reset on any progress. On oversubscribed hosts the spin tier
+/// is skipped and the yield tier shortened: no core can advance while the
+/// manager holds the CPU, so burning it is counterproductive.
+struct Backoff {
+    idle: u32,
+    parks: u64,
+    spin_iters: u32,
+    park_after: u32,
+}
+
+impl Backoff {
+    fn new(oversubscribed: bool) -> Self {
+        let (spin_iters, yield_iters) = if oversubscribed {
+            (0, MGR_YIELD_ITERS_OVERSUB)
+        } else {
+            (MGR_SPIN_ITERS, MGR_YIELD_ITERS)
+        };
+        Backoff {
+            idle: 0,
+            parks: 0,
+            spin_iters,
+            park_after: spin_iters + yield_iters,
+        }
+    }
+
+    #[inline]
+    fn reset(&mut self) {
+        self.idle = 0;
+    }
+
+    fn wait(&mut self) {
+        self.idle = self.idle.saturating_add(1);
+        if self.idle <= self.spin_iters {
+            std::hint::spin_loop();
+        } else if self.idle <= self.park_after {
+            std::thread::yield_now();
+        } else {
+            self.parks += 1;
+            std::thread::park_timeout(MGR_PARK_TIMEOUT);
+        }
+    }
 }
 
 /// Execution mode of the speculation state machine (mirrors the
@@ -136,9 +253,12 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
                 Arc::new(CoreShared {
                     local: AtomicU64::new(0),
                     max_local: AtomicU64::new(0),
-                    outq: SharedQueue::new(),
-                    inq: SharedQueue::new(),
+                    outq: SpscRing::new(),
+                    inq: SpscRing::new(),
                     snapshot: SnapshotSlot::new(),
+                    parked: AtomicBool::new(false),
+                    thread: OnceLock::new(),
+                    parks: AtomicU64::new(0),
                 })
             })
             .collect();
@@ -175,6 +295,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
             // std mpsc receivers are single-consumer: each core's command
             // receiver and ack sender are moved into its thread.
             let mut handles = Vec::with_capacity(n);
+            let oversubscribed = host_oversubscribed(n);
             for (i, ((model, cmd_rx), ack_tx)) in
                 cores.into_iter().zip(cmd_rxs).zip(ack_txs).enumerate()
             {
@@ -191,6 +312,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
                         &committed,
                         &cmd_rx,
                         &ack_tx,
+                        oversubscribed,
                         th,
                     )
                 }));
@@ -209,6 +331,9 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
             );
 
             done.store(true, Ordering::Release);
+            for s in &shared {
+                wake_core(s);
+            }
             let mut finished_cores = Vec::with_capacity(n);
             for h in handles {
                 finished_cores.push(h.join().expect("core thread panicked"));
@@ -236,7 +361,9 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
 /// manager commands, exit when the done flag rises.
 ///
 /// Records Run/Wait phase spans on its own trace handle at every
-/// transition between ticking and being capped by the window.
+/// transition between ticking and being capped by the window. Waiting
+/// escalates spin → yield → park; the manager unparks the thread whenever
+/// it widens the window or sends a command.
 #[allow(clippy::too_many_arguments)]
 fn core_thread<C: CoreModel>(
     core: CoreId,
@@ -246,11 +373,23 @@ fn core_thread<C: CoreModel>(
     committed: &AtomicU64,
     cmd_rx: &Receiver<Command<C>>,
     ack_tx: &Sender<u64>,
+    oversubscribed: bool,
     mut th: TraceHandle,
 ) -> C {
+    let _ = shared.thread.set(std::thread::current());
     let mut inbox: Inbox<C::Event> = Inbox::new();
     let mut outbox: Vec<Timestamped<C::Event>> = Vec::new();
     let mut idle_spins = 0u32;
+    // On an oversubscribed host a capped core skips the spin tier: the
+    // manager cannot widen the window until it gets the CPU this core is
+    // holding, so spinning only delays its own wake-up. Yield stays the
+    // workhorse tier — futex park/unpark round trips cost more than a
+    // handful of scheduler passes — with parking as the long-idle backstop.
+    let (spin_iters, yield_iters) = if oversubscribed {
+        (0u32, CORE_YIELD_ITERS_OVERSUB)
+    } else {
+        (CORE_SPIN_ITERS, CORE_YIELD_ITERS)
+    };
     // Cores start frozen at max local time 0: open a Wait span immediately.
     let mut running = false;
     th.record(
@@ -282,9 +421,7 @@ fn core_thread<C: CoreModel>(
                                 model.tick(&mut ctx)
                             };
                             committed.fetch_add(u64::from(c), Ordering::Relaxed);
-                            for ev in outbox.drain(..) {
-                                shared.outq.push(ev);
-                            }
+                            shared.outq.push_batch(&mut outbox);
                             l += 1;
                             shared.local.store(l, Ordering::Release);
                         }
@@ -322,8 +459,8 @@ fn core_thread<C: CoreModel>(
         while let Some(ev) = shared.inq.pop() {
             inbox.deliver(ev);
         }
-        let l = shared.local.load(Ordering::Relaxed);
-        let m = shared.max_local.load(Ordering::Acquire);
+        let mut l = shared.local.load(Ordering::Relaxed);
+        let mut m = shared.max_local.load(Ordering::Acquire);
         if l < m {
             if !running {
                 th.record(
@@ -343,17 +480,39 @@ fn core_thread<C: CoreModel>(
                 running = true;
             }
             idle_spins = 0;
-            let c = {
-                let mut ctx = TickCtx::new(Cycle::new(l), &mut inbox, &mut outbox);
-                model.tick(&mut ctx)
-            };
-            committed.fetch_add(u64::from(c), Ordering::Relaxed);
-            for ev in outbox.drain(..) {
-                shared.outq.push(ev);
+            // Burst: tick until the window caps us, skipping the per-tick
+            // command/done checks of the outer loop (a pending command is
+            // picked up within one window's worth of ticks). Commit counts
+            // accumulate locally and are flushed *before* the local-clock
+            // store that ends the burst, so a manager that sees this core
+            // at a barrier boundary also sees every commit behind it —
+            // barrier-mode finish decisions stay deterministic.
+            let mut burst: u64 = 0;
+            while l < m {
+                while let Some(ev) = shared.inq.pop() {
+                    inbox.deliver(ev);
+                }
+                let c = {
+                    let mut ctx = TickCtx::new(Cycle::new(l), &mut inbox, &mut outbox);
+                    model.tick(&mut ctx)
+                };
+                burst += u64::from(c);
+                shared.outq.push_batch(&mut outbox);
+                l += 1;
+                if l >= m {
+                    committed.fetch_add(burst, Ordering::Relaxed);
+                    burst = 0;
+                }
+                shared.local.store(l, Ordering::Release);
+                m = shared.max_local.load(Ordering::Acquire);
             }
-            shared.local.store(l + 1, Ordering::Release);
+            if burst > 0 {
+                committed.fetch_add(burst, Ordering::Relaxed);
+            }
         } else {
-            // Capped: wait for the manager to widen the window.
+            // Capped: wait for the manager to widen the window. Ladder:
+            // spin → yield → park (the manager unparks on every publish;
+            // the timeout covers lost-wakeup races and shutdown).
             if running {
                 th.record(
                     Cycle::new(l),
@@ -371,11 +530,26 @@ fn core_thread<C: CoreModel>(
                 );
                 running = false;
             }
-            idle_spins += 1;
-            if idle_spins < 64 {
+            idle_spins = idle_spins.saturating_add(1);
+            if idle_spins <= spin_iters {
                 std::hint::spin_loop();
-            } else {
+            } else if idle_spins <= spin_iters + yield_iters {
                 std::thread::yield_now();
+            } else {
+                // Dekker-style publication: set the parked flag, fence,
+                // then re-check the sleep condition. Pairs with the
+                // manager's store-fence-check in `publish_window` /
+                // `wake_core`: either the manager sees the flag and
+                // unparks (token pending), or this re-check sees the new
+                // window — a wake-up can never be lost, the timeout is a
+                // pure backstop.
+                shared.parked.store(true, Ordering::Relaxed);
+                fence(Ordering::SeqCst);
+                if shared.max_local.load(Ordering::Relaxed) <= l && !done.load(Ordering::Relaxed) {
+                    shared.parks.fetch_add(1, Ordering::Relaxed);
+                    std::thread::park_timeout(CORE_PARK_TIMEOUT);
+                }
+                shared.parked.store(false, Ordering::Relaxed);
             }
         }
     }
@@ -420,6 +594,42 @@ impl<U> ManagerOutcome<U> {
     }
 }
 
+/// Interned metric keys for the manager's sampling loop, created once at
+/// startup so steady-state sampling performs no string formatting or
+/// allocation.
+struct MetricIds {
+    /// `drift.core{i}` gauge per core.
+    drift: Vec<GaugeId>,
+    core_drift: HistId,
+    outq_depth: HistId,
+    inq_depth: HistId,
+    slack_bound: GaugeId,
+    violation_rate: GaugeId,
+    globalq_depth: GaugeId,
+    globalq_depth_h: HistId,
+    manager_wait: GaugeId,
+    manager_wait_h: HistId,
+}
+
+impl MetricIds {
+    fn intern(metrics: &mut MetricsRegistry, n: usize) -> Self {
+        MetricIds {
+            drift: (0..n)
+                .map(|i| metrics.intern_gauge(&format!("drift.core{i}")))
+                .collect(),
+            core_drift: metrics.intern_histogram("core_drift"),
+            outq_depth: metrics.intern_histogram("outq_depth"),
+            inq_depth: metrics.intern_histogram("inq_depth"),
+            slack_bound: metrics.intern_gauge("slack_bound"),
+            violation_rate: metrics.intern_gauge("violation_rate"),
+            globalq_depth: metrics.intern_gauge("globalq_depth"),
+            globalq_depth_h: metrics.intern_histogram("globalq_depth"),
+            manager_wait: metrics.intern_gauge("manager_wait_ns"),
+            manager_wait_h: metrics.intern_histogram("manager_wait_ns"),
+        }
+    }
+}
+
 /// The simulation-manager loop (runs on the caller's thread inside the
 /// scope).
 #[allow(clippy::too_many_arguments)]
@@ -446,13 +656,23 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
 
     // Observability: the manager's own trace handle plus the metrics
     // registry sampled on the obs cadence. Host-side manager wait time is
-    // accumulated around the yield points and emitted once per sample.
+    // accumulated around the backoff points and emitted once per sample.
     let obs_on = cfg.obs.is_some();
     let mut th = tracer.handle();
     let mut metrics = MetricsRegistry::new(cfg.obs.map_or(1024, |o| o.sample_every));
+    let ids = MetricIds::intern(&mut metrics, n);
     let mut last_metrics_detected = 0u64;
     let mut mgr_wait_ns: u64 = 0;
     let mut last_wait_ns: u64 = 0;
+
+    // Persistent scratch reused every iteration: local-clock snapshots,
+    // the previous iteration's snapshot for progress detection, and the
+    // OutQ drain buffer. Steady state allocates nothing.
+    let mut locals: Vec<u64> = Vec::with_capacity(n);
+    let mut prev_locals: Vec<u64> = vec![u64::MAX; n];
+    let mut drain_buf: Vec<Timestamped<C::Event>> = Vec::new();
+    let mut cycles_buf: Vec<Cycle> = Vec::with_capacity(n);
+    let mut backoff = Backoff::new(host_oversubscribed(n));
 
     let spec = cfg.speculation;
     let mut tracker = spec.map(|s| IntervalTracker::new(s.interval));
@@ -468,7 +688,15 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
 
     // The initial state is a free checkpoint taken before the cores move.
     let mut snapshot: Option<ManagerSnapshot<C, U>> = if spec.is_some() {
-        let cores = snapshot_all(shared, cmd_txs, ack_rxs, &mut gq, uncore, &mut sink);
+        let cores = snapshot_all(
+            shared,
+            cmd_txs,
+            ack_rxs,
+            &mut gq,
+            uncore,
+            &mut sink,
+            &mut drain_buf,
+        );
         // Discard side effects of the (empty) drain above.
         Some(ManagerSnapshot {
             cores,
@@ -499,11 +727,14 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
     let mut max_spread: u64 = 0;
 
     loop {
-        drain_outqs(shared, &mut gq);
-        let locals: Vec<u64> = shared
-            .iter()
-            .map(|s| s.local.load(Ordering::Acquire))
-            .collect();
+        let drained = drain_outqs(shared, &mut gq, &mut drain_buf);
+        locals.clear();
+        locals.extend(shared.iter().map(|s| s.local.load(Ordering::Acquire)));
+        let progress = drained > 0 || locals != prev_locals;
+        prev_locals.copy_from_slice(&locals);
+        if progress {
+            backoff.reset();
+        }
         let global = Cycle::new(locals.iter().copied().min().expect("n >= 1"));
         max_spread =
             max_spread.max(locals.iter().copied().max().expect("n >= 1") - global.as_u64());
@@ -541,13 +772,15 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
         }
 
         // Metrics sampling (observability cadence, independent of the
-        // pacer's feedback period).
+        // pacer's feedback period). All keys were interned at startup;
+        // queue depths come from the rings' relaxed counters, so sampling
+        // takes no locks and allocates nothing.
         if obs_on && metrics.sample_ready(global) {
             for (i, &l) in locals.iter().enumerate() {
                 let core = CoreId::new(i as u16);
                 let drift = l.saturating_sub(global.as_u64());
-                metrics.gauge(&format!("drift.core{i}"), global, drift as f64);
-                metrics.histogram("core_drift").record(drift);
+                metrics.gauge_by(ids.drift[i], global, drift as f64);
+                metrics.histogram_by(ids.core_drift).record(drift);
                 th.record(
                     global,
                     TraceEvent::LocalTimeSample {
@@ -555,10 +788,10 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                         cycle: Cycle::new(l),
                     },
                 );
-                let outq = shared[i].outq.len() as u64;
-                let inq = shared[i].inq.len() as u64;
-                metrics.histogram("outq_depth").record(outq);
-                metrics.histogram("inq_depth").record(inq);
+                let outq = shared[i].outq.depth_hint() as u64;
+                let inq = shared[i].inq.depth_hint() as u64;
+                metrics.histogram_by(ids.outq_depth).record(outq);
+                metrics.histogram_by(ids.inq_depth).record(inq);
                 th.record(
                     global,
                     TraceEvent::QueueDepth {
@@ -575,14 +808,16 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                 );
             }
             if let Some(b) = pacer.current_bound() {
-                metrics.gauge("slack_bound", global, b as f64);
+                metrics.gauge_by(ids.slack_bound, global, b as f64);
             }
             let window = metrics.sample_every() as f64;
             let live_rate = (detected.total() - last_metrics_detected) as f64 / window;
             last_metrics_detected = detected.total();
-            metrics.gauge("violation_rate", global, live_rate);
-            metrics.gauge("globalq_depth", global, gq.len() as f64);
-            metrics.histogram("globalq_depth").record(gq.len() as u64);
+            metrics.gauge_by(ids.violation_rate, global, live_rate);
+            metrics.gauge_by(ids.globalq_depth, global, gq.len() as f64);
+            metrics
+                .histogram_by(ids.globalq_depth_h)
+                .record(gq.len() as u64);
             th.record(
                 global,
                 TraceEvent::QueueDepth {
@@ -592,14 +827,14 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             );
             let wait_delta = mgr_wait_ns - last_wait_ns;
             last_wait_ns = mgr_wait_ns;
-            metrics.gauge("manager_wait_ns", global, wait_delta as f64);
-            metrics.histogram("manager_wait_ns").record(wait_delta);
+            metrics.gauge_by(ids.manager_wait, global, wait_delta as f64);
+            metrics.histogram_by(ids.manager_wait_h).record(wait_delta);
             th.record(global, TraceEvent::ManagerWait { ns: wait_delta });
         }
 
         if barrier {
             if locals.iter().all(|&l| l == window_end.as_u64()) {
-                drain_outqs(shared, &mut gq);
+                drain_outqs(shared, &mut gq, &mut drain_buf);
                 service_all(
                     &mut gq,
                     uncore,
@@ -641,7 +876,15 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                             );
                         }
                     }
-                    let cores = snapshot_all(shared, cmd_txs, ack_rxs, &mut gq, uncore, &mut sink);
+                    let cores = snapshot_all(
+                        shared,
+                        cmd_txs,
+                        ack_rxs,
+                        &mut gq,
+                        uncore,
+                        &mut sink,
+                        &mut drain_buf,
+                    );
                     spec_stats.checkpoints += 1;
                     th.record(
                         Cycle::new(next_cp_trigger.min(g.as_u64())),
@@ -668,6 +911,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                     pacer.window_end(g)
                 };
                 publish_window(shared, window_end);
+                backoff.reset();
             } else {
                 if committed.load(Ordering::Acquire) >= cfg.commit_target {
                     // Graceful finish for barrier schemes: converge the
@@ -682,12 +926,10 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                 }
                 if obs_on {
                     let wait_started = Instant::now();
-                    std::hint::spin_loop();
-                    std::thread::yield_now();
+                    backoff.wait();
                     mgr_wait_ns += wait_started.elapsed().as_nanos() as u64;
                 } else {
-                    std::hint::spin_loop();
-                    std::thread::yield_now();
+                    backoff.wait();
                 }
             }
             continue;
@@ -710,9 +952,11 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
 
         if pending_rollback {
             let snap = snapshot.as_ref().expect("rollback requires a snapshot");
-            stop_all(cmd_txs, ack_rxs);
-            drain_outqs(shared, &mut gq);
+            stop_all(shared, cmd_txs, ack_rxs);
+            drain_outqs(shared, &mut gq, &mut drain_buf);
             gq.clear();
+            // Cores are stopped (ack received), so the manager may act as
+            // the consumer of both rings during the wipe.
             for s in shared {
                 s.inq.clear();
                 s.outq.clear();
@@ -741,6 +985,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                     .store(snap.global.as_u64(), Ordering::Release);
                 tx.send(Command::Restore(Box::new((m.clone(), ib.clone()))))
                     .expect("core alive");
+                wake_core(&shared[i]);
             }
             await_acks(ack_rxs);
             *uncore = snap.uncore.clone();
@@ -764,7 +1009,8 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             pending_rollback = false;
             window_end = snap.global + 1;
             publish_window(shared, window_end);
-            resume_all(cmd_txs);
+            resume_all(shared, cmd_txs);
+            backoff.reset();
             continue;
         }
 
@@ -782,7 +1028,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
 
         if spec.is_some() && global.as_u64() >= next_cp_trigger {
             // Stop-sync all cores at a common local time ≥ the trigger.
-            stop_all(cmd_txs, ack_rxs);
+            stop_all(shared, cmd_txs, ack_rxs);
             let stop_at = shared
                 .iter()
                 .map(|s| s.local.load(Ordering::Acquire))
@@ -790,14 +1036,15 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                 .expect("n >= 1")
                 .max(next_cp_trigger);
             publish_window(shared, Cycle::new(stop_at));
-            for tx in cmd_txs {
+            for (i, tx) in cmd_txs.iter().enumerate() {
                 tx.send(Command::RunTo(stop_at)).expect("core alive");
+                wake_core(&shared[i]);
             }
             // Keep servicing while cores run up to the stop point.
             let mut acked = 0usize;
             let mut ack_iters = ack_rxs.iter().cycle();
             while acked < n {
-                drain_outqs(shared, &mut gq);
+                drain_outqs(shared, &mut gq, &mut drain_buf);
                 service_all(
                     &mut gq,
                     uncore,
@@ -816,7 +1063,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                     acked += 1;
                 }
             }
-            drain_outqs(shared, &mut gq);
+            drain_outqs(shared, &mut gq, &mut drain_buf);
             service_all(
                 &mut gq,
                 uncore,
@@ -833,12 +1080,13 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             if pending_rollback {
                 // A violation surfaced during stop-sync: resume and let the
                 // rollback branch at the top of the loop handle it.
-                resume_all(cmd_txs);
+                resume_all(shared, cmd_txs);
                 continue;
             }
             // Cores are paused right after their RunTo ack: snapshot them.
-            for tx in cmd_txs {
+            for (i, tx) in cmd_txs.iter().enumerate() {
                 tx.send(Command::Snapshot).expect("core alive");
+                wake_core(&shared[i]);
             }
             await_acks(ack_rxs);
             let cores: Vec<CoreSnapshot<C>> = shared
@@ -877,19 +1125,26 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                 last_sample_tally,
             });
             next_cp_trigger = stop_at + cp_interval;
-            let stop_locals = vec![stop_at; n];
-            window_end = publish_greedy_windows(pacer, shared, &stop_locals, cfg);
-            resume_all(cmd_txs);
+            locals.clear();
+            locals.resize(n, stop_at);
+            window_end = publish_greedy_windows(pacer, shared, &locals, &mut cycles_buf, cfg);
+            resume_all(shared, cmd_txs);
+            backoff.reset();
             continue;
         }
 
-        window_end = publish_greedy_windows(pacer, shared, &locals, cfg);
+        window_end = publish_greedy_windows(pacer, shared, &locals, &mut cycles_buf, cfg);
+        if progress {
+            // Something moved this iteration: go straight back to
+            // draining instead of waiting.
+            continue;
+        }
         if obs_on {
             let wait_started = Instant::now();
-            std::thread::yield_now();
+            backoff.wait();
             mgr_wait_ns += wait_started.elapsed().as_nanos() as u64;
         } else {
-            std::thread::yield_now();
+            backoff.wait();
         }
     }
 
@@ -912,6 +1167,11 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
         u64::from(finish_reason == FinishReason::CommitTarget),
     );
     kernel.set("max_clock_spread", max_spread);
+    kernel.set("manager_parks", backoff.parks);
+    kernel.set(
+        "core_parks",
+        shared.iter().map(|s| s.parks.load(Ordering::Relaxed)).sum(),
+    );
     if let Some(tr) = &tracker {
         kernel.set("intervals_total", tr.intervals_total());
         kernel.set("intervals_violating", tr.intervals_violating());
@@ -932,10 +1192,11 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
     })
 }
 
-/// Sets every core's max local time.
+/// Sets every core's max local time and unparks any core waiting on it.
 fn publish_window<C: CoreModel>(shared: &[Arc<CoreShared<C>>], window_end: Cycle) {
     for s in shared {
         s.max_local.store(window_end.as_u64(), Ordering::Release);
+        wake_core(s);
     }
 }
 
@@ -947,16 +1208,19 @@ fn publish_greedy_windows<C: CoreModel>(
     pacer: &mut Box<dyn Pacer>,
     shared: &[Arc<CoreShared<C>>],
     locals: &[u64],
+    cycles_buf: &mut Vec<Cycle>,
     cfg: &EngineConfig,
 ) -> Cycle {
     let global = Cycle::new(locals.iter().copied().min().expect("n >= 1"));
     let cap = cfg.lead_cap(global);
-    let cycles: Vec<Cycle> = locals.iter().map(|&l| Cycle::new(l)).collect();
-    if let Some(wins) = pacer.window_ends(&cycles) {
+    cycles_buf.clear();
+    cycles_buf.extend(locals.iter().map(|&l| Cycle::new(l)));
+    if let Some(wins) = pacer.window_ends(cycles_buf) {
         let mut max_win = Cycle::ZERO;
         for (i, s) in shared.iter().enumerate() {
             let w = wins[i].min(cap);
             s.max_local.store(w.as_u64(), Ordering::Release);
+            wake_core(s);
             max_win = max_win.max(w);
         }
         max_win
@@ -967,13 +1231,24 @@ fn publish_greedy_windows<C: CoreModel>(
     }
 }
 
-/// Moves every queued OutQ entry into the global queue.
-fn drain_outqs<C: CoreModel>(shared: &[Arc<CoreShared<C>>], gq: &mut GlobalQueue<C::Event>) {
+/// Moves every queued OutQ entry into the global queue: one batched ring
+/// drain plus one batched heap insert per core. Returns the number of
+/// events moved.
+fn drain_outqs<C: CoreModel>(
+    shared: &[Arc<CoreShared<C>>],
+    gq: &mut GlobalQueue<C::Event>,
+    buf: &mut Vec<Timestamped<C::Event>>,
+) -> usize {
+    let mut total = 0;
     for (i, s) in shared.iter().enumerate() {
-        while let Some(ev) = s.outq.pop() {
-            gq.push(CoreId::new(i as u16), ev);
+        buf.clear();
+        let moved = s.outq.drain_into(buf);
+        if moved > 0 {
+            total += moved;
+            gq.push_batch(CoreId::new(i as u16), buf);
         }
     }
+    total
 }
 
 /// Services everything currently in the global queue, recording a
@@ -1028,18 +1303,25 @@ fn service_all<C: CoreModel, U: UncoreModel<C::Event>>(
     }
 }
 
-/// Sends `Stop` to every core and waits for all acknowledgements.
-fn stop_all<C: CoreModel>(cmd_txs: &[Sender<Command<C>>], ack_rxs: &[Receiver<u64>]) {
-    for tx in cmd_txs {
+/// Sends `Stop` to every core (waking parked ones) and waits for all
+/// acknowledgements.
+fn stop_all<C: CoreModel>(
+    shared: &[Arc<CoreShared<C>>],
+    cmd_txs: &[Sender<Command<C>>],
+    ack_rxs: &[Receiver<u64>],
+) {
+    for (i, tx) in cmd_txs.iter().enumerate() {
         tx.send(Command::Stop).expect("core alive");
+        wake_core(&shared[i]);
     }
     await_acks(ack_rxs);
 }
 
 /// Sends `Resume` to every (paused) core.
-fn resume_all<C: CoreModel>(cmd_txs: &[Sender<Command<C>>]) {
-    for tx in cmd_txs {
+fn resume_all<C: CoreModel>(shared: &[Arc<CoreShared<C>>], cmd_txs: &[Sender<Command<C>>]) {
+    for (i, tx) in cmd_txs.iter().enumerate() {
         tx.send(Command::Resume).expect("core alive");
+        wake_core(&shared[i]);
     }
 }
 
@@ -1052,6 +1334,7 @@ fn await_acks(ack_rxs: &[Receiver<u64>]) {
 
 /// Stop-syncs all cores at a common local time and collects their
 /// snapshots (used for the free initial checkpoint).
+#[allow(clippy::too_many_arguments)]
 fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
     shared: &[Arc<CoreShared<C>>],
     cmd_txs: &[Sender<Command<C>>],
@@ -1059,9 +1342,10 @@ fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
     gq: &mut GlobalQueue<C::Event>,
     uncore: &mut U,
     sink: &mut ServiceSink<C::Event>,
+    drain_buf: &mut Vec<Timestamped<C::Event>>,
 ) -> Vec<CoreSnapshot<C>> {
-    stop_all(cmd_txs, ack_rxs);
-    drain_outqs(shared, gq);
+    stop_all(shared, cmd_txs, ack_rxs);
+    drain_outqs(shared, gq, drain_buf);
     // Service without violation bookkeeping: only used at cycle 0 where the
     // queues are empty anyway; drain defensively.
     while let Some((from, ev)) = gq.pop() {
@@ -1071,15 +1355,16 @@ fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
         }
         let _ = sink.take_violations();
     }
-    for tx in cmd_txs {
+    for (i, tx) in cmd_txs.iter().enumerate() {
         tx.send(Command::Snapshot).expect("core alive");
+        wake_core(&shared[i]);
     }
     await_acks(ack_rxs);
     let snaps = shared
         .iter()
         .map(|s| s.snapshot.take().expect("snapshot filled"))
         .collect();
-    resume_all(cmd_txs);
+    resume_all(shared, cmd_txs);
     snaps
 }
 
@@ -1087,5 +1372,7 @@ fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
 mod tests {
     // The threaded engine is exercised end-to-end in the workspace
     // integration tests (tests/engines_agree.rs and friends), where it is
-    // compared against the sequential engine on real CMP models.
+    // compared against the sequential engine on real CMP models. The
+    // SPSC ring it is built on has its own stress suite in
+    // crates/core/tests/spsc_stress.rs.
 }

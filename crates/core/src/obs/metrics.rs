@@ -166,8 +166,26 @@ pub struct SeriesPoint {
     pub value: f64,
 }
 
+/// Stable handle to an interned gauge series — see
+/// [`MetricsRegistry::intern_gauge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Stable handle to an interned histogram — see
+/// [`MetricsRegistry::intern_histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
 /// Named gauges (full time series) and histograms, sampled on a fixed
 /// global-cycle cadence.
+///
+/// Hot samplers (the engines' per-sample loops) intern their keys once
+/// at startup with [`intern_gauge`](Self::intern_gauge) /
+/// [`intern_histogram`](Self::intern_histogram) and record through the
+/// returned ids — no string formatting, hashing or allocation per
+/// sample. The string-keyed [`gauge`](Self::gauge) /
+/// [`histogram`](Self::histogram) entry points remain for cold paths
+/// and allocate only on the first touch of a new name.
 ///
 /// # Examples
 ///
@@ -180,14 +198,18 @@ pub struct SeriesPoint {
 /// assert!(!m.sample_ready(Cycle::new(150)));
 /// m.gauge("slack_bound", Cycle::new(100), 8.0);
 /// m.histogram("manager_wait_ns").record(1500);
+/// let id = m.intern_gauge("slack_bound");
+/// m.gauge_by(id, Cycle::new(200), 16.0);
 /// assert_eq!(m.gauges().count(), 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct MetricsRegistry {
     sample_every: u64,
     next_sample: u64,
-    gauges: BTreeMap<String, Vec<SeriesPoint>>,
-    histograms: BTreeMap<String, Histogram>,
+    gauge_index: BTreeMap<String, usize>,
+    gauge_series: Vec<Vec<SeriesPoint>>,
+    hist_index: BTreeMap<String, usize>,
+    hists: Vec<Histogram>,
 }
 
 impl Default for MetricsRegistry {
@@ -204,8 +226,10 @@ impl MetricsRegistry {
         MetricsRegistry {
             sample_every: step,
             next_sample: step,
-            gauges: BTreeMap::new(),
-            histograms: BTreeMap::new(),
+            gauge_index: BTreeMap::new(),
+            gauge_series: Vec::new(),
+            hist_index: BTreeMap::new(),
+            hists: Vec::new(),
         }
     }
 
@@ -227,37 +251,76 @@ impl MetricsRegistry {
         true
     }
 
-    /// Appends one point to the named gauge series.
+    /// Interns a gauge name, returning a stable id for allocation-free
+    /// recording. Repeated calls with the same name return the same id.
+    pub fn intern_gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(&i) = self.gauge_index.get(name) {
+            return GaugeId(i);
+        }
+        let i = self.gauge_series.len();
+        self.gauge_series.push(Vec::new());
+        self.gauge_index.insert(name.to_string(), i);
+        GaugeId(i)
+    }
+
+    /// Appends one point to an interned gauge series. No lookup, no
+    /// allocation beyond amortized series growth.
+    #[inline]
+    pub fn gauge_by(&mut self, id: GaugeId, cycle: Cycle, value: f64) {
+        self.gauge_series[id.0].push(SeriesPoint {
+            cycle: cycle.as_u64(),
+            value,
+        });
+    }
+
+    /// Appends one point to the named gauge series (interning the name
+    /// on first touch; subsequent calls allocate nothing).
     pub fn gauge(&mut self, name: &str, cycle: Cycle, value: f64) {
-        self.gauges
-            .entry(name.to_string())
-            .or_default()
-            .push(SeriesPoint {
-                cycle: cycle.as_u64(),
-                value,
-            });
+        let id = self.intern_gauge(name);
+        self.gauge_by(id, cycle, value);
+    }
+
+    /// Interns a histogram name, returning a stable id for
+    /// allocation-free recording.
+    pub fn intern_histogram(&mut self, name: &str) -> HistId {
+        if let Some(&i) = self.hist_index.get(name) {
+            return HistId(i);
+        }
+        let i = self.hists.len();
+        self.hists.push(Histogram::new());
+        self.hist_index.insert(name.to_string(), i);
+        HistId(i)
+    }
+
+    /// The interned histogram behind `id`.
+    #[inline]
+    pub fn histogram_by(&mut self, id: HistId) -> &mut Histogram {
+        &mut self.hists[id.0]
     }
 
     /// The named histogram, created empty on first touch.
     pub fn histogram(&mut self, name: &str) -> &mut Histogram {
-        self.histograms.entry(name.to_string()).or_default()
+        let id = self.intern_histogram(name);
+        self.histogram_by(id)
     }
 
     /// Iterates gauge series in name order.
     pub fn gauges(&self) -> impl Iterator<Item = (&str, &[SeriesPoint])> {
-        self.gauges
+        self.gauge_index
             .iter()
-            .map(|(n, pts)| (n.as_str(), pts.as_slice()))
+            .map(|(n, &i)| (n.as_str(), self.gauge_series[i].as_slice()))
     }
 
     /// Iterates histograms in name order.
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.histograms.iter().map(|(n, h)| (n.as_str(), h))
+        self.hist_index
+            .iter()
+            .map(|(n, &i)| (n.as_str(), &self.hists[i]))
     }
 
     /// Returns `true` when no gauge point or histogram sample was recorded.
     pub fn is_empty(&self) -> bool {
-        self.gauges.is_empty() && self.histograms.is_empty()
+        self.gauge_series.iter().all(Vec::is_empty) && self.hists.iter().all(|h| h.count() == 0)
     }
 }
 
@@ -341,6 +404,33 @@ mod tests {
         m.gauge("bound", Cycle::new(10), 8.0);
         let series: Vec<(&str, usize)> = m.gauges().map(|(n, p)| (n, p.len())).collect();
         assert_eq!(series, vec![("bound", 1), ("drift.core0", 2)]);
+    }
+
+    #[test]
+    fn interned_ids_alias_string_keys() {
+        let mut m = MetricsRegistry::new(10);
+        let id = m.intern_gauge("drift.core0");
+        assert_eq!(m.intern_gauge("drift.core0"), id);
+        m.gauge_by(id, Cycle::new(10), 1.0);
+        m.gauge("drift.core0", Cycle::new(20), 2.0);
+        let pts: Vec<_> = m.gauges().map(|(n, p)| (n, p.len())).collect();
+        assert_eq!(pts, vec![("drift.core0", 2)]);
+
+        let h = m.intern_histogram("wait");
+        m.histogram_by(h).record(5);
+        m.histogram("wait").record(7);
+        assert_eq!(m.histograms().next().unwrap().1.count(), 2);
+    }
+
+    #[test]
+    fn is_empty_reflects_recorded_data_not_interned_keys() {
+        let mut m = MetricsRegistry::new(10);
+        assert!(m.is_empty());
+        let _ = m.intern_gauge("a");
+        let _ = m.intern_histogram("b");
+        assert!(m.is_empty(), "interning alone records nothing");
+        m.gauge("a", Cycle::new(1), 0.5);
+        assert!(!m.is_empty());
     }
 
     #[test]

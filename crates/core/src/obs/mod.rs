@@ -25,7 +25,7 @@ pub mod metrics;
 pub mod trace;
 
 pub use export::{chrome_trace_json, metrics_csv};
-pub use metrics::{Histogram, MetricsRegistry, SeriesPoint};
+pub use metrics::{GaugeId, HistId, Histogram, MetricsRegistry, SeriesPoint};
 pub use trace::{Phase, QueueKind, TraceEvent, TraceHandle, TraceRecord, Tracer};
 
 /// Configuration for a run's observability instrumentation.

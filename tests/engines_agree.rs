@@ -17,7 +17,7 @@ fn run(benchmark: Benchmark, engine: EngineKind, commit: u64) -> slacksim::SimRe
 
 #[test]
 fn threaded_cc_matches_sequential_cc_exactly() {
-    for benchmark in [Benchmark::Fft, Benchmark::Barnes] {
+    for benchmark in Benchmark::ALL {
         let seq = run(benchmark, EngineKind::Sequential, 40_000);
         let thr = run(benchmark, EngineKind::Threaded, 40_000);
         assert_eq!(seq.global_cycles, thr.global_cycles, "{benchmark}: cycles");

@@ -11,6 +11,17 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q"
 cargo test --workspace -q --offline
 
+echo "==> cargo test -q --release"
+cargo test --workspace -q --release --offline
+
+echo "==> conformance smoke (adversarial schedules, bounded seeds)"
+# Bounded-time schedule-fuzzing pass: the virtual-scheduler matrix from
+# crates/conformance runs in release with a pinned seed count per
+# adversarial schedule so wall time stays inside the CI budget. Raise
+# SLACKSIM_CONFORMANCE_SEEDS locally for a deeper exploration.
+SLACKSIM_CONFORMANCE_SEEDS=4 \
+    cargo test -p slacksim-conformance -q --release --offline
+
 echo "==> bench smoke (engine_throughput, short run)"
 # Short run into a scratch path (the committed BENCH_threaded.json holds
 # full-run numbers). The bench validates its own emission with the

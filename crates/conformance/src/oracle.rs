@@ -1,0 +1,247 @@
+//! The differential oracle: cross-engine equivalence checks, metamorphic
+//! invariants, and the greedy failure minimizer.
+//!
+//! Three layers of checking, from strongest to weakest guarantee:
+//!
+//! 1. **Exact equality** where the design guarantees it: cycle-by-cycle
+//!    runs must produce identical [`Fingerprint`]s across the sequential
+//!    engine, the native threaded engine, and every virtual schedule —
+//!    with a barrier after every cycle the host interleaving cannot
+//!    matter.
+//! 2. **Metamorphic invariants** everywhere else ([`check_invariants`]):
+//!    commit conservation, observation-counter consistency, and
+//!    violations monotone non-decreasing in the slack bound.
+//! 3. **Schedule diagnostics**: any virtual run of the unmutated
+//!    protocol must finish with [`SchedDiag::lost_wakeups`]` == 0`.
+//!
+//! When a check fails, [`shrink`] minimizes the case and the test prints
+//! the one-line repro (see [`crate::repro`]).
+
+use std::sync::Arc;
+
+use slacksim::scheme::Scheme;
+use slacksim::{Benchmark, EngineKind, SchedRef, SimReport, Simulation};
+
+use crate::repro::VirtCase;
+use crate::vsched::{SchedDiag, VirtualSched};
+
+/// The schedule-independent observable outcome of one run: everything a
+/// correct engine must reproduce exactly, and nothing (wall time, obs
+/// samples) it legitimately may not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// Final global (slowest-core) cycle count.
+    pub global_cycles: u64,
+    /// Aggregate committed instructions.
+    pub committed: u64,
+    /// Total timing violations detected.
+    pub violations: u64,
+    /// Committed instructions per core.
+    pub per_core_committed: Vec<u64>,
+    /// Local cycles per core.
+    pub per_core_cycles: Vec<u64>,
+    /// Uncore bus transactions.
+    pub bus_transactions: u64,
+}
+
+/// Extracts the [`Fingerprint`] of a finished run.
+pub fn fingerprint(report: &SimReport) -> Fingerprint {
+    Fingerprint {
+        global_cycles: report.global_cycles,
+        committed: report.committed,
+        violations: report.violations.total(),
+        per_core_committed: report.per_core.iter().map(|c| c.get("committed")).collect(),
+        per_core_cycles: report.per_core.iter().map(|c| c.get("cycles")).collect(),
+        bus_transactions: report.uncore.get("bus_transactions"),
+    }
+}
+
+/// Runs one configuration on the given engine with the native host
+/// scheduler.
+///
+/// # Panics
+///
+/// Panics if the engine reports an error — in the conformance harness
+/// every configured case is expected to complete.
+pub fn run_engine(
+    bench: Benchmark,
+    cores: usize,
+    scheme: &Scheme,
+    target: u64,
+    seed: u64,
+    engine: EngineKind,
+) -> SimReport {
+    Simulation::new(bench)
+        .cores(cores)
+        .scheme(scheme.clone())
+        .engine(engine)
+        .commit_target(target)
+        .seed(seed)
+        .run()
+        .unwrap_or_else(|e| panic!("{engine:?} run failed for {bench:?}/{cores} cores: {e}"))
+}
+
+/// Runs one case on the threaded engine under the virtual scheduler and
+/// returns the report together with the schedule diagnostics.
+///
+/// # Panics
+///
+/// Panics if the engine reports an error.
+pub fn run_virtual(case: &VirtCase) -> (SimReport, SchedDiag) {
+    let sched = VirtualSched::new(case.cores, case.policy, case.sched_seed, case.mutation);
+    let report = Simulation::new(case.bench)
+        .cores(case.cores)
+        .scheme(case.scheme.clone())
+        .engine(EngineKind::Threaded)
+        .commit_target(case.target)
+        .seed(case.seed)
+        .host_sched(SchedRef::new(Arc::clone(&sched) as Arc<_>))
+        .run()
+        .unwrap_or_else(|e| panic!("virtual run failed for `{case}`: {e}"));
+    let diag = sched.diagnostics();
+    (report, diag)
+}
+
+/// Parses a repro line and replays it.
+///
+/// # Errors
+///
+/// Returns the parse error for a malformed line.
+pub fn run_repro(line: &str) -> Result<(SimReport, SchedDiag), String> {
+    let case = crate::repro::parse_repro(line)?;
+    Ok(run_virtual(&case))
+}
+
+/// Checks the metamorphic invariants every engine must uphold for every
+/// scheme.
+///
+/// # Errors
+///
+/// Returns a description of the first violated invariant.
+pub fn check_invariants(report: &SimReport, scheme: &Scheme) -> Result<(), String> {
+    let per_core: u64 = report.core_total("committed");
+    if per_core != report.committed {
+        return Err(format!(
+            "commit conservation: per-core sum {per_core} != aggregate {}",
+            report.committed
+        ));
+    }
+    let detected = report.kernel.get("violations_detected_total");
+    let tallied = report.violations.total();
+    if detected < tallied {
+        return Err(format!(
+            "obs consistency: kernel counter {detected} < tallied violations {tallied}"
+        ));
+    }
+    if matches!(scheme, Scheme::CycleByCycle) && tallied != 0 {
+        return Err(format!(
+            "cycle-by-cycle must be violation-free, saw {tallied}"
+        ));
+    }
+    Ok(())
+}
+
+/// Greedy failure minimizer: repeatedly tries smaller variants of `case`
+/// and keeps any for which `fails` still returns `true`, until no
+/// shrinking step applies. The predicate is the *failure* — shrinking
+/// preserves it.
+pub fn shrink<F: Fn(&VirtCase) -> bool>(case: VirtCase, fails: F) -> VirtCase {
+    debug_assert!(fails(&case), "shrink needs a failing case to start from");
+    let mut best = case;
+    loop {
+        let mut candidates: Vec<VirtCase> = Vec::new();
+        if best.target > 500 {
+            let mut c = best.clone();
+            c.target = (best.target / 2).max(500);
+            candidates.push(c);
+        }
+        if best.cores > 1 {
+            let mut c = best.clone();
+            c.cores = best.cores - 1;
+            candidates.push(c);
+            let mut c = best.clone();
+            c.cores = 1;
+            candidates.push(c);
+        }
+        if let Scheme::BoundedSlack { bound } = best.scheme {
+            if bound > 1 {
+                let mut c = best.clone();
+                c.scheme = Scheme::BoundedSlack { bound: bound / 2 };
+                candidates.push(c);
+            }
+        }
+        if let crate::vsched::Mutation::DropUnpark { nth } = best.mutation {
+            if nth > 0 {
+                let mut c = best.clone();
+                c.mutation = crate::vsched::Mutation::DropUnpark { nth: nth / 2 };
+                candidates.push(c);
+                let mut c = best.clone();
+                c.mutation = crate::vsched::Mutation::DropUnpark { nth: nth - 1 };
+                candidates.push(c);
+            }
+        }
+        // First still-failing candidate wins this round; none → done.
+        match candidates.into_iter().find(|c| *c != best && fails(c)) {
+            Some(c) => best = c,
+            None => return best,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vsched::{Mutation, SchedPolicy};
+
+    fn case() -> VirtCase {
+        VirtCase {
+            policy: SchedPolicy::RandomWalk,
+            sched_seed: 1,
+            mutation: Mutation::DropUnpark { nth: 7 },
+            bench: Benchmark::Fft,
+            cores: 8,
+            scheme: Scheme::BoundedSlack { bound: 16 },
+            target: 8_000,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn shrink_reaches_minimal_case_when_everything_fails() {
+        let shrunk = shrink(case(), |_| true);
+        assert_eq!(shrunk.target, 500);
+        assert_eq!(shrunk.cores, 1);
+        assert_eq!(shrunk.scheme, Scheme::BoundedSlack { bound: 1 });
+        assert_eq!(shrunk.mutation, Mutation::DropUnpark { nth: 0 });
+    }
+
+    #[test]
+    fn shrink_respects_the_predicate() {
+        // Failure requires >= 4 cores and target >= 4000.
+        let shrunk = shrink(case(), |c| c.cores >= 4 && c.target >= 4_000);
+        assert_eq!(shrunk.cores, 4);
+        assert_eq!(shrunk.target, 4_000);
+    }
+
+    #[test]
+    fn invariants_hold_for_a_sequential_run() {
+        let scheme = Scheme::BoundedSlack { bound: 8 };
+        let report = run_engine(
+            Benchmark::Fft,
+            2,
+            &scheme,
+            10_000,
+            1,
+            EngineKind::Sequential,
+        );
+        check_invariants(&report, &scheme).expect("invariants hold");
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_for_the_sequential_engine() {
+        let scheme = Scheme::CycleByCycle;
+        let a = run_engine(Benchmark::Lu, 2, &scheme, 5_000, 3, EngineKind::Sequential);
+        let b = run_engine(Benchmark::Lu, 2, &scheme, 5_000, 3, EngineKind::Sequential);
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+}

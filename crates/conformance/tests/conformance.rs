@@ -1,0 +1,282 @@
+//! The conformance suite: differential oracle matrix, deterministic
+//! schedule fuzzing, and the seeded-mutation detection proof.
+//!
+//! Budget control: commit targets scale with the build profile, and the
+//! number of schedule seeds per loop comes from
+//! [`smoke_seeds`] (`SLACKSIM_CONFORMANCE_SEEDS` in CI).
+//!
+//! Any failing virtual-schedule assertion prints a
+//! `conformance-repro v1 ...` line; paste it into
+//! `slacksim_conformance::run_repro` to replay the exact schedule.
+
+use slacksim::scheme::Scheme;
+use slacksim::{Benchmark, EngineKind, SpeculationConfig, ViolationSelect};
+use slacksim_conformance::{
+    check_invariants, fingerprint, run_engine, run_repro, run_virtual, shrink, smoke_seeds,
+    Mutation, SchedPolicy, VirtCase,
+};
+
+/// Commit target for matrix cells: small enough for debug CI, larger in
+/// release where the engines are ~20x faster.
+fn target() -> u64 {
+    if cfg!(debug_assertions) {
+        2_000
+    } else {
+        10_000
+    }
+}
+
+const BENCHES: [Benchmark; 2] = [Benchmark::Fft, Benchmark::WaterNsquared];
+const CORE_COUNTS: [usize; 3] = [1, 4, 8];
+
+fn schemes() -> [Scheme; 3] {
+    [
+        Scheme::CycleByCycle,
+        Scheme::BoundedSlack { bound: 8 },
+        Scheme::Quantum { quantum: 64 },
+    ]
+}
+
+fn virt_case(
+    policy: SchedPolicy,
+    sched_seed: u64,
+    bench: Benchmark,
+    cores: usize,
+    scheme: Scheme,
+) -> VirtCase {
+    VirtCase {
+        policy,
+        sched_seed,
+        mutation: Mutation::None,
+        bench,
+        cores,
+        scheme,
+        target: target(),
+        seed: 1,
+    }
+}
+
+/// Sequential vs threaded-native across the full
+/// {scheme x workload x cores} matrix: every cell completes and upholds
+/// the metamorphic invariants on both engines.
+#[test]
+fn differential_matrix_upholds_invariants_on_both_engines() {
+    for bench in BENCHES {
+        for scheme in schemes() {
+            for cores in CORE_COUNTS {
+                for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+                    let r = run_engine(bench, cores, &scheme, target(), 1, engine);
+                    assert!(
+                        r.committed >= target(),
+                        "{engine:?}/{bench}/{cores}c/{}: commit target missed",
+                        scheme.name()
+                    );
+                    check_invariants(&r, &scheme).unwrap_or_else(|e| {
+                        panic!("{engine:?}/{bench}/{cores}c/{}: {e}", scheme.name())
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Cycle-by-cycle runs are engine-independent: the sequential engine,
+/// the native threaded engine and a virtually-scheduled threaded run
+/// must be fingerprint-identical.
+#[test]
+fn cycle_by_cycle_is_exact_across_all_three_engines() {
+    for bench in BENCHES {
+        for cores in [1, 4] {
+            let scheme = Scheme::CycleByCycle;
+            let seq = run_engine(bench, cores, &scheme, target(), 1, EngineKind::Sequential);
+            let thr = run_engine(bench, cores, &scheme, target(), 1, EngineKind::Threaded);
+            let case = virt_case(SchedPolicy::RandomWalk, 1, bench, cores, scheme);
+            let (virt, diag) = run_virtual(&case);
+            assert_eq!(
+                fingerprint(&seq),
+                fingerprint(&thr),
+                "{bench}/{cores}c: sequential vs threaded-native"
+            );
+            assert_eq!(
+                fingerprint(&seq),
+                fingerprint(&virt),
+                "{bench}/{cores}c: sequential vs threaded-virtual (`{case}`)"
+            );
+            assert_eq!(diag.lost_wakeups, 0, "`{case}`");
+        }
+    }
+}
+
+/// Under cycle-by-cycle the outcome must be *schedule*-independent: any
+/// policy, any schedule seed, same fingerprint.
+#[test]
+fn cycle_by_cycle_is_schedule_independent() {
+    let bench = Benchmark::Fft;
+    let cores = 4;
+    let reference = fingerprint(&run_engine(
+        bench,
+        cores,
+        &Scheme::CycleByCycle,
+        target(),
+        1,
+        EngineKind::Sequential,
+    ));
+    let policies = [
+        SchedPolicy::RandomWalk,
+        SchedPolicy::ParkRace,
+        SchedPolicy::Starve { victim: 2 },
+        SchedPolicy::DrainPreempt,
+    ];
+    for policy in policies {
+        for sched_seed in 0..smoke_seeds() {
+            let case = virt_case(policy, sched_seed, bench, cores, Scheme::CycleByCycle);
+            let (r, diag) = run_virtual(&case);
+            assert_eq!(fingerprint(&r), reference, "`{case}`");
+            assert_eq!(diag.lost_wakeups, 0, "`{case}`");
+            assert!(!diag.timeout_fallback, "`{case}`");
+        }
+    }
+}
+
+/// Adversarial schedules against the slack schemes: the unmutated
+/// protocol must never lose a wakeup or trip the livelock fallback, and
+/// every run must uphold the invariants.
+#[test]
+fn adversarial_schedules_lose_no_wakeups_under_slack() {
+    let policies = [
+        SchedPolicy::RandomWalk,
+        SchedPolicy::ParkRace,
+        SchedPolicy::Starve { victim: 1 },
+        SchedPolicy::DrainPreempt,
+    ];
+    for scheme in [
+        Scheme::BoundedSlack { bound: 8 },
+        Scheme::Quantum { quantum: 64 },
+    ] {
+        for policy in policies {
+            for sched_seed in 0..smoke_seeds() {
+                let case = virt_case(policy, sched_seed, Benchmark::Fft, 4, scheme.clone());
+                let (r, diag) = run_virtual(&case);
+                assert!(r.committed >= target(), "`{case}`");
+                check_invariants(&r, &scheme).unwrap_or_else(|e| panic!("`{case}`: {e}"));
+                assert_eq!(diag.lost_wakeups, 0, "`{case}`");
+                assert!(!diag.timeout_fallback, "`{case}`");
+                assert!(diag.decisions > 0 && diag.switches > 0, "`{case}`");
+            }
+        }
+    }
+}
+
+/// Checkpoint hand-off mid-drain: speculation under the virtual
+/// scheduler exercises the stop-sync / snapshot-mailbox protocol, and a
+/// fixed case replays to the identical final committed state.
+#[test]
+fn speculative_checkpoint_handoff_replays_deterministically() {
+    let run = |sched_seed: u64| {
+        let sched = slacksim_conformance::VirtualSched::new(
+            4,
+            SchedPolicy::DrainPreempt,
+            sched_seed,
+            Mutation::None,
+        );
+        let report = slacksim::Simulation::new(Benchmark::Fft)
+            .cores(4)
+            .scheme(Scheme::BoundedSlack { bound: 16 })
+            .engine(EngineKind::Threaded)
+            .commit_target(target())
+            .seed(1)
+            .speculation(SpeculationConfig::speculative(500, ViolationSelect::all()))
+            .host_sched(slacksim::SchedRef::new(sched.clone()))
+            .run()
+            .expect("speculative virtual run");
+        (report, sched.diagnostics())
+    };
+    let (a, diag_a) = run(3);
+    let (b, diag_b) = run(3);
+    assert!(a.committed >= target());
+    assert!(a.kernel.get("checkpoints") > 0, "checkpoints taken");
+    assert_eq!(diag_a.lost_wakeups, 0);
+    assert!(!diag_a.timeout_fallback);
+    // Same schedule seed -> bit-identical run, including the diagnostics.
+    assert_eq!(fingerprint(&a), fingerprint(&b));
+    assert_eq!(diag_a, diag_b);
+}
+
+/// Identical repro line -> identical run: the whole virtual execution is
+/// a pure function of the case.
+#[test]
+fn virtual_runs_replay_bit_identically() {
+    let case = virt_case(
+        SchedPolicy::RandomWalk,
+        5,
+        Benchmark::WaterNsquared,
+        4,
+        Scheme::BoundedSlack { bound: 8 },
+    );
+    let (a, diag_a) = run_virtual(&case);
+    let (b, diag_b) = run_repro(&case.to_string()).expect("line replays");
+    assert_eq!(fingerprint(&a), fingerprint(&b), "`{case}`");
+    assert_eq!(diag_a, diag_b, "`{case}`");
+}
+
+/// Violations are monotone non-decreasing as the slack bound grows
+/// (sequential engine, pinned seeds — the paper's Figure 4 relation).
+#[test]
+fn violations_monotone_in_slack_bound() {
+    for bench in BENCHES {
+        let mut prev = 0u64;
+        for bound in [1u64, 4, 16, 64] {
+            let r = run_engine(
+                bench,
+                4,
+                &Scheme::BoundedSlack { bound },
+                target(),
+                1,
+                EngineKind::Sequential,
+            );
+            let v = r.violations.total();
+            assert!(
+                v >= prev,
+                "{bench}: violations dropped from {prev} to {v} at bound {bound}"
+            );
+            prev = v;
+        }
+    }
+}
+
+/// The harness catches a seeded protocol mutation: dropping one unpark
+/// delivery strands a core, which the no-timeout virtual parks surface
+/// as `lost_wakeups > 0`. The failure then shrinks to a minimal case
+/// with a replayable one-line repro.
+#[test]
+fn dropped_unpark_is_caught_and_shrinks_to_a_repro_line() {
+    let fails = |c: &VirtCase| run_virtual(c).1.lost_wakeups > 0;
+    let mut found = None;
+    'search: for sched_seed in 0..smoke_seeds() {
+        for nth in 0..48 {
+            let case = VirtCase {
+                policy: SchedPolicy::ParkRace,
+                sched_seed,
+                mutation: Mutation::DropUnpark { nth },
+                bench: Benchmark::Fft,
+                cores: 2,
+                scheme: Scheme::BoundedSlack { bound: 8 },
+                target: target(),
+                seed: 1,
+            };
+            if fails(&case) {
+                found = Some(case);
+                break 'search;
+            }
+        }
+    }
+    let found = found.expect("schedule explorer must catch the dropped-unpark mutation");
+    let shrunk = shrink(found.clone(), fails);
+    let line = shrunk.to_string();
+    println!("shrunk repro: {line}");
+    let (_, diag) = run_repro(&line).expect("shrunk line replays");
+    assert!(diag.dropped_unparks > 0, "{line}");
+    assert!(diag.timeout_fallback, "{line}");
+    assert!(diag.lost_wakeups > 0, "{line}");
+    assert!(shrunk.target <= found.target && shrunk.cores <= found.cores);
+}

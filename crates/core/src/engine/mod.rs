@@ -258,6 +258,11 @@ pub struct EngineConfig {
     /// `SimReport::obs`. When `None`, instrumentation sites cost one
     /// relaxed atomic load each.
     pub obs: Option<crate::obs::ObsConfig>,
+    /// Host scheduler the threaded engine waits through. Defaults to the
+    /// native (production) scheduler; conformance tests install a virtual
+    /// scheduler here to explore thread interleavings deterministically.
+    /// Ignored by the sequential engine.
+    pub sched: crate::sched::SchedRef,
 }
 
 impl EngineConfig {
@@ -274,6 +279,7 @@ impl EngineConfig {
             burst: BurstPolicy::default(),
             max_lead: 256,
             obs: None,
+            sched: crate::sched::SchedRef::native(),
         }
     }
 

@@ -46,6 +46,7 @@ use crate::event::{CoreId, GlobalQueue, Inbox, Timestamped};
 use crate::obs::{
     GaugeId, HistId, MetricsRegistry, ObsData, Phase, QueueKind, TraceEvent, TraceHandle, Tracer,
 };
+use crate::sched::{HostSched, SchedSite, TaskId};
 use crate::scheme::{PaceSample, Pacer};
 use crate::speculative::{IntervalTracker, SpeculationStats};
 use crate::stats::{Counters, SimReport};
@@ -76,6 +77,12 @@ const CORE_YIELD_ITERS_OVERSUB: u32 = 256;
 /// Manager park timeout: nobody unparks the manager, so this is the
 /// polling cadence once the ladder bottoms out.
 const MGR_PARK_TIMEOUT: Duration = Duration::from_micros(20);
+
+/// Yield-tier depth used under a virtual scheduler (both ladders): the
+/// spin tier is skipped and the yield tier pinned to a short,
+/// machine-independent count so explored schedules do not depend on the
+/// host's core count or timing.
+const VIRT_YIELD_ITERS: u32 = 2;
 
 /// True when the host cannot run all `n` core threads plus the manager
 /// concurrently. Spinning in that regime only burns the quanta the
@@ -114,9 +121,16 @@ struct CoreShared<C: CoreModel> {
     snapshot: SnapshotSlot<CoreSnapshot<C>>,
     /// True while the core thread is (about to be) parked on the window.
     parked: AtomicBool,
-    /// The core thread's handle, registered once at thread startup so the
-    /// manager can unpark it.
-    thread: OnceLock<std::thread::Thread>,
+    /// Raised by the manager before every command send; the core's
+    /// pre-park re-check reads it so a command can never be lost to the
+    /// park race (the parked flag alone is not enough: an earlier wake
+    /// may have already claimed it, and the window/done re-check says
+    /// nothing about the command channel). Cleared by the core at the
+    /// top of its loop, before it polls the channel.
+    cmd_pending: AtomicBool,
+    /// The core thread's scheduler task, registered once at thread
+    /// startup so the manager can unpark it.
+    task: OnceLock<TaskId>,
     /// Number of times the core thread reached the park tier.
     parks: AtomicU64,
 }
@@ -125,15 +139,36 @@ struct CoreShared<C: CoreModel> {
 ///
 /// The SeqCst fence pairs with the core's store-fence-recheck sequence
 /// before it parks: the caller's preceding state change (window store,
-/// done flag, command send) and the core's parked flag cannot both be
-/// missed, so a wake-up is never lost.
-fn wake_core<C: CoreModel>(s: &CoreShared<C>) {
+/// done flag, `cmd_pending`) and the core's parked flag cannot both be
+/// missed, so a wake-up is never lost — provided the state change is one
+/// the re-check actually reads. Command sends must therefore go through
+/// [`send_cmd`], which raises `cmd_pending` first; the send alone is
+/// invisible to the re-check, and the parked flag may already have been
+/// claimed by an earlier wake, in which case this function does nothing.
+fn wake_core<C: CoreModel>(s: &CoreShared<C>, sched: &dyn HostSched) {
     fence(Ordering::SeqCst);
     if s.parked.load(Ordering::Relaxed) && s.parked.swap(false, Ordering::SeqCst) {
-        if let Some(t) = s.thread.get() {
-            t.unpark();
+        if let Some(&t) = s.task.get() {
+            sched.unpark(t);
         }
     }
+}
+
+/// Sends a command to a core with a park-safe wake-up: `cmd_pending` is
+/// raised before the send so the core either sees it in its pre-park
+/// re-check or is already awake and polls the channel on its next loop
+/// iteration. Without the flag a command could strand a core in its park
+/// until the timeout backstop — a stall the virtual-scheduler conformance
+/// runs (which park without timeouts) diagnose as a livelock.
+fn send_cmd<C: CoreModel>(
+    s: &CoreShared<C>,
+    tx: &Sender<Command<C>>,
+    cmd: Command<C>,
+    sched: &dyn HostSched,
+) {
+    s.cmd_pending.store(true, Ordering::SeqCst);
+    tx.send(cmd).expect("core alive");
+    wake_core(s, sched);
 }
 
 /// The manager's adaptive wait ladder: spin, then yield, then park with a
@@ -148,8 +183,10 @@ struct Backoff {
 }
 
 impl Backoff {
-    fn new(oversubscribed: bool) -> Self {
-        let (spin_iters, yield_iters) = if oversubscribed {
+    fn new(oversubscribed: bool, virtualized: bool) -> Self {
+        let (spin_iters, yield_iters) = if virtualized {
+            (0, VIRT_YIELD_ITERS)
+        } else if oversubscribed {
             (0, MGR_YIELD_ITERS_OVERSUB)
         } else {
             (MGR_SPIN_ITERS, MGR_YIELD_ITERS)
@@ -167,15 +204,15 @@ impl Backoff {
         self.idle = 0;
     }
 
-    fn wait(&mut self) {
+    fn wait(&mut self, sched: &dyn HostSched) {
         self.idle = self.idle.saturating_add(1);
         if self.idle <= self.spin_iters {
-            std::hint::spin_loop();
+            sched.idle_spin(SchedSite::ManagerIdle);
         } else if self.idle <= self.park_after {
-            std::thread::yield_now();
+            sched.idle_yield(SchedSite::ManagerIdle);
         } else {
             self.parks += 1;
-            std::thread::park_timeout(MGR_PARK_TIMEOUT);
+            sched.park_timeout(SchedSite::ManagerIdle, MGR_PARK_TIMEOUT);
         }
     }
 }
@@ -248,16 +285,23 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
             });
         }
 
+        // The host scheduler every wait path goes through. The data-structure
+        // hook is `None` under the native scheduler, so production queue
+        // operations stay instrumentation-free.
+        let sched = Arc::clone(cfg.sched.get());
+        let hook = cfg.sched.instrumentation_hook();
+
         let shared: Vec<Arc<CoreShared<C>>> = (0..n)
             .map(|_| {
                 Arc::new(CoreShared {
                     local: AtomicU64::new(0),
                     max_local: AtomicU64::new(0),
-                    outq: SpscRing::new(),
-                    inq: SpscRing::new(),
-                    snapshot: SnapshotSlot::new(),
+                    outq: SpscRing::with_sched(hook.clone()),
+                    inq: SpscRing::with_sched(hook.clone()),
+                    snapshot: SnapshotSlot::with_sched(hook.clone()),
                     parked: AtomicBool::new(false),
-                    thread: OnceLock::new(),
+                    cmd_pending: AtomicBool::new(false),
+                    task: OnceLock::new(),
                     parks: AtomicU64::new(0),
                 })
             })
@@ -303,6 +347,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
                 let done = Arc::clone(&done);
                 let committed = Arc::clone(&committed);
                 let th = tracer.handle();
+                let sched = Arc::clone(&sched);
                 handles.push(scope.spawn(move || {
                     core_thread(
                         CoreId::new(i as u16),
@@ -313,12 +358,18 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
                         &cmd_rx,
                         &ack_tx,
                         oversubscribed,
+                        &*sched,
                         th,
                     )
                 }));
             }
 
             // --- Manager (this thread) ---------------------------------------
+            // Registration happens after every core is spawned: a virtual
+            // scheduler's `register` blocks until the whole expected task
+            // set has arrived, so registering earlier would deadlock the
+            // spawn loop.
+            sched.register("manager");
             let outcome = manager_loop(
                 &cfg,
                 &mut pacer,
@@ -332,13 +383,27 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
 
             done.store(true, Ordering::Release);
             for s in &shared {
-                wake_core(s);
+                wake_core(s, &*sched);
             }
+            // Leave the scheduling discipline before joining: the cores
+            // only need the token among themselves to run out their
+            // windows and unregister, and a native blocking join keeps OS
+            // timing out of the schedule (polling `is_finished` through
+            // the scheduler would make the decision count — and thus a
+            // virtual scheduler's RNG stream — depend on when the OS
+            // publishes thread exit).
+            sched.unregister();
             let mut finished_cores = Vec::with_capacity(n);
             for h in handles {
                 finished_cores.push(h.join().expect("core thread panicked"));
             }
             outcome.map(|mut m| {
+                // The manager samples the aggregate commit count at its
+                // finish decision, but cores may legally run out the rest
+                // of their published window before they observe the done
+                // flag. Re-read after the joins so the reported aggregate
+                // matches the per-core counters exactly.
+                m.committed = committed.load(Ordering::Acquire);
                 let obs = cfg.obs.map(|_| {
                     let (records, dropped) = tracer.drain();
                     ObsData {
@@ -374,9 +439,12 @@ fn core_thread<C: CoreModel>(
     cmd_rx: &Receiver<Command<C>>,
     ack_tx: &Sender<u64>,
     oversubscribed: bool,
+    sched: &dyn HostSched,
     mut th: TraceHandle,
 ) -> C {
-    let _ = shared.thread.set(std::thread::current());
+    let virt = sched.virtualized();
+    let task = sched.register(&format!("core{}", core.index()));
+    let _ = shared.task.set(task);
     let mut inbox: Inbox<C::Event> = Inbox::new();
     let mut outbox: Vec<Timestamped<C::Event>> = Vec::new();
     let mut idle_spins = 0u32;
@@ -385,7 +453,10 @@ fn core_thread<C: CoreModel>(
     // holding, so spinning only delays its own wake-up. Yield stays the
     // workhorse tier — futex park/unpark round trips cost more than a
     // handful of scheduler passes — with parking as the long-idle backstop.
-    let (spin_iters, yield_iters) = if oversubscribed {
+    // Virtual schedulers pin both tiers to machine-independent depths.
+    let (spin_iters, yield_iters) = if virt {
+        (0u32, VIRT_YIELD_ITERS)
+    } else if oversubscribed {
         (0u32, CORE_YIELD_ITERS_OVERSUB)
     } else {
         (CORE_SPIN_ITERS, CORE_YIELD_ITERS)
@@ -401,7 +472,12 @@ fn core_thread<C: CoreModel>(
     );
 
     'main: loop {
-        // Control channel has priority over everything.
+        // Control channel has priority over everything. Clear the pending
+        // flag *before* polling: a flag raised after the clear but whose
+        // command is missed by this poll is re-derived next iteration (the
+        // send's `wake_core` guarantees this loop runs again), while a
+        // flag consumed together with its command simply skips one park.
+        shared.cmd_pending.store(false, Ordering::Relaxed);
         match cmd_rx.try_recv() {
             Ok(mut cmd) => loop {
                 match cmd {
@@ -446,7 +522,7 @@ fn core_thread<C: CoreModel>(
                     }
                     Command::Resume => continue 'main,
                 }
-                cmd = cmd_rx.recv().expect("manager alive");
+                cmd = next_command(cmd_rx, virt, sched);
             },
             Err(TryRecvError::Empty) => {}
             Err(TryRecvError::Disconnected) => break 'main,
@@ -487,6 +563,7 @@ fn core_thread<C: CoreModel>(
             // store that ends the burst, so a manager that sees this core
             // at a barrier boundary also sees every commit behind it —
             // barrier-mode finish decisions stay deterministic.
+            sched.point(SchedSite::CoreBurst);
             let mut burst: u64 = 0;
             while l < m {
                 while let Some(ev) = shared.inq.pop() {
@@ -532,9 +609,9 @@ fn core_thread<C: CoreModel>(
             }
             idle_spins = idle_spins.saturating_add(1);
             if idle_spins <= spin_iters {
-                std::hint::spin_loop();
+                sched.idle_spin(SchedSite::CoreIdle);
             } else if idle_spins <= spin_iters + yield_iters {
-                std::thread::yield_now();
+                sched.idle_yield(SchedSite::CoreIdle);
             } else {
                 // Dekker-style publication: set the parked flag, fence,
                 // then re-check the sleep condition. Pairs with the
@@ -542,12 +619,18 @@ fn core_thread<C: CoreModel>(
                 // `wake_core`: either the manager sees the flag and
                 // unparks (token pending), or this re-check sees the new
                 // window — a wake-up can never be lost, the timeout is a
-                // pure backstop.
+                // pure backstop. The scheduling point between the flag
+                // store and the re-check is exactly the race window
+                // adversarial schedules aim at.
                 shared.parked.store(true, Ordering::Relaxed);
                 fence(Ordering::SeqCst);
-                if shared.max_local.load(Ordering::Relaxed) <= l && !done.load(Ordering::Relaxed) {
+                sched.point(SchedSite::PreParkCheck);
+                if shared.max_local.load(Ordering::Relaxed) <= l
+                    && !done.load(Ordering::Relaxed)
+                    && !shared.cmd_pending.load(Ordering::Relaxed)
+                {
                     shared.parks.fetch_add(1, Ordering::Relaxed);
-                    std::thread::park_timeout(CORE_PARK_TIMEOUT);
+                    sched.park_timeout(SchedSite::CoreIdle, CORE_PARK_TIMEOUT);
                 }
                 shared.parked.store(false, Ordering::Relaxed);
             }
@@ -561,7 +644,28 @@ fn core_thread<C: CoreModel>(
             phase: if running { Phase::Run } else { Phase::Wait },
         },
     );
+    sched.unregister();
     model
+}
+
+/// Blocks for the next manager command: a real blocking receive natively,
+/// a scheduler-visible `try_recv` poll under a virtual scheduler (a
+/// blocked `recv` would hold the scheduling token forever).
+fn next_command<C: CoreModel>(
+    cmd_rx: &Receiver<Command<C>>,
+    virt: bool,
+    sched: &dyn HostSched,
+) -> Command<C> {
+    if !virt {
+        return cmd_rx.recv().expect("manager alive");
+    }
+    loop {
+        match cmd_rx.try_recv() {
+            Ok(cmd) => return cmd,
+            Err(TryRecvError::Empty) => sched.idle_yield(SchedSite::AwaitCmd),
+            Err(TryRecvError::Disconnected) => panic!("manager alive"),
+        }
+    }
 }
 
 /// Manager-side run state that eventually becomes the report.
@@ -644,6 +748,8 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
     tracer: &Tracer,
 ) -> Result<ManagerOutcome<U>, EngineError> {
     let n = shared.len();
+    let sched: &dyn HostSched = &**cfg.sched.get();
+    let virt = sched.virtualized();
     let sample_period = cfg.effective_sample_period();
     let mut gq: GlobalQueue<C::Event> = GlobalQueue::new();
     let mut sink: ServiceSink<C::Event> = ServiceSink::new();
@@ -672,7 +778,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
     let mut prev_locals: Vec<u64> = vec![u64::MAX; n];
     let mut drain_buf: Vec<Timestamped<C::Event>> = Vec::new();
     let mut cycles_buf: Vec<Cycle> = Vec::with_capacity(n);
-    let mut backoff = Backoff::new(host_oversubscribed(n));
+    let mut backoff = Backoff::new(host_oversubscribed(n), virt);
 
     let spec = cfg.speculation;
     let mut tracker = spec.map(|s| IntervalTracker::new(s.interval));
@@ -696,6 +802,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             uncore,
             &mut sink,
             &mut drain_buf,
+            sched,
         );
         // Discard side effects of the (empty) drain above.
         Some(ManagerSnapshot {
@@ -717,7 +824,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
     } else {
         pacer.window_end(Cycle::ZERO).min(cfg.lead_cap(Cycle::ZERO))
     };
-    publish_window(shared, window_end);
+    publish_window(shared, window_end, sched);
 
     let finish_reason;
     let final_global;
@@ -727,6 +834,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
     let mut max_spread: u64 = 0;
 
     loop {
+        sched.point(SchedSite::ManagerLoop);
         let drained = drain_outqs(shared, &mut gq, &mut drain_buf);
         locals.clear();
         locals.extend(shared.iter().map(|s| s.local.load(Ordering::Acquire)));
@@ -884,6 +992,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                         uncore,
                         &mut sink,
                         &mut drain_buf,
+                        sched,
                     );
                     spec_stats.checkpoints += 1;
                     th.record(
@@ -910,7 +1019,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                 } else {
                     pacer.window_end(g)
                 };
-                publish_window(shared, window_end);
+                publish_window(shared, window_end, sched);
                 backoff.reset();
             } else {
                 if committed.load(Ordering::Acquire) >= cfg.commit_target {
@@ -921,15 +1030,15 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                     let clamp = Cycle::new(furthest.max(global.as_u64() + 1));
                     if clamp < window_end {
                         window_end = clamp;
-                        publish_window(shared, window_end);
+                        publish_window(shared, window_end, sched);
                     }
                 }
                 if obs_on {
                     let wait_started = Instant::now();
-                    backoff.wait();
+                    backoff.wait(sched);
                     mgr_wait_ns += wait_started.elapsed().as_nanos() as u64;
                 } else {
-                    backoff.wait();
+                    backoff.wait(sched);
                 }
             }
             continue;
@@ -952,7 +1061,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
 
         if pending_rollback {
             let snap = snapshot.as_ref().expect("rollback requires a snapshot");
-            stop_all(shared, cmd_txs, ack_rxs);
+            stop_all(shared, cmd_txs, ack_rxs, sched);
             drain_outqs(shared, &mut gq, &mut drain_buf);
             gq.clear();
             // Cores are stopped (ack received), so the manager may act as
@@ -983,11 +1092,14 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                 shared[i]
                     .local
                     .store(snap.global.as_u64(), Ordering::Release);
-                tx.send(Command::Restore(Box::new((m.clone(), ib.clone()))))
-                    .expect("core alive");
-                wake_core(&shared[i]);
+                send_cmd(
+                    &shared[i],
+                    tx,
+                    Command::Restore(Box::new((m.clone(), ib.clone()))),
+                    sched,
+                );
             }
-            await_acks(ack_rxs);
+            await_acks(ack_rxs, sched);
             *uncore = snap.uncore.clone();
             tally = snap.tally;
             committed.store(snap.committed, Ordering::Release);
@@ -1008,8 +1120,8 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             next_cp_trigger = snap.global.as_u64() + cp_interval;
             pending_rollback = false;
             window_end = snap.global + 1;
-            publish_window(shared, window_end);
-            resume_all(shared, cmd_txs);
+            publish_window(shared, window_end, sched);
+            resume_all(shared, cmd_txs, sched);
             backoff.reset();
             continue;
         }
@@ -1028,17 +1140,16 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
 
         if spec.is_some() && global.as_u64() >= next_cp_trigger {
             // Stop-sync all cores at a common local time ≥ the trigger.
-            stop_all(shared, cmd_txs, ack_rxs);
+            stop_all(shared, cmd_txs, ack_rxs, sched);
             let stop_at = shared
                 .iter()
                 .map(|s| s.local.load(Ordering::Acquire))
                 .max()
                 .expect("n >= 1")
                 .max(next_cp_trigger);
-            publish_window(shared, Cycle::new(stop_at));
+            publish_window(shared, Cycle::new(stop_at), sched);
             for (i, tx) in cmd_txs.iter().enumerate() {
-                tx.send(Command::RunTo(stop_at)).expect("core alive");
-                wake_core(&shared[i]);
+                send_cmd(&shared[i], tx, Command::RunTo(stop_at), sched);
             }
             // Keep servicing while cores run up to the stop point.
             let mut acked = 0usize;
@@ -1061,6 +1172,10 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                 let rx = ack_iters.next().expect("cycle never ends");
                 if rx.try_recv().is_ok() {
                     acked += 1;
+                } else if virt {
+                    // Keep the poll visible to a virtual scheduler so the
+                    // cores can run towards their acks.
+                    sched.idle_yield(SchedSite::AwaitAck);
                 }
             }
             drain_outqs(shared, &mut gq, &mut drain_buf);
@@ -1080,15 +1195,14 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             if pending_rollback {
                 // A violation surfaced during stop-sync: resume and let the
                 // rollback branch at the top of the loop handle it.
-                resume_all(shared, cmd_txs);
+                resume_all(shared, cmd_txs, sched);
                 continue;
             }
             // Cores are paused right after their RunTo ack: snapshot them.
             for (i, tx) in cmd_txs.iter().enumerate() {
-                tx.send(Command::Snapshot).expect("core alive");
-                wake_core(&shared[i]);
+                send_cmd(&shared[i], tx, Command::Snapshot, sched);
             }
-            await_acks(ack_rxs);
+            await_acks(ack_rxs, sched);
             let cores: Vec<CoreSnapshot<C>> = shared
                 .iter()
                 .map(|s| s.snapshot.take().expect("snapshot filled"))
@@ -1127,13 +1241,14 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             next_cp_trigger = stop_at + cp_interval;
             locals.clear();
             locals.resize(n, stop_at);
-            window_end = publish_greedy_windows(pacer, shared, &locals, &mut cycles_buf, cfg);
-            resume_all(shared, cmd_txs);
+            window_end =
+                publish_greedy_windows(pacer, shared, &locals, &mut cycles_buf, cfg, sched);
+            resume_all(shared, cmd_txs, sched);
             backoff.reset();
             continue;
         }
 
-        window_end = publish_greedy_windows(pacer, shared, &locals, &mut cycles_buf, cfg);
+        window_end = publish_greedy_windows(pacer, shared, &locals, &mut cycles_buf, cfg, sched);
         if progress {
             // Something moved this iteration: go straight back to
             // draining instead of waiting.
@@ -1141,10 +1256,10 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
         }
         if obs_on {
             let wait_started = Instant::now();
-            backoff.wait();
+            backoff.wait(sched);
             mgr_wait_ns += wait_started.elapsed().as_nanos() as u64;
         } else {
-            backoff.wait();
+            backoff.wait(sched);
         }
     }
 
@@ -1193,10 +1308,14 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
 }
 
 /// Sets every core's max local time and unparks any core waiting on it.
-fn publish_window<C: CoreModel>(shared: &[Arc<CoreShared<C>>], window_end: Cycle) {
+fn publish_window<C: CoreModel>(
+    shared: &[Arc<CoreShared<C>>],
+    window_end: Cycle,
+    sched: &dyn HostSched,
+) {
     for s in shared {
         s.max_local.store(window_end.as_u64(), Ordering::Release);
-        wake_core(s);
+        wake_core(s, sched);
     }
 }
 
@@ -1210,6 +1329,7 @@ fn publish_greedy_windows<C: CoreModel>(
     locals: &[u64],
     cycles_buf: &mut Vec<Cycle>,
     cfg: &EngineConfig,
+    sched: &dyn HostSched,
 ) -> Cycle {
     let global = Cycle::new(locals.iter().copied().min().expect("n >= 1"));
     let cap = cfg.lead_cap(global);
@@ -1220,13 +1340,13 @@ fn publish_greedy_windows<C: CoreModel>(
         for (i, s) in shared.iter().enumerate() {
             let w = wins[i].min(cap);
             s.max_local.store(w.as_u64(), Ordering::Release);
-            wake_core(s);
+            wake_core(s, sched);
             max_win = max_win.max(w);
         }
         max_win
     } else {
         let w = pacer.window_end(global).min(cap);
-        publish_window(shared, w);
+        publish_window(shared, w, sched);
         w
     }
 }
@@ -1309,26 +1429,43 @@ fn stop_all<C: CoreModel>(
     shared: &[Arc<CoreShared<C>>],
     cmd_txs: &[Sender<Command<C>>],
     ack_rxs: &[Receiver<u64>],
+    sched: &dyn HostSched,
 ) {
     for (i, tx) in cmd_txs.iter().enumerate() {
-        tx.send(Command::Stop).expect("core alive");
-        wake_core(&shared[i]);
+        send_cmd(&shared[i], tx, Command::Stop, sched);
     }
-    await_acks(ack_rxs);
+    await_acks(ack_rxs, sched);
 }
 
 /// Sends `Resume` to every (paused) core.
-fn resume_all<C: CoreModel>(shared: &[Arc<CoreShared<C>>], cmd_txs: &[Sender<Command<C>>]) {
+fn resume_all<C: CoreModel>(
+    shared: &[Arc<CoreShared<C>>],
+    cmd_txs: &[Sender<Command<C>>],
+    sched: &dyn HostSched,
+) {
     for (i, tx) in cmd_txs.iter().enumerate() {
-        tx.send(Command::Resume).expect("core alive");
-        wake_core(&shared[i]);
+        send_cmd(&shared[i], tx, Command::Resume, sched);
     }
 }
 
-/// Blocks until every core has acknowledged the last command.
-fn await_acks(ack_rxs: &[Receiver<u64>]) {
+/// Blocks until every core has acknowledged the last command: a real
+/// blocking receive natively, a scheduler-visible poll under a virtual
+/// scheduler.
+fn await_acks(ack_rxs: &[Receiver<u64>], sched: &dyn HostSched) {
+    if !sched.virtualized() {
+        for rx in ack_rxs {
+            rx.recv().expect("core alive");
+        }
+        return;
+    }
     for rx in ack_rxs {
-        rx.recv().expect("core alive");
+        loop {
+            match rx.try_recv() {
+                Ok(_) => break,
+                Err(TryRecvError::Empty) => sched.idle_yield(SchedSite::AwaitAck),
+                Err(TryRecvError::Disconnected) => panic!("core alive"),
+            }
+        }
     }
 }
 
@@ -1343,8 +1480,9 @@ fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
     uncore: &mut U,
     sink: &mut ServiceSink<C::Event>,
     drain_buf: &mut Vec<Timestamped<C::Event>>,
+    sched: &dyn HostSched,
 ) -> Vec<CoreSnapshot<C>> {
-    stop_all(shared, cmd_txs, ack_rxs);
+    stop_all(shared, cmd_txs, ack_rxs, sched);
     drain_outqs(shared, gq, drain_buf);
     // Service without violation bookkeeping: only used at cycle 0 where the
     // queues are empty anyway; drain defensively.
@@ -1356,15 +1494,14 @@ fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
         let _ = sink.take_violations();
     }
     for (i, tx) in cmd_txs.iter().enumerate() {
-        tx.send(Command::Snapshot).expect("core alive");
-        wake_core(&shared[i]);
+        send_cmd(&shared[i], tx, Command::Snapshot, sched);
     }
-    await_acks(ack_rxs);
+    await_acks(ack_rxs, sched);
     let snaps = shared
         .iter()
         .map(|s| s.snapshot.take().expect("snapshot filled"))
         .collect();
-    resume_all(shared, cmd_txs);
+    resume_all(shared, cmd_txs, sched);
     snaps
 }
 

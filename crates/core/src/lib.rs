@@ -95,6 +95,7 @@ pub mod event;
 pub mod model;
 pub mod obs;
 pub mod rng;
+pub mod sched;
 pub mod scheme;
 pub mod speculative;
 pub mod stats;
@@ -107,6 +108,7 @@ pub use engine::{
     UncoreModel,
 };
 pub use event::{CoreId, Timestamped};
+pub use sched::{HostSched, SchedRef, SchedSite, TaskId};
 pub use scheme::Scheme;
 pub use speculative::{SpeculationConfig, ViolationSelect};
 pub use stats::SimReport;

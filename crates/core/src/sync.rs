@@ -17,7 +17,24 @@ use std::cell::UnsafeCell;
 use std::collections::VecDeque;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{HostSched, SchedSite};
+
+/// Optional scheduling-point instrumentation shared by the sync
+/// primitives: `None` (the production default) costs one predictable
+/// branch per operation; `Some` routes a labelled [`SchedSite`] to a
+/// virtual scheduler before the operation proceeds, so a conformance
+/// harness can interleave the producer and consumer protocols at
+/// operation granularity.
+type SchedHook = Option<Arc<dyn HostSched>>;
+
+#[inline]
+fn sched_point(hook: &SchedHook, site: SchedSite) {
+    if let Some(h) = hook {
+        h.point(site);
+    }
+}
 
 /// Pads a value to its own cache line so the producer and consumer
 /// indices of a ring never false-share.
@@ -89,6 +106,8 @@ pub struct SpscRing<T> {
     spill_len: AtomicUsize,
     /// Relaxed element counter for `depth_hint`.
     depth: AtomicUsize,
+    /// Scheduling-point hook; `None` in production.
+    hook: SchedHook,
 }
 
 // SAFETY: the SPSC contract above restricts each field to one role;
@@ -107,6 +126,14 @@ impl<T> SpscRing<T> {
     /// spill to the mutex-backed overflow, so the queue as a whole is
     /// unbounded.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_sched(capacity, None)
+    }
+
+    /// Like [`with_capacity`](Self::with_capacity), with a
+    /// scheduling-point hook invoked at the top of every queue operation.
+    /// Production callers pass `None` (see
+    /// [`SchedRef::instrumentation_hook`](crate::sched::SchedRef::instrumentation_hook)).
+    pub fn with_capacity_and_sched(capacity: usize, hook: SchedHook) -> Self {
         let cap = capacity.max(2).next_power_of_two();
         let buf = (0..cap)
             .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
@@ -122,12 +149,19 @@ impl<T> SpscRing<T> {
             spill: Mutex::new(VecDeque::new()),
             spill_len: AtomicUsize::new(0),
             depth: AtomicUsize::new(0),
+            hook,
         }
     }
 
     /// Creates a ring with the engine's default capacity.
     pub fn new() -> Self {
         Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a ring with the engine's default capacity and a
+    /// scheduling-point hook. Production callers pass `None`.
+    pub fn with_sched(hook: SchedHook) -> Self {
+        Self::with_capacity_and_sched(Self::DEFAULT_CAPACITY, hook)
     }
 
     /// Number of lock-free slots.
@@ -137,6 +171,7 @@ impl<T> SpscRing<T> {
 
     /// Appends one element (producer side).
     pub fn push(&self, value: T) {
+        sched_point(&self.hook, SchedSite::RingPush);
         if self.spill_len.load(Ordering::Relaxed) == 0 {
             let tail = self.tail.0.load(Ordering::Relaxed);
             // SAFETY: head_cache is touched only by the (single) producer.
@@ -166,6 +201,7 @@ impl<T> SpscRing<T> {
         if src.is_empty() {
             return;
         }
+        sched_point(&self.hook, SchedSite::RingPush);
         let n = src.len();
         let mut drained = src.drain(..);
         if self.spill_len.load(Ordering::Relaxed) == 0 {
@@ -206,6 +242,7 @@ impl<T> SpscRing<T> {
 
     /// Removes and returns the oldest element, if any (consumer side).
     pub fn pop(&self) -> Option<T> {
+        sched_point(&self.hook, SchedSite::RingPop);
         let head = self.head.0.load(Ordering::Relaxed);
         // SAFETY: tail_cache is touched only by the (single) consumer.
         let cache = unsafe { &mut *self.tail_cache.0.get() };
@@ -238,6 +275,7 @@ impl<T> SpscRing<T> {
     /// order, and returns how many were moved (consumer side). The ring
     /// portion is consumed with a single Release store.
     pub fn drain_into(&self, out: &mut Vec<T>) -> usize {
+        sched_point(&self.hook, SchedSite::RingDrain);
         let head = self.head.0.load(Ordering::Relaxed);
         let tail = self.tail.0.load(Ordering::Acquire);
         // SAFETY: consumer-private cache (see `pop`).
@@ -336,19 +374,29 @@ pub struct SharedQueue<T> {
     /// Mirror of the queue length, updated while holding the lock, so
     /// samplers can read the depth without contending for it.
     depth: AtomicUsize,
+    /// Scheduling-point hook; `None` in production.
+    hook: SchedHook,
 }
 
 impl<T> SharedQueue<T> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        Self::with_sched(None)
+    }
+
+    /// Creates an empty queue with a scheduling-point hook invoked at
+    /// the top of every push/pop. Production callers pass `None`.
+    pub fn with_sched(hook: SchedHook) -> Self {
         SharedQueue {
             inner: Mutex::new(VecDeque::new()),
             depth: AtomicUsize::new(0),
+            hook,
         }
     }
 
     /// Appends an element at the tail.
     pub fn push(&self, value: T) {
+        sched_point(&self.hook, SchedSite::QueueOp);
         let mut q = self.inner.lock().expect("queue poisoned");
         q.push_back(value);
         self.depth.store(q.len(), Ordering::Relaxed);
@@ -356,6 +404,7 @@ impl<T> SharedQueue<T> {
 
     /// Removes and returns the head element, if any.
     pub fn pop(&self) -> Option<T> {
+        sched_point(&self.hook, SchedSite::QueueOp);
         let mut q = self.inner.lock().expect("queue poisoned");
         let value = q.pop_front();
         self.depth.store(q.len(), Ordering::Relaxed);
@@ -393,23 +442,34 @@ impl<T> SharedQueue<T> {
 #[derive(Debug, Default)]
 pub struct SnapshotSlot<T> {
     slot: Mutex<Option<T>>,
+    /// Scheduling-point hook; `None` in production.
+    hook: SchedHook,
 }
 
 impl<T> SnapshotSlot<T> {
     /// Creates an empty slot.
     pub fn new() -> Self {
+        Self::with_sched(None)
+    }
+
+    /// Creates an empty slot with a scheduling-point hook invoked on
+    /// every put/take. Production callers pass `None`.
+    pub fn with_sched(hook: SchedHook) -> Self {
         SnapshotSlot {
             slot: Mutex::new(None),
+            hook,
         }
     }
 
     /// Stores `value`, replacing any previous occupant.
     pub fn put(&self, value: T) {
+        sched_point(&self.hook, SchedSite::SnapshotPut);
         *self.slot.lock().expect("slot poisoned") = Some(value);
     }
 
     /// Removes and returns the occupant, if any.
     pub fn take(&self) -> Option<T> {
+        sched_point(&self.hook, SchedSite::SnapshotTake);
         self.slot.lock().expect("slot poisoned").take()
     }
 }

@@ -372,3 +372,86 @@ fn cycle_next_multiple() {
         assert!(n.as_u64() - raw <= q, "case {case}");
     }
 }
+
+/// Degenerate checkpoint interval of 1: every violation lands at offset
+/// 0, every closed cycle is its own interval, and the statistics stay
+/// exact.
+#[test]
+fn interval_tracker_interval_of_one() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x1111 + case);
+        let end = rng.next_range(50, 300);
+        let n_viol = rng.next_below(50) as usize;
+        let mut cycles: Vec<u64> = (0..n_viol).map(|_| rng.next_below(end)).collect();
+        cycles.sort_unstable();
+        cycles.dedup();
+
+        let mut t = IntervalTracker::new(1);
+        for &v in &cycles {
+            t.close_intervals_up_to(Cycle::new(v));
+            t.observe_violation(Cycle::new(v));
+        }
+        t.close_intervals_up_to(Cycle::new(end));
+
+        assert_eq!(t.intervals_total(), end, "case {case}");
+        assert_eq!(t.intervals_violating(), cycles.len() as u64, "case {case}");
+        // With I = 1 the only possible offset is 0.
+        assert_eq!(t.mean_first_distance(), 0.0, "case {case}");
+        let f = cycles.len() as f64 / end as f64;
+        assert!((t.fraction_violating() - f).abs() < 1e-12, "case {case}");
+    }
+}
+
+/// The engines disable speculation by parking the next checkpoint
+/// trigger at `u64::MAX`. The tracker must tolerate the same sentinel:
+/// an (effectively) unreachable interval never closes, clamps every
+/// observation, and reports empty statistics without overflowing.
+#[test]
+fn interval_tracker_unreachable_checkpoint_guard() {
+    let mut t = IntervalTracker::new(u64::MAX);
+    t.observe_violation(Cycle::new(0));
+    t.observe_violation(Cycle::new(u64::MAX)); // clamped to I - 1
+    t.close_intervals_up_to(Cycle::new(u64::MAX - 1));
+    assert_eq!(
+        t.intervals_total(),
+        0,
+        "the unreachable interval never closes"
+    );
+    assert_eq!(t.intervals_violating(), 0);
+    assert_eq!(t.fraction_violating(), 0.0);
+    assert_eq!(t.mean_first_distance(), 0.0);
+    assert_eq!(t.current_start(), Cycle::ZERO);
+}
+
+/// Rollback landing exactly on the checkpoint boundary: a violation
+/// stamped at `start + I` still belongs to the interval it aborted
+/// (clamped to distance I - 1), and `reopen_current` — the rollback
+/// restarting the interval — erases exactly the current observation
+/// while already-closed intervals stay counted.
+#[test]
+fn interval_tracker_rollback_on_the_checkpoint_boundary() {
+    let interval = 100u64;
+    let mut t = IntervalTracker::new(interval);
+
+    // Interval [0, 100): violation exactly at the closing boundary.
+    t.observe_violation(Cycle::new(interval));
+    t.close_intervals_up_to(Cycle::new(interval));
+    assert_eq!(t.intervals_total(), 1);
+    assert_eq!(t.intervals_violating(), 1);
+    assert!((t.mean_first_distance() - (interval - 1) as f64).abs() < 1e-12);
+
+    // Interval [100, 200): violation on its boundary, then a rollback
+    // restarts the interval before it closes.
+    t.observe_violation(Cycle::new(2 * interval));
+    t.reopen_current();
+    t.close_intervals_up_to(Cycle::new(2 * interval));
+    assert_eq!(t.intervals_total(), 2);
+    assert_eq!(t.intervals_violating(), 1, "reopened interval closed clean");
+
+    // The CC replay after the rollback re-detects at the boundary of the
+    // *next* interval: attributed as a distance-0 straggler.
+    t.observe_violation(Cycle::new(2 * interval));
+    t.close_intervals_up_to(Cycle::new(3 * interval));
+    assert_eq!(t.intervals_total(), 3);
+    assert_eq!(t.intervals_violating(), 2);
+}

@@ -5,7 +5,7 @@
 //! slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
 //!          [--bound N] [--quantum N] [--target PCT] [--band PCT]
 //!          [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
-//!          [--checkpoint N] [--rollback all|map] [--verbose]
+//!          [--checkpoint N] [--rollback all|map|none] [--verbose]
 //!          [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
 //! ```
 
@@ -14,9 +14,52 @@ use slacksim::{
     Benchmark, EngineKind, ObsConfig, Simulation, SpeculationConfig, ViolationKind, ViolationSelect,
 };
 
+/// Flags that take a value in the following argument.
+const VALUE_FLAGS: &[&str] = &[
+    "--benchmark",
+    "--scheme",
+    "--bound",
+    "--quantum",
+    "--target",
+    "--band",
+    "--period",
+    "--engine",
+    "--cores",
+    "--commit",
+    "--seed",
+    "--checkpoint",
+    "--rollback",
+    "--trace",
+    "--metrics",
+    "--sample-every",
+];
+
+/// Flags that stand alone.
+const BOOL_FLAGS: &[&str] = &["--verbose", "--help", "-h"];
+
 struct Args(Vec<String>);
 
 impl Args {
+    /// Rejects unknown flags, stray positional arguments and value flags
+    /// missing their value — a typo must fail loudly, not silently fall
+    /// back to a default configuration.
+    fn validate(&self) {
+        let mut i = 0;
+        while i < self.0.len() {
+            let a = self.0[i].as_str();
+            if BOOL_FLAGS.contains(&a) {
+                i += 1;
+            } else if VALUE_FLAGS.contains(&a) {
+                if i + 1 >= self.0.len() {
+                    usage_error(&format!("flag '{a}' expects a value"));
+                }
+                i += 2;
+            } else {
+                usage_error(&format!("unknown argument '{a}'"));
+            }
+        }
+    }
+
     fn value(&self, flag: &str) -> Option<&str> {
         self.0
             .iter()
@@ -26,9 +69,12 @@ impl Args {
     }
 
     fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
-        self.value(flag)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
+        match self.value(flag) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| usage_error(&format!("invalid value '{v}' for {flag}"))),
+        }
     }
 
     fn has(&self, flag: &str) -> bool {
@@ -49,6 +95,7 @@ fn main() {
         println!("{}", HELP);
         return;
     }
+    args.validate();
 
     let benchmark = match args.value("--benchmark") {
         None => Benchmark::Fft,
@@ -95,13 +142,21 @@ fn main() {
         .cores(args.parsed("--cores", 8))
         .commit_target(args.parsed("--commit", 500_000))
         .seed(args.parsed("--seed", 1));
-    if let Some(interval) = args.value("--checkpoint").and_then(|v| v.parse().ok()) {
-        let select = match args.value("--rollback") {
-            Some("all") => ViolationSelect::all(),
-            Some("map") => ViolationSelect::only(&[ViolationKind::Map]),
-            _ => ViolationSelect::none(),
-        };
+    let select = match args.value("--rollback") {
+        None | Some("none") => ViolationSelect::none(),
+        Some("all") => ViolationSelect::all(),
+        Some("map") => ViolationSelect::only(&[ViolationKind::Map]),
+        Some(other) => usage_error(&format!(
+            "unknown rollback selection '{other}' (expected all|map|none)"
+        )),
+    };
+    if let Some(interval) = args.value("--checkpoint") {
+        let interval: u64 = interval.parse().unwrap_or_else(|_| {
+            usage_error(&format!("invalid value '{interval}' for --checkpoint"))
+        });
         sim.speculation(SpeculationConfig::speculative(interval, select));
+    } else if args.has("--rollback") {
+        usage_error("--rollback requires --checkpoint INTERVAL");
     }
     if trace_path.is_some() || metrics_path.is_some() || args.has("--sample-every") {
         sim.observability(
@@ -154,7 +209,7 @@ USAGE:
   slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
            [--bound N] [--quantum N] [--target PCT] [--band PCT] [--period N]
            [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
-           [--checkpoint INTERVAL] [--rollback all|map] [--verbose]
+           [--checkpoint INTERVAL] [--rollback all|map|none] [--verbose]
            [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
 
 OBSERVABILITY:

@@ -46,6 +46,7 @@ pub use slacksim_cmp::config::{CmpConfig, CoreConfig, UncoreConfig};
 pub use slacksim_core::engine::{BurstPolicy, EngineConfig, EngineError};
 pub use slacksim_core::model;
 pub use slacksim_core::obs::{ObsConfig, ObsData};
+pub use slacksim_core::sched::{HostSched, SchedRef, SchedSite, TaskId};
 pub use slacksim_core::scheme;
 pub use slacksim_core::speculative::{SpeculationConfig, ViolationSelect};
 pub use slacksim_core::stats::{percent_error, SimReport};
@@ -96,6 +97,7 @@ pub struct Simulation {
     max_lead: u64,
     speculation: Option<SpeculationConfig>,
     obs: Option<ObsConfig>,
+    sched: Option<SchedRef>,
 }
 
 impl Simulation {
@@ -114,6 +116,7 @@ impl Simulation {
             max_lead: 256,
             speculation: None,
             obs: None,
+            sched: None,
         }
     }
 
@@ -188,6 +191,14 @@ impl Simulation {
         self
     }
 
+    /// Installs a custom host scheduler for the threaded engine's wait
+    /// paths (used by the conformance harness to explore interleavings
+    /// deterministically; production runs keep the native default).
+    pub fn host_sched(&mut self, sched: SchedRef) -> &mut Self {
+        self.sched = Some(sched);
+        self
+    }
+
     /// Builds the engine configuration this run will use.
     fn engine_config(&self) -> EngineConfig {
         let mut cfg = EngineConfig::new(self.scheme.clone(), self.commit_target);
@@ -197,6 +208,9 @@ impl Simulation {
         cfg.max_lead = self.max_lead;
         cfg.speculation = self.speculation;
         cfg.obs = self.obs;
+        if let Some(sched) = &self.sched {
+            cfg.sched = sched.clone();
+        }
         cfg
     }
 

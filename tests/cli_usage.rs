@@ -1,0 +1,143 @@
+//! Integration tests for the `slacksim` binary's usage surface: `--help`
+//! must enumerate every accepted `--scheme`/`--engine`/`--benchmark`
+//! value, and invalid flag values must fail with exit code 2 and an error
+//! message that enumerates the accepted values — never silently fall back
+//! to a default configuration.
+
+use std::process::{Command, Output};
+
+fn slacksim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_slacksim"))
+        .args(args)
+        .output()
+        .expect("spawn slacksim binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Asserts a usage failure: exit code 2, an `error:` line mentioning every
+/// expected token, and the pointer at `--help`.
+fn assert_usage_error(out: &Output, expect: &[&str]) {
+    assert_eq!(out.status.code(), Some(2), "usage errors exit with code 2");
+    let err = stderr(out);
+    assert!(
+        err.starts_with("error: "),
+        "stderr starts with error:, got {err:?}"
+    );
+    for token in expect {
+        assert!(
+            err.contains(token),
+            "stderr must mention {token:?}, got {err:?}"
+        );
+    }
+    assert!(
+        err.contains("slacksim --help"),
+        "stderr points at --help, got {err:?}"
+    );
+}
+
+#[test]
+fn help_enumerates_scheme_engine_and_benchmark_values() {
+    for flag in ["--help", "-h"] {
+        let out = slacksim(&[flag]);
+        assert!(out.status.success(), "{flag} exits 0");
+        let text = stdout(&out);
+        assert!(
+            text.contains("cc|bounded|unbounded|quantum|adaptive|p2p"),
+            "help enumerates --scheme values"
+        );
+        assert!(
+            text.contains("seq|threaded"),
+            "help enumerates --engine values"
+        );
+        assert!(
+            text.contains("barnes|fft|lu|water"),
+            "help enumerates --benchmark values"
+        );
+        assert!(
+            text.contains("all|map|none"),
+            "help enumerates --rollback values"
+        );
+    }
+}
+
+#[test]
+fn unknown_scheme_enumerates_accepted_values() {
+    let out = slacksim(&["--scheme", "warp"]);
+    assert_usage_error(&out, &["warp", "cc|bounded|unbounded|quantum|adaptive|p2p"]);
+}
+
+#[test]
+fn unknown_engine_enumerates_accepted_values() {
+    let out = slacksim(&["--engine", "turbo"]);
+    assert_usage_error(&out, &["turbo", "seq|threaded"]);
+}
+
+#[test]
+fn unknown_benchmark_enumerates_accepted_values() {
+    let out = slacksim(&["--benchmark", "raytrace"]);
+    assert_usage_error(&out, &["raytrace", "barnes|fft|lu|water"]);
+}
+
+#[test]
+fn unknown_rollback_selection_enumerates_accepted_values() {
+    let out = slacksim(&["--checkpoint", "1000", "--rollback", "sometimes"]);
+    assert_usage_error(&out, &["sometimes", "all|map|none"]);
+}
+
+#[test]
+fn rollback_without_checkpoint_is_rejected() {
+    let out = slacksim(&["--rollback", "all"]);
+    assert_usage_error(&out, &["--rollback requires --checkpoint"]);
+}
+
+#[test]
+fn unknown_flag_is_rejected() {
+    let out = slacksim(&["--frobnicate"]);
+    assert_usage_error(&out, &["unknown argument '--frobnicate'"]);
+}
+
+#[test]
+fn stray_positional_argument_is_rejected() {
+    let out = slacksim(&["fft"]);
+    assert_usage_error(&out, &["unknown argument 'fft'"]);
+}
+
+#[test]
+fn value_flag_missing_its_value_is_rejected() {
+    let out = slacksim(&["--scheme"]);
+    assert_usage_error(&out, &["'--scheme' expects a value"]);
+}
+
+#[test]
+fn malformed_numeric_value_is_rejected() {
+    for (flag, bad) in [("--cores", "many"), ("--commit", "1e9"), ("--bound", "-3")] {
+        let out = slacksim(&["--scheme", "bounded", flag, bad]);
+        assert_usage_error(&out, &[&format!("invalid value '{bad}' for {flag}")]);
+    }
+}
+
+#[test]
+fn small_valid_run_succeeds_and_prints_a_report() {
+    let out = slacksim(&[
+        "--benchmark",
+        "fft",
+        "--scheme",
+        "bounded",
+        "--bound",
+        "8",
+        "--cores",
+        "2",
+        "--commit",
+        "2000",
+    ]);
+    assert!(out.status.success(), "valid run exits 0: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(!text.is_empty(), "report printed to stdout");
+}

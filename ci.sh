@@ -22,13 +22,31 @@ echo "==> conformance smoke (adversarial schedules, bounded seeds)"
 SLACKSIM_CONFORMANCE_SEEDS=4 \
     cargo test -p slacksim-conformance -q --release --offline
 
-echo "==> bench smoke (engine_throughput, short run)"
-# Short run into a scratch path (the committed BENCH_threaded.json holds
-# full-run numbers). The bench validates its own emission with the
-# in-tree obs::json parser before writing; here we assert the artifact
-# landed and is non-empty.
+echo "==> delta-checkpoint smoke (bounded slack, full-vs-delta oracle + CLI)"
+# The delta-vs-full state-equality oracle (DESIGN §11-§12) on the
+# deterministic engine — delta-restored state must be bit-identical to a
+# full-clone restore across the speculation matrix — plus one end-to-end
+# threaded delta-mode run through the release binary under a greedy
+# (bounded) scheme.
+cargo test -p slacksim-conformance -q --release --offline \
+    --test conformance delta_checkpoints_match_full_clones_exactly
+./target/release/slacksim --scheme bounded --bound 16 --engine threaded \
+    --commit 20000 --checkpoint 2000 --checkpoint-mode delta --rollback all \
+    > /dev/null
+
+echo "==> bench smoke (engine_throughput, short run, checked against baseline)"
+# Short run into a scratch path, compared against the committed
+# BENCH_threaded.json: every engine/scheme row must keep at least 0.25x
+# the committed median throughput or the bench exits non-zero. The
+# tolerance is deliberately generous — the smoke run's commit target is
+# ~7x smaller than the committed full run's, so fixed startup costs weigh
+# more and shared CI hosts add noise — but it still catches the silent
+# multi-x regressions that previously drifted past this stage unnoticed.
 smoke_out="$(mktemp /tmp/BENCH_threaded_smoke.XXXXXX.json)"
+# Paths must be absolute: cargo bench runs the binary with the package
+# directory as its working directory, not the repo root.
 SLACKSIM_BENCH_SMOKE=1 SLACKSIM_BENCH_OUT="$smoke_out" \
+SLACKSIM_BENCH_BASELINE="$PWD/BENCH_threaded.json" SLACKSIM_BENCH_TOLERANCE=0.25 \
     cargo bench -p slacksim-bench --bench engine_throughput --offline
 test -s "$smoke_out" || { echo "ci: bench smoke produced no output" >&2; exit 1; }
 rm -f "$smoke_out"

@@ -1,52 +1,94 @@
-//! Bench: checkpointing overhead vs interval length (the mechanism behind
-//! Table 2's 5K-100K columns).
+//! Bench: checkpointing overhead vs interval length and capture mode (the
+//! mechanism behind Table 2's 5K-100K columns, full clones vs incremental
+//! deltas per DESIGN §12).
 //!
 //! A plain `main()` timing harness over `std::time::Instant` — no external
 //! bench framework, so it runs in fully offline builds. Invoke with
 //! `cargo bench --bench checkpoint_cost`.
+//!
+//! Beyond the end-to-end medians, each checkpointed configuration derives
+//! the per-checkpoint overhead — `(median − no-checkpoint median) /
+//! checkpoints-taken` — which is where the full-vs-delta difference shows
+//! even when checkpoints are a small fraction of total run time.
 
 use std::time::Instant;
 
 use slacksim::scheme::Scheme;
-use slacksim::{Benchmark, EngineKind, Simulation, SpeculationConfig};
+use slacksim::{Benchmark, CheckpointMode, EngineKind, Simulation, SpeculationConfig};
 
 const ITERS: u32 = 5;
+/// Large enough that even the 100k interval takes several checkpoints
+/// (~285k simulated cycles for LU at this target) and the cold-start
+/// transient — the first few checkpoints see most of the L2 and map
+/// dirty — stops dominating the per-checkpoint means.
+const COMMIT_TARGET: u64 = 5_000_000;
 
-fn run(interval: Option<u64>) {
+/// Paper Table 2 checkpoint intervals, in simulated global cycles.
+const INTERVALS: [u64; 4] = [5_000, 10_000, 50_000, 100_000];
+
+/// Runs one configuration and returns the number of checkpoints taken.
+fn run(interval: Option<u64>, mode: CheckpointMode) -> u64 {
     let mut sim = Simulation::new(Benchmark::Lu);
     sim.cores(8)
-        .commit_target(40_000)
+        .commit_target(COMMIT_TARGET)
         .seed(1)
         .scheme(Scheme::BoundedSlack { bound: 16 })
         .engine(EngineKind::Sequential);
     if let Some(i) = interval {
-        sim.speculation(SpeculationConfig::checkpoint_only(i));
+        sim.speculation(SpeculationConfig::checkpoint_only(i).with_mode(mode));
     }
     let report = sim.run().expect("bench run");
-    assert!(report.committed >= 40_000);
+    assert!(report.committed >= COMMIT_TARGET);
+    report.kernel.get("checkpoints")
 }
 
-fn bench(label: &str, mut f: impl FnMut()) {
-    f(); // warm-up
+/// Times one configuration; returns the median wall seconds and the
+/// checkpoint count of the last run.
+fn bench(label: &str, interval: Option<u64>, mode: CheckpointMode) -> (f64, u64) {
+    run(interval, mode); // warm-up
     let mut times = Vec::with_capacity(ITERS as usize);
+    let mut checkpoints = 0;
     for _ in 0..ITERS {
         let t = Instant::now();
-        f();
+        checkpoints = run(interval, mode);
         times.push(t.elapsed());
     }
     times.sort();
     let median = times[times.len() / 2];
     let total: std::time::Duration = times.iter().sum();
     println!(
-        "{label:<40} median {median:>12?}  mean {:>12?}  ({ITERS} iters)",
+        "{label:<16} median {median:>12?}  mean {:>12?}  {checkpoints:>4} checkpoints  ({ITERS} iters)",
         total / ITERS
     );
+    (median.as_secs_f64(), checkpoints)
 }
 
 fn main() {
-    println!("checkpoint_interval (LU, 8 cores, 40k commits)");
-    bench("none", || run(None));
-    for interval in [1_000u64, 5_000, 20_000] {
-        bench(&interval.to_string(), move || run(Some(interval)));
+    println!("checkpoint_cost (LU, 8 cores, bounded-16, {COMMIT_TARGET} commits)");
+    let (base, _) = bench("none", None, CheckpointMode::Full);
+    println!();
+    for interval in INTERVALS {
+        let (full, n_full) = bench(
+            &format!("{interval} full"),
+            Some(interval),
+            CheckpointMode::Full,
+        );
+        let (delta, n_delta) = bench(
+            &format!("{interval} delta"),
+            Some(interval),
+            CheckpointMode::Delta,
+        );
+        assert_eq!(
+            n_full, n_delta,
+            "capture mode must not change the checkpoint schedule"
+        );
+        let per_cp = |wall: f64| ((wall - base).max(0.0) / n_full.max(1) as f64) * 1e6;
+        println!(
+            "  interval {interval}: per-checkpoint overhead full {:>8.1} us, delta {:>8.1} us \
+             (delta/full {:.2})\n",
+            per_cp(full),
+            per_cp(delta),
+            per_cp(delta) / per_cp(full).max(f64::MIN_POSITIVE),
+        );
     }
 }

@@ -19,13 +19,16 @@
 //! * `SLACKSIM_BENCH_SMOKE=1` — tiny commit target and 2 iterations, for
 //!   CI smoke runs;
 //! * `SLACKSIM_BENCH_BASELINE=path` — embed a previous `BENCH_threaded.json`
-//!   under a `"baseline"` key and report per-row speedups against it.
+//!   under a `"baseline"` key and report per-row speedups against it;
+//! * `SLACKSIM_BENCH_TOLERANCE=R` — with a baseline, fail (exit non-zero)
+//!   if any row's median throughput drops below `R×` the baseline row's,
+//!   so baseline drift fails CI loudly instead of passing unnoticed.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use slacksim::scheme::Scheme;
-use slacksim::{Benchmark, EngineKind, Simulation};
+use slacksim::{Benchmark, CheckpointMode, EngineKind, Simulation, SpeculationConfig};
 use slacksim_core::obs::json::Json;
 
 const CORES: usize = 8;
@@ -65,16 +68,19 @@ fn run_once(
     engine: EngineKind,
     scheme: Scheme,
     commit_target: u64,
+    spec: Option<SpeculationConfig>,
 ) -> (std::time::Duration, u64, u64, u64) {
     let t = Instant::now();
-    let report = Simulation::new(Benchmark::Fft)
-        .cores(CORES)
+    let mut sim = Simulation::new(Benchmark::Fft);
+    sim.cores(CORES)
         .commit_target(commit_target)
         .seed(1)
         .scheme(scheme)
-        .engine(engine)
-        .run()
-        .expect("bench run");
+        .engine(engine);
+    if let Some(spec) = spec {
+        sim.speculation(spec);
+    }
+    let report = sim.run().expect("bench run");
     let wall = t.elapsed();
     assert!(report.committed >= commit_target);
     (
@@ -85,6 +91,7 @@ fn run_once(
     )
 }
 
+#[allow(clippy::too_many_arguments)]
 fn bench(
     engine: EngineKind,
     engine_name: &'static str,
@@ -93,14 +100,15 @@ fn bench(
     slack_bound: Option<u64>,
     commit_target: u64,
     iters: u32,
+    spec: Option<SpeculationConfig>,
 ) -> ResultRow {
-    let _ = run_once(engine, scheme.clone(), commit_target); // warm-up
+    let _ = run_once(engine, scheme.clone(), commit_target, spec); // warm-up
     let mut times = Vec::with_capacity(iters as usize);
     let mut committed = 0;
     let mut global_cycles = 0;
     let mut events = 0;
     for _ in 0..iters {
-        let (wall, c, g, e) = run_once(engine, scheme.clone(), commit_target);
+        let (wall, c, g, e) = run_once(engine, scheme.clone(), commit_target, spec);
         times.push(wall);
         committed = c;
         global_cycles = g;
@@ -135,6 +143,32 @@ fn bench(
 fn jnum(v: f64) -> String {
     debug_assert!(v.is_finite());
     format!("{v:.3}")
+}
+
+/// Per-row median-throughput ratio against a previous `BENCH_threaded.json`
+/// document, keyed `engine/scheme`. Rows the baseline does not know are
+/// skipped (new configurations have no trajectory yet).
+fn speedups_vs(rows: &[ResultRow], baseline_raw: &str) -> Vec<(String, f64)> {
+    let mut speedups = Vec::new();
+    if let Ok(doc) = Json::parse(baseline_raw) {
+        if let Some(base_rows) = doc.get("results").and_then(Json::as_array) {
+            for r in rows {
+                let base = base_rows.iter().find(|b| {
+                    b.get("engine").and_then(Json::as_str) == Some(r.engine)
+                        && b.get("scheme").and_then(Json::as_str) == Some(r.scheme_name)
+                });
+                if let Some(eps) = base
+                    .and_then(|b| b.get("events_per_sec"))
+                    .and_then(Json::as_f64)
+                {
+                    if eps > 0.0 {
+                        speedups.push((r.key(), r.events_per_sec() / eps));
+                    }
+                }
+            }
+        }
+    }
+    speedups
 }
 
 fn emit_json(
@@ -175,35 +209,35 @@ fn emit_json(
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]");
+    // The checkpoint-cost row (DESIGN §12): full-vs-delta capture at the
+    // 5k interval, summarized from the cp5k-* result rows.
+    let cp = |name: &str| rows.iter().find(|r| r.scheme_name == name);
+    if let (Some(full), Some(delta)) = (cp("cp5k-full"), cp("cp5k-delta")) {
+        let _ = write!(
+            out,
+            ",\n  \"checkpoint_cost\": {{\"engine\": \"{}\", \"scheme\": \"bounded-16\", \
+             \"interval\": 5000, \"commit_target\": {}, \"full_wall_ms_median\": {}, \
+             \"delta_wall_ms_median\": {}, \"delta_speedup\": {}}}",
+            full.engine,
+            full.stats.committed,
+            jnum(full.stats.wall_ms_median),
+            jnum(delta.stats.wall_ms_median),
+            jnum(full.stats.wall_ms_median / delta.stats.wall_ms_median),
+        );
+    }
     if let Some(raw) = baseline_raw {
         // Embed the previous run verbatim (it was validated when written)
         // and report speedups keyed by engine/scheme.
         out.push_str(",\n  \"baseline\": ");
         out.push_str(raw.trim_end());
-        if let Ok(doc) = Json::parse(raw) {
-            if let Some(base_rows) = doc.get("results").and_then(Json::as_array) {
-                let mut speedups = Vec::new();
-                for r in rows {
-                    let base = base_rows.iter().find(|b| {
-                        b.get("engine").and_then(Json::as_str) == Some(r.engine)
-                            && b.get("scheme").and_then(Json::as_str) == Some(r.scheme_name)
-                    });
-                    if let Some(eps) = base
-                        .and_then(|b| b.get("events_per_sec"))
-                        .and_then(Json::as_f64)
-                    {
-                        if eps > 0.0 {
-                            speedups.push((r.key(), r.events_per_sec() / eps));
-                        }
-                    }
-                }
-                out.push_str(",\n  \"speedup_vs_baseline\": {\n");
-                for (i, (k, s)) in speedups.iter().enumerate() {
-                    let _ = write!(out, "    \"{k}\": {}", jnum(*s));
-                    out.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
-                }
-                out.push_str("  }");
+        let speedups = speedups_vs(rows, raw);
+        if !speedups.is_empty() {
+            out.push_str(",\n  \"speedup_vs_baseline\": {\n");
+            for (i, (k, s)) in speedups.iter().enumerate() {
+                let _ = write!(out, "    \"{k}\": {}", jnum(*s));
+                out.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
             }
+            out.push_str("  }");
         }
     }
     out.push_str("\n}\n");
@@ -233,6 +267,7 @@ fn main() {
             bound,
             commit_target,
             iters,
+            None,
         ));
     }
     for (name, bound, scheme) in [
@@ -249,6 +284,28 @@ fn main() {
             bound,
             commit_target,
             iters,
+            None,
+        ));
+    }
+
+    // Checkpoint-cost rows (DESIGN §12): bounded-16 with a checkpoint
+    // every 5k global cycles, full-clone vs delta capture, on the
+    // deterministic engine at a 10× commit target so the run crosses
+    // enough interval boundaries for the capture cost to register.
+    let cp_target = commit_target * 10;
+    for (name, mode) in [
+        ("cp5k-full", CheckpointMode::Full),
+        ("cp5k-delta", CheckpointMode::Delta),
+    ] {
+        rows.push(bench(
+            EngineKind::Sequential,
+            "sequential",
+            Scheme::BoundedSlack { bound: 16 },
+            name,
+            Some(16),
+            cp_target,
+            iters,
+            Some(SpeculationConfig::checkpoint_only(5_000).with_mode(mode)),
         ));
     }
 
@@ -267,6 +324,45 @@ fn main() {
     let json = emit_json(&rows, commit_target, iters, baseline_raw.as_deref());
     // Fail loudly if the hand-rolled emitter ever produces malformed JSON.
     Json::parse(&json).expect("emitted BENCH_threaded.json must be well-formed");
+
+    // Baseline drift gate (ci.sh bench smoke): every row the baseline
+    // knows must keep at least `SLACKSIM_BENCH_TOLERANCE`× its median
+    // throughput; anything slower — or a baseline sharing no rows at all —
+    // fails the bench rather than letting drift pass unnoticed.
+    if let Some(tol) = std::env::var("SLACKSIM_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        let Some(raw) = baseline_raw.as_deref() else {
+            eprintln!(
+                "error: SLACKSIM_BENCH_TOLERANCE set without a readable SLACKSIM_BENCH_BASELINE"
+            );
+            std::process::exit(1);
+        };
+        let speedups = speedups_vs(&rows, raw);
+        if speedups.is_empty() {
+            eprintln!("error: baseline shares no engine/scheme rows with this run");
+            std::process::exit(1);
+        }
+        for r in &rows {
+            if !speedups.iter().any(|(k, _)| *k == r.key()) {
+                eprintln!("bench check: {} has no baseline row yet, skipped", r.key());
+            }
+        }
+        let slow: Vec<&(String, f64)> = speedups.iter().filter(|(_, s)| *s < tol).collect();
+        for (k, s) in &slow {
+            eprintln!(
+                "bench check: {k} at {s:.3}x of baseline median throughput, below tolerance {tol}x"
+            );
+        }
+        if !slow.is_empty() {
+            std::process::exit(1);
+        }
+        println!(
+            "bench check: {} rows within {tol}x-of-baseline tolerance",
+            speedups.len()
+        );
+    }
 
     let out_path = std::env::var("SLACKSIM_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_threaded.json").to_string()

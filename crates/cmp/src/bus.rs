@@ -16,6 +16,7 @@
 
 use std::collections::BTreeSet;
 
+use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::time::Cycle;
 use slacksim_core::violation::TimestampMonitor;
 
@@ -100,7 +101,7 @@ pub struct BusGrant {
 /// assert_eq!(b.grant, Cycle::new(11));
 /// assert!(b.conflict && !b.violation);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Bus {
     request: SlotCalendar,
     response: SlotCalendar,
@@ -109,6 +110,76 @@ pub struct Bus {
     conflicts: u64,
     violations: u64,
     busy_cycles: u64,
+    /// Mutation generation (tracking metadata: excluded from equality).
+    /// The bus is dirtied by essentially every transaction, so it tracks
+    /// one whole-struct generation instead of fine-grained stamps — its
+    /// delta is all-or-nothing.
+    gen: u64,
+}
+
+/// Equality is over model state only; the generation counter is capture
+/// bookkeeping.
+impl PartialEq for Bus {
+    fn eq(&self, other: &Self) -> bool {
+        self.request == other.request
+            && self.response == other.response
+            && self.monitor == other.monitor
+            && self.transactions == other.transactions
+            && self.conflicts == other.conflicts
+            && self.violations == other.violations
+            && self.busy_cycles == other.busy_cycles
+    }
+}
+
+impl Eq for Bus {}
+
+/// Incremental state carrier for the [`Bus`]: whole-struct, present only
+/// when the bus mutated since the capture baseline. Capture pays one
+/// clone — the same cost the bus contributes to a full snapshot — and
+/// apply *moves* the box into place, so the delta path never clones the
+/// calendars twice.
+#[derive(Debug, Clone)]
+pub struct BusDelta {
+    gen: u64,
+    state: Option<Box<Bus>>,
+}
+
+impl BusDelta {
+    /// Whether the delta carries any state.
+    pub fn is_dirty(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
+impl Checkpointable for Bus {
+    type Delta = BusDelta;
+
+    fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    fn capture_delta(&mut self, since_gen: u64) -> BusDelta {
+        BusDelta {
+            gen: self.gen,
+            state: (self.gen > since_gen).then(|| Box::new(self.clone())),
+        }
+    }
+
+    fn apply_delta(&mut self, delta: BusDelta) {
+        let gen = self.gen.max(delta.gen);
+        if let Some(state) = delta.state {
+            *self = *state;
+        }
+        self.gen = gen;
+    }
+
+    fn restore_from(&mut self, base: &Self, since_gen: u64) {
+        if self.gen > since_gen {
+            let live_gen = self.gen;
+            *self = base.clone();
+            self.gen = live_gen; // generations are never rewound
+        }
+    }
 }
 
 impl Bus {
@@ -126,12 +197,14 @@ impl Bus {
             conflicts: 0,
             violations: 0,
             busy_cycles: 0,
+            gen: 0,
         }
     }
 
     /// Arbitrates the request bus for a transaction stamped `ts`,
     /// returning the grant time and the violation/conflict verdicts.
     pub fn arbitrate(&mut self, ts: Cycle) -> BusGrant {
+        self.gen += 1;
         self.transactions += 1;
         let violation = self.monitor.observe(ts);
         if violation {
@@ -159,6 +232,7 @@ impl Bus {
     /// Schedules a data transfer on the response bus once the data is
     /// ready; returns the cycle the transfer completes at the requester.
     pub fn respond(&mut self, data_ready: Cycle) -> Cycle {
+        self.gen += 1;
         let slot = self.response.reserve(data_ready.as_u64());
         Cycle::new(slot + self.response.occupancy)
     }
@@ -301,5 +375,29 @@ mod tests {
     #[should_panic(expected = "bus occupancy must be at least 1")]
     fn zero_occupancy_rejected() {
         let _ = Bus::new(0, 1);
+    }
+
+    #[test]
+    fn delta_is_empty_when_clean_and_whole_when_dirty() {
+        let mut live = Bus::new(1, 1);
+        live.arbitrate(ts(5));
+        let mut base = live.clone();
+        let gen = live.generation();
+
+        assert!(!live.capture_delta(gen).is_dirty(), "clean since capture");
+
+        live.arbitrate(ts(6));
+        live.respond(ts(20));
+        let delta = live.capture_delta(gen);
+        assert!(delta.is_dirty());
+        base.apply_delta(delta);
+        assert_eq!(base, live);
+
+        let cp = live.clone();
+        let cp_gen = live.generation();
+        live.arbitrate(ts(30));
+        live.restore_from(&cp, cp_gen);
+        assert_eq!(live, cp, "restore rewinds to the checkpoint");
+        assert!(live.generation() > cp_gen, "generation is not rewound");
     }
 }

@@ -7,6 +7,7 @@
 //! accesses — see `DESIGN.md` §4).
 
 use crate::mesi::MesiState;
+use slacksim_core::checkpoint::Checkpointable;
 
 /// A cache-line address: the byte address shifted right by the line-size
 /// log2. All coherence structures (L1s, L2, bus, cache status map) operate
@@ -116,6 +117,14 @@ struct Way {
 
 /// A set-associative, LRU, timing-only cache.
 ///
+/// The cache tracks which sets mutated since a capture generation so that
+/// speculative-slack checkpoints can capture per-set deltas instead of
+/// cloning every tag array (see [`Checkpointable`]). A set is the honest
+/// dirty granularity: touching one line reorders the LRU stamps of its
+/// sibling ways, so a line-level dirty bit would have to smear across the
+/// set anyway. The *payload* stays line-granular — a dirty set contributes
+/// only its resident lines (at most `ways` of them).
+///
 /// # Examples
 ///
 /// ```
@@ -128,13 +137,81 @@ struct Way {
 /// c.fill(line, MesiState::Exclusive);
 /// assert_eq!(c.probe(line), Some(MesiState::Exclusive));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
     sets: Vec<Vec<Way>>,
     set_mask: u64,
     hits: u64,
     misses: u64,
+    /// Mutation generation (tracking metadata: excluded from equality,
+    /// never rewound by restores).
+    gen: u64,
+    /// Per-set dirty stamps: `set_stamps[s] > since` means set `s` mutated
+    /// after generation `since`.
+    set_stamps: Vec<u64>,
+}
+
+/// Equality is over model state only; generation counters and dirty
+/// stamps are capture bookkeeping and must never influence comparisons
+/// (full-clone and delta checkpointing have to agree bit-for-bit).
+impl PartialEq for Cache {
+    fn eq(&self, other: &Self) -> bool {
+        self.cfg == other.cfg
+            && self.sets == other.sets
+            && self.hits == other.hits
+            && self.misses == other.misses
+    }
+}
+
+impl Eq for Cache {}
+
+/// Incremental state carrier for a [`Cache`]: the contents of every set
+/// mutated since the capture baseline, plus the probe statistics.
+#[derive(Debug, Clone)]
+pub struct CacheDelta {
+    gen: u64,
+    payload: CachePayload,
+    hits: u64,
+    misses: u64,
+}
+
+/// How the dirty sets travel.
+#[derive(Debug, Clone)]
+enum CachePayload {
+    /// Per dirty set: the set index and its resident lines. Each set
+    /// owns its allocation, so capture costs exactly the dirty slice of
+    /// a full clone and apply *moves* the lines into place instead of
+    /// copying them a second time.
+    Sparse(Vec<(u32, Vec<Way>)>),
+    /// Bulk fallback once almost every set is dirty (short checkpoint
+    /// intervals leave L1 tag arrays fully churned): the whole tag array
+    /// and its stamps, applied by moving the outer vectors — one pointer
+    /// move instead of per-set bookkeeping across thousands of sets.
+    Dense {
+        /// Dirty-set count at capture (observability only).
+        dirty: u32,
+        sets: Vec<Vec<Way>>,
+        set_stamps: Vec<u64>,
+    },
+}
+
+impl CacheDelta {
+    /// Number of sets dirty since the capture baseline.
+    pub fn dirty_sets(&self) -> usize {
+        match &self.payload {
+            CachePayload::Sparse(sets) => sets.len(),
+            CachePayload::Dense { dirty, .. } => *dirty as usize,
+        }
+    }
+
+    /// Number of resident lines carried in the payload.
+    pub fn payload_lines(&self) -> usize {
+        match &self.payload {
+            CachePayload::Sparse(sets) => sets.iter().map(|(_, ways)| ways.len()).sum(),
+            CachePayload::Dense { sets, .. } => sets.iter().map(Vec::len).sum(),
+        }
+    }
 }
 
 impl Cache {
@@ -147,7 +224,16 @@ impl Cache {
             set_mask: sets as u64 - 1,
             hits: 0,
             misses: 0,
+            gen: 0,
+            set_stamps: vec![0; sets],
         }
+    }
+
+    /// Stamps a set as mutated at a fresh generation.
+    #[inline]
+    fn touch(&mut self, set: usize) {
+        self.gen += 1;
+        self.set_stamps[set] = self.gen;
     }
 
     /// The cache geometry.
@@ -180,8 +266,12 @@ impl Cache {
             }
             ways[pos].lru = 0;
             self.hits += 1;
-            Some(ways[pos].state)
+            let state = ways[pos].state;
+            self.touch(set);
+            Some(state)
         } else {
+            // Only the miss counter moved; deltas carry the statistics
+            // scalars unconditionally, so no set needs stamping.
             self.misses += 1;
             None
         }
@@ -204,6 +294,7 @@ impl Cache {
         let tag = self.tag(line);
         if let Some(w) = self.sets[set].iter_mut().find(|w| w.tag == tag) {
             w.state = state;
+            self.touch(set);
             true
         } else {
             false
@@ -230,6 +321,7 @@ impl Cache {
                 }
             }
             ways[pos].lru = 0;
+            self.touch(set);
             return None;
         }
 
@@ -251,6 +343,7 @@ impl Cache {
             w.lru += 1;
         }
         ways.push(Way { tag, state, lru: 0 });
+        self.touch(set);
         victim
     }
 
@@ -259,9 +352,14 @@ impl Cache {
         let set = self.set_index(line);
         let tag = self.tag(line);
         let ways = &mut self.sets[set];
-        ways.iter()
+        let removed = ways
+            .iter()
             .position(|w| w.tag == tag)
-            .map(|pos| ways.swap_remove(pos).state)
+            .map(|pos| ways.swap_remove(pos).state);
+        if removed.is_some() {
+            self.touch(set);
+        }
+        removed
     }
 
     /// Number of resident lines.
@@ -277,6 +375,73 @@ impl Cache {
     /// Probe misses so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+}
+
+impl Checkpointable for Cache {
+    type Delta = CacheDelta;
+
+    fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    fn capture_delta(&mut self, since_gen: u64) -> CacheDelta {
+        let n_dirty = self.set_stamps.iter().filter(|&&s| s > since_gen).count();
+        // Past ~7/8 dirty, the per-set index bookkeeping outweighs what
+        // cloning the few clean sets would cost; carry the whole array
+        // and let apply move it in wholesale.
+        let payload = if n_dirty * 8 >= self.sets.len() * 7 {
+            CachePayload::Dense {
+                dirty: n_dirty as u32,
+                sets: self.sets.clone(),
+                set_stamps: self.set_stamps.clone(),
+            }
+        } else {
+            let mut sets = Vec::with_capacity(n_dirty);
+            for (i, &stamp) in self.set_stamps.iter().enumerate() {
+                if stamp > since_gen {
+                    sets.push((i as u32, self.sets[i].clone()));
+                }
+            }
+            CachePayload::Sparse(sets)
+        };
+        CacheDelta {
+            gen: self.gen,
+            payload,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    fn apply_delta(&mut self, delta: CacheDelta) {
+        match delta.payload {
+            CachePayload::Sparse(sets) => {
+                for (i, ways) in sets {
+                    let i = i as usize;
+                    self.sets[i] = ways;
+                    self.set_stamps[i] = delta.gen;
+                }
+            }
+            CachePayload::Dense {
+                sets, set_stamps, ..
+            } => {
+                self.sets = sets;
+                self.set_stamps = set_stamps;
+            }
+        }
+        self.gen = self.gen.max(delta.gen);
+        self.hits = delta.hits;
+        self.misses = delta.misses;
+    }
+
+    fn restore_from(&mut self, base: &Self, since_gen: u64) {
+        for (i, &stamp) in self.set_stamps.iter().enumerate() {
+            if stamp > since_gen {
+                self.sets[i].clone_from(&base.sets[i]);
+            }
+        }
+        self.hits = base.hits;
+        self.misses = base.misses;
     }
 }
 
@@ -402,6 +567,68 @@ mod tests {
         let (victim, st) = c.fill(d, MesiState::Exclusive).expect("eviction");
         assert_eq!(victim, a);
         assert_eq!(st, MesiState::Modified);
+    }
+
+    #[test]
+    fn delta_captures_only_dirty_sets() {
+        let mut live = small();
+        live.fill(line(0, 1), MesiState::Exclusive);
+        let mut base = live.clone();
+        let gen = live.generation();
+
+        // Mutate set 1 only; set 0 stays clean.
+        live.fill(line(1, 2), MesiState::Modified);
+        live.probe(line(1, 2));
+        let delta = live.capture_delta(gen);
+        assert_eq!(delta.dirty_sets(), 1, "only set 1 mutated");
+        assert_eq!(delta.payload_lines(), 1);
+
+        base.apply_delta(delta);
+        assert_eq!(base, live, "apply reproduces the live state");
+    }
+
+    #[test]
+    fn capture_at_current_generation_is_empty() {
+        let mut c = small();
+        c.fill(line(0, 1), MesiState::Shared);
+        let gen = c.generation();
+        let delta = c.capture_delta(gen);
+        assert_eq!(delta.dirty_sets(), 0);
+    }
+
+    #[test]
+    fn restore_rewinds_only_dirty_sets_and_statistics() {
+        let mut live = small();
+        live.fill(line(0, 1), MesiState::Exclusive);
+        live.probe(line(0, 1));
+        let base = live.clone();
+        let gen = live.generation();
+
+        live.fill(line(0, 2), MesiState::Modified);
+        live.invalidate(line(0, 1));
+        live.probe(line(1, 9)); // miss: statistics move, no set dirtied
+        live.restore_from(&base, gen);
+        assert_eq!(live, base, "restore rewinds to the checkpoint");
+
+        // Post-restore mutations are captured relative to the checkpoint
+        // generation (stamps are never rewound).
+        live.fill(line(1, 3), MesiState::Shared);
+        let mut patched = base.clone();
+        patched.apply_delta(live.capture_delta(gen));
+        assert_eq!(patched, live);
+    }
+
+    #[test]
+    fn equality_ignores_tracking_metadata() {
+        let mut a = small();
+        let mut b = small();
+        a.fill(line(0, 1), MesiState::Shared);
+        b.fill(line(0, 1), MesiState::Shared);
+        // Same state reached with extra self-cancelling churn in `b`.
+        b.set_state(line(0, 1), MesiState::Modified);
+        b.set_state(line(0, 1), MesiState::Shared);
+        assert!(b.generation() > a.generation());
+        assert_eq!(a, b, "generations are not part of model state");
     }
 
     #[test]

@@ -12,11 +12,12 @@
 //!    misses, branches may stall the front end, and barrier/lock ops drain
 //!    the window, notify the manager, and spin.
 
+use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::engine::{CoreModel, TickCtx};
 use slacksim_core::stats::Counters;
 use slacksim_core::time::Cycle;
 
-use crate::cache::{Cache, LineAddr};
+use crate::cache::{Cache, CacheDelta, LineAddr};
 use crate::config::{CmpConfig, CoreConfig};
 use crate::event::{MemEvent, ReqId};
 use crate::isa::{Instr, InstrStream, Op};
@@ -98,6 +99,65 @@ pub struct CmpCore {
     stall_mshr: u64,
     stall_sync: u64,
     stall_fetch: u64,
+
+    /// Tracking metadata: `(composite generation, (l1i gen, l1d gen))`
+    /// recorded by the last `capture_delta` (see
+    /// [`CmpUncore`](crate::uncore::CmpUncore) for the token scheme).
+    cp_baseline: Option<(u64, (u64, u64))>,
+}
+
+/// Everything in a [`CmpCore`] other than the L1 caches: the pipeline and
+/// workload position plus the statistics scalars. The pipeline mutates
+/// every simulated cycle, so a delta carries this block unconditionally —
+/// it is small (a window of a few dozen entries, a handful of MSHRs, the
+/// stream cursor) next to the caches the dirty tracking avoids copying.
+#[derive(Clone)]
+struct CoreRest {
+    stream: Box<dyn InstrStream>,
+    pending: Option<Instr>,
+    window: std::collections::VecDeque<WinEntry>,
+    mshrs: Vec<Mshr>,
+    next_entry_id: u64,
+    next_req: ReqId,
+    wait: Option<Wait>,
+    fetch_stall_until: Cycle,
+    cycles: u64,
+    committed: u64,
+    loads: u64,
+    stores: u64,
+    branches: u64,
+    mispredicts: u64,
+    barriers: u64,
+    lock_acquires: u64,
+    lock_releases: u64,
+    l1d_hits: u64,
+    l1d_misses: u64,
+    l1d_miss_coalesced: u64,
+    l1i_hits: u64,
+    l1i_misses: u64,
+    writebacks: u64,
+    invalidations_received: u64,
+    downgrades_received: u64,
+    stall_window: u64,
+    stall_mshr: u64,
+    stall_sync: u64,
+    stall_fetch: u64,
+}
+
+/// Incremental state carrier for a [`CmpCore`]: dirty-set deltas for the
+/// two L1s plus the always-dirty pipeline block.
+#[derive(Clone)]
+pub struct CmpCoreDelta {
+    l1i: CacheDelta,
+    l1d: CacheDelta,
+    rest: CoreRest,
+}
+
+impl CmpCoreDelta {
+    /// Dirty L1 sets carried (instruction + data).
+    pub fn l1_dirty_sets(&self) -> usize {
+        self.l1i.dirty_sets() + self.l1d.dirty_sets()
+    }
 }
 
 impl std::fmt::Debug for CmpCore {
@@ -149,6 +209,84 @@ impl CmpCore {
             stall_mshr: 0,
             stall_sync: 0,
             stall_fetch: 0,
+            cp_baseline: None,
+        }
+    }
+
+    fn rest_snapshot(&self) -> CoreRest {
+        CoreRest {
+            stream: self.stream.clone(),
+            pending: self.pending,
+            window: self.window.clone(),
+            mshrs: self.mshrs.clone(),
+            next_entry_id: self.next_entry_id,
+            next_req: self.next_req,
+            wait: self.wait,
+            fetch_stall_until: self.fetch_stall_until,
+            cycles: self.cycles,
+            committed: self.committed,
+            loads: self.loads,
+            stores: self.stores,
+            branches: self.branches,
+            mispredicts: self.mispredicts,
+            barriers: self.barriers,
+            lock_acquires: self.lock_acquires,
+            lock_releases: self.lock_releases,
+            l1d_hits: self.l1d_hits,
+            l1d_misses: self.l1d_misses,
+            l1d_miss_coalesced: self.l1d_miss_coalesced,
+            l1i_hits: self.l1i_hits,
+            l1i_misses: self.l1i_misses,
+            writebacks: self.writebacks,
+            invalidations_received: self.invalidations_received,
+            downgrades_received: self.downgrades_received,
+            stall_window: self.stall_window,
+            stall_mshr: self.stall_mshr,
+            stall_sync: self.stall_sync,
+            stall_fetch: self.stall_fetch,
+        }
+    }
+
+    fn apply_rest(&mut self, rest: CoreRest) {
+        self.stream = rest.stream;
+        self.pending = rest.pending;
+        self.window = rest.window;
+        self.mshrs = rest.mshrs;
+        self.next_entry_id = rest.next_entry_id;
+        self.next_req = rest.next_req;
+        self.wait = rest.wait;
+        self.fetch_stall_until = rest.fetch_stall_until;
+        self.cycles = rest.cycles;
+        self.committed = rest.committed;
+        self.loads = rest.loads;
+        self.stores = rest.stores;
+        self.branches = rest.branches;
+        self.mispredicts = rest.mispredicts;
+        self.barriers = rest.barriers;
+        self.lock_acquires = rest.lock_acquires;
+        self.lock_releases = rest.lock_releases;
+        self.l1d_hits = rest.l1d_hits;
+        self.l1d_misses = rest.l1d_misses;
+        self.l1d_miss_coalesced = rest.l1d_miss_coalesced;
+        self.l1i_hits = rest.l1i_hits;
+        self.l1i_misses = rest.l1i_misses;
+        self.writebacks = rest.writebacks;
+        self.invalidations_received = rest.invalidations_received;
+        self.downgrades_received = rest.downgrades_received;
+        self.stall_window = rest.stall_window;
+        self.stall_mshr = rest.stall_mshr;
+        self.stall_sync = rest.stall_sync;
+        self.stall_fetch = rest.stall_fetch;
+    }
+
+    /// Maps the opaque `since_gen` token to `(l1i, l1d)` generation
+    /// baselines; unknown tokens degrade to a conservative full capture
+    /// (see [`CmpUncore`](crate::uncore::CmpUncore) for the scheme).
+    fn resolve_baseline(&self, since_gen: u64) -> (u64, u64) {
+        match self.cp_baseline {
+            Some((g, gens)) if g == since_gen => gens,
+            _ if since_gen == self.generation() => (self.l1i.generation(), self.l1d.generation()),
+            _ => (0, 0),
         }
     }
 
@@ -517,6 +655,41 @@ enum CoalesceResult {
     Conflict,
     /// No MSHR covers the line.
     Absent,
+}
+
+impl Checkpointable for CmpCore {
+    type Delta = CmpCoreDelta;
+
+    fn generation(&self) -> u64 {
+        self.l1i.generation() + self.l1d.generation()
+    }
+
+    fn capture_delta(&mut self, since_gen: u64) -> CmpCoreDelta {
+        let (bi, bd) = self.resolve_baseline(since_gen);
+        let delta = CmpCoreDelta {
+            l1i: self.l1i.capture_delta(bi),
+            l1d: self.l1d.capture_delta(bd),
+            rest: self.rest_snapshot(),
+        };
+        self.cp_baseline = Some((
+            self.generation(),
+            (self.l1i.generation(), self.l1d.generation()),
+        ));
+        delta
+    }
+
+    fn apply_delta(&mut self, delta: CmpCoreDelta) {
+        self.l1i.apply_delta(delta.l1i);
+        self.l1d.apply_delta(delta.l1d);
+        self.apply_rest(delta.rest);
+    }
+
+    fn restore_from(&mut self, base: &Self, since_gen: u64) {
+        let (bi, bd) = self.resolve_baseline(since_gen);
+        self.l1i.restore_from(&base.l1i, bi);
+        self.l1d.restore_from(&base.l1d, bd);
+        self.apply_rest(base.rest_snapshot());
+    }
 }
 
 impl CoreModel for CmpCore {
@@ -953,6 +1126,53 @@ mod tests {
         let c = CoreModel::counters(&core);
         assert_eq!(c.get("cycles"), 5);
         assert!(c.get("l1i_misses") > 0);
+    }
+
+    #[test]
+    fn delta_capture_apply_matches_full_clone() {
+        let mut live = core_with(vec![Op::IntAlu, Op::Load { addr: 0x8000 }]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut live, &mut inbox);
+        for t in 1..10 {
+            tick_at(&mut live, &mut inbox, t);
+        }
+        let mut snap = live.clone();
+        let g0 = Checkpointable::generation(&live);
+        // Seeding at the checkpoint generation captures nothing.
+        let seed = live.capture_delta(g0);
+        assert_eq!(seed.l1_dirty_sets(), 0);
+        for t in 10..50 {
+            tick_at(&mut live, &mut inbox, t);
+        }
+        let delta = live.capture_delta(g0);
+        snap.apply_delta(delta);
+        assert_eq!(CoreModel::counters(&snap), CoreModel::counters(&live));
+        // The reconstructed core must also behave identically forward.
+        let mut ia = Inbox::new();
+        let mut ib = Inbox::new();
+        for t in 50..80 {
+            tick_at(&mut live, &mut ia, t);
+            tick_at(&mut snap, &mut ib, t);
+        }
+        assert_eq!(CoreModel::counters(&snap), CoreModel::counters(&live));
+    }
+
+    #[test]
+    fn delta_restore_rewinds_to_the_checkpoint() {
+        let mut core = core_with(vec![Op::IntAlu, Op::Load { addr: 0x8000 }]);
+        let mut inbox = Inbox::new();
+        prime_icache(&mut core, &mut inbox);
+        for t in 1..20 {
+            tick_at(&mut core, &mut inbox, t);
+        }
+        let base = core.clone();
+        let g0 = Checkpointable::generation(&core);
+        let _ = core.capture_delta(g0);
+        for t in 20..60 {
+            tick_at(&mut core, &mut inbox, t);
+        }
+        core.restore_from(&base, g0);
+        assert_eq!(CoreModel::counters(&core), CoreModel::counters(&base));
     }
 
     #[test]

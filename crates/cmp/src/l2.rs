@@ -3,9 +3,10 @@
 //! Timing-only: 8-cycle hits, 100-cycle misses to memory (paper §2.1).
 //! Dirty L1 writebacks land here; dirty L2 victims count as memory writes.
 
+use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::time::Cycle;
 
-use crate::cache::{Cache, CacheConfig, LineAddr};
+use crate::cache::{Cache, CacheConfig, CacheDelta, LineAddr};
 use crate::mesi::MesiState;
 
 /// Result of an L2 access.
@@ -116,6 +117,51 @@ impl L2 {
     }
 }
 
+/// Incremental state carrier for the [`L2`]: the inner cache's dirty sets
+/// plus the writeback scalars (latencies are configuration, never
+/// captured).
+#[derive(Debug, Clone)]
+pub struct L2Delta {
+    cache: CacheDelta,
+    writebacks_in: u64,
+    memory_writes: u64,
+}
+
+impl L2Delta {
+    /// Number of dirty cache sets carried.
+    pub fn dirty_sets(&self) -> usize {
+        self.cache.dirty_sets()
+    }
+}
+
+impl Checkpointable for L2 {
+    type Delta = L2Delta;
+
+    fn generation(&self) -> u64 {
+        self.cache.generation()
+    }
+
+    fn capture_delta(&mut self, since_gen: u64) -> L2Delta {
+        L2Delta {
+            cache: self.cache.capture_delta(since_gen),
+            writebacks_in: self.writebacks_in,
+            memory_writes: self.memory_writes,
+        }
+    }
+
+    fn apply_delta(&mut self, delta: L2Delta) {
+        self.cache.apply_delta(delta.cache);
+        self.writebacks_in = delta.writebacks_in;
+        self.memory_writes = delta.memory_writes;
+    }
+
+    fn restore_from(&mut self, base: &Self, since_gen: u64) {
+        self.cache.restore_from(&base.cache, since_gen);
+        self.writebacks_in = base.writebacks_in;
+        self.memory_writes = base.memory_writes;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +222,24 @@ mod tests {
     #[should_panic(expected = "miss latency must cover the lookup")]
     fn inconsistent_latencies_rejected() {
         let _ = L2::new(CacheConfig::l2(), 10, 5);
+    }
+
+    #[test]
+    fn delta_roundtrip_matches_full_clone() {
+        let mut live = l2();
+        live.access(LineAddr::new(0), Cycle::new(0));
+        let mut base = live.clone();
+        let gen = live.generation();
+
+        live.write_back(LineAddr::new(4));
+        live.access(LineAddr::new(8), Cycle::new(10)); // evicts
+        base.apply_delta(live.capture_delta(gen));
+        assert_eq!(base, live);
+
+        let cp = live.clone();
+        let cp_gen = live.generation();
+        live.access(LineAddr::new(12), Cycle::new(20));
+        live.restore_from(&cp, cp_gen);
+        assert_eq!(live, cp, "restore rewinds to the checkpoint");
     }
 }

@@ -13,6 +13,7 @@
 
 use std::collections::HashMap;
 
+use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::event::CoreId;
 use slacksim_core::time::Cycle;
 use slacksim_core::violation::KeyedMonitor;
@@ -94,6 +95,72 @@ pub struct CacheMap {
     n_cores: usize,
     transitions: u64,
     violations: u64,
+    /// Mutation generation (tracking metadata: excluded from equality,
+    /// never rewound by restores).
+    gen: u64,
+    /// Per-line dirty stamps. An entry here *outlives* the map entry it
+    /// stamps: a line whose entry was reclaimed keeps its stamp, which is
+    /// how deltas and restores learn about removals (the delta records
+    /// `None` for such a line).
+    dirty: HashMap<LineAddr, u64>,
+}
+
+/// Equality is over model state only; the generation counter and dirty
+/// stamps are capture bookkeeping (full-clone and delta checkpointing
+/// must agree bit-for-bit).
+impl PartialEq for CacheMap {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+            && self.monitor == other.monitor
+            && self.n_cores == other.n_cores
+            && self.transitions == other.transitions
+            && self.violations == other.violations
+    }
+}
+
+impl Eq for CacheMap {}
+
+/// Incremental state carrier for the [`CacheMap`]: the dirty lines since
+/// the capture baseline plus the transition counters.
+#[derive(Debug, Clone)]
+pub struct CacheMapDelta {
+    gen: u64,
+    payload: MapPayload,
+    transitions: u64,
+    violations: u64,
+}
+
+/// How the dirty lines travel.
+#[derive(Debug, Clone)]
+enum MapPayload {
+    /// Per dirty line, the entry's full state (`None` = reclaimed) and
+    /// its monitor high-water mark (`None` = never touched).
+    Sparse(Vec<(LineAddr, Option<MapEntry>, Option<Cycle>)>),
+    /// Bulk fallback once most tracked lines are dirty: capture clones
+    /// the maps wholesale (buckets copy at memcpy speed) and apply moves
+    /// them into place, where the sparse journal pays several hash
+    /// probes per line on both sides.
+    Dense(Box<DenseMap>),
+}
+
+/// The bulk payload: the map's complete model state and dirty stamps as
+/// of the capture, so an apply leaves the snapshot bit-identical to the
+/// live map.
+#[derive(Debug, Clone)]
+struct DenseMap {
+    entries: HashMap<LineAddr, MapEntry>,
+    monitor: KeyedMonitor<LineAddr>,
+    dirty: HashMap<LineAddr, u64>,
+}
+
+impl CacheMapDelta {
+    /// Number of lines dirty since the capture baseline.
+    pub fn dirty_lines(&self) -> usize {
+        match &self.payload {
+            MapPayload::Sparse(lines) => lines.len(),
+            MapPayload::Dense(state) => state.dirty.len(),
+        }
+    }
 }
 
 impl CacheMap {
@@ -113,6 +180,8 @@ impl CacheMap {
             n_cores,
             transitions: 0,
             violations: 0,
+            gen: 0,
+            dirty: HashMap::new(),
         }
     }
 
@@ -122,6 +191,8 @@ impl CacheMap {
     pub fn transition(&mut self, op: BusOp, line: LineAddr, from: CoreId, ts: Cycle) -> MapOutcome {
         debug_assert!(from.index() < self.n_cores, "unknown core {from}");
         self.transitions += 1;
+        self.gen += 1;
+        self.dirty.insert(line, self.gen);
         let violation = self.monitor.observe(line, ts);
         let high_water = self.monitor.high_water(&line);
         if violation {
@@ -211,6 +282,102 @@ impl CacheMap {
             Some(e) => CoreId::all(self.n_cores).filter(|&c| e.has(c)).collect(),
             None => Vec::new(),
         }
+    }
+}
+
+impl Checkpointable for CacheMap {
+    type Delta = CacheMapDelta;
+
+    fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    fn capture_delta(&mut self, since_gen: u64) -> CacheMapDelta {
+        // Stamps at or below `since_gen` can never be needed again: every
+        // future capture baseline and restore target sits at or above the
+        // generation being captured here.
+        self.dirty.retain(|_, stamp| *stamp > since_gen);
+        let dirty = self.dirty.len();
+        let tracked = self.entries.len() + self.monitor.len();
+        // The sparse journal costs several hash probes per line on each
+        // side, so it only beats bulk clones while the dirty set is a
+        // small fraction of the tracked state. The absolute floor keeps
+        // small maps (and their tests) on the readable sparse path.
+        let payload = if dirty >= 256 && dirty * 8 >= tracked {
+            MapPayload::Dense(Box::new(DenseMap {
+                entries: self.entries.clone(),
+                monitor: self.monitor.clone(),
+                dirty: self.dirty.clone(),
+            }))
+        } else {
+            MapPayload::Sparse(
+                self.dirty
+                    .keys()
+                    .map(|&line| {
+                        (
+                            line,
+                            self.entries.get(&line).copied(),
+                            self.monitor.get(&line),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        CacheMapDelta {
+            gen: self.gen,
+            payload,
+            transitions: self.transitions,
+            violations: self.violations,
+        }
+    }
+
+    fn apply_delta(&mut self, delta: CacheMapDelta) {
+        match delta.payload {
+            MapPayload::Sparse(lines) => {
+                for (line, entry, high_water) in lines {
+                    match entry {
+                        Some(e) => {
+                            self.entries.insert(line, e);
+                        }
+                        None => {
+                            self.entries.remove(&line);
+                        }
+                    }
+                    self.monitor.set(line, high_water);
+                    self.dirty.insert(line, delta.gen);
+                }
+            }
+            MapPayload::Dense(state) => {
+                self.entries = state.entries;
+                self.monitor = state.monitor;
+                self.dirty = state.dirty;
+            }
+        }
+        self.gen = self.gen.max(delta.gen);
+        self.transitions = delta.transitions;
+        self.violations = delta.violations;
+    }
+
+    fn restore_from(&mut self, base: &Self, since_gen: u64) {
+        let dirty_lines: Vec<LineAddr> = self
+            .dirty
+            .iter()
+            .filter(|&(_, &stamp)| stamp > since_gen)
+            .map(|(&line, _)| line)
+            .collect();
+        for line in dirty_lines {
+            match base.entries.get(&line) {
+                Some(&e) => {
+                    self.entries.insert(line, e);
+                }
+                None => {
+                    self.entries.remove(&line);
+                }
+            }
+            self.monitor.set(line, base.monitor.get(&line));
+        }
+        self.transitions = base.transitions;
+        self.violations = base.violations;
     }
 }
 
@@ -320,5 +487,57 @@ mod tests {
     #[should_panic(expected = "between 1 and 16")]
     fn too_many_cores_rejected() {
         let _ = CacheMap::new(32);
+    }
+
+    #[test]
+    fn delta_roundtrip_covers_insert_update_and_reclaim() {
+        let mut live = CacheMap::new(4);
+        live.transition(BusOp::Rd, LINE, c(0), ts(1));
+        let mut base = live.clone();
+        let gen = live.generation();
+
+        live.transition(BusOp::RdX, LINE, c(1), ts(2)); // update
+        live.transition(BusOp::Rd, LineAddr::new(0x500), c(2), ts(3)); // insert
+        live.transition(BusOp::Wb, LINE, c(1), ts(4)); // reclaim LINE
+        assert_eq!(live.tracked_lines(), 1);
+
+        let delta = live.capture_delta(gen);
+        assert_eq!(delta.dirty_lines(), 2, "LINE and 0x500");
+        base.apply_delta(delta);
+        assert_eq!(base, live, "apply reproduces insert, update and reclaim");
+    }
+
+    #[test]
+    fn restore_rewinds_entries_monitors_and_counters() {
+        let mut live = CacheMap::new(4);
+        live.transition(BusOp::Rd, LINE, c(0), ts(10));
+        let cp = live.clone();
+        let cp_gen = live.generation();
+
+        live.transition(BusOp::Wb, LINE, c(0), ts(20)); // reclaim
+        live.transition(BusOp::Rd, LineAddr::new(0x77), c(1), ts(5));
+        live.transition(BusOp::Rd, LineAddr::new(0x77), c(2), ts(3)); // violation
+        assert_eq!(live.violations(), 1);
+
+        live.restore_from(&cp, cp_gen);
+        assert_eq!(live, cp, "restore rewinds to the checkpoint");
+        assert_eq!(live.violations(), 0);
+        // The reclaimed entry is back and its monitor remembers ts(10):
+        // an earlier transition violates again after the restore.
+        assert!(live.transition(BusOp::Rd, LINE, c(1), ts(7)).violation);
+    }
+
+    #[test]
+    fn equality_ignores_tracking_metadata() {
+        let mut a = CacheMap::new(4);
+        let mut b = CacheMap::new(4);
+        a.transition(BusOp::Rd, LINE, c(0), ts(1));
+        b.transition(BusOp::Rd, LINE, c(0), ts(1));
+        let cp_gen = b.generation();
+        let cp = b.clone();
+        b.transition(BusOp::Rd, LINE, c(1), ts(2));
+        b.restore_from(&cp, cp_gen);
+        assert!(b.generation() > a.generation());
+        assert_eq!(a, b, "generations are not part of model state");
     }
 }

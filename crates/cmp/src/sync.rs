@@ -9,6 +9,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::event::CoreId;
 use slacksim_core::time::Cycle;
 
@@ -43,7 +44,7 @@ struct LockState {
 /// assert_eq!(release, Cycle::new(34)); // last arrival + barrier latency
 /// assert_eq!(cores.len(), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SyncDevice {
     n_cores: usize,
     barrier_latency: u64,
@@ -53,6 +54,74 @@ pub struct SyncDevice {
     barriers_completed: u64,
     lock_grants: u64,
     lock_contended: u64,
+    /// Mutation generation (tracking metadata: excluded from equality).
+    /// Synchronisation episodes are rare relative to checkpoint intervals,
+    /// so a whole-struct generation keeps the device's delta all-or-nothing
+    /// — and usually empty.
+    gen: u64,
+}
+
+/// Equality is over model state only; the generation counter is capture
+/// bookkeeping.
+impl PartialEq for SyncDevice {
+    fn eq(&self, other: &Self) -> bool {
+        self.n_cores == other.n_cores
+            && self.barrier_latency == other.barrier_latency
+            && self.lock_latency == other.lock_latency
+            && self.barriers == other.barriers
+            && self.locks == other.locks
+            && self.barriers_completed == other.barriers_completed
+            && self.lock_grants == other.lock_grants
+            && self.lock_contended == other.lock_contended
+    }
+}
+
+impl Eq for SyncDevice {}
+
+/// Incremental state carrier for the [`SyncDevice`]: whole-struct,
+/// present only when the device mutated since the capture baseline.
+#[derive(Debug, Clone)]
+pub struct SyncDeviceDelta {
+    gen: u64,
+    state: Option<Box<SyncDevice>>,
+}
+
+impl SyncDeviceDelta {
+    /// Whether the delta carries any state.
+    pub fn is_dirty(&self) -> bool {
+        self.state.is_some()
+    }
+}
+
+impl Checkpointable for SyncDevice {
+    type Delta = SyncDeviceDelta;
+
+    fn generation(&self) -> u64 {
+        self.gen
+    }
+
+    fn capture_delta(&mut self, since_gen: u64) -> SyncDeviceDelta {
+        SyncDeviceDelta {
+            gen: self.gen,
+            state: (self.gen > since_gen).then(|| Box::new(self.clone())),
+        }
+    }
+
+    fn apply_delta(&mut self, delta: SyncDeviceDelta) {
+        let gen = self.gen.max(delta.gen);
+        if let Some(state) = delta.state {
+            *self = *state;
+        }
+        self.gen = gen;
+    }
+
+    fn restore_from(&mut self, base: &Self, since_gen: u64) {
+        if self.gen > since_gen {
+            let live_gen = self.gen;
+            *self = base.clone();
+            self.gen = live_gen; // generations are never rewound
+        }
+    }
 }
 
 impl SyncDevice {
@@ -76,6 +145,7 @@ impl SyncDevice {
             barriers_completed: 0,
             lock_grants: 0,
             lock_contended: 0,
+            gen: 0,
         }
     }
 
@@ -90,6 +160,7 @@ impl SyncDevice {
         id: u32,
         ts: Cycle,
     ) -> Option<(Cycle, Vec<CoreId>)> {
+        self.gen += 1;
         let n = self.n_cores;
         let st = self.barriers.entry(id).or_default();
         let bit = 1u16 << core.index();
@@ -112,6 +183,7 @@ impl SyncDevice {
     /// when the lock is free, or `None` when the core is queued behind the
     /// current holder.
     pub fn lock_acquire(&mut self, core: CoreId, id: u32, ts: Cycle) -> Option<Cycle> {
+        self.gen += 1;
         let latency = self.lock_latency;
         let st = self.locks.entry(id).or_default();
         if st.holder.is_none() {
@@ -133,6 +205,7 @@ impl SyncDevice {
     /// malformed workloads, never from slack reordering, because a core's
     /// own event order is preserved).
     pub fn lock_release(&mut self, core: CoreId, id: u32, ts: Cycle) -> Option<(CoreId, Cycle)> {
+        self.gen += 1;
         let latency = self.lock_latency;
         let st = self.locks.entry(id).or_default();
         if st.holder != Some(core) {

@@ -8,18 +8,19 @@
 //! (remote owner, L2, or memory), and delivers completion and snoop events
 //! back into core InQs — detecting bus and map violations along the way.
 
+use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::engine::{ServiceSink, UncoreModel};
 use slacksim_core::event::{CoreId, Timestamped};
 use slacksim_core::stats::Counters;
 use slacksim_core::violation::{ViolationEvent, ViolationKind};
 
-use crate::bus::Bus;
+use crate::bus::{Bus, BusDelta};
 use crate::config::CmpConfig;
 use crate::event::MemEvent;
-use crate::l2::L2;
-use crate::map::CacheMap;
+use crate::l2::{L2Delta, L2};
+use crate::map::{CacheMap, CacheMapDelta};
 use crate::mesi::BusOp;
-use crate::sync::SyncDevice;
+use crate::sync::{SyncDevice, SyncDeviceDelta};
 
 /// The shared portion of the target CMP.
 ///
@@ -44,6 +45,52 @@ pub struct CmpUncore {
     c2c_transfers: u64,
     requests: u64,
     writebacks: u64,
+    /// Tracking metadata: the component generations recorded by the last
+    /// `capture_delta`, keyed by the composite generation token returned
+    /// at that capture. Resolves the engine's single `since_gen` back to
+    /// exact per-component baselines; an unknown token degrades to a
+    /// conservative full capture/restore.
+    cp_baseline: Option<(u64, UncoreGens)>,
+}
+
+/// Per-component generation snapshot of the uncore (tracking metadata).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+struct UncoreGens {
+    bus: u64,
+    l2: u64,
+    map: u64,
+    sync: u64,
+}
+
+/// Incremental state carrier for the [`CmpUncore`]: component deltas plus
+/// the uncore's own counters (carried unconditionally — they are three
+/// words).
+#[derive(Debug, Clone)]
+pub struct CmpUncoreDelta {
+    bus: BusDelta,
+    l2: L2Delta,
+    map: CacheMapDelta,
+    sync: SyncDeviceDelta,
+    c2c_transfers: u64,
+    requests: u64,
+    writebacks: u64,
+}
+
+impl CmpUncoreDelta {
+    /// Number of dirty L2 sets carried.
+    pub fn l2_dirty_sets(&self) -> usize {
+        self.l2.dirty_sets()
+    }
+
+    /// Number of dirty status-map lines carried.
+    pub fn map_dirty_lines(&self) -> usize {
+        self.map.dirty_lines()
+    }
+
+    /// Whether the bus state is carried.
+    pub fn bus_dirty(&self) -> bool {
+        self.bus.is_dirty()
+    }
 }
 
 impl CmpUncore {
@@ -62,6 +109,30 @@ impl CmpUncore {
             c2c_transfers: 0,
             requests: 0,
             writebacks: 0,
+            cp_baseline: None,
+        }
+    }
+
+    fn component_gens(&self) -> UncoreGens {
+        UncoreGens {
+            bus: self.bus.generation(),
+            l2: self.l2.generation(),
+            map: self.map.generation(),
+            sync: self.sync.generation(),
+        }
+    }
+
+    /// Resolves the engine's opaque `since_gen` token back to exact
+    /// per-component baselines. Three cases: the token matches the last
+    /// recorded capture (exact baselines); the token equals the *current*
+    /// composite generation (nothing mutated — current gens are exact);
+    /// anything else is unknown and degrades to since-0, which captures
+    /// or restores everything (conservative but correct).
+    fn resolve_baseline(&self, since_gen: u64) -> UncoreGens {
+        match self.cp_baseline {
+            Some((g, gens)) if g == since_gen => gens,
+            _ if since_gen == self.generation() => self.component_gens(),
+            _ => UncoreGens::default(),
         }
     }
 
@@ -73,6 +144,62 @@ impl CmpUncore {
     /// The cache status map (read access for assertions and reports).
     pub fn map(&self) -> &CacheMap {
         &self.map
+    }
+}
+
+impl Checkpointable for CmpUncore {
+    type Delta = CmpUncoreDelta;
+
+    /// The composite generation is the sum of the component generations:
+    /// monotone (every tracked mutation bumps exactly one component) and
+    /// opaque to engines, which only ever feed it back to
+    /// [`capture_delta`](Checkpointable::capture_delta) /
+    /// [`restore_from`](Checkpointable::restore_from) where
+    /// `resolve_baseline` maps it to exact per-component baselines.
+    fn generation(&self) -> u64 {
+        self.bus.generation()
+            + self.l2.generation()
+            + self.map.generation()
+            + self.sync.generation()
+    }
+
+    fn capture_delta(&mut self, since_gen: u64) -> CmpUncoreDelta {
+        let baseline = self.resolve_baseline(since_gen);
+        let delta = CmpUncoreDelta {
+            bus: self.bus.capture_delta(baseline.bus),
+            l2: self.l2.capture_delta(baseline.l2),
+            map: self.map.capture_delta(baseline.map),
+            sync: self.sync.capture_delta(baseline.sync),
+            c2c_transfers: self.c2c_transfers,
+            requests: self.requests,
+            writebacks: self.writebacks,
+        };
+        self.cp_baseline = Some((self.generation(), self.component_gens()));
+        delta
+    }
+
+    fn apply_delta(&mut self, delta: CmpUncoreDelta) {
+        self.bus.apply_delta(delta.bus);
+        self.l2.apply_delta(delta.l2);
+        self.map.apply_delta(delta.map);
+        self.sync.apply_delta(delta.sync);
+        self.c2c_transfers = delta.c2c_transfers;
+        self.requests = delta.requests;
+        self.writebacks = delta.writebacks;
+    }
+
+    fn restore_from(&mut self, base: &Self, since_gen: u64) {
+        let baseline = self.resolve_baseline(since_gen);
+        self.bus.restore_from(&base.bus, baseline.bus);
+        self.l2.restore_from(&base.l2, baseline.l2);
+        self.map.restore_from(&base.map, baseline.map);
+        self.sync.restore_from(&base.sync, baseline.sync);
+        self.c2c_transfers = base.c2c_transfers;
+        self.requests = base.requests;
+        self.writebacks = base.writebacks;
+        // cp_baseline is deliberately kept: the checkpoint it describes is
+        // still the live baseline for the next capture, and component
+        // generations are never rewound.
     }
 }
 
@@ -377,6 +504,56 @@ mod tests {
         assert!(released
             .iter()
             .all(|(_, e)| matches!(e.payload, MemEvent::BarrierRelease { id: 3 })));
+    }
+
+    #[test]
+    fn delta_roundtrip_matches_full_clone() {
+        let mut live = uncore();
+        service(&mut live, 0, 10, request(BusOp::Rd, 7, 1));
+        let mut base = live.clone();
+        let g0 = live.generation();
+        // Seed the baseline at the checkpoint; nothing is dirty yet.
+        let seed = live.capture_delta(g0);
+        assert!(!seed.bus_dirty());
+        assert_eq!(seed.map_dirty_lines(), 0);
+        assert_eq!(seed.l2_dirty_sets(), 0);
+        service(&mut live, 1, 20, request(BusOp::RdX, 7, 2));
+        service(&mut live, 0, 30, MemEvent::LockAcquire { id: 1 });
+        let delta = live.capture_delta(g0);
+        assert!(delta.bus_dirty());
+        assert!(delta.map_dirty_lines() >= 1);
+        base.apply_delta(delta);
+        assert_eq!(base.counters(), live.counters());
+        assert_eq!(base.bus(), live.bus());
+        assert_eq!(base.map(), live.map());
+    }
+
+    #[test]
+    fn restore_rewinds_to_the_checkpoint_base() {
+        let mut live = uncore();
+        service(&mut live, 0, 10, request(BusOp::Rd, 7, 1));
+        let base = live.clone();
+        let g0 = live.generation();
+        let _ = live.capture_delta(g0);
+        service(&mut live, 1, 20, request(BusOp::RdX, 9, 2));
+        service(&mut live, 2, 25, MemEvent::BarrierArrive { id: 0 });
+        live.restore_from(&base, g0);
+        assert_eq!(live.counters(), base.counters());
+        assert_eq!(live.bus(), base.bus());
+        assert_eq!(live.map(), base.map());
+    }
+
+    #[test]
+    fn unknown_baseline_token_degrades_to_full_restore() {
+        let mut live = uncore();
+        service(&mut live, 0, 10, request(BusOp::Rd, 7, 1));
+        let base = live.clone();
+        // No capture was ever taken: the token is unknown, so restore must
+        // conservatively rewind everything.
+        service(&mut live, 1, 20, request(BusOp::RdX, 9, 2));
+        live.restore_from(&base, 12345);
+        assert_eq!(live.counters(), base.counters());
+        assert_eq!(live.map(), base.map());
     }
 
     #[test]

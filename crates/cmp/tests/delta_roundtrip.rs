@@ -1,0 +1,273 @@
+//! Randomised round-trip properties of the incremental checkpoint layer
+//! (DESIGN §12): for every state holder, a delta captured against a
+//! checkpoint baseline and applied to a clone of that baseline must
+//! reproduce the live state bit-identically (per the model's equality,
+//! which excludes tracking metadata), and `restore_from` must rewind a
+//! diverged model to the baseline exactly. Chained deltas across several
+//! checkpoints must compose. Inputs come from the in-tree deterministic
+//! [`Xoshiro256`] RNG, so failures reproduce bit-identically.
+
+use slacksim_cmp::bus::Bus;
+use slacksim_cmp::cache::{Cache, CacheConfig, LineAddr};
+use slacksim_cmp::event::MemEvent;
+use slacksim_cmp::l2::L2;
+use slacksim_cmp::map::CacheMap;
+use slacksim_cmp::mesi::{BusOp, MesiState};
+use slacksim_cmp::sync::SyncDevice;
+use slacksim_core::checkpoint::Checkpointable;
+use slacksim_core::engine::{ServiceSink, UncoreModel};
+use slacksim_core::event::{CoreId, Timestamped};
+use slacksim_core::rng::Xoshiro256;
+use slacksim_core::time::Cycle;
+
+const CASES: u64 = 48;
+
+/// Drives `mutate` over three checkpoint epochs and checks every
+/// delta-protocol law against full-clone ground truth:
+///
+/// 1. seed capture at the checkpoint is empty-equivalent (applying it to
+///    the base is a no-op);
+/// 2. `restore_from` rewinds a diverged model to the base;
+/// 3. capture → apply onto the base equals the live model;
+/// 4. a second epoch's delta applied on top composes to the newer live
+///    state (chained deltas).
+fn check_roundtrip<T, F>(mut live: T, mut mutate: F, case: u64)
+where
+    T: Checkpointable + PartialEq + std::fmt::Debug,
+    F: FnMut(&mut T, usize),
+{
+    // Warm-up epoch so the baseline is not the trivial empty state.
+    for i in 0..16 {
+        mutate(&mut live, i);
+    }
+
+    // Checkpoint: clone the base, seed the capture baseline.
+    let mut base = live.clone();
+    let g0 = live.generation();
+    let seed = live.capture_delta(g0);
+    {
+        let mut probe = base.clone();
+        probe.apply_delta(seed);
+        assert_eq!(probe, base, "case {case}: seed delta must be a no-op");
+    }
+
+    // Epoch 1: diverge.
+    for i in 16..48 {
+        mutate(&mut live, i);
+    }
+
+    // Rollback path: a diverged copy restored against the base equals it.
+    let mut diverged = live.clone();
+    diverged.restore_from(&base, g0);
+    assert_eq!(diverged, base, "case {case}: restore_from must rewind");
+
+    // Capture path: base + delta equals live.
+    let delta = live.capture_delta(g0);
+    base.apply_delta(delta);
+    assert_eq!(base, live, "case {case}: base + delta must equal live");
+
+    // Epoch 2: chained delta on top of the applied one.
+    let g1 = live.generation();
+    for i in 48..80 {
+        mutate(&mut live, i);
+    }
+    let delta2 = live.capture_delta(g1);
+    base.apply_delta(delta2);
+    assert_eq!(base, live, "case {case}: chained deltas must compose");
+}
+
+fn small_cache_cfg() -> CacheConfig {
+    // Small geometry maximises eviction and dirty-set churn: 4 sets × 2 ways.
+    CacheConfig {
+        size_bytes: 256,
+        ways: 2,
+        line_bytes: 32,
+    }
+}
+
+fn random_state(rng: &mut Xoshiro256) -> MesiState {
+    match rng.next_below(3) {
+        0 => MesiState::Modified,
+        1 => MesiState::Exclusive,
+        _ => MesiState::Shared,
+    }
+}
+
+#[test]
+fn cache_delta_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xDE17A + case);
+        let cache = Cache::new(small_cache_cfg());
+        check_roundtrip(
+            cache,
+            move |c, _| {
+                let line = LineAddr::new(rng.next_below(64));
+                match rng.next_below(4) {
+                    0 => {
+                        c.probe(line);
+                    }
+                    1 => {
+                        let st = random_state(&mut rng);
+                        c.fill(line, st);
+                    }
+                    2 => {
+                        let st = random_state(&mut rng);
+                        c.set_state(line, st);
+                    }
+                    _ => {
+                        c.invalidate(line);
+                    }
+                }
+            },
+            case,
+        );
+    }
+}
+
+#[test]
+fn l2_delta_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xDE17B + case);
+        let l2 = L2::new(small_cache_cfg(), 10, 100);
+        check_roundtrip(
+            l2,
+            move |l2, i| {
+                let line = LineAddr::new(rng.next_below(64));
+                if rng.next_below(4) == 0 {
+                    l2.write_back(line);
+                } else {
+                    l2.access(line, Cycle::new(i as u64 * 10));
+                }
+            },
+            case,
+        );
+    }
+}
+
+#[test]
+fn cache_map_delta_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xDE17C + case);
+        let map = CacheMap::new(4);
+        check_roundtrip(
+            map,
+            move |m, _| {
+                let op =
+                    [BusOp::Rd, BusOp::RdX, BusOp::Upgr, BusOp::Wb][rng.next_below(4) as usize];
+                let line = LineAddr::new(rng.next_below(8));
+                let core = CoreId::new(rng.next_below(4) as u16);
+                let ts = Cycle::new(rng.next_below(10_000));
+                m.transition(op, line, core, ts);
+            },
+            case,
+        );
+    }
+}
+
+#[test]
+fn bus_delta_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xDE17D + case);
+        let bus = Bus::new(1, 1);
+        check_roundtrip(
+            bus,
+            move |b, _| {
+                let ts = Cycle::new(rng.next_below(5_000));
+                if rng.next_below(2) == 0 {
+                    b.arbitrate(ts);
+                } else {
+                    b.respond(ts);
+                }
+            },
+            case,
+        );
+    }
+}
+
+#[test]
+fn sync_device_delta_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xDE17E + case);
+        let dev = SyncDevice::new(4, 4, 2);
+        check_roundtrip(
+            dev,
+            move |d, _| {
+                let core = CoreId::new(rng.next_below(4) as u16);
+                let id = rng.next_below(3) as u32;
+                let ts = Cycle::new(rng.next_below(10_000));
+                match rng.next_below(3) {
+                    0 => {
+                        d.barrier_arrive(core, id, ts);
+                    }
+                    1 => {
+                        d.lock_acquire(core, id, ts);
+                    }
+                    _ => {
+                        d.lock_release(core, id, ts);
+                    }
+                }
+            },
+            case,
+        );
+    }
+}
+
+/// The composite uncore — bus + L2 + map + sync behind one generation
+/// token — satisfies the same laws when driven through its real service
+/// interface. Counters stand in for equality (the uncore exposes no
+/// `PartialEq`), alongside the components that do.
+#[test]
+fn uncore_composite_delta_roundtrip() {
+    use slacksim_cmp::config::CmpConfig;
+    use slacksim_cmp::uncore::CmpUncore;
+
+    fn drive(u: &mut CmpUncore, rng: &mut Xoshiro256, i: usize) {
+        let from = CoreId::new(rng.next_below(8) as u16);
+        let ts = Cycle::new(i as u64 * 7 + rng.next_below(5));
+        let ev = match rng.next_below(5) {
+            0 | 1 => MemEvent::Request {
+                op: [BusOp::Rd, BusOp::RdX, BusOp::Upgr][rng.next_below(3) as usize],
+                line: LineAddr::new(rng.next_below(32)),
+                req: i as u32,
+                ifetch: false,
+            },
+            2 => MemEvent::Writeback {
+                line: LineAddr::new(rng.next_below(32)),
+            },
+            3 => MemEvent::LockAcquire {
+                id: rng.next_below(2) as u32,
+            },
+            _ => MemEvent::LockRelease {
+                id: rng.next_below(2) as u32,
+            },
+        };
+        let mut sink = ServiceSink::new();
+        u.service(from, Timestamped::new(ts, ev), &mut sink);
+    }
+
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xDE17F + case);
+        let mut live = CmpUncore::new(&CmpConfig::paper());
+        for i in 0..16 {
+            drive(&mut live, &mut rng, i);
+        }
+        let mut base = live.clone();
+        let g0 = live.generation();
+        let _ = live.capture_delta(g0);
+        for i in 16..48 {
+            drive(&mut live, &mut rng, i);
+        }
+
+        let mut diverged = live.clone();
+        diverged.restore_from(&base, g0);
+        assert_eq!(diverged.counters(), base.counters(), "case {case}: restore");
+        assert_eq!(diverged.bus(), base.bus(), "case {case}: restore bus");
+        assert_eq!(diverged.map(), base.map(), "case {case}: restore map");
+
+        let delta = live.capture_delta(g0);
+        base.apply_delta(delta);
+        assert_eq!(base.counters(), live.counters(), "case {case}: apply");
+        assert_eq!(base.bus(), live.bus(), "case {case}: apply bus");
+        assert_eq!(base.map(), live.map(), "case {case}: apply map");
+    }
+}

@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use slacksim::scheme::Scheme;
-use slacksim::{Benchmark, EngineKind, SchedRef, SimReport, Simulation};
+use slacksim::{Benchmark, EngineKind, SchedRef, SimReport, Simulation, SpeculationConfig};
 
 use crate::repro::VirtCase;
 use crate::vsched::{SchedDiag, VirtualSched};
@@ -79,6 +79,38 @@ pub fn run_engine(
         .seed(seed)
         .run()
         .unwrap_or_else(|e| panic!("{engine:?} run failed for {bench:?}/{cores} cores: {e}"))
+}
+
+/// Runs one *speculative* configuration on the given engine with the
+/// native host scheduler. The delta-checkpoint oracle (DESIGN §11)
+/// drives this with the same configuration in both checkpoint modes and
+/// compares fingerprints: on the deterministic sequential engine the
+/// modes must be bit-identical, which proves delta capture/restore
+/// reconstructs exactly the state a full clone would have.
+///
+/// # Panics
+///
+/// Panics if the engine reports an error.
+pub fn run_speculative(
+    bench: Benchmark,
+    cores: usize,
+    scheme: &Scheme,
+    target: u64,
+    seed: u64,
+    engine: EngineKind,
+    spec: SpeculationConfig,
+) -> SimReport {
+    Simulation::new(bench)
+        .cores(cores)
+        .scheme(scheme.clone())
+        .engine(engine)
+        .commit_target(target)
+        .seed(seed)
+        .speculation(spec)
+        .run()
+        .unwrap_or_else(|e| {
+            panic!("{engine:?} speculative run failed for {bench:?}/{cores} cores: {e}")
+        })
 }
 
 /// Runs one case on the threaded engine under the virtual scheduler and

@@ -10,10 +10,10 @@
 //! `slacksim_conformance::run_repro` to replay the exact schedule.
 
 use slacksim::scheme::Scheme;
-use slacksim::{Benchmark, EngineKind, SpeculationConfig, ViolationSelect};
+use slacksim::{Benchmark, CheckpointMode, EngineKind, SpeculationConfig, ViolationSelect};
 use slacksim_conformance::{
-    check_invariants, fingerprint, run_engine, run_repro, run_virtual, shrink, smoke_seeds,
-    Mutation, SchedPolicy, VirtCase,
+    check_invariants, fingerprint, run_engine, run_repro, run_speculative, run_virtual, shrink,
+    smoke_seeds, Mutation, SchedPolicy, VirtCase,
 };
 
 /// Commit target for matrix cells: small enough for debug CI, larger in
@@ -168,11 +168,13 @@ fn adversarial_schedules_lose_no_wakeups_under_slack() {
 }
 
 /// Checkpoint hand-off mid-drain: speculation under the virtual
-/// scheduler exercises the stop-sync / snapshot-mailbox protocol, and a
-/// fixed case replays to the identical final committed state.
+/// scheduler exercises the stop-sync / snapshot-mailbox protocol in
+/// both checkpoint modes (delta mode additionally drives the
+/// base-hand-back rollback path), and a fixed case replays to the
+/// identical final committed state.
 #[test]
 fn speculative_checkpoint_handoff_replays_deterministically() {
-    let run = |sched_seed: u64| {
+    let run = |sched_seed: u64, mode: CheckpointMode| {
         let sched = slacksim_conformance::VirtualSched::new(
             4,
             SchedPolicy::DrainPreempt,
@@ -185,21 +187,130 @@ fn speculative_checkpoint_handoff_replays_deterministically() {
             .engine(EngineKind::Threaded)
             .commit_target(target())
             .seed(1)
-            .speculation(SpeculationConfig::speculative(500, ViolationSelect::all()))
+            .speculation(
+                SpeculationConfig::speculative(500, ViolationSelect::all()).with_mode(mode),
+            )
             .host_sched(slacksim::SchedRef::new(sched.clone()))
             .run()
             .expect("speculative virtual run");
         (report, sched.diagnostics())
     };
-    let (a, diag_a) = run(3);
-    let (b, diag_b) = run(3);
-    assert!(a.committed >= target());
-    assert!(a.kernel.get("checkpoints") > 0, "checkpoints taken");
-    assert_eq!(diag_a.lost_wakeups, 0);
-    assert!(!diag_a.timeout_fallback);
-    // Same schedule seed -> bit-identical run, including the diagnostics.
-    assert_eq!(fingerprint(&a), fingerprint(&b));
-    assert_eq!(diag_a, diag_b);
+    for mode in [CheckpointMode::Full, CheckpointMode::Delta] {
+        let (a, diag_a) = run(3, mode);
+        let (b, diag_b) = run(3, mode);
+        assert!(a.committed >= target(), "{mode:?}");
+        assert!(
+            a.kernel.get("checkpoints") > 0,
+            "{mode:?}: checkpoints taken"
+        );
+        assert_eq!(diag_a.lost_wakeups, 0, "{mode:?}");
+        assert!(!diag_a.timeout_fallback, "{mode:?}");
+        // Same schedule seed -> bit-identical run, including diagnostics.
+        assert_eq!(fingerprint(&a), fingerprint(&b), "{mode:?}");
+        assert_eq!(diag_a, diag_b, "{mode:?}");
+    }
+}
+
+/// DESIGN §11's delta-checkpoint oracle: on the deterministic sequential
+/// engine, a speculative run with incremental (delta) checkpoints must be
+/// fingerprint-identical to the same run with full clones — capture,
+/// in-place snapshot maintenance, and reverse-apply rollback reconstruct
+/// exactly the state a full clone would have, across greedy (bounded)
+/// and barrier (quantum) pacing and across checkpoint intervals.
+#[test]
+fn delta_checkpoints_match_full_clones_exactly() {
+    for bench in BENCHES {
+        for scheme in [
+            Scheme::BoundedSlack { bound: 16 },
+            Scheme::Quantum { quantum: 64 },
+        ] {
+            for interval in [500u64, 2_000] {
+                let spec = SpeculationConfig::speculative(interval, ViolationSelect::all());
+                let run = |mode| {
+                    run_speculative(
+                        bench,
+                        4,
+                        &scheme,
+                        target(),
+                        1,
+                        EngineKind::Sequential,
+                        spec.with_mode(mode),
+                    )
+                };
+                let full = run(CheckpointMode::Full);
+                let delta = run(CheckpointMode::Delta);
+                let label = format!("{bench}/{}/I={interval}", scheme.name());
+                assert_eq!(
+                    fingerprint(&full),
+                    fingerprint(&delta),
+                    "{label}: delta mode diverged from full clones"
+                );
+                for key in ["checkpoints", "rollbacks", "wasted_cycles", "replay_cycles"] {
+                    assert_eq!(
+                        full.kernel.get(key),
+                        delta.kernel.get(key),
+                        "{label}: kernel counter {key}"
+                    );
+                }
+                check_invariants(&delta, &scheme).unwrap_or_else(|e| panic!("{label}: {e}"));
+            }
+        }
+    }
+}
+
+/// Greedy (bounded-slack) speculation across the engine matrix, in both
+/// checkpoint modes: every cell completes past its commit target, takes
+/// checkpoints, and upholds the metamorphic invariants. Cross-engine
+/// equality is deliberately not asserted — threaded slack timing is
+/// host-nondeterministic; mode equivalence is proven exactly on the
+/// sequential engine above.
+#[test]
+fn speculative_greedy_matrix_upholds_invariants_on_both_engines() {
+    let scheme = Scheme::BoundedSlack { bound: 16 };
+    for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+        for mode in [CheckpointMode::Full, CheckpointMode::Delta] {
+            let spec = SpeculationConfig::speculative(500, ViolationSelect::all()).with_mode(mode);
+            let r = run_speculative(Benchmark::Fft, 4, &scheme, target(), 1, engine, spec);
+            let label = format!("{engine:?}/{mode:?}");
+            assert!(r.committed >= target(), "{label}: commit target missed");
+            assert!(r.kernel.get("checkpoints") > 0, "{label}: no checkpoints");
+            check_invariants(&r, &scheme).unwrap_or_else(|e| panic!("{label}: {e}"));
+        }
+    }
+}
+
+/// Cycle-by-cycle runs stay violation-free under checkpointing, and the
+/// checkpoint mode is invisible: full and delta modes reproduce the
+/// plain CC fingerprint on both engines.
+#[test]
+fn cycle_by_cycle_checkpointing_is_mode_independent() {
+    let scheme = Scheme::CycleByCycle;
+    let reference = fingerprint(&run_engine(
+        Benchmark::Fft,
+        4,
+        &scheme,
+        target(),
+        1,
+        EngineKind::Sequential,
+    ));
+    for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+        for mode in [CheckpointMode::Full, CheckpointMode::Delta] {
+            let spec = SpeculationConfig::checkpoint_only(500).with_mode(mode);
+            let r = run_speculative(Benchmark::Fft, 4, &scheme, target(), 1, engine, spec);
+            let label = format!("{engine:?}/{mode:?}");
+            assert_eq!(
+                r.violations.total(),
+                0,
+                "{label}: CC must be violation-free"
+            );
+            assert!(r.kernel.get("checkpoints") > 0, "{label}: no checkpoints");
+            assert_eq!(
+                fingerprint(&r),
+                reference,
+                "{label}: checkpointing perturbed the CC fingerprint"
+            );
+        }
+    }
 }
 
 /// Identical repro line -> identical run: the whole virtual execution is

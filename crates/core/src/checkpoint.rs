@@ -1,0 +1,201 @@
+//! Incremental (delta) checkpointing.
+//!
+//! The paper's `fork()`-based checkpoints got incremental capture for free
+//! from OS copy-on-write: untouched pages cost nothing. Our structured
+//! in-memory snapshots instead deep-clone every model at every checkpoint
+//! interval. [`Checkpointable`] restores the missing asymptotics in a
+//! deterministic, allocator-visible way: models track which of their parts
+//! changed since a *generation* (a monotonic per-model mutation counter)
+//! and capture only those parts.
+//!
+//! ## The generation protocol
+//!
+//! A model keeps one monotonically increasing generation counter, bumped on
+//! every mutating operation, and stamps the mutated *unit* (a cache set, a
+//! map entry, a whole scalar block — granularity is the implementor's
+//! choice) with the new generation. Then, with `g = model.generation()`
+//! sampled at checkpoint `k`:
+//!
+//! * `capture_delta(g_prev)` returns every unit stamped *after* `g_prev`,
+//!   i.e. everything that may differ from checkpoint `k-1`'s state;
+//! * `apply_delta(delta)` consumes the delta to patch a base copy holding
+//!   checkpoint `k-1` forward to checkpoint `k` — consuming lets bulk
+//!   payloads (whole sets, whole maps) *move* into the base instead of
+//!   being copied a second time;
+//! * `restore_from(&base, g)` rolls the *live* model back to checkpoint
+//!   `k` by overwriting every unit stamped after `g` with `base`'s value —
+//!   the reverse application of whatever has happened since the
+//!   checkpoint, without cloning the parts that never moved.
+//!
+//! Generations are never rewound: after a rollback the live model keeps
+//! counting from where it was, so units touched during the discarded
+//! window stay stamped above the checkpoint generation. A later capture
+//! may therefore include a unit whose value never effectively changed —
+//! that is a value-equal patch, harmless by construction. What must never
+//! happen is the converse (a changed unit *not* included), which the
+//! monotone stamps rule out.
+//!
+//! Tracking metadata (generation counters and unit stamps) is pure
+//! bookkeeping: it must never influence model behaviour, and equality
+//! comparisons between model states deliberately ignore it. That is what
+//! keeps full-clone and delta checkpointing bit-identical in simulation
+//! results, which the conformance suite asserts (DESIGN §11–12).
+
+/// How the engines capture and restore speculative-slack checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointMode {
+    /// Deep-clone the full model state at every checkpoint (the original
+    /// behaviour; simple, allocation-heavy).
+    #[default]
+    Full,
+    /// Capture only state mutated since the previous checkpoint and roll
+    /// back by reverse-applying against a retained base copy.
+    Delta,
+}
+
+impl CheckpointMode {
+    /// Parses a CLI-facing mode name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "full" => Some(CheckpointMode::Full),
+            "delta" => Some(CheckpointMode::Delta),
+            _ => None,
+        }
+    }
+
+    /// The CLI-facing name of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckpointMode::Full => "full",
+            CheckpointMode::Delta => "delta",
+        }
+    }
+}
+
+/// A model whose state can be checkpointed incrementally.
+///
+/// Implementors keep a monotonic generation counter bumped on every
+/// mutation and per-unit dirty stamps; see the [module docs](self) for the
+/// full protocol and its invariants. `Clone` remains a supertrait because
+/// full-clone checkpointing stays available as a mode and as the first
+/// (baseline) capture in delta mode.
+///
+/// Models without internal dirty tracking can opt into a trivially correct
+/// whole-state implementation with
+/// [`impl_checkpointable_by_clone!`](crate::impl_checkpointable_by_clone).
+pub trait Checkpointable: Clone {
+    /// The incremental state carrier produced by [`capture_delta`]
+    /// (`Self::capture_delta`) and consumed by [`apply_delta`]
+    /// (`Self::apply_delta`).
+    type Delta: Send + 'static;
+
+    /// Current generation: a monotonic counter of mutations applied to
+    /// this model. `capture_delta(g)` with `g` sampled *now* returns an
+    /// empty (or value-equal) delta.
+    fn generation(&self) -> u64;
+
+    /// Captures every unit of state mutated after `since_gen`, together
+    /// with the capture-time generation. Takes `&mut self` so
+    /// implementations may prune dirty bookkeeping that `since_gen`
+    /// proves no longer reachable; the *model state* must not change.
+    fn capture_delta(&mut self, since_gen: u64) -> Self::Delta;
+
+    /// Patches this model (holding the state the delta was captured
+    /// against) forward to the delta's capture point. Consumes the delta
+    /// so implementations can move owned payloads into place rather than
+    /// copy them again — what keeps delta mode's apply cost near zero
+    /// even when most units are dirty.
+    fn apply_delta(&mut self, delta: Self::Delta);
+
+    /// Rolls this *live* model back to the state held by `base`, where
+    /// `since_gen` is this model's generation sampled when `base` was
+    /// current: every unit stamped after `since_gen` is overwritten with
+    /// `base`'s value; clean units are left untouched. Generations are
+    /// not rewound.
+    fn restore_from(&mut self, base: &Self, since_gen: u64);
+}
+
+/// Implements [`Checkpointable`] for a `Clone` type by whole-state copy:
+/// the delta *is* a full clone and every restore is a full overwrite.
+///
+/// This is the correct fallback for small models (test doubles, toy
+/// examples) where dirty tracking would cost more than it saves, and it
+/// keeps the trait bound satisfiable without forcing every model to carry
+/// tracking machinery.
+///
+/// # Examples
+///
+/// ```
+/// use slacksim_core::checkpoint::Checkpointable;
+///
+/// #[derive(Clone, PartialEq, Debug)]
+/// struct Counter(u64);
+/// slacksim_core::impl_checkpointable_by_clone!(Counter);
+///
+/// let mut live = Counter(1);
+/// let base = live.clone();
+/// let gen = live.generation();
+/// live.0 = 99;
+/// live.restore_from(&base, gen);
+/// assert_eq!(live, Counter(1));
+/// ```
+#[macro_export]
+macro_rules! impl_checkpointable_by_clone {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl $crate::checkpoint::Checkpointable for $ty {
+                type Delta = $ty;
+
+                fn generation(&self) -> u64 {
+                    0
+                }
+
+                fn capture_delta(&mut self, _since_gen: u64) -> Self::Delta {
+                    self.clone()
+                }
+
+                fn apply_delta(&mut self, delta: Self::Delta) {
+                    *self = delta;
+                }
+
+                fn restore_from(&mut self, base: &Self, _since_gen: u64) {
+                    *self = base.clone();
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, PartialEq, Eq, Debug)]
+    struct Blob(Vec<u64>);
+    impl_checkpointable_by_clone!(Blob);
+
+    #[test]
+    fn mode_parse_roundtrip() {
+        for mode in [CheckpointMode::Full, CheckpointMode::Delta] {
+            assert_eq!(CheckpointMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(CheckpointMode::parse("incremental"), None);
+        assert_eq!(CheckpointMode::default(), CheckpointMode::Full);
+    }
+
+    #[test]
+    fn clone_fallback_roundtrips() {
+        let mut live = Blob(vec![1, 2, 3]);
+        let gen = live.generation();
+        let mut base = live.clone();
+
+        live.0.push(4);
+        let delta = live.capture_delta(gen);
+        base.apply_delta(delta);
+        assert_eq!(base, live, "apply reproduces the live state");
+
+        live.0.clear();
+        live.restore_from(&base, gen);
+        assert_eq!(live, Blob(vec![1, 2, 3, 4]), "restore rewinds to base");
+    }
+}

@@ -14,6 +14,7 @@
 
 use std::time::Instant;
 
+use crate::checkpoint::{CheckpointMode, Checkpointable};
 use crate::engine::{
     CoreModel, EngineConfig, EngineError, FinishReason, ServiceSink, TickCtx, UncoreModel,
 };
@@ -36,10 +37,20 @@ enum Mode {
     Replay,
 }
 
-/// Everything restored on rollback.
+/// Everything restored on rollback. Always holds *full* state: under
+/// [`CheckpointMode::Delta`] the model copies are brought up to date by
+/// applying capture deltas in place (instead of re-cloning), and rollback
+/// copies back only the units that diverged since the checkpoint
+/// (`restore_from`) — the snapshot's *contents* are identical in both
+/// modes, only the maintenance cost differs.
 struct Snapshot<C: CoreModel, U> {
     cores: Vec<C>,
     uncore: U,
+    /// Per-core model generation at the checkpoint (delta-mode baseline
+    /// tokens; zero and unused under full mode).
+    core_gens: Vec<u64>,
+    /// Uncore generation at the checkpoint.
+    uncore_gen: u64,
     locals: Vec<Cycle>,
     inboxes: Vec<Inbox<C::Event>>,
     tally: ViolationTally,
@@ -63,7 +74,11 @@ pub struct SequentialEngine<C: CoreModel, U: UncoreModel<C::Event>> {
     cfg: EngineConfig,
 }
 
-impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
+impl<C, U> SequentialEngine<C, U>
+where
+    C: CoreModel + Checkpointable,
+    U: UncoreModel<C::Event> + Checkpointable,
+{
     /// Creates an engine over the given target cores and uncore.
     pub fn new(cores: Vec<C>, uncore: U, cfg: EngineConfig) -> Self {
         SequentialEngine { cores, uncore, cfg }
@@ -134,12 +149,33 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
         let mut next_cp_trigger: u64 = spec.map_or(u64::MAX, |s| s.interval);
         let mut replay_start = Cycle::ZERO;
         let mut pending_rollback = false;
+        let cp_mode = spec.map_or(CheckpointMode::Full, |s| s.mode);
 
         let mut snapshot: Option<Snapshot<C, U>> = if spec.is_some() {
-            // The initial state is trivially a (free) checkpoint.
+            // The initial state is trivially a (free) checkpoint. Under
+            // delta mode, seed every model's capture baseline at its
+            // current generation (an empty capture) so the first real
+            // capture resolves exact per-component baselines.
+            let (core_gens, uncore_gen) = if cp_mode == CheckpointMode::Delta {
+                let gens: Vec<u64> = cores
+                    .iter_mut()
+                    .map(|c| {
+                        let g = c.generation();
+                        let _ = c.capture_delta(g);
+                        g
+                    })
+                    .collect();
+                let ug = uncore.generation();
+                let _ = uncore.capture_delta(ug);
+                (gens, ug)
+            } else {
+                (vec![0; n], 0)
+            };
             Some(Snapshot {
                 cores: cores.clone(),
                 uncore: uncore.clone(),
+                core_gens,
+                uncore_gen,
                 locals: locals.clone(),
                 inboxes: inboxes.clone(),
                 tally,
@@ -324,6 +360,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                                 &mut gq,
                                 &mut spec_stats,
                                 global,
+                                cp_mode,
                                 &mut th,
                             );
                             mode = Mode::Replay;
@@ -345,8 +382,16 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                             continue;
                         }
                         if mode == Mode::Replay {
-                            spec_stats.replay_cycles += s.saturating_sub(replay_start);
+                            let replayed = s.saturating_sub(replay_start);
+                            spec_stats.replay_cycles += replayed;
                             mode = Mode::Base;
+                            th.record(
+                                s,
+                                TraceEvent::ReplayEnd {
+                                    ordinal: spec_stats.rollbacks,
+                                    replay_cycles: replayed,
+                                },
+                            );
                             for i in 0..n {
                                 th.record(
                                     s,
@@ -361,22 +406,38 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                         th.record(
                             Cycle::new(next_cp_trigger.min(s.as_u64())),
                             TraceEvent::Checkpoint {
-                                interval: spec_stats.checkpoints,
-                                cycles: s.as_u64().saturating_sub(next_cp_trigger),
+                                ordinal: spec_stats.checkpoints,
+                                overshoot: s.as_u64().saturating_sub(next_cp_trigger),
                             },
                         );
-                        snapshot = Some(Snapshot {
-                            cores: cores.clone(),
-                            uncore: uncore.clone(),
-                            locals: locals.clone(),
-                            inboxes: inboxes.clone(),
-                            tally,
-                            committed,
-                            global: s,
-                            pacer: pacer.clone_box(),
-                            next_sample,
-                            last_sample_tally,
-                        });
+                        let snap = snapshot.as_mut().expect("spec enabled");
+                        match cp_mode {
+                            CheckpointMode::Full => {
+                                snap.cores = cores.clone();
+                                snap.uncore = uncore.clone();
+                            }
+                            CheckpointMode::Delta => {
+                                // Bring the standing snapshot up to this
+                                // checkpoint by applying each model's delta
+                                // against the previous one.
+                                for (i, c) in cores.iter_mut().enumerate() {
+                                    let d = c.capture_delta(snap.core_gens[i]);
+                                    snap.cores[i].apply_delta(d);
+                                    snap.core_gens[i] = c.generation();
+                                }
+                                let du = uncore.capture_delta(snap.uncore_gen);
+                                snap.uncore.apply_delta(du);
+                                snap.uncore_gen = uncore.generation();
+                            }
+                        }
+                        snap.locals = locals.clone();
+                        snap.inboxes = inboxes.clone();
+                        snap.tally = tally;
+                        snap.committed = committed;
+                        snap.global = s;
+                        snap.pacer = pacer.clone_box();
+                        snap.next_sample = next_sample;
+                        snap.last_sample_tally = last_sample_tally;
                         next_cp_trigger = s.as_u64() + spec.expect("spec enabled").interval;
                         stop_at = None;
                         window_end = pacer.window_end(s);
@@ -490,6 +551,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
                         &mut gq,
                         &mut spec_stats,
                         cur_global,
+                        cp_mode,
                         &mut th,
                     );
                     mode = Mode::Replay;
@@ -640,20 +702,32 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> SequentialEngine<C, U> {
         gq: &mut GlobalQueue<C::Event>,
         spec_stats: &mut SpeculationStats,
         global_at_rollback: Cycle,
+        cp_mode: CheckpointMode,
         th: &mut TraceHandle,
     ) {
         spec_stats.rollbacks += 1;
         let wasted = global_at_rollback.saturating_sub(snap.global);
         spec_stats.wasted_cycles += wasted;
         th.record(
-            snap.global,
+            global_at_rollback,
             TraceEvent::Rollback {
-                interval: spec_stats.rollbacks,
-                replay_cycles: wasted,
+                ordinal: spec_stats.rollbacks,
+                wasted_cycles: wasted,
             },
         );
-        *cores = snap.cores.clone();
-        *uncore = snap.uncore.clone();
+        match cp_mode {
+            CheckpointMode::Full => {
+                *cores = snap.cores.clone();
+                *uncore = snap.uncore.clone();
+            }
+            CheckpointMode::Delta => {
+                // Copy back only what diverged since the checkpoint.
+                for (i, c) in cores.iter_mut().enumerate() {
+                    c.restore_from(&snap.cores[i], snap.core_gens[i]);
+                }
+                uncore.restore_from(&snap.uncore, snap.uncore_gen);
+            }
+        }
         *locals = snap.locals.clone();
         *inboxes = snap.inboxes.clone();
         *tally = snap.tally;
@@ -752,6 +826,8 @@ mod tests {
             c
         }
     }
+
+    crate::impl_checkpointable_by_clone!(ToyCore, ToyUncore);
 
     fn toy_cores(n: usize) -> Vec<ToyCore> {
         (0..n).map(|i| ToyCore::new(3 + (i as u64 % 4))).collect()
@@ -893,6 +969,35 @@ mod tests {
         assert!(r.kernel.get("violations_detected_total") >= r.violations.total());
         assert!(r.kernel.get("replay_cycles") > 0);
         assert!(r.committed >= 20_000);
+    }
+
+    #[test]
+    fn delta_mode_matches_full_mode_bit_identically() {
+        use crate::checkpoint::CheckpointMode;
+        for seed in [3u64, 7, 11] {
+            let run_mode = |mode: CheckpointMode| {
+                let mut cfg = EngineConfig::new(Scheme::UnboundedSlack, 20_000);
+                cfg.seed = seed;
+                cfg.speculation = Some(
+                    SpeculationConfig::speculative(500, ViolationSelect::all()).with_mode(mode),
+                );
+                SequentialEngine::new(toy_cores(4), ToyUncore::default(), cfg)
+                    .run()
+                    .unwrap()
+            };
+            let full = run_mode(CheckpointMode::Full);
+            let delta = run_mode(CheckpointMode::Delta);
+            assert!(
+                full.kernel.get("rollbacks") > 0,
+                "seed {seed}: no rollbacks"
+            );
+            assert_eq!(full.global_cycles, delta.global_cycles, "seed {seed}");
+            assert_eq!(full.committed, delta.committed, "seed {seed}");
+            assert_eq!(full.violations, delta.violations, "seed {seed}");
+            assert_eq!(full.per_core, delta.per_core, "seed {seed}");
+            assert_eq!(full.uncore, delta.uncore, "seed {seed}");
+            assert_eq!(full.kernel, delta.kernel, "seed {seed}");
+        }
     }
 
     #[test]

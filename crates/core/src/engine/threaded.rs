@@ -39,6 +39,7 @@ use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
+use crate::checkpoint::{CheckpointMode, Checkpointable};
 use crate::engine::{
     CoreModel, EngineConfig, EngineError, FinishReason, ServiceSink, TickCtx, UncoreModel,
 };
@@ -99,10 +100,17 @@ enum Command<C: CoreModel> {
     /// Run (ignoring the published max local time) until the local clock
     /// reaches the given cycle, then acknowledge.
     RunTo(u64),
-    /// Clone the core model and pending inbox into the snapshot slot.
-    Snapshot,
-    /// Replace the core model and inbox with the given restored state.
-    Restore(Box<(C, Inbox<<C as CoreModel>::Event>)>),
+    /// Capture the core's state into the snapshot slot: a full clone of
+    /// the model and pending inbox, or (delta mode) a delta against the
+    /// generation recorded at the previous capture.
+    Snapshot { delta: bool },
+    /// Replace the core model and inbox with the given restored state
+    /// (full mode).
+    Restore(Box<CoreSnapshot<C>>),
+    /// Rewind the model onto the given checkpoint base via
+    /// [`Checkpointable::restore_from`] (delta mode) and hand the
+    /// untouched base back through the snapshot slot.
+    RestoreDelta(Box<CoreSnapshot<C>>),
     /// Leave the control sub-loop and return to normal execution.
     Resume,
 }
@@ -110,15 +118,28 @@ enum Command<C: CoreModel> {
 /// A core thread's snapshot: the model plus its undelivered inbox events.
 type CoreSnapshot<C> = (C, Inbox<<C as CoreModel>::Event>);
 
+/// What a core thread deposits in its snapshot slot.
+enum CoreCapture<C: CoreModel + Checkpointable> {
+    /// Full clone of the model and pending inbox.
+    Full(Box<CoreSnapshot<C>>),
+    /// Delta against the previous capture, plus the pending inbox
+    /// (inboxes are tiny at checkpoint boundaries; deltas do not pay to
+    /// diff them).
+    Delta(Box<(C::Delta, Inbox<<C as CoreModel>::Event>)>),
+    /// The checkpoint base handed back untouched after a delta-mode
+    /// rollback, so the manager keeps its standing copy without a clone.
+    Base(Box<CoreSnapshot<C>>),
+}
+
 /// State shared between the manager and one core thread.
-struct CoreShared<C: CoreModel> {
+struct CoreShared<C: CoreModel + Checkpointable> {
     local: AtomicU64,
     max_local: AtomicU64,
     /// Core produces, manager consumes.
     outq: SpscRing<Timestamped<C::Event>>,
     /// Manager produces, core consumes.
     inq: SpscRing<Timestamped<C::Event>>,
-    snapshot: SnapshotSlot<CoreSnapshot<C>>,
+    snapshot: SnapshotSlot<CoreCapture<C>>,
     /// True while the core thread is (about to be) parked on the window.
     parked: AtomicBool,
     /// Raised by the manager before every command send; the core's
@@ -145,7 +166,7 @@ struct CoreShared<C: CoreModel> {
 /// [`send_cmd`], which raises `cmd_pending` first; the send alone is
 /// invisible to the re-check, and the parked flag may already have been
 /// claimed by an earlier wake, in which case this function does nothing.
-fn wake_core<C: CoreModel>(s: &CoreShared<C>, sched: &dyn HostSched) {
+fn wake_core<C: CoreModel + Checkpointable>(s: &CoreShared<C>, sched: &dyn HostSched) {
     fence(Ordering::SeqCst);
     if s.parked.load(Ordering::Relaxed) && s.parked.swap(false, Ordering::SeqCst) {
         if let Some(&t) = s.task.get() {
@@ -160,7 +181,7 @@ fn wake_core<C: CoreModel>(s: &CoreShared<C>, sched: &dyn HostSched) {
 /// iteration. Without the flag a command could strand a core in its park
 /// until the timeout backstop — a stall the virtual-scheduler conformance
 /// runs (which park without timeouts) diagnose as a livelock.
-fn send_cmd<C: CoreModel>(
+fn send_cmd<C: CoreModel + Checkpointable>(
     s: &CoreShared<C>,
     tx: &Sender<Command<C>>,
     cmd: Command<C>,
@@ -226,9 +247,19 @@ enum Mode {
 }
 
 /// Manager-side copy of a global checkpoint.
+///
+/// The snapshot always holds *full* state in both checkpoint modes; the
+/// mode only changes how it is maintained. Full mode rebuilds it from
+/// fresh clones at every checkpoint; delta mode applies the cores'
+/// capture deltas onto the standing copy in place and rolls back via
+/// `restore_from`, which copies only the units that diverged.
 struct ManagerSnapshot<C: CoreModel, U> {
     cores: Vec<CoreSnapshot<C>>,
     uncore: U,
+    /// Generation token of the live uncore at this checkpoint (the
+    /// baseline the next delta capture diffs against; unused in full
+    /// mode).
+    uncore_gen: u64,
     global: Cycle,
     tally: ViolationTally,
     committed: u64,
@@ -250,7 +281,11 @@ pub struct ThreadedEngine<C: CoreModel, U: UncoreModel<C::Event>> {
     cfg: EngineConfig,
 }
 
-impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
+impl<C, U> ThreadedEngine<C, U>
+where
+    C: CoreModel + Checkpointable,
+    U: UncoreModel<C::Event> + Checkpointable,
+{
     /// Creates an engine over the given target cores and uncore.
     pub fn new(cores: Vec<C>, uncore: U, cfg: EngineConfig) -> Self {
         ThreadedEngine { cores, uncore, cfg }
@@ -430,7 +465,7 @@ impl<C: CoreModel, U: UncoreModel<C::Event>> ThreadedEngine<C, U> {
 /// escalates spin → yield → park; the manager unparks the thread whenever
 /// it widens the window or sends a command.
 #[allow(clippy::too_many_arguments)]
-fn core_thread<C: CoreModel>(
+fn core_thread<C: CoreModel + Checkpointable>(
     core: CoreId,
     mut model: C,
     shared: &CoreShared<C>,
@@ -447,6 +482,12 @@ fn core_thread<C: CoreModel>(
     let _ = shared.task.set(task);
     let mut inbox: Inbox<C::Event> = Inbox::new();
     let mut outbox: Vec<Timestamped<C::Event>> = Vec::new();
+    // Generation token recorded at the last snapshot capture: the
+    // baseline the next delta capture diffs against and the token a
+    // delta-mode restore rewinds to. Refreshed on every capture (full
+    // captures seed it so the first delta after the free initial full
+    // snapshot has an exact baseline).
+    let mut cp_gen: u64 = 0;
     let mut idle_spins = 0u32;
     // On an oversubscribed host a capped core skips the spin tier: the
     // manager cannot widen the window until it gets the CPU this core is
@@ -503,11 +544,28 @@ fn core_thread<C: CoreModel>(
                         }
                         ack_tx.send(l).expect("manager alive");
                     }
-                    Command::Snapshot => {
+                    Command::Snapshot { delta } => {
                         while let Some(ev) = shared.inq.pop() {
                             inbox.deliver(ev);
                         }
-                        shared.snapshot.put((model.clone(), inbox.clone()));
+                        let capture = if delta {
+                            let d = model.capture_delta(cp_gen);
+                            cp_gen = model.generation();
+                            CoreCapture::Delta(Box::new((d, inbox.clone())))
+                        } else {
+                            // Seed the delta baseline even on full
+                            // captures: capturing at the current
+                            // generation is an empty delta whose only
+                            // effect is recording the baseline, so the
+                            // first delta capture after an initial full
+                            // snapshot diffs against exact per-unit
+                            // stamps instead of degrading to a full walk.
+                            let g = model.generation();
+                            let _ = model.capture_delta(g);
+                            cp_gen = g;
+                            CoreCapture::Full(Box::new((model.clone(), inbox.clone())))
+                        };
+                        shared.snapshot.put(capture);
                         ack_tx
                             .send(shared.local.load(Ordering::Relaxed))
                             .expect("manager alive");
@@ -516,6 +574,17 @@ fn core_thread<C: CoreModel>(
                         let (m, ib) = *state;
                         model = m;
                         inbox = ib;
+                        ack_tx
+                            .send(shared.local.load(Ordering::Relaxed))
+                            .expect("manager alive");
+                    }
+                    Command::RestoreDelta(base) => {
+                        // Rewind in place: only units that diverged from
+                        // the base since `cp_gen` are copied back, and
+                        // the base goes back to the manager untouched.
+                        model.restore_from(&base.0, cp_gen);
+                        inbox.clone_from(&base.1);
+                        shared.snapshot.put(CoreCapture::Base(base));
                         ack_tx
                             .send(shared.local.load(Ordering::Relaxed))
                             .expect("manager alive");
@@ -737,7 +806,7 @@ impl MetricIds {
 /// The simulation-manager loop (runs on the caller's thread inside the
 /// scope).
 #[allow(clippy::too_many_arguments)]
-fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
+fn manager_loop<C, U>(
     cfg: &EngineConfig,
     pacer: &mut Box<dyn Pacer>,
     uncore: &mut U,
@@ -746,7 +815,11 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
     cmd_txs: &[Sender<Command<C>>],
     ack_rxs: &[Receiver<u64>],
     tracer: &Tracer,
-) -> Result<ManagerOutcome<U>, EngineError> {
+) -> Result<ManagerOutcome<U>, EngineError>
+where
+    C: CoreModel + Checkpointable,
+    U: UncoreModel<C::Event> + Checkpointable,
+{
     let n = shared.len();
     let sched: &dyn HostSched = &**cfg.sched.get();
     let virt = sched.virtualized();
@@ -788,13 +861,19 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
     // is off; `cp_interval` is only ever added under a `spec.is_some()`
     // guard.
     let cp_interval: u64 = spec.map_or(u64::MAX, |s| s.interval);
+    let cp_delta = spec.is_some_and(|s| s.mode == CheckpointMode::Delta);
     let mut next_cp_trigger: u64 = cp_interval;
     let mut replay_start = Cycle::ZERO;
     let mut pending_rollback = false;
 
     // The initial state is a free checkpoint taken before the cores move.
-    let mut snapshot: Option<ManagerSnapshot<C, U>> = if spec.is_some() {
-        let cores = snapshot_all(
+    // It is always a *full* capture — delta mode needs a base to diff
+    // against — and seeds every delta baseline (cores seed their own in
+    // the full-capture path; the manager seeds the uncore's inside
+    // `merge_snapshot`).
+    let mut snapshot: Option<ManagerSnapshot<C, U>> = None;
+    if spec.is_some() {
+        let captures = snapshot_all(
             shared,
             cmd_txs,
             ack_rxs,
@@ -803,21 +882,21 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             &mut sink,
             &mut drain_buf,
             sched,
+            false,
         );
         // Discard side effects of the (empty) drain above.
-        Some(ManagerSnapshot {
-            cores,
-            uncore: uncore.clone(),
-            global: Cycle::ZERO,
+        merge_snapshot(
+            &mut snapshot,
+            captures,
+            uncore,
+            Cycle::ZERO,
             tally,
-            committed: 0,
-            pacer: pacer.clone_box(),
+            0,
+            &**pacer,
             next_sample,
             last_sample_tally,
-        })
-    } else {
-        None
-    };
+        );
+    }
 
     let mut window_end = if pacer.barrier_service() {
         pacer.window_end(Cycle::ZERO)
@@ -972,8 +1051,16 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                     // Cores are already aligned at the boundary: snapshot
                     // directly.
                     if mode == Mode::Replay {
-                        spec_stats.replay_cycles += g.saturating_sub(replay_start);
+                        let replayed = g.saturating_sub(replay_start);
+                        spec_stats.replay_cycles += replayed;
                         mode = Mode::Base;
+                        th.record(
+                            g,
+                            TraceEvent::ReplayEnd {
+                                ordinal: spec_stats.rollbacks,
+                                replay_cycles: replayed,
+                            },
+                        );
                         for c in CoreId::all(n) {
                             th.record(
                                 g,
@@ -984,7 +1071,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                             );
                         }
                     }
-                    let cores = snapshot_all(
+                    let captures = snapshot_all(
                         shared,
                         cmd_txs,
                         ack_rxs,
@@ -993,25 +1080,27 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
                         &mut sink,
                         &mut drain_buf,
                         sched,
+                        cp_delta,
                     );
                     spec_stats.checkpoints += 1;
                     th.record(
                         Cycle::new(next_cp_trigger.min(g.as_u64())),
                         TraceEvent::Checkpoint {
-                            interval: spec_stats.checkpoints,
-                            cycles: g.as_u64().saturating_sub(next_cp_trigger),
+                            ordinal: spec_stats.checkpoints,
+                            overshoot: g.as_u64().saturating_sub(next_cp_trigger),
                         },
                     );
-                    snapshot = Some(ManagerSnapshot {
-                        cores,
-                        uncore: uncore.clone(),
-                        global: g,
+                    merge_snapshot(
+                        &mut snapshot,
+                        captures,
+                        uncore,
+                        g,
                         tally,
-                        committed: committed.load(Ordering::Acquire),
-                        pacer: pacer.clone_box(),
+                        committed.load(Ordering::Acquire),
+                        &**pacer,
                         next_sample,
                         last_sample_tally,
-                    });
+                    );
                     next_cp_trigger = g.as_u64() + cp_interval;
                 }
                 window_end = if mode == Mode::Replay {
@@ -1060,7 +1149,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
         );
 
         if pending_rollback {
-            let snap = snapshot.as_ref().expect("rollback requires a snapshot");
+            let snap = snapshot.as_mut().expect("rollback requires a snapshot");
             stop_all(shared, cmd_txs, ack_rxs, sched);
             drain_outqs(shared, &mut gq, &mut drain_buf);
             gq.clear();
@@ -1080,27 +1169,51 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             spec_stats.rollbacks += 1;
             let wasted = cur_global.saturating_sub(snap.global);
             spec_stats.wasted_cycles += wasted;
+            // Recorded at the rollback instant: the exporter renders the
+            // discarded region as the span [cur_global - wasted,
+            // cur_global).
             th.record(
-                snap.global,
+                cur_global,
                 TraceEvent::Rollback {
-                    interval: spec_stats.rollbacks,
-                    replay_cycles: wasted,
+                    ordinal: spec_stats.rollbacks,
+                    wasted_cycles: wasted,
                 },
             );
-            for (i, tx) in cmd_txs.iter().enumerate() {
-                let (m, ib) = &snap.cores[i];
-                shared[i]
-                    .local
-                    .store(snap.global.as_u64(), Ordering::Release);
-                send_cmd(
-                    &shared[i],
-                    tx,
-                    Command::Restore(Box::new((m.clone(), ib.clone()))),
-                    sched,
-                );
+            for s in shared.iter() {
+                s.local.store(snap.global.as_u64(), Ordering::Release);
             }
-            await_acks(ack_rxs, sched);
-            *uncore = snap.uncore.clone();
+            if cp_delta {
+                // Hand each core its checkpoint base by move; the core
+                // rewinds in place via `restore_from` (copying back only
+                // the units that diverged) and returns the base through
+                // its snapshot slot, so no full-model clone happens on
+                // either side.
+                let bases = std::mem::take(&mut snap.cores);
+                for ((s, tx), base) in shared.iter().zip(cmd_txs).zip(bases) {
+                    send_cmd(s, tx, Command::RestoreDelta(Box::new(base)), sched);
+                }
+                await_acks(ack_rxs, sched);
+                snap.cores = shared
+                    .iter()
+                    .map(|s| match s.snapshot.take().expect("base returned") {
+                        CoreCapture::Base(b) => *b,
+                        _ => unreachable!("delta restore hands back the base"),
+                    })
+                    .collect();
+                uncore.restore_from(&snap.uncore, snap.uncore_gen);
+            } else {
+                for (i, tx) in cmd_txs.iter().enumerate() {
+                    let (m, ib) = &snap.cores[i];
+                    send_cmd(
+                        &shared[i],
+                        tx,
+                        Command::Restore(Box::new((m.clone(), ib.clone()))),
+                        sched,
+                    );
+                }
+                await_acks(ack_rxs, sched);
+                *uncore = snap.uncore.clone();
+            }
             tally = snap.tally;
             committed.store(snap.committed, Ordering::Release);
             *pacer = snap.pacer.clone_box();
@@ -1200,16 +1313,24 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             }
             // Cores are paused right after their RunTo ack: snapshot them.
             for (i, tx) in cmd_txs.iter().enumerate() {
-                send_cmd(&shared[i], tx, Command::Snapshot, sched);
+                send_cmd(&shared[i], tx, Command::Snapshot { delta: cp_delta }, sched);
             }
             await_acks(ack_rxs, sched);
-            let cores: Vec<CoreSnapshot<C>> = shared
+            let captures: Vec<CoreCapture<C>> = shared
                 .iter()
                 .map(|s| s.snapshot.take().expect("snapshot filled"))
                 .collect();
             if mode == Mode::Replay {
-                spec_stats.replay_cycles += Cycle::new(stop_at).saturating_sub(replay_start);
+                let replayed = Cycle::new(stop_at).saturating_sub(replay_start);
+                spec_stats.replay_cycles += replayed;
                 mode = Mode::Base;
+                th.record(
+                    Cycle::new(stop_at),
+                    TraceEvent::ReplayEnd {
+                        ordinal: spec_stats.rollbacks,
+                        replay_cycles: replayed,
+                    },
+                );
                 for c in CoreId::all(n) {
                     th.record(
                         Cycle::new(stop_at),
@@ -1224,20 +1345,21 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
             th.record(
                 Cycle::new(next_cp_trigger.min(stop_at)),
                 TraceEvent::Checkpoint {
-                    interval: spec_stats.checkpoints,
-                    cycles: stop_at.saturating_sub(next_cp_trigger),
+                    ordinal: spec_stats.checkpoints,
+                    overshoot: stop_at.saturating_sub(next_cp_trigger),
                 },
             );
-            snapshot = Some(ManagerSnapshot {
-                cores,
-                uncore: uncore.clone(),
-                global: Cycle::new(stop_at),
+            merge_snapshot(
+                &mut snapshot,
+                captures,
+                uncore,
+                Cycle::new(stop_at),
                 tally,
-                committed: committed.load(Ordering::Acquire),
-                pacer: pacer.clone_box(),
+                committed.load(Ordering::Acquire),
+                &**pacer,
                 next_sample,
                 last_sample_tally,
-            });
+            );
             next_cp_trigger = stop_at + cp_interval;
             locals.clear();
             locals.resize(n, stop_at);
@@ -1308,7 +1430,7 @@ fn manager_loop<C: CoreModel, U: UncoreModel<C::Event>>(
 }
 
 /// Sets every core's max local time and unparks any core waiting on it.
-fn publish_window<C: CoreModel>(
+fn publish_window<C: CoreModel + Checkpointable>(
     shared: &[Arc<CoreShared<C>>],
     window_end: Cycle,
     sched: &dyn HostSched,
@@ -1323,7 +1445,7 @@ fn publish_window<C: CoreModel>(
 /// against peers (Lax-P2P), uniform otherwise; both clamped by the
 /// implementation lead cap. Returns the largest published window for the
 /// manager's bookkeeping.
-fn publish_greedy_windows<C: CoreModel>(
+fn publish_greedy_windows<C: CoreModel + Checkpointable>(
     pacer: &mut Box<dyn Pacer>,
     shared: &[Arc<CoreShared<C>>],
     locals: &[u64],
@@ -1354,7 +1476,7 @@ fn publish_greedy_windows<C: CoreModel>(
 /// Moves every queued OutQ entry into the global queue: one batched ring
 /// drain plus one batched heap insert per core. Returns the number of
 /// events moved.
-fn drain_outqs<C: CoreModel>(
+fn drain_outqs<C: CoreModel + Checkpointable>(
     shared: &[Arc<CoreShared<C>>],
     gq: &mut GlobalQueue<C::Event>,
     buf: &mut Vec<Timestamped<C::Event>>,
@@ -1375,7 +1497,7 @@ fn drain_outqs<C: CoreModel>(
 /// violation trace instant (attributed to the originating core) for every
 /// violation the uncore reports.
 #[allow(clippy::too_many_arguments)]
-fn service_all<C: CoreModel, U: UncoreModel<C::Event>>(
+fn service_all<C: CoreModel + Checkpointable, U: UncoreModel<C::Event>>(
     gq: &mut GlobalQueue<C::Event>,
     uncore: &mut U,
     sink: &mut ServiceSink<C::Event>,
@@ -1425,7 +1547,7 @@ fn service_all<C: CoreModel, U: UncoreModel<C::Event>>(
 
 /// Sends `Stop` to every core (waking parked ones) and waits for all
 /// acknowledgements.
-fn stop_all<C: CoreModel>(
+fn stop_all<C: CoreModel + Checkpointable>(
     shared: &[Arc<CoreShared<C>>],
     cmd_txs: &[Sender<Command<C>>],
     ack_rxs: &[Receiver<u64>],
@@ -1438,7 +1560,7 @@ fn stop_all<C: CoreModel>(
 }
 
 /// Sends `Resume` to every (paused) core.
-fn resume_all<C: CoreModel>(
+fn resume_all<C: CoreModel + Checkpointable>(
     shared: &[Arc<CoreShared<C>>],
     cmd_txs: &[Sender<Command<C>>],
     sched: &dyn HostSched,
@@ -1470,9 +1592,10 @@ fn await_acks(ack_rxs: &[Receiver<u64>], sched: &dyn HostSched) {
 }
 
 /// Stop-syncs all cores at a common local time and collects their
-/// snapshots (used for the free initial checkpoint).
+/// captures (full clones or deltas, per `delta`). Also used for the free
+/// initial checkpoint, which is always full.
 #[allow(clippy::too_many_arguments)]
-fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
+fn snapshot_all<C: CoreModel + Checkpointable, U: UncoreModel<C::Event>>(
     shared: &[Arc<CoreShared<C>>],
     cmd_txs: &[Sender<Command<C>>],
     ack_rxs: &[Receiver<u64>],
@@ -1481,7 +1604,8 @@ fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
     sink: &mut ServiceSink<C::Event>,
     drain_buf: &mut Vec<Timestamped<C::Event>>,
     sched: &dyn HostSched,
-) -> Vec<CoreSnapshot<C>> {
+    delta: bool,
+) -> Vec<CoreCapture<C>> {
     stop_all(shared, cmd_txs, ack_rxs, sched);
     drain_outqs(shared, gq, drain_buf);
     // Service without violation bookkeeping: only used at cycle 0 where the
@@ -1494,7 +1618,7 @@ fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
         let _ = sink.take_violations();
     }
     for (i, tx) in cmd_txs.iter().enumerate() {
-        send_cmd(&shared[i], tx, Command::Snapshot, sched);
+        send_cmd(&shared[i], tx, Command::Snapshot { delta }, sched);
     }
     await_acks(ack_rxs, sched);
     let snaps = shared
@@ -1503,6 +1627,74 @@ fn snapshot_all<C: CoreModel, U: UncoreModel<C::Event>>(
         .collect();
     resume_all(shared, cmd_txs, sched);
     snaps
+}
+
+/// Folds a round of core captures plus the live uncore into the standing
+/// manager snapshot. Full captures rebuild the snapshot outright (and
+/// re-seed the uncore's delta baseline, so the first delta after an
+/// initial full snapshot has an exact baseline); delta captures are
+/// applied onto the previous checkpoint in place, which is the point of
+/// delta mode — maintenance cost proportional to what changed, not to
+/// total model size.
+#[allow(clippy::too_many_arguments)]
+fn merge_snapshot<C, U>(
+    snapshot: &mut Option<ManagerSnapshot<C, U>>,
+    captures: Vec<CoreCapture<C>>,
+    uncore: &mut U,
+    global: Cycle,
+    tally: ViolationTally,
+    committed: u64,
+    pacer: &dyn Pacer,
+    next_sample: u64,
+    last_sample_tally: ViolationTally,
+) where
+    C: CoreModel + Checkpointable,
+    U: UncoreModel<C::Event> + Checkpointable,
+{
+    if matches!(captures.first(), Some(CoreCapture::Delta(_))) {
+        let snap = snapshot
+            .as_mut()
+            .expect("delta capture requires a standing snapshot");
+        for (i, cap) in captures.into_iter().enumerate() {
+            match cap {
+                CoreCapture::Delta(b) => {
+                    let (d, ib) = *b;
+                    snap.cores[i].0.apply_delta(d);
+                    snap.cores[i].1 = ib;
+                }
+                _ => unreachable!("capture mode is uniform across cores"),
+            }
+        }
+        let ud = uncore.capture_delta(snap.uncore_gen);
+        snap.uncore.apply_delta(ud);
+        snap.uncore_gen = uncore.generation();
+        snap.global = global;
+        snap.tally = tally;
+        snap.committed = committed;
+        snap.pacer = pacer.clone_box();
+        snap.next_sample = next_sample;
+        snap.last_sample_tally = last_sample_tally;
+    } else {
+        let g = uncore.generation();
+        let _ = uncore.capture_delta(g);
+        *snapshot = Some(ManagerSnapshot {
+            cores: captures
+                .into_iter()
+                .map(|cap| match cap {
+                    CoreCapture::Full(b) => *b,
+                    _ => unreachable!("capture mode is uniform across cores"),
+                })
+                .collect(),
+            uncore: uncore.clone(),
+            uncore_gen: g,
+            global,
+            tally,
+            committed,
+            pacer: pacer.clone_box(),
+            next_sample,
+            last_sample_tally,
+        });
+    }
 }
 
 #[cfg(test)]

@@ -78,6 +78,10 @@
 //!     }
 //! }
 //!
+//! // Checkpointing by full clone is fine for toy models; real targets
+//! // can implement `checkpoint::Checkpointable` for incremental deltas.
+//! slacksim_core::impl_checkpointable_by_clone!(Pinger, Bus);
+//!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let cores = vec![Pinger(0); 4];
 //! let cfg = EngineConfig::new(Scheme::BoundedSlack { bound: 16 }, 10_000);
@@ -90,6 +94,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod event;
 pub mod model;
@@ -103,6 +108,7 @@ pub mod sync;
 pub mod time;
 pub mod violation;
 
+pub use checkpoint::{CheckpointMode, Checkpointable};
 pub use engine::{
     CoreModel, EngineConfig, EngineError, SequentialEngine, ServiceSink, ThreadedEngine, TickCtx,
     UncoreModel,

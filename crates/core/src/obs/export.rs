@@ -172,20 +172,44 @@ pub fn chrome_trace_json(obs: &ObsData) -> String {
                 let args = format!(r#""old":{old},"new":{new},"rate":{}"#, json_num(rate));
                 w.instant("bound_change", "adaptive", manager_tid, ts, &args);
             }
-            TraceEvent::Checkpoint { interval, cycles } => {
-                let args = format!(r#""interval":{interval}"#);
-                w.span("checkpoint", "speculation", manager_tid, ts, cycles, &args);
+            TraceEvent::Checkpoint { ordinal, overshoot } => {
+                let args = format!(r#""ordinal":{ordinal},"overshoot":{overshoot}"#);
+                w.span(
+                    "checkpoint",
+                    "speculation",
+                    manager_tid,
+                    ts,
+                    overshoot,
+                    &args,
+                );
             }
             TraceEvent::Rollback {
-                interval,
-                replay_cycles,
+                ordinal,
+                wasted_cycles,
             } => {
-                let args = format!(r#""interval":{interval},"replay_cycles":{replay_cycles}"#);
+                let args = format!(r#""ordinal":{ordinal},"wasted_cycles":{wasted_cycles}"#);
+                // The discarded region precedes the rollback instant.
                 w.span(
                     "rollback",
                     "speculation",
                     manager_tid,
-                    ts,
+                    ts.saturating_sub(wasted_cycles),
+                    wasted_cycles,
+                    &args,
+                );
+            }
+            TraceEvent::ReplayEnd {
+                ordinal,
+                replay_cycles,
+            } => {
+                let args = format!(r#""ordinal":{ordinal},"replay_cycles":{replay_cycles}"#);
+                // Recorded when replay reaches the boundary: the replayed
+                // region extends backwards from the record time.
+                w.span(
+                    "cc_replay",
+                    "speculation",
+                    manager_tid,
+                    ts.saturating_sub(replay_cycles),
                     replay_cycles,
                     &args,
                 );
@@ -294,15 +318,22 @@ mod tests {
                 rec(
                     120,
                     TraceEvent::Checkpoint {
-                        interval: 1,
-                        cycles: 30,
+                        ordinal: 1,
+                        overshoot: 30,
                     },
                 ),
                 rec(
                     150,
                     TraceEvent::Rollback {
-                        interval: 1,
-                        replay_cycles: 80,
+                        ordinal: 1,
+                        wasted_cycles: 80,
+                    },
+                ),
+                rec(
+                    250,
+                    TraceEvent::ReplayEnd {
+                        ordinal: 1,
+                        replay_cycles: 100,
                     },
                 ),
             ],
@@ -320,8 +351,8 @@ mod tests {
             .and_then(Json::as_array)
             .expect("traceEvents array");
         // 1 process + 3 thread names, 1 run span, 1 violation instant,
-        // 2 counters + 1 instant for the bound change, 2 speculation spans.
-        assert!(events.len() >= 10, "only {} events", events.len());
+        // 2 counters + 1 instant for the bound change, 3 speculation spans.
+        assert!(events.len() >= 11, "only {} events", events.len());
         let names: Vec<&str> = events
             .iter()
             .filter_map(|e| e.get("name").and_then(Json::as_str))
@@ -331,6 +362,30 @@ mod tests {
         assert!(names.contains(&"slack_bound"));
         assert!(names.contains(&"checkpoint"));
         assert!(names.contains(&"rollback"));
+        assert!(names.contains(&"cc_replay"));
+    }
+
+    #[test]
+    fn speculation_spans_cover_the_regions_they_describe() {
+        let doc = chrome_trace_json(&demo_obs());
+        let v = Json::parse(&doc).unwrap();
+        let events = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        let span = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap_or_else(|| panic!("missing {name} span"))
+        };
+        // The rollback at cycle 150 wasted 80 cycles: the span covers the
+        // discarded region [70, 150).
+        let rb = span("rollback");
+        assert_eq!(rb.get("ts").and_then(Json::as_f64), Some(70.0));
+        assert_eq!(rb.get("dur").and_then(Json::as_f64), Some(80.0));
+        // Replay reached the boundary at 250 after re-executing 100 cycles:
+        // the span covers [150, 250).
+        let rp = span("cc_replay");
+        assert_eq!(rp.get("ts").and_then(Json::as_f64), Some(150.0));
+        assert_eq!(rp.get("dur").and_then(Json::as_f64), Some(100.0));
     }
 
     #[test]

@@ -119,6 +119,7 @@ impl ObsData {
                 TraceEvent::BoundChange { .. } => "bound changes",
                 TraceEvent::Checkpoint { .. } => "checkpoints",
                 TraceEvent::Rollback { .. } => "rollbacks",
+                TraceEvent::ReplayEnd { .. } => "replays",
                 TraceEvent::ManagerWait { .. } => "manager waits",
                 TraceEvent::QueueDepth { .. } => "queue-depth samples",
                 TraceEvent::PhaseBegin { .. } | TraceEvent::PhaseEnd { .. } => "phase marks",

@@ -99,19 +99,30 @@ pub enum TraceEvent {
         rate: f64,
     },
     /// A checkpoint was taken; the span covers the stop-sync convergence
-    /// window from trigger to the agreed stop cycle.
+    /// window from the scheduled boundary to the agreed stop cycle.
     Checkpoint {
-        /// 1-based checkpoint interval number.
-        interval: u64,
-        /// Width of the convergence window in simulated cycles.
-        cycles: u64,
+        /// 1-based checkpoint ordinal (how many checkpoints so far).
+        ordinal: u64,
+        /// Convergence overshoot past the scheduled boundary, in simulated
+        /// cycles (how far past the interval end the cores had run when the
+        /// stop-sync converged).
+        overshoot: u64,
     },
-    /// A rollback to the previous checkpoint; the span covers the replayed
-    /// region.
+    /// A rollback to the previous checkpoint was triggered.
     Rollback {
-        /// 1-based checkpoint interval number that was rolled back.
-        interval: u64,
-        /// Simulated cycles that must be re-executed.
+        /// 1-based rollback ordinal (how many rollbacks so far).
+        ordinal: u64,
+        /// Simulated cycles of speculative progress past the checkpoint
+        /// that the rollback threw away.
+        wasted_cycles: u64,
+    },
+    /// The conservative replay that follows a rollback reached the next
+    /// interval boundary; records the measured re-execution cost.
+    ReplayEnd {
+        /// Ordinal of the rollback this replay recovered from.
+        ordinal: u64,
+        /// Simulated cycles actually re-executed under the conservative
+        /// scheme before speculation resumed.
         replay_cycles: u64,
     },
     /// Host-time nanoseconds the manager spent blocked waiting on cores.

@@ -14,6 +14,7 @@
 //! `DESIGN.md` §4 for why this substitution preserves the evaluated
 //! behaviour.
 
+use crate::checkpoint::CheckpointMode;
 use crate::time::Cycle;
 use crate::violation::ViolationKind;
 
@@ -87,6 +88,11 @@ pub struct SpeculationConfig {
     /// forward progress — CC replay cannot re-violate, so 1 suffices in
     /// practice).
     pub max_rollbacks_per_interval: u32,
+    /// How checkpoints are captured and restored: full clones of every
+    /// model, or incremental deltas against the previous checkpoint (see
+    /// [`crate::checkpoint`]). Both modes produce bit-identical
+    /// simulation results; they differ only in host-side cost.
+    pub mode: CheckpointMode,
 }
 
 impl SpeculationConfig {
@@ -97,6 +103,7 @@ impl SpeculationConfig {
             interval,
             rollback_on: ViolationSelect::none(),
             max_rollbacks_per_interval: 1,
+            mode: CheckpointMode::Full,
         }
     }
 
@@ -107,7 +114,15 @@ impl SpeculationConfig {
             interval,
             rollback_on,
             max_rollbacks_per_interval: 1,
+            mode: CheckpointMode::Full,
         }
+    }
+
+    /// Selects the checkpoint capture/restore mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: CheckpointMode) -> Self {
+        self.mode = mode;
+        self
     }
 }
 
@@ -167,10 +182,22 @@ impl IntervalTracker {
 
     /// Records a violation stamped at simulated time `ts`.
     ///
+    /// A violation stamped at or past the current interval's end (a core
+    /// legally running ahead under slack) first closes every interval it
+    /// has overtaken and is then attributed to the interval that actually
+    /// contains `ts`. Clamping it into the current interval at distance
+    /// `I - 1` — the old behaviour — inflated Table 3's `F` and biased
+    /// Table 4's `Dr` toward `I`.
+    ///
     /// Violations stamped before the current interval's start (stragglers
     /// from an already-closed interval) are attributed to the current
     /// interval at distance 0.
     pub fn observe_violation(&mut self, ts: Cycle) {
+        if let Some(end) = self.current_end() {
+            if ts >= end {
+                self.close_intervals_up_to(ts);
+            }
+        }
         let offset = ts.saturating_sub(self.current_start).min(self.interval - 1);
         match self.current_first {
             Some(first) if first <= offset => {}
@@ -182,14 +209,27 @@ impl IntervalTracker {
     /// observation into the aggregate statistics. Call whenever global time
     /// crosses a checkpoint boundary.
     pub fn close_intervals_up_to(&mut self, global: Cycle) {
-        while self.current_start + self.interval <= global {
+        while let Some(end) = self.current_end() {
+            if end > global {
+                break;
+            }
             self.intervals_total += 1;
             if let Some(first) = self.current_first.take() {
                 self.intervals_violating += 1;
                 self.sum_first_distance += first;
             }
-            self.current_start += self.interval;
+            self.current_start = end;
         }
+    }
+
+    /// End of the current interval, or `None` when it exceeds the cycle
+    /// range (the engines park unreachable checkpoints at `u64::MAX`; such
+    /// an interval can never close).
+    fn current_end(&self) -> Option<Cycle> {
+        self.current_start
+            .as_u64()
+            .checked_add(self.interval)
+            .map(Cycle::new)
     }
 
     /// Resets the *current* interval's observation without closing it
@@ -284,8 +324,13 @@ mod tests {
         let co = SpeculationConfig::checkpoint_only(50_000);
         assert_eq!(co.interval, 50_000);
         assert!(co.rollback_on.is_empty());
+        assert_eq!(co.mode, CheckpointMode::Full, "full clones by default");
         let sp = SpeculationConfig::speculative(10_000, ViolationSelect::all());
         assert!(!sp.rollback_on.is_empty());
+        assert_eq!(
+            sp.with_mode(CheckpointMode::Delta).mode,
+            CheckpointMode::Delta
+        );
     }
 
     #[test]
@@ -335,13 +380,42 @@ mod tests {
     }
 
     #[test]
-    fn tracker_clamps_offset_to_interval() {
+    fn tracker_attributes_ahead_violation_to_its_own_interval() {
         let mut t = IntervalTracker::new(100);
-        // A violation stamped past the boundary (core ran ahead) still
-        // belongs to the current interval, at most at distance I-1.
+        // A violation stamped past the boundary (core ran ahead under
+        // slack) closes the overtaken interval *clean* and lands in the
+        // interval that contains it, at its true offset.
         t.observe_violation(c(170));
-        t.close_intervals_up_to(c(100));
-        assert!((t.mean_first_distance() - 99.0).abs() < 1e-12);
+        assert_eq!(t.intervals_total(), 1, "[0,100) closed by the overtake");
+        assert_eq!(t.intervals_violating(), 0, "[0,100) saw no violation");
+        assert_eq!(t.current_start(), c(100));
+        t.close_intervals_up_to(c(200));
+        assert_eq!(t.intervals_total(), 2);
+        assert_eq!(t.intervals_violating(), 1);
+        assert!((t.mean_first_distance() - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracker_cross_boundary_regression() {
+        let mut t = IntervalTracker::new(100);
+        // [0,100): genuine violation at 30.
+        t.observe_violation(c(30));
+        // Stamped two intervals ahead: closes [0,100) (violating at 30)
+        // and [100,200) (clean), then lands in [200,300) at offset 50.
+        t.observe_violation(c(250));
+        assert_eq!(t.intervals_total(), 2);
+        assert_eq!(t.intervals_violating(), 1);
+        t.close_intervals_up_to(c(300));
+        assert_eq!(t.intervals_total(), 3);
+        assert_eq!(t.intervals_violating(), 2);
+        assert!((t.mean_first_distance() - 40.0).abs() < 1e-12, "(30+50)/2");
+        // Exactly on a boundary: belongs to the *next* interval at
+        // distance 0, not to the closing one at distance I-1.
+        t.observe_violation(c(400));
+        assert_eq!(t.intervals_total(), 4, "[300,400) closed clean");
+        t.close_intervals_up_to(c(500));
+        assert_eq!(t.intervals_violating(), 3);
+        assert!((t.mean_first_distance() - 80.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -437,11 +437,22 @@ impl<T> SharedQueue<T> {
     }
 }
 
-/// A single-slot mailbox used for checkpoint snapshots: the core thread
-/// deposits its state, the manager takes it.
+/// A double-buffered mailbox used for checkpoint snapshots: the core
+/// thread deposits its state, the manager takes it.
+///
+/// `put` always writes into the buffer the consumer is *not* reading
+/// (the back buffer) and flips the front index afterwards, so a producer
+/// never waits on a consumer still moving a large snapshot out of the
+/// front buffer, and a displaced stale value is dropped by the producer
+/// outside any lock the consumer can observe. `take` returns the most
+/// recent `put`; older occupants are discarded lazily by the next `put`
+/// that rotates onto their buffer.
 #[derive(Debug, Default)]
 pub struct SnapshotSlot<T> {
-    slot: Mutex<Option<T>>,
+    bufs: [Mutex<Option<T>>; 2],
+    /// Index of the buffer holding the most recent `put` (what the next
+    /// `take` reads).
+    front: AtomicUsize,
     /// Scheduling-point hook; `None` in production.
     hook: SchedHook,
 }
@@ -456,21 +467,32 @@ impl<T> SnapshotSlot<T> {
     /// every put/take. Production callers pass `None`.
     pub fn with_sched(hook: SchedHook) -> Self {
         SnapshotSlot {
-            slot: Mutex::new(None),
+            bufs: [Mutex::new(None), Mutex::new(None)],
+            front: AtomicUsize::new(0),
             hook,
         }
     }
 
-    /// Stores `value`, replacing any previous occupant.
+    /// Stores `value`; a subsequent `take` returns it instead of any
+    /// previous occupant.
     pub fn put(&self, value: T) {
         sched_point(&self.hook, SchedSite::SnapshotPut);
-        *self.slot.lock().expect("slot poisoned") = Some(value);
+        let back = 1 - self.front.load(Ordering::Relaxed);
+        let displaced = {
+            let mut b = self.bufs[back].lock().expect("slot poisoned");
+            b.replace(value)
+        };
+        self.front.store(back, Ordering::Release);
+        // Dropping a stale snapshot can be expensive; do it outside the
+        // buffer lock.
+        drop(displaced);
     }
 
-    /// Removes and returns the occupant, if any.
+    /// Removes and returns the most recently `put` value, if any.
     pub fn take(&self) -> Option<T> {
         sched_point(&self.hook, SchedSite::SnapshotTake);
-        self.slot.lock().expect("slot poisoned").take()
+        let front = self.front.load(Ordering::Acquire);
+        self.bufs[front].lock().expect("slot poisoned").take()
     }
 }
 
@@ -533,8 +555,18 @@ mod tests {
         let s = SnapshotSlot::new();
         assert!(s.take().is_none());
         s.put(7);
-        s.put(9); // replaces
+        s.put(9); // replaces: take only ever sees the most recent put
         assert_eq!(s.take(), Some(9));
+        assert!(s.take().is_none());
+        // The buffers rotate; stale occupants are discarded, never
+        // resurrected.
+        s.put(11);
+        assert_eq!(s.take(), Some(11));
+        assert!(s.take().is_none());
+        s.put(13);
+        s.put(15);
+        s.put(17);
+        assert_eq!(s.take(), Some(17));
         assert!(s.take().is_none());
     }
 

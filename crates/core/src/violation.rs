@@ -112,6 +112,12 @@ impl TimestampMonitor {
         }
     }
 
+    /// Creates a monitor whose high-water mark is already `high_water`
+    /// (checkpoint restore).
+    pub const fn with_high_water(high_water: Cycle) -> Self {
+        TimestampMonitor { max_ts: high_water }
+    }
+
     /// Records an operation with timestamp `ts`; returns `true` iff the
     /// operation is a violation (strictly smaller than the running maximum).
     #[inline]
@@ -185,6 +191,29 @@ impl<K: Eq + Hash> KeyedMonitor<K> {
             .get(key)
             .map(TimestampMonitor::high_water)
             .unwrap_or(Cycle::ZERO)
+    }
+
+    /// The high-water mark of entry `key`, or `None` when the entry was
+    /// never touched. Unlike [`high_water`](Self::high_water) this
+    /// distinguishes an absent entry from one stuck at [`Cycle::ZERO`],
+    /// which checkpoint deltas need to restore entry presence exactly.
+    #[inline]
+    pub fn get(&self, key: &K) -> Option<Cycle> {
+        self.monitors.get(key).map(TimestampMonitor::high_water)
+    }
+
+    /// Overwrites entry `key` with the given high-water mark, or removes
+    /// it entirely with `None` (checkpoint restore).
+    pub fn set(&mut self, key: K, high_water: Option<Cycle>) {
+        match high_water {
+            Some(hw) => {
+                self.monitors
+                    .insert(key, TimestampMonitor::with_high_water(hw));
+            }
+            None => {
+                self.monitors.remove(&key);
+            }
+        }
     }
 
     /// Number of entries touched at least once.

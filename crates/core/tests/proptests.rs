@@ -127,6 +127,21 @@ fn interval_tracker_matches_oracle() {
         }
         tracker.close_intervals_up_to(Cycle::new(end));
 
+        // The same stream *without* interleaved closes must agree: a
+        // violation stamped past the current interval closes the
+        // overtaken intervals itself before attributing.
+        let mut ahead = IntervalTracker::new(interval);
+        for &v in &sorted {
+            ahead.observe_violation(Cycle::new(v));
+        }
+        ahead.close_intervals_up_to(Cycle::new(end));
+        assert_eq!(ahead.intervals_total(), tracker.intervals_total());
+        assert_eq!(ahead.intervals_violating(), tracker.intervals_violating());
+        assert!(
+            (ahead.mean_first_distance() - tracker.mean_first_distance()).abs() < 1e-9,
+            "case {case}: self-closing path diverged"
+        );
+
         // Oracle: bucket violations by interval index.
         let total = end / interval;
         let mut first: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
@@ -404,13 +419,14 @@ fn interval_tracker_interval_of_one() {
 
 /// The engines disable speculation by parking the next checkpoint
 /// trigger at `u64::MAX`. The tracker must tolerate the same sentinel:
-/// an (effectively) unreachable interval never closes, clamps every
-/// observation, and reports empty statistics without overflowing.
+/// an (effectively) unreachable interval never closes and reports empty
+/// statistics without overflowing, and the one violation stamp that *can*
+/// reach the interval's end (`u64::MAX` itself) rolls into a successor
+/// interval whose end saturates out of the cycle range.
 #[test]
 fn interval_tracker_unreachable_checkpoint_guard() {
     let mut t = IntervalTracker::new(u64::MAX);
     t.observe_violation(Cycle::new(0));
-    t.observe_violation(Cycle::new(u64::MAX)); // clamped to I - 1
     t.close_intervals_up_to(Cycle::new(u64::MAX - 1));
     assert_eq!(
         t.intervals_total(),
@@ -421,37 +437,48 @@ fn interval_tracker_unreachable_checkpoint_guard() {
     assert_eq!(t.fraction_violating(), 0.0);
     assert_eq!(t.mean_first_distance(), 0.0);
     assert_eq!(t.current_start(), Cycle::ZERO);
+
+    // Exactly at the interval's end: closes [0, MAX) with its distance-0
+    // observation and opens [MAX, ..) whose end overflows u64 — that
+    // successor can never close, and closing must not loop or wrap.
+    t.observe_violation(Cycle::new(u64::MAX));
+    assert_eq!(t.intervals_total(), 1);
+    assert_eq!(t.intervals_violating(), 1);
+    assert_eq!(t.mean_first_distance(), 0.0);
+    assert_eq!(t.current_start(), Cycle::new(u64::MAX));
+    t.close_intervals_up_to(Cycle::new(u64::MAX));
+    assert_eq!(t.intervals_total(), 1, "overflowing interval never closes");
 }
 
 /// Rollback landing exactly on the checkpoint boundary: a violation
-/// stamped at `start + I` still belongs to the interval it aborted
-/// (clamped to distance I - 1), and `reopen_current` — the rollback
-/// restarting the interval — erases exactly the current observation
-/// while already-closed intervals stay counted.
+/// stamped at `start + I` closes the interval it overtook *clean* and is
+/// attributed to the next interval at distance 0, and `reopen_current` —
+/// the rollback restarting the interval — erases exactly the current
+/// observation while already-closed intervals stay counted.
 #[test]
 fn interval_tracker_rollback_on_the_checkpoint_boundary() {
     let interval = 100u64;
     let mut t = IntervalTracker::new(interval);
 
-    // Interval [0, 100): violation exactly at the closing boundary.
+    // Violation exactly at [0, 100)'s closing boundary: the first
+    // interval closes clean, the stamp lands at offset 0 of [100, 200).
     t.observe_violation(Cycle::new(interval));
     t.close_intervals_up_to(Cycle::new(interval));
     assert_eq!(t.intervals_total(), 1);
-    assert_eq!(t.intervals_violating(), 1);
-    assert!((t.mean_first_distance() - (interval - 1) as f64).abs() < 1e-12);
+    assert_eq!(t.intervals_violating(), 0, "overtaken interval is clean");
 
-    // Interval [100, 200): violation on its boundary, then a rollback
-    // restarts the interval before it closes.
-    t.observe_violation(Cycle::new(2 * interval));
+    // A rollback restarts the current interval before it closes: its
+    // boundary observation is erased.
     t.reopen_current();
     t.close_intervals_up_to(Cycle::new(2 * interval));
     assert_eq!(t.intervals_total(), 2);
-    assert_eq!(t.intervals_violating(), 1, "reopened interval closed clean");
+    assert_eq!(t.intervals_violating(), 0, "reopened interval closed clean");
 
-    // The CC replay after the rollback re-detects at the boundary of the
-    // *next* interval: attributed as a distance-0 straggler.
+    // The CC replay after the rollback re-detects on the boundary again:
+    // attributed to [200, 300) at distance 0.
     t.observe_violation(Cycle::new(2 * interval));
     t.close_intervals_up_to(Cycle::new(3 * interval));
     assert_eq!(t.intervals_total(), 3);
-    assert_eq!(t.intervals_violating(), 2);
+    assert_eq!(t.intervals_violating(), 1);
+    assert_eq!(t.mean_first_distance(), 0.0);
 }

@@ -5,13 +5,14 @@
 //! slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
 //!          [--bound N] [--quantum N] [--target PCT] [--band PCT]
 //!          [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
-//!          [--checkpoint N] [--rollback all|map|none] [--verbose]
-//!          [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
+//!          [--checkpoint N] [--checkpoint-mode full|delta] [--rollback all|map|none]
+//!          [--verbose] [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
 //! ```
 
 use slacksim::scheme::{AdaptiveConfig, Scheme};
 use slacksim::{
-    Benchmark, EngineKind, ObsConfig, Simulation, SpeculationConfig, ViolationKind, ViolationSelect,
+    Benchmark, CheckpointMode, EngineKind, ObsConfig, Simulation, SpeculationConfig, ViolationKind,
+    ViolationSelect,
 };
 
 /// Flags that take a value in the following argument.
@@ -28,6 +29,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--commit",
     "--seed",
     "--checkpoint",
+    "--checkpoint-mode",
     "--rollback",
     "--trace",
     "--metrics",
@@ -150,13 +152,23 @@ fn main() {
             "unknown rollback selection '{other}' (expected all|map|none)"
         )),
     };
+    let cp_mode = match args.value("--checkpoint-mode") {
+        None => CheckpointMode::Full,
+        Some(name) => CheckpointMode::parse(name).unwrap_or_else(|| {
+            usage_error(&format!(
+                "unknown checkpoint mode '{name}' (expected full|delta)"
+            ))
+        }),
+    };
     if let Some(interval) = args.value("--checkpoint") {
         let interval: u64 = interval.parse().unwrap_or_else(|_| {
             usage_error(&format!("invalid value '{interval}' for --checkpoint"))
         });
-        sim.speculation(SpeculationConfig::speculative(interval, select));
+        sim.speculation(SpeculationConfig::speculative(interval, select).with_mode(cp_mode));
     } else if args.has("--rollback") {
         usage_error("--rollback requires --checkpoint INTERVAL");
+    } else if args.has("--checkpoint-mode") {
+        usage_error("--checkpoint-mode requires --checkpoint INTERVAL");
     }
     if trace_path.is_some() || metrics_path.is_some() || args.has("--sample-every") {
         sim.observability(
@@ -209,8 +221,20 @@ USAGE:
   slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
            [--bound N] [--quantum N] [--target PCT] [--band PCT] [--period N]
            [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
-           [--checkpoint INTERVAL] [--rollback all|map|none] [--verbose]
+           [--checkpoint INTERVAL] [--checkpoint-mode full|delta]
+           [--rollback all|map|none] [--verbose]
            [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
+
+SPECULATION:
+  --checkpoint N        take a checkpoint every N global cycles
+  --checkpoint-mode M   how checkpoints are captured and restored
+                        (requires --checkpoint): 'full' clones every model
+                        per checkpoint, 'delta' captures only state dirtied
+                        since the previous checkpoint and rolls back by
+                        reverse-applying onto the standing base; both modes
+                        produce bit-identical simulation results
+  --rollback SEL        violation kinds that trigger a rollback
+                        (all|map|none; default none = checkpoint-only)
 
 OBSERVABILITY:
   --trace OUT.json      record a per-core timeline and write it as Chrome

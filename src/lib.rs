@@ -43,6 +43,7 @@
 #![warn(rust_2018_idioms)]
 
 pub use slacksim_cmp::config::{CmpConfig, CoreConfig, UncoreConfig};
+pub use slacksim_core::checkpoint::{CheckpointMode, Checkpointable};
 pub use slacksim_core::engine::{BurstPolicy, EngineConfig, EngineError};
 pub use slacksim_core::model;
 pub use slacksim_core::obs::{ObsConfig, ObsData};

@@ -98,6 +98,52 @@ fn rollback_without_checkpoint_is_rejected() {
 }
 
 #[test]
+fn unknown_checkpoint_mode_enumerates_accepted_values() {
+    let out = slacksim(&["--checkpoint", "1000", "--checkpoint-mode", "sparse"]);
+    assert_usage_error(&out, &["sparse", "full|delta"]);
+}
+
+#[test]
+fn checkpoint_mode_without_checkpoint_is_rejected() {
+    let out = slacksim(&["--checkpoint-mode", "delta"]);
+    assert_usage_error(&out, &["--checkpoint-mode requires --checkpoint"]);
+}
+
+#[test]
+fn help_enumerates_checkpoint_mode_values() {
+    let out = slacksim(&["--help"]);
+    assert!(out.status.success());
+    assert!(
+        stdout(&out).contains("full|delta"),
+        "help enumerates --checkpoint-mode values"
+    );
+}
+
+#[test]
+fn small_delta_mode_run_succeeds() {
+    let out = slacksim(&[
+        "--scheme",
+        "bounded",
+        "--cores",
+        "2",
+        "--commit",
+        "2000",
+        "--checkpoint",
+        "500",
+        "--rollback",
+        "all",
+        "--checkpoint-mode",
+        "delta",
+    ]);
+    assert!(
+        out.status.success(),
+        "delta-mode run exits 0: {}",
+        stderr(&out)
+    );
+    assert!(!stdout(&out).is_empty(), "report printed to stdout");
+}
+
+#[test]
 fn unknown_flag_is_rejected() {
     let out = slacksim(&["--frobnicate"]);
     assert_usage_error(&out, &["unknown argument '--frobnicate'"]);

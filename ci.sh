@@ -34,6 +34,38 @@ cargo test -p slacksim-conformance -q --release --offline \
     --commit 20000 --checkpoint 2000 --checkpoint-mode delta --rollback all \
     > /dev/null
 
+echo "==> kill-and-resume smoke (durable snapshots, SIGKILL mid-run)"
+# Crash-safety proof on the release binary (DESIGN §13): a threaded
+# cycle-by-cycle run persisting checkpoints is SIGKILLed as soon as the
+# first snapshot lands, resumed from the surviving cp-* file, and must
+# report the exact simulated outcome of an uninterrupted baseline.
+# The in-process twin of this check (both engines, refusal paths) runs
+# in tests/persist_resume.rs; this stage exercises the shipped binary
+# end to end, kill included.
+cps_dir="$(mktemp -d /tmp/slacksim-ci-cps.XXXXXX)"
+resume_flags=(--scheme cc --engine threaded --cores 2 --commit 200000 --checkpoint 700)
+baseline="$(./target/release/slacksim "${resume_flags[@]}" \
+    | grep -E '^(execution time|committed|violations)')"
+./target/release/slacksim "${resume_flags[@]}" --save-state "$cps_dir" \
+    > /dev/null 2>&1 &
+victim=$!
+for _ in $(seq 1 2000); do
+    compgen -G "$cps_dir/cp-*" > /dev/null && break
+    kill -0 "$victim" 2> /dev/null || break
+    sleep 0.005
+done
+kill -KILL "$victim" 2> /dev/null || true
+wait "$victim" 2> /dev/null || true
+snapshot="$(ls "$cps_dir"/cp-* | sort | tail -n 1)"
+resumed="$(./target/release/slacksim "${resume_flags[@]}" --resume "$snapshot" \
+    | grep -E '^(execution time|committed|violations)')"
+[ "$baseline" = "$resumed" ] || {
+    echo "ci: resumed report diverged from uninterrupted baseline" >&2
+    printf 'baseline:\n%s\nresumed:\n%s\n' "$baseline" "$resumed" >&2
+    exit 1
+}
+rm -rf "$cps_dir"
+
 echo "==> bench smoke (engine_throughput, short run, checked against baseline)"
 # Short run into a scratch path, compared against the committed
 # BENCH_threaded.json: every engine/scheme row must keep at least 0.25x

@@ -17,6 +17,7 @@
 use std::collections::BTreeSet;
 
 use slacksim_core::checkpoint::Checkpointable;
+use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
 use slacksim_core::time::Cycle;
 use slacksim_core::violation::TimestampMonitor;
 
@@ -68,6 +69,30 @@ impl SlotCalendar {
             self.reserved = self.reserved.split_off(&cutoff);
         }
         slot
+    }
+
+    /// Serializes the calendar (occupancy is configuration, not stored).
+    fn save_state(&self, w: &mut ByteWriter) {
+        w.u64(self.horizon);
+        w.u32(self.reserved.len() as u32);
+        for &slot in &self.reserved {
+            w.u64(slot);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        let horizon = r.u64()?;
+        let n = r.u32()? as usize;
+        let mut reserved = BTreeSet::new();
+        for _ in 0..n {
+            reserved.insert(r.u64()?);
+        }
+        if reserved.len() != n {
+            return Err(PersistError::Corrupt("duplicate bus reservation slot"));
+        }
+        self.horizon = horizon;
+        self.reserved = reserved;
+        Ok(())
     }
 }
 
@@ -256,6 +281,36 @@ impl Bus {
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles
     }
+
+    /// Serializes the model state (calendar slots, monitor high-water,
+    /// counters). Occupancies are configuration, never stored.
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        self.request.save_state(w);
+        self.response.save_state(w);
+        w.u64(self.monitor.high_water().as_u64());
+        w.u64(self.transactions);
+        w.u64(self.conflicts);
+        w.u64(self.violations);
+        w.u64(self.busy_cycles);
+    }
+
+    /// Restores state written by [`Bus::save_state`]. The generation
+    /// counter is reset; the caller re-seeds delta baselines on resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] if the bytes are malformed.
+    pub fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        self.request.load_state(r)?;
+        self.response.load_state(r)?;
+        self.monitor = TimestampMonitor::with_high_water(Cycle::new(r.u64()?));
+        self.transactions = r.u64()?;
+        self.conflicts = r.u64()?;
+        self.violations = r.u64()?;
+        self.busy_cycles = r.u64()?;
+        self.gen = 0;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -375,6 +430,30 @@ mod tests {
     #[should_panic(expected = "bus occupancy must be at least 1")]
     fn zero_occupancy_rejected() {
         let _ = Bus::new(0, 1);
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let mut live = Bus::new(2, 1);
+        live.arbitrate(ts(5));
+        live.arbitrate(ts(5)); // conflict
+        live.arbitrate(ts(2)); // violation
+        live.respond(ts(40));
+
+        let mut w = ByteWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = Bus::new(2, 1);
+        let mut r = ByteReader::new(&bytes);
+        restored.load_state(&mut r).expect("load succeeds");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(restored, live);
+        assert_eq!(restored.high_water(), live.high_water());
+        // Future arbitration must see identical occupancy/monitor state.
+        assert_eq!(restored.arbitrate(ts(6)), live.arbitrate(ts(6)));
+        let err = restored.load_state(&mut ByteReader::new(&bytes[..4]));
+        assert!(err.is_err(), "truncation errors instead of panicking");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::mesi::MesiState;
 use slacksim_core::checkpoint::Checkpointable;
+use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
 
 /// A cache-line address: the byte address shifted right by the line-size
 /// log2. All coherence structures (L1s, L2, bus, cache status map) operate
@@ -376,6 +377,57 @@ impl Cache {
     pub fn misses(&self) -> u64 {
         self.misses
     }
+
+    /// Serializes the model state (tag arrays, LRU stamps, statistics).
+    /// The geometry is construction-time configuration: it shapes the
+    /// layout and is validated on load, never stored.
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        w.u32(self.sets.len() as u32);
+        for ways in &self.sets {
+            w.u16(ways.len() as u16);
+            for way in ways {
+                w.u64(way.tag);
+                w.u8(way.state.persist_tag());
+                w.u32(way.lru);
+            }
+        }
+        w.u64(self.hits);
+        w.u64(self.misses);
+    }
+
+    /// Restores state written by [`Cache::save_state`] into a cache of the
+    /// same geometry. Capture bookkeeping (generation, dirty stamps) is
+    /// reset; the caller re-seeds delta baselines after a resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] if the bytes are malformed or describe a
+    /// different geometry.
+    pub fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        let n_sets = r.u32()? as usize;
+        if n_sets != self.sets.len() {
+            return Err(PersistError::Corrupt("cache set count mismatch"));
+        }
+        let ways_cap = self.cfg.ways;
+        for ways in &mut self.sets {
+            let n = r.u16()? as usize;
+            if n > ways_cap {
+                return Err(PersistError::Corrupt("cache set holds more ways than fit"));
+            }
+            ways.clear();
+            for _ in 0..n {
+                let tag = r.u64()?;
+                let state = MesiState::from_persist_tag(r.u8()?)?;
+                let lru = r.u32()?;
+                ways.push(Way { tag, state, lru });
+            }
+        }
+        self.hits = r.u64()?;
+        self.misses = r.u64()?;
+        self.gen = 0;
+        self.set_stamps.iter_mut().for_each(|s| *s = 0);
+        Ok(())
+    }
 }
 
 impl Checkpointable for Cache {
@@ -629,6 +681,58 @@ mod tests {
         b.set_state(line(0, 1), MesiState::Shared);
         assert!(b.generation() > a.generation());
         assert_eq!(a, b, "generations are not part of model state");
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let mut c = small();
+        c.fill(line(0, 1), MesiState::Exclusive);
+        c.fill(line(0, 2), MesiState::Shared);
+        c.probe(line(0, 1));
+        c.fill(line(1, 7), MesiState::Modified);
+        c.probe(line(1, 9)); // miss: statistics-only mutation
+
+        let mut w = ByteWriter::new();
+        c.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = small();
+        let mut r = ByteReader::new(&bytes);
+        restored.load_state(&mut r).expect("load succeeds");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(restored, c);
+        assert_eq!(restored.hits(), c.hits());
+        assert_eq!(restored.misses(), c.misses());
+        // LRU order must survive too: the next eviction picks the same
+        // victim in both caches.
+        let probe = line(0, 3);
+        assert_eq!(
+            restored.fill(probe, MesiState::Exclusive),
+            c.fill(probe, MesiState::Exclusive)
+        );
+    }
+
+    #[test]
+    fn load_rejects_wrong_geometry_and_truncation() {
+        let mut c = small();
+        c.fill(line(0, 1), MesiState::Shared);
+        let mut w = ByteWriter::new();
+        c.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // Different geometry: 4 sets instead of 2.
+        let mut other = Cache::new(CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 32,
+        });
+        assert!(other.load_state(&mut ByteReader::new(&bytes)).is_err());
+
+        // Truncated stream errors instead of panicking.
+        let mut short = small();
+        assert!(short
+            .load_state(&mut ByteReader::new(&bytes[..bytes.len() - 3]))
+            .is_err());
     }
 
     #[test]

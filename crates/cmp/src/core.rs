@@ -14,6 +14,7 @@
 
 use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::engine::{CoreModel, TickCtx};
+use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
 use slacksim_core::stats::Counters;
 use slacksim_core::time::Cycle;
 
@@ -67,6 +68,10 @@ struct Mshr {
 pub struct CmpCore {
     cfg: CoreConfig,
     stream: Box<dyn InstrStream>,
+    /// Instructions drawn from `stream` so far. Streams are deterministic
+    /// per seed, so this cursor lets a persisted core rebuild its exact
+    /// stream position by replaying a fresh stream forward.
+    fetched: u64,
     pending: Option<Instr>,
     window: std::collections::VecDeque<WinEntry>,
     mshrs: Vec<Mshr>,
@@ -114,6 +119,7 @@ pub struct CmpCore {
 #[derive(Clone)]
 struct CoreRest {
     stream: Box<dyn InstrStream>,
+    fetched: u64,
     pending: Option<Instr>,
     window: std::collections::VecDeque<WinEntry>,
     mshrs: Vec<Mshr>,
@@ -179,6 +185,7 @@ impl CmpCore {
         CmpCore {
             cfg: *cfg,
             stream,
+            fetched: 0,
             pending: None,
             window: std::collections::VecDeque::with_capacity(cfg.window),
             mshrs: Vec::with_capacity(cfg.mshrs),
@@ -216,6 +223,7 @@ impl CmpCore {
     fn rest_snapshot(&self) -> CoreRest {
         CoreRest {
             stream: self.stream.clone(),
+            fetched: self.fetched,
             pending: self.pending,
             window: self.window.clone(),
             mshrs: self.mshrs.clone(),
@@ -249,6 +257,7 @@ impl CmpCore {
 
     fn apply_rest(&mut self, rest: CoreRest) {
         self.stream = rest.stream;
+        self.fetched = rest.fetched;
         self.pending = rest.pending;
         self.window = rest.window;
         self.mshrs = rest.mshrs;
@@ -301,9 +310,194 @@ impl CmpCore {
             .collect()
     }
 
+    /// Serializes the full core state (pipeline, L1s, statistics, stream
+    /// cursor) for the on-disk snapshot format. The instruction stream
+    /// itself is not serialized — it is reconstructed from the workload
+    /// configuration and replayed to the persisted cursor on load.
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        w.u64(self.fetched);
+        match self.pending {
+            Some(instr) => {
+                w.bool(true);
+                instr.save_state(w);
+            }
+            None => w.bool(false),
+        }
+        w.u32(self.window.len() as u32);
+        for entry in &self.window {
+            w.u64(entry.id);
+            match entry.done_at {
+                Some(at) => {
+                    w.bool(true);
+                    w.u64(at.as_u64());
+                }
+                None => w.bool(false),
+            }
+        }
+        w.u32(self.mshrs.len() as u32);
+        for mshr in &self.mshrs {
+            w.u32(mshr.req);
+            w.u64(mshr.line.raw());
+            w.u8(mshr.op.persist_tag());
+            w.bool(mshr.ifetch);
+            w.u32(mshr.waiters.len() as u32);
+            for &waiter in &mshr.waiters {
+                w.u64(waiter);
+            }
+        }
+        self.l1i.save_state(w);
+        self.l1d.save_state(w);
+        w.u64(self.next_entry_id);
+        w.u32(self.next_req);
+        match self.wait {
+            None => w.u8(0),
+            Some(Wait::Barrier(id)) => {
+                w.u8(1);
+                w.u32(id);
+            }
+            Some(Wait::Lock(id)) => {
+                w.u8(2);
+                w.u32(id);
+            }
+            Some(Wait::Ifetch(req)) => {
+                w.u8(3);
+                w.u32(req);
+            }
+        }
+        w.u64(self.fetch_stall_until.as_u64());
+        for stat in [
+            self.cycles,
+            self.committed,
+            self.loads,
+            self.stores,
+            self.branches,
+            self.mispredicts,
+            self.barriers,
+            self.lock_acquires,
+            self.lock_releases,
+            self.l1d_hits,
+            self.l1d_misses,
+            self.l1d_miss_coalesced,
+            self.l1i_hits,
+            self.l1i_misses,
+            self.writebacks,
+            self.invalidations_received,
+            self.downgrades_received,
+            self.stall_window,
+            self.stall_mshr,
+            self.stall_sync,
+            self.stall_fetch,
+        ] {
+            w.u64(stat);
+        }
+    }
+
+    /// Restores state written by [`CmpCore::save_state`] into a freshly
+    /// constructed core whose stream sits at position zero; the stream is
+    /// fast-forwarded to the persisted cursor (streams are deterministic
+    /// per seed, so replay reproduces the exact position).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] for malformed bytes or state that exceeds
+    /// this core's configured capacities.
+    pub fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        let fetched = r.u64()?;
+        let pending = if r.bool()? {
+            Some(Instr::load_state(r)?)
+        } else {
+            None
+        };
+        let n_window = r.u32()? as usize;
+        if n_window > self.cfg.window {
+            return Err(PersistError::Corrupt("window holds more entries than fit"));
+        }
+        let mut window = std::collections::VecDeque::with_capacity(self.cfg.window);
+        for _ in 0..n_window {
+            let id = r.u64()?;
+            let done_at = if r.bool()? {
+                Some(Cycle::new(r.u64()?))
+            } else {
+                None
+            };
+            window.push_back(WinEntry { id, done_at });
+        }
+        let n_mshrs = r.u32()? as usize;
+        if n_mshrs > self.cfg.mshrs {
+            return Err(PersistError::Corrupt("more MSHRs than the core has"));
+        }
+        let mut mshrs = Vec::with_capacity(self.cfg.mshrs);
+        for _ in 0..n_mshrs {
+            let req = r.u32()?;
+            let line = LineAddr::new(r.u64()?);
+            let op = BusOp::from_persist_tag(r.u8()?)?;
+            let ifetch = r.bool()?;
+            let n_waiters = r.u32()? as usize;
+            let mut waiters = Vec::with_capacity(n_waiters.min(self.cfg.window));
+            for _ in 0..n_waiters {
+                waiters.push(r.u64()?);
+            }
+            mshrs.push(Mshr {
+                req,
+                line,
+                op,
+                ifetch,
+                waiters,
+            });
+        }
+        self.l1i.load_state(r)?;
+        self.l1d.load_state(r)?;
+        let next_entry_id = r.u64()?;
+        let next_req = r.u32()?;
+        let wait = match r.u8()? {
+            0 => None,
+            1 => Some(Wait::Barrier(r.u32()?)),
+            2 => Some(Wait::Lock(r.u32()?)),
+            3 => Some(Wait::Ifetch(r.u32()?)),
+            _ => return Err(PersistError::Corrupt("unknown core wait tag")),
+        };
+        let fetch_stall_until = Cycle::new(r.u64()?);
+
+        for _ in 0..fetched {
+            let _ = self.stream.next_instr();
+        }
+        self.fetched = fetched;
+        self.pending = pending;
+        self.window = window;
+        self.mshrs = mshrs;
+        self.next_entry_id = next_entry_id;
+        self.next_req = next_req;
+        self.wait = wait;
+        self.fetch_stall_until = fetch_stall_until;
+        self.cycles = r.u64()?;
+        self.committed = r.u64()?;
+        self.loads = r.u64()?;
+        self.stores = r.u64()?;
+        self.branches = r.u64()?;
+        self.mispredicts = r.u64()?;
+        self.barriers = r.u64()?;
+        self.lock_acquires = r.u64()?;
+        self.lock_releases = r.u64()?;
+        self.l1d_hits = r.u64()?;
+        self.l1d_misses = r.u64()?;
+        self.l1d_miss_coalesced = r.u64()?;
+        self.l1i_hits = r.u64()?;
+        self.l1i_misses = r.u64()?;
+        self.writebacks = r.u64()?;
+        self.invalidations_received = r.u64()?;
+        self.downgrades_received = r.u64()?;
+        self.stall_window = r.u64()?;
+        self.stall_mshr = r.u64()?;
+        self.stall_sync = r.u64()?;
+        self.stall_fetch = r.u64()?;
+        self.cp_baseline = None;
+        Ok(())
+    }
+
     fn peek(&mut self) -> Instr {
         if self.pending.is_none() {
             self.pending = Some(self.stream.next_instr());
+            self.fetched += 1;
         }
         self.pending.expect("just filled")
     }
@@ -1173,6 +1367,89 @@ mod tests {
         }
         core.restore_from(&base, g0);
         assert_eq!(CoreModel::counters(&core), CoreModel::counters(&base));
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let ops = vec![
+            Op::IntAlu,
+            Op::Load { addr: 0x8000 },
+            Op::Branch { mispredict: true },
+            Op::Store { addr: 0x8040 },
+        ];
+        let mut live = core_with(ops.clone());
+        let mut inbox = Inbox::new();
+        prime_icache(&mut live, &mut inbox);
+        // Leave requests unserviced so MSHRs stay outstanding at the
+        // snapshot point — the pipeline is mid-flight, not quiescent.
+        for t in 1..40 {
+            tick_at(&mut live, &mut inbox, t);
+        }
+        let mut w = ByteWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        // Restore into a fresh core whose stream sits at position zero.
+        let mut restored = core_with(ops);
+        let mut r = ByteReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(CoreModel::counters(&restored), CoreModel::counters(&live));
+        assert_eq!(restored.fetched, live.fetched);
+        assert_eq!(restored.pending, live.pending);
+        assert_eq!(restored.window, live.window);
+        assert_eq!(restored.mshrs, live.mshrs);
+        assert_eq!(restored.wait, live.wait);
+
+        // Both copies must behave identically forward under the same
+        // event sequence, including stream draws past the snapshot.
+        let mut ia = Inbox::new();
+        let mut ib = Inbox::new();
+        for (pos, m) in live.mshrs.clone().into_iter().enumerate() {
+            let reply = MemEvent::Reply {
+                req: m.req,
+                line: m.line,
+                grant: MesiState::Exclusive,
+            };
+            let at = Cycle::new(41 + pos as u64);
+            ia.deliver(Timestamped::new(at, reply.clone()));
+            ib.deliver(Timestamped::new(at, reply));
+        }
+        for t in 40..160 {
+            let (_, ea) = tick_at(&mut live, &mut ia, t);
+            let (_, eb) = tick_at(&mut restored, &mut ib, t);
+            assert_eq!(ea, eb, "divergent events at cycle {t}");
+        }
+        assert!(live.committed > 0);
+        assert_eq!(CoreModel::counters(&restored), CoreModel::counters(&live));
+    }
+
+    #[test]
+    fn load_rejects_oversized_and_truncated_state() {
+        let mut live = core_with(vec![Op::IntAlu]);
+        run_ticks(&mut live, 10);
+        let mut w = ByteWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut truncated = core_with(vec![Op::IntAlu]);
+        let mut r = ByteReader::new(&bytes[..bytes.len() / 2]);
+        assert!(truncated.load_state(&mut r).is_err());
+
+        // A window-count word larger than the configured window must be
+        // rejected rather than allocated.
+        let mut forged = ByteWriter::new();
+        forged.u64(0); // fetched
+        forged.bool(false); // pending
+        forged.u32(u32::MAX); // window length
+        let forged = forged.into_bytes();
+        let mut target = core_with(vec![Op::IntAlu]);
+        let mut r = ByteReader::new(&forged);
+        assert!(matches!(
+            target.load_state(&mut r),
+            Err(PersistError::Corrupt(_))
+        ));
     }
 
     #[test]

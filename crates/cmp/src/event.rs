@@ -1,6 +1,8 @@
 //! The event vocabulary exchanged between core threads and the simulation
 //! manager over OutQ/InQ (paper §2).
 
+use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
+
 use crate::cache::LineAddr;
 use crate::mesi::{BusOp, MesiState};
 
@@ -105,6 +107,100 @@ impl MemEvent {
     pub const fn uses_bus(&self) -> bool {
         matches!(self, MemEvent::Request { .. } | MemEvent::Writeback { .. })
     }
+
+    /// Serializes the event with a stable one-byte variant tag for the
+    /// on-disk snapshot format.
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        match *self {
+            MemEvent::Request {
+                op,
+                line,
+                req,
+                ifetch,
+            } => {
+                w.u8(0);
+                w.u8(op.persist_tag());
+                w.u64(line.raw());
+                w.u32(req);
+                w.bool(ifetch);
+            }
+            MemEvent::Writeback { line } => {
+                w.u8(1);
+                w.u64(line.raw());
+            }
+            MemEvent::BarrierArrive { id } => {
+                w.u8(2);
+                w.u32(id);
+            }
+            MemEvent::LockAcquire { id } => {
+                w.u8(3);
+                w.u32(id);
+            }
+            MemEvent::LockRelease { id } => {
+                w.u8(4);
+                w.u32(id);
+            }
+            MemEvent::Reply { req, line, grant } => {
+                w.u8(5);
+                w.u32(req);
+                w.u64(line.raw());
+                w.u8(grant.persist_tag());
+            }
+            MemEvent::Invalidate { line } => {
+                w.u8(6);
+                w.u64(line.raw());
+            }
+            MemEvent::Downgrade { line } => {
+                w.u8(7);
+                w.u64(line.raw());
+            }
+            MemEvent::BarrierRelease { id } => {
+                w.u8(8);
+                w.u32(id);
+            }
+            MemEvent::LockGranted { id } => {
+                w.u8(9);
+                w.u32(id);
+            }
+        }
+    }
+
+    /// Decodes an event written by [`MemEvent::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] for an unknown variant tag or truncated
+    /// bytes.
+    pub fn load_state(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.u8()? {
+            0 => MemEvent::Request {
+                op: BusOp::from_persist_tag(r.u8()?)?,
+                line: LineAddr::new(r.u64()?),
+                req: r.u32()?,
+                ifetch: r.bool()?,
+            },
+            1 => MemEvent::Writeback {
+                line: LineAddr::new(r.u64()?),
+            },
+            2 => MemEvent::BarrierArrive { id: r.u32()? },
+            3 => MemEvent::LockAcquire { id: r.u32()? },
+            4 => MemEvent::LockRelease { id: r.u32()? },
+            5 => MemEvent::Reply {
+                req: r.u32()?,
+                line: LineAddr::new(r.u64()?),
+                grant: MesiState::from_persist_tag(r.u8()?)?,
+            },
+            6 => MemEvent::Invalidate {
+                line: LineAddr::new(r.u64()?),
+            },
+            7 => MemEvent::Downgrade {
+                line: LineAddr::new(r.u64()?),
+            },
+            8 => MemEvent::BarrierRelease { id: r.u32()? },
+            9 => MemEvent::LockGranted { id: r.u32()? },
+            _ => return Err(PersistError::Corrupt("unknown memory-event tag")),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +221,47 @@ mod tests {
         }
         .is_request());
         assert!(!MemEvent::BarrierRelease { id: 0 }.is_request());
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = [
+            MemEvent::Request {
+                op: BusOp::RdX,
+                line: LineAddr::new(0x40),
+                req: 7,
+                ifetch: true,
+            },
+            MemEvent::Writeback {
+                line: LineAddr::new(0x99),
+            },
+            MemEvent::BarrierArrive { id: 3 },
+            MemEvent::LockAcquire { id: 4 },
+            MemEvent::LockRelease { id: 5 },
+            MemEvent::Reply {
+                req: 9,
+                line: LineAddr::new(0x7),
+                grant: MesiState::Shared,
+            },
+            MemEvent::Invalidate {
+                line: LineAddr::new(0x8),
+            },
+            MemEvent::Downgrade {
+                line: LineAddr::new(0x9),
+            },
+            MemEvent::BarrierRelease { id: 6 },
+            MemEvent::LockGranted { id: 7 },
+        ];
+        for ev in &events {
+            let mut w = ByteWriter::new();
+            ev.save_state(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(&MemEvent::load_state(&mut r).unwrap(), ev);
+            r.finish().unwrap();
+        }
+        let mut bad = ByteReader::new(&[0xff]);
+        assert!(MemEvent::load_state(&mut bad).is_err());
     }
 
     #[test]

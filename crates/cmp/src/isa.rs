@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
+
 /// One decoded target instruction: its timing operation plus the program
 /// counter it was fetched from (drives the I-cache).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +24,23 @@ impl Instr {
     /// Creates an instruction.
     pub const fn new(op: Op, pc: u64) -> Self {
         Instr { op, pc }
+    }
+
+    /// Serializes the instruction for the on-disk snapshot format.
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        self.op.save_state(w);
+        w.u64(self.pc);
+    }
+
+    /// Decodes an instruction written by [`Instr::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] for malformed bytes.
+    pub fn load_state(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        let op = Op::load_state(r)?;
+        let pc = r.u64()?;
+        Ok(Instr { op, pc })
     }
 }
 
@@ -87,6 +106,67 @@ impl Op {
             self,
             Op::Barrier { .. } | Op::LockAcquire { .. } | Op::LockRelease { .. }
         )
+    }
+
+    /// Serializes the operation with a stable one-byte variant tag for
+    /// the on-disk snapshot format.
+    pub fn save_state(self, w: &mut ByteWriter) {
+        match self {
+            Op::IntAlu => w.u8(0),
+            Op::IntMul => w.u8(1),
+            Op::IntDiv => w.u8(2),
+            Op::FpAlu => w.u8(3),
+            Op::FpMul => w.u8(4),
+            Op::Load { addr } => {
+                w.u8(5);
+                w.u64(addr);
+            }
+            Op::Store { addr } => {
+                w.u8(6);
+                w.u64(addr);
+            }
+            Op::Branch { mispredict } => {
+                w.u8(7);
+                w.bool(mispredict);
+            }
+            Op::Barrier { id } => {
+                w.u8(8);
+                w.u32(id);
+            }
+            Op::LockAcquire { id } => {
+                w.u8(9);
+                w.u32(id);
+            }
+            Op::LockRelease { id } => {
+                w.u8(10);
+                w.u32(id);
+            }
+        }
+    }
+
+    /// Decodes an operation written by [`Op::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] for an unknown variant tag or truncated
+    /// bytes.
+    pub fn load_state(r: &mut ByteReader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.u8()? {
+            0 => Op::IntAlu,
+            1 => Op::IntMul,
+            2 => Op::IntDiv,
+            3 => Op::FpAlu,
+            4 => Op::FpMul,
+            5 => Op::Load { addr: r.u64()? },
+            6 => Op::Store { addr: r.u64()? },
+            7 => Op::Branch {
+                mispredict: r.bool()?,
+            },
+            8 => Op::Barrier { id: r.u32()? },
+            9 => Op::LockAcquire { id: r.u32()? },
+            10 => Op::LockRelease { id: r.u32()? },
+            _ => return Err(PersistError::Corrupt("unknown instruction tag")),
+        })
     }
 }
 
@@ -207,6 +287,34 @@ mod tests {
         assert_eq!(Op::Load { addr: 0x40 }.to_string(), "ld 0x40");
         assert_eq!(Op::Branch { mispredict: true }.to_string(), "br!");
         assert_eq!(Op::Barrier { id: 3 }.to_string(), "barrier#3");
+    }
+
+    #[test]
+    fn every_op_round_trips() {
+        let ops = [
+            Op::IntAlu,
+            Op::IntMul,
+            Op::IntDiv,
+            Op::FpAlu,
+            Op::FpMul,
+            Op::Load { addr: 0x1234 },
+            Op::Store { addr: 0x4321 },
+            Op::Branch { mispredict: true },
+            Op::Barrier { id: 2 },
+            Op::LockAcquire { id: 3 },
+            Op::LockRelease { id: 4 },
+        ];
+        for (i, op) in ops.into_iter().enumerate() {
+            let instr = Instr::new(op, 0x1000 + 4 * i as u64);
+            let mut w = ByteWriter::new();
+            instr.save_state(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ByteReader::new(&bytes);
+            assert_eq!(Instr::load_state(&mut r).unwrap(), instr);
+            r.finish().unwrap();
+        }
+        let mut bad = ByteReader::new(&[0xee]);
+        assert!(Instr::load_state(&mut bad).is_err());
     }
 
     #[test]

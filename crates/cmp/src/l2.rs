@@ -4,6 +4,7 @@
 //! Dirty L1 writebacks land here; dirty L2 victims count as memory writes.
 
 use slacksim_core::checkpoint::Checkpointable;
+use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
 use slacksim_core::time::Cycle;
 
 use crate::cache::{Cache, CacheConfig, CacheDelta, LineAddr};
@@ -115,6 +116,27 @@ impl L2 {
     pub fn memory_writes(&self) -> u64 {
         self.memory_writes
     }
+
+    /// Serializes the model state (latencies are configuration and are
+    /// not stored).
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        self.cache.save_state(w);
+        w.u64(self.writebacks_in);
+        w.u64(self.memory_writes);
+    }
+
+    /// Restores state written by [`L2::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] if the bytes are malformed or describe a
+    /// different geometry.
+    pub fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        self.cache.load_state(r)?;
+        self.writebacks_in = r.u64()?;
+        self.memory_writes = r.u64()?;
+        Ok(())
+    }
 }
 
 /// Incremental state carrier for the [`L2`]: the inner cache's dirty sets
@@ -222,6 +244,26 @@ mod tests {
     #[should_panic(expected = "miss latency must cover the lookup")]
     fn inconsistent_latencies_rejected() {
         let _ = L2::new(CacheConfig::l2(), 10, 5);
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let mut live = l2();
+        live.write_back(LineAddr::new(0));
+        live.access(LineAddr::new(4), Cycle::new(0));
+        live.access(LineAddr::new(8), Cycle::new(10));
+
+        let mut w = ByteWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = l2();
+        let mut r = ByteReader::new(&bytes);
+        restored.load_state(&mut r).expect("load succeeds");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(restored, live);
+        assert_eq!(restored.writebacks_in(), live.writebacks_in());
+        assert_eq!(restored.memory_writes(), live.memory_writes());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 
 use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::event::CoreId;
+use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
 use slacksim_core::time::Cycle;
 use slacksim_core::violation::KeyedMonitor;
 
@@ -283,6 +284,103 @@ impl CacheMap {
             None => Vec::new(),
         }
     }
+
+    /// Number of per-line violation monitors currently tracked.
+    pub fn monitor_entries(&self) -> usize {
+        self.monitor.len()
+    }
+
+    /// Drops per-line monitors whose high-water mark is at or below
+    /// `horizon`, returning how many were reclaimed.
+    ///
+    /// Safe at a committed checkpoint with `horizon` = the checkpoint's
+    /// global time: every event at or below the horizon has been serviced
+    /// and all future (or replayed) events carry timestamps above it, so
+    /// a monitor at the horizon can never flag a violation again. Each
+    /// removed line is stamped dirty so delta checkpoints record the
+    /// removal and stay bit-identical to full clones.
+    pub fn compact_monitor(&mut self, horizon: Cycle) -> usize {
+        let removed = self.monitor.compact(horizon);
+        for &line in &removed {
+            self.gen += 1;
+            self.dirty.insert(line, self.gen);
+        }
+        removed.len()
+    }
+
+    /// Serializes the model state. Maps are written sorted by line so the
+    /// byte stream is deterministic; the core count is configuration and
+    /// is validated, not stored.
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        let mut lines: Vec<LineAddr> = self.entries.keys().copied().collect();
+        lines.sort_unstable();
+        w.u32(lines.len() as u32);
+        for line in lines {
+            let e = &self.entries[&line];
+            w.u64(line.raw());
+            w.u16(e.sharers);
+            match e.owner {
+                Some(c) => {
+                    w.bool(true);
+                    w.u16(c.index() as u16);
+                }
+                None => w.bool(false),
+            }
+        }
+        let mut monitors: Vec<(LineAddr, Cycle)> =
+            self.monitor.iter().map(|(&l, hw)| (l, hw)).collect();
+        monitors.sort_unstable_by_key(|&(l, _)| l);
+        w.u32(monitors.len() as u32);
+        for (line, hw) in monitors {
+            w.u64(line.raw());
+            w.u64(hw.as_u64());
+        }
+        w.u64(self.transitions);
+        w.u64(self.violations);
+    }
+
+    /// Restores state written by [`CacheMap::save_state`]. Capture
+    /// bookkeeping (generation, dirty stamps) is reset; the caller
+    /// re-seeds delta baselines on resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] if the bytes are malformed or reference
+    /// cores outside this map's core count.
+    pub fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        let n = self.n_cores;
+        let mut entries = HashMap::new();
+        for _ in 0..r.u32()? {
+            let line = LineAddr::new(r.u64()?);
+            let sharers = r.u16()?;
+            if u32::from(sharers) >> n != 0 {
+                return Err(PersistError::Corrupt("map entry references unknown core"));
+            }
+            let owner = if r.bool()? {
+                let idx = r.u16()?;
+                if (idx as usize) >= n {
+                    return Err(PersistError::Corrupt("map owner is an unknown core"));
+                }
+                Some(CoreId::new(idx))
+            } else {
+                None
+            };
+            entries.insert(line, MapEntry { sharers, owner });
+        }
+        let mut monitor = KeyedMonitor::new();
+        for _ in 0..r.u32()? {
+            let line = LineAddr::new(r.u64()?);
+            let hw = Cycle::new(r.u64()?);
+            monitor.set(line, Some(hw));
+        }
+        self.entries = entries;
+        self.monitor = monitor;
+        self.transitions = r.u64()?;
+        self.violations = r.u64()?;
+        self.gen = 0;
+        self.dirty.clear();
+        Ok(())
+    }
 }
 
 impl Checkpointable for CacheMap {
@@ -525,6 +623,55 @@ mod tests {
         // The reclaimed entry is back and its monitor remembers ts(10):
         // an earlier transition violates again after the restore.
         assert!(live.transition(BusOp::Rd, LINE, c(1), ts(7)).violation);
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let mut live = CacheMap::new(4);
+        live.transition(BusOp::Rd, LINE, c(0), ts(10));
+        live.transition(BusOp::RdX, LINE, c(1), ts(20));
+        live.transition(BusOp::Rd, LineAddr::new(0x500), c(2), ts(15));
+        live.transition(BusOp::Wb, LINE, c(1), ts(30)); // reclaimed entry, monitor kept
+        live.transition(BusOp::Rd, LineAddr::new(0x77), c(3), ts(5));
+
+        let mut w = ByteWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = CacheMap::new(4);
+        let mut r = ByteReader::new(&bytes);
+        restored.load_state(&mut r).expect("load succeeds");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(restored, live);
+        assert_eq!(restored.monitor_entries(), live.monitor_entries());
+        // A reclaimed line's monitor must survive: an earlier transition
+        // still violates after the round trip.
+        assert!(restored.transition(BusOp::Rd, LINE, c(0), ts(25)).violation);
+
+        // Sharer bits beyond this map's core count are rejected.
+        let mut tiny = CacheMap::new(1);
+        assert!(tiny.load_state(&mut ByteReader::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn compaction_drops_settled_monitors_and_survives_deltas() {
+        let mut live = CacheMap::new(4);
+        live.transition(BusOp::Rd, LINE, c(0), ts(10));
+        live.transition(BusOp::Rd, LineAddr::new(0x500), c(1), ts(50));
+        let mut base = live.clone();
+        let gen = live.generation();
+
+        assert_eq!(live.monitor_entries(), 2);
+        assert_eq!(live.compact_monitor(ts(10)), 1, "only LINE settled");
+        assert_eq!(live.monitor_entries(), 1);
+        // The removal must travel through the delta so snapshots stay
+        // bit-identical with the live map.
+        base.apply_delta(live.capture_delta(gen));
+        assert_eq!(base, live);
+        assert_eq!(base.monitor_entries(), 1);
+        // An old-timestamp transition on the compacted line no longer
+        // violates: its monitor was retired as settled.
+        assert!(!live.transition(BusOp::Rd, LINE, c(2), ts(3)).violation);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use std::fmt;
 
+use slacksim_core::persist::PersistError;
+
 /// MESI line states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MesiState {
@@ -37,6 +39,31 @@ impl MesiState {
     /// Whether an eviction of this line must write data back.
     pub const fn dirty(self) -> bool {
         matches!(self, MesiState::Modified)
+    }
+
+    /// Stable one-byte encoding for the on-disk snapshot format.
+    pub const fn persist_tag(self) -> u8 {
+        match self {
+            MesiState::Modified => 0,
+            MesiState::Exclusive => 1,
+            MesiState::Shared => 2,
+            MesiState::Invalid => 3,
+        }
+    }
+
+    /// Decodes [`MesiState::persist_tag`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`] for an unknown tag.
+    pub const fn from_persist_tag(tag: u8) -> Result<Self, PersistError> {
+        Ok(match tag {
+            0 => MesiState::Modified,
+            1 => MesiState::Exclusive,
+            2 => MesiState::Shared,
+            3 => MesiState::Invalid,
+            _ => return Err(PersistError::Corrupt("unknown MESI state tag")),
+        })
     }
 }
 
@@ -84,6 +111,31 @@ impl BusOp {
             BusOp::RdX | BusOp::Upgr => MesiState::Modified,
             BusOp::Wb => panic!("writebacks install no state at the requester"),
         }
+    }
+
+    /// Stable one-byte encoding for the on-disk snapshot format.
+    pub const fn persist_tag(self) -> u8 {
+        match self {
+            BusOp::Rd => 0,
+            BusOp::RdX => 1,
+            BusOp::Upgr => 2,
+            BusOp::Wb => 3,
+        }
+    }
+
+    /// Decodes [`BusOp::persist_tag`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Corrupt`] for an unknown tag.
+    pub const fn from_persist_tag(tag: u8) -> Result<Self, PersistError> {
+        Ok(match tag {
+            0 => BusOp::Rd,
+            1 => BusOp::RdX,
+            2 => BusOp::Upgr,
+            3 => BusOp::Wb,
+            _ => return Err(PersistError::Corrupt("unknown bus-op tag")),
+        })
     }
 
     /// What a *remote* snooping cache holding the line must do.

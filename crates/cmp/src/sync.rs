@@ -11,6 +11,7 @@ use std::collections::{HashMap, VecDeque};
 
 use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::event::CoreId;
+use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
 use slacksim_core::time::Cycle;
 
 /// Barrier arrival state for one episode.
@@ -242,6 +243,111 @@ impl SyncDevice {
     pub fn open_barriers(&self) -> usize {
         self.barriers.len()
     }
+
+    /// Serializes the model state. Maps are written sorted by id so the
+    /// byte stream is deterministic; core count and latencies are
+    /// configuration, not stored.
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        let mut barrier_ids: Vec<u32> = self.barriers.keys().copied().collect();
+        barrier_ids.sort_unstable();
+        w.u32(barrier_ids.len() as u32);
+        for id in barrier_ids {
+            let st = &self.barriers[&id];
+            w.u32(id);
+            w.u16(st.arrived);
+            w.u32(st.count);
+            w.u64(st.latest_ts.as_u64());
+        }
+        let mut lock_ids: Vec<u32> = self.locks.keys().copied().collect();
+        lock_ids.sort_unstable();
+        w.u32(lock_ids.len() as u32);
+        for id in lock_ids {
+            let st = &self.locks[&id];
+            w.u32(id);
+            match st.holder {
+                Some(c) => {
+                    w.bool(true);
+                    w.u16(c.index() as u16);
+                }
+                None => w.bool(false),
+            }
+            w.u64(st.free_at.as_u64());
+            w.u32(st.waiters.len() as u32);
+            for &(c, ts) in &st.waiters {
+                w.u16(c.index() as u16);
+                w.u64(ts.as_u64());
+            }
+        }
+        w.u64(self.barriers_completed);
+        w.u64(self.lock_grants);
+        w.u64(self.lock_contended);
+    }
+
+    /// Restores state written by [`SyncDevice::save_state`]. The
+    /// generation counter is reset; the caller re-seeds delta baselines
+    /// on resume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] if the bytes are malformed or reference
+    /// cores outside this device's core count.
+    pub fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        let core_of = |idx: u16, n: usize| -> Result<CoreId, PersistError> {
+            if (idx as usize) < n {
+                Ok(CoreId::new(idx))
+            } else {
+                Err(PersistError::Corrupt("sync device references unknown core"))
+            }
+        };
+        let n = self.n_cores;
+        let mut barriers = HashMap::new();
+        for _ in 0..r.u32()? {
+            let id = r.u32()?;
+            let arrived = r.u16()?;
+            let count = r.u32()?;
+            let latest_ts = Cycle::new(r.u64()?);
+            barriers.insert(
+                id,
+                BarrierState {
+                    arrived,
+                    count,
+                    latest_ts,
+                },
+            );
+        }
+        let mut locks = HashMap::new();
+        for _ in 0..r.u32()? {
+            let id = r.u32()?;
+            let holder = if r.bool()? {
+                Some(core_of(r.u16()?, n)?)
+            } else {
+                None
+            };
+            let free_at = Cycle::new(r.u64()?);
+            let n_waiters = r.u32()?;
+            let mut waiters = VecDeque::with_capacity(n_waiters as usize);
+            for _ in 0..n_waiters {
+                let c = core_of(r.u16()?, n)?;
+                let ts = Cycle::new(r.u64()?);
+                waiters.push_back((c, ts));
+            }
+            locks.insert(
+                id,
+                LockState {
+                    holder,
+                    free_at,
+                    waiters,
+                },
+            );
+        }
+        self.barriers = barriers;
+        self.locks = locks;
+        self.barriers_completed = r.u64()?;
+        self.lock_grants = r.u64()?;
+        self.lock_contended = r.u64()?;
+        self.gen = 0;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -328,6 +434,41 @@ mod tests {
         assert!(dev.lock_release(c(3), 1, ts(15)).is_none());
         // Lock still held by core 0.
         assert_eq!(dev.lock_acquire(c(2), 1, ts(20)), None);
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let mut live = SyncDevice::new(4, 4, 2);
+        live.barrier_arrive(c(0), 7, ts(100)); // open episode
+        live.barrier_arrive(c(2), 7, ts(50));
+        live.lock_acquire(c(0), 9, ts(10)); // held lock ...
+        live.lock_acquire(c(1), 9, ts(11)); // ... with queued waiters
+        live.lock_acquire(c(3), 9, ts(12));
+        live.lock_acquire(c(2), 5, ts(20));
+        live.lock_release(c(2), 5, ts(25)); // released lock, free_at set
+
+        let mut w = ByteWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = SyncDevice::new(4, 4, 2);
+        let mut r = ByteReader::new(&bytes);
+        restored.load_state(&mut r).expect("load succeeds");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(restored, live);
+        // The open barrier and FIFO waiter order must survive: identical
+        // future behaviour on both devices.
+        assert_eq!(
+            restored.barrier_arrive(c(1), 7, ts(80)),
+            live.barrier_arrive(c(1), 7, ts(80))
+        );
+        assert_eq!(
+            restored.lock_release(c(0), 9, ts(30)),
+            live.lock_release(c(0), 9, ts(30))
+        );
+        // A core index out of range must be rejected, not trusted.
+        let mut small = SyncDevice::new(2, 4, 2);
+        assert!(small.load_state(&mut ByteReader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -11,7 +11,9 @@
 use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::engine::{ServiceSink, UncoreModel};
 use slacksim_core::event::{CoreId, Timestamped};
+use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
 use slacksim_core::stats::Counters;
+use slacksim_core::time::Cycle;
 use slacksim_core::violation::{ViolationEvent, ViolationKind};
 
 use crate::bus::{Bus, BusDelta};
@@ -144,6 +146,36 @@ impl CmpUncore {
     /// The cache status map (read access for assertions and reports).
     pub fn map(&self) -> &CacheMap {
         &self.map
+    }
+
+    /// Serializes the full uncore state for the on-disk snapshot format.
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        self.bus.save_state(w);
+        self.l2.save_state(w);
+        self.map.save_state(w);
+        self.sync.save_state(w);
+        w.u64(self.c2c_transfers);
+        w.u64(self.requests);
+        w.u64(self.writebacks);
+    }
+
+    /// Restores state written by [`CmpUncore::save_state`] into a freshly
+    /// constructed uncore of the same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError`] for malformed bytes or state inconsistent
+    /// with this uncore's configuration.
+    pub fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        self.bus.load_state(r)?;
+        self.l2.load_state(r)?;
+        self.map.load_state(r)?;
+        self.sync.load_state(r)?;
+        self.c2c_transfers = r.u64()?;
+        self.requests = r.u64()?;
+        self.writebacks = r.u64()?;
+        self.cp_baseline = None;
+        Ok(())
     }
 }
 
@@ -315,6 +347,15 @@ impl UncoreModel<MemEvent> for CmpUncore {
         }
     }
 
+    /// Drops per-line order monitors whose high-water mark is at or below
+    /// the committed checkpoint horizon: every event up to the horizon has
+    /// been serviced, and future events carry later timestamps, so those
+    /// monitors can never flag again. Keeps long runs' monitor footprint
+    /// flat instead of growing with the touched-line count.
+    fn compact_monitors(&mut self, horizon: Cycle) {
+        self.map.compact_monitor(horizon);
+    }
+
     fn counters(&self) -> Counters {
         let mut c = Counters::new();
         c.set("bus_transactions", self.bus.transactions());
@@ -324,6 +365,7 @@ impl UncoreModel<MemEvent> for CmpUncore {
         c.set("map_transitions", self.map.transitions());
         c.set("map_violations", self.map.violations());
         c.set("map_tracked_lines", self.map.tracked_lines() as u64);
+        c.set("map_monitor_entries", self.map.monitor_entries() as u64);
         c.set("l2_hits", self.l2.hits());
         c.set("l2_misses", self.l2.misses());
         c.set("l2_writebacks_in", self.l2.writebacks_in());
@@ -554,6 +596,64 @@ mod tests {
         live.restore_from(&base, 12345);
         assert_eq!(live.counters(), base.counters());
         assert_eq!(live.map(), base.map());
+    }
+
+    #[test]
+    fn save_load_round_trip_is_bit_identical() {
+        let mut live = uncore();
+        service(&mut live, 0, 10, request(BusOp::Rd, 7, 1));
+        service(&mut live, 1, 20, request(BusOp::RdX, 7, 2));
+        service(&mut live, 0, 30, MemEvent::LockAcquire { id: 1 });
+        service(&mut live, 1, 31, MemEvent::LockAcquire { id: 1 });
+        service(&mut live, 2, 40, MemEvent::BarrierArrive { id: 0 });
+        let mut w = ByteWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = uncore();
+        let mut r = ByteReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.counters(), live.counters());
+        assert_eq!(restored.bus(), live.bus());
+        assert_eq!(restored.map(), live.map());
+        // Identical forward behaviour, including the in-flight lock FIFO
+        // and the open barrier episode.
+        let (da, va) = service(&mut live, 0, 50, MemEvent::LockRelease { id: 1 });
+        let (db, vb) = service(&mut restored, 0, 50, MemEvent::LockRelease { id: 1 });
+        assert_eq!(da, db);
+        assert_eq!(va.len(), vb.len());
+        let (da, _) = service(&mut live, 2, 60, request(BusOp::Rd, 99, 3));
+        let (db, _) = service(&mut restored, 2, 60, request(BusOp::Rd, 99, 3));
+        assert_eq!(da, db);
+
+        let mut truncated = uncore();
+        let mut r = ByteReader::new(&bytes[..bytes.len() - 4]);
+        assert!(truncated.load_state(&mut r).is_err());
+    }
+
+    #[test]
+    fn monitor_compaction_flattens_long_runs() {
+        let mut u = uncore();
+        let mut peak = 0usize;
+        for i in 0..400u64 {
+            // Touch a fresh line each round so an uncompacted monitor map
+            // would grow without bound.
+            service(&mut u, 0, 10 * i, request(BusOp::Rd, 1000 + i, i as u32));
+            if i % 50 == 49 {
+                // The engine compacts at each committed checkpoint: every
+                // event at or below the horizon has been serviced.
+                u.compact_monitors(Cycle::new(10 * i));
+            }
+            peak = peak.max(u.counters().get("map_monitor_entries") as usize);
+        }
+        assert!(
+            peak <= 60,
+            "monitor map must stay flat under compaction, peaked at {peak}"
+        );
+        // Lines remain tracked for coherence even after their monitors go.
+        assert!(u.counters().get("map_tracked_lines") >= 400);
     }
 
     #[test]

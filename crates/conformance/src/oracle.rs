@@ -113,6 +113,70 @@ pub fn run_speculative(
         })
 }
 
+/// Runs one configuration through the durable-snapshot round trip: a
+/// first run persists every committed checkpoint to a scratch directory,
+/// then a second run resumes from the newest snapshot file — state having
+/// crossed a process-independent byte format — and continues to `target`.
+/// Returns the resumed run's report; under cycle-by-cycle the caller
+/// compares its [`Fingerprint`] against an uninterrupted run, which
+/// proves save/load restores every model bit-identically.
+///
+/// # Panics
+///
+/// Panics if either run fails, or if the first run persisted no
+/// snapshot (the partial target must cover at least one checkpoint
+/// interval).
+pub fn run_resumed(
+    bench: Benchmark,
+    cores: usize,
+    scheme: &Scheme,
+    target: u64,
+    seed: u64,
+    engine: EngineKind,
+    interval: u64,
+) -> SimReport {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SCRATCH: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "slacksim-conformance-{}-{}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ));
+
+    let spec = SpeculationConfig::checkpoint_only(interval);
+    Simulation::new(bench)
+        .cores(cores)
+        .scheme(scheme.clone())
+        .engine(engine)
+        .commit_target(target / 2)
+        .seed(seed)
+        .speculation(spec)
+        .save_state(&dir)
+        .run()
+        .unwrap_or_else(|e| panic!("{engine:?} save-state run failed for {bench:?}: {e}"));
+
+    let newest = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read snapshot dir {}: {e}", dir.display()))
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().starts_with("cp-"))
+        .max_by_key(std::fs::DirEntry::file_name)
+        .unwrap_or_else(|| panic!("no snapshot persisted in {}", dir.display()))
+        .path();
+
+    let resumed = Simulation::new(bench)
+        .cores(cores)
+        .scheme(scheme.clone())
+        .engine(engine)
+        .commit_target(target)
+        .seed(seed)
+        .speculation(spec)
+        .resume(&newest)
+        .run()
+        .unwrap_or_else(|e| panic!("{engine:?} resumed run failed for {bench:?}: {e}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    resumed
+}
+
 /// Runs one case on the threaded engine under the virtual scheduler and
 /// returns the report together with the schedule diagnostics.
 ///

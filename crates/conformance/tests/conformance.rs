@@ -12,8 +12,8 @@
 use slacksim::scheme::Scheme;
 use slacksim::{Benchmark, CheckpointMode, EngineKind, SpeculationConfig, ViolationSelect};
 use slacksim_conformance::{
-    check_invariants, fingerprint, run_engine, run_repro, run_speculative, run_virtual, shrink,
-    smoke_seeds, Mutation, SchedPolicy, VirtCase,
+    check_invariants, fingerprint, run_engine, run_repro, run_resumed, run_speculative,
+    run_virtual, shrink, smoke_seeds, Mutation, SchedPolicy, VirtCase,
 };
 
 /// Commit target for matrix cells: small enough for debug CI, larger in
@@ -308,6 +308,30 @@ fn cycle_by_cycle_checkpointing_is_mode_independent() {
                 fingerprint(&r),
                 reference,
                 "{label}: checkpointing perturbed the CC fingerprint"
+            );
+        }
+    }
+}
+
+/// Durable-snapshot oracle (DESIGN §13): persist a cycle-by-cycle run's
+/// checkpoints to disk, resume the newest snapshot — state having
+/// round-tripped through the versioned byte format — and continue to the
+/// full commit target. On both engines the resumed run must reproduce
+/// the uninterrupted run's fingerprint exactly, which proves every model
+/// save/load pair restores bit-identical state.
+#[test]
+fn durable_snapshot_resume_matches_uninterrupted_run() {
+    let scheme = Scheme::CycleByCycle;
+    let interval = 300;
+    for bench in BENCHES {
+        for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+            let spec = SpeculationConfig::checkpoint_only(interval);
+            let baseline = run_speculative(bench, 4, &scheme, target(), 1, engine, spec);
+            let resumed = run_resumed(bench, 4, &scheme, target(), 1, engine, interval);
+            assert_eq!(
+                fingerprint(&resumed),
+                fingerprint(&baseline),
+                "{engine:?}/{bench}: resumed run diverged from uninterrupted run"
             );
         }
     }

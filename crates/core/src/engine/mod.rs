@@ -29,11 +29,12 @@ pub use threaded::ThreadedEngine;
 use std::fmt;
 
 use crate::event::{CoreId, Inbox, Timestamped};
-use crate::scheme::Scheme;
-use crate::speculative::SpeculationConfig;
+use crate::rng::Xoshiro256;
+use crate::scheme::{Pacer, Scheme};
+use crate::speculative::{IntervalTracker, SpeculationConfig, SpeculationStats};
 use crate::stats::Counters;
 use crate::time::Cycle;
-use crate::violation::ViolationEvent;
+use crate::violation::{ViolationEvent, ViolationTally};
 
 /// Per-cycle execution context handed to [`CoreModel::tick`].
 ///
@@ -161,6 +162,18 @@ pub trait UncoreModel<E>: Clone + Send + 'static {
 
     /// Model statistics for the final report.
     fn counters(&self) -> Counters;
+
+    /// Drops violation-monitor entries that can never trip again.
+    ///
+    /// The engines call this at every committed checkpoint with `horizon`
+    /// equal to the checkpoint's global cycle: every operation that can
+    /// still arrive — including rollback replays, which restart from this
+    /// very checkpoint — carries a timestamp at or past `horizon`, so a
+    /// monitor whose high-water mark is at or below it can never flag
+    /// again and may be forgotten. Keeps keyed-monitor memory (and the
+    /// per-checkpoint re-clone cost) flat on long runs. The default does
+    /// nothing; models with keyed monitors should override.
+    fn compact_monitors(&mut self, _horizon: Cycle) {}
 }
 
 /// How the deterministic engine perturbs core scheduling to emulate the
@@ -308,6 +321,12 @@ pub enum EngineError {
         /// Global time at which progress stopped.
         at: Cycle,
     },
+    /// An on-disk snapshot could not be restored (unreadable, corrupt, or
+    /// taken under a different run configuration).
+    Resume(String),
+    /// Durable state saving could not be set up (e.g. the checkpoint
+    /// directory could not be created).
+    Persist(String),
 }
 
 impl fmt::Display for EngineError {
@@ -317,11 +336,95 @@ impl fmt::Display for EngineError {
             EngineError::Stalled { at } => {
                 write!(f, "simulation stalled at global cycle {at}")
             }
+            EngineError::Resume(why) => write!(f, "cannot resume: {why}"),
+            EngineError::Persist(why) => write!(f, "cannot persist state: {why}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// A borrowed view of one committed checkpoint, handed to the engine's
+/// save hook (see [`SequentialEngine::with_save_hook`] and
+/// [`ThreadedEngine::with_save_hook`]) right after the checkpoint commits.
+///
+/// The view exposes exactly the state a durable snapshot needs: the full
+/// model state (cores, pending inboxes, uncore) plus the engine-side
+/// bookkeeping that must survive a process restart. At a committed
+/// checkpoint every core's local clock equals `global` and the manager's
+/// global queue is empty, so the inboxes are the only in-flight events.
+pub struct CheckpointView<'a, C: CoreModel, U> {
+    /// 1-based checkpoint ordinal (total checkpoints taken so far).
+    pub ordinal: u64,
+    /// Global cycle the checkpoint was committed at.
+    pub global: Cycle,
+    /// Per-core model state and pending (undelivered) events.
+    pub cores: Vec<(&'a C, &'a Inbox<C::Event>)>,
+    /// The shared uncore state.
+    pub uncore: &'a U,
+    /// Aggregate committed instructions at the checkpoint.
+    pub committed: u64,
+    /// Violations surviving in the committed timeline.
+    pub tally: ViolationTally,
+    /// Violations detected overall, including rolled-back work.
+    pub detected: ViolationTally,
+    /// Next adaptive/violation sampling point in global cycles.
+    pub next_sample: u64,
+    /// Tally snapshot at the start of the current sampling window.
+    pub last_sample_tally: ViolationTally,
+    /// Speculation activity so far (checkpoints, rollbacks, …).
+    pub spec_stats: SpeculationStats,
+    /// Interval statistics (Tables 3/4), when speculation is on.
+    pub tracker: Option<&'a IntervalTracker>,
+    /// The pacer, carrying any adaptive/peer state.
+    pub pacer: &'a dyn Pacer,
+    /// The deterministic engine's burst-scheduler RNG (`None` on the
+    /// threaded engine, which inherits real host scheduling).
+    pub rng: Option<&'a Xoshiro256>,
+    /// Adaptive bound trace accumulated so far.
+    pub bound_trace: &'a [(Cycle, u64)],
+    /// Largest clock spread observed so far (kernel counter).
+    pub max_spread: u64,
+}
+
+/// Called at every committed checkpoint with a [`CheckpointView`]; returns
+/// the persisted container size in bytes, or `None` when the snapshot was
+/// not durably written (persistence failed or was skipped) — the engine
+/// records the outcome as a trace event either way and carries on.
+pub type SaveHook<C, U> = Box<dyn FnMut(&CheckpointView<'_, C, U>) -> Option<u64>>;
+
+/// Restored engine state for crash-safe resume: the owned counterpart of
+/// [`CheckpointView`], applied at `run()` start in place of fresh state.
+pub struct EngineResume<C: CoreModel, U> {
+    /// Global cycle to resume from.
+    pub global: Cycle,
+    /// Per-core model state and pending events.
+    pub cores: Vec<(C, Inbox<C::Event>)>,
+    /// The shared uncore state.
+    pub uncore: U,
+    /// Pacer rebuilt from the run's scheme with its dynamic state restored.
+    pub pacer: Box<dyn Pacer>,
+    /// Aggregate committed instructions at the snapshot.
+    pub committed: u64,
+    /// Violations surviving in the committed timeline.
+    pub tally: ViolationTally,
+    /// Violations detected overall, including rolled-back work.
+    pub detected: ViolationTally,
+    /// Next sampling point in global cycles.
+    pub next_sample: u64,
+    /// Tally snapshot at the start of the current sampling window.
+    pub last_sample_tally: ViolationTally,
+    /// Speculation activity up to the snapshot.
+    pub spec_stats: SpeculationStats,
+    /// Interval statistics, when the snapshot was taken with speculation.
+    pub tracker: Option<IntervalTracker>,
+    /// Burst-scheduler RNG state (sequential-engine snapshots only).
+    pub rng: Option<Xoshiro256>,
+    /// Adaptive bound trace up to the snapshot.
+    pub bound_trace: Vec<(Cycle, u64)>,
+    /// Largest clock spread observed up to the snapshot.
+    pub max_spread: u64,
+}
 
 #[cfg(test)]
 mod tests {

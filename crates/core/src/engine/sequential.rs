@@ -16,7 +16,8 @@ use std::time::Instant;
 
 use crate::checkpoint::{CheckpointMode, Checkpointable};
 use crate::engine::{
-    CoreModel, EngineConfig, EngineError, FinishReason, ServiceSink, TickCtx, UncoreModel,
+    CheckpointView, CoreModel, EngineConfig, EngineError, EngineResume, FinishReason, SaveHook,
+    ServiceSink, TickCtx, UncoreModel,
 };
 use crate::event::{CoreId, GlobalQueue, Inbox, Timestamped};
 use crate::obs::{MetricsRegistry, ObsData, Phase, QueueKind, TraceEvent, TraceHandle, Tracer};
@@ -72,6 +73,8 @@ pub struct SequentialEngine<C: CoreModel, U: UncoreModel<C::Event>> {
     cores: Vec<C>,
     uncore: U,
     cfg: EngineConfig,
+    save_hook: Option<SaveHook<C, U>>,
+    resume: Option<EngineResume<C, U>>,
 }
 
 impl<C, U> SequentialEngine<C, U>
@@ -81,7 +84,29 @@ where
 {
     /// Creates an engine over the given target cores and uncore.
     pub fn new(cores: Vec<C>, uncore: U, cfg: EngineConfig) -> Self {
-        SequentialEngine { cores, uncore, cfg }
+        SequentialEngine {
+            cores,
+            uncore,
+            cfg,
+            save_hook: None,
+            resume: None,
+        }
+    }
+
+    /// Installs a hook invoked after every committed checkpoint with a
+    /// borrowed [`CheckpointView`] of the restorable state; the hook
+    /// returns the number of bytes it persisted (or `None` on failure).
+    #[must_use]
+    pub fn with_save_hook(mut self, hook: SaveHook<C, U>) -> Self {
+        self.save_hook = Some(hook);
+        self
+    }
+
+    /// Starts the run from previously persisted state instead of cycle 0.
+    #[must_use]
+    pub fn with_resume(mut self, resume: EngineResume<C, U>) -> Self {
+        self.resume = Some(resume);
+        self
     }
 
     /// Runs the simulation to completion.
@@ -95,6 +120,8 @@ where
             mut cores,
             mut uncore,
             cfg,
+            mut save_hook,
+            resume,
         } = self;
         let n = cores.len();
         if n == 0 {
@@ -138,7 +165,9 @@ where
         let violation_rate_id = metrics.intern_gauge("violation_rate");
         let globalq_depth_id = metrics.intern_gauge("globalq_depth");
         let globalq_depth_hist = metrics.intern_histogram("globalq_depth");
+        let persist_bytes_id = metrics.intern_gauge("persist_bytes");
         let mut last_metrics_detected = 0u64;
+        let mut last_metrics_cycle = 0u64;
 
         // Speculation state.
         let spec = cfg.speculation;
@@ -150,6 +179,55 @@ where
         let mut replay_start = Cycle::ZERO;
         let mut pending_rollback = false;
         let cp_mode = spec.map_or(CheckpointMode::Full, |s| s.mode);
+
+        // Largest observed clock spread (max local − min local): the
+        // empirical slack, reported so tests can assert the bound.
+        let mut max_spread: u64 = 0;
+        // Resume: replace the freshly-built state wholesale with the
+        // persisted snapshot before the first snapshot baseline is taken,
+        // so rollback and delta capture both measure from restored state.
+        let mut start_global = Cycle::ZERO;
+        if let Some(res) = resume {
+            if res.cores.len() != n {
+                return Err(EngineError::Resume(format!(
+                    "snapshot holds {} cores but the engine was built with {n}",
+                    res.cores.len()
+                )));
+            }
+            start_global = res.global;
+            cores.clear();
+            inboxes.clear();
+            for (core, inbox) in res.cores {
+                cores.push(core);
+                inboxes.push(inbox);
+            }
+            uncore = res.uncore;
+            pacer = res.pacer;
+            committed = res.committed;
+            tally = res.tally;
+            detected = res.detected;
+            next_sample = res.next_sample;
+            last_sample_tally = res.last_sample_tally;
+            spec_stats = res.spec_stats;
+            if let Some(tr) = res.tracker {
+                tracker = Some(tr);
+            }
+            if let Some(r) = res.rng {
+                rng = r;
+            }
+            bound_trace = res.bound_trace;
+            max_spread = res.max_spread;
+            locals = vec![start_global; n];
+            last_metrics_detected = detected.total();
+            last_metrics_cycle = start_global.as_u64();
+            next_cp_trigger = spec.map_or(u64::MAX, |s| start_global.as_u64() + s.interval);
+            th.record(
+                start_global,
+                TraceEvent::StateRestore {
+                    global: start_global,
+                },
+            );
+        }
 
         let mut snapshot: Option<Snapshot<C, U>> = if spec.is_some() {
             // The initial state is trivially a (free) checkpoint. Under
@@ -180,7 +258,7 @@ where
                 inboxes: inboxes.clone(),
                 tally,
                 committed,
-                global: Cycle::ZERO,
+                global: start_global,
                 pacer: pacer.clone_box(),
                 next_sample,
                 last_sample_tally,
@@ -193,10 +271,7 @@ where
         // Barrier schemes hold the window fixed until every core reaches it
         // and the batch is serviced; greedy schemes slide it with global
         // time every iteration.
-        let mut window_end = pacer.window_end(Cycle::ZERO);
-        // Largest observed clock spread (max local − min local): the
-        // empirical slack, reported so tests can assert the bound.
-        let mut max_spread: u64 = 0;
+        let mut window_end = pacer.window_end(start_global);
         let finish_reason;
 
         loop {
@@ -277,8 +352,18 @@ where
                 if let Some(b) = pacer.current_bound() {
                     metrics.gauge_by(slack_bound_id, global, b as f64);
                 }
-                let window = metrics.sample_every() as f64;
-                let live_rate = (detected.total() - last_metrics_detected) as f64 / window;
+                // Rate over the cycles actually elapsed since the previous
+                // sample: a fixed divisor misstates the rate whenever the
+                // sampler fires off-cadence, and an elapsed count of zero
+                // (e.g. the first crossing after a resume) must not produce
+                // a NaN/inf gauge value.
+                let elapsed = global.as_u64().saturating_sub(last_metrics_cycle);
+                let live_rate = if elapsed == 0 {
+                    0.0
+                } else {
+                    (detected.total() - last_metrics_detected) as f64 / elapsed as f64
+                };
+                last_metrics_cycle = global.as_u64();
                 last_metrics_detected = detected.total();
                 metrics.gauge_by(violation_rate_id, global, live_rate);
                 metrics.gauge_by(globalq_depth_id, global, gq.len() as f64);
@@ -410,6 +495,11 @@ where
                                 overshoot: s.as_u64().saturating_sub(next_cp_trigger),
                             },
                         );
+                        // Every event at or below the checkpoint has been
+                        // serviced, so monitor entries whose high-water mark
+                        // is at or below `s` can never flag again: drop them
+                        // before capture so the snapshot stays compact too.
+                        uncore.compact_monitors(s);
                         let snap = snapshot.as_mut().expect("spec enabled");
                         match cp_mode {
                             CheckpointMode::Full => {
@@ -438,6 +528,34 @@ where
                         snap.pacer = pacer.clone_box();
                         snap.next_sample = next_sample;
                         snap.last_sample_tally = last_sample_tally;
+                        if let Some(hook) = save_hook.as_mut() {
+                            let view = CheckpointView {
+                                ordinal: spec_stats.checkpoints,
+                                global: s,
+                                cores: cores.iter().zip(inboxes.iter()).collect(),
+                                uncore: &uncore,
+                                committed,
+                                tally,
+                                detected,
+                                next_sample,
+                                last_sample_tally,
+                                spec_stats,
+                                tracker: tracker.as_ref(),
+                                pacer: &*pacer,
+                                rng: Some(&rng),
+                                bound_trace: &bound_trace,
+                                max_spread,
+                            };
+                            let bytes = hook(&view).unwrap_or(0);
+                            th.record(
+                                s,
+                                TraceEvent::StatePersist {
+                                    ordinal: spec_stats.checkpoints,
+                                    bytes,
+                                },
+                            );
+                            metrics.gauge_by(persist_bytes_id, s, bytes as f64);
+                        }
                         next_cp_trigger = s.as_u64() + spec.expect("spec enabled").interval;
                         stop_at = None;
                         window_end = pacer.window_end(s);

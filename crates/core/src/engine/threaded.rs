@@ -41,7 +41,8 @@ use std::time::{Duration, Instant};
 
 use crate::checkpoint::{CheckpointMode, Checkpointable};
 use crate::engine::{
-    CoreModel, EngineConfig, EngineError, FinishReason, ServiceSink, TickCtx, UncoreModel,
+    CheckpointView, CoreModel, EngineConfig, EngineError, EngineResume, FinishReason, SaveHook,
+    ServiceSink, TickCtx, UncoreModel,
 };
 use crate::event::{CoreId, GlobalQueue, Inbox, Timestamped};
 use crate::obs::{
@@ -279,6 +280,23 @@ pub struct ThreadedEngine<C: CoreModel, U: UncoreModel<C::Event>> {
     cores: Vec<C>,
     uncore: U,
     cfg: EngineConfig,
+    save_hook: Option<SaveHook<C, U>>,
+    resume: Option<EngineResume<C, U>>,
+}
+
+/// Manager-side scalar state carried into `manager_loop` when resuming
+/// from a persisted snapshot (the cores, uncore, pacer and aggregate
+/// commit count are applied in `run` before the loop starts).
+struct ManagerResume {
+    global: Cycle,
+    tally: ViolationTally,
+    detected: ViolationTally,
+    next_sample: u64,
+    last_sample_tally: ViolationTally,
+    spec_stats: SpeculationStats,
+    tracker: Option<IntervalTracker>,
+    bound_trace: Vec<(Cycle, u64)>,
+    max_spread: u64,
 }
 
 impl<C, U> ThreadedEngine<C, U>
@@ -288,7 +306,32 @@ where
 {
     /// Creates an engine over the given target cores and uncore.
     pub fn new(cores: Vec<C>, uncore: U, cfg: EngineConfig) -> Self {
-        ThreadedEngine { cores, uncore, cfg }
+        ThreadedEngine {
+            cores,
+            uncore,
+            cfg,
+            save_hook: None,
+            resume: None,
+        }
+    }
+
+    /// Installs a hook invoked with a borrowed view of every committed
+    /// checkpoint (e.g. to persist it to disk). Runs on the manager
+    /// thread while the cores are paused at the checkpoint boundary.
+    #[must_use]
+    pub fn with_save_hook(mut self, hook: SaveHook<C, U>) -> Self {
+        self.save_hook = Some(hook);
+        self
+    }
+
+    /// Seeds the engine with restored state so the run continues from a
+    /// persisted checkpoint instead of cycle zero. The engine must have
+    /// been built with the same configuration (core count, scheme,
+    /// speculation settings) as the run that produced the snapshot.
+    #[must_use]
+    pub fn with_resume(mut self, resume: EngineResume<C, U>) -> Self {
+        self.resume = Some(resume);
+        self
     }
 
     /// Runs the simulation to completion, spawning one host thread per
@@ -298,7 +341,13 @@ where
     ///
     /// Returns [`EngineError::NoCores`] for an empty core set.
     pub fn run(self) -> Result<SimReport, EngineError> {
-        let ThreadedEngine { cores, uncore, cfg } = self;
+        let ThreadedEngine {
+            cores,
+            uncore,
+            cfg,
+            mut save_hook,
+            resume,
+        } = self;
         let n = cores.len();
         if n == 0 {
             return Err(EngineError::NoCores);
@@ -326,11 +375,51 @@ where
         let sched = Arc::clone(cfg.sched.get());
         let hook = cfg.sched.instrumentation_hook();
 
+        // Apply restored state before anything is shared with the core
+        // threads: cores and their undelivered inboxes replace the fresh
+        // models, every clock starts at the snapshot's global time, and
+        // the aggregate commit counter is re-seeded.
+        let mut cores = cores;
+        let mut uncore = uncore;
+        let mut core_inboxes: Vec<Inbox<C::Event>> = (0..n).map(|_| Inbox::new()).collect();
+        let mut start_committed = 0u64;
+        let mut pacer = cfg.scheme.clone().into_pacer();
+        let mut mgr_resume: Option<ManagerResume> = None;
+        if let Some(res) = resume {
+            if res.cores.len() != n {
+                return Err(EngineError::Resume(format!(
+                    "snapshot holds {} cores but the engine was built with {n}",
+                    res.cores.len()
+                )));
+            }
+            cores.clear();
+            core_inboxes.clear();
+            for (core, inbox) in res.cores {
+                cores.push(core);
+                core_inboxes.push(inbox);
+            }
+            uncore = res.uncore;
+            pacer = res.pacer;
+            start_committed = res.committed;
+            mgr_resume = Some(ManagerResume {
+                global: res.global,
+                tally: res.tally,
+                detected: res.detected,
+                next_sample: res.next_sample,
+                last_sample_tally: res.last_sample_tally,
+                spec_stats: res.spec_stats,
+                tracker: res.tracker,
+                bound_trace: res.bound_trace,
+                max_spread: res.max_spread,
+            });
+        }
+        let start_global = mgr_resume.as_ref().map_or(0, |r| r.global.as_u64());
+
         let shared: Vec<Arc<CoreShared<C>>> = (0..n)
             .map(|_| {
                 Arc::new(CoreShared {
-                    local: AtomicU64::new(0),
-                    max_local: AtomicU64::new(0),
+                    local: AtomicU64::new(start_global),
+                    max_local: AtomicU64::new(start_global),
                     outq: SpscRing::with_sched(hook.clone()),
                     inq: SpscRing::with_sched(hook.clone()),
                     snapshot: SnapshotSlot::with_sched(hook.clone()),
@@ -342,7 +431,7 @@ where
             })
             .collect();
         let done = Arc::new(AtomicBool::new(false));
-        let committed = Arc::new(AtomicU64::new(0));
+        let committed = Arc::new(AtomicU64::new(start_committed));
 
         // A disabled tracer keeps every instrumentation site at one relaxed
         // atomic load when no ObsConfig was given.
@@ -364,19 +453,21 @@ where
             ack_rxs.push(ar);
         }
 
-        // Cores start frozen (max local time 0); the manager publishes the
-        // first window after taking the free initial checkpoint.
-        let mut pacer = cfg.scheme.clone().into_pacer();
-        let mut uncore = uncore;
-
+        // Cores start frozen (max local time = start time); the manager
+        // publishes the first window after taking the free initial
+        // checkpoint.
         let report = std::thread::scope(|scope| {
             // --- Core threads ------------------------------------------------
             // std mpsc receivers are single-consumer: each core's command
             // receiver and ack sender are moved into its thread.
             let mut handles = Vec::with_capacity(n);
             let oversubscribed = host_oversubscribed(n);
-            for (i, ((model, cmd_rx), ack_tx)) in
-                cores.into_iter().zip(cmd_rxs).zip(ack_txs).enumerate()
+            for (i, (((model, inbox), cmd_rx), ack_tx)) in cores
+                .into_iter()
+                .zip(core_inboxes)
+                .zip(cmd_rxs)
+                .zip(ack_txs)
+                .enumerate()
             {
                 let shared = Arc::clone(&shared[i]);
                 let done = Arc::clone(&done);
@@ -387,6 +478,7 @@ where
                     core_thread(
                         CoreId::new(i as u16),
                         model,
+                        inbox,
                         &shared,
                         &done,
                         &committed,
@@ -414,6 +506,8 @@ where
                 &cmd_txs,
                 &ack_rxs,
                 &tracer,
+                &mut save_hook,
+                mgr_resume,
             );
 
             done.store(true, Ordering::Release);
@@ -468,6 +562,7 @@ where
 fn core_thread<C: CoreModel + Checkpointable>(
     core: CoreId,
     mut model: C,
+    mut inbox: Inbox<C::Event>,
     shared: &CoreShared<C>,
     done: &AtomicBool,
     committed: &AtomicU64,
@@ -480,7 +575,6 @@ fn core_thread<C: CoreModel + Checkpointable>(
     let virt = sched.virtualized();
     let task = sched.register(&format!("core{}", core.index()));
     let _ = shared.task.set(task);
-    let mut inbox: Inbox<C::Event> = Inbox::new();
     let mut outbox: Vec<Timestamped<C::Event>> = Vec::new();
     // Generation token recorded at the last snapshot capture: the
     // baseline the next delta capture diffs against and the token a
@@ -815,6 +909,8 @@ fn manager_loop<C, U>(
     cmd_txs: &[Sender<Command<C>>],
     ack_rxs: &[Receiver<u64>],
     tracer: &Tracer,
+    save_hook: &mut Option<SaveHook<C, U>>,
+    resume: Option<ManagerResume>,
 ) -> Result<ManagerOutcome<U>, EngineError>
 where
     C: CoreModel + Checkpointable,
@@ -827,6 +923,7 @@ where
     let mut gq: GlobalQueue<C::Event> = GlobalQueue::new();
     let mut sink: ServiceSink<C::Event> = ServiceSink::new();
 
+    let start_global = resume.as_ref().map_or(Cycle::ZERO, |r| r.global);
     let mut tally = ViolationTally::new();
     let mut detected = ViolationTally::new();
     let mut next_sample = sample_period;
@@ -840,7 +937,9 @@ where
     let mut th = tracer.handle();
     let mut metrics = MetricsRegistry::new(cfg.obs.map_or(1024, |o| o.sample_every));
     let ids = MetricIds::intern(&mut metrics, n);
+    let persist_bytes_id = metrics.intern_gauge("persist_bytes");
     let mut last_metrics_detected = 0u64;
+    let mut last_metrics_cycle = 0u64;
     let mut mgr_wait_ns: u64 = 0;
     let mut last_wait_ns: u64 = 0;
 
@@ -862,9 +961,34 @@ where
     // guard.
     let cp_interval: u64 = spec.map_or(u64::MAX, |s| s.interval);
     let cp_delta = spec.is_some_and(|s| s.mode == CheckpointMode::Delta);
-    let mut next_cp_trigger: u64 = cp_interval;
+    let mut next_cp_trigger: u64 = spec.map_or(u64::MAX, |s| start_global.as_u64() + s.interval);
     let mut replay_start = Cycle::ZERO;
     let mut pending_rollback = false;
+    // Largest clock spread observed at manager sampling points (the
+    // empirical slack; a lower bound on the true maximum since the manager
+    // samples asynchronously).
+    let mut max_spread: u64 = 0;
+
+    if let Some(res) = resume {
+        tally = res.tally;
+        detected = res.detected;
+        next_sample = res.next_sample;
+        last_sample_tally = res.last_sample_tally;
+        bound_trace = res.bound_trace;
+        spec_stats = res.spec_stats;
+        if let Some(tr) = res.tracker {
+            tracker = Some(tr);
+        }
+        max_spread = res.max_spread;
+        last_metrics_detected = detected.total();
+        last_metrics_cycle = start_global.as_u64();
+        th.record(
+            start_global,
+            TraceEvent::StateRestore {
+                global: start_global,
+            },
+        );
+    }
 
     // The initial state is a free checkpoint taken before the cores move.
     // It is always a *full* capture — delta mode needs a base to diff
@@ -889,9 +1013,9 @@ where
             &mut snapshot,
             captures,
             uncore,
-            Cycle::ZERO,
+            start_global,
             tally,
-            0,
+            committed.load(Ordering::Acquire),
             &**pacer,
             next_sample,
             last_sample_tally,
@@ -899,18 +1023,16 @@ where
     }
 
     let mut window_end = if pacer.barrier_service() {
-        pacer.window_end(Cycle::ZERO)
+        pacer.window_end(start_global)
     } else {
-        pacer.window_end(Cycle::ZERO).min(cfg.lead_cap(Cycle::ZERO))
+        pacer
+            .window_end(start_global)
+            .min(cfg.lead_cap(start_global))
     };
     publish_window(shared, window_end, sched);
 
     let finish_reason;
     let final_global;
-    // Largest clock spread observed at manager sampling points (the
-    // empirical slack; a lower bound on the true maximum since the manager
-    // samples asynchronously).
-    let mut max_spread: u64 = 0;
 
     loop {
         sched.point(SchedSite::ManagerLoop);
@@ -997,8 +1119,17 @@ where
             if let Some(b) = pacer.current_bound() {
                 metrics.gauge_by(ids.slack_bound, global, b as f64);
             }
-            let window = metrics.sample_every() as f64;
-            let live_rate = (detected.total() - last_metrics_detected) as f64 / window;
+            // Rate over the cycles actually elapsed since the previous
+            // sample, not the nominal cadence: back-to-back samples at the
+            // same global time would otherwise divide by zero and push a
+            // non-finite gauge value.
+            let elapsed = global.as_u64().saturating_sub(last_metrics_cycle);
+            let live_rate = if elapsed == 0 {
+                0.0
+            } else {
+                (detected.total() - last_metrics_detected) as f64 / elapsed as f64
+            };
+            last_metrics_cycle = global.as_u64();
             last_metrics_detected = detected.total();
             metrics.gauge_by(ids.violation_rate, global, live_rate);
             metrics.gauge_by(ids.globalq_depth, global, gq.len() as f64);
@@ -1090,6 +1221,10 @@ where
                             overshoot: g.as_u64().saturating_sub(next_cp_trigger),
                         },
                     );
+                    // Every event at or below the committed boundary has
+                    // been serviced: monitors settled below it can be
+                    // dropped before they are captured into the snapshot.
+                    uncore.compact_monitors(g);
                     merge_snapshot(
                         &mut snapshot,
                         captures,
@@ -1102,6 +1237,18 @@ where
                         last_sample_tally,
                     );
                     next_cp_trigger = g.as_u64() + cp_interval;
+                    invoke_save_hook(
+                        save_hook,
+                        &snapshot,
+                        spec_stats,
+                        detected,
+                        tracker.as_ref(),
+                        &bound_trace,
+                        max_spread,
+                        &mut th,
+                        &mut metrics,
+                        persist_bytes_id,
+                    );
                 }
                 window_end = if mode == Mode::Replay {
                     g + 1
@@ -1349,6 +1496,7 @@ where
                     overshoot: stop_at.saturating_sub(next_cp_trigger),
                 },
             );
+            uncore.compact_monitors(Cycle::new(stop_at));
             merge_snapshot(
                 &mut snapshot,
                 captures,
@@ -1361,6 +1509,18 @@ where
                 last_sample_tally,
             );
             next_cp_trigger = stop_at + cp_interval;
+            invoke_save_hook(
+                save_hook,
+                &snapshot,
+                spec_stats,
+                detected,
+                tracker.as_ref(),
+                &bound_trace,
+                max_spread,
+                &mut th,
+                &mut metrics,
+                persist_bytes_id,
+            );
             locals.clear();
             locals.resize(n, stop_at);
             window_end =
@@ -1427,6 +1587,58 @@ where
         bound_trace,
         metrics,
     })
+}
+
+/// Hands the freshly merged checkpoint snapshot to the save hook (if one
+/// is installed) and records the persist in the trace and metrics. Runs on
+/// the manager thread while the cores are paused at the boundary, so the
+/// snapshot is immutable for the duration.
+#[allow(clippy::too_many_arguments)]
+fn invoke_save_hook<C, U>(
+    save_hook: &mut Option<SaveHook<C, U>>,
+    snapshot: &Option<ManagerSnapshot<C, U>>,
+    spec_stats: SpeculationStats,
+    detected: ViolationTally,
+    tracker: Option<&IntervalTracker>,
+    bound_trace: &[(Cycle, u64)],
+    max_spread: u64,
+    th: &mut TraceHandle,
+    metrics: &mut MetricsRegistry,
+    persist_bytes_id: GaugeId,
+) where
+    C: CoreModel + Checkpointable,
+    U: UncoreModel<C::Event> + Checkpointable,
+{
+    let Some(hook) = save_hook.as_mut() else {
+        return;
+    };
+    let snap = snapshot.as_ref().expect("checkpoint just merged");
+    let view = CheckpointView {
+        ordinal: spec_stats.checkpoints,
+        global: snap.global,
+        cores: snap.cores.iter().map(|(c, ib)| (c, ib)).collect(),
+        uncore: &snap.uncore,
+        committed: snap.committed,
+        tally: snap.tally,
+        detected,
+        next_sample: snap.next_sample,
+        last_sample_tally: snap.last_sample_tally,
+        spec_stats,
+        tracker,
+        pacer: &*snap.pacer,
+        rng: None,
+        bound_trace,
+        max_spread,
+    };
+    let bytes = hook(&view).unwrap_or(0);
+    th.record(
+        snap.global,
+        TraceEvent::StatePersist {
+            ordinal: spec_stats.checkpoints,
+            bytes,
+        },
+    );
+    metrics.gauge_by(persist_bytes_id, snap.global, bytes as f64);
 }
 
 /// Sets every core's max local time and unparks any core waiting on it.

@@ -296,6 +296,24 @@ impl<E> Inbox<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// All pending events in pop order (timestamp, then delivery order),
+    /// without disturbing the inbox (persistence).
+    ///
+    /// Re-delivering the returned events one by one into a fresh inbox
+    /// reproduces the exact pop order: fresh sequence numbers `0..n`
+    /// assigned in this order preserve the original tie-breaks.
+    pub fn sorted_events(&self) -> Vec<Timestamped<E>>
+    where
+        E: Clone,
+    {
+        let mut heap = self.heap.clone();
+        let mut out = Vec::with_capacity(heap.len());
+        while let Some(e) = heap.pop() {
+            out.push(Timestamped::new(e.ts, e.payload));
+        }
+        out
+    }
 }
 
 impl<E> Default for Inbox<E> {

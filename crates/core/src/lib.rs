@@ -99,6 +99,7 @@ pub mod engine;
 pub mod event;
 pub mod model;
 pub mod obs;
+pub mod persist;
 pub mod rng;
 pub mod sched;
 pub mod scheme;

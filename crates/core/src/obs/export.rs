@@ -229,6 +229,15 @@ pub fn chrome_trace_json(obs: &ObsData) -> String {
                     &format!("{drift}"),
                 );
             }
+            TraceEvent::StatePersist { ordinal, bytes } => {
+                let args = format!(r#""ordinal":{ordinal},"bytes":{bytes}"#);
+                w.instant("state_persist", "persist", manager_tid, ts, &args);
+                w.counter("persist_bytes", ts, "bytes", &format!("{bytes}"));
+            }
+            TraceEvent::StateRestore { global } => {
+                let args = format!(r#""global":{}"#, global.as_u64());
+                w.instant("state_restore", "persist", manager_tid, ts, &args);
+            }
         }
     }
     w.finish()

@@ -267,6 +267,10 @@ impl MetricsRegistry {
     /// allocation beyond amortized series growth.
     #[inline]
     pub fn gauge_by(&mut self, id: GaugeId, cycle: Cycle, value: f64) {
+        debug_assert!(
+            value.is_finite(),
+            "non-finite gauge sample (id {id:?}, cycle {cycle}): {value}"
+        );
         self.gauge_series[id.0].push(SeriesPoint {
             cycle: cycle.as_u64(),
             value,

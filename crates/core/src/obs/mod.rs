@@ -123,6 +123,8 @@ impl ObsData {
                 TraceEvent::ManagerWait { .. } => "manager waits",
                 TraceEvent::QueueDepth { .. } => "queue-depth samples",
                 TraceEvent::PhaseBegin { .. } | TraceEvent::PhaseEnd { .. } => "phase marks",
+                TraceEvent::StatePersist { .. } => "state persists",
+                TraceEvent::StateRestore { .. } => "state restores",
             };
             *counts.entry(key).or_default() += 1;
         }

@@ -152,6 +152,19 @@ pub enum TraceEvent {
         /// The phase being left.
         phase: Phase,
     },
+    /// A committed checkpoint was persisted to disk (`--save-state`).
+    StatePersist {
+        /// 1-based checkpoint ordinal of the persisted snapshot.
+        ordinal: u64,
+        /// Size of the snapshot container in bytes (0 when the write
+        /// failed after its bounded retries and the run carried on).
+        bytes: u64,
+    },
+    /// The run was restored from an on-disk snapshot (`--resume`).
+    StateRestore {
+        /// Global cycle the restored snapshot was taken at.
+        global: Cycle,
+    },
 }
 
 /// A timestamped trace event. The timestamp is in *simulated* cycles (the

@@ -138,6 +138,18 @@ impl Xoshiro256 {
         // 53 high-quality mantissa bits.
         (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
+
+    /// The raw generator state (persistence).
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from raw state captured via
+    /// [`state`](Self::state); the stream continues exactly where it left
+    /// off.
+    pub const fn from_state(s: [u64; 4]) -> Self {
+        Xoshiro256 { s }
+    }
 }
 
 #[cfg(test)]

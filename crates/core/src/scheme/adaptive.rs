@@ -16,6 +16,7 @@
 //! minimum most of the time and probes larger slack at a duty cycle
 //! proportional to the target.
 
+use crate::persist::{ByteReader, ByteWriter, PersistError};
 use crate::scheme::{PaceSample, Pacer};
 use crate::time::Cycle;
 
@@ -291,6 +292,33 @@ impl Pacer for AdaptiveController {
 
     fn clone_box(&self) -> Box<dyn Pacer> {
         Box::new(self.clone())
+    }
+
+    fn save_state(&self, w: &mut ByteWriter) {
+        w.f64(self.bound);
+        w.u64(self.adjustments_up);
+        w.u64(self.adjustments_down);
+        w.u64(self.samples);
+        w.u32(self.trace.len() as u32);
+        for &(cycle, bound) in &self.trace {
+            w.u64(cycle.as_u64());
+            w.u64(bound);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        self.bound = r.f64()?;
+        if !self.bound.is_finite() {
+            return Err(PersistError::Corrupt("non-finite adaptive bound"));
+        }
+        self.adjustments_up = r.u64()?;
+        self.adjustments_down = r.u64()?;
+        self.samples = r.u64()?;
+        let n = r.u32()? as usize;
+        self.trace = (0..n)
+            .map(|_| Ok((Cycle::new(r.u64()?), r.u64()?)))
+            .collect::<Result<_, PersistError>>()?;
+        Ok(())
     }
 }
 

@@ -25,6 +25,7 @@ mod adaptive;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveController, StepPolicy};
 
+use crate::persist::{ByteReader, ByteWriter, PersistError};
 use crate::time::Cycle;
 
 /// Observation window handed to [`Pacer::on_sample`] at each adaptive
@@ -94,6 +95,17 @@ pub trait Pacer: Send {
     /// Clones the pacer, including any adaptive state, into a new box.
     /// Required so the engines can snapshot pacer state at checkpoints.
     fn clone_box(&self) -> Box<dyn Pacer>;
+
+    /// Serializes the pacer's *dynamic* state for durable checkpoints.
+    /// Stateless pacers (everything reconstructible from the [`Scheme`]
+    /// configuration) write nothing, which is the default.
+    fn save_state(&self, _w: &mut ByteWriter) {}
+
+    /// Restores dynamic state captured by [`save_state`](Pacer::save_state)
+    /// into a pacer freshly built from the same [`Scheme`] configuration.
+    fn load_state(&mut self, _r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        Ok(())
+    }
 }
 
 impl Clone for Box<dyn Pacer> {
@@ -373,6 +385,31 @@ impl Pacer for LaxP2p {
 
     fn clone_box(&self) -> Box<dyn Pacer> {
         Box::new(self.clone())
+    }
+
+    fn save_state(&self, w: &mut ByteWriter) {
+        for word in self.rng.state() {
+            w.u64(word);
+        }
+        w.u32(self.partners.len() as u32);
+        for &p in &self.partners {
+            w.u32(p as u32);
+        }
+        w.u64(self.next_shuffle.as_u64());
+    }
+
+    fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = r.u64()?;
+        }
+        self.rng = crate::rng::Xoshiro256::from_state(s);
+        let n = r.u32()? as usize;
+        self.partners = (0..n)
+            .map(|_| r.u32().map(|p| p as usize))
+            .collect::<Result<_, _>>()?;
+        self.next_shuffle = Cycle::new(r.u64()?);
+        Ok(())
     }
 }
 

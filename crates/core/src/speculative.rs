@@ -15,6 +15,7 @@
 //! behaviour.
 
 use crate::checkpoint::CheckpointMode;
+use crate::persist::{ByteReader, ByteWriter, PersistError};
 use crate::time::Cycle;
 use crate::violation::ViolationKind;
 
@@ -272,6 +273,33 @@ impl IntervalTracker {
         } else {
             self.sum_first_distance as f64 / self.intervals_violating as f64
         }
+    }
+
+    /// Serializes the tracker's dynamic state (the interval length is run
+    /// configuration and is not written).
+    pub fn save_state(&self, w: &mut ByteWriter) {
+        w.u64(self.current_start.as_u64());
+        match self.current_first {
+            Some(first) => {
+                w.bool(true);
+                w.u64(first);
+            }
+            None => w.bool(false),
+        }
+        w.u64(self.intervals_total);
+        w.u64(self.intervals_violating);
+        w.u64(self.sum_first_distance);
+    }
+
+    /// Restores dynamic state captured by [`save_state`](Self::save_state)
+    /// into a tracker built with the same interval length.
+    pub fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+        self.current_start = Cycle::new(r.u64()?);
+        self.current_first = if r.bool()? { Some(r.u64()?) } else { None };
+        self.intervals_total = r.u64()?;
+        self.intervals_violating = r.u64()?;
+        self.sum_first_distance = r.u64()?;
+        Ok(())
     }
 }
 

@@ -230,6 +230,38 @@ impl<K: Eq + Hash> KeyedMonitor<K> {
     pub fn reset(&mut self) {
         self.monitors.clear();
     }
+
+    /// Visits every tracked entry as `(key, high_water)` in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, Cycle)> {
+        self.monitors.iter().map(|(k, m)| (k, m.high_water()))
+    }
+
+    /// Drops every entry whose high-water mark is at or below `horizon`,
+    /// returning the removed keys.
+    ///
+    /// Safe at a committed checkpoint with `horizon` equal to the
+    /// checkpoint's global cycle: every operation that can still arrive
+    /// (including rollback replays, which restart from the checkpoint)
+    /// carries a timestamp `ts >= horizon`, and a violation requires
+    /// `ts < high_water <= horizon <= ts` — a contradiction. A removed
+    /// entry's fresh re-creation on next touch therefore yields the exact
+    /// same verdicts and final high-water mark the retained entry would
+    /// have produced.
+    pub fn compact(&mut self, horizon: Cycle) -> Vec<K>
+    where
+        K: Clone,
+    {
+        let removed: Vec<K> = self
+            .monitors
+            .iter()
+            .filter(|(_, m)| m.high_water() <= horizon)
+            .map(|(k, _)| k.clone())
+            .collect();
+        for k in &removed {
+            self.monitors.remove(k);
+        }
+        removed
+    }
 }
 
 /// Per-kind violation counters for a single-threaded context.
@@ -300,6 +332,16 @@ impl ViolationTally {
             out.counts[i] = self.counts[i].saturating_sub(earlier.counts[i]);
         }
         out
+    }
+
+    /// Raw per-kind counts in [`ViolationKind::ALL`] order (persistence).
+    pub fn counts(&self) -> [u64; 4] {
+        self.counts
+    }
+
+    /// Rebuilds a tally from raw per-kind counts (persistence).
+    pub const fn from_counts(counts: [u64; 4]) -> Self {
+        ViolationTally { counts }
     }
 }
 
@@ -391,6 +433,23 @@ mod tests {
         km.reset();
         assert!(km.is_empty());
         assert!(!km.observe("a", c(1)));
+    }
+
+    #[test]
+    fn keyed_monitor_compacts_below_horizon() {
+        let mut km = KeyedMonitor::new();
+        km.observe("cold", c(5));
+        km.observe("warm", c(10));
+        km.observe("hot", c(20));
+        let mut removed = km.compact(c(10));
+        removed.sort_unstable();
+        assert_eq!(removed, vec!["cold", "warm"]);
+        assert_eq!(km.len(), 1);
+        assert_eq!(km.get(&"hot"), Some(c(20)));
+        // A re-touched compacted entry behaves exactly like a fresh one
+        // would for any legal post-checkpoint timestamp (ts >= horizon).
+        assert!(!km.observe("cold", c(10)));
+        assert!(km.observe("cold", c(9)));
     }
 
     #[test]

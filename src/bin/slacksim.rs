@@ -6,13 +6,14 @@
 //!          [--bound N] [--quantum N] [--target PCT] [--band PCT]
 //!          [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
 //!          [--checkpoint N] [--checkpoint-mode full|delta] [--rollback all|map|none]
+//!          [--save-state DIR] [--resume FILE]
 //!          [--verbose] [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
 //! ```
 
 use slacksim::scheme::{AdaptiveConfig, Scheme};
 use slacksim::{
-    Benchmark, CheckpointMode, EngineKind, ObsConfig, Simulation, SpeculationConfig, ViolationKind,
-    ViolationSelect,
+    Benchmark, CheckpointMode, EngineError, EngineKind, ObsConfig, Simulation, SpeculationConfig,
+    ViolationKind, ViolationSelect,
 };
 
 /// Flags that take a value in the following argument.
@@ -34,6 +35,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--trace",
     "--metrics",
     "--sample-every",
+    "--save-state",
+    "--resume",
 ];
 
 /// Flags that stand alone.
@@ -79,6 +82,19 @@ impl Args {
         }
     }
 
+    /// Like [`parsed`](Args::parsed) for cycle counts and other quantities
+    /// where zero is degenerate: a zero checkpoint interval would commit a
+    /// checkpoint every cycle boundary check, a zero slack bound is
+    /// cycle-by-cycle in disguise, and a zero sampling period divides by
+    /// zero downstream. All are rejected here instead.
+    fn parsed_nonzero(&self, flag: &str, default: u64) -> u64 {
+        let v: u64 = self.parsed(flag, default);
+        if v == 0 {
+            usage_error(&format!("{flag} must be at least 1 (got 0)"));
+        }
+        v
+    }
+
     fn has(&self, flag: &str) -> bool {
         self.0.iter().any(|a| a == flag)
     }
@@ -110,19 +126,30 @@ fn main() {
     let scheme = match args.value("--scheme").unwrap_or("cc") {
         "cc" | "cycle" => Scheme::CycleByCycle,
         "bounded" => Scheme::BoundedSlack {
-            bound: args.parsed("--bound", 8),
+            bound: args.parsed_nonzero("--bound", 8),
         },
         "unbounded" | "su" => Scheme::UnboundedSlack,
         "quantum" => Scheme::Quantum {
-            quantum: args.parsed("--quantum", 50),
+            quantum: args.parsed_nonzero("--quantum", 50),
         },
-        "adaptive" => Scheme::Adaptive(AdaptiveConfig::percent(
-            args.parsed("--target", 0.2),
-            args.parsed("--band", 5.0),
-        )),
+        "adaptive" => {
+            let target: f64 = args.parsed("--target", 0.2);
+            if !target.is_finite() || target <= 0.0 {
+                usage_error(&format!(
+                    "--target must be a finite percentage > 0 (got {target})"
+                ));
+            }
+            let band: f64 = args.parsed("--band", 5.0);
+            if !band.is_finite() || band < 0.0 {
+                usage_error(&format!(
+                    "--band must be a finite percentage >= 0 (got {band})"
+                ));
+            }
+            Scheme::Adaptive(AdaptiveConfig::percent(target, band))
+        }
         "p2p" => Scheme::LaxP2p {
-            lead: args.parsed("--bound", 8),
-            period: args.parsed("--period", 500),
+            lead: args.parsed_nonzero("--bound", 8),
+            period: args.parsed_nonzero("--period", 500),
             seed: args.parsed("--seed", 1),
         },
         other => usage_error(&format!(
@@ -160,19 +187,25 @@ fn main() {
             ))
         }),
     };
-    if let Some(interval) = args.value("--checkpoint") {
-        let interval: u64 = interval.parse().unwrap_or_else(|_| {
-            usage_error(&format!("invalid value '{interval}' for --checkpoint"))
-        });
+    if args.has("--checkpoint") {
+        let interval = args.parsed_nonzero("--checkpoint", 1);
         sim.speculation(SpeculationConfig::speculative(interval, select).with_mode(cp_mode));
     } else if args.has("--rollback") {
         usage_error("--rollback requires --checkpoint INTERVAL");
     } else if args.has("--checkpoint-mode") {
         usage_error("--checkpoint-mode requires --checkpoint INTERVAL");
+    } else if args.has("--save-state") {
+        usage_error("--save-state requires --checkpoint INTERVAL");
+    }
+    if let Some(dir) = args.value("--save-state") {
+        sim.save_state(dir);
+    }
+    if let Some(path) = args.value("--resume") {
+        sim.resume(path);
     }
     if trace_path.is_some() || metrics_path.is_some() || args.has("--sample-every") {
         sim.observability(
-            ObsConfig::default().with_sample_every(args.parsed("--sample-every", 1024)),
+            ObsConfig::default().with_sample_every(args.parsed_nonzero("--sample-every", 1024)),
         );
     }
 
@@ -207,6 +240,14 @@ fn main() {
                 }
             }
         }
+        Err(e @ (EngineError::Resume(_) | EngineError::Persist(_))) => {
+            // Bad snapshot, mismatched configuration or unusable save
+            // directory: a usage-class failure, same exit code as flag
+            // validation so scripts can tell it from a simulation fault.
+            eprintln!("error: {e}");
+            eprintln!("run `slacksim --help` for usage");
+            std::process::exit(2);
+        }
         Err(e) => {
             eprintln!("simulation failed: {e}");
             std::process::exit(1);
@@ -222,7 +263,8 @@ USAGE:
            [--bound N] [--quantum N] [--target PCT] [--band PCT] [--period N]
            [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
            [--checkpoint INTERVAL] [--checkpoint-mode full|delta]
-           [--rollback all|map|none] [--verbose]
+           [--rollback all|map|none] [--save-state DIR] [--resume FILE]
+           [--verbose]
            [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
 
 SPECULATION:
@@ -235,6 +277,17 @@ SPECULATION:
                         produce bit-identical simulation results
   --rollback SEL        violation kinds that trigger a rollback
                         (all|map|none; default none = checkpoint-only)
+
+DURABLE STATE:
+  --save-state DIR      persist every committed checkpoint to DIR as a
+                        versioned, checksummed snapshot file (cp-NNNNNNNN,
+                        written atomically, older files pruned); requires
+                        --checkpoint
+  --resume FILE         restore a snapshot written by --save-state and
+                        continue the run from it; the snapshot's config
+                        fingerprint (benchmark/scheme/cores/seed/checkpoint
+                        mode) must match the flags given here, otherwise
+                        slacksim refuses with exit code 2
 
 OBSERVABILITY:
   --trace OUT.json      record a per-core timeline and write it as Chrome
@@ -254,4 +307,6 @@ EXAMPLES:
   slacksim --scheme adaptive --target 0.2 --band 5
   slacksim --scheme bounded --bound 16 --checkpoint 5000 --rollback all --verbose
   slacksim --benchmark fft --scheme adaptive --engine threaded --checkpoint 2000 \\
-           --trace /tmp/t.json --metrics /tmp/m.csv";
+           --trace /tmp/t.json --metrics /tmp/m.csv
+  slacksim --cores 2 --checkpoint 1000 --save-state /tmp/cps
+  slacksim --cores 2 --checkpoint 1000 --resume /tmp/cps/cp-00000004";

@@ -62,11 +62,18 @@ pub use slacksim_core;
 /// Re-export of the workloads crate.
 pub use slacksim_workloads;
 
+use std::path::PathBuf;
+
 use slacksim_cmp::core::CmpCore;
 use slacksim_cmp::isa::InstrStream;
 use slacksim_cmp::uncore::CmpUncore;
-use slacksim_core::engine::{SequentialEngine, ThreadedEngine};
+use slacksim_core::engine::{
+    CheckpointView, EngineResume, SaveHook, SequentialEngine, ThreadedEngine,
+};
+use slacksim_core::persist;
 use slacksim_core::scheme::Scheme;
+
+mod snapshot;
 
 /// Which execution engine drives the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -99,6 +106,8 @@ pub struct Simulation {
     speculation: Option<SpeculationConfig>,
     obs: Option<ObsConfig>,
     sched: Option<SchedRef>,
+    save_state: Option<PathBuf>,
+    resume: Option<PathBuf>,
 }
 
 impl Simulation {
@@ -118,6 +127,8 @@ impl Simulation {
             speculation: None,
             obs: None,
             sched: None,
+            save_state: None,
+            resume: None,
         }
     }
 
@@ -200,6 +211,103 @@ impl Simulation {
         self
     }
 
+    /// Persists every committed checkpoint into `dir` as a durable
+    /// `cp-<ordinal>` snapshot file (atomically written; older
+    /// checkpoints are pruned so the directory holds the latest one).
+    /// Requires checkpointing to be enabled via
+    /// [`speculation`](Simulation::speculation).
+    pub fn save_state(&mut self, dir: impl Into<PathBuf>) -> &mut Self {
+        self.save_state = Some(dir.into());
+        self
+    }
+
+    /// Resumes the run from the given snapshot file instead of cycle
+    /// zero. The builder's configuration (benchmark, scheme, cores, seed,
+    /// checkpoint mode) must match the run that produced the snapshot;
+    /// [`run`](Simulation::run) fails with [`EngineError::Resume`]
+    /// otherwise.
+    pub fn resume(&mut self, path: impl Into<PathBuf>) -> &mut Self {
+        self.resume = Some(path.into());
+        self
+    }
+
+    /// The configuration fingerprint embedded in snapshot headers:
+    /// everything that must match between the run that saved a snapshot
+    /// and the run that resumes from it. Engine kind and commit target
+    /// are deliberately excluded — a snapshot may be resumed under either
+    /// engine and toward a different target.
+    fn config_fingerprint(&self) -> String {
+        let cp_mode = match self.speculation {
+            None => "off".to_owned(),
+            Some(s) => format!(
+                "{}@{}",
+                match s.mode {
+                    CheckpointMode::Full => "full",
+                    CheckpointMode::Delta => "delta",
+                },
+                s.interval
+            ),
+        };
+        format!(
+            "bench={}/scheme={}/cores={}/seed={}/cpmode={cp_mode}",
+            self.benchmark.name(),
+            snapshot::scheme_token(&self.scheme),
+            self.cmp.cores,
+            self.seed,
+        )
+    }
+
+    /// Builds the save hook handed to the engine when `--save-state` is
+    /// active: encodes the checkpoint view, writes it atomically to
+    /// `cp-<ordinal>`, and prunes older checkpoints on success.
+    fn build_save_hook(&self) -> Option<SaveHook<CmpCore, CmpUncore>> {
+        let dir = self.save_state.clone()?;
+        let fingerprint = self.config_fingerprint();
+        Some(Box::new(
+            move |view: &CheckpointView<'_, CmpCore, CmpUncore>| {
+                let payload = snapshot::encode_snapshot(view);
+                let bytes = persist::encode_container(&fingerprint, &payload);
+                let path = snapshot::checkpoint_path(&dir, view.ordinal);
+                match persist::write_atomic(&path, &bytes) {
+                    Ok(()) => {
+                        snapshot::prune_checkpoints(&dir, view.ordinal);
+                        Some(bytes.len() as u64)
+                    }
+                    Err(e) => {
+                        eprintln!(
+                            "warning: failed to persist checkpoint {}: {e}",
+                            path.display()
+                        );
+                        None
+                    }
+                }
+            },
+        ))
+    }
+
+    /// Loads and validates the snapshot named by `--resume`, producing
+    /// restored engine state over freshly built models.
+    fn load_resume(
+        &self,
+        path: &std::path::Path,
+    ) -> Result<EngineResume<CmpCore, CmpUncore>, EngineError> {
+        let bytes = std::fs::read(path).map_err(|e| {
+            EngineError::Resume(format!("cannot read snapshot {}: {e}", path.display()))
+        })?;
+        let (found_fp, payload) = persist::decode_container(&bytes)
+            .map_err(|e| EngineError::Resume(format!("{}: {e}", path.display())))?;
+        persist::check_fingerprint(&self.config_fingerprint(), found_fp)
+            .map_err(|e| EngineError::Resume(e.to_string()))?;
+        snapshot::decode_snapshot(
+            payload,
+            self.build_cores(),
+            CmpUncore::new(&self.cmp),
+            &self.scheme,
+            self.speculation.map(|s| s.interval),
+        )
+        .map_err(|e| EngineError::Resume(format!("{}: {e}", path.display())))
+    }
+
     /// Builds the engine configuration this run will use.
     fn engine_config(&self) -> EngineConfig {
         let mut cfg = EngineConfig::new(self.scheme.clone(), self.commit_target);
@@ -229,14 +337,51 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Propagates [`EngineError`] from the engine (no cores, stall).
+    /// Propagates [`EngineError`] from the engine (no cores, stall), and
+    /// returns [`EngineError::Resume`] / [`EngineError::Persist`] when a
+    /// snapshot cannot be restored or the save directory cannot be set
+    /// up.
     pub fn run(&self) -> Result<SimReport, EngineError> {
         let cores = self.build_cores();
         let uncore = CmpUncore::new(&self.cmp);
         let cfg = self.engine_config();
+        let resume = match &self.resume {
+            Some(path) => Some(self.load_resume(path)?),
+            None => None,
+        };
+        let hook = match &self.save_state {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| {
+                    EngineError::Persist(format!(
+                        "cannot create checkpoint directory {}: {e}",
+                        dir.display()
+                    ))
+                })?;
+                self.build_save_hook()
+            }
+            None => None,
+        };
         match self.engine {
-            EngineKind::Sequential => SequentialEngine::new(cores, uncore, cfg).run(),
-            EngineKind::Threaded => ThreadedEngine::new(cores, uncore, cfg).run(),
+            EngineKind::Sequential => {
+                let mut engine = SequentialEngine::new(cores, uncore, cfg);
+                if let Some(hook) = hook {
+                    engine = engine.with_save_hook(hook);
+                }
+                if let Some(res) = resume {
+                    engine = engine.with_resume(res);
+                }
+                engine.run()
+            }
+            EngineKind::Threaded => {
+                let mut engine = ThreadedEngine::new(cores, uncore, cfg);
+                if let Some(hook) = hook {
+                    engine = engine.with_save_hook(hook);
+                }
+                if let Some(res) = resume {
+                    engine = engine.with_resume(res);
+                }
+                engine.run()
+            }
         }
     }
 }

@@ -1,0 +1,242 @@
+//! On-disk snapshot encoding for the concrete CMP simulation.
+//!
+//! The generic engines expose checkpoints as borrowed
+//! [`CheckpointView`]s and accept restored state as [`EngineResume`]
+//! values; this module is where those views meet the concrete
+//! [`CmpCore`]/[`CmpUncore`] models and become bytes. The container
+//! format (magic, version, config fingerprint, checksum, atomic writes)
+//! lives in [`slacksim_core::persist`]; this module owns the payload
+//! layout and the checkpoint-directory conventions (`cp-<ordinal>` files,
+//! newest kept, older pruned).
+
+use std::path::{Path, PathBuf};
+
+use slacksim_cmp::core::CmpCore;
+use slacksim_cmp::event::MemEvent;
+use slacksim_cmp::uncore::CmpUncore;
+use slacksim_core::engine::{CheckpointView, EngineResume};
+use slacksim_core::event::{Inbox, Timestamped};
+use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
+use slacksim_core::rng::Xoshiro256;
+use slacksim_core::scheme::Scheme;
+use slacksim_core::speculative::IntervalTracker;
+use slacksim_core::time::Cycle;
+use slacksim_core::violation::ViolationTally;
+
+/// One line of the config fingerprint: the scheme with every parameter
+/// that changes simulation behaviour, so a resume under a different bound
+/// or seed is refused instead of silently diverging.
+pub(crate) fn scheme_token(scheme: &Scheme) -> String {
+    match scheme {
+        Scheme::CycleByCycle => "cycle-by-cycle".to_owned(),
+        Scheme::BoundedSlack { bound } => format!("bounded-slack:{bound}"),
+        Scheme::UnboundedSlack => "unbounded-slack".to_owned(),
+        Scheme::Quantum { quantum } => format!("quantum:{quantum}"),
+        Scheme::Adaptive(cfg) => format!(
+            "adaptive-slack:{}:{}:{}:{}:{}:{}:{:?}",
+            cfg.target_rate,
+            cfg.band,
+            cfg.initial_bound,
+            cfg.min_bound,
+            cfg.max_bound,
+            cfg.sample_period,
+            cfg.step,
+        ),
+        Scheme::LaxP2p { lead, period, seed } => {
+            format!("lax-p2p:{lead}:{period}:{seed}")
+        }
+    }
+}
+
+/// File name of checkpoint `ordinal` inside the save directory.
+pub(crate) fn checkpoint_path(dir: &Path, ordinal: u64) -> PathBuf {
+    dir.join(format!("cp-{ordinal:08}"))
+}
+
+/// Removes every `cp-*` file in `dir` other than the one just written.
+/// Failures are ignored: pruning is housekeeping, and a leftover older
+/// checkpoint is still a valid resume point.
+pub(crate) fn prune_checkpoints(dir: &Path, keep: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(ordinal) = name.strip_prefix("cp-").and_then(|s| s.parse::<u64>().ok()) else {
+            continue;
+        };
+        if ordinal != keep {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+fn save_tally(w: &mut ByteWriter, tally: ViolationTally) {
+    for c in tally.counts() {
+        w.u64(c);
+    }
+}
+
+fn load_tally(r: &mut ByteReader<'_>) -> Result<ViolationTally, PersistError> {
+    Ok(ViolationTally::from_counts([
+        r.u64()?,
+        r.u64()?,
+        r.u64()?,
+        r.u64()?,
+    ]))
+}
+
+fn save_inbox(w: &mut ByteWriter, inbox: &Inbox<MemEvent>) {
+    let events = inbox.sorted_events();
+    w.u32(events.len() as u32);
+    for ev in &events {
+        w.u64(ev.ts.as_u64());
+        ev.payload.save_state(w);
+    }
+}
+
+fn load_inbox(r: &mut ByteReader<'_>) -> Result<Inbox<MemEvent>, PersistError> {
+    let n = r.u32()?;
+    let mut inbox = Inbox::new();
+    for _ in 0..n {
+        let ts = Cycle::new(r.u64()?);
+        let payload = MemEvent::load_state(r)?;
+        inbox.deliver(Timestamped::new(ts, payload));
+    }
+    Ok(inbox)
+}
+
+/// Serializes a committed checkpoint into the snapshot payload (the
+/// container around it — magic, version, fingerprint, checksum — is added
+/// by [`slacksim_core::persist::encode_container`]).
+pub(crate) fn encode_snapshot(view: &CheckpointView<'_, CmpCore, CmpUncore>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.u64(view.ordinal);
+    w.u64(view.global.as_u64());
+    w.u32(view.cores.len() as u32);
+    for (core, inbox) in &view.cores {
+        core.save_state(&mut w);
+        save_inbox(&mut w, inbox);
+    }
+    view.uncore.save_state(&mut w);
+    w.u64(view.committed);
+    save_tally(&mut w, view.tally);
+    save_tally(&mut w, view.detected);
+    w.u64(view.next_sample);
+    save_tally(&mut w, view.last_sample_tally);
+    w.u64(view.spec_stats.checkpoints);
+    w.u64(view.spec_stats.rollbacks);
+    w.u64(view.spec_stats.wasted_cycles);
+    w.u64(view.spec_stats.replay_cycles);
+    match view.tracker {
+        Some(tr) => {
+            w.bool(true);
+            tr.save_state(&mut w);
+        }
+        None => w.bool(false),
+    }
+    view.pacer.save_state(&mut w);
+    match view.rng {
+        Some(rng) => {
+            w.bool(true);
+            for word in rng.state() {
+                w.u64(word);
+            }
+        }
+        None => w.bool(false),
+    }
+    w.u32(view.bound_trace.len() as u32);
+    for &(cycle, bound) in view.bound_trace {
+        w.u64(cycle.as_u64());
+        w.u64(bound);
+    }
+    w.u64(view.max_spread);
+    w.into_bytes()
+}
+
+/// Decodes a snapshot payload into restored engine state. `fresh_cores`
+/// and `fresh_uncore` must be newly built from the same configuration as
+/// the persisted run (streams at position zero, empty caches); each
+/// model's `load_state` then rebuilds its exact state in place.
+pub(crate) fn decode_snapshot(
+    payload: &[u8],
+    fresh_cores: Vec<CmpCore>,
+    fresh_uncore: CmpUncore,
+    scheme: &Scheme,
+    spec_interval: Option<u64>,
+) -> Result<EngineResume<CmpCore, CmpUncore>, PersistError> {
+    let mut r = ByteReader::new(payload);
+    let _ordinal = r.u64()?;
+    let global = Cycle::new(r.u64()?);
+    let n = r.u32()? as usize;
+    if n != fresh_cores.len() {
+        return Err(PersistError::Corrupt(
+            "snapshot core count does not match the configuration",
+        ));
+    }
+    let mut cores = Vec::with_capacity(n);
+    for mut core in fresh_cores {
+        core.load_state(&mut r)?;
+        let inbox = load_inbox(&mut r)?;
+        cores.push((core, inbox));
+    }
+    let mut uncore = fresh_uncore;
+    uncore.load_state(&mut r)?;
+    let committed = r.u64()?;
+    let tally = load_tally(&mut r)?;
+    let detected = load_tally(&mut r)?;
+    let next_sample = r.u64()?;
+    let last_sample_tally = load_tally(&mut r)?;
+    let spec_stats = slacksim_core::speculative::SpeculationStats {
+        checkpoints: r.u64()?,
+        rollbacks: r.u64()?,
+        wasted_cycles: r.u64()?,
+        replay_cycles: r.u64()?,
+    };
+    let tracker = if r.bool()? {
+        let interval = spec_interval.ok_or(PersistError::Corrupt(
+            "snapshot carries an interval tracker but speculation is off",
+        ))?;
+        let mut tr = IntervalTracker::new(interval);
+        tr.load_state(&mut r)?;
+        Some(tr)
+    } else {
+        None
+    };
+    let mut pacer = scheme.clone().into_pacer();
+    pacer.load_state(&mut r)?;
+    let rng = if r.bool()? {
+        Some(Xoshiro256::from_state([
+            r.u64()?,
+            r.u64()?,
+            r.u64()?,
+            r.u64()?,
+        ]))
+    } else {
+        None
+    };
+    let n_bounds = r.u32()? as usize;
+    let mut bound_trace = Vec::with_capacity(n_bounds.min(1 << 20));
+    for _ in 0..n_bounds {
+        bound_trace.push((Cycle::new(r.u64()?), r.u64()?));
+    }
+    let max_spread = r.u64()?;
+    r.finish()?;
+    Ok(EngineResume {
+        global,
+        cores,
+        uncore,
+        pacer,
+        committed,
+        tally,
+        detected,
+        next_sample,
+        last_sample_tally,
+        spec_stats,
+        tracker,
+        rng,
+        bound_trace,
+        max_spread,
+    })
+}

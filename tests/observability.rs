@@ -205,3 +205,35 @@ fn metrics_csv_has_sampled_time_series() {
     assert!(cycles.len() > 1, "expected multiple samples");
     assert!(cycles.windows(2).all(|w| w[0] < w[1]));
 }
+
+/// Regression for the zero-width sampling window: with the metrics
+/// cadence at 1 cycle, consecutive samples can land on the same global
+/// cycle after rollbacks or lock-step commits, and the violation-rate
+/// gauge used to divide by that zero-width window and record NaN. Every
+/// sample reaching the registry must be finite, on both engines, under
+/// rollback-heavy speculation.
+#[test]
+fn metrics_samples_are_always_finite() {
+    for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+        let mut sim = Simulation::new(Benchmark::Fft);
+        sim.cores(2)
+            .commit_target(4_000)
+            .seed(7)
+            .scheme(Scheme::BoundedSlack { bound: 4 })
+            .engine(engine)
+            .speculation(SpeculationConfig::speculative(250, ViolationSelect::all()))
+            .observability(ObsConfig::default().with_sample_every(1));
+        let report = sim.run().expect("run completes");
+        let obs = report.obs.as_ref().expect("obs attached");
+        for (name, series) in obs.metrics.gauges() {
+            for point in series {
+                assert!(
+                    point.value.is_finite(),
+                    "{engine:?}: non-finite sample {} in gauge {name} at cycle {}",
+                    point.value,
+                    point.cycle
+                );
+            }
+        }
+    }
+}

@@ -83,6 +83,57 @@ SLACKSIM_BENCH_BASELINE="$PWD/BENCH_threaded.json" SLACKSIM_BENCH_TOLERANCE=0.25
 test -s "$smoke_out" || { echo "ci: bench smoke produced no output" >&2; exit 1; }
 rm -f "$smoke_out"
 
+echo "==> profiler + live-telemetry smoke (artifact validity, overhead gate)"
+# Self-profiling proof on the release binary (DESIGN §14): a profiled
+# run with a live status file must produce a host-time table covering
+# the run, a valid heartbeat and a valid profile CSV — both validated
+# through `slacksim report`, which parses them with the in-tree
+# obs::json parser and exits non-zero on any malformed artifact. Then
+# the overhead gate: profiling must cost ≤2% throughput against the
+# same binary uninstrumented (best-of-5 in-process speeds, so process
+# startup and scheduler noise cancel; the bench-smoke stage above
+# already anchors absolute throughput to BENCH_threaded.json). The
+# gate runs the bounded-slack operating point — span cost amortizes
+# over a burst of cycles there. Cycle-by-cycle is the worst case for
+# span density (every core crosses ~4 span boundaries per simulated
+# cycle, each comparable in cost to one model tick; DESIGN §14), so
+# its overhead is printed informationally rather than gated.
+prof_dir="$(mktemp -d /tmp/slacksim-ci-prof.XXXXXX)"
+prof_flags=(--scheme cc --engine threaded --cores 8 --commit 500000)
+gate_flags=(--scheme bounded --bound 64 --engine threaded --cores 8 --commit 500000)
+prof_out="$(./target/release/slacksim "${prof_flags[@]}" --profile \
+    --profile-csv "$prof_dir/prof.csv" --live-status "$prof_dir/live.json" \
+    --live-every 50)"
+grep -q "host-time profile:" <<< "$prof_out" || {
+    echo "ci: profiled run printed no host-time table" >&2; exit 1; }
+test -s "$prof_dir/live.json" || {
+    echo "ci: live run left no status file" >&2; exit 1; }
+[ "$(wc -l < "$prof_dir/live.json")" -eq 1 ] || {
+    echo "ci: status file must hold exactly one heartbeat line" >&2; exit 1; }
+./target/release/slacksim report "$prof_dir/live.json" "$prof_dir/prof.csv" \
+    > /dev/null || {
+    echo "ci: emitted artifacts failed report validation" >&2; exit 1; }
+speed_of() { # best of 5 in-process kcycles/s: speed_of FLAG... -- EXTRA...
+    local best=0 s
+    for _ in 1 2 3 4 5; do
+        s="$(./target/release/slacksim "$@" 2> /dev/null \
+            | awk '/^speed/ { print int($3) }')"
+        [ "$s" -gt "$best" ] && best="$s"
+    done
+    echo "$best"
+}
+cc_plain="$(speed_of "${prof_flags[@]}")"
+cc_prof="$(speed_of "${prof_flags[@]}" --profile)"
+echo "    cc span-density worst case (informational): plain ${cc_plain}, profiled ${cc_prof} kcycles/s"
+plain_speed="$(speed_of "${gate_flags[@]}")"
+prof_speed="$(speed_of "${gate_flags[@]}" --profile --live-status "$prof_dir/live.json")"
+echo "    bounded-64 gate: plain ${plain_speed} kcycles/s, profiled ${prof_speed} kcycles/s"
+[ "$((prof_speed * 100))" -ge "$((plain_speed * 98))" ] || {
+    echo "ci: profiler overhead exceeds 2% (plain ${plain_speed}, profiled ${prof_speed} kcycles/s)" >&2
+    exit 1
+}
+rm -rf "$prof_dir"
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 

@@ -22,13 +22,18 @@
 //!   under a `"baseline"` key and report per-row speedups against it;
 //! * `SLACKSIM_BENCH_TOLERANCE=R` — with a baseline, fail (exit non-zero)
 //!   if any row's median throughput drops below `R×` the baseline row's,
-//!   so baseline drift fails CI loudly instead of passing unnoticed.
+//!   so baseline drift fails CI loudly instead of passing unnoticed;
+//! * `SLACKSIM_BENCH_PROFILE=1` — run each configuration with the
+//!   host-time profiler attached (DESIGN §14) and print the top
+//!   per-site self-time shares under each row, to see where a slow
+//!   row's wall-clock actually goes. Timing rows then include profiler
+//!   overhead, so don't combine with a tolerance gate.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use slacksim::scheme::Scheme;
-use slacksim::{Benchmark, CheckpointMode, EngineKind, Simulation, SpeculationConfig};
+use slacksim::{Benchmark, CheckpointMode, EngineKind, ProfData, Simulation, SpeculationConfig};
 use slacksim_core::obs::json::Json;
 
 const CORES: usize = 8;
@@ -64,19 +69,24 @@ impl ResultRow {
     }
 }
 
+fn profiling() -> bool {
+    std::env::var("SLACKSIM_BENCH_PROFILE").is_ok_and(|v| v == "1")
+}
+
 fn run_once(
     engine: EngineKind,
     scheme: Scheme,
     commit_target: u64,
     spec: Option<SpeculationConfig>,
-) -> (std::time::Duration, u64, u64, u64) {
+) -> (std::time::Duration, u64, u64, u64, Option<ProfData>) {
     let t = Instant::now();
     let mut sim = Simulation::new(Benchmark::Fft);
     sim.cores(CORES)
         .commit_target(commit_target)
         .seed(1)
         .scheme(scheme)
-        .engine(engine);
+        .engine(engine)
+        .profile(profiling());
     if let Some(spec) = spec {
         sim.speculation(spec);
     }
@@ -88,6 +98,7 @@ fn run_once(
         report.committed,
         report.global_cycles,
         report.uncore.get("bus_transactions"),
+        report.prof,
     )
 }
 
@@ -107,12 +118,14 @@ fn bench(
     let mut committed = 0;
     let mut global_cycles = 0;
     let mut events = 0;
+    let mut prof = None;
     for _ in 0..iters {
-        let (wall, c, g, e) = run_once(engine, scheme.clone(), commit_target, spec);
+        let (wall, c, g, e, p) = run_once(engine, scheme.clone(), commit_target, spec);
         times.push(wall);
         committed = c;
         global_cycles = g;
         events = e;
+        prof = p;
     }
     times.sort();
     let median = times[times.len() / 2];
@@ -136,6 +149,30 @@ fn bench(
         row.stats.wall_ms_mean,
         row.events_per_sec(),
     );
+    if let Some(prof) = prof {
+        // Top self-time sites of the last iteration, so a slow row shows
+        // where its host time went (SLACKSIM_BENCH_PROFILE=1).
+        let total = prof.total_self_ns().max(1);
+        let mut sites: Vec<_> = prof.sites.iter().collect();
+        sites.sort_by_key(|s| std::cmp::Reverse(s.self_ns));
+        let shares: Vec<String> = sites
+            .iter()
+            .take(3)
+            .map(|s| {
+                format!(
+                    "{} {:.1}%",
+                    s.site.name(),
+                    s.self_ns as f64 / total as f64 * 100.0
+                )
+            })
+            .collect();
+        println!(
+            "{:<28} prof: {} (coverage {:.1}%)",
+            "",
+            shares.join(", "),
+            prof.coverage() * 100.0
+        );
+    }
     row
 }
 

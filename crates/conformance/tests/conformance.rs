@@ -415,3 +415,49 @@ fn dropped_unpark_is_caught_and_shrinks_to_a_repro_line() {
     assert!(diag.lost_wakeups > 0, "{line}");
     assert!(shrunk.target <= found.target && shrunk.cores <= found.cores);
 }
+
+/// Self-profiling and live telemetry are observation-only: a run with
+/// `--profile` and a live heartbeat emitter attached must be
+/// bit-identical to an uninstrumented run. Cycle-by-cycle is the
+/// strongest case — its fingerprint is schedule-independent, so any
+/// perturbation (a span guard changing a wait decision, the emitter
+/// thread stealing a wakeup) would surface exactly; bounded slack adds
+/// coverage of the wait-ladder instrumentation under real slack.
+#[test]
+fn profiling_and_live_telemetry_leave_fingerprints_bit_identical() {
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    use slacksim::{LiveConfig, Simulation};
+
+    for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+        for scheme in [Scheme::CycleByCycle, Scheme::BoundedSlack { bound: 8 }] {
+            let plain = run_engine(Benchmark::Fft, 4, &scheme, target(), 1, engine);
+            let capture = Arc::new(Mutex::new(String::new()));
+            let mut sim = Simulation::new(Benchmark::Fft);
+            sim.cores(4)
+                .scheme(scheme.clone())
+                .engine(engine)
+                .commit_target(target())
+                .seed(1)
+                .profile(true)
+                .live(
+                    LiveConfig::new()
+                        .every(Duration::from_millis(1))
+                        .to_capture(Arc::clone(&capture)),
+                );
+            let instrumented = sim.run().expect("instrumented run completes");
+            assert_eq!(
+                fingerprint(&plain),
+                fingerprint(&instrumented),
+                "{engine:?}/{scheme:?}: instrumentation perturbed the simulation"
+            );
+            let prof = instrumented.prof.as_ref().expect("profile attached");
+            assert!(prof.total_self_ns() > 0, "profile recorded host time");
+            assert!(
+                !capture.lock().unwrap().is_empty(),
+                "emitter produced at least the terminal beat"
+            );
+        }
+    }
+}

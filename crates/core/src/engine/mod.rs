@@ -276,6 +276,15 @@ pub struct EngineConfig {
     /// scheduler here to explore thread interleavings deterministically.
     /// Ignored by the sequential engine.
     pub sched: crate::sched::SchedRef,
+    /// Optional host-time self-profiler. When set (and enabled) the
+    /// engines time every [`crate::obs::ProfSite`] with scoped spans and
+    /// attach the per-site profile to `SimReport::prof`. When `None`,
+    /// every instrumentation site costs one relaxed atomic load.
+    pub prof: Option<crate::obs::Profiler>,
+    /// Optional live telemetry: when set with at least one sink, the
+    /// engines publish progress atomics and spawn a heartbeat emitter
+    /// thread for the duration of the run (see [`crate::obs::live`]).
+    pub live: Option<crate::obs::LiveConfig>,
 }
 
 impl EngineConfig {
@@ -293,6 +302,8 @@ impl EngineConfig {
             max_lead: 256,
             obs: None,
             sched: crate::sched::SchedRef::native(),
+            prof: None,
+            live: None,
         }
     }
 

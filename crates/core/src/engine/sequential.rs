@@ -12,6 +12,8 @@
 //! this engine is the vehicle for the accuracy experiments (Figure 3) and
 //! for the fully-deployed speculative rollback extension.
 
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::checkpoint::{CheckpointMode, Checkpointable};
@@ -20,7 +22,11 @@ use crate::engine::{
     ServiceSink, TickCtx, UncoreModel,
 };
 use crate::event::{CoreId, GlobalQueue, Inbox, Timestamped};
-use crate::obs::{MetricsRegistry, ObsData, Phase, QueueKind, TraceEvent, TraceHandle, Tracer};
+use crate::obs::live::NO_BOUND;
+use crate::obs::{
+    GaugeId, HistId, LiveStats, MetricsRegistry, ObsData, Phase, ProfSite, Profiler, QueueKind,
+    TraceEvent, TraceHandle, Tracer,
+};
 use crate::rng::Xoshiro256;
 use crate::scheme::{PaceSample, Pacer};
 use crate::speculative::{IntervalTracker, SpeculationStats};
@@ -155,6 +161,26 @@ where
             None => Tracer::disabled(),
         };
         let mut th = tracer.handle();
+
+        // Host-time profiler: same disabled-cost contract as the tracer.
+        // The whole run is one thread, so the coverage denominator is
+        // wall * 1.
+        let prof = cfg.prof.clone().unwrap_or_else(Profiler::disabled);
+        let ph = prof.handle();
+
+        // Live telemetry: the emitter is a plain observer thread reading
+        // relaxed-published atomics; the simulation loop never blocks on it.
+        let live_stats = Arc::new(LiveStats::new());
+        live_stats
+            .commit_target
+            .store(cfg.commit_target, Ordering::Relaxed);
+        let live_handle = cfg
+            .live
+            .as_ref()
+            .filter(|l| l.has_sink())
+            .map(|l| crate::obs::live::spawn(l.clone(), Arc::clone(&live_stats), prof.clone()));
+        let live_on = live_handle.is_some();
+
         let mut metrics = MetricsRegistry::new(cfg.obs.map_or(1024, |o| o.sample_every));
         // Intern the per-core and scalar gauge keys once so the sampling
         // hot path below never formats or allocates key strings.
@@ -166,6 +192,7 @@ where
         let globalq_depth_id = metrics.intern_gauge("globalq_depth");
         let globalq_depth_hist = metrics.intern_histogram("globalq_depth");
         let persist_bytes_id = metrics.intern_gauge("persist_bytes");
+        let trace_dropped_id = metrics.intern_gauge("trace_dropped");
         let mut last_metrics_detected = 0u64;
         let mut last_metrics_cycle = 0u64;
 
@@ -274,7 +301,29 @@ where
         let mut window_end = pacer.window_end(start_global);
         let finish_reason;
 
+        // The sequential engine has no out-queues to drain; the manager
+        // drain site instead carries the dispatch machinery — window
+        // computation, burst pick, feedback and metrics sampling. Nested
+        // tick/service/checkpoint spans subtract themselves from its
+        // self-time, so the profile still separates target work from
+        // scheduling overhead. The span is re-entered every
+        // ITER_SPAN_BATCH iterations rather than every iteration: a release
+        // loop iteration is a few hundred ns, so per-iteration span
+        // boundaries (two monotonic clock reads each) would leave several
+        // percent of the wall-clock unattributed.
+        const ITER_SPAN_BATCH: u32 = 64;
+        let mut iter_span = ph.enter(ProfSite::ManagerDrain);
+        let mut span_age = 0u32;
+
         loop {
+            span_age += 1;
+            if span_age == ITER_SPAN_BATCH {
+                span_age = 0;
+                // Drop before re-entering: the guard pushes a frame on the
+                // per-thread child stack, so the old span must pop first.
+                drop(iter_span);
+                iter_span = ph.enter(ProfSite::ManagerDrain);
+            }
             let global = locals.iter().copied().min().expect("n >= 1");
             let furthest_now = locals.iter().copied().max().expect("n >= 1");
             max_spread = max_spread.max(furthest_now.saturating_sub(global));
@@ -338,45 +387,49 @@ where
             // Metrics sampling (observability cadence, independent of the
             // pacer's feedback period).
             if cfg.obs.is_some() && metrics.sample_ready(global) {
-                for (i, &l) in locals.iter().enumerate() {
-                    let drift = l.saturating_sub(global);
-                    metrics.gauge_by(drift_ids[i], global, drift as f64);
-                    th.record(
-                        global,
-                        TraceEvent::LocalTimeSample {
-                            core: CoreId::new(i as u16),
-                            cycle: l,
-                        },
-                    );
-                }
-                if let Some(b) = pacer.current_bound() {
-                    metrics.gauge_by(slack_bound_id, global, b as f64);
-                }
-                // Rate over the cycles actually elapsed since the previous
-                // sample: a fixed divisor misstates the rate whenever the
-                // sampler fires off-cadence, and an elapsed count of zero
-                // (e.g. the first crossing after a resume) must not produce
-                // a NaN/inf gauge value.
-                let elapsed = global.as_u64().saturating_sub(last_metrics_cycle);
-                let live_rate = if elapsed == 0 {
-                    0.0
-                } else {
-                    (detected.total() - last_metrics_detected) as f64 / elapsed as f64
-                };
-                last_metrics_cycle = global.as_u64();
-                last_metrics_detected = detected.total();
-                metrics.gauge_by(violation_rate_id, global, live_rate);
-                metrics.gauge_by(globalq_depth_id, global, gq.len() as f64);
-                metrics
-                    .histogram_by(globalq_depth_hist)
-                    .record(gq.len() as u64);
-                th.record(
+                sample_metrics(SeqSampleCtx {
+                    metrics: &mut metrics,
+                    th: &mut th,
+                    drift_ids: &drift_ids,
+                    slack_bound_id,
+                    violation_rate_id,
+                    globalq_depth_id,
+                    globalq_depth_hist,
+                    trace_dropped_id,
+                    tracer: &tracer,
+                    locals: &locals,
                     global,
-                    TraceEvent::QueueDepth {
-                        q: QueueKind::Global,
-                        len: gq.len() as u64,
-                    },
-                );
+                    bound: pacer.current_bound(),
+                    gq_len: gq.len() as u64,
+                    detected_total: detected.total(),
+                    last_metrics_cycle: &mut last_metrics_cycle,
+                    last_metrics_detected: &mut last_metrics_detected,
+                });
+            }
+
+            // Live telemetry: relaxed stores the emitter thread samples on
+            // its own host-time cadence.
+            if live_on {
+                live_stats.global.store(global.as_u64(), Ordering::Relaxed);
+                live_stats.committed.store(committed, Ordering::Relaxed);
+                live_stats
+                    .bound
+                    .store(pacer.current_bound().unwrap_or(NO_BOUND), Ordering::Relaxed);
+                live_stats
+                    .violations
+                    .store(tally.total(), Ordering::Relaxed);
+                live_stats
+                    .globalq_depth
+                    .store(gq.len() as u64, Ordering::Relaxed);
+                live_stats
+                    .dropped_traces
+                    .store(tracer.dropped_so_far(), Ordering::Relaxed);
+                live_stats
+                    .checkpoints
+                    .store(spec_stats.checkpoints, Ordering::Relaxed);
+                live_stats
+                    .rollbacks
+                    .store(spec_stats.rollbacks, Ordering::Relaxed);
             }
 
             // Checkpoint scheduling: once global time crosses the trigger,
@@ -417,20 +470,24 @@ where
                     if locals.iter().all(|&l| l == s) {
                         // Drain all outstanding events before snapshotting so
                         // queues are empty in the checkpoint.
-                        Self::service_all(
-                            &mut gq,
-                            &mut uncore,
-                            &mut sink,
-                            &mut inboxes,
-                            &mut tally,
-                            &mut detected,
-                            &mut tracker,
-                            &mut pending_rollback,
-                            &spec,
-                            mode,
-                            &mut th,
-                        );
+                        {
+                            let _span = ph.enter(ProfSite::ManagerService);
+                            Self::service_all(
+                                &mut gq,
+                                &mut uncore,
+                                &mut sink,
+                                &mut inboxes,
+                                &mut tally,
+                                &mut detected,
+                                &mut tracker,
+                                &mut pending_rollback,
+                                &spec,
+                                mode,
+                                &mut th,
+                            );
+                        }
                         if pending_rollback {
+                            let _span = ph.enter(ProfSite::CheckpointRestore);
                             Self::rollback(
                                 snapshot.as_ref().expect("rollback requires a snapshot"),
                                 &mut cores,
@@ -500,35 +557,40 @@ where
                         // is at or below `s` can never flag again: drop them
                         // before capture so the snapshot stays compact too.
                         uncore.compact_monitors(s);
-                        let snap = snapshot.as_mut().expect("spec enabled");
-                        match cp_mode {
-                            CheckpointMode::Full => {
-                                snap.cores = cores.clone();
-                                snap.uncore = uncore.clone();
-                            }
-                            CheckpointMode::Delta => {
-                                // Bring the standing snapshot up to this
-                                // checkpoint by applying each model's delta
-                                // against the previous one.
-                                for (i, c) in cores.iter_mut().enumerate() {
-                                    let d = c.capture_delta(snap.core_gens[i]);
-                                    snap.cores[i].apply_delta(d);
-                                    snap.core_gens[i] = c.generation();
+                        {
+                            let _span = ph.enter(ProfSite::CheckpointCapture);
+                            let snap = snapshot.as_mut().expect("spec enabled");
+                            match cp_mode {
+                                CheckpointMode::Full => {
+                                    snap.cores = cores.clone();
+                                    snap.uncore = uncore.clone();
                                 }
-                                let du = uncore.capture_delta(snap.uncore_gen);
-                                snap.uncore.apply_delta(du);
-                                snap.uncore_gen = uncore.generation();
+                                CheckpointMode::Delta => {
+                                    // Bring the standing snapshot up to this
+                                    // checkpoint by applying each model's
+                                    // delta against the previous one.
+                                    let _apply = ph.enter(ProfSite::CheckpointApply);
+                                    for (i, c) in cores.iter_mut().enumerate() {
+                                        let d = c.capture_delta(snap.core_gens[i]);
+                                        snap.cores[i].apply_delta(d);
+                                        snap.core_gens[i] = c.generation();
+                                    }
+                                    let du = uncore.capture_delta(snap.uncore_gen);
+                                    snap.uncore.apply_delta(du);
+                                    snap.uncore_gen = uncore.generation();
+                                }
                             }
+                            snap.locals = locals.clone();
+                            snap.inboxes = inboxes.clone();
+                            snap.tally = tally;
+                            snap.committed = committed;
+                            snap.global = s;
+                            snap.pacer = pacer.clone_box();
+                            snap.next_sample = next_sample;
+                            snap.last_sample_tally = last_sample_tally;
                         }
-                        snap.locals = locals.clone();
-                        snap.inboxes = inboxes.clone();
-                        snap.tally = tally;
-                        snap.committed = committed;
-                        snap.global = s;
-                        snap.pacer = pacer.clone_box();
-                        snap.next_sample = next_sample;
-                        snap.last_sample_tally = last_sample_tally;
                         if let Some(hook) = save_hook.as_mut() {
+                            let _span = ph.enter(ProfSite::PersistIo);
                             let view = CheckpointView {
                                 ordinal: spec_stats.checkpoints,
                                 global: s,
@@ -565,19 +627,22 @@ where
                 if barrier {
                     // Batch-service the window's events in timestamp order,
                     // then open the next window.
-                    Self::service_all(
-                        &mut gq,
-                        &mut uncore,
-                        &mut sink,
-                        &mut inboxes,
-                        &mut tally,
-                        &mut detected,
-                        &mut tracker,
-                        &mut pending_rollback,
-                        &spec,
-                        mode,
-                        &mut th,
-                    );
+                    {
+                        let _span = ph.enter(ProfSite::ManagerService);
+                        Self::service_all(
+                            &mut gq,
+                            &mut uncore,
+                            &mut sink,
+                            &mut inboxes,
+                            &mut tally,
+                            &mut detected,
+                            &mut tracker,
+                            &mut pending_rollback,
+                            &spec,
+                            mode,
+                            &mut th,
+                        );
+                    }
                     debug_assert!(!pending_rollback, "CC/quantum servicing cannot violate");
                     window_end = if mode == Mode::Replay {
                         win + 1
@@ -617,16 +682,19 @@ where
                     },
                 );
             }
-            for _ in 0..head {
-                let mut ctx = TickCtx::new(locals[pick], &mut inboxes[pick], &mut outbox);
-                let c = cores[pick].tick(&mut ctx);
-                committed += u64::from(c);
-                locals[pick] += 1;
-                for ev in outbox.drain(..) {
-                    gq.push(CoreId::new(pick as u16), ev);
-                }
-                if !barrier && committed >= cfg.commit_target {
-                    break;
+            {
+                let _span = ph.enter(ProfSite::CoreTick);
+                for _ in 0..head {
+                    let mut ctx = TickCtx::new(locals[pick], &mut inboxes[pick], &mut outbox);
+                    let c = cores[pick].tick(&mut ctx);
+                    committed += u64::from(c);
+                    locals[pick] += 1;
+                    for ev in outbox.drain(..) {
+                        gq.push(CoreId::new(pick as u16), ev);
+                    }
+                    if !barrier && committed >= cfg.commit_target {
+                        break;
+                    }
                 }
             }
             if head > 0 && mode == Mode::Base {
@@ -640,20 +708,24 @@ where
             }
 
             if !barrier {
-                Self::service_all(
-                    &mut gq,
-                    &mut uncore,
-                    &mut sink,
-                    &mut inboxes,
-                    &mut tally,
-                    &mut detected,
-                    &mut tracker,
-                    &mut pending_rollback,
-                    &spec,
-                    mode,
-                    &mut th,
-                );
+                {
+                    let _span = ph.enter(ProfSite::ManagerService);
+                    Self::service_all(
+                        &mut gq,
+                        &mut uncore,
+                        &mut sink,
+                        &mut inboxes,
+                        &mut tally,
+                        &mut detected,
+                        &mut tracker,
+                        &mut pending_rollback,
+                        &spec,
+                        mode,
+                        &mut th,
+                    );
+                }
                 if pending_rollback {
+                    let _span = ph.enter(ProfSite::CheckpointRestore);
                     let cur_global = locals.iter().copied().min().expect("n >= 1");
                     Self::rollback(
                         snapshot.as_ref().expect("rollback requires a snapshot"),
@@ -694,6 +766,31 @@ where
         let global = locals.iter().copied().min().expect("n >= 1");
         if let Some(tr) = &mut tracker {
             tr.close_intervals_up_to(global);
+        }
+
+        // Terminal gauge flush: one last sample at the final global time so
+        // CSV exports always contain the run's end state even when the run
+        // length is not a multiple of the sampling cadence. Guarded so a
+        // sample that already landed on this exact cycle is not duplicated.
+        if cfg.obs.is_some() && global.as_u64() > last_metrics_cycle {
+            sample_metrics(SeqSampleCtx {
+                metrics: &mut metrics,
+                th: &mut th,
+                drift_ids: &drift_ids,
+                slack_bound_id,
+                violation_rate_id,
+                globalq_depth_id,
+                globalq_depth_hist,
+                trace_dropped_id,
+                tracer: &tracer,
+                locals: &locals,
+                global,
+                bound: pacer.current_bound(),
+                gq_len: gq.len() as u64,
+                detected_total: detected.total(),
+                last_metrics_cycle: &mut last_metrics_cycle,
+                last_metrics_detected: &mut last_metrics_detected,
+            });
         }
 
         let mut kernel = Counters::new();
@@ -737,16 +834,32 @@ where
             }
         });
 
+        let wall = started.elapsed();
+
+        // Publish the final tallies before the terminal heartbeat so the
+        // last emitted line reports the finished run exactly.
+        if live_on {
+            live_stats.global.store(global.as_u64(), Ordering::Relaxed);
+            live_stats.committed.store(committed, Ordering::Relaxed);
+            live_stats
+                .violations
+                .store(tally.total(), Ordering::Relaxed);
+        }
+        if let Some(h) = live_handle {
+            h.finish();
+        }
+
         Ok(SimReport {
             global_cycles: global.as_u64(),
             committed,
             violations: tally,
-            wall: started.elapsed(),
+            wall,
             per_core: cores.iter().map(CoreModel::counters).collect(),
             uncore: uncore.counters(),
             kernel,
             bound_trace,
             obs,
+            prof: prof.is_enabled().then(|| prof.snapshot(wall, 1)),
         })
     }
 
@@ -855,6 +968,90 @@ where
         *last_sample_tally = snap.last_sample_tally;
         gq.clear();
     }
+}
+
+/// Borrowed context for one metrics sample (a struct rather than a long
+/// argument list). Factored out of the run loop so the epilogue can flush
+/// a terminal sample at the final global time — without it, a run whose
+/// length is not a multiple of the sampling cadence would export a CSV
+/// missing the final state.
+struct SeqSampleCtx<'a> {
+    metrics: &'a mut MetricsRegistry,
+    th: &'a mut TraceHandle,
+    drift_ids: &'a [GaugeId],
+    slack_bound_id: GaugeId,
+    violation_rate_id: GaugeId,
+    globalq_depth_id: GaugeId,
+    globalq_depth_hist: HistId,
+    trace_dropped_id: GaugeId,
+    tracer: &'a Tracer,
+    locals: &'a [Cycle],
+    global: Cycle,
+    bound: Option<u64>,
+    gq_len: u64,
+    detected_total: u64,
+    last_metrics_cycle: &'a mut u64,
+    last_metrics_detected: &'a mut u64,
+}
+
+/// Emits one metrics sample: per-core drift gauges plus the scalar
+/// aggregates, mirroring the threaded engine's sampler.
+fn sample_metrics(ctx: SeqSampleCtx<'_>) {
+    let SeqSampleCtx {
+        metrics,
+        th,
+        drift_ids,
+        slack_bound_id,
+        violation_rate_id,
+        globalq_depth_id,
+        globalq_depth_hist,
+        trace_dropped_id,
+        tracer,
+        locals,
+        global,
+        bound,
+        gq_len,
+        detected_total,
+        last_metrics_cycle,
+        last_metrics_detected,
+    } = ctx;
+    for (i, &l) in locals.iter().enumerate() {
+        let drift = l.saturating_sub(global);
+        metrics.gauge_by(drift_ids[i], global, drift as f64);
+        th.record(
+            global,
+            TraceEvent::LocalTimeSample {
+                core: CoreId::new(i as u16),
+                cycle: l,
+            },
+        );
+    }
+    if let Some(b) = bound {
+        metrics.gauge_by(slack_bound_id, global, b as f64);
+    }
+    // Rate over the cycles actually elapsed since the previous sample: a
+    // fixed divisor misstates the rate whenever the sampler fires
+    // off-cadence, and an elapsed count of zero (e.g. the first crossing
+    // after a resume) must not produce a NaN/inf gauge value.
+    let elapsed = global.as_u64().saturating_sub(*last_metrics_cycle);
+    let live_rate = if elapsed == 0 {
+        0.0
+    } else {
+        (detected_total - *last_metrics_detected) as f64 / elapsed as f64
+    };
+    *last_metrics_cycle = global.as_u64();
+    *last_metrics_detected = detected_total;
+    metrics.gauge_by(violation_rate_id, global, live_rate);
+    metrics.gauge_by(globalq_depth_id, global, gq_len as f64);
+    metrics.histogram_by(globalq_depth_hist).record(gq_len);
+    th.record(
+        global,
+        TraceEvent::QueueDepth {
+            q: QueueKind::Global,
+            len: gq_len,
+        },
+    );
+    metrics.gauge_by(trace_dropped_id, global, tracer.dropped_so_far() as f64);
 }
 
 #[cfg(test)]

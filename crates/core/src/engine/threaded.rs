@@ -45,8 +45,10 @@ use crate::engine::{
     ServiceSink, TickCtx, UncoreModel,
 };
 use crate::event::{CoreId, GlobalQueue, Inbox, Timestamped};
+use crate::obs::live::NO_BOUND;
 use crate::obs::{
-    GaugeId, HistId, MetricsRegistry, ObsData, Phase, QueueKind, TraceEvent, TraceHandle, Tracer,
+    GaugeId, HistId, LiveStats, MetricsRegistry, ObsData, Phase, ProfHandle, ProfSite, Profiler,
+    QueueKind, TraceEvent, TraceHandle, Tracer,
 };
 use crate::sched::{HostSched, SchedSite, TaskId};
 use crate::scheme::{PaceSample, Pacer};
@@ -224,6 +226,20 @@ impl Backoff {
     #[inline]
     fn reset(&mut self) {
         self.idle = 0;
+    }
+
+    /// Profiler site the *next* `wait` call will land in, so the caller
+    /// can open the matching span before entering the ladder.
+    #[inline]
+    fn next_site(&self) -> ProfSite {
+        let next = self.idle.saturating_add(1);
+        if next <= self.spin_iters {
+            ProfSite::ManagerWaitSpin
+        } else if next <= self.park_after {
+            ProfSite::ManagerWaitYield
+        } else {
+            ProfSite::ManagerWaitPark
+        }
     }
 
     fn wait(&mut self, sched: &dyn HostSched) {
@@ -440,6 +456,30 @@ where
             None => Tracer::disabled(),
         };
 
+        // Host-time profiler: same disabled-cost contract as the tracer —
+        // an un-configured profiler reduces every span site to one relaxed
+        // atomic load, so uninstrumented runs stay unperturbed.
+        let prof = cfg.prof.clone().unwrap_or_else(Profiler::disabled);
+
+        // Live telemetry: an observer thread outside the scheduling
+        // discipline reads these engine-published atomics on its own
+        // host-time cadence. Cores and the manager only ever issue relaxed
+        // stores into it, so enabling a heartbeat never stalls simulation
+        // threads.
+        let live_stats = Arc::new(LiveStats::new());
+        live_stats
+            .commit_target
+            .store(cfg.commit_target, Ordering::Relaxed);
+        live_stats
+            .committed
+            .store(start_committed, Ordering::Relaxed);
+        let live_handle = cfg
+            .live
+            .as_ref()
+            .filter(|l| l.has_sink())
+            .map(|l| crate::obs::live::spawn(l.clone(), Arc::clone(&live_stats), prof.clone()));
+        let live_on = live_handle.is_some();
+
         let mut cmd_txs: Vec<Sender<Command<C>>> = Vec::with_capacity(n);
         let mut cmd_rxs: Vec<Receiver<Command<C>>> = Vec::with_capacity(n);
         let mut ack_txs: Vec<Sender<u64>> = Vec::with_capacity(n);
@@ -473,6 +513,7 @@ where
                 let done = Arc::clone(&done);
                 let committed = Arc::clone(&committed);
                 let th = tracer.handle();
+                let ph = prof.handle();
                 let sched = Arc::clone(&sched);
                 handles.push(scope.spawn(move || {
                     core_thread(
@@ -487,6 +528,7 @@ where
                         oversubscribed,
                         &*sched,
                         th,
+                        ph,
                     )
                 }));
             }
@@ -508,6 +550,8 @@ where
                 &tracer,
                 &mut save_hook,
                 mgr_resume,
+                &prof,
+                live_on.then_some(&*live_stats),
             );
 
             done.store(true, Ordering::Release);
@@ -547,6 +591,28 @@ where
                 report
             })
         })?;
+        // Publish the final tallies before the terminal heartbeat so the
+        // last emitted line reports the finished run exactly.
+        if live_on {
+            live_stats
+                .committed
+                .store(report.committed, Ordering::Relaxed);
+            live_stats
+                .global
+                .store(report.global_cycles, Ordering::Relaxed);
+            live_stats
+                .violations
+                .store(report.violations.total(), Ordering::Relaxed);
+        }
+        if let Some(h) = live_handle {
+            h.finish();
+        }
+        let mut report = report;
+        if prof.is_enabled() {
+            // n core threads plus the manager contribute self-time; the
+            // denominator of the coverage figure is wall * threads.
+            report.prof = Some(prof.snapshot(report.wall, n as u64 + 1));
+        }
         Ok(report)
     }
 }
@@ -571,6 +637,7 @@ fn core_thread<C: CoreModel + Checkpointable>(
     oversubscribed: bool,
     sched: &dyn HostSched,
     mut th: TraceHandle,
+    ph: ProfHandle,
 ) -> C {
     let virt = sched.virtualized();
     let task = sched.register(&format!("core{}", core.index()));
@@ -622,6 +689,7 @@ fn core_thread<C: CoreModel + Checkpointable>(
                             .expect("manager alive");
                     }
                     Command::RunTo(target) => {
+                        let _span = ph.enter(ProfSite::CoreTick);
                         let mut l = shared.local.load(Ordering::Relaxed);
                         while l < target {
                             while let Some(ev) = shared.inq.pop() {
@@ -639,6 +707,7 @@ fn core_thread<C: CoreModel + Checkpointable>(
                         ack_tx.send(l).expect("manager alive");
                     }
                     Command::Snapshot { delta } => {
+                        let _span = ph.enter(ProfSite::CheckpointCapture);
                         while let Some(ev) = shared.inq.pop() {
                             inbox.deliver(ev);
                         }
@@ -665,6 +734,7 @@ fn core_thread<C: CoreModel + Checkpointable>(
                             .expect("manager alive");
                     }
                     Command::Restore(state) => {
+                        let _span = ph.enter(ProfSite::CheckpointRestore);
                         let (m, ib) = *state;
                         model = m;
                         inbox = ib;
@@ -676,6 +746,7 @@ fn core_thread<C: CoreModel + Checkpointable>(
                         // Rewind in place: only units that diverged from
                         // the base since `cp_gen` are copied back, and
                         // the base goes back to the manager untouched.
+                        let _span = ph.enter(ProfSite::CheckpointRestore);
                         model.restore_from(&base.0, cp_gen);
                         inbox.clone_from(&base.1);
                         shared.snapshot.put(CoreCapture::Base(base));
@@ -685,7 +756,13 @@ fn core_thread<C: CoreModel + Checkpointable>(
                     }
                     Command::Resume => continue 'main,
                 }
-                cmd = next_command(cmd_rx, virt, sched);
+                cmd = {
+                    // Blocked in the control sub-loop (stop-synced for a
+                    // checkpoint or rollback): attribute the host time to
+                    // the park tier so it shows up in the profile.
+                    let _span = ph.enter(ProfSite::CoreWaitPark);
+                    next_command(cmd_rx, virt, sched)
+                };
             },
             Err(TryRecvError::Empty) => {}
             Err(TryRecvError::Disconnected) => break 'main,
@@ -727,6 +804,7 @@ fn core_thread<C: CoreModel + Checkpointable>(
             // at a barrier boundary also sees every commit behind it —
             // barrier-mode finish decisions stay deterministic.
             sched.point(SchedSite::CoreBurst);
+            let _span = ph.enter(ProfSite::CoreTick);
             let mut burst: u64 = 0;
             while l < m {
                 while let Some(ev) = shared.inq.pop() {
@@ -772,10 +850,13 @@ fn core_thread<C: CoreModel + Checkpointable>(
             }
             idle_spins = idle_spins.saturating_add(1);
             if idle_spins <= spin_iters {
+                let _span = ph.enter(ProfSite::CoreWaitSpin);
                 sched.idle_spin(SchedSite::CoreIdle);
             } else if idle_spins <= spin_iters + yield_iters {
+                let _span = ph.enter(ProfSite::CoreWaitYield);
                 sched.idle_yield(SchedSite::CoreIdle);
             } else {
+                let _span = ph.enter(ProfSite::CoreWaitPark);
                 // Dekker-style publication: set the parked flag, fence,
                 // then re-check the sleep condition. Pairs with the
                 // manager's store-fence-check in `publish_window` /
@@ -857,6 +938,7 @@ impl<U> ManagerOutcome<U> {
             kernel: self.kernel,
             bound_trace: self.bound_trace,
             obs: None,
+            prof: None,
         }
     }
 }
@@ -876,6 +958,9 @@ struct MetricIds {
     globalq_depth_h: HistId,
     manager_wait: GaugeId,
     manager_wait_h: HistId,
+    /// Cumulative trace records dropped to ring overflow, sampled live so
+    /// a mid-run overflow is diagnosable from the metrics CSV.
+    trace_dropped: GaugeId,
 }
 
 impl MetricIds {
@@ -893,8 +978,95 @@ impl MetricIds {
             globalq_depth_h: metrics.intern_histogram("globalq_depth"),
             manager_wait: metrics.intern_gauge("manager_wait_ns"),
             manager_wait_h: metrics.intern_histogram("manager_wait_ns"),
+            trace_dropped: metrics.intern_gauge("trace_dropped"),
         }
     }
+}
+
+/// Emits one metrics sample: per-core drift and queue-depth gauges plus
+/// the manager-side aggregates. Factored out of the manager loop so the
+/// run epilogue can flush a terminal sample at the final global time —
+/// without it, a run shorter than (or not a multiple of) the sampling
+/// cadence would export a CSV missing the final state.
+#[allow(clippy::too_many_arguments)]
+fn sample_metrics<C: CoreModel + Checkpointable>(
+    metrics: &mut MetricsRegistry,
+    ids: &MetricIds,
+    th: &mut TraceHandle,
+    shared: &[Arc<CoreShared<C>>],
+    locals: &[u64],
+    global: Cycle,
+    bound: Option<u64>,
+    gq_len: u64,
+    detected_total: u64,
+    tracer: &Tracer,
+    mgr_wait_ns: u64,
+    last_metrics_cycle: &mut u64,
+    last_metrics_detected: &mut u64,
+    last_wait_ns: &mut u64,
+) {
+    for (i, &l) in locals.iter().enumerate() {
+        let core = CoreId::new(i as u16);
+        let drift = l.saturating_sub(global.as_u64());
+        metrics.gauge_by(ids.drift[i], global, drift as f64);
+        metrics.histogram_by(ids.core_drift).record(drift);
+        th.record(
+            global,
+            TraceEvent::LocalTimeSample {
+                core,
+                cycle: Cycle::new(l),
+            },
+        );
+        let outq = shared[i].outq.depth_hint() as u64;
+        let inq = shared[i].inq.depth_hint() as u64;
+        metrics.histogram_by(ids.outq_depth).record(outq);
+        metrics.histogram_by(ids.inq_depth).record(inq);
+        th.record(
+            global,
+            TraceEvent::QueueDepth {
+                q: QueueKind::OutQ(core),
+                len: outq,
+            },
+        );
+        th.record(
+            global,
+            TraceEvent::QueueDepth {
+                q: QueueKind::InQ(core),
+                len: inq,
+            },
+        );
+    }
+    if let Some(b) = bound {
+        metrics.gauge_by(ids.slack_bound, global, b as f64);
+    }
+    // Rate over the cycles actually elapsed since the previous
+    // sample, not the nominal cadence: back-to-back samples at the
+    // same global time would otherwise divide by zero and push a
+    // non-finite gauge value.
+    let elapsed = global.as_u64().saturating_sub(*last_metrics_cycle);
+    let live_rate = if elapsed == 0 {
+        0.0
+    } else {
+        (detected_total - *last_metrics_detected) as f64 / elapsed as f64
+    };
+    *last_metrics_cycle = global.as_u64();
+    *last_metrics_detected = detected_total;
+    metrics.gauge_by(ids.violation_rate, global, live_rate);
+    metrics.gauge_by(ids.globalq_depth, global, gq_len as f64);
+    metrics.histogram_by(ids.globalq_depth_h).record(gq_len);
+    th.record(
+        global,
+        TraceEvent::QueueDepth {
+            q: QueueKind::Global,
+            len: gq_len,
+        },
+    );
+    metrics.gauge_by(ids.trace_dropped, global, tracer.dropped_so_far() as f64);
+    let wait_delta = mgr_wait_ns - *last_wait_ns;
+    *last_wait_ns = mgr_wait_ns;
+    metrics.gauge_by(ids.manager_wait, global, wait_delta as f64);
+    metrics.histogram_by(ids.manager_wait_h).record(wait_delta);
+    th.record(global, TraceEvent::ManagerWait { ns: wait_delta });
 }
 
 /// The simulation-manager loop (runs on the caller's thread inside the
@@ -911,6 +1083,8 @@ fn manager_loop<C, U>(
     tracer: &Tracer,
     save_hook: &mut Option<SaveHook<C, U>>,
     resume: Option<ManagerResume>,
+    prof: &Profiler,
+    live: Option<&LiveStats>,
 ) -> Result<ManagerOutcome<U>, EngineError>
 where
     C: CoreModel + Checkpointable,
@@ -934,6 +1108,7 @@ where
     // registry sampled on the obs cadence. Host-side manager wait time is
     // accumulated around the backoff points and emitted once per sample.
     let obs_on = cfg.obs.is_some();
+    let ph = prof.handle();
     let mut th = tracer.handle();
     let mut metrics = MetricsRegistry::new(cfg.obs.map_or(1024, |o| o.sample_every));
     let ids = MetricIds::intern(&mut metrics, n);
@@ -997,18 +1172,22 @@ where
     // `merge_snapshot`).
     let mut snapshot: Option<ManagerSnapshot<C, U>> = None;
     if spec.is_some() {
-        let captures = snapshot_all(
-            shared,
-            cmd_txs,
-            ack_rxs,
-            &mut gq,
-            uncore,
-            &mut sink,
-            &mut drain_buf,
-            sched,
-            false,
-        );
+        let captures = {
+            let _span = ph.enter(ProfSite::CheckpointCapture);
+            snapshot_all(
+                shared,
+                cmd_txs,
+                ack_rxs,
+                &mut gq,
+                uncore,
+                &mut sink,
+                &mut drain_buf,
+                sched,
+                false,
+            )
+        };
         // Discard side effects of the (empty) drain above.
+        let _span = ph.enter(ProfSite::CheckpointApply);
         merge_snapshot(
             &mut snapshot,
             captures,
@@ -1036,7 +1215,10 @@ where
 
     loop {
         sched.point(SchedSite::ManagerLoop);
-        let drained = drain_outqs(shared, &mut gq, &mut drain_buf);
+        let drained = {
+            let _span = ph.enter(ProfSite::ManagerDrain);
+            drain_outqs(shared, &mut gq, &mut drain_buf)
+        };
         locals.clear();
         locals.extend(shared.iter().map(|s| s.local.load(Ordering::Acquire)));
         let progress = drained > 0 || locals != prev_locals;
@@ -1085,87 +1267,71 @@ where
         // queue depths come from the rings' relaxed counters, so sampling
         // takes no locks and allocates nothing.
         if obs_on && metrics.sample_ready(global) {
-            for (i, &l) in locals.iter().enumerate() {
-                let core = CoreId::new(i as u16);
-                let drift = l.saturating_sub(global.as_u64());
-                metrics.gauge_by(ids.drift[i], global, drift as f64);
-                metrics.histogram_by(ids.core_drift).record(drift);
-                th.record(
-                    global,
-                    TraceEvent::LocalTimeSample {
-                        core,
-                        cycle: Cycle::new(l),
-                    },
-                );
-                let outq = shared[i].outq.depth_hint() as u64;
-                let inq = shared[i].inq.depth_hint() as u64;
-                metrics.histogram_by(ids.outq_depth).record(outq);
-                metrics.histogram_by(ids.inq_depth).record(inq);
-                th.record(
-                    global,
-                    TraceEvent::QueueDepth {
-                        q: QueueKind::OutQ(core),
-                        len: outq,
-                    },
-                );
-                th.record(
-                    global,
-                    TraceEvent::QueueDepth {
-                        q: QueueKind::InQ(core),
-                        len: inq,
-                    },
-                );
-            }
-            if let Some(b) = pacer.current_bound() {
-                metrics.gauge_by(ids.slack_bound, global, b as f64);
-            }
-            // Rate over the cycles actually elapsed since the previous
-            // sample, not the nominal cadence: back-to-back samples at the
-            // same global time would otherwise divide by zero and push a
-            // non-finite gauge value.
-            let elapsed = global.as_u64().saturating_sub(last_metrics_cycle);
-            let live_rate = if elapsed == 0 {
-                0.0
-            } else {
-                (detected.total() - last_metrics_detected) as f64 / elapsed as f64
-            };
-            last_metrics_cycle = global.as_u64();
-            last_metrics_detected = detected.total();
-            metrics.gauge_by(ids.violation_rate, global, live_rate);
-            metrics.gauge_by(ids.globalq_depth, global, gq.len() as f64);
-            metrics
-                .histogram_by(ids.globalq_depth_h)
-                .record(gq.len() as u64);
-            th.record(
+            sample_metrics(
+                &mut metrics,
+                &ids,
+                &mut th,
+                shared,
+                &locals,
                 global,
-                TraceEvent::QueueDepth {
-                    q: QueueKind::Global,
-                    len: gq.len() as u64,
-                },
+                pacer.current_bound(),
+                gq.len() as u64,
+                detected.total(),
+                tracer,
+                mgr_wait_ns,
+                &mut last_metrics_cycle,
+                &mut last_metrics_detected,
+                &mut last_wait_ns,
             );
-            let wait_delta = mgr_wait_ns - last_wait_ns;
-            last_wait_ns = mgr_wait_ns;
-            metrics.gauge_by(ids.manager_wait, global, wait_delta as f64);
-            metrics.histogram_by(ids.manager_wait_h).record(wait_delta);
-            th.record(global, TraceEvent::ManagerWait { ns: wait_delta });
+        }
+
+        // Live telemetry: relaxed stores into the shared gauge block; the
+        // emitter thread reads them on its own host-time cadence.
+        if let Some(ls) = live {
+            ls.global.store(global.as_u64(), Ordering::Relaxed);
+            ls.committed
+                .store(committed.load(Ordering::Relaxed), Ordering::Relaxed);
+            ls.bound
+                .store(pacer.current_bound().unwrap_or(NO_BOUND), Ordering::Relaxed);
+            ls.violations.store(tally.total(), Ordering::Relaxed);
+            ls.globalq_depth.store(gq.len() as u64, Ordering::Relaxed);
+            ls.outq_depth.store(
+                shared.iter().map(|s| s.outq.depth_hint() as u64).sum(),
+                Ordering::Relaxed,
+            );
+            ls.inq_depth.store(
+                shared.iter().map(|s| s.inq.depth_hint() as u64).sum(),
+                Ordering::Relaxed,
+            );
+            ls.dropped_traces
+                .store(tracer.dropped_so_far(), Ordering::Relaxed);
+            ls.checkpoints
+                .store(spec_stats.checkpoints, Ordering::Relaxed);
+            ls.rollbacks.store(spec_stats.rollbacks, Ordering::Relaxed);
         }
 
         if barrier {
             if locals.iter().all(|&l| l == window_end.as_u64()) {
-                drain_outqs(shared, &mut gq, &mut drain_buf);
-                service_all(
-                    &mut gq,
-                    uncore,
-                    &mut sink,
-                    shared,
-                    &mut tally,
-                    &mut detected,
-                    &mut tracker,
-                    &mut pending_rollback,
-                    &spec,
-                    mode == Mode::Base,
-                    &mut th,
-                );
+                {
+                    let _span = ph.enter(ProfSite::ManagerDrain);
+                    drain_outqs(shared, &mut gq, &mut drain_buf);
+                }
+                {
+                    let _span = ph.enter(ProfSite::ManagerService);
+                    service_all(
+                        &mut gq,
+                        uncore,
+                        &mut sink,
+                        shared,
+                        &mut tally,
+                        &mut detected,
+                        &mut tracker,
+                        &mut pending_rollback,
+                        &spec,
+                        mode == Mode::Base,
+                        &mut th,
+                    );
+                }
                 debug_assert!(!pending_rollback, "barrier servicing cannot violate");
                 let g = window_end;
                 if committed.load(Ordering::Acquire) >= cfg.commit_target {
@@ -1202,17 +1368,20 @@ where
                             );
                         }
                     }
-                    let captures = snapshot_all(
-                        shared,
-                        cmd_txs,
-                        ack_rxs,
-                        &mut gq,
-                        uncore,
-                        &mut sink,
-                        &mut drain_buf,
-                        sched,
-                        cp_delta,
-                    );
+                    let captures = {
+                        let _span = ph.enter(ProfSite::CheckpointCapture);
+                        snapshot_all(
+                            shared,
+                            cmd_txs,
+                            ack_rxs,
+                            &mut gq,
+                            uncore,
+                            &mut sink,
+                            &mut drain_buf,
+                            sched,
+                            cp_delta,
+                        )
+                    };
                     spec_stats.checkpoints += 1;
                     th.record(
                         Cycle::new(next_cp_trigger.min(g.as_u64())),
@@ -1225,17 +1394,20 @@ where
                     // been serviced: monitors settled below it can be
                     // dropped before they are captured into the snapshot.
                     uncore.compact_monitors(g);
-                    merge_snapshot(
-                        &mut snapshot,
-                        captures,
-                        uncore,
-                        g,
-                        tally,
-                        committed.load(Ordering::Acquire),
-                        &**pacer,
-                        next_sample,
-                        last_sample_tally,
-                    );
+                    {
+                        let _span = ph.enter(ProfSite::CheckpointApply);
+                        merge_snapshot(
+                            &mut snapshot,
+                            captures,
+                            uncore,
+                            g,
+                            tally,
+                            committed.load(Ordering::Acquire),
+                            &**pacer,
+                            next_sample,
+                            last_sample_tally,
+                        );
+                    }
                     next_cp_trigger = g.as_u64() + cp_interval;
                     invoke_save_hook(
                         save_hook,
@@ -1248,6 +1420,7 @@ where
                         &mut th,
                         &mut metrics,
                         persist_bytes_id,
+                        &ph,
                     );
                 }
                 window_end = if mode == Mode::Replay {
@@ -1269,6 +1442,7 @@ where
                         publish_window(shared, window_end, sched);
                     }
                 }
+                let _span = ph.enter(backoff.next_site());
                 if obs_on {
                     let wait_started = Instant::now();
                     backoff.wait(sched);
@@ -1281,21 +1455,25 @@ where
         }
 
         // --- Greedy servicing -------------------------------------------
-        service_all(
-            &mut gq,
-            uncore,
-            &mut sink,
-            shared,
-            &mut tally,
-            &mut detected,
-            &mut tracker,
-            &mut pending_rollback,
-            &spec,
-            mode == Mode::Base,
-            &mut th,
-        );
+        {
+            let _span = ph.enter(ProfSite::ManagerService);
+            service_all(
+                &mut gq,
+                uncore,
+                &mut sink,
+                shared,
+                &mut tally,
+                &mut detected,
+                &mut tracker,
+                &mut pending_rollback,
+                &spec,
+                mode == Mode::Base,
+                &mut th,
+            );
+        }
 
         if pending_rollback {
+            let _span = ph.enter(ProfSite::CheckpointRestore);
             let snap = snapshot.as_mut().expect("rollback requires a snapshot");
             stop_all(shared, cmd_txs, ack_rxs, sched);
             drain_outqs(shared, &mut gq, &mut drain_buf);
@@ -1400,6 +1578,10 @@ where
 
         if spec.is_some() && global.as_u64() >= next_cp_trigger {
             // Stop-sync all cores at a common local time ≥ the trigger.
+            // The whole protocol — stop, run-to, drain, snapshot — bills
+            // to the capture site; the merge and persist below open their
+            // own nested spans.
+            let _span = ph.enter(ProfSite::CheckpointCapture);
             stop_all(shared, cmd_txs, ack_rxs, sched);
             let stop_at = shared
                 .iter()
@@ -1497,17 +1679,20 @@ where
                 },
             );
             uncore.compact_monitors(Cycle::new(stop_at));
-            merge_snapshot(
-                &mut snapshot,
-                captures,
-                uncore,
-                Cycle::new(stop_at),
-                tally,
-                committed.load(Ordering::Acquire),
-                &**pacer,
-                next_sample,
-                last_sample_tally,
-            );
+            {
+                let _span = ph.enter(ProfSite::CheckpointApply);
+                merge_snapshot(
+                    &mut snapshot,
+                    captures,
+                    uncore,
+                    Cycle::new(stop_at),
+                    tally,
+                    committed.load(Ordering::Acquire),
+                    &**pacer,
+                    next_sample,
+                    last_sample_tally,
+                );
+            }
             next_cp_trigger = stop_at + cp_interval;
             invoke_save_hook(
                 save_hook,
@@ -1520,6 +1705,7 @@ where
                 &mut th,
                 &mut metrics,
                 persist_bytes_id,
+                &ph,
             );
             locals.clear();
             locals.resize(n, stop_at);
@@ -1536,6 +1722,7 @@ where
             // draining instead of waiting.
             continue;
         }
+        let _span = ph.enter(backoff.next_site());
         if obs_on {
             let wait_started = Instant::now();
             backoff.wait(sched);
@@ -1543,6 +1730,32 @@ where
         } else {
             backoff.wait(sched);
         }
+    }
+
+    // Terminal gauge flush: one last sample at the final global time so
+    // CSV exports always contain the run's end state even when the run
+    // length is not a multiple of the sampling cadence. Guarded so a
+    // sample that already landed on this exact cycle is not duplicated —
+    // gauge series are strictly increasing in cycle.
+    if obs_on && final_global.as_u64() > last_metrics_cycle {
+        locals.clear();
+        locals.extend(shared.iter().map(|s| s.local.load(Ordering::Acquire)));
+        sample_metrics(
+            &mut metrics,
+            &ids,
+            &mut th,
+            shared,
+            &locals,
+            final_global,
+            pacer.current_bound(),
+            gq.len() as u64,
+            detected.total(),
+            tracer,
+            mgr_wait_ns,
+            &mut last_metrics_cycle,
+            &mut last_metrics_detected,
+            &mut last_wait_ns,
+        );
     }
 
     let mut kernel = Counters::new();
@@ -1605,6 +1818,7 @@ fn invoke_save_hook<C, U>(
     th: &mut TraceHandle,
     metrics: &mut MetricsRegistry,
     persist_bytes_id: GaugeId,
+    ph: &ProfHandle,
 ) where
     C: CoreModel + Checkpointable,
     U: UncoreModel<C::Event> + Checkpointable,
@@ -1612,6 +1826,7 @@ fn invoke_save_hook<C, U>(
     let Some(hook) = save_hook.as_mut() else {
         return;
     };
+    let _span = ph.enter(ProfSite::PersistIo);
     let snap = snapshot.as_ref().expect("checkpoint just merged");
     let view = CheckpointView {
         ordinal: spec_stats.checkpoints,

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use super::prof::ProfData;
 use super::trace::{Phase, TraceEvent, TraceRecord};
 use super::ObsData;
 
@@ -103,6 +104,14 @@ impl EventWriter {
 ///
 /// Timestamps are simulated cycles interpreted as microseconds.
 pub fn chrome_trace_json(obs: &ObsData) -> String {
+    chrome_trace_json_with_prof(obs, None)
+}
+
+/// [`chrome_trace_json`] plus, when a host-time profile is given, one
+/// `prof.<site>` counter track carrying the site's final self-time in
+/// milliseconds (a flat counter anchored at trace time 0 — Perfetto
+/// renders it as a labelled summary track next to the timeline).
+pub fn chrome_trace_json_with_prof(obs: &ObsData, prof: Option<&ProfData>) -> String {
     let manager_tid = obs.cores as u64;
     let mut w = EventWriter::new();
     w.events.push(
@@ -240,7 +249,94 @@ pub fn chrome_trace_json(obs: &ObsData) -> String {
             }
         }
     }
+    if let Some(prof) = prof {
+        for s in &prof.sites {
+            w.counter(
+                &format!("prof.{}", s.site.name()),
+                0,
+                "self_ms",
+                &json_num(s.self_ns as f64 / 1e6),
+            );
+        }
+    }
     w.finish()
+}
+
+/// Human-readable nanosecond quantity (`1.234 s`, `56.7 ms`, `890 µs`,
+/// `12 ns`).
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Renders the host-time profile as an aligned text table, one row per
+/// site ordered by descending self-time, with a footer stating the
+/// measured wall-clock, recording thread count and self-time coverage
+/// (self-time sum over `wall × threads`).
+pub fn prof_table(prof: &ProfData) -> String {
+    let mut rows: Vec<_> = prof.sites.iter().collect();
+    rows.sort_by(|a, b| {
+        b.self_ns
+            .cmp(&a.self_ns)
+            .then((a.site as usize).cmp(&(b.site as usize)))
+    });
+    let total_self = prof.total_self_ns().max(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<20} {:>12} {:>12} {:>12} {:>7}",
+        "site", "calls", "total", "self", "share"
+    );
+    for s in rows {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>12} {:>12} {:>12} {:>6.1}%",
+            s.site.name(),
+            s.count,
+            fmt_ns(s.total_ns),
+            fmt_ns(s.self_ns),
+            s.self_ns as f64 / total_self as f64 * 100.0,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "wall clock {} x {} thread{}; self-time coverage {:.1}%",
+        fmt_ns(prof.wall_ns),
+        prof.threads,
+        if prof.threads == 1 { "" } else { "s" },
+        prof.coverage() * 100.0,
+    );
+    out
+}
+
+/// Renders the host-time profile as CSV
+/// (`site,count,total_ns,self_ns,self_share`), one row per site in
+/// [`super::prof::ProfSite::ALL`] order, followed by `wall_ns` and
+/// `threads` summary rows (zeros in the unused columns).
+pub fn prof_csv(prof: &ProfData) -> String {
+    let total_self = prof.total_self_ns().max(1);
+    let mut out = String::from("site,count,total_ns,self_ns,self_share\n");
+    for s in &prof.sites {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{}",
+            s.site.name(),
+            s.count,
+            s.total_ns,
+            s.self_ns,
+            json_num(s.self_ns as f64 / total_self as f64),
+        );
+    }
+    let _ = writeln!(out, "wall_ns,0,{},0,0", prof.wall_ns);
+    let _ = writeln!(out, "threads,0,{},0,0", prof.threads);
+    out
 }
 
 /// Renders the metrics registry as long-format CSV: one `metric,cycle,value`
@@ -446,6 +542,78 @@ mod tests {
         assert!(lines
             .iter()
             .any(|l| l.starts_with("hist.manager_wait_ns.le,")));
+    }
+
+    #[test]
+    fn prof_table_and_csv_render_all_sites() {
+        use super::super::prof::{ProfData, ProfSite, SiteStat};
+        let prof = ProfData {
+            sites: vec![
+                SiteStat {
+                    site: ProfSite::CoreTick,
+                    count: 100,
+                    self_ns: 3_000_000_000,
+                    total_ns: 3_000_000_000,
+                },
+                SiteStat {
+                    site: ProfSite::ManagerService,
+                    count: 50,
+                    self_ns: 1_000_000_000,
+                    total_ns: 1_500_000_000,
+                },
+            ],
+            wall_ns: 4_200_000_000,
+            threads: 1,
+        };
+        let table = prof_table(&prof);
+        let lines: Vec<&str> = table.lines().collect();
+        assert!(lines[0].starts_with("site"));
+        assert!(
+            lines[1].starts_with("core-tick"),
+            "rows sorted by self time: {table}"
+        );
+        assert!(lines[2].starts_with("manager-service"));
+        assert!(table.contains("75.0%"), "core-tick holds 3/4 of self time");
+        assert!(
+            lines.last().unwrap().contains("coverage 95.2%"),
+            "footer states coverage: {table}"
+        );
+
+        let csv = prof_csv(&prof);
+        let rows: Vec<&str> = csv.lines().collect();
+        assert_eq!(rows[0], "site,count,total_ns,self_ns,self_share");
+        assert_eq!(rows[1], "core-tick,100,3000000000,3000000000,0.75");
+        assert!(rows.contains(&"wall_ns,0,4200000000,0,0"));
+        assert!(rows.contains(&"threads,0,1,0,0"));
+    }
+
+    #[test]
+    fn chrome_trace_carries_prof_counter_track() {
+        use super::super::prof::{ProfData, ProfSite, SiteStat};
+        let prof = ProfData {
+            sites: vec![SiteStat {
+                site: ProfSite::CoreTick,
+                count: 1,
+                self_ns: 2_000_000,
+                total_ns: 2_000_000,
+            }],
+            wall_ns: 10_000_000,
+            threads: 1,
+        };
+        let doc = chrome_trace_json_with_prof(&demo_obs(), Some(&prof));
+        let v = Json::parse(&doc).expect("valid JSON");
+        let events = v.get("traceEvents").and_then(Json::as_array).unwrap();
+        let counter = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("prof.core-tick"))
+            .expect("prof counter track present");
+        assert_eq!(
+            counter
+                .get("args")
+                .and_then(|a| a.get("self_ms"))
+                .and_then(Json::as_f64),
+            Some(2.0)
+        );
     }
 
     #[test]

@@ -1,17 +1,24 @@
-//! Observability: in-tree tracing and metrics with per-core timeline
-//! export.
+//! Observability: in-tree tracing, metrics, host-time self-profiling and
+//! live telemetry with per-core timeline export.
 //!
-//! The subsystem has three layers, all dependency-free:
+//! The subsystem has five layers, all dependency-free:
 //!
 //! * [`trace`] — a [`Tracer`] handing out per-thread [`TraceHandle`]s, each
 //!   a bounded ring buffer of typed [`TraceEvent`]s. Recording while
 //!   disabled costs one relaxed atomic load.
 //! * [`metrics`] — a [`MetricsRegistry`] of named gauge time series and
 //!   log2-bucketed [`Histogram`]s, sampled every N global cycles.
+//! * [`prof`] — a scoped host-time span profiler ([`Profiler`] /
+//!   [`ProfScope`]) over the fixed [`ProfSite`] enum, attributing
+//!   wall-clock self-time to core ticks, wait-ladder tiers, manager work,
+//!   checkpointing, persist I/O and export.
+//! * [`live`] — a heartbeat emitter writing one line of JSON per host-time
+//!   cadence tick (progress, commits/s, ETA, queue depths, per-site
+//!   host-time shares) sourced from engine-published atomics.
 //! * [`export`] — hand-rolled Chrome Trace Event Format JSON (open the file
-//!   in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`) and a
-//!   long-format CSV dump; [`json`] is the matching minimal parser used to
-//!   validate emitted traces in tests.
+//!   in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`), a
+//!   long-format CSV dump, and the host-time profile table; [`json`] is the
+//!   matching minimal parser used to validate emitted documents in tests.
 //!
 //! The engines own the wiring: when [`ObsConfig`] is present in the engine
 //! configuration they create an enabled tracer plus registry, instrument
@@ -21,11 +28,15 @@
 
 pub mod export;
 pub mod json;
+pub mod live;
 pub mod metrics;
+pub mod prof;
 pub mod trace;
 
-pub use export::{chrome_trace_json, metrics_csv};
+pub use export::{chrome_trace_json, metrics_csv, prof_csv, prof_table};
+pub use live::{LiveConfig, LiveStats, HEARTBEAT_VERSION};
 pub use metrics::{GaugeId, HistId, Histogram, MetricsRegistry, SeriesPoint};
+pub use prof::{ProfData, ProfHandle, ProfScope, ProfSite, Profiler};
 pub use trace::{Phase, QueueKind, TraceEvent, TraceHandle, TraceRecord, Tracer};
 
 /// Configuration for a run's observability instrumentation.

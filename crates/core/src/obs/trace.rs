@@ -239,6 +239,15 @@ impl Tracer {
         }
     }
 
+    /// Records dropped to ring overflow so far, across every handle
+    /// (relaxed load — live mid-run, the drop counter is bumped at
+    /// overflow time, not at flush time). Surfaced as the
+    /// `trace_dropped` gauge so overflow is diagnosable while the run
+    /// is still going.
+    pub fn dropped_so_far(&self) -> u64 {
+        self.shared.dropped.load(Ordering::Relaxed)
+    }
+
     /// Takes every record flushed so far plus the total drop count.
     ///
     /// Records from different handles are concatenated in flush order; the

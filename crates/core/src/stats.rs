@@ -144,6 +144,10 @@ pub struct SimReport {
     /// Observability data (trace records + metrics), present when the run
     /// was configured with [`crate::obs::ObsConfig`].
     pub obs: Option<crate::obs::ObsData>,
+    /// Host-time profile (per-site span counts and self/total
+    /// nanoseconds), present when the run was configured with an enabled
+    /// [`crate::obs::Profiler`].
+    pub prof: Option<crate::obs::ProfData>,
 }
 
 impl SimReport {

@@ -8,12 +8,19 @@
 //!          [--checkpoint N] [--checkpoint-mode full|delta] [--rollback all|map|none]
 //!          [--save-state DIR] [--resume FILE]
 //!          [--verbose] [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
+//!          [--profile] [--profile-csv OUT.csv]
+//!          [--live-stderr] [--live-status FILE] [--live-every MS]
+//! slacksim report PATH...
 //! ```
 
+use std::time::{Duration, Instant};
+
 use slacksim::scheme::{AdaptiveConfig, Scheme};
+use slacksim::slacksim_core::obs::json::Json;
+use slacksim::slacksim_core::obs::prof::SiteStat;
 use slacksim::{
-    Benchmark, CheckpointMode, EngineError, EngineKind, ObsConfig, Simulation, SpeculationConfig,
-    ViolationKind, ViolationSelect,
+    Benchmark, CheckpointMode, EngineError, EngineKind, LiveConfig, ObsConfig, ProfData, ProfSite,
+    Simulation, SpeculationConfig, ViolationKind, ViolationSelect, HEARTBEAT_VERSION,
 };
 
 /// Flags that take a value in the following argument.
@@ -37,10 +44,13 @@ const VALUE_FLAGS: &[&str] = &[
     "--sample-every",
     "--save-state",
     "--resume",
+    "--profile-csv",
+    "--live-status",
+    "--live-every",
 ];
 
 /// Flags that stand alone.
-const BOOL_FLAGS: &[&str] = &["--verbose", "--help", "-h"];
+const BOOL_FLAGS: &[&str] = &["--verbose", "--help", "-h", "--profile", "--live-stderr"];
 
 struct Args(Vec<String>);
 
@@ -108,7 +118,14 @@ fn usage_error(msg: &str) -> ! {
 }
 
 fn main() {
-    let args = Args(std::env::args().skip(1).collect());
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // The `report` subcommand takes positional paths, which the flag
+    // validator rejects — intercept it before validation.
+    if raw.first().map(String::as_str) == Some("report") {
+        report_main(&raw[1..]);
+        return;
+    }
+    let args = Args(raw);
     if args.has("--help") || args.has("-h") {
         println!("{}", HELP);
         return;
@@ -208,25 +225,75 @@ fn main() {
             ObsConfig::default().with_sample_every(args.parsed_nonzero("--sample-every", 1024)),
         );
     }
+    let profile_csv_path = args.value("--profile-csv").map(str::to_string);
+    if args.has("--profile") || profile_csv_path.is_some() {
+        sim.profile(true);
+    }
+    let mut live = LiveConfig::new().every(Duration::from_millis(
+        args.parsed_nonzero("--live-every", 250),
+    ));
+    if args.has("--live-stderr") {
+        live = live.to_stderr();
+    }
+    if let Some(path) = args.value("--live-status") {
+        live = live.to_file(path);
+    }
+    if live.has_sink() {
+        sim.live(live);
+    } else if args.has("--live-every") {
+        usage_error("--live-every requires --live-stderr or --live-status FILE");
+    }
 
     eprintln!("running {benchmark} under {} ...", scheme.name());
     match sim.run() {
-        Ok(report) => {
+        Ok(mut report) => {
             println!("{report}");
+            // Artifact writes happen outside the engine, so the engine's
+            // profiler cannot see them; time them here and bill them to the
+            // export site before the profile is rendered.
+            let mut export_writes = 0u64;
+            let mut export_ns = 0u64;
             if let Some(obs) = &report.obs {
                 if let Some(path) = &trace_path {
-                    if let Err(e) = std::fs::write(path, obs.chrome_trace_json()) {
+                    let t0 = Instant::now();
+                    let body = slacksim::slacksim_core::obs::export::chrome_trace_json_with_prof(
+                        obs,
+                        report.prof.as_ref(),
+                    );
+                    let wrote = std::fs::write(path, body);
+                    export_writes += 1;
+                    export_ns += t0.elapsed().as_nanos() as u64;
+                    if let Err(e) = wrote {
                         eprintln!("failed to write trace {path}: {e}");
                         std::process::exit(1);
                     }
                     eprintln!("trace written to {path} (open in https://ui.perfetto.dev)");
                 }
                 if let Some(path) = &metrics_path {
-                    if let Err(e) = std::fs::write(path, obs.metrics_csv()) {
+                    let t0 = Instant::now();
+                    let wrote = std::fs::write(path, obs.metrics_csv());
+                    export_writes += 1;
+                    export_ns += t0.elapsed().as_nanos() as u64;
+                    if let Err(e) = wrote {
                         eprintln!("failed to write metrics {path}: {e}");
                         std::process::exit(1);
                     }
                     eprintln!("metrics written to {path}");
+                }
+            }
+            if let Some(prof) = &mut report.prof {
+                if export_writes > 0 {
+                    prof.record(ProfSite::Export, export_writes, export_ns);
+                }
+            }
+            if let Some(prof) = &report.prof {
+                println!("\nhost-time profile:\n{}", prof.table().trim_end());
+                if let Some(path) = &profile_csv_path {
+                    if let Err(e) = std::fs::write(path, prof.csv()) {
+                        eprintln!("failed to write profile {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    eprintln!("profile written to {path}");
                 }
             }
             if args.has("--verbose") {
@@ -255,6 +322,293 @@ fn main() {
     }
 }
 
+/// Entry point for `slacksim report PATH...`: renders saved run
+/// artifacts into human-readable summaries.
+///
+/// Artifact types are detected by content, not extension: live-status
+/// heartbeat JSONL, profile CSV, metrics CSV and Chrome Trace JSON.
+/// Exits 2 when no paths are given, 1 when any file is unreadable or
+/// not a recognized artifact.
+fn report_main(paths: &[String]) {
+    if paths.iter().any(|p| p == "--help" || p == "-h") {
+        println!("{}", REPORT_HELP);
+        return;
+    }
+    if paths.is_empty() {
+        eprintln!("error: report expects at least one PATH");
+        eprintln!("run `slacksim report --help` for usage");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for (i, path) in paths.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        match std::fs::read_to_string(path) {
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                failed = true;
+            }
+            Ok(body) => match render_artifact(path, &body) {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    failed = true;
+                }
+            },
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// Dispatches one artifact body to the renderer matching its content.
+fn render_artifact(path: &str, body: &str) -> Result<String, String> {
+    let trimmed = body.trim_start();
+    if trimmed.starts_with("site,count,total_ns") {
+        return render_profile_csv(path, body);
+    }
+    if trimmed.starts_with("metric,cycle,value") {
+        return render_metrics_csv(path, body);
+    }
+    if trimmed.starts_with('{') {
+        // A Chrome trace is one JSON document; a heartbeat log is one
+        // JSON object per line. Try the whole body first, then JSONL.
+        if let Ok(doc) = Json::parse(body.trim()) {
+            if doc.get("traceEvents").is_some() {
+                return render_chrome_trace(path, &doc);
+            }
+            if doc.get("v").is_some() {
+                return render_heartbeats(path, body);
+            }
+        } else {
+            return render_heartbeats(path, body);
+        }
+    }
+    Err(
+        "unrecognized artifact (expected heartbeat JSONL, profile CSV, metrics CSV \
+         or Chrome Trace JSON)"
+            .to_string(),
+    )
+}
+
+/// Summarizes a `--live-status` heartbeat log: beat count plus the final
+/// beat's progress, speed, slack bound, violation and queue state.
+fn render_heartbeats(path: &str, body: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut beats = Vec::new();
+    for (ln, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let beat = Json::parse(line)
+            .map_err(|e| format!("line {}: invalid heartbeat JSON: {e}", ln + 1))?;
+        let v = beat
+            .get("v")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("line {}: missing heartbeat version field 'v'", ln + 1))?;
+        if v as u64 != HEARTBEAT_VERSION {
+            return Err(format!(
+                "line {}: unsupported heartbeat version {v} (expected {HEARTBEAT_VERSION})",
+                ln + 1
+            ));
+        }
+        beats.push(beat);
+    }
+    let last = beats.last().ok_or("no heartbeat lines")?;
+    let num = |k: &str| last.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: live-status heartbeats (v{HEARTBEAT_VERSION})");
+    let _ = writeln!(out, "  beats      : {}", beats.len());
+    let _ = writeln!(out, "  elapsed    : {:.2} s", num("elapsed_ms") / 1e3);
+    let _ = writeln!(
+        out,
+        "  progress   : {:.1}% ({} / {} commits, global cycle {})",
+        num("progress") * 100.0,
+        num("committed") as u64,
+        num("commit_target") as u64,
+        num("global_cycle") as u64,
+    );
+    let _ = writeln!(
+        out,
+        "  speed      : {:.0} commits/s",
+        num("commits_per_sec")
+    );
+    match last.get("bound").and_then(Json::as_f64) {
+        Some(b) => {
+            let _ = writeln!(out, "  slack bound: {}", b as u64);
+        }
+        None => {
+            let _ = writeln!(out, "  slack bound: unbounded");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  violations : {} ({:.4}% of cycles)",
+        num("violations") as u64,
+        num("violation_rate") * 100.0,
+    );
+    if let Some(q) = last.get("queues") {
+        let qn = |k: &str| q.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        let _ = writeln!(
+            out,
+            "  queues     : outq {} inq {} globalq {}",
+            qn("outq"),
+            qn("inq"),
+            qn("globalq"),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  checkpoints: {} taken, {} rollbacks, {} traces dropped",
+        num("checkpoints") as u64,
+        num("rollbacks") as u64,
+        num("dropped_traces") as u64,
+    );
+    if let Some(sites) = last.get("sites").and_then(Json::as_object) {
+        let mut shares: Vec<(&str, f64)> = sites
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|s| (k.as_str(), s)))
+            .collect();
+        shares.sort_by(|a, b| b.1.total_cmp(&a.1));
+        for (name, share) in shares.iter().take(5) {
+            let _ = writeln!(out, "  host time  : {:<18} {:.1}%", name, share * 100.0);
+        }
+    }
+    Ok(out)
+}
+
+/// Re-renders a `--profile-csv` artifact as the aligned profile table.
+fn render_profile_csv(path: &str, body: &str) -> Result<String, String> {
+    let mut prof = ProfData::default();
+    for (ln, line) in body.lines().enumerate().skip(1) {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 5 {
+            return Err(format!("line {}: expected 5 CSV columns", ln + 1));
+        }
+        let parse = |s: &str| {
+            s.parse::<u64>()
+                .map_err(|_| format!("line {}: invalid number '{s}'", ln + 1))
+        };
+        match cols[0] {
+            "wall_ns" => prof.wall_ns = parse(cols[2])?,
+            "threads" => prof.threads = parse(cols[2])?,
+            name => {
+                let site = ProfSite::parse(name)
+                    .ok_or_else(|| format!("line {}: unknown profile site '{name}'", ln + 1))?;
+                prof.sites.push(SiteStat {
+                    site,
+                    count: parse(cols[1])?,
+                    total_ns: parse(cols[2])?,
+                    self_ns: parse(cols[3])?,
+                });
+            }
+        }
+    }
+    if prof.sites.is_empty() {
+        return Err("no profile rows".to_string());
+    }
+    Ok(format!("{path}: host-time profile\n{}", prof.table()))
+}
+
+/// Summarizes a `--metrics` CSV: row/series counts and each series'
+/// final value.
+fn render_metrics_csv(path: &str, body: &str) -> Result<String, String> {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    let mut series: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    let mut rows = 0u64;
+    for (ln, line) in body.lines().enumerate().skip(1) {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 3 {
+            return Err(format!("line {}: expected 3 CSV columns", ln + 1));
+        }
+        let value: f64 = cols[2]
+            .parse()
+            .map_err(|_| format!("line {}: invalid value '{}'", ln + 1, cols[2]))?;
+        let entry = series.entry(cols[0].to_string()).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 = value;
+        rows += 1;
+    }
+    if rows == 0 {
+        return Err("no metric rows".to_string());
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: metrics CSV");
+    let _ = writeln!(out, "  {} rows across {} series", rows, series.len());
+    for (name, (n, last)) in &series {
+        let _ = writeln!(out, "  {name:<32} {n:>6} rows, last {last}");
+    }
+    Ok(out)
+}
+
+/// Summarizes a Chrome Trace JSON artifact: event counts by phase and
+/// the counter tracks it carries.
+fn render_chrome_trace(path: &str, doc: &Json) -> Result<String, String> {
+    use std::collections::BTreeSet;
+    use std::fmt::Write as _;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("traceEvents is not an array")?;
+    let mut spans = 0u64;
+    let mut instants = 0u64;
+    let mut counter_points = 0u64;
+    let mut counter_names = BTreeSet::new();
+    for event in events {
+        match event.get("ph").and_then(Json::as_str) {
+            Some("X") => spans += 1,
+            Some("i") | Some("I") => instants += 1,
+            Some("C") => {
+                counter_points += 1;
+                if let Some(name) = event.get("name").and_then(Json::as_str) {
+                    counter_names.insert(name.to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: Chrome Trace JSON");
+    let _ = writeln!(
+        out,
+        "  {} events: {spans} spans, {instants} instants, {counter_points} counter points",
+        events.len(),
+    );
+    for name in &counter_names {
+        let _ = writeln!(out, "  counter track: {name}");
+    }
+    let _ = writeln!(out, "  open in chrome://tracing or https://ui.perfetto.dev");
+    Ok(out)
+}
+
+/// Usage text for `slacksim report`.
+const REPORT_HELP: &str = "\
+slacksim report — render saved run artifacts as human-readable summaries
+
+USAGE:
+  slacksim report PATH...
+
+Each PATH is detected by content, not extension:
+  live-status heartbeat JSONL   (--live-status FILE)
+  host-time profile CSV         (--profile-csv OUT.csv)
+  metrics CSV                   (--metrics OUT.csv)
+  Chrome Trace JSON             (--trace OUT.json)
+
+Exit status: 0 all artifacts rendered, 1 unreadable or unrecognized
+artifact, 2 usage error.";
+
 const HELP: &str = "\
 slacksim — run one slack simulation of the paper's 8-core CMP
 
@@ -266,6 +620,9 @@ USAGE:
            [--rollback all|map|none] [--save-state DIR] [--resume FILE]
            [--verbose]
            [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
+           [--profile] [--profile-csv OUT.csv]
+           [--live-stderr] [--live-status FILE] [--live-every MS]
+  slacksim report PATH...
 
 SPECULATION:
   --checkpoint N        take a checkpoint every N global cycles
@@ -302,6 +659,34 @@ OBSERVABILITY:
   --verbose             additionally prints the observability summary when
                         tracing/metrics are enabled
 
+PROFILING:
+  --profile             self-profile the host: record scoped spans at every
+                        engine site (core ticks, manager drains, each tier of
+                        the spin/yield/park wait ladder, checkpoint capture/
+                        apply/restore, persist I/O, export) and print a
+                        per-site host-time table after the run; never
+                        perturbs simulation results
+  --profile-csv OUT     additionally write the profile as CSV
+                        (site,count,total_ns,self_ns,self_share); implies
+                        --profile
+
+LIVE TELEMETRY:
+  --live-stderr         emit single-line JSON heartbeats to stderr while the
+                        run is in flight: progress, commits/s, ETA, current
+                        slack bound, violation rate, queue depths, dropped
+                        traces and per-site host-time shares
+  --live-status FILE    write the latest heartbeat to FILE via atomic
+                        replace, so `tail -f`/`jq` always sees one complete
+                        JSON object
+  --live-every MS       heartbeat cadence in host milliseconds (default 250);
+                        requires --live-stderr or --live-status
+
+REPORT:
+  slacksim report PATH...
+                        render saved artifacts (heartbeat log, profile CSV,
+                        metrics CSV, Chrome trace) as human-readable
+                        summaries; type is detected by content
+
 EXAMPLES:
   slacksim --benchmark barnes --scheme unbounded --engine threaded
   slacksim --scheme adaptive --target 0.2 --band 5
@@ -309,4 +694,6 @@ EXAMPLES:
   slacksim --benchmark fft --scheme adaptive --engine threaded --checkpoint 2000 \\
            --trace /tmp/t.json --metrics /tmp/m.csv
   slacksim --cores 2 --checkpoint 1000 --save-state /tmp/cps
-  slacksim --cores 2 --checkpoint 1000 --resume /tmp/cps/cp-00000004";
+  slacksim --cores 2 --checkpoint 1000 --resume /tmp/cps/cp-00000004
+  slacksim --engine threaded --profile --live-status /tmp/live.json --live-every 100
+  slacksim report /tmp/live.json /tmp/prof.csv";

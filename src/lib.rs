@@ -46,7 +46,9 @@ pub use slacksim_cmp::config::{CmpConfig, CoreConfig, UncoreConfig};
 pub use slacksim_core::checkpoint::{CheckpointMode, Checkpointable};
 pub use slacksim_core::engine::{BurstPolicy, EngineConfig, EngineError};
 pub use slacksim_core::model;
-pub use slacksim_core::obs::{ObsConfig, ObsData};
+pub use slacksim_core::obs::{
+    LiveConfig, LiveStats, ObsConfig, ObsData, ProfData, ProfSite, Profiler, HEARTBEAT_VERSION,
+};
 pub use slacksim_core::sched::{HostSched, SchedRef, SchedSite, TaskId};
 pub use slacksim_core::scheme;
 pub use slacksim_core::speculative::{SpeculationConfig, ViolationSelect};
@@ -105,6 +107,8 @@ pub struct Simulation {
     max_lead: u64,
     speculation: Option<SpeculationConfig>,
     obs: Option<ObsConfig>,
+    profile: bool,
+    live: Option<LiveConfig>,
     sched: Option<SchedRef>,
     save_state: Option<PathBuf>,
     resume: Option<PathBuf>,
@@ -126,6 +130,8 @@ impl Simulation {
             max_lead: 256,
             speculation: None,
             obs: None,
+            profile: false,
+            live: None,
             sched: None,
             save_state: None,
             resume: None,
@@ -200,6 +206,27 @@ impl Simulation {
     /// exportable) in [`SimReport::obs`].
     pub fn observability(&mut self, obs: ObsConfig) -> &mut Self {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Enables the host-time span profiler: every engine thread
+    /// attributes its wall-clock time to a fixed set of sites (core
+    /// ticks, wait-ladder tiers, manager drain/service, checkpointing,
+    /// persist I/O). The finished report then carries [`ProfData`] in
+    /// [`SimReport::prof`], renderable as a table or CSV. Profiling never
+    /// perturbs simulation results — only host time is observed.
+    pub fn profile(&mut self, enabled: bool) -> &mut Self {
+        self.profile = enabled;
+        self
+    }
+
+    /// Enables live run telemetry: a heartbeat line of JSON emitted on a
+    /// host-time cadence to the sinks configured in [`LiveConfig`]
+    /// (stderr and/or an atomically replaced status file). The emitter
+    /// runs on its own observer thread and reads engine-published
+    /// atomics, so simulation threads are never stalled.
+    pub fn live(&mut self, live: LiveConfig) -> &mut Self {
+        self.live = Some(live);
         self
     }
 
@@ -317,6 +344,10 @@ impl Simulation {
         cfg.max_lead = self.max_lead;
         cfg.speculation = self.speculation;
         cfg.obs = self.obs;
+        if self.profile {
+            cfg.prof = Some(Profiler::enabled());
+        }
+        cfg.live = self.live.clone();
         if let Some(sched) = &self.sched {
             cfg.sched = sched.clone();
         }

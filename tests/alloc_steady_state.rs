@@ -107,3 +107,74 @@ fn threaded_manager_loop_is_allocation_free_at_steady_state() {
          exceeds sequential ({seq})"
     );
 }
+
+fn allocs_for_instrumented_run(
+    engine: slacksim::EngineKind,
+    scheme: slacksim::scheme::Scheme,
+    commit: u64,
+) -> u64 {
+    use std::sync::{Arc, Mutex};
+    // Pre-reserved so appending beats never grows the capture buffer —
+    // the quantity under test is the engine's and emitter's steady
+    // state, not the sink's.
+    let capture = Arc::new(Mutex::new(String::with_capacity(1 << 20)));
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let report = {
+        let mut sim = slacksim::Simulation::new(slacksim::Benchmark::Fft);
+        sim.cores(8)
+            .commit_target(commit)
+            .seed(1)
+            .scheme(scheme)
+            .engine(engine)
+            .profile(true)
+            .live(
+                slacksim::LiveConfig::new()
+                    .every(std::time::Duration::from_millis(1))
+                    .to_capture(Arc::clone(&capture)),
+            );
+        sim.run().expect("run")
+    };
+    assert!(report.committed >= commit);
+    assert!(
+        !capture.lock().unwrap().is_empty(),
+        "emitter beat at least once"
+    );
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+/// Allocation growth of an instrumented (profiler + live emitter) run
+/// attributable to ~2X extra steady-state work.
+fn steady_delta_instrumented(
+    engine: slacksim::EngineKind,
+    scheme: &slacksim::scheme::Scheme,
+) -> u64 {
+    let _ = allocs_for_instrumented_run(engine, scheme.clone(), 5_000);
+    let short = allocs_for_instrumented_run(engine, scheme.clone(), 20_000);
+    let long = allocs_for_instrumented_run(engine, scheme.clone(), 60_000);
+    long.saturating_sub(short)
+}
+
+/// Profiling spans are two monotonic clock reads and a few relaxed
+/// atomics; heartbeat rendering reuses one pre-sized buffer and the
+/// engine publishes telemetry through plain atomic stores. None of it
+/// may allocate per unit of simulated work: an instrumented run's
+/// steady-state allocation growth must match an uninstrumented one's.
+/// Per-run constants (emitter thread, profiler arena, render buffer)
+/// cancel out of the short/long difference.
+#[test]
+fn profiling_and_live_emission_are_allocation_free_at_steady_state() {
+    use slacksim::scheme::Scheme;
+    use slacksim::EngineKind;
+
+    for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+        let plain = steady_delta(engine, &Scheme::CycleByCycle);
+        let instrumented = steady_delta_instrumented(engine, &Scheme::CycleByCycle);
+        assert!(
+            instrumented as f64 <= plain as f64 * 1.15 + 256.0,
+            "{engine:?}: instrumented steady-state allocation growth \
+             ({instrumented}) exceeds uninstrumented ({plain}) — a span \
+             guard, telemetry store or heartbeat render is allocating per \
+             unit of work"
+        );
+    }
+}

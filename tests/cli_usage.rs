@@ -252,3 +252,91 @@ fn small_valid_run_succeeds_and_prints_a_report() {
     let text = stdout(&out);
     assert!(!text.is_empty(), "report printed to stdout");
 }
+
+#[test]
+fn help_documents_profiling_live_telemetry_and_report() {
+    let out = slacksim(&["--help"]);
+    let text = stdout(&out);
+    for token in [
+        "--profile",
+        "--profile-csv",
+        "--live-stderr",
+        "--live-status",
+        "--live-every",
+        "slacksim report PATH...",
+    ] {
+        assert!(text.contains(token), "help must document {token}");
+    }
+}
+
+#[test]
+fn live_every_without_a_sink_is_rejected() {
+    let out = slacksim(&["--live-every", "100"]);
+    assert_usage_error(&out, &["--live-every", "--live-stderr", "--live-status"]);
+}
+
+#[test]
+fn profiled_run_prints_the_host_time_table_and_writes_csv() {
+    let dir = std::env::temp_dir().join(format!("slacksim-cli-prof-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv_path = dir.join("prof.csv");
+    let status_path = dir.join("live.json");
+    let out = slacksim(&[
+        "--cores",
+        "2",
+        "--commit",
+        "20000",
+        "--profile",
+        "--profile-csv",
+        csv_path.to_str().unwrap(),
+        "--live-status",
+        status_path.to_str().unwrap(),
+        "--live-every",
+        "5",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("host-time profile:"), "table printed: {text}");
+    assert!(text.contains("core-tick"), "table lists the tick site");
+    assert!(text.contains("coverage"), "table footer states coverage");
+
+    let csv = std::fs::read_to_string(&csv_path).expect("profile CSV written");
+    assert!(csv.starts_with("site,count,total_ns,self_ns,self_share"));
+    let status = std::fs::read_to_string(&status_path).expect("status file written");
+    assert_eq!(status.lines().count(), 1, "one atomic beat in the file");
+
+    // `slacksim report` renders both artifacts and exits 0.
+    let rep = slacksim(&[
+        "report",
+        csv_path.to_str().unwrap(),
+        status_path.to_str().unwrap(),
+    ]);
+    assert!(rep.status.success(), "stderr: {}", stderr(&rep));
+    let rendered = stdout(&rep);
+    assert!(rendered.contains("host-time profile"));
+    assert!(rendered.contains("live-status heartbeats"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn report_without_paths_exits_2() {
+    let out = slacksim(&["report"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("report expects at least one PATH"));
+}
+
+#[test]
+fn report_on_unrecognized_artifact_exits_1() {
+    let dir = std::env::temp_dir().join(format!("slacksim-cli-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.txt");
+    std::fs::write(&bad, "not an artifact\n").unwrap();
+    let out = slacksim(&["report", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("unrecognized artifact"));
+    let missing = dir.join("does-not-exist");
+    let out = slacksim(&["report", missing.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stderr(&out).contains("cannot read"));
+    std::fs::remove_dir_all(&dir).ok();
+}

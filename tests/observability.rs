@@ -237,3 +237,107 @@ fn metrics_samples_are_always_finite() {
         }
     }
 }
+
+/// Regression for the final-partial-window bug: with a sampling cadence
+/// longer than the run, no periodic sample ever fired and CSV exports
+/// were empty. Both engines now flush one terminal sample at the final
+/// global cycle, and when the run length is not a multiple of the
+/// cadence the last sample must land exactly on the final cycle.
+#[test]
+fn final_partial_window_is_flushed_on_both_engines() {
+    for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+        // Cadence far beyond the run length: only the terminal flush can
+        // produce samples.
+        let mut sim = Simulation::new(Benchmark::Fft);
+        sim.cores(2)
+            .commit_target(5_000)
+            .seed(7)
+            .scheme(Scheme::UnboundedSlack)
+            .engine(engine)
+            .observability(ObsConfig::default().with_sample_every(u64::MAX / 4));
+        let report = sim.run().expect("run completes");
+        let obs = report.obs.as_ref().expect("obs attached");
+        for series in ["violation_rate", "globalq_depth", "drift.core0"] {
+            let points = obs
+                .metrics
+                .gauges()
+                .find(|(name, _)| *name == series)
+                .map(|(_, p)| p.to_vec())
+                .unwrap_or_default();
+            assert_eq!(
+                points.len(),
+                1,
+                "{engine:?}: {series} expected exactly the terminal sample"
+            );
+            assert_eq!(
+                points[0].cycle, report.global_cycles,
+                "{engine:?}: terminal {series} sample lands on the final cycle"
+            );
+        }
+
+        // Odd cadence vs run length: the last sample is the terminal
+        // flush at the exact final cycle, and cycles stay strictly
+        // increasing (no duplicate when a periodic sample already landed
+        // there).
+        let mut sim = Simulation::new(Benchmark::Fft);
+        sim.cores(2)
+            .commit_target(5_000)
+            .seed(7)
+            .scheme(Scheme::UnboundedSlack)
+            .engine(engine)
+            .observability(ObsConfig::default().with_sample_every(997));
+        let report = sim.run().expect("run completes");
+        let obs = report.obs.as_ref().expect("obs attached");
+        let (_, points) = obs
+            .metrics
+            .gauges()
+            .find(|(name, _)| *name == "violation_rate")
+            .expect("violation_rate sampled");
+        assert_eq!(points.last().unwrap().cycle, report.global_cycles);
+        assert!(points.windows(2).all(|w| w[0].cycle < w[1].cycle));
+    }
+}
+
+/// Satellite of the profiler work: ring overflow must be diagnosable
+/// mid-run, so the registry carries a `trace_dropped` gauge sampled on
+/// the metrics cadence. A tiny ring on a busy run must show a growing
+/// dropped count, and the report's dropped total must match the final
+/// gauge sample.
+#[test]
+fn trace_dropped_gauge_tracks_ring_overflow() {
+    for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+        let mut sim = Simulation::new(Benchmark::Fft);
+        sim.cores(4)
+            .commit_target(40_000)
+            .seed(7)
+            .scheme(Scheme::BoundedSlack { bound: 8 })
+            .engine(engine)
+            .observability(
+                ObsConfig::default()
+                    .with_sample_every(256)
+                    .with_trace_capacity(16),
+            );
+        let report = sim.run().expect("run completes");
+        let obs = report.obs.as_ref().expect("obs attached");
+        let (_, points) = obs
+            .metrics
+            .gauges()
+            .find(|(name, _)| *name == "trace_dropped")
+            .expect("trace_dropped gauge sampled");
+        assert!(!points.is_empty());
+        assert!(
+            points.windows(2).all(|w| w[0].value <= w[1].value),
+            "{engine:?}: dropped counter is monotone"
+        );
+        let last = points.last().unwrap().value as u64;
+        assert!(last > 0, "{engine:?}: 16-record rings must overflow");
+        // A few records can still drop between the terminal gauge sample
+        // and the end of collection (epilogue trace records), so the
+        // gauge is a lower bound on the report's authoritative total.
+        assert!(
+            last <= obs.dropped,
+            "{engine:?}: final gauge sample {last} exceeds the report total {}",
+            obs.dropped
+        );
+    }
+}

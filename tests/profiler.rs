@@ -1,0 +1,217 @@
+//! Integration tests of the host-time profiler and live telemetry end to
+//! end: a profiled run must attach a per-site profile that covers most of
+//! the measured wall-clock, live heartbeats must be valid versioned
+//! single-line JSON, and neither may change what the simulation computes.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use slacksim::scheme::Scheme;
+use slacksim::slacksim_core::obs::json::Json;
+use slacksim::{
+    Benchmark, EngineKind, LiveConfig, ProfSite, SimReport, Simulation, HEARTBEAT_VERSION,
+};
+
+fn profiled_run(engine: EngineKind, commit: u64) -> SimReport {
+    let mut sim = Simulation::new(Benchmark::Fft);
+    sim.cores(4)
+        .commit_target(commit)
+        .seed(7)
+        .scheme(Scheme::BoundedSlack { bound: 8 })
+        .engine(engine)
+        .profile(true);
+    sim.run().expect("profiled run completes")
+}
+
+#[test]
+fn prof_is_absent_without_profile_flag() {
+    let report = Simulation::new(Benchmark::Fft)
+        .cores(2)
+        .commit_target(10_000)
+        .scheme(Scheme::UnboundedSlack)
+        .run()
+        .expect("run completes");
+    assert!(
+        report.prof.is_none(),
+        "no profile requested => none attached"
+    );
+}
+
+#[test]
+fn sequential_profile_covers_most_of_the_wall_clock() {
+    let report = profiled_run(EngineKind::Sequential, 60_000);
+    let prof = report.prof.as_ref().expect("profile attached");
+    assert_eq!(prof.threads, 1);
+    assert!(prof.wall_ns > 0);
+    // The sequential engine's whole main loop is inside spans, so nearly
+    // all host time is attributed. The bound is looser than the observed
+    // ~96% to tolerate loaded CI machines.
+    assert!(
+        prof.coverage() > 0.75,
+        "sequential self-time coverage {:.1}% too low",
+        prof.coverage() * 100.0
+    );
+    let ticks = prof
+        .sites
+        .iter()
+        .find(|s| s.site == ProfSite::CoreTick)
+        .expect("core-tick site present");
+    assert!(ticks.count > 0 && ticks.self_ns > 0);
+}
+
+#[test]
+fn threaded_profile_covers_most_of_the_wall_clock() {
+    let report = profiled_run(EngineKind::Threaded, 60_000);
+    let prof = report.prof.as_ref().expect("profile attached");
+    assert_eq!(prof.threads, 5, "4 cores + manager record");
+    // Core threads spend their time ticking or in the instrumented wait
+    // ladder; the only uncovered host time is loop glue. The bound is
+    // deliberately loose: on an oversubscribed host, preempted threads
+    // accrue wall-clock outside any span.
+    assert!(
+        prof.coverage() > 0.5,
+        "threaded self-time coverage {:.1}% too low",
+        prof.coverage() * 100.0
+    );
+    for site in [ProfSite::CoreTick, ProfSite::ManagerService] {
+        assert!(
+            prof.sites.iter().any(|s| s.site == site && s.count > 0),
+            "{site:?} missing from threaded profile"
+        );
+    }
+}
+
+#[test]
+fn profile_table_and_csv_agree_with_the_data() {
+    let report = profiled_run(EngineKind::Sequential, 20_000);
+    let prof = report.prof.as_ref().unwrap();
+
+    let table = prof.table();
+    assert!(table.contains("site"), "table has a header");
+    assert!(table.contains("core-tick"));
+    assert!(table.contains("coverage"));
+
+    let csv = prof.csv();
+    let mut lines = csv.lines();
+    assert_eq!(lines.next(), Some("site,count,total_ns,self_ns,self_share"));
+    let mut self_sum = 0u64;
+    let mut saw_wall = false;
+    for line in lines {
+        let cols: Vec<&str> = line.split(',').collect();
+        assert_eq!(cols.len(), 5, "malformed CSV row {line:?}");
+        match cols[0] {
+            "wall_ns" => {
+                assert_eq!(cols[2].parse::<u64>().unwrap(), prof.wall_ns);
+                saw_wall = true;
+            }
+            "threads" => assert_eq!(cols[2].parse::<u64>().unwrap(), prof.threads),
+            name => {
+                assert!(ProfSite::parse(name).is_some(), "unknown site {name:?}");
+                self_sum += cols[3].parse::<u64>().unwrap();
+            }
+        }
+    }
+    assert!(saw_wall, "CSV carries the wall-clock footer row");
+    assert_eq!(
+        self_sum,
+        prof.total_self_ns(),
+        "CSV self-times sum to total"
+    );
+}
+
+#[test]
+fn live_heartbeats_are_valid_versioned_single_line_json() {
+    let capture = Arc::new(Mutex::new(String::with_capacity(1 << 16)));
+    let mut sim = Simulation::new(Benchmark::Fft);
+    sim.cores(2)
+        .commit_target(60_000)
+        .seed(7)
+        .scheme(Scheme::BoundedSlack { bound: 8 })
+        .engine(EngineKind::Threaded)
+        .profile(true)
+        .live(
+            LiveConfig::new()
+                .every(Duration::from_millis(1))
+                .to_capture(Arc::clone(&capture)),
+        );
+    let report = sim.run().expect("live run completes");
+
+    let out = capture.lock().unwrap();
+    let lines: Vec<&str> = out.lines().collect();
+    assert!(!lines.is_empty(), "at least the terminal beat is emitted");
+    let mut last_elapsed = 0.0;
+    for line in &lines {
+        let beat = Json::parse(line).unwrap_or_else(|e| panic!("invalid beat {line:?}: {e}"));
+        assert_eq!(
+            beat.get("v").and_then(Json::as_f64),
+            Some(HEARTBEAT_VERSION as f64)
+        );
+        let elapsed = beat.get("elapsed_ms").and_then(Json::as_f64).unwrap();
+        assert!(elapsed >= last_elapsed, "elapsed_ms is monotone");
+        last_elapsed = elapsed;
+        let progress = beat.get("progress").and_then(Json::as_f64).unwrap();
+        assert!((0.0..=1.0).contains(&progress));
+        for key in [
+            "committed",
+            "commit_target",
+            "commits_per_sec",
+            "global_cycle",
+            "violations",
+            "violation_rate",
+            "dropped_traces",
+            "checkpoints",
+            "rollbacks",
+        ] {
+            assert!(
+                beat.get(key).and_then(Json::as_f64).is_some(),
+                "beat missing numeric field {key}: {line}"
+            );
+        }
+        let queues = beat.get("queues").expect("queues object");
+        for q in ["outq", "inq", "globalq"] {
+            assert!(queues.get(q).and_then(Json::as_f64).is_some());
+        }
+        assert!(beat.get("sites").and_then(Json::as_object).is_some());
+    }
+
+    // The terminal beat observed the finished run.
+    let last = Json::parse(lines.last().unwrap()).unwrap();
+    assert_eq!(
+        last.get("committed").and_then(Json::as_f64),
+        Some(report.committed as f64)
+    );
+    assert_eq!(last.get("progress").and_then(Json::as_f64), Some(1.0));
+    assert!(
+        last.get("commits_per_sec").and_then(Json::as_f64).unwrap() > 0.0,
+        "terminal beat reports the lifetime rate, not an empty window"
+    );
+}
+
+#[test]
+fn live_status_file_holds_one_complete_beat() {
+    let dir = std::env::temp_dir().join(format!("slacksim-live-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("status.json");
+    let mut sim = Simulation::new(Benchmark::Fft);
+    sim.cores(2)
+        .commit_target(30_000)
+        .seed(7)
+        .scheme(Scheme::UnboundedSlack)
+        .engine(EngineKind::Sequential)
+        .live(
+            LiveConfig::new()
+                .every(Duration::from_millis(2))
+                .to_file(&path),
+        );
+    sim.run().expect("run completes");
+
+    let body = std::fs::read_to_string(&path).expect("status file written");
+    assert_eq!(
+        body.lines().count(),
+        1,
+        "atomic replace keeps exactly one beat"
+    );
+    let beat = Json::parse(body.trim_end()).expect("status file is one valid beat");
+    assert_eq!(beat.get("progress").and_then(Json::as_f64), Some(1.0));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -8,10 +8,14 @@
 //! Besides the human-readable table on stdout, the harness writes
 //! machine-readable results to `BENCH_threaded.json` at the workspace root
 //! (override with `SLACKSIM_BENCH_OUT`) so the repo's perf trajectory can
-//! be tracked across PRs. Each result row records the engine, scheme,
-//! core count, slack bound, wall time and events/sec. The file is
-//! re-parsed with the in-tree `obs::json` parser before the process exits,
-//! so a malformed emitter fails the bench rather than poisoning the
+//! be tracked across PRs, plus the batched (quantum-compiled) engine's
+//! rows to `BENCH_batched.json` (override with
+//! `SLACKSIM_BENCH_OUT_BATCHED`) together with a
+//! `speedup_vs_sequential_quantum` summary — the headline number of the
+//! batched engine. Each result row records the engine, scheme, core
+//! count, slack bound, wall time and events/sec. The files are re-parsed
+//! with the in-tree `obs::json` parser before the process exits, so a
+//! malformed emitter fails the bench rather than poisoning the
 //! trajectory.
 //!
 //! Environment knobs:
@@ -20,9 +24,12 @@
 //!   CI smoke runs;
 //! * `SLACKSIM_BENCH_BASELINE=path` — embed a previous `BENCH_threaded.json`
 //!   under a `"baseline"` key and report per-row speedups against it;
+//! * `SLACKSIM_BENCH_BASELINE_BATCHED=path` — likewise for the batched
+//!   results file;
 //! * `SLACKSIM_BENCH_TOLERANCE=R` — with a baseline, fail (exit non-zero)
 //!   if any row's median throughput drops below `R×` the baseline row's,
-//!   so baseline drift fails CI loudly instead of passing unnoticed;
+//!   so baseline drift fails CI loudly instead of passing unnoticed (the
+//!   gate applies to each results file against its own baseline);
 //! * `SLACKSIM_BENCH_PROFILE=1` — run each configuration with the
 //!   host-time profiler attached (DESIGN §14) and print the top
 //!   per-site self-time shares under each row, to see where a slow
@@ -213,6 +220,7 @@ fn emit_json(
     commit_target: u64,
     iters: u32,
     baseline_raw: Option<&str>,
+    extra_keys: &[(&str, String)],
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -261,6 +269,9 @@ fn emit_json(
             jnum(delta.stats.wall_ms_median),
             jnum(full.stats.wall_ms_median / delta.stats.wall_ms_median),
         );
+    }
+    for (k, v) in extra_keys {
+        let _ = write!(out, ",\n  \"{k}\": {v}");
     }
     if let Some(raw) = baseline_raw {
         // Embed the previous run verbatim (it was validated when written)
@@ -346,58 +357,87 @@ fn main() {
         ));
     }
 
-    let baseline_raw = std::env::var("SLACKSIM_BENCH_BASELINE")
-        .ok()
-        .and_then(|p| std::fs::read_to_string(p).ok())
-        // Validate before embedding: a malformed baseline would otherwise
-        // surface as a confusing failure of the emitter's own self-check.
-        .filter(|raw| match Json::parse(raw) {
-            Ok(_) => true,
-            Err(e) => {
-                eprintln!("warning: ignoring malformed SLACKSIM_BENCH_BASELINE: {e}");
-                false
-            }
-        });
-    let json = emit_json(&rows, commit_target, iters, baseline_raw.as_deref());
+    // Batched engine rows (quantum-compiled BSP stepping, DESIGN §15).
+    // The batched engine only accepts barrier schemes, so its rows are
+    // the quantum family; they go to a separate BENCH_batched.json so the
+    // batched trajectory gates independently of the threaded one.
+    let mut batched_rows = Vec::new();
+    for (name, bound, scheme) in [
+        ("quantum-50", Some(50), Scheme::Quantum { quantum: 50 }),
+        ("quantum-500", Some(500), Scheme::Quantum { quantum: 500 }),
+    ] {
+        batched_rows.push(bench(
+            EngineKind::Batched,
+            "batched",
+            scheme,
+            name,
+            bound,
+            commit_target,
+            iters,
+            None,
+        ));
+    }
+
+    let baseline_raw = load_baseline("SLACKSIM_BENCH_BASELINE");
+    let json = emit_json(&rows, commit_target, iters, baseline_raw.as_deref(), &[]);
     // Fail loudly if the hand-rolled emitter ever produces malformed JSON.
     Json::parse(&json).expect("emitted BENCH_threaded.json must be well-formed");
 
-    // Baseline drift gate (ci.sh bench smoke): every row the baseline
+    // The batched engine's headline number: median commit throughput of
+    // the quantum-50 row over the sequential engine's quantum-50 row —
+    // the speedup the quantum-compiled loop buys on identical work.
+    let seq_q50 = rows
+        .iter()
+        .find(|r| r.engine == "sequential" && r.scheme_name == "quantum-50")
+        .expect("sequential quantum-50 row");
+    let bat_q50 = batched_rows
+        .iter()
+        .find(|r| r.scheme_name == "quantum-50")
+        .expect("batched quantum-50 row");
+    let extra_keys = [
+        (
+            "sequential_quantum_commits_per_sec",
+            jnum(seq_q50.commits_per_sec()),
+        ),
+        (
+            "speedup_vs_sequential_quantum",
+            jnum(bat_q50.commits_per_sec() / seq_q50.commits_per_sec()),
+        ),
+    ];
+    let batched_baseline_raw = load_baseline("SLACKSIM_BENCH_BASELINE_BATCHED");
+    let batched_json = emit_json(
+        &batched_rows,
+        commit_target,
+        iters,
+        batched_baseline_raw.as_deref(),
+        &extra_keys,
+    );
+    Json::parse(&batched_json).expect("emitted BENCH_batched.json must be well-formed");
+    println!(
+        "batched/quantum-50: {:.2}x sequential/quantum-50 commit throughput",
+        bat_q50.commits_per_sec() / seq_q50.commits_per_sec()
+    );
+
+    // Baseline drift gates (ci.sh bench smoke): every row a baseline
     // knows must keep at least `SLACKSIM_BENCH_TOLERANCE`× its median
     // throughput; anything slower — or a baseline sharing no rows at all —
-    // fails the bench rather than letting drift pass unnoticed.
+    // fails the bench rather than letting drift pass unnoticed. Each
+    // results file gates against its own baseline.
     if let Some(tol) = std::env::var("SLACKSIM_BENCH_TOLERANCE")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
     {
-        let Some(raw) = baseline_raw.as_deref() else {
-            eprintln!(
-                "error: SLACKSIM_BENCH_TOLERANCE set without a readable SLACKSIM_BENCH_BASELINE"
-            );
-            std::process::exit(1);
-        };
-        let speedups = speedups_vs(&rows, raw);
-        if speedups.is_empty() {
-            eprintln!("error: baseline shares no engine/scheme rows with this run");
-            std::process::exit(1);
-        }
-        for r in &rows {
-            if !speedups.iter().any(|(k, _)| *k == r.key()) {
-                eprintln!("bench check: {} has no baseline row yet, skipped", r.key());
-            }
-        }
-        let slow: Vec<&(String, f64)> = speedups.iter().filter(|(_, s)| *s < tol).collect();
-        for (k, s) in &slow {
-            eprintln!(
-                "bench check: {k} at {s:.3}x of baseline median throughput, below tolerance {tol}x"
-            );
-        }
-        if !slow.is_empty() {
-            std::process::exit(1);
-        }
-        println!(
-            "bench check: {} rows within {tol}x-of-baseline tolerance",
-            speedups.len()
+        tolerance_gate(
+            &rows,
+            baseline_raw.as_deref(),
+            tol,
+            "SLACKSIM_BENCH_BASELINE",
+        );
+        tolerance_gate(
+            &batched_rows,
+            batched_baseline_raw.as_deref(),
+            tol,
+            "SLACKSIM_BENCH_BASELINE_BATCHED",
         );
     }
 
@@ -406,4 +446,58 @@ fn main() {
     });
     std::fs::write(&out_path, &json).expect("write BENCH_threaded.json");
     println!("wrote {out_path}");
+
+    let batched_out_path = std::env::var("SLACKSIM_BENCH_OUT_BATCHED").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batched.json").to_string()
+    });
+    std::fs::write(&batched_out_path, &batched_json).expect("write BENCH_batched.json");
+    println!("wrote {batched_out_path}");
+}
+
+/// Reads and validates a baseline document named by the environment
+/// variable `var`. A malformed baseline would otherwise surface as a
+/// confusing failure of the emitter's own self-check.
+fn load_baseline(var: &str) -> Option<String> {
+    std::env::var(var)
+        .ok()
+        .and_then(|p| std::fs::read_to_string(p).ok())
+        .filter(|raw| match Json::parse(raw) {
+            Ok(_) => true,
+            Err(e) => {
+                eprintln!("warning: ignoring malformed {var}: {e}");
+                false
+            }
+        })
+}
+
+/// Exits non-zero unless every row the baseline knows keeps at least
+/// `tol`× its median throughput.
+fn tolerance_gate(rows: &[ResultRow], baseline_raw: Option<&str>, tol: f64, var: &str) {
+    let Some(raw) = baseline_raw else {
+        eprintln!("error: SLACKSIM_BENCH_TOLERANCE set without a readable {var}");
+        std::process::exit(1);
+    };
+    let speedups = speedups_vs(rows, raw);
+    if speedups.is_empty() {
+        eprintln!("error: {var} shares no engine/scheme rows with this run");
+        std::process::exit(1);
+    }
+    for r in rows {
+        if !speedups.iter().any(|(k, _)| *k == r.key()) {
+            eprintln!("bench check: {} has no baseline row yet, skipped", r.key());
+        }
+    }
+    let slow: Vec<&(String, f64)> = speedups.iter().filter(|(_, s)| *s < tol).collect();
+    for (k, s) in &slow {
+        eprintln!(
+            "bench check: {k} at {s:.3}x of baseline median throughput, below tolerance {tol}x"
+        );
+    }
+    if !slow.is_empty() {
+        std::process::exit(1);
+    }
+    println!(
+        "bench check: {} rows within {tol}x-of-baseline tolerance",
+        speedups.len()
+    );
 }

@@ -14,8 +14,6 @@
 //! memory reply would delay an unrelated earlier-ready transfer), which
 //! the target's split-transaction bus does not have.
 
-use std::collections::BTreeSet;
-
 use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
 use slacksim_core::time::Cycle;
@@ -26,7 +24,11 @@ use slacksim_core::violation::TimestampMonitor;
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct SlotCalendar {
     occupancy: u64,
-    reserved: BTreeSet<u64>,
+    /// Reservation starts, ascending and duplicate-free. Arrivals are
+    /// near-monotone, so inserts land at (or within a few elements of) the
+    /// tail — a sorted `Vec` beats a `BTreeSet` on both the binary-searched
+    /// conflict probe and the insert, with no per-node allocation.
+    reserved: Vec<u64>,
     horizon: u64,
 }
 
@@ -40,7 +42,7 @@ impl SlotCalendar {
         assert!(occupancy >= 1, "bus occupancy must be at least 1");
         SlotCalendar {
             occupancy,
-            reserved: BTreeSet::new(),
+            reserved: Vec::new(),
             horizon: 0,
         }
     }
@@ -49,26 +51,48 @@ impl SlotCalendar {
     /// `occupancy` cycles are all free.
     fn reserve(&mut self, from: u64) -> u64 {
         let c = self.occupancy;
+        // Past-the-horizon fast path: every existing reservation starts at
+        // or below `horizon`, so a request at `horizon + c` or later can
+        // never overlap one — its slot is free by construction. Requests
+        // arrive in near-monotone timestamp order on every engine's
+        // servicing path, so this branch takes the tree walk off the hot
+        // path entirely for uncontended traffic.
+        if from >= self.horizon + c || self.reserved.is_empty() {
+            // Strictly past every existing start, so pushing keeps the Vec
+            // sorted.
+            self.reserved.push(from);
+            self.horizon = self.horizon.max(from);
+            self.maybe_prune();
+            return from;
+        }
         let mut slot = from;
+        let mut end = self.reserved.partition_point(|&r| r < slot + c);
         loop {
-            // Any reservation r with r + c > slot and r < slot + c overlaps.
-            let conflict = self
-                .reserved
-                .range(slot.saturating_sub(c - 1)..slot + c)
-                .next_back()
-                .copied();
-            match conflict {
-                Some(r) => slot = r + c,
-                None => break,
+            // Any reservation r with r + c > slot and r < slot + c overlaps;
+            // the latest such r (if any) sits just before `end`.
+            match self.reserved[..end].last().copied() {
+                Some(r) if r + c > slot => {
+                    slot = r + c;
+                    end += self.reserved[end..].partition_point(|&r| r < slot + c);
+                }
+                _ => break,
             }
         }
-        self.reserved.insert(slot);
+        self.reserved.insert(end, slot);
         self.horizon = self.horizon.max(slot);
+        self.maybe_prune();
+        slot
+    }
+
+    /// Drops reservations far enough behind the horizon that no future
+    /// request can legitimately land among them (see [`PRUNE_WINDOW`]).
+    #[inline]
+    fn maybe_prune(&mut self) {
         if self.reserved.len() > 4096 {
             let cutoff = self.horizon.saturating_sub(PRUNE_WINDOW);
-            self.reserved = self.reserved.split_off(&cutoff);
+            let keep_from = self.reserved.partition_point(|&r| r < cutoff);
+            self.reserved.drain(..keep_from);
         }
-        slot
     }
 
     /// Serializes the calendar (occupancy is configuration, not stored).
@@ -83,10 +107,12 @@ impl SlotCalendar {
     fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
         let horizon = r.u64()?;
         let n = r.u32()? as usize;
-        let mut reserved = BTreeSet::new();
+        let mut reserved = Vec::with_capacity(n.min(4096));
         for _ in 0..n {
-            reserved.insert(r.u64()?);
+            reserved.push(r.u64()?);
         }
+        reserved.sort_unstable();
+        reserved.dedup();
         if reserved.len() != n {
             return Err(PersistError::Corrupt("duplicate bus reservation slot"));
         }

@@ -215,6 +215,20 @@ impl CacheDelta {
     }
 }
 
+/// Outcome of [`Cache::probe_writable_modify`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreProbe {
+    /// Writable copy was resident: the line is now Modified and the hit
+    /// was counted.
+    Written,
+    /// The line is resident but not writable (Shared): an upgrade is
+    /// required. Nothing was mutated.
+    NeedsUpgrade,
+    /// The line is not resident: a read-for-ownership is required.
+    /// Nothing was mutated.
+    Absent,
+}
+
 impl Cache {
     /// Creates an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
@@ -276,6 +290,80 @@ impl Cache {
             self.misses += 1;
             None
         }
+    }
+
+    /// Combined lookup for the issue path: behaves exactly like a pure
+    /// [`peek`](Cache::peek) followed — only on a hit — by a
+    /// [`probe`](Cache::probe), in a single set scan. On a hit the LRU
+    /// stack, hit counter and set stamp update as `probe` would; on a miss
+    /// *nothing* moves (in particular, no miss is counted — the pipeline's
+    /// miss bookkeeping lives in the core's MSHR path, which `peek`-then-
+    /// `probe` call sites never reached on a miss either).
+    #[inline]
+    pub fn probe_if_resident(&mut self, line: LineAddr) -> Option<MesiState> {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        let ways = &mut self.sets[set];
+        let pos = ways.iter().position(|w| w.tag == tag)?;
+        let touched = ways[pos].lru;
+        for w in ways.iter_mut() {
+            if w.lru < touched {
+                w.lru += 1;
+            }
+        }
+        ways[pos].lru = 0;
+        self.hits += 1;
+        let state = ways[pos].state;
+        self.touch(set);
+        Some(state)
+    }
+
+    /// Combined store lookup: one set scan deciding the write path. A
+    /// writable hit performs the full hit sequence (`peek` + `probe` +
+    /// `set_state(Modified)`) in place; the other outcomes mutate nothing,
+    /// matching the pure `peek` those call sites used to issue.
+    #[inline]
+    pub fn probe_writable_modify(&mut self, line: LineAddr) -> StoreProbe {
+        let set = self.set_index(line);
+        let tag = self.tag(line);
+        let ways = &mut self.sets[set];
+        let Some(pos) = ways.iter().position(|w| w.tag == tag) else {
+            return StoreProbe::Absent;
+        };
+        if !ways[pos].state.writable() {
+            return StoreProbe::NeedsUpgrade;
+        }
+        let touched = ways[pos].lru;
+        for w in ways.iter_mut() {
+            if w.lru < touched {
+                w.lru += 1;
+            }
+        }
+        ways[pos].lru = 0;
+        ways[pos].state = MesiState::Modified;
+        self.hits += 1;
+        self.touch(set);
+        StoreProbe::Written
+    }
+
+    /// Re-probe of the line most recently probed in this cache: counts
+    /// the hit and stamps the set without rescanning. Equivalent to
+    /// [`probe`](Cache::probe) of the set's MRU line — the LRU stack is
+    /// already in post-probe order, so touching it again is the identity.
+    ///
+    /// Callers must guarantee `line` was the last line probed and that no
+    /// fill/invalidate/state change happened since (the issue loop's
+    /// same-I-line fast path re-fetching from one cache line).
+    #[inline]
+    pub fn reprobe_mru(&mut self, line: LineAddr) {
+        let set = self.set_index(line);
+        debug_assert_eq!(
+            self.sets[set].iter().find(|w| w.lru == 0).map(|w| w.tag),
+            Some(self.tag(line)),
+            "reprobe_mru caller invariant: line must be the set's MRU"
+        );
+        self.hits += 1;
+        self.touch(set);
     }
 
     /// Looks the line up without touching LRU or statistics (snoops).

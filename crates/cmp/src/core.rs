@@ -14,11 +14,12 @@
 
 use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::engine::{CoreModel, TickCtx};
+use slacksim_core::event::{Inbox, Timestamped};
 use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
 use slacksim_core::stats::Counters;
 use slacksim_core::time::Cycle;
 
-use crate::cache::{Cache, CacheDelta, LineAddr};
+use crate::cache::{Cache, CacheDelta, LineAddr, StoreProbe};
 use crate::config::{CmpConfig, CoreConfig};
 use crate::event::{MemEvent, ReqId};
 use crate::isa::{Instr, InstrStream, Op};
@@ -50,6 +51,94 @@ struct Mshr {
     waiters: Vec<u64>,
 }
 
+/// The hot per-core scalars: the state the quantum-compiled stepping loop
+/// reads and writes every simulated cycle, split out of the cold bulk
+/// (caches, MSHRs, window contents, event plumbing) so the batched engine
+/// can mirror them in dense arrays (see [`CoreHotSoA`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoreHot {
+    /// Cycles simulated so far (the core's local clock).
+    pub cycles: u64,
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// Instructions drawn from the workload stream so far (the next-fetch
+    /// cursor; streams are deterministic per seed, so this cursor lets a
+    /// persisted core rebuild its exact stream position by replaying a
+    /// fresh stream forward).
+    pub fetched: u64,
+    /// Front-end stall deadline after a branch mispredict.
+    pub fetch_stall_until: Cycle,
+}
+
+/// Struct-of-arrays mirror of every core's hot scalars: per-core local
+/// clocks, commit counters, window occupancy and next-fetch cursors in
+/// dense parallel arrays, indexed by core.
+///
+/// [`gather`](CoreHotSoA::gather) projects a core slice into the arrays
+/// and [`scatter_into`](CoreHotSoA::scatter_into) writes the owned scalars
+/// back. `window_len` is a *derived* projection (the instruction window's
+/// occupancy lives in the window itself), so scatter checks it for
+/// consistency in debug builds rather than writing it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoreHotSoA {
+    /// Per-core local clocks ([`CoreHot::cycles`]).
+    pub local_clock: Vec<u64>,
+    /// Per-core commit counters ([`CoreHot::committed`]).
+    pub committed: Vec<u64>,
+    /// Per-core instruction-window occupancy (derived).
+    pub window_len: Vec<u32>,
+    /// Per-core next-fetch cursors ([`CoreHot::fetched`]).
+    pub next_fetch: Vec<u64>,
+    /// Per-core front-end stall deadlines ([`CoreHot::fetch_stall_until`]).
+    pub fetch_stall_until: Vec<u64>,
+}
+
+impl CoreHotSoA {
+    /// Projects the hot scalars of `cores` into dense parallel arrays.
+    pub fn gather(cores: &[CmpCore]) -> Self {
+        CoreHotSoA {
+            local_clock: cores.iter().map(|c| c.hot.cycles).collect(),
+            committed: cores.iter().map(|c| c.hot.committed).collect(),
+            window_len: cores.iter().map(|c| c.window.len() as u32).collect(),
+            next_fetch: cores.iter().map(|c| c.hot.fetched).collect(),
+            fetch_stall_until: cores
+                .iter()
+                .map(|c| c.hot.fetch_stall_until.as_u64())
+                .collect(),
+        }
+    }
+
+    /// Writes the owned hot scalars back into `cores`, field for field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array lengths do not match the core count.
+    pub fn scatter_into(&self, cores: &mut [CmpCore]) {
+        assert_eq!(self.local_clock.len(), cores.len(), "SoA/core count");
+        for (i, core) in cores.iter_mut().enumerate() {
+            core.hot.cycles = self.local_clock[i];
+            core.hot.committed = self.committed[i];
+            core.hot.fetched = self.next_fetch[i];
+            core.hot.fetch_stall_until = Cycle::new(self.fetch_stall_until[i]);
+            debug_assert_eq!(
+                self.window_len[i] as usize,
+                core.window.len(),
+                "window occupancy is derived from the window contents"
+            );
+        }
+    }
+
+    /// Number of cores mirrored.
+    pub fn len(&self) -> usize {
+        self.local_clock.len()
+    }
+
+    /// Whether the mirror is empty.
+    pub fn is_empty(&self) -> bool {
+        self.local_clock.is_empty()
+    }
+}
+
 /// The simulated target core (pipeline + L1 caches + workload stream).
 ///
 /// # Examples
@@ -68,10 +157,10 @@ struct Mshr {
 pub struct CmpCore {
     cfg: CoreConfig,
     stream: Box<dyn InstrStream>,
-    /// Instructions drawn from `stream` so far. Streams are deterministic
-    /// per seed, so this cursor lets a persisted core rebuild its exact
-    /// stream position by replaying a fresh stream forward.
-    fetched: u64,
+    /// The per-cycle hot scalars (local clock, commit counter, next-fetch
+    /// cursor, front-end stall deadline), split out so [`CoreHotSoA`] can
+    /// mirror them densely; everything below is the cold bulk.
+    hot: CoreHot,
     pending: Option<Instr>,
     window: std::collections::VecDeque<WinEntry>,
     mshrs: Vec<Mshr>,
@@ -80,11 +169,8 @@ pub struct CmpCore {
     next_entry_id: u64,
     next_req: ReqId,
     wait: Option<Wait>,
-    fetch_stall_until: Cycle,
 
-    // Statistics.
-    cycles: u64,
-    committed: u64,
+    // Statistics (the always-hot cycle and commit counters live in `hot`).
     loads: u64,
     stores: u64,
     branches: u64,
@@ -119,16 +205,13 @@ pub struct CmpCore {
 #[derive(Clone)]
 struct CoreRest {
     stream: Box<dyn InstrStream>,
-    fetched: u64,
+    hot: CoreHot,
     pending: Option<Instr>,
     window: std::collections::VecDeque<WinEntry>,
     mshrs: Vec<Mshr>,
     next_entry_id: u64,
     next_req: ReqId,
     wait: Option<Wait>,
-    fetch_stall_until: Cycle,
-    cycles: u64,
-    committed: u64,
     loads: u64,
     stores: u64,
     branches: u64,
@@ -169,8 +252,8 @@ impl CmpCoreDelta {
 impl std::fmt::Debug for CmpCore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CmpCore")
-            .field("cycles", &self.cycles)
-            .field("committed", &self.committed)
+            .field("cycles", &self.hot.cycles)
+            .field("committed", &self.hot.committed)
             .field("window", &self.window.len())
             .field("mshrs", &self.mshrs.len())
             .field("wait", &self.wait)
@@ -185,7 +268,7 @@ impl CmpCore {
         CmpCore {
             cfg: *cfg,
             stream,
-            fetched: 0,
+            hot: CoreHot::default(),
             pending: None,
             window: std::collections::VecDeque::with_capacity(cfg.window),
             mshrs: Vec::with_capacity(cfg.mshrs),
@@ -194,9 +277,6 @@ impl CmpCore {
             next_entry_id: 0,
             next_req: 0,
             wait: None,
-            fetch_stall_until: Cycle::ZERO,
-            cycles: 0,
-            committed: 0,
             loads: 0,
             stores: 0,
             branches: 0,
@@ -223,16 +303,13 @@ impl CmpCore {
     fn rest_snapshot(&self) -> CoreRest {
         CoreRest {
             stream: self.stream.clone(),
-            fetched: self.fetched,
+            hot: self.hot,
             pending: self.pending,
             window: self.window.clone(),
             mshrs: self.mshrs.clone(),
             next_entry_id: self.next_entry_id,
             next_req: self.next_req,
             wait: self.wait,
-            fetch_stall_until: self.fetch_stall_until,
-            cycles: self.cycles,
-            committed: self.committed,
             loads: self.loads,
             stores: self.stores,
             branches: self.branches,
@@ -257,16 +334,13 @@ impl CmpCore {
 
     fn apply_rest(&mut self, rest: CoreRest) {
         self.stream = rest.stream;
-        self.fetched = rest.fetched;
+        self.hot = rest.hot;
         self.pending = rest.pending;
         self.window = rest.window;
         self.mshrs = rest.mshrs;
         self.next_entry_id = rest.next_entry_id;
         self.next_req = rest.next_req;
         self.wait = rest.wait;
-        self.fetch_stall_until = rest.fetch_stall_until;
-        self.cycles = rest.cycles;
-        self.committed = rest.committed;
         self.loads = rest.loads;
         self.stores = rest.stores;
         self.branches = rest.branches;
@@ -315,7 +389,7 @@ impl CmpCore {
     /// itself is not serialized — it is reconstructed from the workload
     /// configuration and replayed to the persisted cursor on load.
     pub fn save_state(&self, w: &mut ByteWriter) {
-        w.u64(self.fetched);
+        w.u64(self.hot.fetched);
         match self.pending {
             Some(instr) => {
                 w.bool(true);
@@ -364,10 +438,10 @@ impl CmpCore {
                 w.u32(req);
             }
         }
-        w.u64(self.fetch_stall_until.as_u64());
+        w.u64(self.hot.fetch_stall_until.as_u64());
         for stat in [
-            self.cycles,
-            self.committed,
+            self.hot.cycles,
+            self.hot.committed,
             self.loads,
             self.stores,
             self.branches,
@@ -461,16 +535,16 @@ impl CmpCore {
         for _ in 0..fetched {
             let _ = self.stream.next_instr();
         }
-        self.fetched = fetched;
+        self.hot.fetched = fetched;
         self.pending = pending;
         self.window = window;
         self.mshrs = mshrs;
         self.next_entry_id = next_entry_id;
         self.next_req = next_req;
         self.wait = wait;
-        self.fetch_stall_until = fetch_stall_until;
-        self.cycles = r.u64()?;
-        self.committed = r.u64()?;
+        self.hot.fetch_stall_until = fetch_stall_until;
+        self.hot.cycles = r.u64()?;
+        self.hot.committed = r.u64()?;
         self.loads = r.u64()?;
         self.stores = r.u64()?;
         self.branches = r.u64()?;
@@ -497,7 +571,7 @@ impl CmpCore {
     fn peek(&mut self) -> Instr {
         if self.pending.is_none() {
             self.pending = Some(self.stream.next_instr());
-            self.fetched += 1;
+            self.hot.fetched += 1;
         }
         self.pending.expect("just filled")
     }
@@ -598,6 +672,12 @@ impl CmpCore {
         let width = self.cfg.issue_width;
         let line_bytes = self.cfg.l1d.line_bytes;
         let iline_bytes = self.cfg.l1i.line_bytes;
+        // Same-I-line fast path, valid only within this call: consecutive
+        // instructions overwhelmingly fetch from one cache line, and the
+        // L1I cannot change between issue slots (fills happen only in
+        // `handle_event`), so after the first probe the line stays MRU and
+        // a re-probe is just the counters.
+        let mut probed_iline: Option<LineAddr> = None;
 
         while issued < width {
             if self.window.len() >= self.cfg.window {
@@ -608,7 +688,13 @@ impl CmpCore {
 
             // Instruction fetch.
             let iline = LineAddr::from_byte_addr(instr.pc, iline_bytes);
-            if self.l1i.peek(iline).is_none() {
+            if probed_iline == Some(iline) {
+                self.l1i_hits += 1;
+                self.l1i.reprobe_mru(iline);
+            } else if self.l1i.probe_if_resident(iline).is_some() {
+                self.l1i_hits += 1;
+                probed_iline = Some(iline);
+            } else {
                 self.l1i_misses += 1;
                 if self.mshrs.len() < self.cfg.mshrs {
                     let req = self.alloc_req();
@@ -632,8 +718,6 @@ impl CmpCore {
                 self.stall_fetch += 1;
                 break;
             }
-            self.l1i_hits += 1;
-            self.l1i.probe(iline); // LRU touch
 
             match instr.op {
                 Op::IntAlu => {
@@ -674,15 +758,14 @@ impl CmpCore {
                     issued += 1;
                     if mispredict {
                         self.mispredicts += 1;
-                        self.fetch_stall_until = now + self.cfg.mispredict_penalty;
+                        self.hot.fetch_stall_until = now + self.cfg.mispredict_penalty;
                         break;
                     }
                 }
                 Op::Load { addr } => {
                     let line = LineAddr::from_byte_addr(addr, line_bytes);
-                    if self.l1d.peek(line).is_some() {
+                    if self.l1d.probe_if_resident(line).is_some() {
                         self.l1d_hits += 1;
-                        self.l1d.probe(line);
                         let lat = self.cfg.l1_hit_latency;
                         self.push_entry(Some(now + lat));
                         self.loads += 1;
@@ -735,20 +818,18 @@ impl CmpCore {
                 }
                 Op::Store { addr } => {
                     let line = LineAddr::from_byte_addr(addr, line_bytes);
-                    match self.l1d.peek(line) {
-                        Some(st) if st.writable() => {
+                    match self.l1d.probe_writable_modify(line) {
+                        StoreProbe::Written => {
                             self.l1d_hits += 1;
-                            self.l1d.probe(line);
-                            self.l1d.set_state(line, MesiState::Modified);
                             let lat = self.cfg.l1_hit_latency;
                             self.push_entry(Some(now + lat));
                             self.stores += 1;
                             self.consume();
                             issued += 1;
                         }
-                        resident => {
+                        miss => {
                             // Shared (upgrade) or absent (read-for-ownership).
-                            let op = if resident.is_some() {
+                            let op = if miss == StoreProbe::NeedsUpgrade {
                                 BusOp::Upgr
                             } else {
                                 BusOp::RdX
@@ -808,7 +889,7 @@ impl CmpCore {
                         break; // drain before synchronising
                     }
                     self.barriers += 1;
-                    self.committed += 1;
+                    self.hot.committed += 1;
                     committed_now += 1;
                     outbox.push(MemEvent::BarrierArrive { id });
                     self.wait = Some(Wait::Barrier(id));
@@ -820,7 +901,7 @@ impl CmpCore {
                         break;
                     }
                     self.lock_acquires += 1;
-                    self.committed += 1;
+                    self.hot.committed += 1;
                     committed_now += 1;
                     outbox.push(MemEvent::LockAcquire { id });
                     self.wait = Some(Wait::Lock(id));
@@ -829,7 +910,7 @@ impl CmpCore {
                 }
                 Op::LockRelease { id } => {
                     self.lock_releases += 1;
-                    self.committed += 1;
+                    self.hot.committed += 1;
                     committed_now += 1;
                     outbox.push(MemEvent::LockRelease { id });
                     self.consume();
@@ -839,6 +920,43 @@ impl CmpCore {
         }
         committed_now
     }
+
+    /// The per-cycle back half shared by [`tick`](CoreModel::tick) and the
+    /// quantum-compiled [`run_window`](CoreModel::run_window): retire up
+    /// to `issue_width` completed instructions in order, then either
+    /// charge the cycle to a stall counter or issue. Event application and
+    /// the cycle counter are the caller's (they differ between the two
+    /// entry points).
+    #[inline]
+    fn retire_and_issue(&mut self, now: Cycle, outbox: &mut Vec<MemEvent>) -> u32 {
+        let mut committed_now = 0u32;
+        while committed_now < self.cfg.issue_width {
+            match self.window.front() {
+                Some(e) if e.done_at.is_some_and(|d| d <= now) => {
+                    self.window.pop_front();
+                    self.hot.committed += 1;
+                    committed_now += 1;
+                }
+                _ => break,
+            }
+        }
+
+        if self.wait.is_some() {
+            self.stall_sync += 1;
+        } else if self.hot.fetch_stall_until > now {
+            self.stall_fetch += 1;
+        } else {
+            committed_now += self.issue(now, outbox);
+        }
+        committed_now
+    }
+}
+
+/// Which stall counter a bulk-skipped region charges.
+enum StallKind {
+    Sync,
+    Fetch,
+    Window,
 }
 
 /// Outcome of looking for an MSHR to coalesce into.
@@ -891,7 +1009,7 @@ impl CoreModel for CmpCore {
 
     fn tick(&mut self, ctx: &mut TickCtx<'_, MemEvent>) -> u32 {
         let now = ctx.now();
-        self.cycles += 1;
+        self.hot.cycles += 1;
         let mut outbox: Vec<MemEvent> = Vec::new();
 
         // 1. Apply due events.
@@ -899,27 +1017,8 @@ impl CoreModel for CmpCore {
             self.handle_event(ev.payload, now, &mut outbox);
         }
 
-        // 2. Retire in order.
-        let mut committed_now = 0u32;
-        while committed_now < self.cfg.issue_width {
-            match self.window.front() {
-                Some(e) if e.done_at.is_some_and(|d| d <= now) => {
-                    self.window.pop_front();
-                    self.committed += 1;
-                    committed_now += 1;
-                }
-                _ => break,
-            }
-        }
-
-        // 3. Issue.
-        if self.wait.is_some() {
-            self.stall_sync += 1;
-        } else if self.fetch_stall_until > now {
-            self.stall_fetch += 1;
-        } else {
-            committed_now += self.issue(now, &mut outbox);
-        }
+        // 2. Retire, 3. issue (shared with `run_window`).
+        let committed_now = self.retire_and_issue(now, &mut outbox);
 
         for ev in outbox {
             ctx.emit(ev);
@@ -927,14 +1026,110 @@ impl CoreModel for CmpCore {
         committed_now
     }
 
+    fn run_window(
+        &mut self,
+        from: Cycle,
+        to: Cycle,
+        inbox: &mut Inbox<MemEvent>,
+        staged: &mut Vec<Timestamped<MemEvent>>,
+    ) -> u64 {
+        let start_committed = self.hot.committed;
+        let mut now = from;
+        // One reusable outbox for the whole window: almost every cycle
+        // emits nothing, and the ones that do drain straight into the
+        // staging buffer, so the per-tick `Vec::new` of the generic loop
+        // never allocates here.
+        let mut outbox: Vec<MemEvent> = Vec::new();
+        // The inbox is exclusively borrowed for the entire window, so its
+        // contents only shrink as this loop pops: the next due timestamp
+        // is a loop variable, not a per-cycle queue peek. Between due
+        // timestamps the core runs in event-free segments with no queue
+        // checks at all — the quantum-compiled inner loop.
+        let mut next_due = inbox.peek_ts().map_or(u64::MAX, |t| t.as_u64());
+        while now < to {
+            if next_due <= now.as_u64() {
+                // Cycle with incoming events: full step, then refresh the
+                // due horizon.
+                self.hot.cycles += 1;
+                while let Some(ev) = inbox.pop_due(now) {
+                    self.handle_event(ev.payload, now, &mut outbox);
+                }
+                next_due = inbox.peek_ts().map_or(u64::MAX, |t| t.as_u64());
+                let _ = self.retire_and_issue(now, &mut outbox);
+                if !outbox.is_empty() {
+                    for ev in outbox.drain(..) {
+                        staged.push(Timestamped::new(now, ev));
+                    }
+                }
+                now += 1;
+                continue;
+            }
+            // Event-free segment: run every cycle in [now, seg_end)
+            // without touching the inbox.
+            let seg_end = to.as_u64().min(next_due);
+            while now.as_u64() < seg_end {
+                // Fast-forward across stall regions. A cycle can be
+                // accounted in bulk exactly when tick() would change
+                // nothing but the local clock and one stall counter: no
+                // incoming event is due, the window head cannot retire,
+                // and the front end is blocked (sync spin, mispredict
+                // stall, or a full window). Every other cycle runs the
+                // real pipeline.
+                let head_ready = self
+                    .window
+                    .front()
+                    .map_or(u64::MAX, |e| e.done_at.map_or(u64::MAX, Cycle::as_u64));
+                if head_ready > now.as_u64() {
+                    let bound = seg_end.min(head_ready);
+                    let stop = if self.wait.is_some() {
+                        Some((bound, StallKind::Sync))
+                    } else if self.hot.fetch_stall_until > now {
+                        // The stall ends *at* the deadline cycle, which
+                        // must run the pipeline again.
+                        Some((
+                            bound.min(self.hot.fetch_stall_until.as_u64()),
+                            StallKind::Fetch,
+                        ))
+                    } else if self.window.len() >= self.cfg.window {
+                        Some((bound, StallKind::Window))
+                    } else {
+                        None
+                    };
+                    if let Some((stop, kind)) = stop {
+                        if stop > now.as_u64() {
+                            let skipped = stop - now.as_u64();
+                            self.hot.cycles += skipped;
+                            match kind {
+                                StallKind::Sync => self.stall_sync += skipped,
+                                StallKind::Fetch => self.stall_fetch += skipped,
+                                StallKind::Window => self.stall_window += skipped,
+                            }
+                            now = Cycle::new(stop);
+                            continue;
+                        }
+                    }
+                }
+                self.hot.cycles += 1;
+                let _ = self.retire_and_issue(now, &mut outbox);
+                if !outbox.is_empty() {
+                    for ev in outbox.drain(..) {
+                        staged.push(Timestamped::new(now, ev));
+                    }
+                }
+                now += 1;
+            }
+        }
+        self.hot.committed - start_committed
+    }
+
     fn committed(&self) -> u64 {
-        self.committed
+        self.hot.committed
     }
 
     fn counters(&self) -> Counters {
         let mut c = Counters::new();
-        c.set("cycles", self.cycles);
-        c.set("committed", self.committed);
+        c.set("cycles", self.hot.cycles);
+        c.set("committed", self.hot.committed);
         c.set("loads", self.loads);
         c.set("stores", self.stores);
         c.set("branches", self.branches);
@@ -1000,7 +1195,7 @@ mod tests {
                 ..
             }
         ));
-        assert_eq!(core.committed, 0);
+        assert_eq!(core.hot.committed, 0);
     }
 
     /// Satisfies the initial I-fetch miss so issue can begin.
@@ -1028,7 +1223,7 @@ mod tests {
             tick_at(&mut core, &mut inbox, t);
         }
         // 4-wide issue of 1-cycle ops: IPC must approach 4.
-        let ipc = core.committed as f64 / 200.0;
+        let ipc = core.hot.committed as f64 / 200.0;
         assert!(ipc > 3.0, "IPC {ipc} too low for an ALU-only stream");
     }
 
@@ -1081,11 +1276,11 @@ mod tests {
                 grant: MesiState::Exclusive,
             },
         ));
-        let before = core.committed;
+        let before = core.hot.committed;
         for t in 2..40 {
             tick_at(&mut core, &mut inbox, t);
         }
-        assert!(core.committed > before);
+        assert!(core.hot.committed > before);
         // Subsequent loads to the same line hit.
         assert!(core.l1d_hits > 0);
     }
@@ -1175,11 +1370,11 @@ mod tests {
         }
         let (id, t_arrive) = arrive.expect("barrier must be announced");
         // Spinning: no further commits.
-        let before = core.committed;
+        let before = core.hot.committed;
         for t in t_arrive + 1..t_arrive + 10 {
             tick_at(&mut core, &mut inbox, t);
         }
-        assert_eq!(core.committed, before);
+        assert_eq!(core.hot.committed, before);
         assert!(core.stall_sync > 0);
         // Release resumes issue.
         inbox.deliver(Timestamped::new(
@@ -1189,7 +1384,7 @@ mod tests {
         for t in t_arrive + 10..t_arrive + 30 {
             tick_at(&mut core, &mut inbox, t);
         }
-        assert!(core.committed > before);
+        assert!(core.hot.committed > before);
     }
 
     #[test]
@@ -1205,11 +1400,11 @@ mod tests {
         assert!(evs
             .iter()
             .any(|e| matches!(e, MemEvent::LockAcquire { id: 5 })));
-        let before = core.committed;
+        let before = core.hot.committed;
         for t in 2..10 {
             tick_at(&mut core, &mut inbox, t);
         }
-        assert_eq!(core.committed, before, "spinning while lock is pending");
+        assert_eq!(core.hot.committed, before, "spinning while lock is pending");
         inbox.deliver(Timestamped::new(
             Cycle::new(10),
             MemEvent::LockGranted { id: 5 },
@@ -1235,7 +1430,7 @@ mod tests {
         assert!(core.mispredicts > 0);
         assert!(core.stall_fetch > 0);
         // Every other instruction mispredicts: IPC far below width.
-        assert!((core.committed as f64) < 100.0);
+        assert!((core.hot.committed as f64) < 100.0);
     }
 
     #[test]
@@ -1396,7 +1591,7 @@ mod tests {
         r.finish().unwrap();
 
         assert_eq!(CoreModel::counters(&restored), CoreModel::counters(&live));
-        assert_eq!(restored.fetched, live.fetched);
+        assert_eq!(restored.hot.fetched, live.hot.fetched);
         assert_eq!(restored.pending, live.pending);
         assert_eq!(restored.window, live.window);
         assert_eq!(restored.mshrs, live.mshrs);
@@ -1421,7 +1616,7 @@ mod tests {
             let (_, eb) = tick_at(&mut restored, &mut ib, t);
             assert_eq!(ea, eb, "divergent events at cycle {t}");
         }
-        assert!(live.committed > 0);
+        assert!(live.hot.committed > 0);
         assert_eq!(CoreModel::counters(&restored), CoreModel::counters(&live));
     }
 
@@ -1462,17 +1657,229 @@ mod tests {
         for t in 1..50 {
             tick_at(&mut core, &mut inbox_a, t);
         }
-        assert_eq!(snap.committed, 0, "the clone did not advance");
+        assert_eq!(snap.hot.committed, 0, "the clone did not advance");
         let mut inbox_b = Inbox::new();
         prime_icache(&mut snap, &mut inbox_b);
         for t in 1..50 {
             tick_at(&mut snap, &mut inbox_b, t);
         }
-        assert_eq!(snap.committed, core.committed);
+        assert_eq!(snap.hot.committed, core.hot.committed);
         assert_eq!(
             CoreModel::counters(&snap),
             CoreModel::counters(&core),
             "identical histories must give identical statistics"
+        );
+    }
+
+    #[test]
+    fn core_hot_soa_round_trips_against_live_cores() {
+        // Three heterogeneous cores: plain ALU, a mispredicting branch
+        // stream (nonzero front-end stall deadline), and unserviced loads
+        // (occupied window) — every SoA column gets a distinct value.
+        let mut cores = vec![
+            core_with(vec![Op::IntAlu]),
+            core_with(vec![Op::Branch { mispredict: true }, Op::IntAlu]),
+            core_with(vec![Op::Load { addr: 0x8000 }, Op::Load { addr: 0x9000 }]),
+        ];
+        for (i, core) in cores.iter_mut().enumerate() {
+            let mut inbox = Inbox::new();
+            prime_icache(core, &mut inbox);
+            // Different histories per core so the columns differ.
+            for t in 1..(10 + 13 * i as u64) {
+                tick_at(core, &mut inbox, t);
+            }
+        }
+        assert!(cores[1].mispredicts > 0, "branch core must have stalled");
+        assert!(!cores[2].window.is_empty(), "load core must hold entries");
+
+        let soa = CoreHotSoA::gather(&cores);
+        assert_eq!(soa.len(), 3);
+        assert!(!soa.is_empty());
+        for (i, core) in cores.iter().enumerate() {
+            assert_eq!(soa.local_clock[i], core.hot.cycles);
+            assert_eq!(soa.committed[i], core.hot.committed);
+            assert_eq!(soa.window_len[i] as usize, core.window.len());
+            assert_eq!(soa.next_fetch[i], core.hot.fetched);
+            assert_eq!(
+                soa.fetch_stall_until[i],
+                core.hot.fetch_stall_until.as_u64()
+            );
+        }
+
+        // Scatter writes every owned column back field-for-field; a
+        // second gather reproduces the mutated arrays exactly.
+        let mut mutated = soa.clone();
+        for i in 0..mutated.len() {
+            mutated.local_clock[i] += 7;
+            mutated.committed[i] += 3;
+            mutated.next_fetch[i] += 1;
+            mutated.fetch_stall_until[i] += 5;
+        }
+        mutated.scatter_into(&mut cores);
+        for (i, core) in cores.iter().enumerate() {
+            assert_eq!(core.hot.cycles, mutated.local_clock[i]);
+            assert_eq!(core.hot.committed, mutated.committed[i]);
+            assert_eq!(core.hot.fetched, mutated.next_fetch[i]);
+            assert_eq!(
+                core.hot.fetch_stall_until.as_u64(),
+                mutated.fetch_stall_until[i]
+            );
+        }
+        assert_eq!(CoreHotSoA::gather(&cores), mutated);
+    }
+
+    #[test]
+    fn core_hot_soa_survives_delta_and_byte_persistence() {
+        // The hot/cold split must be invisible to both checkpoint paths:
+        // a delta-reconstructed clone and a byte-round-tripped core
+        // project to the same SoA columns as the live core.
+        let ops = vec![
+            Op::IntAlu,
+            Op::Load { addr: 0x8000 },
+            Op::Branch { mispredict: true },
+        ];
+        let mut live = core_with(ops.clone());
+        let mut inbox = Inbox::new();
+        prime_icache(&mut live, &mut inbox);
+        for t in 1..15 {
+            tick_at(&mut live, &mut inbox, t);
+        }
+        let mut snap = live.clone();
+        let g0 = Checkpointable::generation(&live);
+        let _ = live.capture_delta(g0);
+        for t in 15..60 {
+            tick_at(&mut live, &mut inbox, t);
+        }
+        snap.apply_delta(live.capture_delta(g0));
+
+        let mut w = ByteWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = core_with(ops);
+        let mut r = ByteReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+
+        let expect = CoreHotSoA::gather(std::slice::from_ref(&live));
+        assert_eq!(CoreHotSoA::gather(std::slice::from_ref(&snap)), expect);
+        assert_eq!(CoreHotSoA::gather(std::slice::from_ref(&restored)), expect);
+        assert!(expect.committed[0] > 0, "the run actually progressed");
+    }
+
+    /// Drives two clones of the same core through `windows` quanta — one
+    /// via the plain tick loop, one via [`CoreModel::run_window`] — with
+    /// boundary-serviced replies, asserting bit-identical staged events
+    /// and hot state after every window. Returns the tick-loop core for
+    /// extra assertions.
+    fn assert_run_window_matches(ops: Vec<Op>, windows: u64, quantum: u64) -> CmpCore {
+        let mut slow = core_with(ops);
+        let mut fast = slow.clone();
+        let mut inbox_slow = Inbox::new();
+        let mut inbox_fast = Inbox::new();
+        for w in 0..windows {
+            let (from, to) = (w * quantum, (w + 1) * quantum);
+            let mut staged_slow: Vec<Timestamped<MemEvent>> = Vec::new();
+            for t in from..to {
+                let mut ctx = TickCtx::new(Cycle::new(t), &mut inbox_slow, &mut staged_slow);
+                let _ = slow.tick(&mut ctx);
+            }
+            let mut staged_fast = Vec::new();
+            fast.run_window(
+                Cycle::new(from),
+                Cycle::new(to),
+                &mut inbox_fast,
+                &mut staged_fast,
+            );
+            let a: Vec<_> = staged_slow
+                .iter()
+                .map(|e| (e.ts, e.payload.clone()))
+                .collect();
+            let b: Vec<_> = staged_fast
+                .iter()
+                .map(|e| (e.ts, e.payload.clone()))
+                .collect();
+            assert_eq!(a, b, "window {w}: staged events diverged");
+            assert_eq!(slow.hot, fast.hot, "window {w}: hot state diverged");
+            // Boundary servicing, as the uncore would do it: grant every
+            // request (slow replies keep windows/MSHRs occupied so the
+            // stall fast paths get exercised), release barriers and
+            // locks a while after arrival.
+            for ev in staged_slow {
+                let reply = match ev.payload {
+                    MemEvent::Request { req, line, .. } => Some((
+                        ev.ts + 23,
+                        MemEvent::Reply {
+                            req,
+                            line,
+                            grant: MesiState::Exclusive,
+                        },
+                    )),
+                    MemEvent::BarrierArrive { id } => {
+                        Some((ev.ts + 40, MemEvent::BarrierRelease { id }))
+                    }
+                    MemEvent::LockAcquire { id } => {
+                        Some((ev.ts + 15, MemEvent::LockGranted { id }))
+                    }
+                    _ => None,
+                };
+                if let Some((at, reply)) = reply {
+                    inbox_slow.deliver(Timestamped::new(at, reply.clone()));
+                    inbox_fast.deliver(Timestamped::new(at, reply));
+                }
+            }
+        }
+        assert_eq!(
+            CoreModel::counters(&slow),
+            CoreModel::counters(&fast),
+            "final statistics diverged"
+        );
+        slow
+    }
+
+    #[test]
+    fn run_window_matches_the_tick_loop_on_a_mixed_stream() {
+        let core = assert_run_window_matches(
+            vec![
+                Op::IntAlu,
+                Op::Load { addr: 0x8000 },
+                Op::Branch { mispredict: true },
+                Op::Store { addr: 0x9000 },
+                Op::IntAlu,
+                Op::Load { addr: 0xA040 },
+            ],
+            8,
+            50,
+        );
+        assert!(core.hot.committed > 0);
+        assert!(core.stall_fetch > 0, "mispredicts exercised the fetch skip");
+    }
+
+    #[test]
+    fn run_window_fast_forwards_sync_spins_identically() {
+        let core =
+            assert_run_window_matches(vec![Op::IntAlu, Op::Barrier { id: 0 }, Op::IntAlu], 8, 50);
+        assert!(core.stall_sync > 0, "barrier spins exercised the sync skip");
+        assert!(core.hot.committed > 0);
+    }
+
+    #[test]
+    fn run_window_fast_forwards_full_windows_identically() {
+        // Distinct-line loads with slow (boundary + 23 cycle) replies
+        // keep the instruction window saturated behind pending misses.
+        let core = assert_run_window_matches(
+            vec![
+                Op::Load { addr: 0x8000 },
+                Op::Load { addr: 0x8040 },
+                Op::Load { addr: 0x8080 },
+                Op::Load { addr: 0x80C0 },
+                Op::Load { addr: 0x8100 },
+                Op::Load { addr: 0x8140 },
+            ],
+            8,
+            50,
+        );
+        assert!(
+            core.stall_window > 0,
+            "full windows exercised the window skip"
         );
     }
 }

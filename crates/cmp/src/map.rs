@@ -11,10 +11,9 @@
 //! Because E lines may silently become M inside an L1, the map treats the
 //! M/E owner conservatively as a potential data supplier.
 
-use std::collections::HashMap;
-
 use slacksim_core::checkpoint::Checkpointable;
 use slacksim_core::event::CoreId;
+use slacksim_core::fxhash::FxHashMap;
 use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
 use slacksim_core::time::Cycle;
 use slacksim_core::violation::KeyedMonitor;
@@ -91,7 +90,7 @@ pub struct MapOutcome {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CacheMap {
-    entries: HashMap<LineAddr, MapEntry>,
+    entries: FxHashMap<LineAddr, MapEntry>,
     monitor: KeyedMonitor<LineAddr>,
     n_cores: usize,
     transitions: u64,
@@ -103,7 +102,7 @@ pub struct CacheMap {
     /// stamps: a line whose entry was reclaimed keeps its stamp, which is
     /// how deltas and restores learn about removals (the delta records
     /// `None` for such a line).
-    dirty: HashMap<LineAddr, u64>,
+    dirty: FxHashMap<LineAddr, u64>,
 }
 
 /// Equality is over model state only; the generation counter and dirty
@@ -149,9 +148,9 @@ enum MapPayload {
 /// live map.
 #[derive(Debug, Clone)]
 struct DenseMap {
-    entries: HashMap<LineAddr, MapEntry>,
+    entries: FxHashMap<LineAddr, MapEntry>,
     monitor: KeyedMonitor<LineAddr>,
-    dirty: HashMap<LineAddr, u64>,
+    dirty: FxHashMap<LineAddr, u64>,
 }
 
 impl CacheMapDelta {
@@ -176,13 +175,13 @@ impl CacheMap {
             "core count must be between 1 and 16"
         );
         CacheMap {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             monitor: KeyedMonitor::new(),
             n_cores,
             transitions: 0,
             violations: 0,
             gen: 0,
-            dirty: HashMap::new(),
+            dirty: FxHashMap::default(),
         }
     }
 
@@ -194,8 +193,7 @@ impl CacheMap {
         self.transitions += 1;
         self.gen += 1;
         self.dirty.insert(line, self.gen);
-        let violation = self.monitor.observe(line, ts);
-        let high_water = self.monitor.high_water(&line);
+        let (violation, high_water) = self.monitor.observe_high_water(line, ts);
         if violation {
             self.violations += 1;
         }
@@ -349,7 +347,7 @@ impl CacheMap {
     /// cores outside this map's core count.
     pub fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
         let n = self.n_cores;
-        let mut entries = HashMap::new();
+        let mut entries = FxHashMap::default();
         for _ in 0..r.u32()? {
             let line = LineAddr::new(r.u64()?);
             let sharers = r.u16()?;

@@ -57,14 +57,19 @@ fn virt_case(
 }
 
 /// Sequential vs threaded-native across the full
-/// {scheme x workload x cores} matrix: every cell completes and upholds
-/// the metamorphic invariants on both engines.
+/// {scheme x workload x cores} matrix — plus the batched engine on the
+/// quantum cells, the only scheme it accepts: every cell completes and
+/// upholds the metamorphic invariants on every engine.
 #[test]
 fn differential_matrix_upholds_invariants_on_both_engines() {
     for bench in BENCHES {
         for scheme in schemes() {
             for cores in CORE_COUNTS {
-                for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+                let mut engines = vec![EngineKind::Sequential, EngineKind::Threaded];
+                if matches!(scheme, Scheme::Quantum { .. }) {
+                    engines.push(EngineKind::Batched);
+                }
+                for engine in engines {
                     let r = run_engine(bench, cores, &scheme, target(), 1, engine);
                     assert!(
                         r.committed >= target(),
@@ -103,6 +108,30 @@ fn cycle_by_cycle_is_exact_across_all_three_engines() {
                 "{bench}/{cores}c: sequential vs threaded-virtual (`{case}`)"
             );
             assert_eq!(diag.lost_wakeups, 0, "`{case}`");
+        }
+    }
+}
+
+/// Quantum runs are engine-independent where the design guarantees it:
+/// the batched (quantum-compiled) engine must reproduce the sequential
+/// engine's fingerprint bit-for-bit across {FFT, WATER} x {1, 4, 8}
+/// cores — barrier servicing defers every cross-core event to the quantum
+/// boundary and resolves in timestamp order, so collapsing the per-cycle
+/// dispatch into one `run_window` call per core must be invisible.
+#[test]
+fn quantum_is_exact_between_sequential_and_batched_engines() {
+    let scheme = Scheme::Quantum { quantum: 64 };
+    for bench in BENCHES {
+        for cores in CORE_COUNTS {
+            let seq = run_engine(bench, cores, &scheme, target(), 1, EngineKind::Sequential);
+            let bat = run_engine(bench, cores, &scheme, target(), 1, EngineKind::Batched);
+            assert_eq!(
+                fingerprint(&seq),
+                fingerprint(&bat),
+                "{bench}/{cores}c: sequential vs batched"
+            );
+            check_invariants(&bat, &scheme)
+                .unwrap_or_else(|e| panic!("{bench}/{cores}c batched: {e}"));
         }
     }
 }
@@ -418,11 +447,16 @@ fn dropped_unpark_is_caught_and_shrinks_to_a_repro_line() {
 
 /// Self-profiling and live telemetry are observation-only: a run with
 /// `--profile` and a live heartbeat emitter attached must be
-/// bit-identical to an uninstrumented run. Cycle-by-cycle is the
-/// strongest case — its fingerprint is schedule-independent, so any
-/// perturbation (a span guard changing a wait decision, the emitter
-/// thread stealing a wakeup) would surface exactly; bounded slack adds
-/// coverage of the wait-ladder instrumentation under real slack.
+/// bit-identical to an uninstrumented run. The assertion is only
+/// meaningful on configurations that are deterministic to begin with —
+/// cycle-by-cycle on any engine (its fingerprint is
+/// schedule-independent, so any perturbation would surface exactly),
+/// plus everything on the sequential and batched engines. The threaded
+/// engine under real slack is host-nondeterministic *by design*: two
+/// uninstrumented runs may already differ, so bit-identity there would
+/// test the host scheduler's mood, not the instrumentation — that combo
+/// still runs instrumented and asserts the observation-side contract
+/// (run completes, profile attached, heartbeat emitted).
 #[test]
 fn profiling_and_live_telemetry_leave_fingerprints_bit_identical() {
     use std::sync::{Arc, Mutex};
@@ -430,8 +464,21 @@ fn profiling_and_live_telemetry_leave_fingerprints_bit_identical() {
 
     use slacksim::{LiveConfig, Simulation};
 
-    for engine in [EngineKind::Sequential, EngineKind::Threaded] {
-        for scheme in [Scheme::CycleByCycle, Scheme::BoundedSlack { bound: 8 }] {
+    for engine in [
+        EngineKind::Sequential,
+        EngineKind::Threaded,
+        EngineKind::Batched,
+    ] {
+        let schemes = [
+            Scheme::CycleByCycle,
+            if engine == EngineKind::Batched {
+                Scheme::Quantum { quantum: 50 }
+            } else {
+                Scheme::BoundedSlack { bound: 8 }
+            },
+        ];
+        for scheme in schemes {
+            let deterministic = engine != EngineKind::Threaded || scheme == Scheme::CycleByCycle;
             let plain = run_engine(Benchmark::Fft, 4, &scheme, target(), 1, engine);
             let capture = Arc::new(Mutex::new(String::new()));
             let mut sim = Simulation::new(Benchmark::Fft);
@@ -447,11 +494,18 @@ fn profiling_and_live_telemetry_leave_fingerprints_bit_identical() {
                         .to_capture(Arc::clone(&capture)),
                 );
             let instrumented = sim.run().expect("instrumented run completes");
-            assert_eq!(
-                fingerprint(&plain),
-                fingerprint(&instrumented),
-                "{engine:?}/{scheme:?}: instrumentation perturbed the simulation"
-            );
+            if deterministic {
+                assert_eq!(
+                    fingerprint(&plain),
+                    fingerprint(&instrumented),
+                    "{engine:?}/{scheme:?}: instrumentation perturbed the simulation"
+                );
+            } else {
+                assert!(
+                    instrumented.committed >= target(),
+                    "{engine:?}/{scheme:?}: instrumented run fell short of its target"
+                );
+            }
             let prof = instrumented.prof.as_ref().expect("profile attached");
             assert!(prof.total_self_ns() > 0, "profile recorded host time");
             assert!(

@@ -9,7 +9,7 @@
 //!   levels, interconnect, synchronisation device), advanced by the
 //!   simulation manager as events arrive.
 //!
-//! Two engines execute the same semantics:
+//! Three engines execute the same semantics:
 //!
 //! * [`SequentialEngine`] runs everything
 //!   on the calling thread, emulating host-scheduling nondeterminism with a
@@ -18,11 +18,18 @@
 //! * [`ThreadedEngine`] spawns one host
 //!   thread per target core plus the manager logic, exactly as SlackSim
 //!   maps simulations onto a host CMP — used for the wall-clock experiments
-//!   (Figure 4, Tables 2–5).
+//!   (Figure 4, Tables 2–5);
+//! * [`BatchedEngine`] compiles the quantum scheme into an execution
+//!   strategy: each core runs a whole quantum in one
+//!   [`CoreModel::run_window`] call with cross-core events staged locally
+//!   and resolved in timestamp order only at quantum boundaries (DESIGN
+//!   §15).
 
+mod batched;
 mod sequential;
 mod threaded;
 
+pub use batched::BatchedEngine;
 pub use sequential::SequentialEngine;
 pub use threaded::ThreadedEngine;
 
@@ -99,6 +106,34 @@ pub trait CoreModel: Clone + Send + 'static {
     /// The model must consume every due incoming event (via
     /// [`TickCtx::pop_event`]) before or while simulating the cycle.
     fn tick(&mut self, ctx: &mut TickCtx<'_, Self::Event>) -> u32;
+
+    /// Simulates every cycle in `[from, to)` in one call, emitting into
+    /// `staged` (the core's staging buffer), and returns the number of
+    /// instructions committed over the window.
+    ///
+    /// This is the batched engine's hot loop: within the window the core
+    /// sees only the events already in its inbox — exactly the quantum
+    /// scheme's contract, where cross-core interaction is deferred to the
+    /// next boundary. The default implementation ticks cycle by cycle and
+    /// is always semantically correct; models may override it with an
+    /// equivalent fast-forwarding loop (the override must stay
+    /// bit-identical to the tick loop — see the conformance oracle).
+    fn run_window(
+        &mut self,
+        from: Cycle,
+        to: Cycle,
+        inbox: &mut Inbox<Self::Event>,
+        staged: &mut Vec<Timestamped<Self::Event>>,
+    ) -> u64 {
+        let mut committed = 0u64;
+        let mut now = from;
+        while now < to {
+            let mut ctx = TickCtx::new(now, inbox, staged);
+            committed += u64::from(self.tick(&mut ctx));
+            now += 1;
+        }
+        committed
+    }
 
     /// Total instructions committed by this core so far.
     fn committed(&self) -> u64;

@@ -314,6 +314,10 @@ where
         const ITER_SPAN_BATCH: u32 = 64;
         let mut iter_span = ph.enter(ProfSite::ManagerDrain);
         let mut span_age = 0u32;
+        // True exactly when every core sits on a window boundary whose
+        // batch has been serviced (or at the start, trivially): the only
+        // states where a barrier-scheme run may finish.
+        let mut at_serviced_boundary = true;
 
         loop {
             span_age += 1;
@@ -329,25 +333,23 @@ where
             max_spread = max_spread.max(furthest_now.saturating_sub(global));
             let barrier = mode == Mode::Replay || pacer.barrier_service();
 
-            // Finish checks. Barrier schemes only stop at window boundaries
-            // (all locals equal) so that the stopping point is deterministic
-            // and identical to the threaded engine's.
-            // (barrier runs finish only once the boundary batch has been
-            // serviced, so both engines stop in identical states).
-            let at_boundary = locals.iter().all(|&l| l == global);
-            if committed >= cfg.commit_target && (!barrier || (at_boundary && gq.is_empty())) {
+            // Finish checks. Barrier schemes only stop at *serviced*
+            // window boundaries so that the stopping point is
+            // deterministic and identical to the threaded engine's — the
+            // natural boundary the pacer published, never a clamped or
+            // coincidental intermediate point (with one core "all locals
+            // equal" holds mid-window too), so the batched engine (which
+            // only observes boundaries) stops in the identical state.
+            if at_serviced_boundary {
+                debug_assert!(locals.iter().all(|&l| l == global) && gq.is_empty());
+            }
+            if committed >= cfg.commit_target && (!barrier || at_serviced_boundary) {
                 finish_reason = FinishReason::CommitTarget;
                 break;
             }
             if global.as_u64() >= cfg.max_cycles {
                 finish_reason = FinishReason::CycleCap;
                 break;
-            }
-            if committed >= cfg.commit_target && barrier && !at_boundary {
-                // Graceful finish for barrier schemes: converge the window
-                // on the furthest core so the final batch can be serviced
-                // without simulating to a distant quantum boundary.
-                window_end = window_end.min(furthest_now.max(global + 1));
             }
 
             // Interval accounting for Tables 3/4 follows the fixed grid.
@@ -644,6 +646,7 @@ where
                         );
                     }
                     debug_assert!(!pending_rollback, "CC/quantum servicing cannot violate");
+                    at_serviced_boundary = true;
                     window_end = if mode == Mode::Replay {
                         win + 1
                     } else {
@@ -673,6 +676,9 @@ where
             let burst = rng.next_range(1, cfg.burst.max_burst);
             let pick_win = win_for(pick);
             let head = pick_win.saturating_sub(locals[pick]).min(burst);
+            if head > 0 {
+                at_serviced_boundary = false;
+            }
             if head > 0 && mode == Mode::Base {
                 th.record(
                     locals[pick],
@@ -689,13 +695,15 @@ where
                     let c = cores[pick].tick(&mut ctx);
                     committed += u64::from(c);
                     locals[pick] += 1;
-                    for ev in outbox.drain(..) {
-                        gq.push(CoreId::new(pick as u16), ev);
-                    }
                     if !barrier && committed >= cfg.commit_target {
                         break;
                     }
                 }
+                // One heap reserve + push per burst instead of per tick:
+                // outbox order is generation order, and `push_batch` assigns
+                // arrival sequence numbers in that order, so the pop order
+                // is identical to pushing tick by tick.
+                gq.push_batch(CoreId::new(pick as u16), &mut outbox);
             }
             if head > 0 && mode == Mode::Base {
                 th.record(

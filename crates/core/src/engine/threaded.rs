@@ -1431,17 +1431,11 @@ where
                 publish_window(shared, window_end, sched);
                 backoff.reset();
             } else {
-                if committed.load(Ordering::Acquire) >= cfg.commit_target {
-                    // Graceful finish for barrier schemes: converge the
-                    // window on the furthest core instead of waiting for a
-                    // distant quantum boundary.
-                    let furthest = locals.iter().copied().max().expect("n >= 1");
-                    let clamp = Cycle::new(furthest.max(global.as_u64() + 1));
-                    if clamp < window_end {
-                        window_end = clamp;
-                        publish_window(shared, window_end, sched);
-                    }
-                }
+                // Even with the commit target already reached, barrier
+                // schemes run out the published window: stopping at the
+                // natural boundary keeps the finish state deterministic and
+                // identical across all three engines (the batched engine
+                // can only observe boundaries).
                 let _span = ph.enter(backoff.next_site());
                 if obs_on {
                     let wait_started = Instant::now();

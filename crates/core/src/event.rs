@@ -182,6 +182,41 @@ impl<E> GlobalQueue<E> {
             .map(|e| (e.from, Timestamped::new(e.ts, e.payload)))
     }
 
+    /// Borrows the earliest queued event without removing it: the
+    /// inspection half of the pop/reinsert fast path. Callers that would
+    /// pop, look, and push back when the event is not yet serviceable can
+    /// peek instead and skip both heap sifts.
+    pub fn peek_min(&self) -> Option<(CoreId, Cycle, &E)> {
+        self.heap.peek().map(|e| (e.from, e.ts, &e.payload))
+    }
+
+    /// Replaces the earliest queued event with a new arrival from `from`
+    /// in a single sift, returning the displaced minimum — one heap
+    /// operation instead of the pop-then-push two. Falls back to a plain
+    /// push (returning `None`) when the queue is empty. The new event is
+    /// assigned the next arrival sequence number, exactly as
+    /// [`push`](GlobalQueue::push) would.
+    pub fn replace_min(
+        &mut self,
+        from: CoreId,
+        ev: Timestamped<E>,
+    ) -> Option<(CoreId, Timestamped<E>)> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let entry = GlobalEntry {
+            ts: ev.ts,
+            from,
+            seq,
+            payload: ev.payload,
+        };
+        if let Some(mut top) = self.heap.peek_mut() {
+            let old = std::mem::replace(&mut *top, entry);
+            return Some((old.from, Timestamped::new(old.ts, old.payload)));
+        }
+        self.heap.push(entry);
+        None
+    }
+
     /// Returns the timestamp of the earliest queued event without removing
     /// it.
     pub fn peek_ts(&self) -> Option<Cycle> {
@@ -280,6 +315,12 @@ impl<E> Inbox<E> {
             }
             _ => None,
         }
+    }
+
+    /// Returns the timestamp of the earliest pending event without
+    /// removing it (the batched engine's fast-forward guard).
+    pub fn peek_ts(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.ts)
     }
 
     /// Returns the number of pending events.
@@ -399,6 +440,66 @@ mod tests {
         assert_eq!(gq.len(), 2);
         gq.clear();
         assert!(gq.is_empty());
+    }
+
+    #[test]
+    fn global_queue_peek_min_borrows_the_head() {
+        let mut gq = GlobalQueue::new();
+        assert!(gq.peek_min().is_none());
+        gq.push(CoreId::new(2), Timestamped::new(ts(9), 'b'));
+        gq.push(CoreId::new(1), Timestamped::new(ts(4), 'a'));
+        assert_eq!(gq.peek_min(), Some((CoreId::new(1), ts(4), &'a')));
+        // Peeking does not disturb the queue.
+        assert_eq!(gq.len(), 2);
+        assert_eq!(gq.pop().unwrap().1.payload, 'a');
+    }
+
+    #[test]
+    fn replace_min_matches_pop_then_push() {
+        // The single-sift fast path must be observationally identical to
+        // the two-operation sequence it replaces.
+        let mut fast = GlobalQueue::new();
+        let mut slow = GlobalQueue::new();
+        for (core, t, p) in [(2u16, 9, 'a'), (0, 3, 'b'), (1, 3, 'c')] {
+            fast.push(CoreId::new(core), Timestamped::new(ts(t), p));
+            slow.push(CoreId::new(core), Timestamped::new(ts(t), p));
+        }
+        let incoming = Timestamped::new(ts(6), 'd');
+        let got = fast.replace_min(CoreId::new(3), incoming.clone());
+        let want = slow.pop();
+        slow.push(CoreId::new(3), incoming);
+        assert_eq!(got, want);
+        loop {
+            let a = fast.pop();
+            let b = slow.pop();
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn replace_min_on_empty_queue_pushes() {
+        let mut gq = GlobalQueue::new();
+        assert_eq!(
+            gq.replace_min(CoreId::new(0), Timestamped::new(ts(5), 'x')),
+            None
+        );
+        assert_eq!(gq.len(), 1);
+        let (from, ev) = gq.pop().unwrap();
+        assert_eq!(from, CoreId::new(0));
+        assert_eq!(ev.payload, 'x');
+    }
+
+    #[test]
+    fn inbox_peek_ts_reports_the_earliest_pending() {
+        let mut inbox = Inbox::new();
+        assert_eq!(inbox.peek_ts(), None);
+        inbox.deliver(Timestamped::new(ts(8), 'a'));
+        inbox.deliver(Timestamped::new(ts(3), 'b'));
+        assert_eq!(inbox.peek_ts(), Some(ts(3)));
+        assert_eq!(inbox.len(), 2, "peeking must not consume");
     }
 
     #[test]

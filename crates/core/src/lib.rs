@@ -97,6 +97,7 @@
 pub mod checkpoint;
 pub mod engine;
 pub mod event;
+pub mod fxhash;
 pub mod model;
 pub mod obs;
 pub mod persist;

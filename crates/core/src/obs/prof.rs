@@ -68,10 +68,16 @@ pub enum ProfSite {
     PersistIo = 12,
     /// Rendering/writing report artifacts after the run.
     Export = 13,
+    /// The batched engine's inner loop: one core running a full quantum
+    /// window in a single `run_window` call.
+    BatchedRun = 14,
+    /// The batched engine's quantum-boundary resolution: staged cross-core
+    /// events serviced in timestamp order.
+    BatchedResolve = 15,
 }
 
 /// Number of profiling sites (length of [`ProfSite::ALL`]).
-pub const SITE_COUNT: usize = 14;
+pub const SITE_COUNT: usize = 16;
 
 impl ProfSite {
     /// Every site, in index order.
@@ -90,6 +96,8 @@ impl ProfSite {
         ProfSite::CheckpointRestore,
         ProfSite::PersistIo,
         ProfSite::Export,
+        ProfSite::BatchedRun,
+        ProfSite::BatchedResolve,
     ];
 
     /// Stable kebab-case name used in tables, CSV and heartbeat JSON.
@@ -109,6 +117,8 @@ impl ProfSite {
             ProfSite::CheckpointRestore => "checkpoint-restore",
             ProfSite::PersistIo => "persist-io",
             ProfSite::Export => "export",
+            ProfSite::BatchedRun => "batched-run",
+            ProfSite::BatchedResolve => "batched-resolve",
         }
     }
 

@@ -102,7 +102,8 @@ pub struct SpscRing<T> {
     tail_cache: CachePadded<UnsafeCell<usize>>,
     /// Overflow spill; entries here are always newer than ring entries.
     spill: Mutex<VecDeque<T>>,
-    /// Spill length mirror; incremented only by the producer.
+    /// Spill length mirror; raised only by the producer (Release, under
+    /// the spill lock), lowered only by the consumer.
     spill_len: AtomicUsize,
     /// Relaxed element counter for `depth_hint`.
     depth: AtomicUsize,
@@ -235,14 +236,19 @@ impl<T> SpscRing<T> {
     fn spill_push(&self, value: T) {
         let mut s = self.spill.lock().expect("spill poisoned");
         s.push_back(value);
-        self.spill_len.store(s.len(), Ordering::Relaxed);
+        // Release pairs with the consumer's Acquire load in `pop` /
+        // `drain_into`: a consumer that observes this spill entry must
+        // also observe every ring entry committed before it, or it could
+        // hand out the (newer) spill item while older ring items are
+        // still invisible to its stale `tail` view.
+        self.spill_len.store(s.len(), Ordering::Release);
         drop(s);
         self.depth.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Removes and returns the oldest element, if any (consumer side).
-    pub fn pop(&self) -> Option<T> {
-        sched_point(&self.hook, SchedSite::RingPop);
+    /// Removes and returns the oldest ring element, if the ring looks
+    /// non-empty from the consumer's current view (consumer side).
+    fn pop_ring(&self) -> Option<T> {
         let head = self.head.0.load(Ordering::Relaxed);
         // SAFETY: tail_cache is touched only by the (single) consumer.
         let cache = unsafe { &mut *self.tail_cache.0.get() };
@@ -257,9 +263,29 @@ impl<T> SpscRing<T> {
             self.depth.fetch_sub(1, Ordering::Relaxed);
             return Some(value);
         }
-        // Ring empty: the spill (if any) holds the oldest remaining items.
-        if self.spill_len.load(Ordering::Relaxed) == 0 {
+        None
+    }
+
+    /// Removes and returns the oldest element, if any (consumer side).
+    pub fn pop(&self) -> Option<T> {
+        sched_point(&self.hook, SchedSite::RingPop);
+        if let Some(value) = self.pop_ring() {
+            return Some(value);
+        }
+        // Ring looked empty: the spill (if any) holds the remaining items.
+        if self.spill_len.load(Ordering::Acquire) == 0 {
             return None;
+        }
+        // The spill only ever receives items pushed while the ring was
+        // full, so a non-empty spill means up to a full lap of OLDER ring
+        // entries may exist that the empty-check above missed through a
+        // stale `tail`. The Acquire load pairs with `spill_push`'s
+        // Release store, making those tail stores visible — re-check the
+        // ring before touching the strictly newer spill. (The producer
+        // cannot re-enter the ring path until the spill drains, so no
+        // newer ring entry can slip ahead of the spill here.)
+        if let Some(value) = self.pop_ring() {
+            return Some(value);
         }
         let mut s = self.spill.lock().expect("spill poisoned");
         let value = s.pop_front();
@@ -271,11 +297,10 @@ impl<T> SpscRing<T> {
         value
     }
 
-    /// Moves every currently queued element into `out`, preserving FIFO
-    /// order, and returns how many were moved (consumer side). The ring
-    /// portion is consumed with a single Release store.
-    pub fn drain_into(&self, out: &mut Vec<T>) -> usize {
-        sched_point(&self.hook, SchedSite::RingDrain);
+    /// Moves every currently visible ring element into `out` and returns
+    /// how many were moved (consumer side). One Release store covers the
+    /// whole sweep.
+    fn drain_ring_into(&self, out: &mut Vec<T>) -> usize {
         let head = self.head.0.load(Ordering::Relaxed);
         let tail = self.tail.0.load(Ordering::Acquire);
         // SAFETY: consumer-private cache (see `pop`).
@@ -294,8 +319,21 @@ impl<T> SpscRing<T> {
             self.head.0.store(tail, Ordering::Release);
             self.depth.fetch_sub(n, Ordering::Relaxed);
         }
-        let mut moved = n;
-        if self.spill_len.load(Ordering::Relaxed) != 0 {
+        n
+    }
+
+    /// Moves every currently queued element into `out`, preserving FIFO
+    /// order, and returns how many were moved (consumer side). The ring
+    /// portion is consumed with a single Release store.
+    pub fn drain_into(&self, out: &mut Vec<T>) -> usize {
+        sched_point(&self.hook, SchedSite::RingDrain);
+        let mut moved = self.drain_ring_into(out);
+        if self.spill_len.load(Ordering::Acquire) != 0 {
+            // Same stale-tail hazard as `pop`: the spill is strictly
+            // newer than any committed ring entry, and the Acquire load
+            // (pairing with `spill_push`'s Release) makes those entries
+            // visible — sweep the ring once more before the spill.
+            moved += self.drain_ring_into(out);
             let mut s = self.spill.lock().expect("spill poisoned");
             let k = s.len();
             out.extend(s.drain(..));

@@ -19,10 +19,10 @@
 //!   executed reliably inside the simulator, but the kind is kept for
 //!   completeness ([`ViolationKind::Workload`]).
 
-use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::fxhash::FxHashMap;
 use crate::time::Cycle;
 
 /// The class of resource on which a violation was detected.
@@ -158,7 +158,7 @@ impl TimestampMonitor {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct KeyedMonitor<K> {
-    monitors: HashMap<K, TimestampMonitor>,
+    monitors: FxHashMap<K, TimestampMonitor>,
 }
 
 impl<K: Eq + Hash> PartialEq for KeyedMonitor<K> {
@@ -173,7 +173,7 @@ impl<K: Eq + Hash> KeyedMonitor<K> {
     /// Creates an empty monitor family.
     pub fn new() -> Self {
         KeyedMonitor {
-            monitors: HashMap::new(),
+            monitors: FxHashMap::default(),
         }
     }
 
@@ -181,6 +181,18 @@ impl<K: Eq + Hash> KeyedMonitor<K> {
     #[inline]
     pub fn observe(&mut self, key: K, ts: Cycle) -> bool {
         self.monitors.entry(key).or_default().observe(ts)
+    }
+
+    /// Records an operation on entry `key` and returns the verdict
+    /// together with the entry's post-observation high-water mark, in one
+    /// table lookup. Identical to `observe` followed by `high_water` —
+    /// the single probe matters on the boundary-servicing hot path, where
+    /// every bus event consults its line's monitor.
+    #[inline]
+    pub fn observe_high_water(&mut self, key: K, ts: Cycle) -> (bool, Cycle) {
+        let m = self.monitors.entry(key).or_default();
+        let violation = m.observe(ts);
+        (violation, m.high_water())
     }
 
     /// The largest timestamp observed so far on entry `key`

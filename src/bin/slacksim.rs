@@ -4,7 +4,7 @@
 //! ```text
 //! slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
 //!          [--bound N] [--quantum N] [--target PCT] [--band PCT]
-//!          [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
+//!          [--engine seq|threaded|batched] [--cores N] [--commit N] [--seed N]
 //!          [--checkpoint N] [--checkpoint-mode full|delta] [--rollback all|map|none]
 //!          [--save-state DIR] [--resume FILE]
 //!          [--verbose] [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
@@ -176,8 +176,19 @@ fn main() {
     let engine = match args.value("--engine").unwrap_or("seq") {
         "seq" | "sequential" => EngineKind::Sequential,
         "threaded" | "thr" => EngineKind::Threaded,
-        other => usage_error(&format!("unknown engine '{other}' (expected seq|threaded)")),
+        "batched" | "bsp" => EngineKind::Batched,
+        other => usage_error(&format!(
+            "unknown engine '{other}' (expected seq|threaded|batched)"
+        )),
     };
+    if engine == EngineKind::Batched && !matches!(scheme, Scheme::Quantum { .. }) {
+        let name = args.value("--scheme").unwrap_or("cc");
+        usage_error(&format!(
+            "--engine batched requires --scheme quantum (got '{name}'): the \
+             quantum-compiled loop only resolves cross-core events at quantum \
+             boundaries"
+        ));
+    }
 
     let trace_path = args.value("--trace").map(str::to_string);
     let metrics_path = args.value("--metrics").map(str::to_string);
@@ -615,7 +626,7 @@ slacksim — run one slack simulation of the paper's 8-core CMP
 USAGE:
   slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
            [--bound N] [--quantum N] [--target PCT] [--band PCT] [--period N]
-           [--engine seq|threaded] [--cores N] [--commit N] [--seed N]
+           [--engine seq|threaded|batched] [--cores N] [--commit N] [--seed N]
            [--checkpoint INTERVAL] [--checkpoint-mode full|delta]
            [--rollback all|map|none] [--save-state DIR] [--resume FILE]
            [--verbose]
@@ -623,6 +634,17 @@ USAGE:
            [--profile] [--profile-csv OUT.csv]
            [--live-stderr] [--live-status FILE] [--live-every MS]
   slacksim report PATH...
+
+ENGINES:
+  --engine seq          deterministic single-threaded engine with a seeded
+                        burst scheduler (default; accuracy experiments)
+  --engine threaded     one host thread per target core plus a manager —
+                        the paper's CMP-on-CMP execution (wall-clock runs)
+  --engine batched      quantum-compiled single-threaded engine: steps every
+                        core a full quantum per iteration and resolves
+                        cross-core events only at quantum boundaries;
+                        bit-identical to seq but much faster, requires
+                        --scheme quantum
 
 SPECULATION:
   --checkpoint N        take a checkpoint every N global cycles
@@ -689,6 +711,7 @@ REPORT:
 
 EXAMPLES:
   slacksim --benchmark barnes --scheme unbounded --engine threaded
+  slacksim --benchmark fft --scheme quantum --quantum 50 --engine batched
   slacksim --scheme adaptive --target 0.2 --band 5
   slacksim --scheme bounded --bound 16 --checkpoint 5000 --rollback all --verbose
   slacksim --benchmark fft --scheme adaptive --engine threaded --checkpoint 2000 \\

@@ -70,7 +70,7 @@ use slacksim_cmp::core::CmpCore;
 use slacksim_cmp::isa::InstrStream;
 use slacksim_cmp::uncore::CmpUncore;
 use slacksim_core::engine::{
-    CheckpointView, EngineResume, SaveHook, SequentialEngine, ThreadedEngine,
+    BatchedEngine, CheckpointView, EngineResume, SaveHook, SequentialEngine, ThreadedEngine,
 };
 use slacksim_core::persist;
 use slacksim_core::scheme::Scheme;
@@ -88,6 +88,12 @@ pub enum EngineKind {
     /// One host thread per target core plus the manager — the paper's
     /// actual CMP-on-CMP execution (wall-clock experiments).
     Threaded,
+    /// Quantum-compiled single-threaded engine: steps every core a full
+    /// quantum per iteration over struct-of-arrays hot state, resolving
+    /// cross-core events only at quantum boundaries. Bit-identical to
+    /// [`Sequential`](EngineKind::Sequential) under barrier schemes, at a
+    /// fraction of the host cost; requires `--scheme quantum`.
+    Batched,
 }
 
 /// Builder for a complete slack-simulation run: target CMP + workload +
@@ -405,6 +411,16 @@ impl Simulation {
             }
             EngineKind::Threaded => {
                 let mut engine = ThreadedEngine::new(cores, uncore, cfg);
+                if let Some(hook) = hook {
+                    engine = engine.with_save_hook(hook);
+                }
+                if let Some(res) = resume {
+                    engine = engine.with_resume(res);
+                }
+                engine.run()
+            }
+            EngineKind::Batched => {
+                let mut engine = BatchedEngine::new(cores, uncore, cfg);
                 if let Some(hook) = hook {
                     engine = engine.with_save_hook(hook);
                 }

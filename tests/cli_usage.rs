@@ -53,7 +53,7 @@ fn help_enumerates_scheme_engine_and_benchmark_values() {
             "help enumerates --scheme values"
         );
         assert!(
-            text.contains("seq|threaded"),
+            text.contains("seq|threaded|batched"),
             "help enumerates --engine values"
         );
         assert!(
@@ -76,7 +76,84 @@ fn unknown_scheme_enumerates_accepted_values() {
 #[test]
 fn unknown_engine_enumerates_accepted_values() {
     let out = slacksim(&["--engine", "turbo"]);
-    assert_usage_error(&out, &["turbo", "seq|threaded"]);
+    assert_usage_error(&out, &["turbo", "seq|threaded|batched"]);
+}
+
+#[test]
+fn batched_engine_rejects_non_barrier_schemes() {
+    // Explicit cycle-by-cycle, the default scheme (absent quantum), and a
+    // greedy scheme must all be turned away with the same enumerated
+    // message: the batched loop only exists at quantum boundaries.
+    let out = slacksim(&["--engine", "batched", "--scheme", "cc"]);
+    assert_usage_error(&out, &["--engine batched requires --scheme quantum", "cc"]);
+    let out = slacksim(&["--engine", "batched"]);
+    assert_usage_error(&out, &["--engine batched requires --scheme quantum"]);
+    let out = slacksim(&["--engine", "batched", "--scheme", "bounded", "--bound", "8"]);
+    assert_usage_error(
+        &out,
+        &["--engine batched requires --scheme quantum", "bounded"],
+    );
+}
+
+#[test]
+fn batched_engine_rejects_a_zero_quantum() {
+    let out = slacksim(&[
+        "--engine",
+        "batched",
+        "--scheme",
+        "quantum",
+        "--quantum",
+        "0",
+    ]);
+    assert_usage_error(&out, &["--quantum"]);
+}
+
+#[test]
+fn batched_quantum_run_succeeds_and_matches_sequential() {
+    let batched = slacksim(&[
+        "--engine",
+        "batched",
+        "--scheme",
+        "quantum",
+        "--quantum",
+        "50",
+        "--benchmark",
+        "fft",
+        "--cores",
+        "4",
+        "--commit",
+        "20000",
+    ]);
+    assert!(batched.status.success(), "batched run exits 0");
+    let sequential = slacksim(&[
+        "--engine",
+        "seq",
+        "--scheme",
+        "quantum",
+        "--quantum",
+        "50",
+        "--benchmark",
+        "fft",
+        "--cores",
+        "4",
+        "--commit",
+        "20000",
+    ]);
+    assert!(sequential.status.success(), "sequential run exits 0");
+    let pick = |out: &Output| -> Vec<String> {
+        stdout(out)
+            .lines()
+            .filter(|l| {
+                l.starts_with("execution time")
+                    || l.starts_with("committed")
+                    || l.starts_with("violations")
+            })
+            .map(str::to_string)
+            .collect()
+    };
+    let (b, s) = (pick(&batched), pick(&sequential));
+    assert_eq!(b.len(), 3, "report lines present: {b:?}");
+    assert_eq!(b, s, "batched and sequential reports diverge");
 }
 
 #[test]

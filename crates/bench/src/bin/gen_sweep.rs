@@ -1,0 +1,19 @@
+//! Emits a campaign sweep-spec JSON document on stdout, seeded from the
+//! shared experiment scaling knobs — the bridge between the bench
+//! harness's `--commit/--seed/--cores/--quick/--full` vocabulary and
+//! `slacksim sweep --spec`:
+//!
+//! ```text
+//! gen_sweep --quick > sweep.json
+//! slacksim sweep --spec sweep.json --dir /tmp/campaign
+//! ```
+//!
+//! The grid is {cc, bounded, quantum} x 2 consecutive seeds = 6 jobs,
+//! the shape CI's campaign smoke stage runs.
+
+use slacksim_bench::scale::Scale;
+
+fn main() {
+    let scale = Scale::from_env(4_000);
+    print!("{}", scale.sweep_spec(&["cc", "bounded", "quantum"], 2));
+}

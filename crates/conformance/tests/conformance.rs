@@ -515,3 +515,118 @@ fn profiling_and_live_telemetry_leave_fingerprints_bit_identical() {
         }
     }
 }
+
+/// The campaign pool under the virtual scheduler: replaying the same
+/// schedule seed reproduces the exact per-worker job schedule (steal
+/// decisions and all), while job *results* are schedule-independent —
+/// the pool may only decide where a job runs, never what it computes.
+#[test]
+fn campaign_pool_schedule_is_deterministic_under_virtual_sched() {
+    use std::sync::Arc;
+
+    use slacksim::slacksim_core::campaign::run_jobs;
+    use slacksim::SchedRef;
+    use slacksim_conformance::VirtualSched;
+
+    let policies = [
+        SchedPolicy::RandomWalk,
+        SchedPolicy::ParkRace,
+        SchedPolicy::Starve { victim: 1 },
+        SchedPolicy::DrainPreempt,
+    ];
+    let mut schedules = Vec::new();
+    for policy in policies {
+        for seed in 0..smoke_seeds() {
+            let run = |seed: u64| {
+                // 3 pool tasks: the manager plus 2 spawned workers, the
+                // same task vocabulary as a 2-core threaded engine.
+                let sched = VirtualSched::new(2, policy, seed, Mutation::None);
+                let sref = SchedRef::new(Arc::clone(&sched) as Arc<_>);
+                let jobs: Vec<u64> = (0..12).collect();
+                run_jobs(jobs, 3, &sref, |_, idx, j| {
+                    assert_eq!(idx as u64, j);
+                    j.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                })
+            };
+            let (results_a, outcome_a) = run(seed);
+            let (results_b, outcome_b) = run(seed);
+            assert_eq!(
+                outcome_a.per_worker_jobs, outcome_b.per_worker_jobs,
+                "{policy:?}/seed {seed}: same seed must replay the same schedule"
+            );
+            // Exactly-once execution and schedule-independent results,
+            // whatever interleaving the policy forced.
+            let mut seen: Vec<usize> = outcome_a.per_worker_jobs.concat();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..12).collect::<Vec<usize>>());
+            assert_eq!(
+                results_a,
+                (0..12u64)
+                    .map(|j| j.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                    .collect::<Vec<u64>>(),
+                "{policy:?}/seed {seed}: results depend only on the job"
+            );
+            assert_eq!(results_a, results_b);
+            schedules.push(outcome_a.per_worker_jobs);
+        }
+    }
+    // The explorer must actually explore: across policies and seeds at
+    // least two distinct pool schedules were exercised.
+    schedules.sort();
+    schedules.dedup();
+    assert!(
+        schedules.len() > 1,
+        "schedule fuzzing never varied the pool schedule"
+    );
+}
+
+/// Campaign-vs-solo oracle under adversarial pool schedules: simulation
+/// jobs run on a virtually-scheduled work-stealing pool must produce
+/// reports bit-identical to the same configurations run solo on the
+/// native host, for every explored pool interleaving.
+#[test]
+fn pooled_simulation_jobs_match_solo_fingerprints_under_virtual_sched() {
+    use std::sync::Arc;
+
+    use slacksim::slacksim_core::campaign::run_jobs;
+    use slacksim::SchedRef;
+    use slacksim_conformance::VirtualSched;
+
+    let scheme = Scheme::BoundedSlack { bound: 8 };
+    let seeds: Vec<u64> = (1..=4).collect();
+    let solo: Vec<_> = seeds
+        .iter()
+        .map(|&s| {
+            fingerprint(&run_engine(
+                Benchmark::Fft,
+                2,
+                &scheme,
+                target(),
+                s,
+                EngineKind::Sequential,
+            ))
+        })
+        .collect();
+    for sched_seed in 0..smoke_seeds() {
+        let sched = VirtualSched::new(1, SchedPolicy::RandomWalk, sched_seed, Mutation::None);
+        let sref = SchedRef::new(Arc::clone(&sched) as Arc<_>);
+        let (reports, outcome) = run_jobs(seeds.clone(), 2, &sref, |_, _, seed| {
+            run_engine(
+                Benchmark::Fft,
+                2,
+                &scheme,
+                target(),
+                seed,
+                EngineKind::Sequential,
+            )
+        });
+        assert_eq!(outcome.counts().iter().sum::<usize>(), 4);
+        for (i, report) in reports.iter().enumerate() {
+            assert_eq!(
+                fingerprint(report),
+                solo[i],
+                "sched seed {sched_seed}: pooled job {i} diverged from its solo run"
+            );
+        }
+    }
+}

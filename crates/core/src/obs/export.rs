@@ -14,8 +14,10 @@ use super::prof::ProfData;
 use super::trace::{Phase, TraceEvent, TraceRecord};
 use super::ObsData;
 
-/// Escapes a string for inclusion in a JSON string literal.
-fn escape_json(s: &str) -> String {
+/// Escapes a string for inclusion inside a JSON string literal (quotes
+/// not included). Shared by the exporters here and the campaign
+/// manifest/aggregate writers.
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for ch in s.chars() {
         match ch {

@@ -348,7 +348,7 @@ fn render_heartbeat(
 }
 
 /// Formats a float as a finite JSON number (non-finite become 0).
-fn write_f64(buf: &mut String, v: f64) {
+pub(crate) fn write_f64(buf: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(buf, "{v:.6}");
     } else {
@@ -356,7 +356,10 @@ fn write_f64(buf: &mut String, v: f64) {
     }
 }
 
-fn emit(cfg: &LiveConfig, tmp_path: Option<&std::path::Path>, line: &str) {
+/// Writes one rendered beat line to every configured sink. Shared with
+/// the campaign emitter (`campaign::live`), which reuses the same sink
+/// vocabulary on its own schema.
+pub(crate) fn emit(cfg: &LiveConfig, tmp_path: Option<&std::path::Path>, line: &str) {
     if cfg.stderr {
         let mut err = std::io::stderr().lock();
         let _ = err.write_all(line.as_bytes());

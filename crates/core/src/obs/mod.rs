@@ -33,7 +33,7 @@ pub mod metrics;
 pub mod prof;
 pub mod trace;
 
-pub use export::{chrome_trace_json, metrics_csv, prof_csv, prof_table};
+pub use export::{chrome_trace_json, escape_json, metrics_csv, prof_csv, prof_table};
 pub use live::{LiveConfig, LiveStats, HEARTBEAT_VERSION};
 pub use metrics::{GaugeId, HistId, Histogram, MetricsRegistry, SeriesPoint};
 pub use prof::{ProfData, ProfHandle, ProfScope, ProfSite, Profiler};

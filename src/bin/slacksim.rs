@@ -10,14 +10,20 @@
 //!          [--verbose] [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
 //!          [--profile] [--profile-csv OUT.csv]
 //!          [--live-stderr] [--live-status FILE] [--live-every MS]
+//! slacksim sweep --spec FILE --dir DIR [--workers N]
+//!          [--live-stderr] [--live-status FILE] [--live-every MS]
+//! slacksim sweep --dir DIR            # resume from the campaign manifest
 //! slacksim report PATH...
 //! ```
 
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 use slacksim::scheme::{AdaptiveConfig, Scheme};
+use slacksim::slacksim_core::campaign::{JobRow, Manifest, CSV_HEADER};
 use slacksim::slacksim_core::obs::json::Json;
 use slacksim::slacksim_core::obs::prof::SiteStat;
+use slacksim::sweep::{run_sweep, SweepOptions};
 use slacksim::{
     Benchmark, CheckpointMode, EngineError, EngineKind, LiveConfig, ObsConfig, ProfData, ProfSite,
     Simulation, SpeculationConfig, ViolationKind, ViolationSelect, HEARTBEAT_VERSION,
@@ -52,6 +58,18 @@ const VALUE_FLAGS: &[&str] = &[
 /// Flags that stand alone.
 const BOOL_FLAGS: &[&str] = &["--verbose", "--help", "-h", "--profile", "--live-stderr"];
 
+/// Value flags of the `sweep` subcommand.
+const SWEEP_VALUE_FLAGS: &[&str] = &[
+    "--spec",
+    "--dir",
+    "--workers",
+    "--live-status",
+    "--live-every",
+];
+
+/// Standalone flags of the `sweep` subcommand.
+const SWEEP_BOOL_FLAGS: &[&str] = &["--help", "-h", "--live-stderr"];
+
 struct Args(Vec<String>);
 
 impl Args {
@@ -59,12 +77,18 @@ impl Args {
     /// missing their value — a typo must fail loudly, not silently fall
     /// back to a default configuration.
     fn validate(&self) {
+        self.validate_with(VALUE_FLAGS, BOOL_FLAGS);
+    }
+
+    /// [`validate`](Args::validate) against an explicit flag vocabulary
+    /// (subcommands bring their own).
+    fn validate_with(&self, value_flags: &[&str], bool_flags: &[&str]) {
         let mut i = 0;
         while i < self.0.len() {
             let a = self.0[i].as_str();
-            if BOOL_FLAGS.contains(&a) {
+            if bool_flags.contains(&a) {
                 i += 1;
-            } else if VALUE_FLAGS.contains(&a) {
+            } else if value_flags.contains(&a) {
                 if i + 1 >= self.0.len() {
                     usage_error(&format!("flag '{a}' expects a value"));
                 }
@@ -120,9 +144,14 @@ fn usage_error(msg: &str) -> ! {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     // The `report` subcommand takes positional paths, which the flag
-    // validator rejects — intercept it before validation.
+    // validator rejects — intercept it before validation. `sweep` brings
+    // its own flag vocabulary, so it is intercepted the same way.
     if raw.first().map(String::as_str) == Some("report") {
         report_main(&raw[1..]);
+        return;
+    }
+    if raw.first().map(String::as_str) == Some("sweep") {
+        sweep_main(&raw[1..]);
         return;
     }
     let args = Args(raw);
@@ -333,6 +362,96 @@ fn main() {
     }
 }
 
+/// Entry point for `slacksim sweep`: runs (or resumes) a design-space
+/// campaign described by a sweep-spec file.
+///
+/// Usage-class failures — unknown flags, a missing `--dir`, an
+/// unreadable or invalid spec, a spec/manifest mismatch — exit 2 with
+/// the accepted values enumerated, like the main command's flag
+/// validation. Individual job failures do not abort the fleet: every
+/// other grid point still settles, the failures are listed, and the
+/// process exits 1.
+fn sweep_main(raw: &[String]) {
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", SWEEP_HELP);
+        return;
+    }
+    let args = Args(raw.to_vec());
+    args.validate_with(SWEEP_VALUE_FLAGS, SWEEP_BOOL_FLAGS);
+
+    let Some(dir) = args.value("--dir") else {
+        usage_error("sweep requires --dir DIR (the campaign directory)");
+    };
+    let spec_src = args.value("--spec").map(|path| {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage_error(&format!("cannot read sweep spec {path}: {e}")))
+    });
+
+    let mut opts = SweepOptions::default();
+    if args.has("--workers") {
+        opts.workers = Some(args.parsed_nonzero("--workers", 1) as usize);
+    }
+    let mut live = LiveConfig::new().every(Duration::from_millis(
+        args.parsed_nonzero("--live-every", 250),
+    ));
+    if args.has("--live-stderr") {
+        live = live.to_stderr();
+    }
+    if let Some(path) = args.value("--live-status") {
+        live = live.to_file(path);
+    }
+    if live.has_sink() {
+        opts.live = Some(live);
+    } else if args.has("--live-every") {
+        usage_error("--live-every requires --live-stderr or --live-status FILE");
+    }
+
+    match run_sweep(spec_src.as_deref(), Path::new(dir), &opts) {
+        Ok(outcome) => {
+            let settled = outcome.rows.len();
+            println!(
+                "campaign: {settled} jobs settled ({} skipped, {} resumed, {} failed) on {} workers",
+                outcome.skipped,
+                outcome.resumed,
+                outcome.failed.len(),
+                outcome.pool.per_worker_jobs.len(),
+            );
+            let counts = outcome.pool.counts();
+            if counts.iter().any(|&c| c > 0) {
+                println!(
+                    "  jobs/worker: {}",
+                    counts
+                        .iter()
+                        .map(usize::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+            }
+            if outcome.failed.is_empty() {
+                println!(
+                    "  aggregate: {}",
+                    Path::new(dir).join("aggregate.csv").display()
+                );
+            } else {
+                for (token, e) in &outcome.failed {
+                    eprintln!("job {token} failed: {e}");
+                }
+                eprintln!(
+                    "{} of {} jobs failed; rerun `slacksim sweep --dir {dir}` to retry them",
+                    outcome.failed.len(),
+                    settled + outcome.failed.len(),
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `slacksim sweep --help` for usage");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Entry point for `slacksim report PATH...`: renders saved run
 /// artifacts into human-readable summaries.
 ///
@@ -383,25 +502,197 @@ fn render_artifact(path: &str, body: &str) -> Result<String, String> {
     if trimmed.starts_with("metric,cycle,value") {
         return render_metrics_csv(path, body);
     }
+    if trimmed.starts_with(CSV_HEADER) {
+        return render_campaign_csv(path, body);
+    }
     if trimmed.starts_with('{') {
-        // A Chrome trace is one JSON document; a heartbeat log is one
-        // JSON object per line. Try the whole body first, then JSONL.
+        // JSON artifacts are told apart by their discriminating fields,
+        // not by extension: a Chrome trace is one document with
+        // "traceEvents"; a campaign manifest has "canonical"; heartbeat
+        // logs and campaign aggregates are one object per line, with
+        // campaign beats flagged "campaign":true and aggregate rows
+        // keyed "job". Classify on the first object, then render the
+        // whole body with the matching line-oriented renderer.
         if let Ok(doc) = Json::parse(body.trim()) {
             if doc.get("traceEvents").is_some() {
                 return render_chrome_trace(path, &doc);
             }
-            if doc.get("v").is_some() {
+            if doc.get("canonical").is_some() {
+                return render_manifest(path, body);
+            }
+        }
+        let first_line = trimmed.lines().next().unwrap_or_default().trim();
+        if let Ok(first) = Json::parse(first_line) {
+            if first.get("campaign").and_then(Json::as_bool) == Some(true) {
+                return render_campaign_heartbeats(path, body);
+            }
+            if first.get("job").is_some() {
+                return render_campaign_jsonl(path, body);
+            }
+            if first.get("v").is_some() {
                 return render_heartbeats(path, body);
             }
-        } else {
-            return render_heartbeats(path, body);
         }
     }
     Err(
-        "unrecognized artifact (expected heartbeat JSONL, profile CSV, metrics CSV \
-         or Chrome Trace JSON)"
+        "unrecognized artifact (expected heartbeat JSONL, profile CSV, metrics CSV, \
+         Chrome Trace JSON, campaign manifest, campaign aggregate JSONL/CSV or \
+         campaign heartbeat JSONL)"
             .to_string(),
     )
+}
+
+/// Summarizes a campaign manifest.
+fn render_manifest(path: &str, body: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let manifest = Manifest::parse(body.trim())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: campaign manifest");
+    let _ = writeln!(out, "  grid size  : {} jobs", manifest.total);
+    let _ = writeln!(out, "  fingerprint: {}", manifest.canonical);
+    Ok(out)
+}
+
+/// Summarizes a campaign heartbeat log: beat count plus the final
+/// beat's fleet state.
+fn render_campaign_heartbeats(path: &str, body: &str) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let mut beats = Vec::new();
+    for (ln, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let beat = Json::parse(line)
+            .map_err(|e| format!("line {}: invalid campaign heartbeat JSON: {e}", ln + 1))?;
+        let v = beat
+            .get("v")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("line {}: missing heartbeat version field 'v'", ln + 1))?;
+        if v as u64 != HEARTBEAT_VERSION {
+            return Err(format!(
+                "line {}: unsupported heartbeat version {v} (expected {HEARTBEAT_VERSION})",
+                ln + 1
+            ));
+        }
+        if beat.get("campaign").and_then(Json::as_bool) != Some(true) {
+            return Err(format!("line {}: not a campaign heartbeat", ln + 1));
+        }
+        beats.push(beat);
+    }
+    let last = beats.last().ok_or("no campaign heartbeat lines")?;
+    let num = |k: &str| last.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: campaign heartbeats (v{HEARTBEAT_VERSION})");
+    let _ = writeln!(out, "  beats      : {}", beats.len());
+    let _ = writeln!(out, "  elapsed    : {:.2} s", num("elapsed_ms") / 1e3);
+    let _ = writeln!(
+        out,
+        "  progress   : {:.1}% ({} of {} jobs settled)",
+        num("progress") * 100.0,
+        (num("done") + num("failed") + num("skipped")) as u64,
+        num("total") as u64,
+    );
+    let _ = writeln!(
+        out,
+        "  jobs       : {} done, {} skipped, {} resumed, {} failed",
+        num("done") as u64,
+        num("skipped") as u64,
+        num("resumed") as u64,
+        num("failed") as u64,
+    );
+    let _ = writeln!(
+        out,
+        "  concurrency: {} running now, {} peak",
+        num("running") as u64,
+        num("max_running") as u64,
+    );
+    let _ = writeln!(out, "  speed      : {:.2} jobs/s", num("jobs_per_sec"));
+    Ok(out)
+}
+
+/// Summarizes a streamed campaign aggregate (`aggregate.jsonl`): one
+/// validated [`JobRow`] per line.
+fn render_campaign_jsonl(path: &str, body: &str) -> Result<String, String> {
+    let mut rows = Vec::new();
+    for (ln, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        rows.push(JobRow::parse_json(line).map_err(|e| format!("line {}: {e}", ln + 1))?);
+    }
+    if rows.is_empty() {
+        return Err("no campaign aggregate rows".to_string());
+    }
+    Ok(render_campaign_rows(
+        path,
+        "streamed campaign aggregate",
+        rows,
+    ))
+}
+
+/// Summarizes a final campaign aggregate (`aggregate.csv`).
+fn render_campaign_csv(path: &str, body: &str) -> Result<String, String> {
+    let mut rows = Vec::new();
+    for (ln, line) in body.lines().enumerate().skip(1) {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split(',').collect();
+        if cols.len() != 11 {
+            return Err(format!("line {}: expected 11 CSV columns", ln + 1));
+        }
+        let num = |i: usize| {
+            cols[i]
+                .parse::<u64>()
+                .map_err(|_| format!("line {}: invalid number '{}'", ln + 1, cols[i]))
+        };
+        rows.push(JobRow {
+            token: cols[0].to_string(),
+            index: num(1)?,
+            workload: cols[2].to_string(),
+            scheme: cols[3].to_string(),
+            bound: num(4)?,
+            quantum: num(5)?,
+            cores: num(6)?,
+            seed: num(7)?,
+            cycles: num(8)?,
+            committed: num(9)?,
+            violations: num(10)?,
+        });
+    }
+    if rows.is_empty() {
+        return Err("no campaign aggregate rows".to_string());
+    }
+    Ok(render_campaign_rows(path, "campaign aggregate", rows))
+}
+
+/// Shared summary body for both aggregate renderings.
+fn render_campaign_rows(path: &str, kind: &str, rows: Vec<JobRow>) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: {kind}");
+    let _ = writeln!(out, "  jobs: {}", rows.len());
+    // Group by scheme: the axis campaigns most often sweep, and the
+    // paper's own presentation (execution time per scheme).
+    let mut by_scheme: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for row in &rows {
+        let entry = by_scheme.entry(&row.scheme).or_insert((0, 0, 0));
+        entry.0 += 1;
+        entry.1 += row.cycles;
+        entry.2 += row.violations;
+    }
+    for (scheme, (n, cycles, violations)) in &by_scheme {
+        let _ = writeln!(
+            out,
+            "  {scheme:<10} {n:>4} jobs, mean {} cycles, {violations} violations",
+            cycles / n.max(&1),
+        );
+    }
+    out
 }
 
 /// Summarizes a `--live-status` heartbeat log: beat count plus the final
@@ -604,6 +895,53 @@ fn render_chrome_trace(path: &str, doc: &Json) -> Result<String, String> {
     Ok(out)
 }
 
+/// Usage text for `slacksim sweep`.
+const SWEEP_HELP: &str = "\
+slacksim sweep — run a design-space-exploration campaign
+
+USAGE:
+  slacksim sweep --spec FILE --dir DIR [--workers N]
+                 [--live-stderr] [--live-status FILE] [--live-every MS]
+  slacksim sweep --dir DIR            # resume from DIR's campaign manifest
+
+A sweep spec is one JSON document describing a {scheme x bound x quantum
+x cores x workload x seed} grid plus shared per-job settings:
+
+  {
+    \"v\": 1,
+    \"commit\": 20000,            per-job committed-instruction target
+    \"engine\": \"seq\",            seq|threaded|batched (default seq)
+    \"checkpoint\": 2000,         durable checkpoint interval (optional)
+    \"checkpoint_mode\": \"full\",  full|delta (default full)
+    \"max_cycles\": 100000000,    per-job simulated-cycle cap (optional)
+    \"workers\": 3,               default pool width (optional)
+    \"axes\": {
+      \"scheme\":   [\"cc\", \"bounded\"],      cc|bounded|unbounded|quantum|adaptive|p2p
+      \"bound\":    [8, 16],                 default [8]
+      \"quantum\":  [50],                    default [50]
+      \"cores\":    [2],                     1..=16, default [8]
+      \"workload\": [\"fft\", \"water\"],        barnes|fft|lu|water
+      \"seed\":     [1, 2]                   default [1]
+    }
+  }
+
+The grid is the full cartesian product of the six axes. Jobs run on a
+work-stealing pool (--workers, else the spec's, else host parallelism);
+each job writes durable checkpoints (when \"checkpoint\" is set) and an
+atomic report.json under DIR/jobs/<job>/. Kill the campaign at any
+point and rerun `slacksim sweep --dir DIR`: settled jobs are skipped,
+in-flight jobs resume from their newest checkpoint, and the final
+aggregate is byte-identical to an uninterrupted campaign's.
+
+Artifacts in DIR: manifest.json (grid identity), aggregate.jsonl
+(streamed, one row per settled job — `tail -f`-able), aggregate.csv
+(final, grid order). Campaign heartbeats (--live-stderr /
+--live-status) are single-line JSON flagged \"campaign\":true. All are
+readable back through `slacksim report`.
+
+Exit status: 0 campaign complete, 1 one or more jobs failed, 2 usage
+or spec error.";
+
 /// Usage text for `slacksim report`.
 const REPORT_HELP: &str = "\
 slacksim report — render saved run artifacts as human-readable summaries
@@ -616,6 +954,9 @@ Each PATH is detected by content, not extension:
   host-time profile CSV         (--profile-csv OUT.csv)
   metrics CSV                   (--metrics OUT.csv)
   Chrome Trace JSON             (--trace OUT.json)
+  campaign manifest             (sweep DIR/manifest.json)
+  campaign aggregate JSONL/CSV  (sweep DIR/aggregate.jsonl, .csv)
+  campaign heartbeat JSONL      (sweep --live-status FILE)
 
 Exit status: 0 all artifacts rendered, 1 unreadable or unrecognized
 artifact, 2 usage error.";
@@ -633,6 +974,9 @@ USAGE:
            [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
            [--profile] [--profile-csv OUT.csv]
            [--live-stderr] [--live-status FILE] [--live-every MS]
+  slacksim sweep --spec FILE --dir DIR [--workers N]
+           [--live-stderr] [--live-status FILE] [--live-every MS]
+  slacksim sweep --dir DIR
   slacksim report PATH...
 
 ENGINES:
@@ -703,11 +1047,21 @@ LIVE TELEMETRY:
   --live-every MS       heartbeat cadence in host milliseconds (default 250);
                         requires --live-stderr or --live-status
 
+CAMPAIGNS:
+  slacksim sweep --spec FILE --dir DIR
+                        expand FILE's {scheme x bound x quantum x cores x
+                        workload x seed} grid and run every job on a
+                        work-stealing host pool, with durable per-job
+                        checkpoints and streamed aggregation into DIR;
+                        rerun with --dir alone to resume after a crash
+                        (see `slacksim sweep --help`)
+
 REPORT:
   slacksim report PATH...
                         render saved artifacts (heartbeat log, profile CSV,
-                        metrics CSV, Chrome trace) as human-readable
-                        summaries; type is detected by content
+                        metrics CSV, Chrome trace, campaign manifest/
+                        aggregate/heartbeats) as human-readable summaries;
+                        type is detected by content
 
 EXAMPLES:
   slacksim --benchmark barnes --scheme unbounded --engine threaded
@@ -719,4 +1073,5 @@ EXAMPLES:
   slacksim --cores 2 --checkpoint 1000 --save-state /tmp/cps
   slacksim --cores 2 --checkpoint 1000 --resume /tmp/cps/cp-00000004
   slacksim --engine threaded --profile --live-status /tmp/live.json --live-every 100
-  slacksim report /tmp/live.json /tmp/prof.csv";
+  slacksim sweep --spec sweep.json --dir /tmp/campaign --workers 3 --live-stderr
+  slacksim report /tmp/live.json /tmp/prof.csv /tmp/campaign/aggregate.csv";

@@ -76,6 +76,7 @@ use slacksim_core::persist;
 use slacksim_core::scheme::Scheme;
 
 mod snapshot;
+pub mod sweep;
 
 /// Which execution engine drives the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -1,0 +1,302 @@
+//! Campaign-runner integration tests: the proof harness behind
+//! `slacksim sweep`.
+//!
+//! Three properties carry the campaign story:
+//!
+//! * **Oversubscription honesty** — a 24-job grid on a 3-worker pool
+//!   completes every job, never runs more jobs at once than it has
+//!   workers, starves no worker, and produces per-job reports
+//!   bit-identical to the same configurations run solo. Parallelism is
+//!   a throughput trick, never a results perturbation.
+//! * **Campaign-level kill-and-resume** — a SIGKILLed campaign resumes
+//!   in-flight jobs from their durable checkpoints and skips settled
+//!   ones, and its final aggregate is byte-identical to an
+//!   uninterrupted campaign's.
+//! * **Idempotent resume** — rerunning a finished campaign skips every
+//!   job and leaves the aggregate bytes untouched.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use slacksim::slacksim_core::campaign::SweepSpec;
+use slacksim::sweep::{run_sweep, SweepOptions};
+use slacksim::{Benchmark, EngineKind, SimReport, Simulation};
+
+/// Fresh scratch directory for one test's campaign files.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "slacksim-campaign-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// The 24-point oversubscription grid: 3 schemes x 2 bounds x 1 quantum
+/// x 1 core count x 2 workloads x 2 seeds.
+const OVERSUB_SPEC: &str = r#"{
+    "v": 1,
+    "commit": 4000,
+    "engine": "seq",
+    "axes": {
+        "scheme": ["cc", "bounded", "quantum"],
+        "bound": [8, 16],
+        "quantum": [50],
+        "cores": [2],
+        "workload": ["fft", "water"],
+        "seed": [1, 2]
+    }
+}"#;
+
+/// The simulated-outcome fields of a report — everything a resume or a
+/// pool schedule must reproduce exactly; wall-clock and host profiling
+/// are deliberately excluded.
+fn outcome_of(report: &SimReport) -> impl PartialEq + std::fmt::Debug {
+    (
+        report.global_cycles,
+        report.committed,
+        report.violations,
+        report.per_core.clone(),
+        report.uncore.clone(),
+    )
+}
+
+#[test]
+fn oversubscribed_campaign_is_fair_and_bit_identical_to_solo_runs() {
+    let dir = scratch_dir("oversub");
+    let opts = SweepOptions {
+        workers: Some(3),
+        ..SweepOptions::default()
+    };
+    let outcome = run_sweep(Some(OVERSUB_SPEC), &dir, &opts).expect("campaign runs");
+
+    // Every grid point settled, exactly once, in grid order.
+    let spec = SweepSpec::parse(OVERSUB_SPEC).unwrap();
+    let jobs = spec.expand();
+    assert_eq!(jobs.len(), 24, "the grid is the 24-point product");
+    assert_eq!(outcome.rows.len(), 24, "every job settled");
+    assert!(
+        outcome.failed.is_empty(),
+        "no job failed: {:?}",
+        outcome.failed
+    );
+    assert_eq!(outcome.skipped, 0);
+    assert_eq!(outcome.resumed, 0);
+    for (i, row) in outcome.rows.iter().enumerate() {
+        assert_eq!(row.index, i as u64, "rows come back in grid order");
+        assert_eq!(row.token, jobs[i].token());
+    }
+
+    // Backpressure: 24 jobs on 3 workers never ran more than 3 at once.
+    assert_eq!(outcome.pool.per_worker_jobs.len(), 3, "pool width is 3");
+    assert!(
+        outcome.pool.max_concurrent <= 3,
+        "oversubscribed pool ran {} jobs at once",
+        outcome.pool.max_concurrent
+    );
+
+    // Fairness: all jobs ran, and no worker starved. Each worker owns an
+    // 8-job deque and pops its own front first, so an empty share would
+    // require peers to steal all 8 jobs before the worker's first pop.
+    let counts = outcome.pool.counts();
+    assert_eq!(counts.iter().sum::<usize>(), 24, "all 24 jobs executed");
+    assert!(
+        counts.iter().all(|&c| c >= 1),
+        "a worker starved: jobs/worker = {counts:?}"
+    );
+
+    // Bit-identity: each pooled report equals the same config run solo.
+    for job in &jobs {
+        let pooled = outcome.reports[job.index as usize]
+            .as_ref()
+            .expect("fresh campaign ran every job");
+        let solo = Simulation::new(Benchmark::parse(&job.workload).unwrap())
+            .cores(job.cores as usize)
+            .scheme(job.scheme.clone())
+            .engine(EngineKind::Sequential)
+            .commit_target(spec.commit)
+            .seed(job.seed)
+            .run()
+            .expect("solo run");
+        assert_eq!(
+            outcome_of(pooled),
+            outcome_of(&solo),
+            "job {} diverged from its solo run",
+            job.token()
+        );
+    }
+
+    // Idempotent resume: a second invocation (spec or manifest, both
+    // legal) skips everything and rewrites identical aggregate bytes.
+    let csv = std::fs::read(dir.join("aggregate.csv")).expect("aggregate.csv written");
+    let again = run_sweep(None, &dir, &opts).expect("resume of a finished campaign");
+    assert_eq!(again.skipped, 24, "every settled job is skipped");
+    assert_eq!(again.rows, outcome.rows, "rows survive the round-trip");
+    assert!(again.reports.iter().all(Option::is_none), "nothing reran");
+    let csv_again = std::fs::read(dir.join("aggregate.csv")).unwrap();
+    assert_eq!(csv, csv_again, "aggregate bytes are reproduced exactly");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Two long cc jobs with durable checkpoints every 500 cycles: small
+/// enough for debug CI, long enough that the first snapshot lands well
+/// before either job finishes.
+const KILL_SPEC: &str = r#"{
+    "v": 1,
+    "commit": 60000,
+    "engine": "seq",
+    "checkpoint": 500,
+    "workers": 1,
+    "axes": {
+        "scheme": ["cc"],
+        "cores": [2],
+        "workload": ["fft"],
+        "seed": [1, 2]
+    }
+}"#;
+
+fn slacksim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_slacksim"))
+        .args(args)
+        .output()
+        .expect("spawn slacksim binary")
+}
+
+/// Any `cp-*` file under any job directory of the campaign.
+fn any_job_checkpoint(dir: &Path) -> Option<PathBuf> {
+    let jobs = std::fs::read_dir(dir.join("jobs")).ok()?;
+    for jdir in jobs.flatten() {
+        let Ok(entries) = std::fs::read_dir(jdir.path()) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            if entry.file_name().to_string_lossy().starts_with("cp-") {
+                return Some(entry.path());
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn sigkilled_campaign_resumes_to_a_bit_identical_aggregate() {
+    let base = scratch_dir("kill");
+    let spec_path = base.join("sweep.json");
+    std::fs::write(&spec_path, KILL_SPEC).unwrap();
+    let spec = spec_path.to_str().unwrap();
+
+    // Uninterrupted baseline campaign.
+    let dir_a = base.join("uninterrupted");
+    let baseline = slacksim(&["sweep", "--spec", spec, "--dir", dir_a.to_str().unwrap()]);
+    assert!(
+        baseline.status.success(),
+        "baseline campaign exits 0: {}",
+        String::from_utf8_lossy(&baseline.stderr)
+    );
+    let want_csv = std::fs::read(dir_a.join("aggregate.csv")).expect("baseline aggregate");
+    let want_jsonl = std::fs::read(dir_a.join("aggregate.jsonl")).expect("baseline jsonl");
+
+    // Start the same campaign elsewhere and SIGKILL it as soon as the
+    // first durable job checkpoint lands (mid-first-job, by construction:
+    // checkpoints arrive every 500 cycles of an ~85k-cycle run).
+    let dir_b = base.join("killed");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_slacksim"))
+        .args(["sweep", "--spec", spec, "--dir", dir_b.to_str().unwrap()])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn campaign");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while any_job_checkpoint(&dir_b).is_none() {
+        assert!(
+            Instant::now() < deadline,
+            "no job checkpoint appeared within the deadline"
+        );
+        if child.try_wait().expect("poll child").is_some() {
+            break; // finished before we could kill it — still comparable
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+
+    // Resume from the manifest alone. The in-flight job restarts from
+    // its newest snapshot (not cycle 0), which the runner announces.
+    let resumed = slacksim(&["sweep", "--dir", dir_b.to_str().unwrap()]);
+    assert!(
+        resumed.status.success(),
+        "resumed campaign exits 0: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let err = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        err.contains("resumed from"),
+        "resume restarts from a durable checkpoint, stderr: {err:?}"
+    );
+
+    // The final artifacts are byte-identical to never having crashed.
+    let got_csv = std::fs::read(dir_b.join("aggregate.csv")).expect("resumed aggregate");
+    assert_eq!(got_csv, want_csv, "aggregate.csv diverged across the kill");
+    let got_jsonl = std::fs::read(dir_b.join("aggregate.jsonl")).expect("resumed jsonl");
+    assert_eq!(
+        got_jsonl, want_jsonl,
+        "aggregate.jsonl diverged across the kill"
+    );
+
+    // Settled jobs prune their checkpoints: the campaign directory holds
+    // reports, not stale snapshots.
+    assert!(
+        any_job_checkpoint(&dir_b).is_none(),
+        "settled jobs must prune their cp-* files"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn failed_jobs_do_not_sink_the_fleet() {
+    // A grid where one point cannot finish: 2000 fft instructions take
+    // ~4.5k cycles on 2 cores but ~8.7k on 1, so a 6500-cycle cap
+    // settles the 2-core job and stops the 1-core job short of target —
+    // which must surface as a per-job failure, not an aggregate row.
+    let spec = r#"{
+        "v": 1,
+        "commit": 2000,
+        "max_cycles": 6500,
+        "axes": {
+            "scheme": ["cc"],
+            "cores": [1, 2],
+            "workload": ["fft"],
+            "seed": [1]
+        }
+    }"#;
+    let dir = scratch_dir("fail");
+    let opts = SweepOptions {
+        workers: Some(2),
+        ..SweepOptions::default()
+    };
+    let outcome = run_sweep(Some(spec), &dir, &opts).expect("campaign itself runs");
+    assert_eq!(outcome.rows.len(), 1, "the 2-core job settles");
+    assert_eq!(outcome.rows[0].cores, 2);
+    assert_eq!(outcome.failed.len(), 1, "the capped 1-core job fails");
+    assert!(
+        outcome.failed[0].0.contains("-c1-"),
+        "the failure names the capped job: {:?}",
+        outcome.failed
+    );
+    assert!(
+        outcome.failed[0].1.contains("max_cycles"),
+        "the failure names the cap: {:?}",
+        outcome.failed
+    );
+    // No CSV on a partial pass: the streamed JSONL is the partial record.
+    assert!(
+        !dir.join("aggregate.csv").exists(),
+        "no final aggregate until the grid is green"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -402,6 +402,250 @@ fn report_without_paths_exits_2() {
     assert!(stderr(&out).contains("report expects at least one PATH"));
 }
 
+// --- `slacksim sweep` usage surface ---------------------------------
+
+/// Fresh scratch directory for one sweep test.
+fn sweep_scratch(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "slacksim-cli-sweep-{tag}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Asserts a sweep setup failure surfaced by `run_sweep`: exit 2, an
+/// `error:` line mentioning every token, and the pointer at the sweep
+/// help (these fail after flag validation, so they cite `sweep --help`).
+fn assert_sweep_error(out: &Output, expect: &[&str]) {
+    assert_eq!(out.status.code(), Some(2), "sweep errors exit with code 2");
+    let err = stderr(out);
+    assert!(
+        err.contains("error: "),
+        "stderr carries an error line, got {err:?}"
+    );
+    for token in expect {
+        assert!(
+            err.contains(token),
+            "stderr must mention {token:?}, got {err:?}"
+        );
+    }
+    assert!(
+        err.contains("slacksim sweep --help"),
+        "stderr points at sweep --help, got {err:?}"
+    );
+}
+
+#[test]
+fn sweep_without_dir_is_rejected() {
+    let out = slacksim(&["sweep", "--workers", "2"]);
+    assert_usage_error(&out, &["--dir"]);
+}
+
+#[test]
+fn sweep_unknown_flag_is_rejected() {
+    let out = slacksim(&["sweep", "--dir", "/tmp/nowhere", "--frobnicate"]);
+    assert_usage_error(&out, &["unknown argument '--frobnicate'"]);
+}
+
+#[test]
+fn sweep_zero_workers_is_rejected() {
+    let out = slacksim(&["sweep", "--dir", "/tmp/nowhere", "--workers", "0"]);
+    assert_usage_error(&out, &["--workers must be at least 1 (got 0)"]);
+}
+
+#[test]
+fn sweep_live_every_without_a_sink_is_rejected() {
+    let out = slacksim(&["sweep", "--dir", "/tmp/nowhere", "--live-every", "50"]);
+    assert_usage_error(&out, &["--live-every", "--live-stderr", "--live-status"]);
+}
+
+#[test]
+fn sweep_unreadable_spec_is_rejected() {
+    let out = slacksim(&[
+        "sweep",
+        "--dir",
+        "/tmp/nowhere",
+        "--spec",
+        "/nonexistent/sweep.json",
+    ]);
+    assert_usage_error(&out, &["cannot read sweep spec", "/nonexistent/sweep.json"]);
+}
+
+#[test]
+fn sweep_without_spec_or_manifest_is_rejected() {
+    let dir = sweep_scratch("nomanifest");
+    let out = slacksim(&["sweep", "--dir", dir.to_str().unwrap()]);
+    assert_sweep_error(&out, &["no sweep spec given", "manifest"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_bad_grid_values_are_rejected_with_enumerated_errors() {
+    let cases: &[(&str, &[&str])] = &[
+        (
+            r#"{"v":1,"commit":100,"axes":{"scheme":["warp"],"workload":["fft"]}}"#,
+            &["warp", "cc|bounded|unbounded|quantum|adaptive|p2p"],
+        ),
+        (
+            r#"{"v":1,"commit":100,"axes":{"scheme":["cc"],"workload":["raytrace"]}}"#,
+            &["raytrace", "barnes|fft|lu|water"],
+        ),
+        (
+            r#"{"v":1,"commit":100,"axes":{"scheme":["cc"],"workload":["fft"],"cores":[17]}}"#,
+            &["17", "out of range"],
+        ),
+        (
+            r#"{"v":1,"commit":100,"axes":{"scheme":["cc"],"workload":["fft"],"bound":[8,8]}}"#,
+            &["repeats value 8"],
+        ),
+        (
+            r#"{"v":1,"commit":100,"engine":"batched","axes":{"scheme":["cc"],"workload":["fft"]}}"#,
+            &["batched", "quantum-only scheme axis"],
+        ),
+    ];
+    let dir = sweep_scratch("badgrid");
+    for (i, (spec, expect)) in cases.iter().enumerate() {
+        let spec_path = dir.join(format!("spec-{i}.json"));
+        std::fs::write(&spec_path, spec).unwrap();
+        let out = slacksim(&[
+            "sweep",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--dir",
+            dir.join(format!("camp-{i}")).to_str().unwrap(),
+        ]);
+        assert_sweep_error(&out, expect);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_conflicting_spec_against_manifest_is_rejected() {
+    let dir = sweep_scratch("mismatch");
+    let camp = dir.join("camp");
+    let spec_a = dir.join("a.json");
+    std::fs::write(
+        &spec_a,
+        r#"{"v":1,"commit":200,"axes":{"scheme":["cc"],"cores":[1],"workload":["fft"]}}"#,
+    )
+    .unwrap();
+    let out = slacksim(&[
+        "sweep",
+        "--spec",
+        spec_a.to_str().unwrap(),
+        "--dir",
+        camp.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "first campaign exits 0: {}",
+        stderr(&out)
+    );
+    // A different grid against the same directory must be refused.
+    let spec_b = dir.join("b.json");
+    std::fs::write(
+        &spec_b,
+        r#"{"v":1,"commit":400,"axes":{"scheme":["cc"],"cores":[1],"workload":["fft"]}}"#,
+    )
+    .unwrap();
+    let out = slacksim(&[
+        "sweep",
+        "--spec",
+        spec_b.to_str().unwrap(),
+        "--dir",
+        camp.to_str().unwrap(),
+    ]);
+    assert_sweep_error(&out, &["does not match the campaign recorded in"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_help_documents_the_spec_format() {
+    let out = slacksim(&["sweep", "--help"]);
+    assert!(out.status.success(), "sweep --help exits 0");
+    let text = stdout(&out);
+    for token in [
+        "--spec",
+        "--dir",
+        "--workers",
+        "cc|bounded|unbounded|quantum|adaptive|p2p",
+        "barnes|fft|lu|water",
+        "seq|threaded|batched",
+    ] {
+        assert!(text.contains(token), "sweep help must document {token}");
+    }
+    let main = slacksim(&["--help"]);
+    assert!(
+        stdout(&main).contains("slacksim sweep --spec FILE --dir DIR"),
+        "main help must point at the sweep subcommand"
+    );
+}
+
+#[test]
+fn report_renders_every_campaign_artifact() {
+    let dir = sweep_scratch("report");
+    let camp = dir.join("camp");
+    let spec = dir.join("sweep.json");
+    std::fs::write(
+        &spec,
+        r#"{"v":1,"commit":500,"axes":{
+            "scheme":["cc","bounded"],"bound":[8],"cores":[2],
+            "workload":["fft"],"seed":[1]}}"#,
+    )
+    .unwrap();
+    let beats = dir.join("beats.jsonl");
+    let out = slacksim(&[
+        "sweep",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--dir",
+        camp.to_str().unwrap(),
+        "--workers",
+        "2",
+        "--live-status",
+        beats.to_str().unwrap(),
+        "--live-every",
+        "5",
+    ]);
+    assert!(out.status.success(), "campaign exits 0: {}", stderr(&out));
+    assert!(
+        stdout(&out).contains("campaign: 2 jobs settled"),
+        "summary line printed: {}",
+        stdout(&out)
+    );
+
+    // Every artifact the campaign wrote renders through `report`.
+    let rep = slacksim(&[
+        "report",
+        camp.join("aggregate.csv").to_str().unwrap(),
+        camp.join("aggregate.jsonl").to_str().unwrap(),
+        camp.join("manifest.json").to_str().unwrap(),
+        beats.to_str().unwrap(),
+    ]);
+    assert!(rep.status.success(), "report exits 0: {}", stderr(&rep));
+    let text = stdout(&rep);
+    assert!(text.contains("campaign aggregate"), "CSV rendered: {text}");
+    assert!(
+        text.contains("streamed campaign aggregate"),
+        "JSONL rendered: {text}"
+    );
+    assert!(
+        text.contains("campaign manifest"),
+        "manifest rendered: {text}"
+    );
+    assert!(
+        text.contains("campaign heartbeats"),
+        "heartbeats rendered: {text}"
+    );
+    assert!(text.contains("cc"), "per-scheme grouping present: {text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn report_on_unrecognized_artifact_exits_1() {
     let dir = std::env::temp_dir().join(format!("slacksim-cli-bad-{}", std::process::id()));

@@ -26,6 +26,9 @@
 //!   under a `"baseline"` key and report per-row speedups against it;
 //! * `SLACKSIM_BENCH_BASELINE_BATCHED=path` — likewise for the batched
 //!   results file;
+//! * `SLACKSIM_BENCH_OUT_DIRECTORY` / `SLACKSIM_BENCH_BASELINE_DIRECTORY`
+//!   — likewise for the directory-uncore rows (64-core FFT through the
+//!   sharded MESI banks), written to `BENCH_directory.json` by default;
 //! * `SLACKSIM_BENCH_TOLERANCE=R` — with a baseline, fail (exit non-zero)
 //!   if any row's median throughput drops below `R×` the baseline row's,
 //!   so baseline drift fails CI loudly instead of passing unnoticed (the
@@ -40,10 +43,16 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use slacksim::scheme::Scheme;
-use slacksim::{Benchmark, CheckpointMode, EngineKind, ProfData, Simulation, SpeculationConfig};
+use slacksim::{
+    Benchmark, CheckpointMode, EngineKind, ProfData, Simulation, SpeculationConfig, UncoreKind,
+};
 use slacksim_core::obs::json::Json;
 
 const CORES: usize = 8;
+
+/// Core count of the directory-uncore rows: far past the snooping bus's
+/// 16-core cap, where the sharded banks earn their keep.
+const DIR_CORES: usize = 64;
 
 struct RunStats {
     wall_ms_median: f64,
@@ -56,6 +65,8 @@ struct RunStats {
 struct ResultRow {
     engine: &'static str,
     scheme_name: &'static str,
+    uncore: UncoreKind,
+    cores: usize,
     slack_bound: Option<u64>,
     stats: RunStats,
 }
@@ -83,12 +94,15 @@ fn profiling() -> bool {
 fn run_once(
     engine: EngineKind,
     scheme: Scheme,
+    uncore: UncoreKind,
+    cores: usize,
     commit_target: u64,
     spec: Option<SpeculationConfig>,
 ) -> (std::time::Duration, u64, u64, u64, Option<ProfData>) {
     let t = Instant::now();
     let mut sim = Simulation::new(Benchmark::Fft);
-    sim.cores(CORES)
+    sim.uncore(uncore)
+        .cores(cores)
         .commit_target(commit_target)
         .seed(1)
         .scheme(scheme)
@@ -104,7 +118,9 @@ fn run_once(
         wall,
         report.committed,
         report.global_cycles,
-        report.uncore.get("bus_transactions"),
+        // Interconnect transactions: whichever uncore is inactive
+        // contributes zero, so one events metric covers both.
+        report.uncore.get("bus_transactions") + report.uncore.get("dir_transactions"),
         report.prof,
     )
 }
@@ -115,19 +131,22 @@ fn bench(
     engine_name: &'static str,
     scheme: Scheme,
     scheme_name: &'static str,
+    uncore: UncoreKind,
+    cores: usize,
     slack_bound: Option<u64>,
     commit_target: u64,
     iters: u32,
     spec: Option<SpeculationConfig>,
 ) -> ResultRow {
-    let _ = run_once(engine, scheme.clone(), commit_target, spec); // warm-up
+    let _ = run_once(engine, scheme.clone(), uncore, cores, commit_target, spec); // warm-up
     let mut times = Vec::with_capacity(iters as usize);
     let mut committed = 0;
     let mut global_cycles = 0;
     let mut events = 0;
     let mut prof = None;
     for _ in 0..iters {
-        let (wall, c, g, e, p) = run_once(engine, scheme.clone(), commit_target, spec);
+        let (wall, c, g, e, p) =
+            run_once(engine, scheme.clone(), uncore, cores, commit_target, spec);
         times.push(wall);
         committed = c;
         global_cycles = g;
@@ -140,6 +159,8 @@ fn bench(
     let row = ResultRow {
         engine: engine_name,
         scheme_name,
+        uncore,
+        cores,
         slack_bound,
         stats: RunStats {
             wall_ms_median: median.as_secs_f64() * 1e3,
@@ -217,6 +238,7 @@ fn speedups_vs(rows: &[ResultRow], baseline_raw: &str) -> Vec<(String, f64)> {
 
 fn emit_json(
     rows: &[ResultRow],
+    header_cores: usize,
     commit_target: u64,
     iters: u32,
     baseline_raw: Option<&str>,
@@ -226,7 +248,7 @@ fn emit_json(
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"engine_throughput\",");
     let _ = writeln!(out, "  \"workload\": \"FFT\",");
-    let _ = writeln!(out, "  \"cores\": {CORES},");
+    let _ = writeln!(out, "  \"cores\": {header_cores},");
     let _ = writeln!(out, "  \"commit_target\": {commit_target},");
     let _ = writeln!(out, "  \"iters\": {iters},");
     out.push_str("  \"results\": [\n");
@@ -237,12 +259,14 @@ fn emit_json(
         };
         let _ = write!(
             out,
-            "    {{\"engine\": \"{}\", \"scheme\": \"{}\", \"cores\": {CORES}, \
+            "    {{\"engine\": \"{}\", \"scheme\": \"{}\", \"uncore\": \"{}\", \"cores\": {}, \
              \"slack_bound\": {bound}, \"wall_ms_median\": {}, \"wall_ms_mean\": {}, \
              \"events\": {}, \"events_per_sec\": {}, \"commits_per_sec\": {}, \
              \"committed\": {}, \"global_cycles\": {}}}",
             r.engine,
             r.scheme_name,
+            r.uncore,
+            r.cores,
             jnum(r.stats.wall_ms_median),
             jnum(r.stats.wall_ms_mean),
             r.stats.events,
@@ -312,6 +336,8 @@ fn main() {
             "sequential",
             scheme,
             name,
+            UncoreKind::Bus,
+            CORES,
             bound,
             commit_target,
             iters,
@@ -329,6 +355,8 @@ fn main() {
             "threaded",
             scheme,
             name,
+            UncoreKind::Bus,
+            CORES,
             bound,
             commit_target,
             iters,
@@ -350,6 +378,8 @@ fn main() {
             "sequential",
             Scheme::BoundedSlack { bound: 16 },
             name,
+            UncoreKind::Bus,
+            CORES,
             Some(16),
             cp_target,
             iters,
@@ -371,6 +401,57 @@ fn main() {
             "batched",
             scheme,
             name,
+            UncoreKind::Bus,
+            CORES,
+            bound,
+            commit_target,
+            iters,
+            None,
+        ));
+    }
+
+    // Directory-uncore rows (sharded MESI banks, DESIGN §17): 64-core
+    // FFT, four times past the bus cap, one row per engine at its
+    // exactness scheme. They go to BENCH_directory.json so the
+    // directory-scale trajectory gates independently.
+    let mut directory_rows = Vec::new();
+    for (engine, engine_name, name, bound, scheme) in [
+        (
+            EngineKind::Sequential,
+            "sequential",
+            "cycle-by-cycle",
+            Some(0),
+            Scheme::CycleByCycle,
+        ),
+        (
+            EngineKind::Sequential,
+            "sequential",
+            "bounded-16",
+            Some(16),
+            Scheme::BoundedSlack { bound: 16 },
+        ),
+        (
+            EngineKind::Threaded,
+            "threaded",
+            "bounded-16",
+            Some(16),
+            Scheme::BoundedSlack { bound: 16 },
+        ),
+        (
+            EngineKind::Batched,
+            "batched",
+            "quantum-50",
+            Some(50),
+            Scheme::Quantum { quantum: 50 },
+        ),
+    ] {
+        directory_rows.push(bench(
+            engine,
+            engine_name,
+            scheme,
+            name,
+            UncoreKind::Directory,
+            DIR_CORES,
             bound,
             commit_target,
             iters,
@@ -379,7 +460,14 @@ fn main() {
     }
 
     let baseline_raw = load_baseline("SLACKSIM_BENCH_BASELINE");
-    let json = emit_json(&rows, commit_target, iters, baseline_raw.as_deref(), &[]);
+    let json = emit_json(
+        &rows,
+        CORES,
+        commit_target,
+        iters,
+        baseline_raw.as_deref(),
+        &[],
+    );
     // Fail loudly if the hand-rolled emitter ever produces malformed JSON.
     Json::parse(&json).expect("emitted BENCH_threaded.json must be well-formed");
 
@@ -407,6 +495,7 @@ fn main() {
     let batched_baseline_raw = load_baseline("SLACKSIM_BENCH_BASELINE_BATCHED");
     let batched_json = emit_json(
         &batched_rows,
+        CORES,
         commit_target,
         iters,
         batched_baseline_raw.as_deref(),
@@ -416,6 +505,31 @@ fn main() {
     println!(
         "batched/quantum-50: {:.2}x sequential/quantum-50 commit throughput",
         bat_q50.commits_per_sec() / seq_q50.commits_per_sec()
+    );
+
+    // The directory trajectory's headline number: 64-core FFT commit
+    // throughput on the deterministic engine.
+    let dir_cc = directory_rows
+        .iter()
+        .find(|r| r.engine == "sequential" && r.scheme_name == "cycle-by-cycle")
+        .expect("directory cycle-by-cycle row");
+    let directory_extra_keys = [(
+        "directory_cc_commits_per_sec",
+        jnum(dir_cc.commits_per_sec()),
+    )];
+    let directory_baseline_raw = load_baseline("SLACKSIM_BENCH_BASELINE_DIRECTORY");
+    let directory_json = emit_json(
+        &directory_rows,
+        DIR_CORES,
+        commit_target,
+        iters,
+        directory_baseline_raw.as_deref(),
+        &directory_extra_keys,
+    );
+    Json::parse(&directory_json).expect("emitted BENCH_directory.json must be well-formed");
+    println!(
+        "directory/cycle-by-cycle at {DIR_CORES} cores: {:.0} commits/s",
+        dir_cc.commits_per_sec()
     );
 
     // Baseline drift gates (ci.sh bench smoke): every row a baseline
@@ -439,6 +553,12 @@ fn main() {
             tol,
             "SLACKSIM_BENCH_BASELINE_BATCHED",
         );
+        tolerance_gate(
+            &directory_rows,
+            directory_baseline_raw.as_deref(),
+            tol,
+            "SLACKSIM_BENCH_BASELINE_DIRECTORY",
+        );
     }
 
     let out_path = std::env::var("SLACKSIM_BENCH_OUT").unwrap_or_else(|_| {
@@ -452,6 +572,12 @@ fn main() {
     });
     std::fs::write(&batched_out_path, &batched_json).expect("write BENCH_batched.json");
     println!("wrote {batched_out_path}");
+
+    let directory_out_path = std::env::var("SLACKSIM_BENCH_OUT_DIRECTORY").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_directory.json").to_string()
+    });
+    std::fs::write(&directory_out_path, &directory_json).expect("write BENCH_directory.json");
+    println!("wrote {directory_out_path}");
 }
 
 /// Reads and validates a baseline document named by the environment

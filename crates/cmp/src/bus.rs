@@ -22,8 +22,8 @@ use slacksim_core::violation::TimestampMonitor;
 /// Reserved-slot calendar for one bus, with each reservation occupying
 /// `occupancy` consecutive cycles.
 #[derive(Debug, Clone, PartialEq, Eq)]
-struct SlotCalendar {
-    occupancy: u64,
+pub(crate) struct SlotCalendar {
+    pub(crate) occupancy: u64,
     /// Reservation starts, ascending and duplicate-free. Arrivals are
     /// near-monotone, so inserts land at (or within a few elements of) the
     /// tail — a sorted `Vec` beats a `BTreeSet` on both the binary-searched
@@ -38,7 +38,7 @@ struct SlotCalendar {
 const PRUNE_WINDOW: u64 = 1 << 14;
 
 impl SlotCalendar {
-    fn new(occupancy: u64) -> Self {
+    pub(crate) fn new(occupancy: u64) -> Self {
         assert!(occupancy >= 1, "bus occupancy must be at least 1");
         SlotCalendar {
             occupancy,
@@ -49,7 +49,7 @@ impl SlotCalendar {
 
     /// Reserves and returns the first slot start `>= from` whose
     /// `occupancy` cycles are all free.
-    fn reserve(&mut self, from: u64) -> u64 {
+    pub(crate) fn reserve(&mut self, from: u64) -> u64 {
         let c = self.occupancy;
         // Past-the-horizon fast path: every existing reservation starts at
         // or below `horizon`, so a request at `horizon + c` or later can
@@ -96,7 +96,7 @@ impl SlotCalendar {
     }
 
     /// Serializes the calendar (occupancy is configuration, not stored).
-    fn save_state(&self, w: &mut ByteWriter) {
+    pub(crate) fn save_state(&self, w: &mut ByteWriter) {
         w.u64(self.horizon);
         w.u32(self.reserved.len() as u32);
         for &slot in &self.reserved {
@@ -104,7 +104,7 @@ impl SlotCalendar {
         }
     }
 
-    fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
+    pub(crate) fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
         let horizon = r.u64()?;
         let n = r.u32()? as usize;
         let mut reserved = Vec::with_capacity(n.min(4096));

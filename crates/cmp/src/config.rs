@@ -5,6 +5,52 @@
 //! bus.
 
 use crate::cache::CacheConfig;
+use crate::directory::MAX_DIRECTORY_CORES;
+
+/// Which interconnect model the uncore instantiates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum UncoreKind {
+    /// The paper's split request/response snooping bus — one shared
+    /// resource, one monitoring variable, at most 16 cores.
+    #[default]
+    Bus,
+    /// Sharded directory-MESI: address-interleaved banks, one monitor
+    /// per bank, up to [`MAX_DIRECTORY_CORES`] cores.
+    Directory,
+}
+
+impl UncoreKind {
+    /// Largest supported target core count for this interconnect.
+    pub fn max_cores(self) -> usize {
+        match self {
+            UncoreKind::Bus => 16,
+            UncoreKind::Directory => MAX_DIRECTORY_CORES,
+        }
+    }
+
+    /// The CLI/spec spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            UncoreKind::Bus => "bus",
+            UncoreKind::Directory => "directory",
+        }
+    }
+
+    /// Parses the CLI/spec spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "bus" => Some(UncoreKind::Bus),
+            "directory" => Some(UncoreKind::Directory),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for UncoreKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Per-core microarchitecture parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,6 +123,12 @@ pub struct UncoreConfig {
     pub barrier_latency: u64,
     /// Lock grant/handover latency.
     pub lock_latency: u64,
+    /// Directory-bank lookup occupancy per transaction (directory uncore
+    /// only): the bank port is busy this long per access.
+    pub dir_lookup_latency: u64,
+    /// Point-to-point network hop latency between a core and a directory
+    /// bank (directory uncore only; replaces the broadcast bus cycle).
+    pub net_latency: u64,
     /// Shared L2 geometry.
     pub l2: CacheConfig,
 }
@@ -93,6 +145,8 @@ impl Default for UncoreConfig {
             snoop_latency: 1,
             barrier_latency: 4,
             lock_latency: 2,
+            dir_lookup_latency: 4,
+            net_latency: 3,
             l2: CacheConfig::l2(),
         }
     }
@@ -103,6 +157,8 @@ impl Default for UncoreConfig {
 pub struct CmpConfig {
     /// Number of target cores (paper: 8).
     pub cores: usize,
+    /// Which interconnect the uncore instantiates (paper: the bus).
+    pub uncore_kind: UncoreKind,
     /// Per-core parameters.
     pub core: CoreConfig,
     /// Shared-resource parameters.
@@ -132,12 +188,34 @@ impl CmpConfig {
             ..CmpConfig::default()
         }
     }
+
+    /// A target with the given interconnect and core count but otherwise
+    /// paper parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is 0 or exceeds the interconnect's ceiling
+    /// ([`UncoreKind::max_cores`]); callers with unvalidated input should
+    /// check the ceiling first.
+    pub fn with_uncore(kind: UncoreKind, cores: usize) -> Self {
+        let max = kind.max_cores();
+        assert!(
+            (1..=max).contains(&cores),
+            "core count must be between 1 and {max} for the {kind} uncore"
+        );
+        CmpConfig {
+            cores,
+            uncore_kind: kind,
+            ..CmpConfig::default()
+        }
+    }
 }
 
 impl Default for CmpConfig {
     fn default() -> Self {
         CmpConfig {
             cores: 8,
+            uncore_kind: UncoreKind::default(),
             core: CoreConfig::default(),
             uncore: UncoreConfig::default(),
         }
@@ -175,5 +253,28 @@ mod tests {
     #[should_panic(expected = "between 1 and 16")]
     fn too_many_cores_rejected() {
         let _ = CmpConfig::with_cores(17);
+    }
+
+    #[test]
+    fn directory_uncore_lifts_the_core_cap() {
+        let cfg = CmpConfig::with_uncore(UncoreKind::Directory, 64);
+        assert_eq!(cfg.cores, 64);
+        assert_eq!(cfg.uncore_kind, UncoreKind::Directory);
+        assert_eq!(UncoreKind::Bus.max_cores(), 16);
+        assert_eq!(UncoreKind::Directory.max_cores(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 1024")]
+    fn directory_core_cap_still_enforced() {
+        let _ = CmpConfig::with_uncore(UncoreKind::Directory, 2048);
+    }
+
+    #[test]
+    fn uncore_kind_spellings_round_trip() {
+        for kind in [UncoreKind::Bus, UncoreKind::Directory] {
+            assert_eq!(UncoreKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(UncoreKind::parse("ring"), None);
     }
 }

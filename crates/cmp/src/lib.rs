@@ -54,17 +54,19 @@ pub mod bus;
 pub mod cache;
 pub mod config;
 pub mod core;
+pub mod directory;
 pub mod event;
 pub mod isa;
 pub mod l2;
 pub mod map;
 pub mod mesi;
+pub mod sharers;
 pub mod sync;
 pub mod uncore;
 
 pub use crate::core::CmpCore;
 pub use cache::{CacheConfig, LineAddr};
-pub use config::{CmpConfig, CoreConfig, UncoreConfig};
+pub use config::{CmpConfig, CoreConfig, UncoreConfig, UncoreKind};
 pub use event::MemEvent;
 pub use isa::{Instr, InstrStream, Op};
 pub use mesi::{BusOp, MesiState};

@@ -14,11 +14,12 @@ use slacksim_core::event::CoreId;
 use slacksim_core::persist::{ByteReader, ByteWriter, PersistError};
 use slacksim_core::time::Cycle;
 
+use crate::sharers::SharerSet;
+
 /// Barrier arrival state for one episode.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct BarrierState {
-    arrived: u16,
-    count: u32,
+    arrived: SharerSet,
     latest_ts: Cycle,
 }
 
@@ -131,11 +132,14 @@ impl SyncDevice {
     ///
     /// # Panics
     ///
-    /// Panics if `n_cores` is 0 or exceeds 16.
+    /// Panics if `n_cores` is 0 or exceeds
+    /// [`MAX_DIRECTORY_CORES`](crate::directory::MAX_DIRECTORY_CORES)
+    /// (the arrival set scales with the directory uncore's ceiling).
     pub fn new(n_cores: usize, barrier_latency: u64, lock_latency: u64) -> Self {
+        let max = crate::directory::MAX_DIRECTORY_CORES;
         assert!(
-            (1..=16).contains(&n_cores),
-            "core count must be between 1 and 16"
+            (1..=max).contains(&n_cores),
+            "core count must be between 1 and {max}"
         );
         SyncDevice {
             n_cores,
@@ -164,13 +168,9 @@ impl SyncDevice {
         self.gen += 1;
         let n = self.n_cores;
         let st = self.barriers.entry(id).or_default();
-        let bit = 1u16 << core.index();
-        if st.arrived & bit == 0 {
-            st.arrived |= bit;
-            st.count += 1;
-        }
+        st.arrived.insert(core);
         st.latest_ts = st.latest_ts.max(ts);
-        if st.count as usize == n {
+        if st.arrived.len() == n {
             let release = st.latest_ts + self.barrier_latency;
             self.barriers.remove(&id);
             self.barriers_completed += 1;
@@ -254,8 +254,7 @@ impl SyncDevice {
         for id in barrier_ids {
             let st = &self.barriers[&id];
             w.u32(id);
-            w.u16(st.arrived);
-            w.u32(st.count);
+            st.arrived.save(w);
             w.u64(st.latest_ts.as_u64());
         }
         let mut lock_ids: Vec<u32> = self.locks.keys().copied().collect();
@@ -303,17 +302,9 @@ impl SyncDevice {
         let mut barriers = HashMap::new();
         for _ in 0..r.u32()? {
             let id = r.u32()?;
-            let arrived = r.u16()?;
-            let count = r.u32()?;
+            let arrived = SharerSet::load(r, n)?;
             let latest_ts = Cycle::new(r.u64()?);
-            barriers.insert(
-                id,
-                BarrierState {
-                    arrived,
-                    count,
-                    latest_ts,
-                },
-            );
+            barriers.insert(id, BarrierState { arrived, latest_ts });
         }
         let mut locks = HashMap::new();
         for _ in 0..r.u32()? {

@@ -17,7 +17,8 @@ use slacksim_core::time::Cycle;
 use slacksim_core::violation::{ViolationEvent, ViolationKind};
 
 use crate::bus::{Bus, BusDelta};
-use crate::config::CmpConfig;
+use crate::config::{CmpConfig, UncoreKind};
+use crate::directory::{Directory, DirectoryDelta};
 use crate::event::MemEvent;
 use crate::l2::{L2Delta, L2};
 use crate::map::{CacheMap, CacheMapDelta};
@@ -40,9 +41,10 @@ pub struct CmpUncore {
     upgrade_latency: u64,
     cache_to_cache_latency: u64,
     snoop_latency: u64,
-    bus: Bus,
+    dir_lookup_latency: u64,
+    net_latency: u64,
+    interconnect: Interconnect,
     l2: L2,
-    map: CacheMap,
     sync: SyncDevice,
     c2c_transfers: u64,
     requests: u64,
@@ -55,12 +57,31 @@ pub struct CmpUncore {
     cp_baseline: Option<(u64, UncoreGens)>,
 }
 
+/// The coherence interconnect: the paper's snooping bus (with the
+/// manager's global status map) or the sharded directory.
+#[derive(Debug, Clone)]
+enum Interconnect {
+    Bus { bus: Bus, map: CacheMap },
+    Directory(Directory),
+}
+
+impl Interconnect {
+    fn kind(&self) -> UncoreKind {
+        match self {
+            Interconnect::Bus { .. } => UncoreKind::Bus,
+            Interconnect::Directory(_) => UncoreKind::Directory,
+        }
+    }
+}
+
 /// Per-component generation snapshot of the uncore (tracking metadata).
+/// `ic`/`ic_aux` hold the interconnect's generations: bus and map for
+/// the snooping kind, the directory's composite (and zero) otherwise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 struct UncoreGens {
-    bus: u64,
+    ic: u64,
+    ic_aux: u64,
     l2: u64,
-    map: u64,
     sync: u64,
 }
 
@@ -69,13 +90,19 @@ struct UncoreGens {
 /// words).
 #[derive(Debug, Clone)]
 pub struct CmpUncoreDelta {
-    bus: BusDelta,
+    interconnect: InterconnectDelta,
     l2: L2Delta,
-    map: CacheMapDelta,
     sync: SyncDeviceDelta,
     c2c_transfers: u64,
     requests: u64,
     writebacks: u64,
+}
+
+/// Interconnect-shaped delta matching [`Interconnect`].
+#[derive(Debug, Clone)]
+enum InterconnectDelta {
+    Bus { bus: BusDelta, map: CacheMapDelta },
+    Directory(DirectoryDelta),
 }
 
 impl CmpUncoreDelta {
@@ -84,14 +111,30 @@ impl CmpUncoreDelta {
         self.l2.dirty_sets()
     }
 
-    /// Number of dirty status-map lines carried.
+    /// Number of dirty coherence lines carried (status-map lines on the
+    /// bus path, directory-entry lines summed across banks otherwise).
     pub fn map_dirty_lines(&self) -> usize {
-        self.map.dirty_lines()
+        match &self.interconnect {
+            InterconnectDelta::Bus { map, .. } => map.dirty_lines(),
+            InterconnectDelta::Directory(d) => d.dirty_lines(),
+        }
     }
 
-    /// Whether the bus state is carried.
+    /// Whether interconnect-global state is carried (the bus calendars,
+    /// or at least one dirty directory bank).
     pub fn bus_dirty(&self) -> bool {
-        self.bus.is_dirty()
+        match &self.interconnect {
+            InterconnectDelta::Bus { bus, .. } => bus.is_dirty(),
+            InterconnectDelta::Directory(d) => d.dirty_banks() > 0,
+        }
+    }
+
+    /// Number of directory banks carried (0 on the bus path).
+    pub fn dirty_banks(&self) -> usize {
+        match &self.interconnect {
+            InterconnectDelta::Bus { .. } => 0,
+            InterconnectDelta::Directory(d) => d.dirty_banks(),
+        }
     }
 }
 
@@ -99,14 +142,24 @@ impl CmpUncore {
     /// Builds the uncore for the given target configuration.
     pub fn new(cfg: &CmpConfig) -> Self {
         let u = &cfg.uncore;
+        let interconnect = match cfg.uncore_kind {
+            UncoreKind::Bus => Interconnect::Bus {
+                bus: Bus::new(u.req_bus_cycles, u.resp_bus_cycles),
+                map: CacheMap::new(cfg.cores),
+            },
+            UncoreKind::Directory => {
+                Interconnect::Directory(Directory::new(cfg.cores, u.dir_lookup_latency))
+            }
+        };
         CmpUncore {
             n_cores: cfg.cores,
             upgrade_latency: u.upgrade_latency,
             cache_to_cache_latency: u.cache_to_cache_latency,
             snoop_latency: u.snoop_latency,
-            bus: Bus::new(u.req_bus_cycles, u.resp_bus_cycles),
+            dir_lookup_latency: u.dir_lookup_latency,
+            net_latency: u.net_latency,
+            interconnect,
             l2: L2::new(u.l2, u.l2_hit_latency, u.l2_miss_latency),
-            map: CacheMap::new(cfg.cores),
             sync: SyncDevice::new(cfg.cores, u.barrier_latency, u.lock_latency),
             c2c_transfers: 0,
             requests: 0,
@@ -115,11 +168,19 @@ impl CmpUncore {
         }
     }
 
+    fn ic_gens(&self) -> (u64, u64) {
+        match &self.interconnect {
+            Interconnect::Bus { bus, map } => (bus.generation(), map.generation()),
+            Interconnect::Directory(dir) => (dir.generation(), 0),
+        }
+    }
+
     fn component_gens(&self) -> UncoreGens {
+        let (ic, ic_aux) = self.ic_gens();
         UncoreGens {
-            bus: self.bus.generation(),
+            ic,
+            ic_aux,
             l2: self.l2.generation(),
-            map: self.map.generation(),
             sync: self.sync.generation(),
         }
     }
@@ -138,21 +199,65 @@ impl CmpUncore {
         }
     }
 
+    /// Which interconnect this uncore instantiates.
+    pub fn uncore_kind(&self) -> UncoreKind {
+        self.interconnect.kind()
+    }
+
     /// The bus model (read access for assertions and reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the uncore is configured with the directory
+    /// interconnect.
     pub fn bus(&self) -> &Bus {
-        &self.bus
+        match &self.interconnect {
+            Interconnect::Bus { bus, .. } => bus,
+            Interconnect::Directory(_) => panic!("directory uncore has no bus"),
+        }
     }
 
     /// The cache status map (read access for assertions and reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the uncore is configured with the directory
+    /// interconnect.
     pub fn map(&self) -> &CacheMap {
-        &self.map
+        match &self.interconnect {
+            Interconnect::Bus { map, .. } => map,
+            Interconnect::Directory(_) => panic!("directory uncore has no status map"),
+        }
+    }
+
+    /// The directory model (read access for assertions and reports).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the uncore is configured with the snooping bus.
+    pub fn directory(&self) -> &Directory {
+        match &self.interconnect {
+            Interconnect::Bus { .. } => panic!("bus uncore has no directory"),
+            Interconnect::Directory(dir) => dir,
+        }
     }
 
     /// Serializes the full uncore state for the on-disk snapshot format.
+    /// The stream leads with an interconnect-kind tag so a snapshot can
+    /// never be restored into an uncore of the other kind.
     pub fn save_state(&self, w: &mut ByteWriter) {
-        self.bus.save_state(w);
+        match &self.interconnect {
+            Interconnect::Bus { bus, map } => {
+                w.u32(0);
+                bus.save_state(w);
+                map.save_state(w);
+            }
+            Interconnect::Directory(dir) => {
+                w.u32(1);
+                dir.save_state(w);
+            }
+        }
         self.l2.save_state(w);
-        self.map.save_state(w);
         self.sync.save_state(w);
         w.u64(self.c2c_transfers);
         w.u64(self.requests);
@@ -165,11 +270,30 @@ impl CmpUncore {
     /// # Errors
     ///
     /// Returns [`PersistError`] for malformed bytes or state inconsistent
-    /// with this uncore's configuration.
+    /// with this uncore's configuration (including a snapshot taken under
+    /// the other interconnect kind).
     pub fn load_state(&mut self, r: &mut ByteReader<'_>) -> Result<(), PersistError> {
-        self.bus.load_state(r)?;
+        let tag = r.u32()?;
+        match &mut self.interconnect {
+            Interconnect::Bus { bus, map } => {
+                if tag != 0 {
+                    return Err(PersistError::Corrupt(
+                        "snapshot interconnect kind does not match configuration",
+                    ));
+                }
+                bus.load_state(r)?;
+                map.load_state(r)?;
+            }
+            Interconnect::Directory(dir) => {
+                if tag != 1 {
+                    return Err(PersistError::Corrupt(
+                        "snapshot interconnect kind does not match configuration",
+                    ));
+                }
+                dir.load_state(r)?;
+            }
+        }
         self.l2.load_state(r)?;
-        self.map.load_state(r)?;
         self.sync.load_state(r)?;
         self.c2c_transfers = r.u64()?;
         self.requests = r.u64()?;
@@ -189,18 +313,24 @@ impl Checkpointable for CmpUncore {
     /// [`restore_from`](Checkpointable::restore_from) where
     /// `resolve_baseline` maps it to exact per-component baselines.
     fn generation(&self) -> u64 {
-        self.bus.generation()
-            + self.l2.generation()
-            + self.map.generation()
-            + self.sync.generation()
+        let (ic, ic_aux) = self.ic_gens();
+        ic + ic_aux + self.l2.generation() + self.sync.generation()
     }
 
     fn capture_delta(&mut self, since_gen: u64) -> CmpUncoreDelta {
         let baseline = self.resolve_baseline(since_gen);
+        let interconnect = match &mut self.interconnect {
+            Interconnect::Bus { bus, map } => InterconnectDelta::Bus {
+                bus: bus.capture_delta(baseline.ic),
+                map: map.capture_delta(baseline.ic_aux),
+            },
+            Interconnect::Directory(dir) => {
+                InterconnectDelta::Directory(dir.capture_delta(baseline.ic))
+            }
+        };
         let delta = CmpUncoreDelta {
-            bus: self.bus.capture_delta(baseline.bus),
+            interconnect,
             l2: self.l2.capture_delta(baseline.l2),
-            map: self.map.capture_delta(baseline.map),
             sync: self.sync.capture_delta(baseline.sync),
             c2c_transfers: self.c2c_transfers,
             requests: self.requests,
@@ -211,9 +341,17 @@ impl Checkpointable for CmpUncore {
     }
 
     fn apply_delta(&mut self, delta: CmpUncoreDelta) {
-        self.bus.apply_delta(delta.bus);
+        match (&mut self.interconnect, delta.interconnect) {
+            (Interconnect::Bus { bus, map }, InterconnectDelta::Bus { bus: bd, map: md }) => {
+                bus.apply_delta(bd);
+                map.apply_delta(md);
+            }
+            (Interconnect::Directory(dir), InterconnectDelta::Directory(dd)) => {
+                dir.apply_delta(dd);
+            }
+            _ => unreachable!("delta interconnect kind matches the uncore that captured it"),
+        }
         self.l2.apply_delta(delta.l2);
-        self.map.apply_delta(delta.map);
         self.sync.apply_delta(delta.sync);
         self.c2c_transfers = delta.c2c_transfers;
         self.requests = delta.requests;
@@ -222,9 +360,23 @@ impl Checkpointable for CmpUncore {
 
     fn restore_from(&mut self, base: &Self, since_gen: u64) {
         let baseline = self.resolve_baseline(since_gen);
-        self.bus.restore_from(&base.bus, baseline.bus);
+        match (&mut self.interconnect, &base.interconnect) {
+            (
+                Interconnect::Bus { bus, map },
+                Interconnect::Bus {
+                    bus: base_bus,
+                    map: base_map,
+                },
+            ) => {
+                bus.restore_from(base_bus, baseline.ic);
+                map.restore_from(base_map, baseline.ic_aux);
+            }
+            (Interconnect::Directory(dir), Interconnect::Directory(base_dir)) => {
+                dir.restore_from(base_dir, baseline.ic);
+            }
+            _ => unreachable!("checkpoint interconnect kind matches the live uncore"),
+        }
         self.l2.restore_from(&base.l2, baseline.l2);
-        self.map.restore_from(&base.map, baseline.map);
         self.sync.restore_from(&base.sync, baseline.sync);
         self.c2c_transfers = base.c2c_transfers;
         self.requests = base.requests;
@@ -251,69 +403,156 @@ impl UncoreModel<MemEvent> for CmpUncore {
                 ifetch: _,
             } => {
                 self.requests += 1;
-                let grant = self.bus.arbitrate(ts);
-                if grant.violation {
-                    sink.report_violation(ViolationEvent {
-                        kind: ViolationKind::Bus,
-                        ts,
-                        high_water: grant.high_water,
-                    });
+                match &mut self.interconnect {
+                    Interconnect::Bus { bus, map } => {
+                        let grant = bus.arbitrate(ts);
+                        if grant.violation {
+                            sink.report_violation(ViolationEvent {
+                                kind: ViolationKind::Bus,
+                                ts,
+                                high_water: grant.high_water,
+                            });
+                        }
+                        let outcome = map.transition(op, line, from, ts);
+                        if outcome.violation {
+                            sink.report_violation(ViolationEvent {
+                                kind: ViolationKind::Map,
+                                ts,
+                                high_water: outcome.high_water,
+                            });
+                        }
+                        // Snoop deliveries ride right behind the request
+                        // broadcast.
+                        let snoop_ts = grant.grant + self.snoop_latency;
+                        for c in outcome.invalidate {
+                            sink.deliver(
+                                c,
+                                Timestamped::new(snoop_ts, MemEvent::Invalidate { line }),
+                            );
+                        }
+                        for c in outcome.downgrade {
+                            sink.deliver(
+                                c,
+                                Timestamped::new(snoop_ts, MemEvent::Downgrade { line }),
+                            );
+                        }
+                        // Source the data.
+                        let data_ready = if let Some(_owner) = outcome.data_from_owner {
+                            self.c2c_transfers += 1;
+                            grant.grant + self.cache_to_cache_latency
+                        } else if op == BusOp::Upgr {
+                            grant.grant + self.upgrade_latency
+                        } else {
+                            self.l2.access(line, grant.grant).data_ready
+                        };
+                        let done = bus.respond(data_ready);
+                        sink.deliver(
+                            from,
+                            Timestamped::new(
+                                done,
+                                MemEvent::Reply {
+                                    req,
+                                    line,
+                                    grant: outcome.grant,
+                                },
+                            ),
+                        );
+                    }
+                    Interconnect::Directory(dir) => {
+                        let access = dir.access(op, line, from, ts);
+                        if access.order_violation {
+                            sink.report_violation(ViolationEvent {
+                                kind: ViolationKind::Directory,
+                                ts,
+                                high_water: access.order_high_water,
+                            });
+                        }
+                        if access.line_violation {
+                            sink.report_violation(ViolationEvent {
+                                kind: ViolationKind::Map,
+                                ts,
+                                high_water: access.line_high_water,
+                            });
+                        }
+                        // The bank finishes its lookup one port occupancy
+                        // after the grant; snoops and data are then
+                        // point-to-point messages — there is no broadcast
+                        // bus or shared response resource to arbitrate.
+                        let lookup_done = access.grant + self.dir_lookup_latency;
+                        let snoop_ts = lookup_done + self.net_latency;
+                        for c in access.invalidate {
+                            sink.deliver(
+                                c,
+                                Timestamped::new(snoop_ts, MemEvent::Invalidate { line }),
+                            );
+                        }
+                        for c in access.downgrade {
+                            sink.deliver(
+                                c,
+                                Timestamped::new(snoop_ts, MemEvent::Downgrade { line }),
+                            );
+                        }
+                        let data_ready = if access.data_from_owner.is_some() {
+                            self.c2c_transfers += 1;
+                            lookup_done + self.cache_to_cache_latency
+                        } else if op == BusOp::Upgr {
+                            lookup_done + self.upgrade_latency
+                        } else {
+                            self.l2.access(line, lookup_done).data_ready
+                        };
+                        let done = data_ready + self.net_latency;
+                        sink.deliver(
+                            from,
+                            Timestamped::new(
+                                done,
+                                MemEvent::Reply {
+                                    req,
+                                    line,
+                                    grant: access.grant_state,
+                                },
+                            ),
+                        );
+                    }
                 }
-                let outcome = self.map.transition(op, line, from, ts);
-                if outcome.violation {
-                    sink.report_violation(ViolationEvent {
-                        kind: ViolationKind::Map,
-                        ts,
-                        high_water: outcome.high_water,
-                    });
-                }
-                // Snoop deliveries ride right behind the request broadcast.
-                let snoop_ts = grant.grant + self.snoop_latency;
-                for c in outcome.invalidate {
-                    sink.deliver(c, Timestamped::new(snoop_ts, MemEvent::Invalidate { line }));
-                }
-                for c in outcome.downgrade {
-                    sink.deliver(c, Timestamped::new(snoop_ts, MemEvent::Downgrade { line }));
-                }
-                // Source the data.
-                let data_ready = if let Some(_owner) = outcome.data_from_owner {
-                    self.c2c_transfers += 1;
-                    grant.grant + self.cache_to_cache_latency
-                } else if op == BusOp::Upgr {
-                    grant.grant + self.upgrade_latency
-                } else {
-                    self.l2.access(line, grant.grant).data_ready
-                };
-                let done = self.bus.respond(data_ready);
-                sink.deliver(
-                    from,
-                    Timestamped::new(
-                        done,
-                        MemEvent::Reply {
-                            req,
-                            line,
-                            grant: outcome.grant,
-                        },
-                    ),
-                );
             }
             MemEvent::Writeback { line } => {
                 self.writebacks += 1;
-                let grant = self.bus.arbitrate(ts);
-                if grant.violation {
-                    sink.report_violation(ViolationEvent {
-                        kind: ViolationKind::Bus,
-                        ts,
-                        high_water: grant.high_water,
-                    });
-                }
-                let outcome = self.map.transition(BusOp::Wb, line, from, ts);
-                if outcome.violation {
-                    sink.report_violation(ViolationEvent {
-                        kind: ViolationKind::Map,
-                        ts,
-                        high_water: outcome.high_water,
-                    });
+                match &mut self.interconnect {
+                    Interconnect::Bus { bus, map } => {
+                        let grant = bus.arbitrate(ts);
+                        if grant.violation {
+                            sink.report_violation(ViolationEvent {
+                                kind: ViolationKind::Bus,
+                                ts,
+                                high_water: grant.high_water,
+                            });
+                        }
+                        let outcome = map.transition(BusOp::Wb, line, from, ts);
+                        if outcome.violation {
+                            sink.report_violation(ViolationEvent {
+                                kind: ViolationKind::Map,
+                                ts,
+                                high_water: outcome.high_water,
+                            });
+                        }
+                    }
+                    Interconnect::Directory(dir) => {
+                        let access = dir.access(BusOp::Wb, line, from, ts);
+                        if access.order_violation {
+                            sink.report_violation(ViolationEvent {
+                                kind: ViolationKind::Directory,
+                                ts,
+                                high_water: access.order_high_water,
+                            });
+                        }
+                        if access.line_violation {
+                            sink.report_violation(ViolationEvent {
+                                kind: ViolationKind::Map,
+                                ts,
+                                high_water: access.line_high_water,
+                            });
+                        }
+                    }
                 }
                 self.l2.write_back(line);
             }
@@ -353,19 +592,41 @@ impl UncoreModel<MemEvent> for CmpUncore {
     /// monitors can never flag again. Keeps long runs' monitor footprint
     /// flat instead of growing with the touched-line count.
     fn compact_monitors(&mut self, horizon: Cycle) {
-        self.map.compact_monitor(horizon);
+        match &mut self.interconnect {
+            Interconnect::Bus { map, .. } => {
+                map.compact_monitor(horizon);
+            }
+            Interconnect::Directory(dir) => {
+                dir.compact_monitors(horizon);
+            }
+        }
     }
 
     fn counters(&self) -> Counters {
         let mut c = Counters::new();
-        c.set("bus_transactions", self.bus.transactions());
-        c.set("bus_conflicts", self.bus.conflicts());
-        c.set("bus_busy_cycles", self.bus.busy_cycles());
-        c.set("bus_violations", self.bus.violations());
-        c.set("map_transitions", self.map.transitions());
-        c.set("map_violations", self.map.violations());
-        c.set("map_tracked_lines", self.map.tracked_lines() as u64);
-        c.set("map_monitor_entries", self.map.monitor_entries() as u64);
+        match &self.interconnect {
+            Interconnect::Bus { bus, map } => {
+                c.set("bus_transactions", bus.transactions());
+                c.set("bus_conflicts", bus.conflicts());
+                c.set("bus_busy_cycles", bus.busy_cycles());
+                c.set("bus_violations", bus.violations());
+                c.set("map_transitions", map.transitions());
+                c.set("map_violations", map.violations());
+                c.set("map_tracked_lines", map.tracked_lines() as u64);
+                c.set("map_monitor_entries", map.monitor_entries() as u64);
+            }
+            Interconnect::Directory(dir) => {
+                c.set("dir_banks", dir.banks() as u64);
+                c.set("dir_transactions", dir.transitions());
+                c.set("dir_conflicts", dir.conflicts());
+                c.set("dir_busy_cycles", dir.busy_cycles());
+                c.set("dir_violations", dir.order_violations());
+                c.set("map_transitions", dir.transitions());
+                c.set("map_violations", dir.line_violations());
+                c.set("map_tracked_lines", dir.tracked_lines() as u64);
+                c.set("map_monitor_entries", dir.monitor_entries() as u64);
+            }
+        }
         c.set("l2_hits", self.l2.hits());
         c.set("l2_misses", self.l2.misses());
         c.set("l2_writebacks_in", self.l2.writebacks_in());
@@ -665,5 +926,136 @@ mod tests {
         assert_eq!(c.get("coherence_requests"), 1);
         assert_eq!(c.get("l2_misses"), 1);
         assert_eq!(c.get("cores"), 8);
+    }
+
+    fn dir_uncore(cores: usize) -> CmpUncore {
+        CmpUncore::new(&CmpConfig::with_uncore(
+            crate::config::UncoreKind::Directory,
+            cores,
+        ))
+    }
+
+    #[test]
+    fn directory_cold_read_misses_to_memory() {
+        let mut u = dir_uncore(64);
+        let (deliveries, violations) = service(&mut u, 0, 10, request(BusOp::Rd, 7, 1));
+        assert!(violations.is_empty());
+        assert_eq!(deliveries.len(), 1);
+        // grant(10) + lookup(4) + miss(100) + net hop(3).
+        assert_eq!(deliveries[0].1.ts, Cycle::new(117));
+        assert!(matches!(
+            deliveries[0].1.payload,
+            MemEvent::Reply {
+                grant: crate::mesi::MesiState::Exclusive,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn directory_violations_are_per_bank() {
+        let mut u = dir_uncore(64); // 16 banks
+        service(&mut u, 0, 100, request(BusOp::Rd, 16, 1)); // bank 0
+                                                            // Earlier timestamp at a different bank: no violation at all.
+        let (_, violations) = service(&mut u, 1, 50, request(BusOp::Rd, 17, 2));
+        assert!(violations.is_empty(), "different bank, no shared monitor");
+        // Earlier timestamp at the same bank, different line: directory
+        // violation only.
+        let (_, violations) = service(&mut u, 2, 60, request(BusOp::Rd, 32, 3));
+        let kinds: Vec<ViolationKind> = violations.iter().map(|v| v.kind).collect();
+        assert_eq!(kinds, vec![ViolationKind::Directory]);
+        // Earlier timestamp on the same line: directory and map classes.
+        let (_, violations) = service(&mut u, 3, 70, request(BusOp::Rd, 16, 4));
+        let kinds: Vec<ViolationKind> = violations.iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&ViolationKind::Directory));
+        assert!(kinds.contains(&ViolationKind::Map));
+    }
+
+    #[test]
+    fn directory_invalidates_many_sharers_in_core_order() {
+        let mut u = dir_uncore(64);
+        for i in 0..64u16 {
+            service(&mut u, i, 10 + u64::from(i), request(BusOp::Rd, 7, 1));
+        }
+        let (deliveries, _) = service(&mut u, 5, 1000, request(BusOp::Upgr, 7, 2));
+        let invals: Vec<CoreId> = deliveries
+            .iter()
+            .filter(|(_, e)| matches!(e.payload, MemEvent::Invalidate { .. }))
+            .map(|(c, _)| *c)
+            .collect();
+        assert_eq!(invals.len(), 63, "all sharers but the upgrader");
+        assert!(invals.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn directory_counters_are_populated() {
+        let mut u = dir_uncore(64);
+        service(&mut u, 0, 10, request(BusOp::Rd, 7, 1));
+        let c = u.counters();
+        assert_eq!(c.get("dir_banks"), 16);
+        assert_eq!(c.get("dir_transactions"), 1);
+        assert_eq!(c.get("map_transitions"), 1);
+        assert_eq!(c.get("cores"), 64);
+        assert_eq!(c.get("bus_transactions"), 0, "no bus on this path");
+    }
+
+    #[test]
+    fn directory_delta_roundtrip_matches_full_clone() {
+        let mut live = dir_uncore(64);
+        service(&mut live, 0, 10, request(BusOp::Rd, 7, 1));
+        let mut base = live.clone();
+        let g0 = live.generation();
+        let seed = live.capture_delta(g0);
+        assert_eq!(seed.dirty_banks(), 0, "clean since capture");
+        service(&mut live, 1, 20, request(BusOp::RdX, 7, 2));
+        service(&mut live, 2, 30, request(BusOp::Rd, 9, 3));
+        let delta = live.capture_delta(g0);
+        assert!(delta.dirty_banks() >= 1);
+        assert!(delta.map_dirty_lines() >= 2);
+        base.apply_delta(delta);
+        assert_eq!(base.counters(), live.counters());
+        assert_eq!(base.directory(), live.directory());
+    }
+
+    #[test]
+    fn directory_restore_rewinds_to_the_checkpoint() {
+        let mut live = dir_uncore(64);
+        service(&mut live, 0, 10, request(BusOp::Rd, 7, 1));
+        let base = live.clone();
+        let g0 = live.generation();
+        let _ = live.capture_delta(g0);
+        service(&mut live, 1, 20, request(BusOp::RdX, 9, 2));
+        service(&mut live, 2, 25, MemEvent::BarrierArrive { id: 0 });
+        live.restore_from(&base, g0);
+        assert_eq!(live.counters(), base.counters());
+        assert_eq!(live.directory(), base.directory());
+    }
+
+    #[test]
+    fn directory_save_load_round_trip_is_bit_identical() {
+        let mut live = dir_uncore(64);
+        for i in 0..40u16 {
+            service(&mut live, i, 10 + u64::from(i), request(BusOp::Rd, 7, 1));
+        }
+        service(&mut live, 0, 100, MemEvent::LockAcquire { id: 1 });
+        service(&mut live, 33, 101, MemEvent::LockAcquire { id: 1 });
+        service(&mut live, 63, 110, MemEvent::BarrierArrive { id: 0 });
+        let mut w = ByteWriter::new();
+        live.save_state(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut restored = dir_uncore(64);
+        let mut r = ByteReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.counters(), live.counters());
+        assert_eq!(restored.directory(), live.directory());
+        let (da, _) = service(&mut live, 50, 200, request(BusOp::RdX, 7, 9));
+        let (db, _) = service(&mut restored, 50, 200, request(BusOp::RdX, 7, 9));
+        assert_eq!(da, db, "identical forward behaviour after resume");
+
+        // A bus-kind uncore refuses a directory snapshot outright.
+        let mut wrong = uncore();
+        assert!(wrong.load_state(&mut ByteReader::new(&bytes)).is_err());
     }
 }

@@ -271,3 +271,72 @@ fn uncore_composite_delta_roundtrip() {
         assert_eq!(base.map(), live.map(), "case {case}: apply map");
     }
 }
+
+/// The sharded directory at 64 cores — four times past the snooping
+/// bus's cap — satisfies the same delta laws, with per-bank dirty
+/// tracking standing in for the flat dirty-line map.
+#[test]
+fn directory_delta_roundtrip_past_sixteen_cores() {
+    use slacksim_cmp::directory::Directory;
+
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xD14_0000 + case);
+        let dir = Directory::new(64, 4);
+        check_roundtrip(
+            dir,
+            move |d, i| {
+                let op =
+                    [BusOp::Rd, BusOp::RdX, BusOp::Upgr, BusOp::Wb][rng.next_below(4) as usize];
+                let line = LineAddr::new(rng.next_below(256));
+                let core = CoreId::new(rng.next_below(64) as u16);
+                let ts = Cycle::new(i as u64 * 7 + rng.next_below(50));
+                d.access(op, line, core, ts);
+            },
+            case,
+        );
+    }
+}
+
+/// Per-bank dirty tracking is tight: a delta carries a global blob for
+/// exactly the banks whose interleaved lines were touched since the
+/// capture baseline, never the whole shard array.
+#[test]
+fn directory_delta_dirtiness_matches_banks_touched() {
+    use std::collections::BTreeSet;
+
+    use slacksim_cmp::directory::Directory;
+    use slacksim_core::checkpoint::Checkpointable;
+
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xD14_1000 + case);
+        let mut dir = Directory::new(64, 4);
+        // Warm-up so the baseline is not the empty state.
+        for i in 0..24u64 {
+            let line = LineAddr::new(rng.next_below(512));
+            dir.access(
+                BusOp::Rd,
+                line,
+                CoreId::new(rng.next_below(64) as u16),
+                Cycle::new(i),
+            );
+        }
+        let g0 = dir.generation();
+        let _ = dir.capture_delta(g0);
+
+        let mut touched = BTreeSet::new();
+        let epoch = 1 + rng.next_below(40);
+        for i in 0..epoch {
+            let op = [BusOp::Rd, BusOp::RdX, BusOp::Upgr, BusOp::Wb][rng.next_below(4) as usize];
+            let line = LineAddr::new(rng.next_below(512));
+            touched.insert(dir.bank_of(line));
+            let core = CoreId::new(rng.next_below(64) as u16);
+            dir.access(op, line, core, Cycle::new(100 + i));
+        }
+        let delta = dir.capture_delta(g0);
+        assert_eq!(
+            delta.dirty_banks(),
+            touched.len(),
+            "case {case}: dirty banks must equal banks touched"
+        );
+    }
+}

@@ -329,3 +329,76 @@ fn lock_fifo_mutual_exclusion() {
         assert!(!hold_order.is_empty(), "case {case}");
     }
 }
+
+/// Sharer-set persistence is canonical at directory scale: for random
+/// populations over up to 1024 cores — crossing the inline/spilled
+/// boundary in both directions — save → load reproduces an equal set,
+/// and re-saving the loaded set reproduces identical bytes.
+#[test]
+fn sharer_set_save_load_round_trips_at_directory_scale() {
+    use slacksim_cmp::sharers::SharerSet;
+    use slacksim_core::persist::{ByteReader, ByteWriter};
+
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0x54A12 + case);
+        let n_cores = 1 + rng.next_below(1024) as usize;
+        let mut set = SharerSet::new();
+        for _ in 0..rng.next_below(48) {
+            let core = CoreId::new(rng.next_below(n_cores as u64) as u16);
+            if rng.next_below(4) == 0 {
+                set.remove(core);
+            } else {
+                set.insert(core);
+            }
+        }
+        let mut w = ByteWriter::new();
+        set.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let loaded = SharerSet::load(&mut r, n_cores).expect("load");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(loaded, set, "case {case}: {n_cores} cores");
+        let mut w2 = ByteWriter::new();
+        loaded.save(&mut w2);
+        assert_eq!(
+            w2.into_bytes(),
+            bytes,
+            "case {case}: re-save must be byte-identical"
+        );
+    }
+}
+
+/// Directory persistence past the bus cap: random transaction histories
+/// at 32–1024 cores survive save → load bit-identically, bank states,
+/// sharer sets, monitors and counters included.
+#[test]
+fn directory_save_load_round_trips_past_sixteen_cores() {
+    use slacksim_cmp::directory::Directory;
+    use slacksim_core::persist::{ByteReader, ByteWriter};
+
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::new(0xD15C0 + case);
+        let n_cores = [32usize, 64, 128, 1024][rng.next_below(4) as usize];
+        let mut dir = Directory::new(n_cores, 4);
+        for i in 0..1 + rng.next_below(200) {
+            let op = [BusOp::Rd, BusOp::RdX, BusOp::Upgr, BusOp::Wb][rng.next_below(4) as usize];
+            let line = LineAddr::new(rng.next_below(512));
+            let core = CoreId::new(rng.next_below(n_cores as u64) as u16);
+            dir.access(op, line, core, Cycle::new(i * 13 + rng.next_below(7)));
+        }
+        let mut w = ByteWriter::new();
+        dir.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Directory::new(n_cores, 4);
+        let mut r = ByteReader::new(&bytes);
+        restored.load_state(&mut r).expect("load");
+        r.finish().expect("no trailing bytes");
+        assert_eq!(restored, dir, "case {case}: {n_cores} cores");
+        assert_eq!(restored.transitions(), dir.transitions(), "case {case}");
+        assert_eq!(
+            restored.order_violations(),
+            dir.order_violations(),
+            "case {case}"
+        );
+    }
+}

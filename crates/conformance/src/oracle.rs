@@ -20,7 +20,9 @@
 use std::sync::Arc;
 
 use slacksim::scheme::Scheme;
-use slacksim::{Benchmark, EngineKind, SchedRef, SimReport, Simulation, SpeculationConfig};
+use slacksim::{
+    Benchmark, EngineKind, SchedRef, SimReport, Simulation, SpeculationConfig, UncoreKind,
+};
 
 use crate::repro::VirtCase;
 use crate::vsched::{SchedDiag, VirtualSched};
@@ -40,8 +42,11 @@ pub struct Fingerprint {
     pub per_core_committed: Vec<u64>,
     /// Local cycles per core.
     pub per_core_cycles: Vec<u64>,
-    /// Uncore bus transactions.
-    pub bus_transactions: u64,
+    /// Uncore interconnect transactions: snooping-bus grants plus
+    /// directory-bank transactions. Whichever interconnect a run does
+    /// not use contributes zero, so the same fingerprint covers both
+    /// uncores.
+    pub interconnect_transactions: u64,
 }
 
 /// Extracts the [`Fingerprint`] of a finished run.
@@ -52,7 +57,8 @@ pub fn fingerprint(report: &SimReport) -> Fingerprint {
         violations: report.violations.total(),
         per_core_committed: report.per_core.iter().map(|c| c.get("committed")).collect(),
         per_core_cycles: report.per_core.iter().map(|c| c.get("cycles")).collect(),
-        bus_transactions: report.uncore.get("bus_transactions"),
+        interconnect_transactions: report.uncore.get("bus_transactions")
+            + report.uncore.get("dir_transactions"),
     }
 }
 
@@ -71,14 +77,36 @@ pub fn run_engine(
     seed: u64,
     engine: EngineKind,
 ) -> SimReport {
+    run_engine_on(UncoreKind::Bus, bench, cores, scheme, target, seed, engine)
+}
+
+/// [`run_engine`] with an explicit uncore interconnect — the directory
+/// rows of the conformance matrix run through this (the bus caps out at
+/// 16 cores).
+///
+/// # Panics
+///
+/// Panics if the engine reports an error.
+pub fn run_engine_on(
+    uncore: UncoreKind,
+    bench: Benchmark,
+    cores: usize,
+    scheme: &Scheme,
+    target: u64,
+    seed: u64,
+    engine: EngineKind,
+) -> SimReport {
     Simulation::new(bench)
+        .uncore(uncore)
         .cores(cores)
         .scheme(scheme.clone())
         .engine(engine)
         .commit_target(target)
         .seed(seed)
         .run()
-        .unwrap_or_else(|e| panic!("{engine:?} run failed for {bench:?}/{cores} cores: {e}"))
+        .unwrap_or_else(|e| {
+            panic!("{engine:?} run failed for {bench:?}/{uncore}/{cores} cores: {e}")
+        })
 }
 
 /// Runs one *speculative* configuration on the given engine with the
@@ -135,6 +163,36 @@ pub fn run_resumed(
     engine: EngineKind,
     interval: u64,
 ) -> SimReport {
+    run_resumed_on(
+        UncoreKind::Bus,
+        bench,
+        cores,
+        scheme,
+        target,
+        seed,
+        engine,
+        interval,
+    )
+}
+
+/// [`run_resumed`] with an explicit uncore interconnect, so the durable
+/// round trip also covers the directory banks' versioned byte format.
+///
+/// # Panics
+///
+/// Panics if either run fails, or if the first run persisted no
+/// snapshot.
+#[allow(clippy::too_many_arguments)]
+pub fn run_resumed_on(
+    uncore: UncoreKind,
+    bench: Benchmark,
+    cores: usize,
+    scheme: &Scheme,
+    target: u64,
+    seed: u64,
+    engine: EngineKind,
+    interval: u64,
+) -> SimReport {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SCRATCH: AtomicU64 = AtomicU64::new(0);
     let dir = std::env::temp_dir().join(format!(
@@ -145,6 +203,7 @@ pub fn run_resumed(
 
     let spec = SpeculationConfig::checkpoint_only(interval);
     Simulation::new(bench)
+        .uncore(uncore)
         .cores(cores)
         .scheme(scheme.clone())
         .engine(engine)
@@ -164,6 +223,7 @@ pub fn run_resumed(
         .path();
 
     let resumed = Simulation::new(bench)
+        .uncore(uncore)
         .cores(cores)
         .scheme(scheme.clone())
         .engine(engine)

@@ -10,10 +10,13 @@
 //! `slacksim_conformance::run_repro` to replay the exact schedule.
 
 use slacksim::scheme::Scheme;
-use slacksim::{Benchmark, CheckpointMode, EngineKind, SpeculationConfig, ViolationSelect};
+use slacksim::{
+    Benchmark, CheckpointMode, EngineKind, SpeculationConfig, UncoreKind, ViolationSelect,
+};
 use slacksim_conformance::{
-    check_invariants, fingerprint, run_engine, run_repro, run_resumed, run_speculative,
-    run_virtual, shrink, smoke_seeds, Mutation, SchedPolicy, VirtCase,
+    check_invariants, fingerprint, run_engine, run_engine_on, run_repro, run_resumed,
+    run_resumed_on, run_speculative, run_virtual, shrink, smoke_seeds, Mutation, SchedPolicy,
+    VirtCase,
 };
 
 /// Commit target for matrix cells: small enough for debug CI, larger in
@@ -363,6 +366,145 @@ fn durable_snapshot_resume_matches_uninterrupted_run() {
                 "{engine:?}/{bench}: resumed run diverged from uninterrupted run"
             );
         }
+    }
+}
+
+/// Directory-uncore rows of the differential matrix: past the snooping
+/// bus's 16-core cap, the sharded directory must be just as
+/// engine-independent as the bus. At {16, 64} cores the sequential, the
+/// native threaded and the batched engine must reproduce identical
+/// fingerprints wherever the design guarantees exactness — cycle-by-cycle
+/// for sequential vs threaded, quantum for sequential vs batched — and
+/// every run must route all coherence through the banks (directory
+/// transactions observed, zero bus transactions).
+#[test]
+fn directory_uncore_is_exact_across_all_three_engines() {
+    for bench in BENCHES {
+        for cores in [16usize, 64] {
+            let cc = Scheme::CycleByCycle;
+            let seq = run_engine_on(
+                UncoreKind::Directory,
+                bench,
+                cores,
+                &cc,
+                target(),
+                1,
+                EngineKind::Sequential,
+            );
+            assert!(
+                seq.uncore.get("dir_transactions") > 0,
+                "{bench}/{cores}c: no directory traffic"
+            );
+            assert_eq!(
+                seq.uncore.get("bus_transactions"),
+                0,
+                "{bench}/{cores}c: bus traffic under the directory uncore"
+            );
+            let thr = run_engine_on(
+                UncoreKind::Directory,
+                bench,
+                cores,
+                &cc,
+                target(),
+                1,
+                EngineKind::Threaded,
+            );
+            assert_eq!(
+                fingerprint(&seq),
+                fingerprint(&thr),
+                "{bench}/{cores}c: directory sequential vs threaded-native"
+            );
+            check_invariants(&thr, &cc)
+                .unwrap_or_else(|e| panic!("{bench}/{cores}c directory threaded: {e}"));
+
+            let quantum = Scheme::Quantum { quantum: 64 };
+            let seq_q = run_engine_on(
+                UncoreKind::Directory,
+                bench,
+                cores,
+                &quantum,
+                target(),
+                1,
+                EngineKind::Sequential,
+            );
+            let bat = run_engine_on(
+                UncoreKind::Directory,
+                bench,
+                cores,
+                &quantum,
+                target(),
+                1,
+                EngineKind::Batched,
+            );
+            assert_eq!(
+                fingerprint(&seq_q),
+                fingerprint(&bat),
+                "{bench}/{cores}c: directory sequential vs batched"
+            );
+            check_invariants(&bat, &quantum)
+                .unwrap_or_else(|e| panic!("{bench}/{cores}c directory batched: {e}"));
+        }
+    }
+}
+
+/// Directory banks under bounded slack still uphold the metamorphic
+/// invariants at 64 cores on every engine that accepts the scheme, and
+/// the per-bank timestamp monitors actually fire (the violation tally
+/// includes the `directory` class once slack is allowed).
+#[test]
+fn directory_uncore_upholds_invariants_under_slack_at_scale() {
+    let scheme = Scheme::BoundedSlack { bound: 8 };
+    for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+        let r = run_engine_on(
+            UncoreKind::Directory,
+            Benchmark::Fft,
+            64,
+            &scheme,
+            target(),
+            1,
+            engine,
+        );
+        assert!(r.committed >= target(), "{engine:?}: commit target missed");
+        check_invariants(&r, &scheme).unwrap_or_else(|e| panic!("{engine:?}: {e}"));
+    }
+}
+
+/// Durable-snapshot oracle for the directory uncore: a 64-core
+/// cycle-by-cycle run persists checkpoints, a second process-independent
+/// run resumes the newest snapshot — bank states, sharer sets and
+/// per-bank monitors having crossed the versioned byte format — and
+/// must reproduce the uninterrupted fingerprint exactly.
+#[test]
+fn directory_durable_resume_matches_uninterrupted_run() {
+    let scheme = Scheme::CycleByCycle;
+    let interval = 300;
+    for engine in [EngineKind::Sequential, EngineKind::Threaded] {
+        let spec = SpeculationConfig::checkpoint_only(interval);
+        let baseline = slacksim::Simulation::new(Benchmark::Fft)
+            .uncore(UncoreKind::Directory)
+            .cores(64)
+            .scheme(scheme.clone())
+            .engine(engine)
+            .commit_target(target())
+            .seed(1)
+            .speculation(spec)
+            .run()
+            .expect("directory baseline run");
+        let resumed = run_resumed_on(
+            UncoreKind::Directory,
+            Benchmark::Fft,
+            64,
+            &scheme,
+            target(),
+            1,
+            engine,
+            interval,
+        );
+        assert_eq!(
+            fingerprint(&resumed),
+            fingerprint(&baseline),
+            "{engine:?}: directory resumed run diverged from uninterrupted run"
+        );
     }
 }
 

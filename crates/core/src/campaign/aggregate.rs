@@ -33,6 +33,12 @@ pub const AGGREGATE_VERSION: u64 = 1;
 
 /// Header line of `aggregate.csv` (no trailing newline).
 pub const CSV_HEADER: &str =
+    "job,index,workload,scheme,uncore,bound,quantum,cores,seed,cycles,committed,violations";
+
+/// Header line written by builds that predate the uncore column.
+/// `slacksim report` still reads aggregates under this header, defaulting
+/// every row's uncore to `bus`.
+pub const LEGACY_CSV_HEADER: &str =
     "job,index,workload,scheme,bound,quantum,cores,seed,cycles,committed,violations";
 
 /// The campaign manifest: identity of the grid a directory belongs to.
@@ -108,6 +114,9 @@ pub struct JobRow {
     pub workload: String,
     /// Scheme-axis token (`SchemeKind::name`).
     pub scheme: String,
+    /// Uncore-axis token (`UncoreToken::name`); rows written before the
+    /// uncore axis existed parse back as `bus`.
+    pub uncore: String,
     /// Bound-axis value.
     pub bound: u64,
     /// Quantum-axis value.
@@ -129,11 +138,12 @@ impl JobRow {
     /// `report.json` body and the `aggregate.jsonl` record).
     pub fn render_json(&self) -> String {
         format!(
-            "{{\"v\":{AGGREGATE_VERSION},\"job\":\"{}\",\"index\":{},\"workload\":\"{}\",\"scheme\":\"{}\",\"bound\":{},\"quantum\":{},\"cores\":{},\"seed\":{},\"cycles\":{},\"committed\":{},\"violations\":{}}}\n",
+            "{{\"v\":{AGGREGATE_VERSION},\"job\":\"{}\",\"index\":{},\"workload\":\"{}\",\"scheme\":\"{}\",\"uncore\":\"{}\",\"bound\":{},\"quantum\":{},\"cores\":{},\"seed\":{},\"cycles\":{},\"committed\":{},\"violations\":{}}}\n",
             escape_json(&self.token),
             self.index,
             escape_json(&self.workload),
             escape_json(&self.scheme),
+            escape_json(&self.uncore),
             self.bound,
             self.quantum,
             self.cores,
@@ -174,11 +184,21 @@ impl JobRow {
                 .map(|n| n as u64)
                 .ok_or(format!("job row is missing '{key}'"))
         };
+        // Rows written before the uncore axis existed have no "uncore"
+        // key; they were all bus runs.
+        let uncore = match doc.get("uncore") {
+            None => "bus".to_string(),
+            Some(j) => j
+                .as_str()
+                .ok_or("job row field 'uncore' must be a string")?
+                .to_string(),
+        };
         Ok(JobRow {
             index: num("index")?,
             token: text("job")?,
             workload: text("workload")?,
             scheme: text("scheme")?,
+            uncore,
             bound: num("bound")?,
             quantum: num("quantum")?,
             cores: num("cores")?,
@@ -194,11 +214,12 @@ impl JobRow {
     /// quoting is needed.
     pub fn render_csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
             self.token,
             self.index,
             self.workload,
             self.scheme,
+            self.uncore,
             self.bound,
             self.quantum,
             self.cores,
@@ -236,6 +257,7 @@ mod tests {
             token: format!("fft-bounded-b8-q50-c2-s{index}"),
             workload: "fft".to_string(),
             scheme: "bounded".to_string(),
+            uncore: "bus".to_string(),
             bound: 8,
             quantum: 50,
             cores: 2,
@@ -275,6 +297,17 @@ mod tests {
         let row = demo_row(3);
         let parsed = JobRow::parse_json(&row.render_json()).unwrap();
         assert_eq!(parsed, row);
+    }
+
+    #[test]
+    fn legacy_job_rows_parse_as_bus() {
+        // A report.json written before the uncore axis existed.
+        let legacy = "{\"v\":1,\"job\":\"fft-cc-b8-q50-c2-s1\",\"index\":0,\
+                      \"workload\":\"fft\",\"scheme\":\"cc\",\"bound\":8,\
+                      \"quantum\":50,\"cores\":2,\"seed\":1,\"cycles\":100,\
+                      \"committed\":50,\"violations\":0}";
+        let row = JobRow::parse_json(legacy).unwrap();
+        assert_eq!(row.uncore, "bus");
     }
 
     #[test]

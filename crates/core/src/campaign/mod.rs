@@ -32,10 +32,12 @@ pub mod live;
 pub mod pool;
 pub mod spec;
 
-pub use aggregate::{render_aggregate_csv, JobRow, Manifest, AGGREGATE_VERSION, CSV_HEADER};
+pub use aggregate::{
+    render_aggregate_csv, JobRow, Manifest, AGGREGATE_VERSION, CSV_HEADER, LEGACY_CSV_HEADER,
+};
 pub use live::{CampaignLiveHandle, CampaignStats};
 pub use pool::{run_jobs, PoolOutcome};
 pub use spec::{
-    Axes, CheckpointSpec, EngineToken, Job, SchemeKind, SpecError, SweepSpec, MAX_GRID_JOBS,
-    SPEC_VERSION,
+    Axes, CheckpointSpec, EngineToken, Job, SchemeKind, SpecError, SweepSpec, UncoreToken,
+    MAX_GRID_JOBS, SPEC_VERSION,
 };

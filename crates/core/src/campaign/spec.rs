@@ -2,8 +2,9 @@
 //!
 //! A sweep spec is one JSON document (parsed with the in-tree
 //! [`obs::json`](crate::obs::json) parser, matching the no-external-crates
-//! policy) describing a {scheme × bound × quantum × cores × workload ×
-//! seed} grid plus the fixed per-job settings every point shares:
+//! policy) describing a {scheme × bound × quantum × uncore × cores ×
+//! workload × seed} grid plus the fixed per-job settings every point
+//! shares:
 //!
 //! ```json
 //! {
@@ -25,14 +26,14 @@
 //! }
 //! ```
 //!
-//! Expansion is the full cartesian product of the six axes in the fixed
-//! nesting order scheme → bound → quantum → cores → workload → seed, so
-//! the grid cardinality is exactly the product of the axis lengths and
-//! job ordering is stable across parses. Every job carries all six axis
-//! values in its identity token even when its scheme consumes only some
-//! of them (a cycle-by-cycle job ignores `bound`), which keeps job IDs
-//! unique by construction; axes whose values an author does not want
-//! multiplied out simply stay single-valued.
+//! Expansion is the full cartesian product of the seven axes in the
+//! fixed nesting order scheme → bound → quantum → uncore → cores →
+//! workload → seed, so the grid cardinality is exactly the product of
+//! the axis lengths and job ordering is stable across parses. Every job
+//! carries its axis values in its identity token even when its scheme
+//! consumes only some of them (a cycle-by-cycle job ignores `bound`),
+//! which keeps job IDs unique by construction; axes whose values an
+//! author does not want multiplied out simply stay single-valued.
 //!
 //! Validation is strict and errors are enumerated: unknown fields,
 //! unknown axis names, duplicate axis values (which would mint duplicate
@@ -49,12 +50,14 @@ use crate::scheme::{AdaptiveConfig, Scheme};
 /// Version of the sweep-spec JSON schema (the `v` field).
 pub const SPEC_VERSION: u64 = 1;
 
-/// Hard cap on expanded grid size: a runaway product (six axes multiply
+/// Hard cap on expanded grid size: a runaway product (seven axes multiply
 /// fast) is refused at parse time instead of exhausting memory.
 pub const MAX_GRID_JOBS: u64 = 100_000;
 
 /// Accepted `scheme` axis values, in canonical order.
 pub const SCHEME_TOKENS: &str = "cc|bounded|unbounded|quantum|adaptive|p2p";
+/// Accepted `uncore` axis values.
+pub const UNCORE_TOKENS: &str = "bus|directory";
 /// Accepted `engine` values.
 pub const ENGINE_TOKENS: &str = "seq|threaded|batched";
 /// Accepted `checkpoint_mode` values.
@@ -81,10 +84,20 @@ pub enum SpecError {
     },
     /// A quantity that must be at least 1 was 0.
     ZeroValue(&'static str),
-    /// A `cores` axis value outside the target's 1–16 range.
-    CoresOutOfRange(u64),
+    /// A `cores` axis value outside the range supported by every uncore
+    /// on the `uncore` axis.
+    CoresOutOfRange {
+        /// The offending core count.
+        value: u64,
+        /// The most restrictive uncore on the axis.
+        uncore: &'static str,
+        /// That uncore's core ceiling.
+        max: u64,
+    },
     /// An unknown `scheme` axis value.
     UnknownScheme(String),
+    /// An unknown `uncore` axis value.
+    UnknownUncore(String),
     /// An unknown `engine` value.
     UnknownEngine(String),
     /// An unknown `checkpoint_mode` value.
@@ -131,11 +144,18 @@ impl fmt::Display for SpecError {
             SpecError::ZeroValue(name) => {
                 write!(f, "'{name}' must be at least 1 (got 0)")
             }
-            SpecError::CoresOutOfRange(n) => {
-                write!(f, "'cores' axis value {n} out of range (expected 1..=16)")
+            SpecError::CoresOutOfRange { value, uncore, max } => {
+                write!(
+                    f,
+                    "'cores' axis value {value} out of range for the {uncore} uncore \
+                     (expected 1..={max})"
+                )
             }
             SpecError::UnknownScheme(s) => {
                 write!(f, "unknown scheme '{s}' in axis (expected {SCHEME_TOKENS})")
+            }
+            SpecError::UnknownUncore(s) => {
+                write!(f, "unknown uncore '{s}' in axis (expected {UNCORE_TOKENS})")
             }
             SpecError::UnknownEngine(s) => {
                 write!(f, "unknown engine '{s}' (expected {ENGINE_TOKENS})")
@@ -214,6 +234,47 @@ impl EngineToken {
     }
 }
 
+/// One point on the uncore axis: which interconnect every core of a job
+/// shares. Mirrors the target's uncore selection by name (like
+/// [`EngineToken`] mirrors engine selection); the campaign layer only
+/// needs the token and its core ceiling for validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UncoreToken {
+    /// The snooping bus: one shared resource, at most 16 cores.
+    #[default]
+    Bus,
+    /// Sharded directory-MESI: up to 1024 cores.
+    Directory,
+}
+
+impl UncoreToken {
+    /// Parses an uncore axis token.
+    pub fn parse(name: &str) -> Option<UncoreToken> {
+        match name {
+            "bus" => Some(UncoreToken::Bus),
+            "directory" => Some(UncoreToken::Directory),
+            _ => None,
+        }
+    }
+
+    /// The canonical token name.
+    pub fn name(self) -> &'static str {
+        match self {
+            UncoreToken::Bus => "bus",
+            UncoreToken::Directory => "directory",
+        }
+    }
+
+    /// Largest core count this uncore supports (must agree with the
+    /// target's `UncoreKind::max_cores`).
+    pub fn max_cores(self) -> u64 {
+        match self {
+            UncoreToken::Bus => 16,
+            UncoreToken::Directory => 1024,
+        }
+    }
+}
+
 /// One point on the scheme axis.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SchemeKind {
@@ -269,7 +330,7 @@ pub struct CheckpointSpec {
     pub mode: CheckpointMode,
 }
 
-/// The six sweep axes. Missing axes default to one neutral value so a
+/// The seven sweep axes. Missing axes default to one neutral value so a
 /// spec only spells out what it varies.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Axes {
@@ -279,6 +340,10 @@ pub struct Axes {
     pub bounds: Vec<u64>,
     /// Quantum lengths (default `[50]`).
     pub quantums: Vec<u64>,
+    /// Uncore interconnects (default `[bus]`). Every `cores` value must
+    /// fit the most restrictive uncore on this axis, so every expanded
+    /// (uncore, cores) pair is runnable.
+    pub uncores: Vec<UncoreToken>,
     /// Target core counts (default `[8]`).
     pub cores: Vec<u64>,
     /// Workload names (required, at least one; validated against the
@@ -320,6 +385,8 @@ pub struct Job {
     pub bound: u64,
     /// The quantum-axis value (ditto).
     pub quantum: u64,
+    /// The uncore-axis point.
+    pub uncore: UncoreToken,
     /// Target core count.
     pub cores: u64,
     /// Workload name.
@@ -329,11 +396,13 @@ pub struct Job {
 }
 
 impl Job {
-    /// The job's deterministic identity token: all six axis values, in a
+    /// The job's deterministic identity token: every axis value, in a
     /// filesystem-safe shape. Unique within a grid by construction
-    /// (duplicate axis values are refused at parse time).
+    /// (duplicate axis values are refused at parse time). Bus jobs keep
+    /// the historical six-part shape so existing campaign directories
+    /// still resume; only directory jobs carry the `-dir` suffix.
     pub fn token(&self) -> String {
-        format!(
+        let mut token = format!(
             "{}-{}-b{}-q{}-c{}-s{}",
             self.workload.to_ascii_lowercase(),
             self.kind.name(),
@@ -341,7 +410,11 @@ impl Job {
             self.quantum,
             self.cores,
             self.seed,
-        )
+        );
+        if self.uncore == UncoreToken::Directory {
+            token.push_str("-dir");
+        }
+        token
     }
 }
 
@@ -440,7 +513,7 @@ impl SweepSpec {
             .ok_or(SpecError::MissingField("axes"))?;
         for key in axes_obj.keys() {
             match key.as_str() {
-                "scheme" | "bound" | "quantum" | "cores" | "workload" | "seed" => {}
+                "scheme" | "bound" | "quantum" | "uncore" | "cores" | "workload" | "seed" => {}
                 other => {
                     return Err(SpecError::UnknownField(format!("axes.{other}")));
                 }
@@ -485,9 +558,45 @@ impl SweepSpec {
                 Ok(())
             }
         })?;
+        let uncores = match axis_array(axes_doc, "uncore")? {
+            None => vec![UncoreToken::Bus],
+            Some(arr) => {
+                if arr.is_empty() {
+                    return Err(SpecError::EmptyAxis("uncore"));
+                }
+                let mut out = Vec::with_capacity(arr.len());
+                for j in arr {
+                    let name = j
+                        .as_str()
+                        .ok_or_else(|| SpecError::UnknownUncore(render(j)))?;
+                    let tok = UncoreToken::parse(name)
+                        .ok_or_else(|| SpecError::UnknownUncore(name.to_string()))?;
+                    if out.contains(&tok) {
+                        return Err(SpecError::DuplicateAxisValue {
+                            axis: "uncore",
+                            value: format!("'{}'", tok.name()),
+                        });
+                    }
+                    out.push(tok);
+                }
+                out
+            }
+        };
+
+        // Every cores value must fit the most restrictive uncore on the
+        // axis: the grid is a full product, so a 64-core point paired
+        // with the 16-core bus would mint an unrunnable job.
+        let strictest = *uncores
+            .iter()
+            .min_by_key(|u| u.max_cores())
+            .expect("uncore axis is non-empty");
         let cores = numeric_axis(axes_doc, "cores", 8, |v| {
-            if !(1..=16).contains(&v) {
-                Err(SpecError::CoresOutOfRange(v))
+            if !(1..=strictest.max_cores()).contains(&v) {
+                Err(SpecError::CoresOutOfRange {
+                    value: v,
+                    uncore: strictest.name(),
+                    max: strictest.max_cores(),
+                })
             } else {
                 Ok(())
             }
@@ -527,6 +636,7 @@ impl SweepSpec {
                 schemes,
                 bounds,
                 quantums,
+                uncores,
                 cores,
                 workloads,
                 seeds,
@@ -539,40 +649,45 @@ impl SweepSpec {
         Ok(spec)
     }
 
-    /// The expanded grid size: the product of the six axis lengths.
+    /// The expanded grid size: the product of the seven axis lengths.
     pub fn cardinality(&self) -> u64 {
         let a = &self.axes;
         (a.schemes.len() as u64)
             .saturating_mul(a.bounds.len() as u64)
             .saturating_mul(a.quantums.len() as u64)
+            .saturating_mul(a.uncores.len() as u64)
             .saturating_mul(a.cores.len() as u64)
             .saturating_mul(a.workloads.len() as u64)
             .saturating_mul(a.seeds.len() as u64)
     }
 
     /// Expands the grid in the fixed nesting order scheme → bound →
-    /// quantum → cores → workload → seed. Stable across parses of the
-    /// same document.
+    /// quantum → uncore → cores → workload → seed. Stable across parses
+    /// of the same document; specs without an `uncore` axis expand
+    /// exactly as before (one implicit bus value).
     pub fn expand(&self) -> Vec<Job> {
         let mut jobs = Vec::with_capacity(self.cardinality() as usize);
         let a = &self.axes;
         for &kind in &a.schemes {
             for &bound in &a.bounds {
                 for &quantum in &a.quantums {
-                    for &cores in &a.cores {
-                        for workload in &a.workloads {
-                            for &seed in &a.seeds {
-                                let scheme = build_scheme(kind, bound, quantum, seed);
-                                jobs.push(Job {
-                                    index: jobs.len() as u64,
-                                    kind,
-                                    scheme,
-                                    bound,
-                                    quantum,
-                                    cores,
-                                    workload: workload.clone(),
-                                    seed,
-                                });
+                    for &uncore in &a.uncores {
+                        for &cores in &a.cores {
+                            for workload in &a.workloads {
+                                for &seed in &a.seeds {
+                                    let scheme = build_scheme(kind, bound, quantum, seed);
+                                    jobs.push(Job {
+                                        index: jobs.len() as u64,
+                                        kind,
+                                        scheme,
+                                        bound,
+                                        quantum,
+                                        uncore,
+                                        cores,
+                                        workload: workload.clone(),
+                                        seed,
+                                    });
+                                }
                             }
                         }
                     }
@@ -618,6 +733,8 @@ impl SweepSpec {
         join(&mut out, a.bounds.iter().map(u64::to_string));
         let _ = write!(out, ";quantum=");
         join(&mut out, a.quantums.iter().map(u64::to_string));
+        let _ = write!(out, ";uncore=");
+        join(&mut out, a.uncores.iter().map(|u| u.name().to_string()));
         let _ = write!(out, ";cores=");
         join(&mut out, a.cores.iter().map(u64::to_string));
         let _ = write!(out, ";workload=");
@@ -892,6 +1009,82 @@ mod tests {
                 "for {src}: expected {expect:?} in {msg:?}"
             );
         }
+    }
+
+    #[test]
+    fn uncore_axis_lifts_the_core_cap() {
+        let spec = SweepSpec::parse(
+            r#"{"v":1,"commit":10,"axes":{
+                "scheme":["cc"],"uncore":["directory"],"cores":[16,64],
+                "workload":["fft"]}}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.axes.uncores, vec![UncoreToken::Directory]);
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[1].cores, 64);
+        assert_eq!(jobs[1].uncore, UncoreToken::Directory);
+        assert!(
+            jobs[1].token().ends_with("-dir"),
+            "directory jobs are suffixed: {}",
+            jobs[1].token()
+        );
+    }
+
+    #[test]
+    fn bus_tokens_keep_their_historical_shape() {
+        let jobs = SweepSpec::parse(SPEC).unwrap().expand();
+        assert_eq!(jobs[0].token(), "fft-cc-b8-q50-c2-s1");
+    }
+
+    #[test]
+    fn cores_must_fit_the_strictest_uncore() {
+        // A mixed axis pairs every cores value with the bus too, so the
+        // bus ceiling governs.
+        let err = SweepSpec::parse(
+            r#"{"v":1,"commit":10,"axes":{
+                "scheme":["cc"],"uncore":["bus","directory"],"cores":[64],
+                "workload":["fft"]}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            SpecError::CoresOutOfRange {
+                value: 64,
+                uncore: "bus",
+                max: 16
+            }
+        );
+        assert!(err.to_string().contains("for the bus uncore"));
+    }
+
+    #[test]
+    fn uncore_rejections_are_enumerated() {
+        let err = SweepSpec::parse(
+            r#"{"v":1,"commit":10,"axes":{
+                "scheme":["cc"],"uncore":["ring"],"workload":["fft"]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("bus|directory"), "{err}");
+        let err = SweepSpec::parse(
+            r#"{"v":1,"commit":10,"axes":{
+                "scheme":["cc"],"uncore":["bus","bus"],"workload":["fft"]}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("repeats value 'bus'"), "{err}");
+    }
+
+    #[test]
+    fn canonical_covers_the_uncore_axis() {
+        let bus =
+            SweepSpec::parse(r#"{"v":1,"commit":10,"axes":{"scheme":["cc"],"workload":["fft"]}}"#)
+                .unwrap();
+        let dir = SweepSpec::parse(
+            r#"{"v":1,"commit":10,"axes":{"scheme":["cc"],"uncore":["directory"],"workload":["fft"]}}"#,
+        )
+        .unwrap();
+        assert!(bus.canonical().contains(";uncore=bus;"));
+        assert_ne!(bus.canonical(), dir.canonical());
     }
 
     #[test]

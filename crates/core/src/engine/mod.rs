@@ -373,6 +373,9 @@ pub enum EngineError {
     /// Durable state saving could not be set up (e.g. the checkpoint
     /// directory could not be created).
     Persist(String),
+    /// The run configuration is invalid (e.g. a core count outside the
+    /// selected interconnect's supported range).
+    Config(String),
 }
 
 impl fmt::Display for EngineError {
@@ -384,6 +387,7 @@ impl fmt::Display for EngineError {
             }
             EngineError::Resume(why) => write!(f, "cannot resume: {why}"),
             EngineError::Persist(why) => write!(f, "cannot persist state: {why}"),
+            EngineError::Config(why) => write!(f, "invalid configuration: {why}"),
         }
     }
 }

@@ -1767,6 +1767,10 @@ where
         detected.count(crate::violation::ViolationKind::Map),
     );
     kernel.set(
+        "violations_detected_directory",
+        detected.count(crate::violation::ViolationKind::Directory),
+    );
+    kernel.set(
         "finish_commit_target",
         u64::from(finish_reason == FinishReason::CommitTarget),
     );

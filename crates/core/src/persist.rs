@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic    [u8; 8]  b"SLAKSNAP"
-//! version  u32      format version (currently 1)
+//! version  u32      format version (currently 2)
 //! fp_len   u32      length of the config-fingerprint string
 //! fp       [u8]     UTF-8 fingerprint: benchmark/scheme/cores/seed/cp-mode
 //! len      u64      payload length in bytes
@@ -29,7 +29,7 @@ use std::time::Duration;
 /// File magic identifying a slacksim snapshot container.
 pub const MAGIC: [u8; 8] = *b"SLAKSNAP";
 /// Current container format version.
-pub const FORMAT_VERSION: u32 = 1;
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Everything that can go wrong while persisting or restoring a snapshot.
 #[derive(Debug)]

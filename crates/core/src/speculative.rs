@@ -26,19 +26,19 @@ use crate::violation::ViolationKind;
 /// unprofitable, and suggests focusing on rare, high-impact map violations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ViolationSelect {
-    kinds: [bool; 4],
+    kinds: [bool; 5],
 }
 
 impl ViolationSelect {
     /// Selects no violation kind (checkpoint-only operation, used to
     /// measure pure checkpointing overhead as in Table 2).
     pub const fn none() -> Self {
-        ViolationSelect { kinds: [false; 4] }
+        ViolationSelect { kinds: [false; 5] }
     }
 
     /// Selects every violation kind (the configuration the paper evaluates).
     pub const fn all() -> Self {
-        ViolationSelect { kinds: [true; 4] }
+        ViolationSelect { kinds: [true; 5] }
     }
 
     /// Selects only the given kinds.
@@ -69,8 +69,9 @@ impl ViolationSelect {
         match kind {
             ViolationKind::Bus => 0,
             ViolationKind::Map => 1,
-            ViolationKind::Workload => 2,
-            ViolationKind::Other => 3,
+            ViolationKind::Directory => 2,
+            ViolationKind::Workload => 3,
+            ViolationKind::Other => 4,
         }
     }
 }

@@ -33,6 +33,10 @@ pub enum ViolationKind {
     /// Cache-status-map entry transitioned out of timestamp order
     /// (simulated system state violation).
     Map,
+    /// Directory bank serviced a request out of timestamp order (the
+    /// sharded-uncore analogue of [`ViolationKind::Bus`]: each bank is an
+    /// independently monitored shared resource).
+    Directory,
     /// Target memory values crossed out of order (simulated workload state
     /// violation) — cannot occur with simulator-executed synchronisation.
     Workload,
@@ -42,9 +46,10 @@ pub enum ViolationKind {
 
 impl ViolationKind {
     /// All violation kinds, in counter-index order.
-    pub const ALL: [ViolationKind; 4] = [
+    pub const ALL: [ViolationKind; 5] = [
         ViolationKind::Bus,
         ViolationKind::Map,
+        ViolationKind::Directory,
         ViolationKind::Workload,
         ViolationKind::Other,
     ];
@@ -54,8 +59,9 @@ impl ViolationKind {
         match self {
             ViolationKind::Bus => 0,
             ViolationKind::Map => 1,
-            ViolationKind::Workload => 2,
-            ViolationKind::Other => 3,
+            ViolationKind::Directory => 2,
+            ViolationKind::Workload => 3,
+            ViolationKind::Other => 4,
         }
     }
 }
@@ -283,13 +289,13 @@ impl<K: Eq + Hash> KeyedMonitor<K> {
 /// controller does exactly this.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ViolationTally {
-    counts: [u64; 4],
+    counts: [u64; 5],
 }
 
 impl ViolationTally {
     /// Creates a zeroed tally.
     pub const fn new() -> Self {
-        ViolationTally { counts: [0; 4] }
+        ViolationTally { counts: [0; 5] }
     }
 
     /// Records one violation of `kind`.
@@ -347,12 +353,12 @@ impl ViolationTally {
     }
 
     /// Raw per-kind counts in [`ViolationKind::ALL`] order (persistence).
-    pub fn counts(&self) -> [u64; 4] {
+    pub fn counts(&self) -> [u64; 5] {
         self.counts
     }
 
     /// Rebuilds a tally from raw per-kind counts (persistence).
-    pub const fn from_counts(counts: [u64; 4]) -> Self {
+    pub const fn from_counts(counts: [u64; 5]) -> Self {
         ViolationTally { counts }
     }
 }
@@ -361,7 +367,7 @@ impl ViolationTally {
 /// observers (progress reporting, the adaptive controller).
 #[derive(Debug, Default)]
 pub struct SharedViolationTally {
-    counts: [AtomicU64; 4],
+    counts: [AtomicU64; 5],
 }
 
 impl SharedViolationTally {

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use slacksim_cmp::directory::MAX_DIRECTORY_CORES;
 use slacksim_cmp::isa::InstrStream;
 
 use crate::barnes::BarnesStream;
@@ -91,7 +92,11 @@ impl Benchmark {
     ///
     /// # Panics
     ///
-    /// Panics if `thread_id >= n_threads` or `n_threads` is 0 or > 16.
+    /// Panics if `thread_id >= n_threads` or `n_threads` is 0 or exceeds
+    /// the largest supported target (1024, the directory uncore's core
+    /// ceiling). The address-space layout ([`crate::mix`]) spaces
+    /// per-thread regions 16 MiB apart, which keeps every thread's
+    /// private and exported regions disjoint through thread 1023.
     pub fn stream(self, params: &WorkloadParams) -> Box<dyn InstrStream> {
         params.validate();
         match self {
@@ -134,8 +139,8 @@ impl WorkloadParams {
 
     pub(crate) fn validate(&self) {
         assert!(
-            self.n_threads >= 1 && self.n_threads <= 16,
-            "thread count must be between 1 and 16"
+            self.n_threads >= 1 && self.n_threads <= MAX_DIRECTORY_CORES,
+            "thread count must be between 1 and {MAX_DIRECTORY_CORES}"
         );
         assert!(
             self.thread_id < self.n_threads,
@@ -197,9 +202,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "between 1 and 16")]
+    #[should_panic(expected = "between 1 and 1024")]
     fn zero_threads_rejected() {
         WorkloadParams::new(0, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "between 1 and 1024")]
+    fn oversized_thread_count_rejected() {
+        WorkloadParams::new(0, 2048, 1);
+    }
+
+    #[test]
+    fn directory_scale_thread_counts_build_streams() {
+        for b in Benchmark::ALL {
+            let mut s = b.stream(&WorkloadParams::new(63, 64, 7));
+            for _ in 0..100 {
+                let _ = s.next_instr();
+            }
+        }
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! ```text
 //! slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
 //!          [--bound N] [--quantum N] [--target PCT] [--band PCT]
-//!          [--engine seq|threaded|batched] [--cores N] [--commit N] [--seed N]
+//!          [--engine seq|threaded|batched] [--uncore bus|directory]
+//!          [--cores N] [--commit N] [--seed N]
 //!          [--checkpoint N] [--checkpoint-mode full|delta] [--rollback all|map|none]
 //!          [--save-state DIR] [--resume FILE]
 //!          [--verbose] [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
@@ -20,13 +21,13 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use slacksim::scheme::{AdaptiveConfig, Scheme};
-use slacksim::slacksim_core::campaign::{JobRow, Manifest, CSV_HEADER};
+use slacksim::slacksim_core::campaign::{JobRow, Manifest, CSV_HEADER, LEGACY_CSV_HEADER};
 use slacksim::slacksim_core::obs::json::Json;
 use slacksim::slacksim_core::obs::prof::SiteStat;
 use slacksim::sweep::{run_sweep, SweepOptions};
 use slacksim::{
     Benchmark, CheckpointMode, EngineError, EngineKind, LiveConfig, ObsConfig, ProfData, ProfSite,
-    Simulation, SpeculationConfig, ViolationKind, ViolationSelect, HEARTBEAT_VERSION,
+    Simulation, SpeculationConfig, UncoreKind, ViolationKind, ViolationSelect, HEARTBEAT_VERSION,
 };
 
 /// Flags that take a value in the following argument.
@@ -39,6 +40,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--band",
     "--period",
     "--engine",
+    "--uncore",
     "--cores",
     "--commit",
     "--seed",
@@ -219,13 +221,36 @@ fn main() {
         ));
     }
 
+    let uncore = match args.value("--uncore") {
+        None => UncoreKind::Bus,
+        Some(name) => UncoreKind::parse(name).unwrap_or_else(|| {
+            usage_error(&format!("unknown uncore '{name}' (expected bus|directory)"))
+        }),
+    };
+    // Range-check the core count here, before any CmpConfig exists: an
+    // out-of-range --cores must be an enumerated usage error (exit 2),
+    // never a library assertion with a raw backtrace.
+    let cores: usize = args.parsed("--cores", 8);
+    if cores == 0 || cores > uncore.max_cores() {
+        let hint = if uncore == UncoreKind::Bus && cores > 16 {
+            "; use --uncore directory for up to 1024 cores"
+        } else {
+            ""
+        };
+        usage_error(&format!(
+            "--cores must be between 1 and {} for the {uncore} uncore (got {cores}){hint}",
+            uncore.max_cores(),
+        ));
+    }
+
     let trace_path = args.value("--trace").map(str::to_string);
     let metrics_path = args.value("--metrics").map(str::to_string);
 
     let mut sim = Simulation::new(benchmark);
     sim.scheme(scheme.clone())
         .engine(engine)
-        .cores(args.parsed("--cores", 8))
+        .uncore(uncore)
+        .cores(cores)
         .commit_target(args.parsed("--commit", 500_000))
         .seed(args.parsed("--seed", 1));
     let select = match args.value("--rollback") {
@@ -347,7 +372,7 @@ fn main() {
                 }
             }
         }
-        Err(e @ (EngineError::Resume(_) | EngineError::Persist(_))) => {
+        Err(e @ (EngineError::Resume(_) | EngineError::Persist(_) | EngineError::Config(_))) => {
             // Bad snapshot, mismatched configuration or unusable save
             // directory: a usage-class failure, same exit code as flag
             // validation so scripts can tell it from a simulation fault.
@@ -502,7 +527,7 @@ fn render_artifact(path: &str, body: &str) -> Result<String, String> {
     if trimmed.starts_with("metric,cycle,value") {
         return render_metrics_csv(path, body);
     }
-    if trimmed.starts_with(CSV_HEADER) {
+    if trimmed.starts_with(CSV_HEADER) || trimmed.starts_with(LEGACY_CSV_HEADER) {
         return render_campaign_csv(path, body);
     }
     if trimmed.starts_with('{') {
@@ -632,8 +657,12 @@ fn render_campaign_jsonl(path: &str, body: &str) -> Result<String, String> {
     ))
 }
 
-/// Summarizes a final campaign aggregate (`aggregate.csv`).
+/// Summarizes a final campaign aggregate (`aggregate.csv`). Aggregates
+/// written before the uncore column existed are read too, with every
+/// row's uncore defaulting to `bus`.
 fn render_campaign_csv(path: &str, body: &str) -> Result<String, String> {
+    let legacy = !body.trim_start().starts_with(CSV_HEADER);
+    let want = if legacy { 11 } else { 12 };
     let mut rows = Vec::new();
     for (ln, line) in body.lines().enumerate().skip(1) {
         let line = line.trim();
@@ -641,26 +670,34 @@ fn render_campaign_csv(path: &str, body: &str) -> Result<String, String> {
             continue;
         }
         let cols: Vec<&str> = line.split(',').collect();
-        if cols.len() != 11 {
-            return Err(format!("line {}: expected 11 CSV columns", ln + 1));
+        if cols.len() != want {
+            return Err(format!("line {}: expected {want} CSV columns", ln + 1));
         }
         let num = |i: usize| {
             cols[i]
                 .parse::<u64>()
                 .map_err(|_| format!("line {}: invalid number '{}'", ln + 1, cols[i]))
         };
+        // The uncore column sits between scheme and bound; legacy rows
+        // lack it, shifting every numeric column left by one.
+        let (uncore, off) = if legacy {
+            ("bus".to_string(), 0)
+        } else {
+            (cols[4].to_string(), 1)
+        };
         rows.push(JobRow {
             token: cols[0].to_string(),
             index: num(1)?,
             workload: cols[2].to_string(),
             scheme: cols[3].to_string(),
-            bound: num(4)?,
-            quantum: num(5)?,
-            cores: num(6)?,
-            seed: num(7)?,
-            cycles: num(8)?,
-            committed: num(9)?,
-            violations: num(10)?,
+            uncore,
+            bound: num(4 + off)?,
+            quantum: num(5 + off)?,
+            cores: num(6 + off)?,
+            seed: num(7 + off)?,
+            cycles: num(8 + off)?,
+            committed: num(9 + off)?,
+            violations: num(10 + off)?,
         });
     }
     if rows.is_empty() {
@@ -905,7 +942,7 @@ USAGE:
   slacksim sweep --dir DIR            # resume from DIR's campaign manifest
 
 A sweep spec is one JSON document describing a {scheme x bound x quantum
-x cores x workload x seed} grid plus shared per-job settings:
+x uncore x cores x workload x seed} grid plus shared per-job settings:
 
   {
     \"v\": 1,
@@ -919,13 +956,17 @@ x cores x workload x seed} grid plus shared per-job settings:
       \"scheme\":   [\"cc\", \"bounded\"],      cc|bounded|unbounded|quantum|adaptive|p2p
       \"bound\":    [8, 16],                 default [8]
       \"quantum\":  [50],                    default [50]
-      \"cores\":    [2],                     1..=16, default [8]
+      \"uncore\":   [\"bus\"],                 bus|directory, default [\"bus\"]
+      \"cores\":    [2],                     1..=16 (bus) / 1..=1024 (directory),
+                                           default [8]
       \"workload\": [\"fft\", \"water\"],        barnes|fft|lu|water
       \"seed\":     [1, 2]                   default [1]
     }
   }
 
-The grid is the full cartesian product of the six axes. Jobs run on a
+The grid is the full cartesian product of the seven axes. Every cores
+value must fit the most restrictive uncore on the axis (the product
+pairs each with each). Jobs run on a
 work-stealing pool (--workers, else the spec's, else host parallelism);
 each job writes durable checkpoints (when \"checkpoint\" is set) and an
 atomic report.json under DIR/jobs/<job>/. Kill the campaign at any
@@ -967,7 +1008,8 @@ slacksim — run one slack simulation of the paper's 8-core CMP
 USAGE:
   slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
            [--bound N] [--quantum N] [--target PCT] [--band PCT] [--period N]
-           [--engine seq|threaded|batched] [--cores N] [--commit N] [--seed N]
+           [--engine seq|threaded|batched] [--uncore bus|directory]
+           [--cores N] [--commit N] [--seed N]
            [--checkpoint INTERVAL] [--checkpoint-mode full|delta]
            [--rollback all|map|none] [--save-state DIR] [--resume FILE]
            [--verbose]
@@ -990,6 +1032,16 @@ ENGINES:
                         bit-identical to seq but much faster, requires
                         --scheme quantum
 
+UNCORE:
+  --uncore bus          the paper's split request/response snooping bus:
+                        one shared resource, one monitoring variable,
+                        at most 16 cores (default)
+  --uncore directory    sharded directory-MESI: address-interleaved
+                        directory banks, one timestamp monitor per bank,
+                        up to 1024 cores
+  --cores N             number of target cores (default 8); 1..=16 on the
+                        bus, 1..=1024 on the directory
+
 SPECULATION:
   --checkpoint N        take a checkpoint every N global cycles
   --checkpoint-mode M   how checkpoints are captured and restored
@@ -1008,8 +1060,8 @@ DURABLE STATE:
                         --checkpoint
   --resume FILE         restore a snapshot written by --save-state and
                         continue the run from it; the snapshot's config
-                        fingerprint (benchmark/scheme/cores/seed/checkpoint
-                        mode) must match the flags given here, otherwise
+                        fingerprint (benchmark/scheme/uncore/cores/seed/
+                        checkpoint mode) must match the flags given here, otherwise
                         slacksim refuses with exit code 2
 
 OBSERVABILITY:
@@ -1049,8 +1101,8 @@ LIVE TELEMETRY:
 
 CAMPAIGNS:
   slacksim sweep --spec FILE --dir DIR
-                        expand FILE's {scheme x bound x quantum x cores x
-                        workload x seed} grid and run every job on a
+                        expand FILE's {scheme x bound x quantum x uncore x
+                        cores x workload x seed} grid and run every job on a
                         work-stealing host pool, with durable per-job
                         checkpoints and streamed aggregation into DIR;
                         rerun with --dir alone to resume after a crash
@@ -1065,6 +1117,7 @@ REPORT:
 
 EXAMPLES:
   slacksim --benchmark barnes --scheme unbounded --engine threaded
+  slacksim --uncore directory --cores 64 --benchmark fft --scheme bounded --bound 8
   slacksim --benchmark fft --scheme quantum --quantum 50 --engine batched
   slacksim --scheme adaptive --target 0.2 --band 5
   slacksim --scheme bounded --bound 16 --checkpoint 5000 --rollback all --verbose

@@ -42,7 +42,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub use slacksim_cmp::config::{CmpConfig, CoreConfig, UncoreConfig};
+pub use slacksim_cmp::config::{CmpConfig, CoreConfig, UncoreConfig, UncoreKind};
 pub use slacksim_core::checkpoint::{CheckpointMode, Checkpointable};
 pub use slacksim_core::engine::{BurstPolicy, EngineConfig, EngineError};
 pub use slacksim_core::model;
@@ -145,9 +145,20 @@ impl Simulation {
         }
     }
 
-    /// Sets the number of target cores (1–16; the paper uses 8).
+    /// Sets the number of target cores (the paper uses 8). The value is
+    /// validated against the selected interconnect's ceiling when the run
+    /// starts ([`run`](Simulation::run) returns [`EngineError::Config`]
+    /// for an out-of-range count), so `cores` and
+    /// [`uncore`](Simulation::uncore) may be set in either order.
     pub fn cores(&mut self, cores: usize) -> &mut Self {
-        self.cmp = CmpConfig::with_cores(cores);
+        self.cmp.cores = cores;
+        self
+    }
+
+    /// Selects the uncore interconnect: the paper's snooping bus (up to
+    /// 16 cores) or the sharded directory (up to 1024 cores).
+    pub fn uncore(&mut self, kind: UncoreKind) -> &mut Self {
+        self.cmp.uncore_kind = kind;
         self
     }
 
@@ -283,9 +294,10 @@ impl Simulation {
             ),
         };
         format!(
-            "bench={}/scheme={}/cores={}/seed={}/cpmode={cp_mode}",
+            "bench={}/scheme={}/uncore={}/cores={}/seed={}/cpmode={cp_mode}",
             self.benchmark.name(),
             snapshot::scheme_token(&self.scheme),
+            self.cmp.uncore_kind,
             self.cmp.cores,
             self.seed,
         )
@@ -375,11 +387,19 @@ impl Simulation {
     ///
     /// # Errors
     ///
-    /// Propagates [`EngineError`] from the engine (no cores, stall), and
-    /// returns [`EngineError::Resume`] / [`EngineError::Persist`] when a
-    /// snapshot cannot be restored or the save directory cannot be set
-    /// up.
+    /// Returns [`EngineError::Config`] when the core count is outside the
+    /// selected interconnect's supported range, propagates
+    /// [`EngineError`] from the engine (no cores, stall), and returns
+    /// [`EngineError::Resume`] / [`EngineError::Persist`] when a snapshot
+    /// cannot be restored or the save directory cannot be set up.
     pub fn run(&self) -> Result<SimReport, EngineError> {
+        let max = self.cmp.uncore_kind.max_cores();
+        if self.cmp.cores == 0 || self.cmp.cores > max {
+            return Err(EngineError::Config(format!(
+                "core count {} is outside the supported range 1..={max} for the {} uncore",
+                self.cmp.cores, self.cmp.uncore_kind
+            )));
+        }
         let cores = self.build_cores();
         let uncore = CmpUncore::new(&self.cmp);
         let cfg = self.engine_config();
@@ -456,5 +476,34 @@ mod tests {
         assert!(report.committed >= 20_000);
         assert_eq!(report.violations.total(), 0, "CC run");
         assert!(report.uncore.get("bus_transactions") > 0);
+    }
+
+    #[test]
+    fn out_of_range_cores_fail_with_a_config_error() {
+        let err = Simulation::new(Benchmark::Fft)
+            .cores(32)
+            .run()
+            .expect_err("32 cores exceed the bus ceiling");
+        assert!(matches!(err, EngineError::Config(_)));
+        assert!(err.to_string().contains("1..=16"), "{err}");
+
+        let err = Simulation::new(Benchmark::Fft)
+            .cores(0)
+            .run()
+            .expect_err("zero cores");
+        assert!(matches!(err, EngineError::Config(_)));
+    }
+
+    #[test]
+    fn directory_uncore_runs_past_the_bus_cap() {
+        let report = Simulation::new(Benchmark::Fft)
+            .uncore(UncoreKind::Directory)
+            .cores(32)
+            .commit_target(20_000)
+            .run()
+            .expect("run succeeds");
+        assert!(report.committed >= 20_000);
+        assert!(report.uncore.get("dir_transactions") > 0);
+        assert_eq!(report.uncore.get("bus_transactions"), 0);
     }
 }

@@ -84,6 +84,7 @@ fn load_tally(r: &mut ByteReader<'_>) -> Result<ViolationTally, PersistError> {
         r.u64()?,
         r.u64()?,
         r.u64()?,
+        r.u64()?,
     ]))
 }
 

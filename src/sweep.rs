@@ -42,7 +42,7 @@ use slacksim_core::speculative::{SpeculationConfig, ViolationSelect};
 use slacksim_core::stats::SimReport;
 use slacksim_workloads::Benchmark;
 
-use crate::{EngineKind, Simulation};
+use crate::{EngineKind, Simulation, UncoreKind};
 
 /// Workload tokens [`Benchmark::parse`] accepts, for error messages.
 pub const WORKLOAD_TOKENS: &str = "barnes|fft|lu|water";
@@ -260,7 +260,14 @@ pub fn run_sweep(
 
     let exec = |_worker: usize, _idx: usize, job: Job| -> JobResult {
         stats.job_started();
-        let outcome = execute_job(dir, &spec, &job, &stats, &jsonl);
+        // A panicking job is a terminal failure of that grid point only:
+        // catch it here so the pool worker survives and every other job
+        // still settles. (Without this the unwind would poison shared
+        // state and take the whole fleet down with exit-101 noise.)
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_job(dir, &spec, &job, &stats, &jsonl)
+        }))
+        .unwrap_or_else(|panic| Err(format!("job panicked: {}", panic_message(&panic))));
         stats.job_finished(outcome.is_ok());
         JobResult { job, outcome }
     };
@@ -312,6 +319,18 @@ struct JobResult {
     outcome: Result<(JobRow, SimReport), String>,
 }
 
+/// Extracts the human-readable message from a caught panic payload
+/// (`panic!` carries `&str` or `String`; anything else is opaque).
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The per-job directory holding checkpoints and the finished report.
 fn job_dir(dir: &Path, job: &Job) -> PathBuf {
     dir.join("jobs").join(job.token())
@@ -328,7 +347,9 @@ fn read_finished_report(dir: &Path, job: &Job) -> Option<JobRow> {
 }
 
 /// The newest durable checkpoint in a job directory, by ordinal
-/// (`cp-NNNNNNNN` names sort lexicographically).
+/// (`cp-NNNNNNNN` names sort lexicographically). A `cp-*.tmp` is the
+/// half-written side of an interrupted atomic write — never durable,
+/// and it would sort *after* its renamed sibling.
 fn newest_checkpoint(dir: &Path) -> Option<PathBuf> {
     let entries = std::fs::read_dir(dir).ok()?;
     entries
@@ -337,7 +358,7 @@ fn newest_checkpoint(dir: &Path) -> Option<PathBuf> {
         .filter(|p| {
             p.file_name()
                 .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with("cp-"))
+                .is_some_and(|n| n.starts_with("cp-") && !n.ends_with(".tmp"))
         })
         .max()
 }
@@ -347,15 +368,19 @@ fn build_simulation(spec: &SweepSpec, job: &Job) -> Simulation {
     let benchmark =
         Benchmark::parse(&job.workload).expect("workload axis validated before expansion");
     let mut sim = Simulation::new(benchmark);
-    sim.cores(job.cores as usize)
-        .scheme(job.scheme.clone())
-        .engine(match spec.engine {
-            slacksim_core::campaign::EngineToken::Seq => EngineKind::Sequential,
-            slacksim_core::campaign::EngineToken::Threaded => EngineKind::Threaded,
-            slacksim_core::campaign::EngineToken::Batched => EngineKind::Batched,
-        })
-        .commit_target(spec.commit)
-        .seed(job.seed);
+    sim.uncore(match job.uncore {
+        slacksim_core::campaign::UncoreToken::Bus => UncoreKind::Bus,
+        slacksim_core::campaign::UncoreToken::Directory => UncoreKind::Directory,
+    })
+    .cores(job.cores as usize)
+    .scheme(job.scheme.clone())
+    .engine(match spec.engine {
+        slacksim_core::campaign::EngineToken::Seq => EngineKind::Sequential,
+        slacksim_core::campaign::EngineToken::Threaded => EngineKind::Threaded,
+        slacksim_core::campaign::EngineToken::Batched => EngineKind::Batched,
+    })
+    .commit_target(spec.commit)
+    .seed(job.seed);
     if let Some(mc) = spec.max_cycles {
         sim.max_cycles(mc);
     }
@@ -380,6 +405,13 @@ fn execute_job(
     stats: &CampaignStats,
     jsonl: &Mutex<File>,
 ) -> Result<(JobRow, SimReport), String> {
+    // Test seam: a job whose token matches this env var panics on the
+    // worker, so the campaign tests can prove one panicking job is
+    // recorded as failed while the rest of the fleet settles green.
+    if std::env::var("SLACKSIM_SWEEP_PANIC_TOKEN").is_ok_and(|t| t == job.token()) {
+        panic!("injected test panic for job {}", job.token());
+    }
+
     let jdir = job_dir(dir, job);
     let mut sim = build_simulation(spec, job);
     if spec.checkpoint.is_some() {
@@ -429,6 +461,7 @@ fn execute_job(
         token: job.token(),
         workload: job.workload.clone(),
         scheme: job.kind.name().to_string(),
+        uncore: job.uncore.name().to_string(),
         bound: job.bound,
         quantum: job.quantum,
         cores: job.cores,
@@ -469,8 +502,16 @@ fn prune_job_checkpoints(jdir: &Path) {
 /// Appends one already-`\n`-terminated row line to the streaming
 /// aggregate. Failures are warnings: the streamed file is a convenience
 /// view, `report.json` is the record.
+///
+/// A poisoned lock is recovered, not propagated: poisoning means some
+/// job thread panicked while appending its row, and every row line is
+/// written whole under the lock, so the file itself is never left
+/// half-written. Panicking here instead would sink every remaining job
+/// of the fleet over one casualty's bookkeeping.
 fn append_jsonl(jsonl: &Mutex<File>, line: &str) {
-    let mut file = jsonl.lock().expect("aggregate.jsonl writer poisoned");
+    let mut file = jsonl
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     if let Err(e) = file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
         eprintln!("warning: aggregate.jsonl append failed: {e}");
     }

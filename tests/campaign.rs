@@ -175,7 +175,10 @@ fn any_job_checkpoint(dir: &Path) -> Option<PathBuf> {
             continue;
         };
         for entry in entries.flatten() {
-            if entry.file_name().to_string_lossy().starts_with("cp-") {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            // A cp-*.tmp is an in-flight atomic write, not yet durable.
+            if name.starts_with("cp-") && !name.ends_with(".tmp") {
                 return Some(entry.path());
             }
         }
@@ -299,4 +302,89 @@ fn failed_jobs_do_not_sink_the_fleet() {
         "no final aggregate until the grid is green"
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn panicking_job_does_not_sink_the_fleet() {
+    // Regression: a panic inside one job used to unwind its worker
+    // thread, poisoning the shared aggregate.jsonl mutex and turning
+    // every subsequent settle into a second panic — one bad job sank
+    // the whole fleet. The panic must now be caught, recorded as that
+    // job's failure, and leave the remaining jobs green.
+    let base = scratch_dir("panic");
+    let spec = r#"{
+        "v": 1,
+        "commit": 2000,
+        "axes": {
+            "scheme": ["cc"],
+            "cores": [2],
+            "workload": ["fft"],
+            "seed": [1, 2, 3]
+        }
+    }"#;
+    let spec_path = base.join("sweep.json");
+    std::fs::write(&spec_path, spec).unwrap();
+    let camp = base.join("camp");
+    let jobs = SweepSpec::parse(spec).unwrap().expand();
+    assert_eq!(jobs.len(), 3);
+    let victim = jobs[1].token();
+
+    // SLACKSIM_SWEEP_PANIC_TOKEN is the test seam in `execute_job`: the
+    // named job panics mid-execution, on a pool worker, for real.
+    let out = Command::new(env!("CARGO_BIN_EXE_slacksim"))
+        .args([
+            "sweep",
+            "--spec",
+            spec_path.to_str().unwrap(),
+            "--dir",
+            camp.to_str().unwrap(),
+            "--workers",
+            "2",
+        ])
+        .env("SLACKSIM_SWEEP_PANIC_TOKEN", &victim)
+        .output()
+        .expect("spawn campaign");
+    assert!(
+        !out.status.success(),
+        "a failed job surfaces as a non-zero campaign exit"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("job panicked"),
+        "the failure records the panic message: {err:?}"
+    );
+    assert!(err.contains(&victim), "the failure names the job: {err:?}");
+    assert!(
+        err.contains("rerun"),
+        "the runner offers the retry path: {err:?}"
+    );
+
+    // The other two jobs settled durably despite sharing the fleet.
+    for job in [&jobs[0], &jobs[2]] {
+        assert!(
+            camp.join("jobs")
+                .join(job.token())
+                .join("report.json")
+                .exists(),
+            "job {} must settle despite the panicking peer",
+            job.token()
+        );
+    }
+    assert!(
+        !camp.join("aggregate.csv").exists(),
+        "no final aggregate until the grid is green"
+    );
+
+    // A plain rerun (no poison seam) retries only the failed job and
+    // finishes the campaign green.
+    let retry = slacksim(&["sweep", "--dir", camp.to_str().unwrap()]);
+    assert!(
+        retry.status.success(),
+        "retry exits 0: {}",
+        String::from_utf8_lossy(&retry.stderr)
+    );
+    let csv = std::fs::read_to_string(camp.join("aggregate.csv")).expect("final aggregate");
+    assert_eq!(csv.lines().count(), 4, "header plus all three rows: {csv}");
+    assert!(csv.contains(&victim), "the retried job's row is present");
+    let _ = std::fs::remove_dir_all(&base);
 }

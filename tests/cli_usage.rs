@@ -157,6 +157,73 @@ fn batched_quantum_run_succeeds_and_matches_sequential() {
 }
 
 #[test]
+fn out_of_range_cores_fail_with_exit_2_not_a_panic() {
+    // Regression: these used to panic inside config construction and die
+    // with a raw backtrace instead of the enumerated usage contract.
+    let out = slacksim(&["--cores", "32"]);
+    assert_usage_error(
+        &out,
+        &[
+            "--cores must be between 1 and 16 for the bus uncore (got 32)",
+            "--uncore directory",
+        ],
+    );
+    let out = slacksim(&["--cores", "0"]);
+    assert_usage_error(&out, &["--cores must be between 1 and 16", "(got 0)"]);
+    // The directory uncore has its own (much higher) ceiling.
+    let out = slacksim(&["--uncore", "directory", "--cores", "2048"]);
+    assert_usage_error(
+        &out,
+        &["--cores must be between 1 and 1024 for the directory uncore (got 2048)"],
+    );
+}
+
+#[test]
+fn unknown_uncore_enumerates_accepted_values() {
+    let out = slacksim(&["--uncore", "ring"]);
+    assert_usage_error(&out, &["ring", "bus|directory"]);
+}
+
+#[test]
+fn help_enumerates_uncore_values() {
+    let out = slacksim(&["--help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(
+        text.contains("bus|directory"),
+        "help enumerates --uncore values"
+    );
+    assert!(
+        text.contains("--uncore directory --cores 64"),
+        "help shows a directory-scale example"
+    );
+}
+
+#[test]
+fn directory_uncore_run_succeeds_past_the_bus_cap() {
+    let out = slacksim(&[
+        "--uncore",
+        "directory",
+        "--benchmark",
+        "fft",
+        "--scheme",
+        "bounded",
+        "--bound",
+        "8",
+        "--cores",
+        "64",
+        "--commit",
+        "5000",
+    ]);
+    assert!(
+        out.status.success(),
+        "64-core directory run exits 0: {}",
+        stderr(&out)
+    );
+    assert!(!stdout(&out).is_empty(), "report printed to stdout");
+}
+
+#[test]
 fn unknown_benchmark_enumerates_accepted_values() {
     let out = slacksim(&["--benchmark", "raytrace"]);
     assert_usage_error(&out, &["raytrace", "barnes|fft|lu|water"]);
@@ -506,6 +573,17 @@ fn sweep_bad_grid_values_are_rejected_with_enumerated_errors() {
         (
             r#"{"v":1,"commit":100,"engine":"batched","axes":{"scheme":["cc"],"workload":["fft"]}}"#,
             &["batched", "quantum-only scheme axis"],
+        ),
+        (
+            r#"{"v":1,"commit":100,"axes":{"scheme":["cc"],"workload":["fft"],"uncore":["ring"]}}"#,
+            &["ring", "bus|directory"],
+        ),
+        (
+            // A mixed uncore axis caps cores at the *strictest* member:
+            // the grid is a full product, so 64-core bus cells would be
+            // unrunnable.
+            r#"{"v":1,"commit":100,"axes":{"scheme":["cc"],"workload":["fft"],"uncore":["bus","directory"],"cores":[64]}}"#,
+            &["64", "bus", "out of range"],
         ),
     ];
     let dir = sweep_scratch("badgrid");

@@ -34,6 +34,7 @@
 //!     mutation: Mutation::None,
 //!     bench: Benchmark::Fft,
 //!     cores: 2,
+//!     shards: 1,
 //!     scheme: Scheme::BoundedSlack { bound: 8 },
 //!     target: 2_000,
 //!     seed: 1,
@@ -51,8 +52,8 @@ pub mod repro;
 pub mod vsched;
 
 pub use oracle::{
-    check_invariants, fingerprint, run_engine, run_engine_on, run_repro, run_resumed,
-    run_resumed_on, run_speculative, run_virtual, shrink, Fingerprint,
+    check_invariants, fingerprint, run_engine, run_engine_on, run_engine_sharded, run_repro,
+    run_resumed, run_resumed_on, run_speculative, run_virtual, shrink, Fingerprint,
 };
 pub use repro::{format_scheme, parse_repro, parse_scheme, VirtCase};
 pub use vsched::{Mutation, SchedDiag, SchedPolicy, VirtualSched};

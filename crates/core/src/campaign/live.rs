@@ -169,7 +169,11 @@ pub fn render_campaign_heartbeat(buf: &mut String, start: Instant, stats: &Campa
     };
     let remaining = total.saturating_sub(settled);
     let eta_ms = if jobs_per_sec > 0.0 && remaining > 0 {
-        Some((remaining as f64 / jobs_per_sec * 1000.0) as u64)
+        // Guard the cast: early beats can see a rate small enough that
+        // the product leaves u64 range, and a saturating cast would
+        // report u64::MAX ms as if it were a real estimate.
+        let ms = remaining as f64 / jobs_per_sec * 1000.0;
+        (ms.is_finite() && ms < u64::MAX as f64).then_some(ms as u64)
     } else {
         None
     };

@@ -133,6 +133,9 @@ pub struct LiveStats {
     pub checkpoints: AtomicU64,
     /// Rollbacks taken so far.
     pub rollbacks: AtomicU64,
+    /// Events queued shard→root (one gauge per remote shard; empty for
+    /// single-manager runs, which then omit the `shardq` field).
+    pub shard_fwd_depth: Vec<AtomicU64>,
 }
 
 impl LiveStats {
@@ -140,6 +143,14 @@ impl LiveStats {
     pub fn new() -> Self {
         let s = LiveStats::default();
         s.bound.store(NO_BOUND, Ordering::Relaxed);
+        s
+    }
+
+    /// Creates a stats block with one shard→root queue gauge per remote
+    /// shard (threaded engine with `shards > 1`).
+    pub fn with_shards(remote_shards: usize) -> Self {
+        let mut s = LiveStats::new();
+        s.shard_fwd_depth = (0..remote_shards).map(|_| AtomicU64::new(0)).collect();
         s
     }
 }
@@ -281,7 +292,12 @@ fn render_heartbeat(
     prev.committed = committed;
     let remaining = target.saturating_sub(committed);
     let eta_ms = if commits_per_sec > 0.0 && remaining > 0 {
-        Some((remaining as f64 / commits_per_sec * 1000.0) as u64)
+        // A near-zero rate in the first beats (warmup: a commit or two
+        // against a distant target) pushes this product past u64 range;
+        // the saturating cast would then report u64::MAX milliseconds as
+        // a live ETA. Anything that does not fit is simply unknown.
+        let ms = remaining as f64 / commits_per_sec * 1000.0;
+        (ms.is_finite() && ms < u64::MAX as f64).then_some(ms as u64)
     } else {
         None
     };
@@ -319,10 +335,24 @@ fn render_heartbeat(
     write_f64(buf, violation_rate);
     let _ = write!(
         buf,
-        r#","queues":{{"outq":{},"inq":{},"globalq":{}}},"dropped_traces":{},"checkpoints":{},"rollbacks":{}"#,
+        r#","queues":{{"outq":{},"inq":{},"globalq":{}"#,
         stats.outq_depth.load(Ordering::Relaxed),
         stats.inq_depth.load(Ordering::Relaxed),
         stats.globalq_depth.load(Ordering::Relaxed),
+    );
+    if !stats.shard_fwd_depth.is_empty() {
+        buf.push_str(r#","shardq":["#);
+        for (i, d) in stats.shard_fwd_depth.iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            let _ = write!(buf, "{}", d.load(Ordering::Relaxed));
+        }
+        buf.push(']');
+    }
+    let _ = write!(
+        buf,
+        r#"}},"dropped_traces":{},"checkpoints":{},"rollbacks":{}"#,
         stats.dropped_traces.load(Ordering::Relaxed),
         stats.checkpoints.load(Ordering::Relaxed),
         stats.rollbacks.load(Ordering::Relaxed),
@@ -447,6 +477,66 @@ mod tests {
         assert_eq!(v.get("eta_ms"), Some(&Json::Null));
         let sites = v.get("sites").and_then(Json::as_object).unwrap();
         assert!(sites.is_empty(), "disabled profiler => empty sites");
+    }
+
+    #[test]
+    fn warmup_beats_never_report_a_saturated_eta() {
+        // Regression: the first beats of a run see a near-zero commit
+        // rate against a distant target; the ETA product then exceeds
+        // u64 range and the old saturating cast reported u64::MAX ms.
+        let stats = Arc::new(LiveStats::new());
+        stats.committed.store(1, Ordering::Relaxed);
+        stats.commit_target.store(u64::MAX, Ordering::Relaxed);
+        let prof = Profiler::disabled();
+        let mut buf = String::new();
+        let start = Instant::now();
+        let mut prev = Beat {
+            at: start,
+            committed: 0,
+            start_committed: 0,
+            terminal: false,
+        };
+        // Any window over ~1ms makes the rate small enough to overflow;
+        // sleep well past that so the regression triggers deterministically.
+        std::thread::sleep(Duration::from_millis(10));
+        render_heartbeat(&mut buf, start, &stats, &prof, &mut prev);
+        let v = Json::parse(buf.trim_end()).expect("valid JSON");
+        let cps = v.get("commits_per_sec").and_then(Json::as_f64).unwrap();
+        assert!(cps > 0.0, "a commit landed in the window");
+        assert_eq!(
+            v.get("eta_ms"),
+            Some(&Json::Null),
+            "an ETA that does not fit u64 must render as unknown, not u64::MAX"
+        );
+    }
+
+    #[test]
+    fn sharded_stats_render_per_shard_queue_depths() {
+        let stats = Arc::new(LiveStats::with_shards(3));
+        stats.shard_fwd_depth[0].store(5, Ordering::Relaxed);
+        stats.shard_fwd_depth[2].store(7, Ordering::Relaxed);
+        let prof = Profiler::disabled();
+        let mut buf = String::new();
+        let start = Instant::now();
+        let mut prev = Beat {
+            at: start,
+            committed: 0,
+            start_committed: 0,
+            terminal: false,
+        };
+        render_heartbeat(&mut buf, start, &stats, &prof, &mut prev);
+        let v = Json::parse(buf.trim_end()).expect("valid JSON");
+        let queues = v.get("queues").and_then(Json::as_object).unwrap();
+        let shardq = queues["shardq"].as_array().unwrap();
+        let depths: Vec<f64> = shardq.iter().map(|d| d.as_f64().unwrap()).collect();
+        assert_eq!(depths, vec![5.0, 0.0, 7.0]);
+
+        // Single-manager stats omit the field entirely.
+        let solo = Arc::new(LiveStats::new());
+        render_heartbeat(&mut buf, start, &solo, &prof, &mut prev);
+        let v = Json::parse(buf.trim_end()).expect("valid JSON");
+        let queues = v.get("queues").and_then(Json::as_object).unwrap();
+        assert!(!queues.contains_key("shardq"));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! magic    [u8; 8]  b"SLAKSNAP"
-//! version  u32      format version (currently 2)
+//! version  u32      format version (2 baseline, 3 with shard section)
 //! fp_len   u32      length of the config-fingerprint string
 //! fp       [u8]     UTF-8 fingerprint: benchmark/scheme/cores/seed/cp-mode
 //! len      u64      payload length in bytes
@@ -28,8 +28,13 @@ use std::time::Duration;
 
 /// File magic identifying a slacksim snapshot container.
 pub const MAGIC: [u8; 8] = *b"SLAKSNAP";
-/// Current container format version.
+/// Baseline container format version (no shard section in the payload).
 pub const FORMAT_VERSION: u32 = 2;
+/// Container format version whose payload ends with a per-shard section
+/// (threaded engine with `shards > 1`). Writers use it only when the
+/// section is present, so single-manager snapshots stay byte-identical
+/// to version-2 files; readers accept both.
+pub const FORMAT_VERSION_SHARDED: u32 = 3;
 
 /// Everything that can go wrong while persisting or restoring a snapshot.
 #[derive(Debug)]
@@ -68,7 +73,7 @@ impl fmt::Display for PersistError {
             PersistError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported snapshot format version {v} (this build reads {FORMAT_VERSION})"
+                    "unsupported snapshot format version {v} (this build reads {FORMAT_VERSION}..={FORMAT_VERSION_SHARDED})"
                 )
             }
             PersistError::Truncated => write!(f, "snapshot file is truncated"),
@@ -262,11 +267,20 @@ impl<'a> ByteReader<'a> {
     }
 }
 
-/// Wrap a payload in the versioned snapshot container.
+/// Wrap a payload in the baseline (version-2) snapshot container.
 pub fn encode_container(fingerprint: &str, payload: &[u8]) -> Vec<u8> {
+    encode_container_versioned(FORMAT_VERSION, fingerprint, payload)
+}
+
+/// Wrap a payload in a snapshot container stamped with an explicit format
+/// version. Callers pick [`FORMAT_VERSION_SHARDED`] only when the payload
+/// actually carries the shard section, so older builds refuse the file
+/// with a clear version error instead of a trailing-bytes corruption.
+pub fn encode_container_versioned(version: u32, fingerprint: &str, payload: &[u8]) -> Vec<u8> {
+    debug_assert!((FORMAT_VERSION..=FORMAT_VERSION_SHARDED).contains(&version));
     let mut out = Vec::with_capacity(32 + fingerprint.len() + payload.len());
     out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(fingerprint.len() as u32).to_le_bytes());
     out.extend_from_slice(fingerprint.as_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
@@ -287,7 +301,7 @@ pub fn decode_container(bytes: &[u8]) -> Result<(&str, &[u8]), PersistError> {
         return Err(PersistError::BadMagic);
     }
     let version = r.u32()?;
-    if version != FORMAT_VERSION {
+    if !(FORMAT_VERSION..=FORMAT_VERSION_SHARDED).contains(&version) {
         return Err(PersistError::UnsupportedVersion(version));
     }
     let fp = std::str::from_utf8(r.bytes()?)
@@ -445,6 +459,20 @@ mod tests {
                 Ok(_) => panic!("truncated container at {cut} decoded successfully"),
             }
         }
+    }
+
+    #[test]
+    fn sharded_container_version_round_trips() {
+        let payload = b"payload with shard section";
+        let bytes = encode_container_versioned(FORMAT_VERSION_SHARDED, "fp", payload);
+        assert_eq!(bytes[8..12], FORMAT_VERSION_SHARDED.to_le_bytes());
+        let (fp, body) = decode_container(&bytes).unwrap();
+        assert_eq!(fp, "fp");
+        assert_eq!(body, payload);
+        // The baseline writer still stamps version 2 so single-manager
+        // snapshots stay byte-identical across this format extension.
+        let base = encode_container("fp", payload);
+        assert_eq!(base[8..12], FORMAT_VERSION.to_le_bytes());
     }
 
     #[test]

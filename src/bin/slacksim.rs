@@ -5,7 +5,7 @@
 //! slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
 //!          [--bound N] [--quantum N] [--target PCT] [--band PCT]
 //!          [--engine seq|threaded|batched] [--uncore bus|directory]
-//!          [--cores N] [--commit N] [--seed N]
+//!          [--cores N] [--shards N] [--commit N] [--seed N]
 //!          [--checkpoint N] [--checkpoint-mode full|delta] [--rollback all|map|none]
 //!          [--save-state DIR] [--resume FILE]
 //!          [--verbose] [--trace OUT.json] [--metrics OUT.csv] [--sample-every CYCLES]
@@ -42,6 +42,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--engine",
     "--uncore",
     "--cores",
+    "--shards",
     "--commit",
     "--seed",
     "--checkpoint",
@@ -72,9 +73,34 @@ const SWEEP_VALUE_FLAGS: &[&str] = &[
 /// Standalone flags of the `sweep` subcommand.
 const SWEEP_BOOL_FLAGS: &[&str] = &["--help", "-h", "--live-stderr"];
 
-struct Args(Vec<String>);
+struct Args {
+    argv: Vec<String>,
+    /// The command whose `--help` the usage-error footer cites: flag
+    /// errors under `slacksim sweep` must point at the sweep usage text,
+    /// not the main command's.
+    help_cmd: &'static str,
+}
 
 impl Args {
+    fn new(argv: Vec<String>) -> Self {
+        Args {
+            argv,
+            help_cmd: "slacksim",
+        }
+    }
+
+    fn sweep(argv: Vec<String>) -> Self {
+        Args {
+            argv,
+            help_cmd: "slacksim sweep",
+        }
+    }
+
+    /// Prints a usage error citing this command's help and exits 2.
+    fn fail(&self, msg: &str) -> ! {
+        usage_error_for(self.help_cmd, msg)
+    }
+
     /// Rejects unknown flags, stray positional arguments and value flags
     /// missing their value — a typo must fail loudly, not silently fall
     /// back to a default configuration.
@@ -86,26 +112,26 @@ impl Args {
     /// (subcommands bring their own).
     fn validate_with(&self, value_flags: &[&str], bool_flags: &[&str]) {
         let mut i = 0;
-        while i < self.0.len() {
-            let a = self.0[i].as_str();
+        while i < self.argv.len() {
+            let a = self.argv[i].as_str();
             if bool_flags.contains(&a) {
                 i += 1;
             } else if value_flags.contains(&a) {
-                if i + 1 >= self.0.len() {
-                    usage_error(&format!("flag '{a}' expects a value"));
+                if i + 1 >= self.argv.len() {
+                    self.fail(&format!("flag '{a}' expects a value"));
                 }
                 i += 2;
             } else {
-                usage_error(&format!("unknown argument '{a}'"));
+                self.fail(&format!("unknown argument '{a}'"));
             }
         }
     }
 
     fn value(&self, flag: &str) -> Option<&str> {
-        self.0
+        self.argv
             .iter()
             .position(|a| a == flag)
-            .and_then(|i| self.0.get(i + 1))
+            .and_then(|i| self.argv.get(i + 1))
             .map(String::as_str)
     }
 
@@ -114,7 +140,7 @@ impl Args {
             None => default,
             Some(v) => v
                 .parse()
-                .unwrap_or_else(|_| usage_error(&format!("invalid value '{v}' for {flag}"))),
+                .unwrap_or_else(|_| self.fail(&format!("invalid value '{v}' for {flag}"))),
         }
     }
 
@@ -126,21 +152,26 @@ impl Args {
     fn parsed_nonzero(&self, flag: &str, default: u64) -> u64 {
         let v: u64 = self.parsed(flag, default);
         if v == 0 {
-            usage_error(&format!("{flag} must be at least 1 (got 0)"));
+            self.fail(&format!("{flag} must be at least 1 (got 0)"));
         }
         v
     }
 
     fn has(&self, flag: &str) -> bool {
-        self.0.iter().any(|a| a == flag)
+        self.argv.iter().any(|a| a == flag)
     }
 }
 
-/// Prints a usage error and exits non-zero.
-fn usage_error(msg: &str) -> ! {
+/// Prints a usage error citing `help_cmd`'s help text and exits 2.
+fn usage_error_for(help_cmd: &str, msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("run `slacksim --help` for usage");
+    eprintln!("run `{help_cmd} --help` for usage");
     std::process::exit(2);
+}
+
+/// Prints a main-command usage error and exits non-zero.
+fn usage_error(msg: &str) -> ! {
+    usage_error_for("slacksim", msg)
 }
 
 fn main() {
@@ -156,7 +187,7 @@ fn main() {
         sweep_main(&raw[1..]);
         return;
     }
-    let args = Args(raw);
+    let args = Args::new(raw);
     if args.has("--help") || args.has("-h") {
         println!("{}", HELP);
         return;
@@ -221,6 +252,16 @@ fn main() {
         ));
     }
 
+    // The manager tree is a property of the threaded engine's host-side
+    // consolidation; accepting it elsewhere would silently do nothing.
+    let shards = args.parsed_nonzero("--shards", 1) as usize;
+    if shards > 1 && engine != EngineKind::Threaded {
+        usage_error(&format!(
+            "--shards {shards} requires --engine threaded (the manager tree only \
+             exists in the threaded engine)"
+        ));
+    }
+
     let uncore = match args.value("--uncore") {
         None => UncoreKind::Bus,
         Some(name) => UncoreKind::parse(name).unwrap_or_else(|| {
@@ -251,6 +292,7 @@ fn main() {
         .engine(engine)
         .uncore(uncore)
         .cores(cores)
+        .shards(shards)
         .commit_target(args.parsed("--commit", 500_000))
         .seed(args.parsed("--seed", 1));
     let select = match args.value("--rollback") {
@@ -401,15 +443,15 @@ fn sweep_main(raw: &[String]) {
         println!("{}", SWEEP_HELP);
         return;
     }
-    let args = Args(raw.to_vec());
+    let args = Args::sweep(raw.to_vec());
     args.validate_with(SWEEP_VALUE_FLAGS, SWEEP_BOOL_FLAGS);
 
     let Some(dir) = args.value("--dir") else {
-        usage_error("sweep requires --dir DIR (the campaign directory)");
+        args.fail("sweep requires --dir DIR (the campaign directory)");
     };
     let spec_src = args.value("--spec").map(|path| {
         std::fs::read_to_string(path)
-            .unwrap_or_else(|e| usage_error(&format!("cannot read sweep spec {path}: {e}")))
+            .unwrap_or_else(|e| args.fail(&format!("cannot read sweep spec {path}: {e}")))
     });
 
     let mut opts = SweepOptions::default();
@@ -428,7 +470,7 @@ fn sweep_main(raw: &[String]) {
     if live.has_sink() {
         opts.live = Some(live);
     } else if args.has("--live-every") {
-        usage_error("--live-every requires --live-stderr or --live-status FILE");
+        args.fail("--live-every requires --live-stderr or --live-status FILE");
     }
 
     match run_sweep(spec_src.as_deref(), Path::new(dir), &opts) {
@@ -482,8 +524,10 @@ fn sweep_main(raw: &[String]) {
 ///
 /// Artifact types are detected by content, not extension: live-status
 /// heartbeat JSONL, profile CSV, metrics CSV and Chrome Trace JSON.
-/// Exits 2 when no paths are given, 1 when any file is unreadable or
-/// not a recognized artifact.
+/// Unreadable, empty, truncated or unrecognized artifacts are a
+/// usage-class failure: the diagnostic names the file and the parse
+/// position, and the process exits 2 like the flag validators, so
+/// scripts can tell a bad artifact path from a rendering fault.
 fn report_main(paths: &[String]) {
     if paths.iter().any(|p| p == "--help" || p == "-h") {
         println!("{}", REPORT_HELP);
@@ -504,6 +548,10 @@ fn report_main(paths: &[String]) {
                 eprintln!("error: cannot read {path}: {e}");
                 failed = true;
             }
+            Ok(body) if body.is_empty() => {
+                eprintln!("error: {path}: empty artifact (0 bytes)");
+                failed = true;
+            }
             Ok(body) => match render_artifact(path, &body) {
                 Ok(text) => print!("{text}"),
                 Err(e) => {
@@ -514,7 +562,7 @@ fn report_main(paths: &[String]) {
         }
     }
     if failed {
-        std::process::exit(1);
+        std::process::exit(2);
     }
 }
 
@@ -547,24 +595,35 @@ fn render_artifact(path: &str, body: &str) -> Result<String, String> {
             }
         }
         let first_line = trimmed.lines().next().unwrap_or_default().trim();
-        if let Ok(first) = Json::parse(first_line) {
-            if first.get("campaign").and_then(Json::as_bool) == Some(true) {
-                return render_campaign_heartbeats(path, body);
+        match Json::parse(first_line) {
+            Ok(first) => {
+                if first.get("campaign").and_then(Json::as_bool) == Some(true) {
+                    return render_campaign_heartbeats(path, body);
+                }
+                if first.get("job").is_some() {
+                    return render_campaign_jsonl(path, body);
+                }
+                if first.get("v").is_some() {
+                    return render_heartbeats(path, body);
+                }
             }
-            if first.get("job").is_some() {
-                return render_campaign_jsonl(path, body);
-            }
-            if first.get("v").is_some() {
-                return render_heartbeats(path, body);
+            Err(e) => {
+                // Looked like JSON but the first object does not parse —
+                // typically a truncated write. Name the position so the
+                // bad artifact is diagnosable, not just "unrecognized".
+                return Err(format!(
+                    "truncated or invalid JSON at line 1 ({} bytes in file): {e}",
+                    body.len()
+                ));
             }
         }
     }
-    Err(
-        "unrecognized artifact (expected heartbeat JSONL, profile CSV, metrics CSV, \
-         Chrome Trace JSON, campaign manifest, campaign aggregate JSONL/CSV or \
-         campaign heartbeat JSONL)"
-            .to_string(),
-    )
+    Err(format!(
+        "unrecognized artifact ({} bytes; detection looks at line 1): expected \
+         heartbeat JSONL, profile CSV, metrics CSV, Chrome Trace JSON, campaign \
+         manifest, campaign aggregate JSONL/CSV or campaign heartbeat JSONL",
+        body.len()
+    ))
 }
 
 /// Summarizes a campaign manifest.
@@ -942,7 +1001,8 @@ USAGE:
   slacksim sweep --dir DIR            # resume from DIR's campaign manifest
 
 A sweep spec is one JSON document describing a {scheme x bound x quantum
-x uncore x cores x workload x seed} grid plus shared per-job settings:
+x uncore x cores x shards x workload x seed} grid plus shared per-job
+settings:
 
   {
     \"v\": 1,
@@ -959,12 +1019,15 @@ x uncore x cores x workload x seed} grid plus shared per-job settings:
       \"uncore\":   [\"bus\"],                 bus|directory, default [\"bus\"]
       \"cores\":    [2],                     1..=16 (bus) / 1..=1024 (directory),
                                            default [8]
+      \"shards\":   [1],                     threaded manager-tree widths; values
+                                           above 1 require \"engine\":\"threaded\"
+                                           (default [1])
       \"workload\": [\"fft\", \"water\"],        barnes|fft|lu|water
       \"seed\":     [1, 2]                   default [1]
     }
   }
 
-The grid is the full cartesian product of the seven axes. Every cores
+The grid is the full cartesian product of the eight axes. Every cores
 value must fit the most restrictive uncore on the axis (the product
 pairs each with each). Jobs run on a
 work-stealing pool (--workers, else the spec's, else host parallelism);
@@ -999,8 +1062,9 @@ Each PATH is detected by content, not extension:
   campaign aggregate JSONL/CSV  (sweep DIR/aggregate.jsonl, .csv)
   campaign heartbeat JSONL      (sweep --live-status FILE)
 
-Exit status: 0 all artifacts rendered, 1 unreadable or unrecognized
-artifact, 2 usage error.";
+Exit status: 0 all artifacts rendered, 2 usage error or any artifact
+unreadable, empty, truncated or unrecognized (the diagnostic names the
+file and the parse position).";
 
 const HELP: &str = "\
 slacksim — run one slack simulation of the paper's 8-core CMP
@@ -1009,7 +1073,7 @@ USAGE:
   slacksim [--benchmark barnes|fft|lu|water] [--scheme cc|bounded|unbounded|quantum|adaptive|p2p]
            [--bound N] [--quantum N] [--target PCT] [--band PCT] [--period N]
            [--engine seq|threaded|batched] [--uncore bus|directory]
-           [--cores N] [--commit N] [--seed N]
+           [--cores N] [--shards N] [--commit N] [--seed N]
            [--checkpoint INTERVAL] [--checkpoint-mode full|delta]
            [--rollback all|map|none] [--save-state DIR] [--resume FILE]
            [--verbose]
@@ -1031,6 +1095,13 @@ ENGINES:
                         cross-core events only at quantum boundaries;
                         bit-identical to seq but much faster, requires
                         --scheme quantum
+  --shards N            threaded engine only: split the manager into N
+                        shard managers, each consolidating a contiguous
+                        slice of the cores and publishing a minimum-time
+                        floor the root reconciles; a host-throughput knob
+                        for large core counts — simulated results are
+                        identical for every N (default 1, the classic
+                        single-manager loop; clamped to the core count)
 
 UNCORE:
   --uncore bus          the paper's split request/response snooping bus:
@@ -1102,7 +1173,7 @@ LIVE TELEMETRY:
 CAMPAIGNS:
   slacksim sweep --spec FILE --dir DIR
                         expand FILE's {scheme x bound x quantum x uncore x
-                        cores x workload x seed} grid and run every job on a
+                        cores x shards x workload x seed} grid and run every job on a
                         work-stealing host pool, with durable per-job
                         checkpoints and streamed aggregation into DIR;
                         rerun with --dir alone to resume after a crash
@@ -1118,6 +1189,7 @@ REPORT:
 EXAMPLES:
   slacksim --benchmark barnes --scheme unbounded --engine threaded
   slacksim --uncore directory --cores 64 --benchmark fft --scheme bounded --bound 8
+  slacksim --uncore directory --cores 64 --engine threaded --shards 4 --scheme bounded
   slacksim --benchmark fft --scheme quantum --quantum 50 --engine batched
   slacksim --scheme adaptive --target 0.2 --band 5
   slacksim --scheme bounded --bound 16 --checkpoint 5000 --rollback all --verbose

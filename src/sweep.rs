@@ -373,6 +373,7 @@ fn build_simulation(spec: &SweepSpec, job: &Job) -> Simulation {
         slacksim_core::campaign::UncoreToken::Directory => UncoreKind::Directory,
     })
     .cores(job.cores as usize)
+    .shards(job.shards as usize)
     .scheme(job.scheme.clone())
     .engine(match spec.engine {
         slacksim_core::campaign::EngineToken::Seq => EngineKind::Sequential,

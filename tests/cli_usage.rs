@@ -179,6 +179,34 @@ fn out_of_range_cores_fail_with_exit_2_not_a_panic() {
 }
 
 #[test]
+fn shards_outside_the_threaded_engine_are_rejected() {
+    // Default engine is sequential: a bare --shards must refuse rather
+    // than silently run unsharded.
+    let out = slacksim(&["--shards", "4"]);
+    assert_usage_error(&out, &["--shards 4 requires --engine threaded"]);
+    let out = slacksim(&[
+        "--engine", "batched", "--scheme", "quantum", "--shards", "2",
+    ]);
+    assert_usage_error(&out, &["--shards 2 requires --engine threaded"]);
+    let out = slacksim(&["--engine", "threaded", "--shards", "0"]);
+    assert_usage_error(&out, &["--shards must be at least 1 (got 0)"]);
+}
+
+#[test]
+fn sharded_threaded_run_succeeds_and_help_documents_shards() {
+    let out = slacksim(&[
+        "--engine", "threaded", "--shards", "2", "--cores", "4", "--commit", "2000",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(!stdout(&out).is_empty(), "report printed to stdout");
+    let help = slacksim(&["--help"]);
+    assert!(
+        stdout(&help).contains("--shards N"),
+        "help documents --shards"
+    );
+}
+
+#[test]
 fn unknown_uncore_enumerates_accepted_values() {
     let out = slacksim(&["--uncore", "ring"]);
     assert_usage_error(&out, &["ring", "bus|directory"]);
@@ -485,9 +513,10 @@ fn sweep_scratch(tag: &str) -> std::path::PathBuf {
     dir
 }
 
-/// Asserts a sweep setup failure surfaced by `run_sweep`: exit 2, an
-/// `error:` line mentioning every token, and the pointer at the sweep
-/// help (these fail after flag validation, so they cite `sweep --help`).
+/// Asserts a usage failure on the sweep path: exit 2, an `error:` line
+/// mentioning every token, and the pointer at the *sweep* help — both
+/// flag validation and `run_sweep` setup errors cite `sweep --help`,
+/// never the single-run help.
 fn assert_sweep_error(out: &Output, expect: &[&str]) {
     assert_eq!(out.status.code(), Some(2), "sweep errors exit with code 2");
     let err = stderr(out);
@@ -510,25 +539,25 @@ fn assert_sweep_error(out: &Output, expect: &[&str]) {
 #[test]
 fn sweep_without_dir_is_rejected() {
     let out = slacksim(&["sweep", "--workers", "2"]);
-    assert_usage_error(&out, &["--dir"]);
+    assert_sweep_error(&out, &["--dir"]);
 }
 
 #[test]
 fn sweep_unknown_flag_is_rejected() {
     let out = slacksim(&["sweep", "--dir", "/tmp/nowhere", "--frobnicate"]);
-    assert_usage_error(&out, &["unknown argument '--frobnicate'"]);
+    assert_sweep_error(&out, &["unknown argument '--frobnicate'"]);
 }
 
 #[test]
 fn sweep_zero_workers_is_rejected() {
     let out = slacksim(&["sweep", "--dir", "/tmp/nowhere", "--workers", "0"]);
-    assert_usage_error(&out, &["--workers must be at least 1 (got 0)"]);
+    assert_sweep_error(&out, &["--workers must be at least 1 (got 0)"]);
 }
 
 #[test]
 fn sweep_live_every_without_a_sink_is_rejected() {
     let out = slacksim(&["sweep", "--dir", "/tmp/nowhere", "--live-every", "50"]);
-    assert_usage_error(&out, &["--live-every", "--live-stderr", "--live-status"]);
+    assert_sweep_error(&out, &["--live-every", "--live-stderr", "--live-status"]);
 }
 
 #[test]
@@ -540,7 +569,7 @@ fn sweep_unreadable_spec_is_rejected() {
         "--spec",
         "/nonexistent/sweep.json",
     ]);
-    assert_usage_error(&out, &["cannot read sweep spec", "/nonexistent/sweep.json"]);
+    assert_sweep_error(&out, &["cannot read sweep spec", "/nonexistent/sweep.json"]);
 }
 
 #[test]
@@ -724,18 +753,45 @@ fn report_renders_every_campaign_artifact() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `slacksim report` on anything it cannot render exits 2 with a
+/// diagnostic that names the offending file and where detection gave up
+/// — an empty file, a truncated JSON artifact, free text and a missing
+/// path must all refuse loudly, never render as an empty report.
 #[test]
-fn report_on_unrecognized_artifact_exits_1() {
+fn report_on_unreadable_or_empty_artifacts_exits_2_naming_the_file() {
     let dir = std::env::temp_dir().join(format!("slacksim-cli-bad-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
+
     let bad = dir.join("bad.txt");
     std::fs::write(&bad, "not an artifact\n").unwrap();
     let out = slacksim(&["report", bad.to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(1));
-    assert!(stderr(&out).contains("unrecognized artifact"));
+    assert_eq!(out.status.code(), Some(2), "stderr: {}", stderr(&out));
+    let err = stderr(&out);
+    assert!(err.contains("unrecognized artifact"), "{err}");
+    assert!(err.contains("bad.txt"), "diagnostic names the file: {err}");
+
+    let empty = dir.join("empty.json");
+    std::fs::write(&empty, "").unwrap();
+    let out = slacksim(&["report", empty.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(err.contains("empty artifact (0 bytes)"), "{err}");
+    assert!(err.contains("empty.json"), "{err}");
+
+    let truncated = dir.join("cut.json");
+    std::fs::write(&truncated, "{\"v\":1,\"jobs\":[").unwrap();
+    let out = slacksim(&["report", truncated.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = stderr(&out);
+    assert!(
+        err.contains("truncated or invalid JSON at line 1"),
+        "parse position reported: {err}"
+    );
+    assert!(err.contains("cut.json"), "{err}");
+
     let missing = dir.join("does-not-exist");
     let out = slacksim(&["report", missing.to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(2));
     assert!(stderr(&out).contains("cannot read"));
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -81,8 +81,15 @@ fn config_flags(engine: &str) -> Vec<String> {
 }
 
 fn kill_and_resume(engine: &str) {
-    let dir = scratch_dir(engine);
-    let flags = config_flags(engine);
+    kill_and_resume_with(engine, &[], engine);
+}
+
+/// [`kill_and_resume`] with extra flags appended to every run (baseline,
+/// persisting and resumed alike).
+fn kill_and_resume_with(engine: &str, extra: &[&str], tag: &str) {
+    let dir = scratch_dir(tag);
+    let mut flags = config_flags(engine);
+    flags.extend(extra.iter().map(|s| (*s).to_owned()));
 
     let baseline = slacksim(&flags.iter().map(String::as_str).collect::<Vec<_>>());
     assert!(baseline.status.success(), "baseline run exits 0");
@@ -139,6 +146,15 @@ fn kill_and_resume_matches_uninterrupted_run_sequential() {
 #[test]
 fn kill_and_resume_matches_uninterrupted_run_threaded() {
     kill_and_resume("threaded");
+}
+
+/// Kill-and-resume through the sharded manager tree: snapshots written
+/// by a `--shards 2` run carry the shard section (container format
+/// version 3), survive a SIGKILL, and the resumed sharded run finishes
+/// bit-identical to the same run never having been interrupted.
+#[test]
+fn kill_and_resume_matches_uninterrupted_run_threaded_sharded() {
+    kill_and_resume_with("threaded", &["--shards", "2"], "threaded-sh2");
 }
 
 /// Writes one snapshot quickly and returns its path (plus the scratch
